@@ -1,0 +1,92 @@
+#ifndef CNED_BENCH_LAESA_SWEEP_H_
+#define CNED_BENCH_LAESA_SWEEP_H_
+
+// Shared harness for Figures 3 and 4: LAESA pivot-count sweep reporting the
+// average number of distance computations and the average search time per
+// query, for each distance, with repetition-based deviations — the exact
+// series the paper plots.
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "distances/registry.h"
+#include "metric/stats.h"
+#include "search/laesa.h"
+
+namespace cned::bench {
+
+struct SweepPoint {
+  std::size_t pivots = 0;
+  double mean_computations = 0.0;
+  double dev_computations = 0.0;
+  double mean_seconds = 0.0;
+};
+
+/// Runs the pivot sweep for one distance. Each repetition draws a fresh
+/// prototype subset and query set (as the paper averages over 10 prototype
+/// sets); computations are query-time only, as in the paper.
+inline std::vector<SweepPoint> RunSweep(
+    const StringDistancePtr& distance,
+    const std::vector<std::string>& pool,
+    const std::vector<std::string>& query_pool, std::size_t train_size,
+    std::size_t queries_per_rep, std::size_t repetitions,
+    const std::vector<std::size_t>& pivot_counts, Rng& rng) {
+  std::vector<SweepPoint> series;
+  for (std::size_t pivots : pivot_counts) {
+    RunningStats comp_stats, time_stats;
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      // Fresh prototype sample per repetition.
+      std::vector<std::string> protos;
+      protos.reserve(train_size);
+      for (std::size_t i = 0; i < train_size; ++i) {
+        protos.push_back(pool[rng.Index(pool.size())]);
+      }
+      Laesa laesa(protos, distance, pivots);
+      Laesa::QueryStats qstats;
+      Stopwatch watch;
+      for (std::size_t q = 0; q < queries_per_rep; ++q) {
+        laesa.Nearest(query_pool[rng.Index(query_pool.size())], &qstats);
+      }
+      double secs = watch.Seconds();
+      comp_stats.Add(static_cast<double>(qstats.distance_computations) /
+                     static_cast<double>(queries_per_rep));
+      time_stats.Add(secs / static_cast<double>(queries_per_rep));
+    }
+    series.push_back({pivots, comp_stats.mean(), comp_stats.stddev(),
+                      time_stats.mean()});
+  }
+  return series;
+}
+
+/// Prints one figure (all distances) as aligned tables.
+inline void PrintSweep(
+    const std::vector<std::pair<std::string, std::vector<SweepPoint>>>& runs) {
+  Table comp({"pivots", "dYB", "dC,h", "dMV", "dmax", "dE"});
+  Table times({"pivots", "dYB", "dC,h", "dMV", "dmax", "dE"});
+  if (runs.empty() || runs[0].second.empty()) return;
+  for (std::size_t p = 0; p < runs[0].second.size(); ++p) {
+    std::vector<std::string> comp_row{
+        std::to_string(runs[0].second[p].pivots)};
+    std::vector<std::string> time_row = comp_row;
+    for (const auto& [name, series] : runs) {
+      comp_row.push_back(FormatDouble(series[p].mean_computations, 1) +
+                         "+-" + FormatDouble(series[p].dev_computations, 1));
+      time_row.push_back(FormatDouble(series[p].mean_seconds * 1e6, 1));
+    }
+    comp.AddRow(comp_row);
+    times.AddRow(time_row);
+  }
+  std::cout << "--- average distance computations per query ---\n";
+  comp.Print(std::cout);
+  std::cout << "\n--- average search time per query (microseconds) ---\n";
+  times.Print(std::cout);
+}
+
+}  // namespace cned::bench
+
+#endif  // CNED_BENCH_LAESA_SWEEP_H_

@@ -1,0 +1,129 @@
+// cned_cli — command-line utility exposing the library end to end.
+//
+// Subcommands:
+//   distance <name> <x> <y>          one distance value
+//   matrix <name> <file>             pairwise distances of a word list
+//   nn <name> <file> <query...>      nearest neighbours via LAESA
+//   suggest <file> <radius> <word>   BK-tree spelling suggestions (dE)
+//   script <x> <y>                   optimal contextual edit script
+//   rho <name> <file>                intrinsic dimensionality of a file
+//
+// <file> is one string per line (e.g. the real SISAP dictionary).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/contextual_script.h"
+#include "datasets/dataset.h"
+#include "distances/registry.h"
+#include "metric/stats.h"
+#include "search/bk_tree.h"
+#include "search/laesa.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  cned_cli distance <name> <x> <y>\n"
+         "  cned_cli matrix <name> <file>\n"
+         "  cned_cli nn <name> <file> <query...>\n"
+         "  cned_cli suggest <file> <radius> <word>\n"
+         "  cned_cli script <x> <y>\n"
+         "  cned_cli rho <name> <file>\n"
+         "distance names: ";
+  for (const auto& n : cned::AllDistanceNames()) std::cerr << n << ' ';
+  std::cerr << '\n';
+  return 2;
+}
+
+int CmdDistance(const std::vector<std::string>& args) {
+  if (args.size() != 3) return Usage();
+  auto d = cned::MakeDistance(args[0]);
+  std::cout << d->Distance(args[1], args[2]) << '\n';
+  return 0;
+}
+
+int CmdMatrix(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  auto d = cned::MakeDistance(args[0]);
+  cned::Dataset data = cned::Dataset::LoadLines(args[1]);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      std::cout << d->Distance(data.strings[i], data.strings[j])
+                << (j + 1 < data.size() ? ' ' : '\n');
+    }
+  }
+  return 0;
+}
+
+int CmdNn(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  auto d = cned::MakeDistance(args[0]);
+  cned::Dataset data = cned::Dataset::LoadLines(args[1]);
+  std::size_t pivots = std::min<std::size_t>(40, data.size());
+  cned::Laesa index(data.strings, d, pivots);
+  for (std::size_t q = 2; q < args.size(); ++q) {
+    cned::Laesa::QueryStats stats;
+    auto r = index.Nearest(args[q], &stats);
+    std::cout << args[q] << " -> " << data.strings[r.index]
+              << "  d=" << r.distance << "  (" << stats.distance_computations
+              << '/' << data.size() << " distances)\n";
+  }
+  return 0;
+}
+
+int CmdSuggest(const std::vector<std::string>& args) {
+  if (args.size() != 3) return Usage();
+  cned::Dataset data = cned::Dataset::LoadLines(args[0]);
+  auto radius = static_cast<std::size_t>(std::stoul(args[1]));
+  cned::BkTree tree(data.strings, cned::MakeDistance("dE"));
+  for (const auto& hit : tree.RangeSearch(args[2], radius)) {
+    std::cout << data.strings[hit.index] << "  (d=" << hit.distance << ")\n";
+  }
+  return 0;
+}
+
+int CmdScript(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  cned::EditScript s = cned::ContextualAlign(args[0], args[1]);
+  std::cout << cned::FormatEditScript(s) << '\n';
+  return 0;
+}
+
+int CmdRho(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  auto d = cned::MakeDistance(args[0]);
+  cned::Dataset data = cned::Dataset::LoadLines(args[1]);
+  cned::RunningStats stats;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t j = i + 1; j < data.size(); ++j) {
+      stats.Add(d->Distance(data.strings[i], data.strings[j]));
+    }
+  }
+  std::cout << "pairs=" << stats.count() << " mean=" << stats.mean()
+            << " sigma=" << stats.stddev()
+            << " rho=" << cned::IntrinsicDimensionality(stats) << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "distance") return CmdDistance(args);
+    if (cmd == "matrix") return CmdMatrix(args);
+    if (cmd == "nn") return CmdNn(args);
+    if (cmd == "suggest") return CmdSuggest(args);
+    if (cmd == "script") return CmdScript(args);
+    if (cmd == "rho") return CmdRho(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,62 @@
+// Digit classification — the paper's §4.4 application: 1-NN classification
+// of handwritten digit contour strings (Freeman chain codes) under
+// different normalised edit distances.
+//
+// Renders synthetic "scribes" (random stroke distortions), trains on one
+// set of writers, tests on another, and prints the per-distance error rate
+// plus a confusion summary for the contextual distance.
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "datasets/digit_contours.h"
+#include "distances/registry.h"
+#include "search/exhaustive.h"
+#include "search/knn_classifier.h"
+
+int main() {
+  // Training digits: 20 per class from one batch of scribes; test digits
+  // from a disjoint batch (different seed = different writers), with no
+  // size or orientation normalisation, as in the paper.
+  cned::DigitContourOptions train_opt;
+  train_opt.per_class = 20;
+  train_opt.seed = 11;
+  cned::Dataset train = cned::GenerateDigitContours(train_opt);
+
+  cned::DigitContourOptions test_opt = train_opt;
+  test_opt.per_class = 10;
+  test_opt.seed = 22;
+  cned::Dataset test = cned::GenerateDigitContours(test_opt);
+
+  std::cout << "train " << train.size() << " contours, test " << test.size()
+            << " contours (mean chain-code length " << train.MeanLength()
+            << ")\nsample contour: " << train.strings[0].substr(0, 60)
+            << "...\n\n";
+
+  cned::Table table({"Distance", "error rate %"});
+  for (const char* name : {"dE", "dYB", "dMV", "dmax", "dC,h"}) {
+    auto dist = cned::MakeDistance(name);
+    cned::ExhaustiveSearch search(train.strings, dist);
+    cned::NearestNeighborClassifier clf(search, train.labels);
+    table.AddRow(name, {clf.ErrorRatePercent(test.strings, test.labels)});
+  }
+  table.Print(std::cout);
+
+  // Confusion pairs under the contextual heuristic.
+  cned::ExhaustiveSearch search(train.strings, cned::MakeDistance("dC,h"));
+  cned::NearestNeighborClassifier clf(search, train.labels);
+  std::cout << "\nmisclassified digits under dC,h:\n";
+  int shown = 0;
+  for (std::size_t i = 0; i < test.size() && shown < 10; ++i) {
+    int predicted = clf.Classify(test.strings[i]);
+    if (predicted != test.labels[i]) {
+      std::cout << "  true " << test.labels[i] << " -> predicted "
+                << predicted << "\n";
+      ++shown;
+    }
+  }
+  if (shown == 0) std::cout << "  (none)\n";
+  return 0;
+}

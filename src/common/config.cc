@@ -1,0 +1,39 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <cmath>
+
+namespace cned {
+namespace {
+
+const char* Env(const std::string& name) {
+  return std::getenv(("CNED_" + name).c_str());
+}
+
+}  // namespace
+
+double Config::Scale() {
+  if (const char* v = Env("SCALE")) {
+    double s = std::atof(v);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+std::int64_t Config::Int(const std::string& name, std::int64_t default_value) {
+  if (const char* v = Env(name)) return std::atoll(v);
+  return default_value;
+}
+
+std::int64_t Config::ScaledInt(const std::string& name,
+                               std::int64_t default_value) {
+  if (const char* v = Env(name)) return std::atoll(v);
+  double scaled = std::round(static_cast<double>(default_value) * Scale());
+  return scaled < 1.0 ? 1 : static_cast<std::int64_t>(scaled);
+}
+
+std::uint64_t Config::Seed() {
+  return static_cast<std::uint64_t>(Int("SEED", 20080401));
+}
+
+}  // namespace cned

@@ -1,0 +1,39 @@
+#ifndef CNED_COMMON_CONFIG_H_
+#define CNED_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cned {
+
+/// Environment-driven knobs for the experiment harnesses.
+///
+/// Every bench binary reads its workload sizes through these helpers so a
+/// single environment variable can scale the whole reproduction up to the
+/// paper's full sizes or down for smoke runs:
+///
+///   CNED_SCALE       multiplier applied to default sample counts (default 1.0)
+///   CNED_SEED        master RNG seed (default 20080401)
+///   CNED_<NAME>      integer override for a specific knob
+///
+/// Example: `CNED_SCALE=0.1 ./bench/fig3_laesa_dictionary` runs a 10% sweep.
+class Config {
+ public:
+  /// Integer knob: value of env var CNED_<name> if set, else
+  /// round(default_value * CNED_SCALE).
+  static std::int64_t ScaledInt(const std::string& name,
+                                std::int64_t default_value);
+
+  /// Integer knob without scaling (exact override or default).
+  static std::int64_t Int(const std::string& name, std::int64_t default_value);
+
+  /// Master seed (CNED_SEED or the default).
+  static std::uint64_t Seed();
+
+  /// The global scale factor (CNED_SCALE or 1.0).
+  static double Scale();
+};
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_CONFIG_H_

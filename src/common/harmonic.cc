@@ -1,0 +1,17 @@
+#include "common/harmonic.h"
+
+namespace cned {
+
+void HarmonicTable::Grow(std::size_t n) {
+  prefix_.reserve(n + 1);
+  for (std::size_t i = prefix_.size(); i <= n; ++i) {
+    prefix_.push_back(prefix_.back() + 1.0 / static_cast<double>(i));
+  }
+}
+
+HarmonicTable& GlobalHarmonic() {
+  static HarmonicTable table;
+  return table;
+}
+
+}  // namespace cned

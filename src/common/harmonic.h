@@ -1,0 +1,51 @@
+#ifndef CNED_COMMON_HARMONIC_H_
+#define CNED_COMMON_HARMONIC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cned {
+
+/// Cached prefix sums of the harmonic series, H(n) = sum_{i=1}^{n} 1/i.
+///
+/// The contextual edit distance charges 1/i per operation performed on a
+/// string of length i; canonical paths therefore cost harmonic *segments*
+/// H(b) - H(a). This table makes evaluating the closed-form path cost O(1)
+/// per candidate edit length.
+///
+/// Instances grow on demand and are cheap to copy around by reference; the
+/// process-wide table returned by `GlobalHarmonic()` is safe to use from a
+/// single thread per instance (benches and tests are single-threaded per
+/// distance object; create local tables for concurrent use).
+class HarmonicTable {
+ public:
+  HarmonicTable() { prefix_.push_back(0.0); }
+
+  /// H(n); grows the table as needed. H(0) == 0.
+  double H(std::size_t n) {
+    if (n >= prefix_.size()) Grow(n);
+    return prefix_[n];
+  }
+
+  /// sum_{i=from}^{to} 1/i == H(to) - H(from-1). Zero when from > to.
+  /// `from` must be >= 1.
+  double Range(std::size_t from, std::size_t to) {
+    if (from > to) return 0.0;
+    return H(to) - H(from - 1);
+  }
+
+  /// Number of cached entries (largest n with a cached H(n), plus one).
+  std::size_t size() const { return prefix_.size(); }
+
+ private:
+  void Grow(std::size_t n);
+
+  std::vector<double> prefix_;
+};
+
+/// Process-wide shared table (not thread-safe; see class comment).
+HarmonicTable& GlobalHarmonic();
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_HARMONIC_H_

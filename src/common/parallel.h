@@ -1,0 +1,21 @@
+#ifndef CNED_COMMON_PARALLEL_H_
+#define CNED_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace cned {
+
+/// Minimal data-parallel loop: runs `body(i)` for i in [0, n) across
+/// `threads` workers (hardware concurrency by default, capped at n).
+/// `body` must be safe to call concurrently for distinct i. Blocks until
+/// all iterations finish. Exceptions escaping `body` terminate the process
+/// (as with raw std::thread) — keep bodies noexcept in practice.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t threads = 0);
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_PARALLEL_H_

@@ -1,0 +1,103 @@
+#include "common/rational.h"
+
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cned {
+namespace {
+
+__int128 Gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational Rational::FromInt128(__int128 num, __int128 den) {
+  if (den == 0) throw std::invalid_argument("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  __int128 g = Gcd128(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  constexpr __int128 kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr __int128 kMin = std::numeric_limits<std::int64_t>::min();
+  if (num > kMax || num < kMin || den > kMax) {
+    throw std::overflow_error("Rational: value does not fit in 64 bits");
+  }
+  Rational r;
+  r.num_ = static_cast<std::int64_t>(num);
+  r.den_ = static_cast<std::int64_t>(den);
+  return r;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  *this = FromInt128(num, den);
+}
+
+Rational Rational::HarmonicRange(std::int64_t from, std::int64_t to) {
+  if (from <= 0) throw std::invalid_argument("HarmonicRange: from must be > 0");
+  Rational sum;
+  for (std::int64_t i = from; i <= to; ++i) sum += Unit(i);
+  return sum;
+}
+
+double Rational::ToDouble() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::ToString() const {
+  std::ostringstream os;
+  os << num_;
+  if (den_ != 1) os << '/' << den_;
+  return os.str();
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return FromInt128(static_cast<__int128>(num_) * o.den_ +
+                        static_cast<__int128>(o.num_) * den_,
+                    static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return FromInt128(static_cast<__int128>(num_) * o.den_ -
+                        static_cast<__int128>(o.num_) * den_,
+                    static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return FromInt128(static_cast<__int128>(num_) * o.num_,
+                    static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::invalid_argument("Rational: division by zero");
+  return FromInt128(static_cast<__int128>(num_) * o.den_,
+                    static_cast<__int128>(den_) * o.num_);
+}
+
+Rational Rational::operator-() const { return Rational(-num_, den_); }
+
+bool Rational::operator<(const Rational& o) const {
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+}  // namespace cned

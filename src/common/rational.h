@@ -1,0 +1,83 @@
+#ifndef CNED_COMMON_RATIONAL_H_
+#define CNED_COMMON_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace cned {
+
+/// Exact rational arithmetic on 64-bit numerator/denominator with 128-bit
+/// intermediates.
+///
+/// The contextual edit distance is a sum of unit fractions 1/i, so every
+/// value it can take on short strings is a rational whose denominator divides
+/// lcm(1..L) for the maximal intermediate string length L. lcm(1..46) still
+/// fits in a signed 64-bit integer, which makes `Rational` sufficient for
+/// exact metric-property testing on strings of total length up to ~40 — far
+/// beyond what exhaustive triangle-inequality sweeps can enumerate anyway.
+///
+/// All operations reduce to lowest terms and throw `std::overflow_error` if
+/// the reduced result does not fit in 64 bits. The value is always kept with
+/// a positive denominator.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+
+  /// Integer value `n`.
+  constexpr explicit Rational(std::int64_t n) : num_(n), den_(1) {}
+
+  /// The fraction `num/den`. `den` must be non-zero; the sign is normalised
+  /// onto the numerator and the fraction is reduced.
+  Rational(std::int64_t num, std::int64_t den);
+
+  /// The unit fraction 1/i (i > 0).
+  static Rational Unit(std::int64_t i) { return Rational(1, i); }
+
+  /// The harmonic segment sum_{i=from}^{to} 1/i. Returns zero when
+  /// `from > to`. Both bounds must be positive.
+  static Rational HarmonicRange(std::int64_t from, std::int64_t to);
+
+  std::int64_t numerator() const { return num_; }
+  std::int64_t denominator() const { return den_; }
+
+  /// Closest double value.
+  double ToDouble() const;
+
+  /// Renders as "num/den" (or "num" when the denominator is 1).
+  std::string ToString() const;
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return !(o < *this); }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return !(*this < o); }
+
+ private:
+  // Builds from reduced-or-not 128-bit parts, reducing and range-checking.
+  static Rational FromInt128(__int128 num, __int128 den);
+
+  std::int64_t num_;
+  std::int64_t den_;  // > 0 always
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_RATIONAL_H_

@@ -1,0 +1,20 @@
+#include "common/rng.h"
+
+#include <stdexcept>
+
+namespace cned {
+
+std::size_t Rng::Weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("Rng::Weighted: no positive weight");
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace cned

@@ -1,0 +1,65 @@
+#ifndef CNED_COMMON_RNG_H_
+#define CNED_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cned {
+
+/// Deterministic random source used by every generator in the project.
+///
+/// A thin wrapper over std::mt19937_64 with the handful of draws the dataset
+/// generators and experiments need. All experiments are reproducible given
+/// the seed; generators never consult global state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t Index(std::size_t n) {
+    return static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Normal draw.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool Chance(double p) { return Uniform() < p; }
+
+  /// Samples an index according to non-negative `weights` (need not sum
+  /// to 1). Requires at least one positive weight.
+  std::size_t Weighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-repetition streams).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_RNG_H_

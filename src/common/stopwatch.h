@@ -1,0 +1,31 @@
+#ifndef CNED_COMMON_STOPWATCH_H_
+#define CNED_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cned {
+
+/// Wall-clock stopwatch for the experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the clock.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_STOPWATCH_H_

@@ -1,0 +1,40 @@
+#ifndef CNED_COMMON_TABLE_H_
+#define CNED_COMMON_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cned {
+
+/// Minimal ASCII table formatter used by the benchmark harnesses to print
+/// the paper's tables and figure series in a readable, diffable layout.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` digits.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Renders with aligned columns.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by harnesses).
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_TABLE_H_

@@ -1,0 +1,204 @@
+#include "core/contextual.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cned {
+namespace {
+
+// "Minus infinity" for the insertion-count DP. Far enough from INT32_MIN
+// that adding +1 per layer (at most |x|+|y| times) cannot wrap.
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+void ValidateDecomposition(std::size_t m, std::size_t n, std::size_t k,
+                           std::size_t ni) {
+  if (m + ni < n) {
+    throw std::invalid_argument("ContextualPathCost: negative deletion count");
+  }
+  std::size_t nd = m + ni - n;
+  if (ni + nd > k) {
+    throw std::invalid_argument("ContextualPathCost: k too small for ni");
+  }
+}
+
+}  // namespace
+
+double ContextualPathCost(std::size_t m, std::size_t n, std::size_t k,
+                          std::size_t ni, HarmonicTable& harmonic) {
+  ValidateDecomposition(m, n, k, ni);
+  const std::size_t nd = m + ni - n;
+  const std::size_t ns = k - ni - nd;
+  double cost = harmonic.Range(m + 1, m + ni);  // insertions on a growing string
+  if (ns > 0) {
+    // All substitutions happen on the longest intermediate string (Lemma 1).
+    cost += static_cast<double>(ns) / static_cast<double>(m + ni);
+  }
+  cost += harmonic.Range(n + 1, n + nd);  // deletions on a shrinking string
+  return cost;
+}
+
+Rational ContextualPathCostExact(std::size_t m, std::size_t n, std::size_t k,
+                                 std::size_t ni) {
+  ValidateDecomposition(m, n, k, ni);
+  const std::size_t nd = m + ni - n;
+  const std::size_t ns = k - ni - nd;
+  Rational cost = Rational::HarmonicRange(static_cast<std::int64_t>(m) + 1,
+                                          static_cast<std::int64_t>(m + ni));
+  if (ns > 0) {
+    cost += Rational(static_cast<std::int64_t>(ns),
+                     static_cast<std::int64_t>(m + ni));
+  }
+  cost += Rational::HarmonicRange(static_cast<std::int64_t>(n) + 1,
+                                  static_cast<std::int64_t>(n + nd));
+  return cost;
+}
+
+std::vector<std::int32_t> MaxInsertionProfile(std::string_view x,
+                                              std::string_view y) {
+  const std::size_t m = x.size(), n = y.size();
+  const std::size_t width = n + 1;
+  const std::size_t kmax = m + n;
+  std::vector<std::int32_t> result(kmax + 1, kNegInf);
+
+  // Layer k = 0: only matches — the DP value is 0 along the equal-prefix
+  // diagonal, -inf elsewhere.
+  std::vector<std::int32_t> prev((m + 1) * width, kNegInf);
+  std::vector<std::int32_t> cur((m + 1) * width, kNegInf);
+  auto at = [width](std::vector<std::int32_t>& v, std::size_t i,
+                    std::size_t j) -> std::int32_t& { return v[i * width + j]; };
+
+  at(prev, 0, 0) = 0;
+  {
+    bool prefix_eq = true;
+    for (std::size_t t = 1; t <= std::min(m, n) && prefix_eq; ++t) {
+      prefix_eq = (x[t - 1] == y[t - 1]);
+      if (prefix_eq) at(prev, t, t) = 0;
+    }
+  }
+  if (prev[m * width + n] >= 0) result[0] = prev[m * width + n];
+
+  // Layers k = 1 .. m+n. Within a layer, the match move stays on the same
+  // layer (cost 0), so cells are filled in increasing (i, j) order; the
+  // substitution / deletion / insertion moves read the previous layer.
+  for (std::size_t k = 1; k <= kmax; ++k) {
+    at(cur, 0, 0) = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      at(cur, 0, j) = at(prev, 0, j - 1) + 1;  // insertion only
+    }
+    for (std::size_t i = 1; i <= m; ++i) {
+      at(cur, i, 0) = at(prev, i - 1, 0);  // deletion only
+      const char xi = x[i - 1];
+      const std::int32_t* prev_up = &prev[(i - 1) * width];
+      const std::int32_t* prev_row = &prev[i * width];
+      std::int32_t* cur_row = &cur[i * width];
+      const std::int32_t* cur_up = &cur[(i - 1) * width];
+      for (std::size_t j = 1; j <= n; ++j) {
+        // Match (same layer) or substitution (previous layer).
+        std::int32_t best =
+            (xi == y[j - 1]) ? cur_up[j - 1] : prev_up[j - 1];
+        best = std::max(best, prev_up[j]);          // delete x_i
+        best = std::max(best, prev_row[j - 1] + 1); // insert y_j
+        cur_row[j] = best;
+      }
+    }
+    if (cur[m * width + n] >= 0) result[k] = cur[m * width + n];
+    std::swap(prev, cur);
+  }
+  return result;
+}
+
+ContextualResult ContextualDistanceDetailed(std::string_view x,
+                                            std::string_view y) {
+  const std::size_t m = x.size(), n = y.size();
+  HarmonicTable& h = GlobalHarmonic();
+
+  ContextualResult best;
+  if (m == 0 && n == 0) return best;
+  best.distance = std::numeric_limits<double>::infinity();
+
+  // Same layered DP as MaxInsertionProfile, but evaluating each layer's
+  // candidate as soon as its last cell is available so the loop can stop
+  // once the k/(m+n) lower bound rules out all longer paths.
+  const std::size_t width = n + 1;
+  const std::size_t kmax = m + n;
+  std::vector<std::int32_t> prev((m + 1) * width, kNegInf);
+  std::vector<std::int32_t> cur((m + 1) * width, kNegInf);
+  auto at = [width](std::vector<std::int32_t>& v, std::size_t i,
+                    std::size_t j) -> std::int32_t& { return v[i * width + j]; };
+
+  auto consider = [&](std::size_t k, std::int32_t raw_ni) {
+    if (raw_ni < 0) return;
+    const auto ni = static_cast<std::size_t>(raw_ni);
+    double cost = ContextualPathCost(m, n, k, ni, h);
+    if (cost < best.distance) {
+      best.distance = cost;
+      best.k = k;
+      best.insertions = ni;
+      best.deletions = m + ni - n;
+      best.substitutions = k - ni - best.deletions;
+    }
+  };
+
+  at(prev, 0, 0) = 0;
+  {
+    bool prefix_eq = true;
+    for (std::size_t t = 1; t <= std::min(m, n) && prefix_eq; ++t) {
+      prefix_eq = (x[t - 1] == y[t - 1]);
+      if (prefix_eq) at(prev, t, t) = 0;
+    }
+  }
+  consider(0, prev[m * width + n]);
+
+  const double per_op_floor = 1.0 / static_cast<double>(m + n);
+  for (std::size_t k = 1; k <= kmax; ++k) {
+    // Every op on an internal path costs >= 1/(m+n); once even that floor
+    // exceeds the incumbent, no longer path can win.
+    if (static_cast<double>(k) * per_op_floor > best.distance) break;
+    at(cur, 0, 0) = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      at(cur, 0, j) = at(prev, 0, j - 1) + 1;
+    }
+    for (std::size_t i = 1; i <= m; ++i) {
+      at(cur, i, 0) = at(prev, i - 1, 0);
+      const char xi = x[i - 1];
+      const std::int32_t* prev_up = &prev[(i - 1) * width];
+      const std::int32_t* prev_row = &prev[i * width];
+      std::int32_t* cur_row = &cur[i * width];
+      const std::int32_t* cur_up = &cur[(i - 1) * width];
+      for (std::size_t j = 1; j <= n; ++j) {
+        std::int32_t v = (xi == y[j - 1]) ? cur_up[j - 1] : prev_up[j - 1];
+        v = std::max(v, prev_up[j]);
+        v = std::max(v, prev_row[j - 1] + 1);
+        cur_row[j] = v;
+      }
+    }
+    consider(k, cur[m * width + n]);
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+double ContextualDistance(std::string_view x, std::string_view y) {
+  return ContextualDistanceDetailed(x, y).distance;
+}
+
+Rational ContextualDistanceExact(std::string_view x, std::string_view y) {
+  const std::size_t m = x.size(), n = y.size();
+  std::vector<std::int32_t> profile = MaxInsertionProfile(x, y);
+  bool found = false;
+  Rational best;
+  for (std::size_t k = 0; k < profile.size(); ++k) {
+    if (profile[k] < 0) continue;
+    Rational cost =
+        ContextualPathCostExact(m, n, k, static_cast<std::size_t>(profile[k]));
+    if (!found || cost < best) {
+      best = cost;
+      found = true;
+    }
+  }
+  if (!found) throw std::logic_error("ContextualDistanceExact: no path found");
+  return best;
+}
+
+}  // namespace cned

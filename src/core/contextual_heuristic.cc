@@ -1,0 +1,60 @@
+#include "core/contextual_heuristic.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/harmonic.h"
+
+namespace cned {
+
+// Correctness of the 2-D DP (why this equals ni[m][n][d_E] of Algorithm 1):
+// any internal path of total edit length d_E(x,y) through a cell (i,j) must
+// use exactly d_E(x[0..i), y[0..j)) operations on its prefix — otherwise
+// swapping in a cheaper prefix would beat d_E overall. Hence maximising the
+// insertion count over "minimal-k predecessors only" loses no path that the
+// full DP would consider at k = d_E, and the pair (D, NI) below is exact.
+ContextualHeuristicResult ContextualHeuristicDetailed(std::string_view x,
+                                                      std::string_view y) {
+  const std::size_t m = x.size(), n = y.size();
+  // Rows of (edit distance, max insertions among minimal scripts).
+  std::vector<std::uint32_t> dist(n + 1), dist_prev(n + 1);
+  std::vector<std::int32_t> ins(n + 1), ins_prev(n + 1);
+
+  for (std::size_t j = 0; j <= n; ++j) {
+    dist_prev[j] = static_cast<std::uint32_t>(j);
+    ins_prev[j] = static_cast<std::int32_t>(j);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    dist[0] = static_cast<std::uint32_t>(i);
+    ins[0] = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::uint32_t d_diag =
+          dist_prev[j - 1] + (x[i - 1] == y[j - 1] ? 0u : 1u);
+      const std::uint32_t d_del = dist_prev[j] + 1;
+      const std::uint32_t d_ins = dist[j - 1] + 1;
+      const std::uint32_t d = std::min({d_diag, d_del, d_ins});
+      std::int32_t ni = std::numeric_limits<std::int32_t>::min();
+      if (d == d_diag) ni = std::max(ni, ins_prev[j - 1]);
+      if (d == d_del) ni = std::max(ni, ins_prev[j]);
+      if (d == d_ins) ni = std::max(ni, ins[j - 1] + 1);
+      dist[j] = d;
+      ins[j] = ni;
+    }
+    std::swap(dist, dist_prev);
+    std::swap(ins, ins_prev);
+  }
+
+  ContextualHeuristicResult r;
+  r.k = dist_prev[n];
+  r.insertions = static_cast<std::size_t>(ins_prev[n]);
+  r.distance = ContextualPathCost(m, n, r.k, r.insertions, GlobalHarmonic());
+  return r;
+}
+
+double ContextualHeuristicDistance(std::string_view x, std::string_view y) {
+  return ContextualHeuristicDetailed(x, y).distance;
+}
+
+}  // namespace cned

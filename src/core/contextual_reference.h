@@ -1,0 +1,28 @@
+#ifndef CNED_CORE_CONTEXTUAL_REFERENCE_H_
+#define CNED_CORE_CONTEXTUAL_REFERENCE_H_
+
+#include <string>
+#include <string_view>
+
+#include "strings/alphabet.h"
+
+namespace cned {
+
+/// Ground-truth contextual distance by Dijkstra over the space of strings.
+///
+/// Explores every string over `alphabet` of length <= `max_len` with edges
+/// = single-symbol insertions (cost 1/(|u|+1)), deletions and substitutions
+/// (cost 1/|u|), exactly Definition 4 of the paper with *no* restriction to
+/// internal operations or canonical path shapes. Exponential in `max_len` —
+/// strictly a test oracle for validating the DP of Algorithm 1.
+///
+/// By the paper's well-definedness argument optimal paths never need strings
+/// longer than |x|+|y|, so callers should pass max_len >= |x|+|y| (the
+/// default of 0 means exactly that). Both strings must be over `alphabet`.
+double ContextualReferenceDistance(std::string_view x, std::string_view y,
+                                   const Alphabet& alphabet,
+                                   std::size_t max_len = 0);
+
+}  // namespace cned
+
+#endif  // CNED_CORE_CONTEXTUAL_REFERENCE_H_

@@ -1,0 +1,82 @@
+#include "core/generalized_contextual.h"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cned {
+
+double NaiveGeneralizedContextualDistance(std::string_view x,
+                                          std::string_view y,
+                                          const EditCosts& costs,
+                                          const Alphabet& alphabet,
+                                          std::size_t max_len) {
+  if (!alphabet.ContainsAll(x) || !alphabet.ContainsAll(y)) {
+    throw std::invalid_argument(
+        "NaiveGeneralizedContextualDistance: strings not over alphabet");
+  }
+  if (max_len == 0) max_len = x.size() + y.size();
+  if (x.size() > max_len || y.size() > max_len) {
+    throw std::invalid_argument(
+        "NaiveGeneralizedContextualDistance: max_len too small");
+  }
+
+  const std::string target(y);
+  using Entry = std::pair<double, std::string>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::unordered_map<std::string, double> best;
+
+  std::string start(x);
+  best[start] = 0.0;
+  heap.emplace(0.0, std::move(start));
+
+  while (!heap.empty()) {
+    auto [cost, u] = heap.top();
+    heap.pop();
+    auto it = best.find(u);
+    if (it != best.end() && cost > it->second) continue;
+    if (u == target) return cost;
+
+    const std::size_t len = u.size();
+    auto relax = [&](std::string&& v, double edge) {
+      double nc = cost + edge;
+      auto [vit, inserted] = best.try_emplace(v, nc);
+      if (!inserted && vit->second <= nc) return;
+      vit->second = nc;
+      heap.emplace(nc, std::move(v));
+    };
+
+    if (len > 0) {
+      const double denom = static_cast<double>(len);
+      for (std::size_t p = 0; p < len; ++p) {
+        std::string v = u;
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(p));
+        relax(std::move(v), costs.Del(u[p]) / denom);
+        for (std::size_t a = 0; a < alphabet.size(); ++a) {
+          char c = alphabet.symbol(a);
+          if (c == u[p]) continue;
+          std::string w = u;
+          w[p] = c;
+          relax(std::move(w), costs.Sub(u[p], c) / denom);
+        }
+      }
+    }
+    if (len < max_len) {
+      const double denom = static_cast<double>(len + 1);
+      for (std::size_t p = 0; p <= len; ++p) {
+        for (std::size_t a = 0; a < alphabet.size(); ++a) {
+          char c = alphabet.symbol(a);
+          std::string v = u;
+          v.insert(v.begin() + static_cast<std::ptrdiff_t>(p), c);
+          relax(std::move(v), costs.Ins(c) / denom);
+        }
+      }
+    }
+  }
+  throw std::logic_error(
+      "NaiveGeneralizedContextualDistance: target unreachable");
+}
+
+}  // namespace cned

@@ -1,0 +1,35 @@
+#ifndef CNED_CORE_GENERALIZED_CONTEXTUAL_H_
+#define CNED_CORE_GENERALIZED_CONTEXTUAL_H_
+
+#include <string_view>
+
+#include "distances/weighted_levenshtein.h"
+#include "strings/alphabet.h"
+
+namespace cned {
+
+/// The *naive* generalised contextual distance of the paper's §5 (future
+/// work): charge each elementary operation gamma(op) / max(|u|,|v|), where
+/// gamma comes from an arbitrary cost model.
+///
+/// The paper observes this "naive idea fails": with non-uniform costs the
+/// optimal path may insert cheap dummy symbols purely to lengthen the string
+/// before performing expensive substitutions, then erase them — so the
+/// internal-operations property (Proposition 1) and the canonical path shape
+/// (Lemma 1) both break, and no polynomial DP is known. We therefore compute
+/// the value by Dijkstra over bounded string space, exactly as the
+/// definition states. Exponential; use on short strings only. The tests and
+/// `bench/ablation_metric_violations` reproduce the dummy-symbol exploit.
+///
+/// `max_len` = 0 means |x|+|y| (sufficient for unit costs, but note that for
+/// adversarial cost models even longer intermediates can help; callers
+/// probing the exploit pass a larger bound explicitly).
+double NaiveGeneralizedContextualDistance(std::string_view x,
+                                          std::string_view y,
+                                          const EditCosts& costs,
+                                          const Alphabet& alphabet,
+                                          std::size_t max_len = 0);
+
+}  // namespace cned
+
+#endif  // CNED_CORE_GENERALIZED_CONTEXTUAL_H_

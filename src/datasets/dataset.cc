@@ -1,0 +1,69 @@
+#include "datasets/dataset.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace cned {
+
+void Dataset::Add(std::string s, int label) {
+  strings.push_back(std::move(s));
+  if (label >= 0) {
+    if (labels.size() + 1 != strings.size()) {
+      throw std::logic_error("Dataset::Add: mixing labelled and unlabelled");
+    }
+    labels.push_back(label);
+  } else if (!labels.empty()) {
+    throw std::logic_error("Dataset::Add: mixing labelled and unlabelled");
+  }
+}
+
+double Dataset::MeanLength() const {
+  if (strings.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& s : strings) total += s.size();
+  return static_cast<double>(total) / static_cast<double>(strings.size());
+}
+
+void Dataset::SaveText(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Dataset::SaveText: cannot open " + path);
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    if (labeled()) out << labels[i] << '\t';
+    out << strings[i] << '\n';
+  }
+  if (!out) throw std::runtime_error("Dataset::SaveText: write failed");
+}
+
+Dataset Dataset::LoadText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Dataset::LoadText: cannot open " + path);
+  Dataset ds;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto tab = line.find('\t');
+    if (tab == std::string::npos) {
+      ds.Add(line);
+    } else {
+      int label = std::stoi(line.substr(0, tab));
+      ds.Add(line.substr(tab + 1), label);
+    }
+  }
+  return ds;
+}
+
+Dataset Dataset::LoadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Dataset::LoadLines: cannot open " + path);
+  Dataset ds;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (!line.empty()) ds.Add(line);
+  }
+  return ds;
+}
+
+}  // namespace cned

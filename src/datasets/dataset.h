@@ -1,0 +1,40 @@
+#ifndef CNED_DATASETS_DATASET_H_
+#define CNED_DATASETS_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cned {
+
+/// A (possibly labelled) collection of strings — the common currency of the
+/// generators, search structures and experiment harnesses.
+struct Dataset {
+  std::vector<std::string> strings;
+  /// Class labels aligned with `strings`; empty for unlabelled data.
+  std::vector<int> labels;
+
+  bool labeled() const { return !labels.empty(); }
+  std::size_t size() const { return strings.size(); }
+
+  /// Appends one element.
+  void Add(std::string s, int label = -1);
+
+  /// Mean string length.
+  double MeanLength() const;
+
+  /// Writes "label\tstring" (or "string") lines. Throws on I/O error.
+  void SaveText(const std::string& path) const;
+
+  /// Reads the format written by SaveText. Lines without a tab are
+  /// unlabelled; mixing labelled and unlabelled lines is an error.
+  static Dataset LoadText(const std::string& path);
+
+  /// Reads a plain one-string-per-line file (e.g. the real SISAP Spanish
+  /// dictionary, so the genuine benchmark can be dropped in).
+  static Dataset LoadLines(const std::string& path);
+};
+
+}  // namespace cned
+
+#endif  // CNED_DATASETS_DATASET_H_

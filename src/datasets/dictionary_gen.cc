@@ -1,0 +1,109 @@
+#include "datasets/dictionary_gen.h"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cned {
+namespace {
+
+struct WeightedInventory {
+  std::vector<std::string> items;
+  std::vector<double> weights;
+};
+
+const WeightedInventory& Onsets() {
+  static const WeightedInventory inv{
+      {"",   "b",  "c",  "d",  "f",  "g",  "j",  "l",  "m",  "n",
+       "p",  "r",  "s",  "t",  "v",  "z",  "ch", "ll", "rr", "br",
+       "cr", "dr", "fr", "gr", "pr", "tr", "bl", "cl", "fl", "gl",
+       "pl", "qu", "h"},
+      {14, 6, 8, 6, 4, 4, 2, 6, 7, 6, 7, 7, 9, 7, 3, 2, 2, 2, 1, 1,
+       1,  1, 1, 1, 2, 2, 1, 1, 1, 1, 1, 2, 2}};
+  return inv;
+}
+
+const WeightedInventory& Nuclei() {
+  static const WeightedInventory inv{
+      {"a", "e", "i", "o", "u", "ia", "ie", "io", "ue", "ua", "ei", "au"},
+      {22, 20, 9, 16, 6, 2, 3, 2, 3, 1, 1, 1}};
+  return inv;
+}
+
+const WeightedInventory& Codas() {
+  static const WeightedInventory inv{{"", "n", "s", "r", "l", "d", "z", "x"},
+                                     {55, 12, 12, 8, 6, 3, 3, 1}};
+  return inv;
+}
+
+const std::vector<std::string>& Suffixes() {
+  static const std::vector<std::string> suffixes{
+      "s",    "es",   "ar",   "er",    "ir",   "ado", "ido",  "ando",
+      "cion", "dad",  "mente", "oso",  "osa",  "ito", "ita",  "illo",
+      "illa", "azo",  "ismo", "ista",  "able", "ible"};
+  return suffixes;
+}
+
+std::string Pick(Rng& rng, const WeightedInventory& inv) {
+  return inv.items[rng.Weighted(inv.weights)];
+}
+
+std::string MakeSyllable(Rng& rng) {
+  return Pick(rng, Onsets()) + Pick(rng, Nuclei()) + Pick(rng, Codas());
+}
+
+std::string MakeStem(Rng& rng, std::size_t min_syllables,
+                     std::size_t max_syllables) {
+  // Favour 2-3 syllables, like a natural lexicon.
+  std::vector<double> weights;
+  for (std::size_t s = min_syllables; s <= max_syllables; ++s) {
+    weights.push_back(s == 2 || s == 3 ? 4.0 : 1.0);
+  }
+  std::size_t syllables = min_syllables + rng.Weighted(weights);
+  std::string stem;
+  for (std::size_t s = 0; s < syllables; ++s) stem += MakeSyllable(rng);
+  return stem;
+}
+
+}  // namespace
+
+Dataset GenerateDictionary(const DictionaryOptions& options) {
+  if (options.min_syllables == 0 ||
+      options.min_syllables > options.max_syllables) {
+    throw std::invalid_argument("GenerateDictionary: bad syllable bounds");
+  }
+  Rng rng(options.seed);
+  Dataset ds;
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> stems;
+
+  // A generous retry budget: duplicates become more common as the lexicon
+  // fills, but the syllable space is vastly larger than any requested size.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = options.word_count * 200 + 1000;
+  while (ds.size() < options.word_count && attempts < max_attempts) {
+    ++attempts;
+    std::string stem;
+    if (!stems.empty() && rng.Chance(options.family_probability)) {
+      stem = stems[rng.Index(stems.size())];
+    } else {
+      stem = MakeStem(rng, options.min_syllables, options.max_syllables);
+      stems.push_back(stem);
+    }
+    std::string word = stem;
+    if (rng.Chance(options.suffix_probability)) {
+      const auto& suffixes = Suffixes();
+      word += suffixes[rng.Index(suffixes.size())];
+    }
+    if (seen.insert(word).second) ds.Add(std::move(word));
+  }
+  if (ds.size() < options.word_count) {
+    throw std::runtime_error("GenerateDictionary: could not reach word_count");
+  }
+  return ds;
+}
+
+}  // namespace cned

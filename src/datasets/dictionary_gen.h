@@ -1,0 +1,36 @@
+#ifndef CNED_DATASETS_DICTIONARY_GEN_H_
+#define CNED_DATASETS_DICTIONARY_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "datasets/dataset.h"
+
+namespace cned {
+
+/// Synthetic stand-in for the SISAP Spanish dictionary (86,062 words).
+///
+/// Words are built from a Spanish-flavoured syllable model (weighted
+/// onset / nucleus / coda inventories, 1-5 syllables) and a family of common
+/// suffixes ("s", "es", "cion", "mente", ...), then deduplicated. This
+/// preserves the properties the paper's experiments depend on: short strings
+/// (~3-15 symbols), a ~26-symbol alphabet, and heavy clustering through
+/// shared stems and inflections. Deterministic per seed.
+struct DictionaryOptions {
+  std::size_t word_count = 10000;
+  std::uint64_t seed = 1;
+  std::size_t min_syllables = 1;
+  std::size_t max_syllables = 5;
+  /// Probability of appending an inflection suffix.
+  double suffix_probability = 0.35;
+  /// Probability that a new word reuses the stem of a previous word
+  /// (creates the inflection families a real dictionary has).
+  double family_probability = 0.30;
+};
+
+/// Generates the dictionary. Unlabelled.
+Dataset GenerateDictionary(const DictionaryOptions& options);
+
+}  // namespace cned
+
+#endif  // CNED_DATASETS_DICTIONARY_GEN_H_

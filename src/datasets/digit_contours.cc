@@ -1,0 +1,296 @@
+#include "datasets/digit_contours.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cned {
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+using Polyline = std::vector<Point>;
+
+// Stroke templates in the unit square, y growing downward (0 = top).
+const std::vector<std::vector<Polyline>>& DigitTemplates() {
+  static const std::vector<std::vector<Polyline>> templates = {
+      // 0: closed oval
+      {{{0.50, 0.06}, {0.78, 0.18}, {0.88, 0.50}, {0.78, 0.82},
+        {0.50, 0.94}, {0.22, 0.82}, {0.12, 0.50}, {0.22, 0.18},
+        {0.50, 0.06}}},
+      // 1: flag + vertical stroke
+      {{{0.30, 0.26}, {0.55, 0.06}}, {{0.55, 0.06}, {0.55, 0.94}}},
+      // 2: top arc, diagonal, base bar
+      {{{0.15, 0.26}, {0.28, 0.10}, {0.55, 0.05}, {0.80, 0.16},
+        {0.84, 0.36}, {0.62, 0.58}, {0.34, 0.76}, {0.15, 0.94}},
+       {{0.15, 0.94}, {0.86, 0.94}}},
+      // 3: two right-facing bumps
+      {{{0.18, 0.12}, {0.50, 0.05}, {0.78, 0.16}, {0.74, 0.38},
+        {0.48, 0.48}},
+       {{0.48, 0.48}, {0.80, 0.58}, {0.82, 0.80}, {0.52, 0.95},
+        {0.18, 0.86}}},
+      // 4: vertical, diagonal, crossbar
+      {{{0.68, 0.94}, {0.68, 0.06}},
+       {{0.68, 0.06}, {0.16, 0.62}},
+       {{0.16, 0.62}, {0.88, 0.62}}},
+      // 5: top bar, descender, bowl
+      {{{0.80, 0.06}, {0.22, 0.06}},
+       {{0.22, 0.06}, {0.20, 0.44}},
+       {{0.20, 0.44}, {0.56, 0.38}, {0.82, 0.52}, {0.84, 0.74},
+        {0.58, 0.94}, {0.20, 0.88}}},
+      // 6: sweeping stroke with lower loop
+      {{{0.70, 0.06}, {0.40, 0.22}, {0.22, 0.50}, {0.20, 0.76},
+        {0.42, 0.94}, {0.68, 0.88}, {0.80, 0.68}, {0.62, 0.52},
+        {0.34, 0.58}, {0.22, 0.72}}},
+      // 7: top bar + diagonal
+      {{{0.14, 0.06}, {0.86, 0.06}}, {{0.86, 0.06}, {0.42, 0.94}}},
+      // 8: two stacked loops
+      {{{0.50, 0.06}, {0.74, 0.15}, {0.74, 0.34}, {0.50, 0.46},
+        {0.26, 0.34}, {0.26, 0.15}, {0.50, 0.06}},
+       {{0.50, 0.46}, {0.79, 0.58}, {0.79, 0.82}, {0.50, 0.94},
+        {0.21, 0.82}, {0.21, 0.58}, {0.50, 0.46}}},
+      // 9: mirrored 6 — upper loop with tail
+      {{{0.78, 0.50}, {0.66, 0.42}, {0.38, 0.40}, {0.22, 0.28},
+        {0.26, 0.12}, {0.52, 0.05}, {0.76, 0.14}, {0.80, 0.38},
+        {0.72, 0.66}, {0.52, 0.94}}},
+  };
+  return templates;
+}
+
+class Bitmap {
+ public:
+  Bitmap(std::size_t w, std::size_t h) : w_(w), h_(h), px_(w * h, 0) {}
+
+  void Set(std::ptrdiff_t x, std::ptrdiff_t y) {
+    if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(w_) ||
+        y >= static_cast<std::ptrdiff_t>(h_)) {
+      return;
+    }
+    px_[static_cast<std::size_t>(y) * w_ + static_cast<std::size_t>(x)] = 1;
+  }
+
+  /// Draws a thick segment by stamping a disc along the line.
+  void DrawSegment(Point a, Point b, double radius) {
+    double dx = b.x - a.x, dy = b.y - a.y;
+    double len = std::hypot(dx, dy);
+    int steps = std::max(2, static_cast<int>(len * 2.0) + 1);
+    int r = std::max(0, static_cast<int>(std::lround(radius)));
+    for (int s = 0; s <= steps; ++s) {
+      double t = static_cast<double>(s) / steps;
+      auto cx = static_cast<std::ptrdiff_t>(std::lround(a.x + t * dx));
+      auto cy = static_cast<std::ptrdiff_t>(std::lround(a.y + t * dy));
+      for (int oy = -r; oy <= r; ++oy) {
+        for (int ox = -r; ox <= r; ++ox) {
+          if (ox * ox + oy * oy <= r * r) Set(cx + ox, cy + oy);
+        }
+      }
+    }
+  }
+
+  const std::vector<std::uint8_t>& pixels() const { return px_; }
+  std::size_t width() const { return w_; }
+  std::size_t height() const { return h_; }
+
+ private:
+  std::size_t w_, h_;
+  std::vector<std::uint8_t> px_;
+};
+
+// Keeps only the largest 8-connected foreground component.
+std::vector<std::uint8_t> LargestComponent(const std::vector<std::uint8_t>& px,
+                                           std::size_t w, std::size_t h) {
+  std::vector<std::int32_t> comp(px.size(), -1);
+  std::int32_t next_id = 0;
+  std::size_t best_size = 0;
+  std::int32_t best_id = -1;
+  std::deque<std::size_t> queue;
+  for (std::size_t start = 0; start < px.size(); ++start) {
+    if (!px[start] || comp[start] >= 0) continue;
+    std::size_t size = 0;
+    comp[start] = next_id;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      std::size_t cur = queue.front();
+      queue.pop_front();
+      ++size;
+      auto cx = static_cast<std::ptrdiff_t>(cur % w);
+      auto cy = static_cast<std::ptrdiff_t>(cur / w);
+      for (int oy = -1; oy <= 1; ++oy) {
+        for (int ox = -1; ox <= 1; ++ox) {
+          if (ox == 0 && oy == 0) continue;
+          std::ptrdiff_t nx = cx + ox, ny = cy + oy;
+          if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(w) ||
+              ny >= static_cast<std::ptrdiff_t>(h)) {
+            continue;
+          }
+          auto ni = static_cast<std::size_t>(ny) * w +
+                    static_cast<std::size_t>(nx);
+          if (px[ni] && comp[ni] < 0) {
+            comp[ni] = next_id;
+            queue.push_back(ni);
+          }
+        }
+      }
+    }
+    if (size > best_size) {
+      best_size = size;
+      best_id = next_id;
+    }
+    ++next_id;
+  }
+  std::vector<std::uint8_t> out(px.size(), 0);
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    if (px[i] && comp[i] == best_id) out[i] = 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceChainCode(const std::vector<std::uint8_t>& bitmap,
+                           std::size_t width, std::size_t height) {
+  if (bitmap.size() != width * height) {
+    throw std::invalid_argument("TraceChainCode: bitmap size mismatch");
+  }
+  std::vector<std::uint8_t> px = LargestComponent(bitmap, width, height);
+
+  // Freeman directions, y growing downward: 0=E, 1=NE, 2=N, 3=NW, 4=W,
+  // 5=SW, 6=S, 7=SE.
+  static constexpr int kDx[8] = {1, 1, 0, -1, -1, -1, 0, 1};
+  static constexpr int kDy[8] = {0, -1, -1, -1, 0, 1, 1, 1};
+
+  // Start pixel: topmost-leftmost foreground pixel.
+  std::ptrdiff_t sx = -1, sy = -1;
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    if (px[i]) {
+      sx = static_cast<std::ptrdiff_t>(i % width);
+      sy = static_cast<std::ptrdiff_t>(i / width);
+      break;
+    }
+  }
+  if (sx < 0) return "";
+
+  auto at = [&](std::ptrdiff_t x, std::ptrdiff_t y) -> bool {
+    if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(width) ||
+        y >= static_cast<std::ptrdiff_t>(height)) {
+      return false;
+    }
+    return px[static_cast<std::size_t>(y) * width +
+              static_cast<std::size_t>(x)] != 0;
+  };
+
+  // Direction index of a unit neighbour offset (dx+1, dy+1), -1 for centre.
+  static constexpr int kDirOf[3][3] = {
+      // dy = -1      0       +1   (rows), dx = -1..+1 (cols)
+      {3, 2, 1},  // dy = -1: NW N NE
+      {4, -1, 0}, // dy =  0: W  .  E
+      {5, 6, 7},  // dy = +1: SW S SE
+  };
+
+  // Moore-neighbour tracing with Jacob's stopping criterion. We came into
+  // the start pixel "from the west" (the pixel to its left is background by
+  // construction). The scan examines the 8 neighbours clockwise (decreasing
+  // Freeman index in screen coordinates) starting just after the backtrack
+  // point — the last background pixel examined, carried as a coordinate.
+  std::string code;
+  std::ptrdiff_t cx = sx, cy = sy;
+  int backtrack = 4;  // direction from the current pixel to the backtrack
+  const std::size_t max_steps = 4 * width * height + 8;
+  int first_move = -1;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    int found = -1;
+    for (int t = 1; t <= 8; ++t) {
+      int dir = (backtrack - t + 16) % 8;
+      if (at(cx + kDx[dir], cy + kDy[dir])) {
+        found = dir;
+        break;
+      }
+    }
+    if (found < 0) return "";  // isolated pixel: no boundary to follow
+    if (cx == sx && cy == sy && first_move >= 0 && found == first_move) {
+      break;  // closed the loop entering with the same move as the start
+    }
+    if (first_move < 0) first_move = found;
+    code.push_back(static_cast<char>('0' + found));
+    // The neighbour examined just before `found` — direction (found+1)%8 —
+    // is background; it becomes the backtrack point of the next pixel.
+    // Consecutive ring positions are 8-adjacent, so the offset from the new
+    // pixel to that point is a unit step; translate it back to a direction.
+    const int prev_dir = (found + 1) % 8;
+    const std::ptrdiff_t bx = cx + kDx[prev_dir], by = cy + kDy[prev_dir];
+    cx += kDx[found];
+    cy += kDy[found];
+    backtrack = kDirOf[by - cy + 1][bx - cx + 1];
+  }
+  return code;
+}
+
+std::string RenderDigitChainCode(int digit, std::uint64_t seed,
+                                 const DigitContourOptions& options) {
+  if (digit < 0 || digit > 9) {
+    throw std::invalid_argument("RenderDigitChainCode: digit out of range");
+  }
+  Rng rng(seed);
+  const double d = options.distortion;
+  const auto w = static_cast<double>(options.width);
+  const auto h = static_cast<double>(options.height);
+
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    // Random affine distortion: scale, rotation, shear, translation. The
+    // paper's NIST digits are not size- or orientation-normalised, so both
+    // vary widely from scribe to scribe.
+    double scale = 0.40 + (0.20 + d * 0.35) * rng.Uniform();
+    double sx_scale = scale * (1.0 + d * 0.45 * (rng.Uniform() - 0.5));
+    double sy_scale = scale * (1.0 + d * 0.35 * (rng.Uniform() - 0.5));
+    double angle = d * 0.9 * (rng.Uniform() - 0.5);  // up to ~±26 degrees
+    double shear = d * 0.6 * (rng.Uniform() - 0.5);
+    double ca = std::cos(angle), sa = std::sin(angle);
+    double tx = w * (0.5 + d * 0.15 * (rng.Uniform() - 0.5));
+    double ty = h * (0.5 + d * 0.10 * (rng.Uniform() - 0.5));
+    double thickness = 1.0 + (d > 0 ? rng.Index(2) : 0);
+
+    Bitmap bmp(options.width, options.height);
+    for (const Polyline& stroke : DigitTemplates()[static_cast<std::size_t>(digit)]) {
+      Polyline warped;
+      warped.reserve(stroke.size());
+      for (const Point& p : stroke) {
+        // Centre, jitter, shear, rotate, scale, translate.
+        double px = p.x - 0.5 + d * 0.05 * rng.Gaussian(0.0, 1.0);
+        double py = p.y - 0.5 + d * 0.05 * rng.Gaussian(0.0, 1.0);
+        px += shear * py;
+        double rx = ca * px - sa * py;
+        double ry = sa * px + ca * py;
+        warped.push_back(
+            {tx + rx * sx_scale * w * 0.92, ty + ry * sy_scale * h * 0.92});
+      }
+      for (std::size_t i = 1; i < warped.size(); ++i) {
+        bmp.DrawSegment(warped[i - 1], warped[i], thickness);
+      }
+    }
+    std::string code =
+        TraceChainCode(bmp.pixels(), options.width, options.height);
+    if (code.size() >= 24) return code;  // reject degenerate renders
+  }
+  throw std::runtime_error("RenderDigitChainCode: degenerate render");
+}
+
+Dataset GenerateDigitContours(const DigitContourOptions& options) {
+  if (options.per_class == 0) {
+    throw std::invalid_argument("GenerateDigitContours: per_class == 0");
+  }
+  Rng master(options.seed);
+  Dataset ds;
+  for (std::size_t i = 0; i < options.per_class; ++i) {
+    for (int digit = 0; digit <= 9; ++digit) {
+      ds.Add(RenderDigitChainCode(digit, master.engine()(), options), digit);
+    }
+  }
+  return ds;
+}
+
+}  // namespace cned

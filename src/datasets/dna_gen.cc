@@ -1,0 +1,72 @@
+#include "datasets/dna_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "strings/alphabet.h"
+
+namespace cned {
+namespace {
+
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+std::string RandomSequence(Rng& rng, std::size_t length) {
+  std::string s;
+  s.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) s.push_back(kBases[rng.Index(4)]);
+  return s;
+}
+
+std::string Mutate(Rng& rng, const std::string& ancestor, double mutation_rate,
+                   double indel_rate) {
+  std::string out;
+  out.reserve(ancestor.size() + 8);
+  for (char c : ancestor) {
+    double r = rng.Uniform();
+    if (r < indel_rate / 2.0) {
+      continue;  // deletion
+    }
+    if (r < indel_rate) {
+      out.push_back(kBases[rng.Index(4)]);  // insertion before c
+    }
+    if (rng.Chance(mutation_rate)) {
+      out.push_back(kBases[rng.Index(4)]);  // substitution (may be silent)
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (out.empty()) out.push_back(kBases[rng.Index(4)]);
+  return out;
+}
+
+}  // namespace
+
+Dataset GenerateDnaGenes(const DnaOptions& options) {
+  if (options.family_count == 0 || options.sequence_count == 0) {
+    throw std::invalid_argument("GenerateDnaGenes: zero counts");
+  }
+  Rng rng(options.seed);
+  Dataset ds;
+
+  std::vector<std::string> ancestors;
+  ancestors.reserve(options.family_count);
+  for (std::size_t f = 0; f < options.family_count; ++f) {
+    double log_len =
+        rng.Gaussian(std::log(options.median_length), options.log_sigma);
+    auto len = static_cast<std::size_t>(std::lround(std::exp(log_len)));
+    len = std::clamp(len, options.min_length, options.max_length);
+    ancestors.push_back(RandomSequence(rng, len));
+  }
+
+  for (std::size_t i = 0; i < options.sequence_count; ++i) {
+    std::size_t f = i % options.family_count;
+    ds.Add(Mutate(rng, ancestors[f], options.mutation_rate, options.indel_rate),
+           static_cast<int>(f));
+  }
+  return ds;
+}
+
+}  // namespace cned

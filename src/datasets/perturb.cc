@@ -1,0 +1,47 @@
+#include "datasets/perturb.h"
+
+#include <stdexcept>
+
+namespace cned {
+
+std::string PerturbString(std::string_view s, std::size_t operations,
+                          const Alphabet& alphabet, Rng& rng) {
+  std::string w(s);
+  for (std::size_t op = 0; op < operations; ++op) {
+    int kind = w.empty() ? 0 : static_cast<int>(rng.Index(3));
+    switch (kind) {
+      case 0: {  // insertion
+        std::size_t pos = rng.Index(w.size() + 1);
+        w.insert(w.begin() + static_cast<std::ptrdiff_t>(pos),
+                 alphabet.symbol(rng.Index(alphabet.size())));
+        break;
+      }
+      case 1: {  // deletion
+        std::size_t pos = rng.Index(w.size());
+        w.erase(w.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+      }
+      default: {  // substitution
+        std::size_t pos = rng.Index(w.size());
+        w[pos] = alphabet.symbol(rng.Index(alphabet.size()));
+        break;
+      }
+    }
+  }
+  return w;
+}
+
+std::vector<std::string> MakeQueries(const std::vector<std::string>& base,
+                                     std::size_t count, std::size_t operations,
+                                     const Alphabet& alphabet, Rng& rng) {
+  if (base.empty()) throw std::invalid_argument("MakeQueries: empty base");
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(
+        PerturbString(base[rng.Index(base.size())], operations, alphabet, rng));
+  }
+  return out;
+}
+
+}  // namespace cned

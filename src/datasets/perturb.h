@@ -1,0 +1,29 @@
+#ifndef CNED_DATASETS_PERTURB_H_
+#define CNED_DATASETS_PERTURB_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "strings/alphabet.h"
+
+namespace cned {
+
+/// Applies `operations` random single-symbol edits (insertion, deletion or
+/// substitution, uniformly) to `s`, the analogue of the SISAP `genqueries`
+/// tool the paper uses to derive dictionary queries ("a perturbation of two
+/// operations over the training dataset", §4.3).
+std::string PerturbString(std::string_view s, std::size_t operations,
+                          const Alphabet& alphabet, Rng& rng);
+
+/// Draws `count` strings from `base` (with replacement) and perturbs each
+/// with `operations` random edits.
+std::vector<std::string> MakeQueries(const std::vector<std::string>& base,
+                                     std::size_t count, std::size_t operations,
+                                     const Alphabet& alphabet, Rng& rng);
+
+}  // namespace cned
+
+#endif  // CNED_DATASETS_PERTURB_H_

@@ -1,0 +1,39 @@
+#ifndef CNED_DISTANCES_DISTANCE_H_
+#define CNED_DISTANCES_DISTANCE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace cned {
+
+/// Abstract string distance (or dissimilarity) function.
+///
+/// Every distance in the paper — the Levenshtein distance, the naive
+/// normalisations, Marzal-Vidal, Yujian-Bo and the contextual distance —
+/// implements this interface so the search structures, histogram tools and
+/// experiment harnesses are generic over the distance used.
+///
+/// Implementations must be deterministic and symmetric in value (even the
+/// ones that are not metrics satisfy d(x,y) == d(y,x)); `is_metric()`
+/// reports whether the triangle inequality is guaranteed, which LAESA/AESA
+/// require for exactness.
+class StringDistance {
+ public:
+  virtual ~StringDistance() = default;
+
+  /// The distance between `x` and `y`.
+  virtual double Distance(std::string_view x, std::string_view y) const = 0;
+
+  /// Short identifier as used in the paper, e.g. "dE", "dC,h", "dYB".
+  virtual std::string name() const = 0;
+
+  /// True when the distance provably satisfies the metric axioms.
+  virtual bool is_metric() const = 0;
+};
+
+using StringDistancePtr = std::shared_ptr<const StringDistance>;
+
+}  // namespace cned
+
+#endif  // CNED_DISTANCES_DISTANCE_H_

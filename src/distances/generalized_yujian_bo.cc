@@ -1,0 +1,27 @@
+#include "distances/generalized_yujian_bo.h"
+
+#include <stdexcept>
+
+namespace cned {
+
+double GeneralizedYujianBoDistance(std::string_view x, std::string_view y,
+                                   const EditCosts& costs, double alpha) {
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("GeneralizedYujianBoDistance: alpha must be > 0");
+  }
+  if (x.empty() && y.empty()) return 0.0;
+  double gld = WeightedLevenshtein(x, y, costs);
+  return 2.0 * gld /
+         (alpha * static_cast<double>(x.size() + y.size()) + gld);
+}
+
+GeneralizedYujianBoMetric::GeneralizedYujianBoMetric(
+    std::shared_ptr<const EditCosts> costs, double alpha,
+    bool costs_are_metric)
+    : costs_(std::move(costs)), alpha_(alpha), metric_(costs_are_metric) {
+  if (alpha_ <= 0.0) {
+    throw std::invalid_argument("GeneralizedYujianBoMetric: alpha must be > 0");
+  }
+}
+
+}  // namespace cned

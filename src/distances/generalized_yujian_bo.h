@@ -1,0 +1,54 @@
+#ifndef CNED_DISTANCES_GENERALIZED_YUJIAN_BO_H_
+#define CNED_DISTANCES_GENERALIZED_YUJIAN_BO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "distances/distance.h"
+#include "distances/weighted_levenshtein.h"
+
+namespace cned {
+
+/// Yujian & Bo's *generalised* normalised metric (TPAMI 2007, the extension
+/// the paper's §2.2 credits them with):
+///
+///   d_gYB(x,y) = 2·GLD(x,y) / ( alpha·(|x|+|y|) + GLD(x,y) )
+///
+/// where GLD is the generalised (weighted) Levenshtein distance and `alpha`
+/// must be an upper bound on every insertion/deletion weight. Yujian & Bo
+/// prove d_gYB is a metric whenever the underlying weight function is one;
+/// with unit costs and alpha = 1 it reduces exactly to the paper's d_YB.
+///
+/// Implemented because the paper contrasts the contextual distance against
+/// exactly this capability ("Yujian and Bo's method ... extends to the case
+/// where the distance is generalised"), which the naive contextual
+/// generalisation lacks (§5; see NaiveGeneralizedContextualDistance).
+double GeneralizedYujianBoDistance(std::string_view x, std::string_view y,
+                                   const EditCosts& costs, double alpha);
+
+/// `StringDistance` adapter. The caller asserts (via `is_metric`) that the
+/// supplied cost model is itself a metric and `alpha` dominates the indel
+/// weights; metricity is then guaranteed by Yujian & Bo's theorem.
+class GeneralizedYujianBoMetric final : public StringDistance {
+ public:
+  GeneralizedYujianBoMetric(std::shared_ptr<const EditCosts> costs,
+                            double alpha, bool costs_are_metric);
+
+  double Distance(std::string_view x, std::string_view y) const override {
+    return GeneralizedYujianBoDistance(x, y, *costs_, alpha_);
+  }
+  std::string name() const override { return "dgYB"; }
+  bool is_metric() const override { return metric_; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  std::shared_ptr<const EditCosts> costs_;
+  double alpha_;
+  bool metric_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_DISTANCES_GENERALIZED_YUJIAN_BO_H_

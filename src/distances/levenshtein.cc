@@ -1,0 +1,74 @@
+#include "distances/levenshtein.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cned {
+
+std::size_t LevenshteinDistance(std::string_view x, std::string_view y) {
+  // Keep the shorter string on the column axis for O(min) space.
+  if (x.size() < y.size()) std::swap(x, y);
+  const std::size_t m = x.size(), n = y.size();
+  if (n == 0) return m;
+
+  std::vector<std::size_t> row(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= n; ++j) {
+      std::size_t sub = diag + (x[i - 1] == y[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({sub, row[j] + 1, row[j - 1] + 1});
+    }
+  }
+  return row[n];
+}
+
+std::size_t BoundedLevenshtein(std::string_view x, std::string_view y,
+                               std::size_t bound) {
+  if (x.size() < y.size()) std::swap(x, y);
+  const std::size_t m = x.size(), n = y.size();
+  if (m - n > bound) return bound + 1;
+  if (n == 0) return m;
+
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 2;
+  std::vector<std::size_t> row(n + 1, kInf);
+  for (std::size_t j = 0; j <= std::min(n, bound); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= m; ++i) {
+    // Only cells with |i - j| <= bound can hold values <= bound.
+    std::size_t lo = i > bound ? i - bound : 1;
+    std::size_t hi = std::min(n, i + bound);
+    std::size_t diag = row[lo - 1];
+    row[lo - 1] = (lo == 1) ? i : kInf;
+    std::size_t row_min = row[lo - 1];
+    for (std::size_t j = lo; j <= hi; ++j) {
+      std::size_t sub = diag + (x[i - 1] == y[j - 1] ? 0 : 1);
+      diag = row[j];
+      std::size_t up = (j <= i + bound - 1) ? row[j] : kInf;
+      row[j] = std::min({sub, up + 1, row[j - 1] + 1});
+      row_min = std::min(row_min, row[j]);
+    }
+    if (hi < n) row[hi + 1] = kInf;
+    if (row_min > bound) return bound + 1;
+  }
+  return row[n] > bound ? bound + 1 : row[n];
+}
+
+std::vector<std::vector<std::size_t>> LevenshteinMatrix(std::string_view x,
+                                                        std::string_view y) {
+  const std::size_t m = x.size(), n = y.size();
+  std::vector<std::vector<std::size_t>> d(m + 1,
+                                          std::vector<std::size_t>(n + 1, 0));
+  for (std::size_t i = 0; i <= m; ++i) d[i][0] = i;
+  for (std::size_t j = 0; j <= n; ++j) d[0][j] = j;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      std::size_t sub = d[i - 1][j - 1] + (x[i - 1] == y[j - 1] ? 0 : 1);
+      d[i][j] = std::min({sub, d[i - 1][j] + 1, d[i][j - 1] + 1});
+    }
+  }
+  return d;
+}
+
+}  // namespace cned

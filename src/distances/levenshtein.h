@@ -1,0 +1,43 @@
+#ifndef CNED_DISTANCES_LEVENSHTEIN_H_
+#define CNED_DISTANCES_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "distances/distance.h"
+
+namespace cned {
+
+/// Unit-cost Levenshtein (edit) distance d_E.
+///
+/// The minimum number of single-symbol insertions, deletions and
+/// substitutions turning `x` into `y` (Wagner & Fischer 1974). O(|x|·|y|)
+/// time, O(min(|x|,|y|)) space.
+std::size_t LevenshteinDistance(std::string_view x, std::string_view y);
+
+/// Banded variant: returns the exact distance if it is <= `bound`, otherwise
+/// any value > `bound` (early exit). Useful for heavy NN workloads.
+std::size_t BoundedLevenshtein(std::string_view x, std::string_view y,
+                               std::size_t bound);
+
+/// The full DP matrix D[i][j] = d_E(x[0..i), y[0..j)), rows |x|+1 by |y|+1.
+/// Exposed because the Marzal-Vidal and contextual computations, tests and
+/// teaching examples need the intermediate values.
+std::vector<std::vector<std::size_t>> LevenshteinMatrix(std::string_view x,
+                                                        std::string_view y);
+
+/// `StringDistance` adapter for d_E.
+class EditDistance final : public StringDistance {
+ public:
+  double Distance(std::string_view x, std::string_view y) const override {
+    return static_cast<double>(LevenshteinDistance(x, y));
+  }
+  std::string name() const override { return "dE"; }
+  bool is_metric() const override { return true; }
+};
+
+}  // namespace cned
+
+#endif  // CNED_DISTANCES_LEVENSHTEIN_H_

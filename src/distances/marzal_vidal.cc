@@ -1,0 +1,69 @@
+#include "distances/marzal_vidal.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace cned {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// DP over exact path length L: w[L][i][j] = cheapest weight of an editing
+// path of exactly L elementary operations (matches included) aligning the
+// i-prefix of x with the j-prefix of y. Two (i,j) planes suffice because
+// every operation increases L by one.
+double Solve(std::string_view x, std::string_view y, const EditCosts& costs) {
+  const std::size_t m = x.size(), n = y.size();
+  if (m == 0 && n == 0) return 0.0;
+
+  const std::size_t width = n + 1;
+  std::vector<double> prev((m + 1) * width, kInf);
+  std::vector<double> cur((m + 1) * width, kInf);
+  auto at = [width](std::vector<double>& v, std::size_t i,
+                    std::size_t j) -> double& { return v[i * width + j]; };
+
+  at(prev, 0, 0) = 0.0;  // L = 0
+  double best_ratio = kInf;
+  const std::size_t max_len = m + n;
+  for (std::size_t len = 1; len <= max_len; ++len) {
+    for (std::size_t i = 0; i <= m; ++i) {
+      for (std::size_t j = 0; j <= n; ++j) {
+        // Cells reachable with exactly `len` ops satisfy
+        // max(i,j) <= len <= i+j; skip the rest cheaply.
+        if (len > i + j || len < std::max(i, j)) {
+          at(cur, i, j) = kInf;
+          continue;
+        }
+        double best = kInf;
+        if (i > 0 && j > 0) {
+          double w = at(prev, i - 1, j - 1) + costs.Sub(x[i - 1], y[j - 1]);
+          best = std::min(best, w);
+        }
+        if (i > 0) best = std::min(best, at(prev, i - 1, j) + costs.Del(x[i - 1]));
+        if (j > 0) best = std::min(best, at(prev, i, j - 1) + costs.Ins(y[j - 1]));
+        at(cur, i, j) = best;
+      }
+    }
+    double w = at(cur, m, n);
+    if (w < kInf) {
+      best_ratio = std::min(best_ratio, w / static_cast<double>(len));
+    }
+    std::swap(prev, cur);
+  }
+  return best_ratio;
+}
+
+}  // namespace
+
+double MarzalVidalDistance(std::string_view x, std::string_view y) {
+  UnitCosts unit;
+  return Solve(x, y, unit);
+}
+
+double MarzalVidalDistance(std::string_view x, std::string_view y,
+                           const EditCosts& costs) {
+  return Solve(x, y, costs);
+}
+
+}  // namespace cned

@@ -1,0 +1,98 @@
+#include "distances/myers.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cned {
+namespace {
+
+constexpr std::size_t kWord = 64;
+
+// Single-word Myers (pattern length <= 64).
+std::size_t MyersShort(std::string_view pattern, std::string_view text) {
+  const std::size_t m = pattern.size();
+  std::array<std::uint64_t, 256> peq{};
+  for (std::size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(pattern[i])] |= std::uint64_t{1} << i;
+  }
+  const std::uint64_t high = std::uint64_t{1} << (m - 1);
+  std::uint64_t pv = ~std::uint64_t{0};
+  std::uint64_t mv = 0;
+  std::size_t score = m;
+  for (char c : text) {
+    const std::uint64_t eq = peq[static_cast<unsigned char>(c)];
+    const std::uint64_t xv = eq | mv;
+    const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    std::uint64_t ph = mv | ~(xh | pv);
+    std::uint64_t mh = pv & xh;
+    if (ph & high) ++score;
+    if (mh & high) --score;
+    ph = (ph << 1) | 1;  // horizontal carry-in of +1 from the top row
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+// Blocked Myers/Hyyrö for pattern length > 64. One vertical-delta word pair
+// (pv, mv) per block; horizontal deltas are carried across blocks for each
+// text column. The top boundary row contributes carry +1 into block 0.
+std::size_t MyersBlocked(std::string_view pattern, std::string_view text) {
+  const std::size_t m = pattern.size();
+  const std::size_t blocks = (m + kWord - 1) / kWord;
+  std::vector<std::array<std::uint64_t, 256>> peq(
+      blocks, std::array<std::uint64_t, 256>{});
+  for (std::size_t i = 0; i < m; ++i) {
+    peq[i / kWord][static_cast<unsigned char>(pattern[i])] |=
+        std::uint64_t{1} << (i % kWord);
+  }
+  std::vector<std::uint64_t> pv(blocks, ~std::uint64_t{0});
+  std::vector<std::uint64_t> mv(blocks, 0);
+  const std::size_t last_bits = m - (blocks - 1) * kWord;
+  const std::uint64_t last_high = std::uint64_t{1} << (last_bits - 1);
+  std::size_t score = m;
+
+  for (char c : text) {
+    int hin = 1;  // carry from the top boundary row (D[0][j] = j)
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::uint64_t eq = peq[b][static_cast<unsigned char>(c)];
+      const std::uint64_t xv = eq | mv[b];
+      if (hin < 0) eq |= 1;
+      const std::uint64_t xh = (((eq & pv[b]) + pv[b]) ^ pv[b]) | eq;
+      std::uint64_t ph = mv[b] | ~(xh | pv[b]);
+      std::uint64_t mh = pv[b] & xh;
+
+      const std::uint64_t high =
+          (b + 1 == blocks) ? last_high : (std::uint64_t{1} << (kWord - 1));
+      int hout = 0;
+      if (ph & high) hout = 1;
+      if (mh & high) hout = -1;
+
+      ph <<= 1;
+      mh <<= 1;
+      if (hin > 0) ph |= 1;
+      if (hin < 0) mh |= 1;
+
+      pv[b] = mh | ~(xv | ph);
+      mv[b] = ph & xv;
+      hin = hout;
+    }
+    score = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(score) + hin);
+  }
+  return score;
+}
+
+}  // namespace
+
+std::size_t MyersLevenshtein(std::string_view x, std::string_view y) {
+  // Use the shorter string as the pattern (fewer blocks).
+  std::string_view pattern = x, text = y;
+  if (pattern.size() > text.size()) std::swap(pattern, text);
+  if (pattern.empty()) return text.size();
+  if (pattern.size() <= kWord) return MyersShort(pattern, text);
+  return MyersBlocked(pattern, text);
+}
+
+}  // namespace cned

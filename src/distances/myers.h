@@ -1,0 +1,35 @@
+#ifndef CNED_DISTANCES_MYERS_H_
+#define CNED_DISTANCES_MYERS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "distances/distance.h"
+
+namespace cned {
+
+/// Bit-parallel Levenshtein distance (Myers 1999, blocked form of Hyyrö
+/// 2003): processes 64 DP cells per machine word, giving a ~10-30x speedup
+/// over the classic DP for long strings.
+///
+/// This is a production fast path for the heavy workloads of §4.3 (the
+/// normalisations d_sum/d_max/d_min/d_YB only need d_E plus lengths, so all
+/// of them accelerate transparently). Exact — property-tested against the
+/// reference DP.
+std::size_t MyersLevenshtein(std::string_view x, std::string_view y);
+
+/// `StringDistance` adapter using the bit-parallel engine (same values as
+/// `EditDistance`, different constant factor).
+class FastEditDistance final : public StringDistance {
+ public:
+  double Distance(std::string_view x, std::string_view y) const override {
+    return static_cast<double>(MyersLevenshtein(x, y));
+  }
+  std::string name() const override { return "dE(bitparallel)"; }
+  bool is_metric() const override { return true; }
+};
+
+}  // namespace cned
+
+#endif  // CNED_DISTANCES_MYERS_H_

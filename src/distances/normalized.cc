@@ -1,0 +1,34 @@
+#include "distances/normalized.h"
+
+#include <algorithm>
+
+#include "distances/levenshtein.h"
+
+namespace cned {
+
+double DsumDistance(std::string_view x, std::string_view y) {
+  if (x.empty() && y.empty()) return 0.0;
+  return static_cast<double>(LevenshteinDistance(x, y)) /
+         static_cast<double>(x.size() + y.size());
+}
+
+double DmaxDistance(std::string_view x, std::string_view y) {
+  if (x.empty() && y.empty()) return 0.0;
+  return static_cast<double>(LevenshteinDistance(x, y)) /
+         static_cast<double>(std::max(x.size(), y.size()));
+}
+
+double DminDistance(std::string_view x, std::string_view y) {
+  if (x.empty() && y.empty()) return 0.0;
+  std::size_t denom = std::max<std::size_t>(std::min(x.size(), y.size()), 1);
+  return static_cast<double>(LevenshteinDistance(x, y)) /
+         static_cast<double>(denom);
+}
+
+double DybDistance(std::string_view x, std::string_view y) {
+  if (x.empty() && y.empty()) return 0.0;
+  double de = static_cast<double>(LevenshteinDistance(x, y));
+  return 2.0 * de / (static_cast<double>(x.size() + y.size()) + de);
+}
+
+}  // namespace cned

@@ -1,0 +1,70 @@
+#ifndef CNED_DISTANCES_NORMALIZED_H_
+#define CNED_DISTANCES_NORMALIZED_H_
+
+#include <string>
+#include <string_view>
+
+#include "distances/distance.h"
+
+namespace cned {
+
+/// d_sum(x,y) = d_E(x,y) / (|x|+|y|); zero for two empty strings.
+/// NOT a metric — the paper's counterexample (ab, aba, ba) is reproduced in
+/// the tests and the metric-violation bench.
+double DsumDistance(std::string_view x, std::string_view y);
+
+/// d_max(x,y) = d_E(x,y) / max(|x|,|y|); zero for two empty strings.
+/// NOT a metric (same counterexample family). Despite that, it obtains the
+/// best classification rate in the paper's Table 2.
+double DmaxDistance(std::string_view x, std::string_view y);
+
+/// d_min(x,y) = d_E(x,y) / min(|x|,|y|); when one string is empty the paper
+/// leaves it undefined — we return d_E/max(...,1) conventionally so the value
+/// is finite. NOT a metric: counterexample (b, ba, aa).
+double DminDistance(std::string_view x, std::string_view y);
+
+/// Yujian & Bo's normalised metric
+///   d_YB(x,y) = 2 d_E / (|x| + |y| + d_E).
+/// Ranges in [0,1] and is a proven metric.
+double DybDistance(std::string_view x, std::string_view y);
+
+/// `StringDistance` adapters.
+class SumNormalizedDistance final : public StringDistance {
+ public:
+  double Distance(std::string_view x, std::string_view y) const override {
+    return DsumDistance(x, y);
+  }
+  std::string name() const override { return "dsum"; }
+  bool is_metric() const override { return false; }
+};
+
+class MaxNormalizedDistance final : public StringDistance {
+ public:
+  double Distance(std::string_view x, std::string_view y) const override {
+    return DmaxDistance(x, y);
+  }
+  std::string name() const override { return "dmax"; }
+  bool is_metric() const override { return false; }
+};
+
+class MinNormalizedDistance final : public StringDistance {
+ public:
+  double Distance(std::string_view x, std::string_view y) const override {
+    return DminDistance(x, y);
+  }
+  std::string name() const override { return "dmin"; }
+  bool is_metric() const override { return false; }
+};
+
+class YujianBoDistance final : public StringDistance {
+ public:
+  double Distance(std::string_view x, std::string_view y) const override {
+    return DybDistance(x, y);
+  }
+  std::string name() const override { return "dYB"; }
+  bool is_metric() const override { return true; }
+};
+
+}  // namespace cned
+
+#endif  // CNED_DISTANCES_NORMALIZED_H_

@@ -1,0 +1,39 @@
+#include "distances/registry.h"
+
+#include <stdexcept>
+
+#include "core/contextual.h"
+#include "core/contextual_heuristic.h"
+#include "distances/levenshtein.h"
+#include "distances/marzal_vidal.h"
+#include "distances/normalized.h"
+
+namespace cned {
+
+StringDistancePtr MakeDistance(const std::string& name) {
+  if (name == "dE") return std::make_shared<EditDistance>();
+  if (name == "dsum") return std::make_shared<SumNormalizedDistance>();
+  if (name == "dmax") return std::make_shared<MaxNormalizedDistance>();
+  if (name == "dmin") return std::make_shared<MinNormalizedDistance>();
+  if (name == "dYB") return std::make_shared<YujianBoDistance>();
+  if (name == "dMV") return std::make_shared<MarzalVidalNormalizedDistance>();
+  if (name == "dC") return std::make_shared<ContextualEditDistance>();
+  if (name == "dC,h") return std::make_shared<ContextualHeuristicEditDistance>();
+  throw std::invalid_argument("MakeDistance: unknown distance '" + name + "'");
+}
+
+std::vector<std::string> AllDistanceNames() {
+  return {"dE", "dsum", "dmax", "dmin", "dYB", "dMV", "dC", "dC,h"};
+}
+
+std::vector<StringDistancePtr> EvaluationDistances() {
+  return {MakeDistance("dYB"), MakeDistance("dC,h"), MakeDistance("dMV"),
+          MakeDistance("dmax"), MakeDistance("dE")};
+}
+
+std::vector<StringDistancePtr> ClassificationDistances() {
+  return {MakeDistance("dYB"),  MakeDistance("dMV"), MakeDistance("dC"),
+          MakeDistance("dC,h"), MakeDistance("dmax"), MakeDistance("dE")};
+}
+
+}  // namespace cned

@@ -1,0 +1,28 @@
+#ifndef CNED_DISTANCES_REGISTRY_H_
+#define CNED_DISTANCES_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "distances/distance.h"
+
+namespace cned {
+
+/// Creates a distance by its paper name. Known names:
+///   "dE", "dsum", "dmax", "dmin", "dYB", "dMV", "dC", "dC,h".
+/// Throws std::invalid_argument for unknown names.
+StringDistancePtr MakeDistance(const std::string& name);
+
+/// All registered distance names, in the order the paper's tables use.
+std::vector<std::string> AllDistanceNames();
+
+/// The five distances of the paper's evaluation section (Figures 2-4,
+/// Table 1): dYB, dC,h, dMV, dmax, dE.
+std::vector<StringDistancePtr> EvaluationDistances();
+
+/// The six distances of Table 2 (adds exact dC and dC,h).
+std::vector<StringDistancePtr> ClassificationDistances();
+
+}  // namespace cned
+
+#endif  // CNED_DISTANCES_REGISTRY_H_

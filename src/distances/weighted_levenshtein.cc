@@ -1,0 +1,77 @@
+#include "distances/weighted_levenshtein.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cned {
+
+MatrixCosts::MatrixCosts(Alphabet alphabet,
+                         std::vector<std::vector<double>> sub,
+                         std::vector<double> ins, std::vector<double> del,
+                         double fallback)
+    : alphabet_(std::move(alphabet)),
+      sub_(std::move(sub)),
+      ins_(std::move(ins)),
+      del_(std::move(del)),
+      fallback_(fallback) {
+  const std::size_t n = alphabet_.size();
+  if (sub_.size() != n || ins_.size() != n || del_.size() != n) {
+    throw std::invalid_argument("MatrixCosts: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sub_[i].size() != n) {
+      throw std::invalid_argument("MatrixCosts: substitution matrix not square");
+    }
+    if (sub_[i][i] != 0.0) {
+      throw std::invalid_argument("MatrixCosts: diagonal must be zero");
+    }
+  }
+}
+
+MatrixCosts MatrixCosts::Uniform(const Alphabet& alphabet, double s, double i,
+                                 double d) {
+  const std::size_t n = alphabet.size();
+  std::vector<std::vector<double>> sub(n, std::vector<double>(n, s));
+  for (std::size_t k = 0; k < n; ++k) sub[k][k] = 0.0;
+  return MatrixCosts(alphabet, std::move(sub), std::vector<double>(n, i),
+                     std::vector<double>(n, d));
+}
+
+double MatrixCosts::Sub(char a, char b) const {
+  if (a == b) return 0.0;
+  int ia = alphabet_.IndexOf(a), ib = alphabet_.IndexOf(b);
+  if (ia < 0 || ib < 0) return fallback_;
+  return sub_[static_cast<std::size_t>(ia)][static_cast<std::size_t>(ib)];
+}
+
+double MatrixCosts::Ins(char b) const {
+  int ib = alphabet_.IndexOf(b);
+  return ib < 0 ? fallback_ : ins_[static_cast<std::size_t>(ib)];
+}
+
+double MatrixCosts::Del(char a) const {
+  int ia = alphabet_.IndexOf(a);
+  return ia < 0 ? fallback_ : del_[static_cast<std::size_t>(ia)];
+}
+
+double WeightedLevenshtein(std::string_view x, std::string_view y,
+                           const EditCosts& costs) {
+  const std::size_t m = x.size(), n = y.size();
+  std::vector<double> row(n + 1);
+  row[0] = 0.0;
+  for (std::size_t j = 1; j <= n; ++j) row[j] = row[j - 1] + costs.Ins(y[j - 1]);
+  for (std::size_t i = 1; i <= m; ++i) {
+    double diag = row[0];
+    row[0] += costs.Del(x[i - 1]);
+    for (std::size_t j = 1; j <= n; ++j) {
+      double sub = diag + costs.Sub(x[i - 1], y[j - 1]);
+      double del = row[j] + costs.Del(x[i - 1]);
+      double ins = row[j - 1] + costs.Ins(y[j - 1]);
+      diag = row[j];
+      row[j] = std::min({sub, del, ins});
+    }
+  }
+  return row[n];
+}
+
+}  // namespace cned

@@ -1,0 +1,99 @@
+#ifndef CNED_DISTANCES_WEIGHTED_LEVENSHTEIN_H_
+#define CNED_DISTANCES_WEIGHTED_LEVENSHTEIN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "distances/distance.h"
+#include "strings/alphabet.h"
+
+namespace cned {
+
+/// Cost model for the generalised edit distance: per-pair substitution
+/// weights and per-symbol insertion/deletion weights.
+///
+/// Both the Marzal-Vidal and Yujian-Bo normalisations extend to generalised
+/// costs (paper §2.2); the contextual distance does not extend naively
+/// (paper §5), which `NaiveGeneralizedContextual` demonstrates.
+class EditCosts {
+ public:
+  virtual ~EditCosts() = default;
+
+  /// Cost of substituting `a` by `b`. Must be 0 when a == b for the distance
+  /// to satisfy identity.
+  virtual double Sub(char a, char b) const = 0;
+
+  /// Cost of inserting `b`.
+  virtual double Ins(char b) const = 0;
+
+  /// Cost of deleting `a`.
+  virtual double Del(char a) const = 0;
+};
+
+/// Classic unit costs: substitution/insertion/deletion all cost 1.
+class UnitCosts final : public EditCosts {
+ public:
+  double Sub(char a, char b) const override { return a == b ? 0.0 : 1.0; }
+  double Ins(char) const override { return 1.0; }
+  double Del(char) const override { return 1.0; }
+};
+
+/// Table-driven costs over a fixed alphabet.
+///
+/// Substitution weights come from a size x size matrix indexed by alphabet
+/// position; insertion/deletion weights from per-symbol vectors. Symbols
+/// outside the alphabet are charged `fallback`.
+class MatrixCosts final : public EditCosts {
+ public:
+  /// `sub[i][j]` is the cost of substituting symbol i by symbol j;
+  /// `ins[j]`/`del[i]` the indel costs. All diagonals of `sub` must be 0.
+  MatrixCosts(Alphabet alphabet, std::vector<std::vector<double>> sub,
+              std::vector<double> ins, std::vector<double> del,
+              double fallback = 1.0);
+
+  /// Uniform costs: substitution `s`, insertion `i`, deletion `d`.
+  static MatrixCosts Uniform(const Alphabet& alphabet, double s, double i,
+                             double d);
+
+  double Sub(char a, char b) const override;
+  double Ins(char b) const override;
+  double Del(char a) const override;
+
+ private:
+  Alphabet alphabet_;
+  std::vector<std::vector<double>> sub_;
+  std::vector<double> ins_;
+  std::vector<double> del_;
+  double fallback_;
+};
+
+/// Generalised edit distance: minimum total cost of an edit script turning
+/// `x` into `y` under `costs`. O(|x|·|y|) time, O(min) space.
+double WeightedLevenshtein(std::string_view x, std::string_view y,
+                           const EditCosts& costs);
+
+/// `StringDistance` adapter. Metricity depends on the cost model (the caller
+/// asserts it via `is_metric`).
+class WeightedEditDistance final : public StringDistance {
+ public:
+  WeightedEditDistance(std::shared_ptr<const EditCosts> costs,
+                       std::string name, bool is_metric)
+      : costs_(std::move(costs)), name_(std::move(name)), metric_(is_metric) {}
+
+  double Distance(std::string_view x, std::string_view y) const override {
+    return WeightedLevenshtein(x, y, *costs_);
+  }
+  std::string name() const override { return name_; }
+  bool is_metric() const override { return metric_; }
+
+ private:
+  std::shared_ptr<const EditCosts> costs_;
+  std::string name_;
+  bool metric_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_DISTANCES_WEIGHTED_LEVENSHTEIN_H_

@@ -1,0 +1,56 @@
+#include "metric/distance_matrix.h"
+
+#include <stdexcept>
+
+#include "common/parallel.h"
+
+namespace cned {
+
+DistanceMatrix::DistanceMatrix(const std::vector<std::string>& sample,
+                               const StringDistance& dist,
+                               std::size_t threads)
+    : n_(sample.size()) {
+  if (n_ < 2) {
+    throw std::invalid_argument("DistanceMatrix: need at least two strings");
+  }
+  upper_.assign(n_ * (n_ - 1) / 2, 0.0);
+  // One parallel task per row i computes pairs (i, i+1..n-1); rows write to
+  // disjoint slices of the packed triangle.
+  ParallelFor(n_ - 1, [&](std::size_t i) {
+    std::size_t base = PackIndex(i, i + 1);
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      upper_[base + (j - i - 1)] = dist.Distance(sample[i], sample[j]);
+    }
+  }, threads);
+}
+
+std::size_t DistanceMatrix::PackIndex(std::size_t i, std::size_t j) const {
+  // Requires i < j. Row i starts after sum_{r<i} (n-1-r) entries
+  // = i(n-1) - i(i-1)/2.
+  return i * (n_ - 1) - i * (i - 1) / 2 + (j - i - 1);
+}
+
+double DistanceMatrix::At(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) {
+    throw std::out_of_range("DistanceMatrix::At: index out of range");
+  }
+  if (i == j) return 0.0;
+  if (i > j) std::swap(i, j);
+  return upper_[PackIndex(i, j)];
+}
+
+RunningStats DistanceMatrix::PairStats() const {
+  RunningStats stats;
+  for (double d : upper_) stats.Add(d);
+  return stats;
+}
+
+double DistanceMatrix::IntrinsicDimension() const {
+  return IntrinsicDimensionality(PairStats());
+}
+
+void DistanceMatrix::FillHistogram(Histogram& hist) const {
+  for (double d : upper_) hist.Add(d);
+}
+
+}  // namespace cned

@@ -1,0 +1,48 @@
+#ifndef CNED_METRIC_DISTANCE_MATRIX_H_
+#define CNED_METRIC_DISTANCE_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "distances/distance.h"
+#include "metric/histogram.h"
+#include "metric/stats.h"
+
+namespace cned {
+
+/// Symmetric pairwise distance matrix over a string sample, computed in
+/// parallel (the distance objects in this library are stateless and
+/// thread-compatible). Backs the histogram/intrinsic-dimensionality
+/// experiments, where the O(n^2) pair loop dominates.
+class DistanceMatrix {
+ public:
+  /// Computes all n(n-1)/2 pairs of `sample` under `dist` using `threads`
+  /// workers (0 = hardware concurrency).
+  DistanceMatrix(const std::vector<std::string>& sample,
+                 const StringDistance& dist, std::size_t threads = 0);
+
+  std::size_t size() const { return n_; }
+
+  /// d(sample[i], sample[j]); zero on the diagonal.
+  double At(std::size_t i, std::size_t j) const;
+
+  /// Statistics over the strict upper triangle (each unordered pair once).
+  RunningStats PairStats() const;
+
+  /// Intrinsic dimensionality rho = mu^2/(2 sigma^2) of the pair distances.
+  double IntrinsicDimension() const;
+
+  /// Fills `hist` with every pair distance.
+  void FillHistogram(Histogram& hist) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> upper_;  // packed strict upper triangle
+
+  std::size_t PackIndex(std::size_t i, std::size_t j) const;
+};
+
+}  // namespace cned
+
+#endif  // CNED_METRIC_DISTANCE_MATRIX_H_

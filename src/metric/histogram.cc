@@ -1,0 +1,55 @@
+#include "metric/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cned {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: invalid range or bin count");
+  }
+}
+
+void Histogram::Add(double v) {
+  stats_.Add(v);
+  double t = (v - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+}
+
+double Histogram::BinCenter(std::size_t i) const {
+  double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+std::string Histogram::ToSeries() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << BinCenter(i) << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+std::string Histogram::ToAscii(std::size_t max_width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::size_t w =
+        peak == 0 ? 0 : counts_[i] * max_width / peak;
+    os << std::setw(8) << BinCenter(i) << " | " << std::string(w, '#') << ' '
+       << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cned

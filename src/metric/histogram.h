@@ -1,0 +1,48 @@
+#ifndef CNED_METRIC_HISTOGRAM_H_
+#define CNED_METRIC_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "metric/stats.h"
+
+namespace cned {
+
+/// Fixed-range histogram used for the paper's distance-distribution figures
+/// (Figures 1 and 2) and the intrinsic-dimensionality analysis (§4.2).
+class Histogram {
+ public:
+  /// `bins` equal-width bins covering [lo, hi). Values outside the range are
+  /// clamped into the first/last bin so no sample is lost.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double v);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return stats_.count(); }
+
+  /// Center of bin `i`.
+  double BinCenter(std::size_t i) const;
+
+  /// Summary statistics of the raw (unbinned) samples.
+  const RunningStats& stats() const { return stats_; }
+
+  /// Renders "center count" lines, the series format of the paper's figures.
+  std::string ToSeries() const;
+
+  /// Renders a horizontal ASCII bar chart (for the bench harness output).
+  std::string ToAscii(std::size_t max_width = 60) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  RunningStats stats_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_METRIC_HISTOGRAM_H_

@@ -1,0 +1,83 @@
+#include "metric/median_string.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cned {
+
+double TotalDistance(const std::string& candidate,
+                     const std::vector<std::string>& sample,
+                     const StringDistance& dist) {
+  double total = 0.0;
+  for (const auto& s : sample) total += dist.Distance(candidate, s);
+  return total;
+}
+
+std::size_t SetMedianIndex(const std::vector<std::string>& sample,
+                           const StringDistance& dist) {
+  if (sample.empty()) {
+    throw std::invalid_argument("SetMedianIndex: empty sample");
+  }
+  std::size_t best = 0;
+  double best_total = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    double total = TotalDistance(sample[i], sample, dist);
+    if (total < best_total) {
+      best_total = total;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::string ApproximateMedianString(const std::vector<std::string>& sample,
+                                    const StringDistance& dist,
+                                    const Alphabet& alphabet,
+                                    std::size_t max_rounds) {
+  std::string current = sample[SetMedianIndex(sample, dist)];
+  double current_total = TotalDistance(current, sample, dist);
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    std::string best_candidate = current;
+    double best_total = current_total;
+
+    auto consider = [&](std::string&& candidate) {
+      double total = TotalDistance(candidate, sample, dist);
+      if (total < best_total) {
+        best_total = total;
+        best_candidate = std::move(candidate);
+      }
+    };
+
+    for (std::size_t pos = 0; pos <= current.size(); ++pos) {
+      // Insertions at pos.
+      for (std::size_t a = 0; a < alphabet.size(); ++a) {
+        std::string cand = current;
+        cand.insert(cand.begin() + static_cast<std::ptrdiff_t>(pos),
+                    alphabet.symbol(a));
+        consider(std::move(cand));
+      }
+      if (pos == current.size()) break;
+      // Substitutions at pos.
+      for (std::size_t a = 0; a < alphabet.size(); ++a) {
+        if (alphabet.symbol(a) == current[pos]) continue;
+        std::string cand = current;
+        cand[pos] = alphabet.symbol(a);
+        consider(std::move(cand));
+      }
+      // Deletion at pos.
+      if (current.size() > 1) {
+        std::string cand = current;
+        cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(pos));
+        consider(std::move(cand));
+      }
+    }
+
+    if (best_total + 1e-12 >= current_total) break;  // local optimum
+    current = std::move(best_candidate);
+    current_total = best_total;
+  }
+  return current;
+}
+
+}  // namespace cned

@@ -1,0 +1,40 @@
+#ifndef CNED_METRIC_MEDIAN_STRING_H_
+#define CNED_METRIC_MEDIAN_STRING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "distances/distance.h"
+#include "strings/alphabet.h"
+
+namespace cned {
+
+/// Set median: the element of `sample` minimising the sum of distances to
+/// every other element. A standard prototype-condensation primitive in
+/// metric-space pattern recognition (the natural companion of the paper's
+/// classification experiments). Returns the index into `sample`.
+std::size_t SetMedianIndex(const std::vector<std::string>& sample,
+                           const StringDistance& dist);
+
+/// Approximate (generalised) median string: starts from the set median and
+/// greedily applies single-symbol edits (substitution / insertion /
+/// deletion over `alphabet`) while the total distance to `sample`
+/// decreases. `max_rounds` bounds the hill-climbing sweeps.
+///
+/// With d_C this yields a *length-aware* median — long outliers pull the
+/// median less than under d_E, which is the contextual distance's selling
+/// point applied to prototype construction.
+std::string ApproximateMedianString(const std::vector<std::string>& sample,
+                                    const StringDistance& dist,
+                                    const Alphabet& alphabet,
+                                    std::size_t max_rounds = 8);
+
+/// Sum of distances from `candidate` to every element of `sample`.
+double TotalDistance(const std::string& candidate,
+                     const std::vector<std::string>& sample,
+                     const StringDistance& dist);
+
+}  // namespace cned
+
+#endif  // CNED_METRIC_MEDIAN_STRING_H_

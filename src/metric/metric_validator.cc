@@ -1,0 +1,64 @@
+#include "metric/metric_validator.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace cned {
+
+std::optional<TriangleViolation> FindTriangleViolation(
+    const StringDistance& dist, const std::vector<std::string>& sample,
+    double tol) {
+  const std::size_t n = sample.size();
+  // Cache the pairwise matrix: O(n^2) distance calls instead of O(n^3).
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d[i][j] = d[j][i] = dist.Distance(sample[i], sample[j]);
+    }
+  }
+  std::optional<TriangleViolation> worst;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k == i || k == j) continue;
+        double margin = d[i][k] - (d[i][j] + d[j][k]);
+        if (margin > tol && (!worst || margin > worst->margin)) {
+          worst = TriangleViolation{sample[i], sample[j], sample[k],
+                                    d[i][j],   d[j][k],   d[i][k],
+                                    margin};
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+std::string CheckIdentityAndSymmetry(const StringDistance& dist,
+                                     const std::vector<std::string>& sample,
+                                     double tol) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    if (std::abs(dist.Distance(sample[i], sample[i])) > tol) {
+      os << "d(x,x) != 0 for x=\"" << sample[i] << "\"";
+      return os.str();
+    }
+    for (std::size_t j = i + 1; j < sample.size(); ++j) {
+      double dij = dist.Distance(sample[i], sample[j]);
+      double dji = dist.Distance(sample[j], sample[i]);
+      if (std::abs(dij - dji) > tol) {
+        os << "asymmetry for (\"" << sample[i] << "\", \"" << sample[j]
+           << "\"): " << dij << " vs " << dji;
+        return os.str();
+      }
+      if (sample[i] != sample[j] && dij <= tol) {
+        os << "d(x,y) == 0 for distinct x=\"" << sample[i] << "\" y=\""
+           << sample[j] << "\"";
+        return os.str();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace cned

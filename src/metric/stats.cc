@@ -1,0 +1,43 @@
+#include "metric/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cned {
+
+void RunningStats::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double IntrinsicDimensionality(const RunningStats& stats) {
+  double var = stats.variance();
+  if (var <= 0.0) {
+    throw std::invalid_argument("IntrinsicDimensionality: zero variance");
+  }
+  return stats.mean() * stats.mean() / (2.0 * var);
+}
+
+double IntrinsicDimensionality(const std::vector<double>& distances) {
+  RunningStats s;
+  for (double d : distances) s.Add(d);
+  return IntrinsicDimensionality(s);
+}
+
+}  // namespace cned

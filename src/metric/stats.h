@@ -1,0 +1,42 @@
+#ifndef CNED_METRIC_STATS_H_
+#define CNED_METRIC_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cned {
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double v);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance (the intrinsic-dimension formula uses sigma^2 of
+  /// the observed histogram, not the sample-corrected estimate).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Chavez et al.'s intrinsic dimensionality of a metric space,
+/// rho = mu^2 / (2 sigma^2), estimated from a sample of pairwise distances.
+/// Higher rho = more concentrated histogram = harder to search (paper §4.2,
+/// Table 1).
+double IntrinsicDimensionality(const RunningStats& stats);
+
+/// Convenience overload over raw distance samples.
+double IntrinsicDimensionality(const std::vector<double>& distances);
+
+}  // namespace cned
+
+#endif  // CNED_METRIC_STATS_H_

@@ -1,0 +1,71 @@
+#include "search/aesa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cned {
+
+Aesa::Aesa(const std::vector<std::string>& prototypes,
+           StringDistancePtr distance)
+    : prototypes_(&prototypes), distance_(std::move(distance)) {
+  if (prototypes_->empty()) {
+    throw std::invalid_argument("Aesa: empty prototype set");
+  }
+  const std::size_t n = prototypes_->size();
+  matrix_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double d = distance_->Distance((*prototypes_)[i], (*prototypes_)[j]);
+      matrix_[i * n + j] = matrix_[j * n + i] = d;
+      ++preprocessing_computations_;
+    }
+  }
+}
+
+NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
+  const std::size_t n = prototypes_->size();
+  std::vector<double> lower(n, 0.0);
+  std::vector<bool> alive(n, true);
+  std::size_t alive_count = n;
+
+  NeighborResult best{0, std::numeric_limits<double>::infinity()};
+  std::uint64_t computations = 0;
+
+  std::size_t s = 0;
+  while (alive_count > 0) {
+    alive[s] = false;
+    --alive_count;
+
+    double d = distance_->Distance(query, (*prototypes_)[s]);
+    ++computations;
+    if (d < best.distance || (d == best.distance && s < best.index)) {
+      best = {s, d};
+    }
+
+    std::size_t next = n;
+    double next_key = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      double g = std::abs(d - Dist(s, i));
+      if (g > lower[i]) lower[i] = g;
+      if (lower[i] >= best.distance) {
+        alive[i] = false;
+        --alive_count;
+        continue;
+      }
+      if (lower[i] < next_key) {
+        next_key = lower[i];
+        next = i;
+      }
+    }
+    if (next == n) break;
+    s = next;
+  }
+
+  if (stats != nullptr) stats->distance_computations += computations;
+  return best;
+}
+
+}  // namespace cned

@@ -1,0 +1,55 @@
+#ifndef CNED_SEARCH_AESA_H_
+#define CNED_SEARCH_AESA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "distances/distance.h"
+#include "search/nn_searcher.h"
+
+namespace cned {
+
+/// AESA — Approximating and Eliminating Search Algorithm (Vidal 1986).
+///
+/// Stores the full N x N prototype distance matrix, so *every* computed
+/// query-prototype distance tightens the lower bound of every surviving
+/// candidate. Achieves the fewest distance computations of the family at
+/// the price of quadratic preprocessing and memory — the trade-off LAESA
+/// removes (paper §4.3 and Rico-Juan & Micó 2003). Included as the
+/// strong-baseline extension for the ablation benches.
+class Aesa final : public NearestNeighborSearcher {
+ public:
+  struct QueryStats {
+    std::uint64_t distance_computations = 0;
+  };
+
+  /// Precomputes all pairwise prototype distances (N(N-1)/2 evaluations).
+  Aesa(const std::vector<std::string>& prototypes, StringDistancePtr distance);
+
+  NeighborResult Nearest(std::string_view query, QueryStats* stats) const;
+
+  NeighborResult Nearest(std::string_view query) const override {
+    return Nearest(query, nullptr);
+  }
+  std::size_t size() const override { return prototypes_->size(); }
+
+  std::uint64_t preprocessing_computations() const {
+    return preprocessing_computations_;
+  }
+
+ private:
+  double Dist(std::size_t i, std::size_t j) const {
+    return matrix_[i * prototypes_->size() + j];
+  }
+
+  const std::vector<std::string>* prototypes_;
+  StringDistancePtr distance_;
+  std::vector<double> matrix_;
+  std::uint64_t preprocessing_computations_ = 0;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_AESA_H_

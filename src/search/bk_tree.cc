@@ -1,0 +1,95 @@
+#include "search/bk_tree.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cned {
+
+std::size_t BkTree::IntDistance(std::string_view a, std::string_view b) const {
+  double d = distance_->Distance(a, b);
+  double rounded = std::round(d);
+  if (d < 0.0 || std::abs(d - rounded) > 1e-9) {
+    throw std::invalid_argument(
+        "BkTree: distance is not integer-valued (use dE)");
+  }
+  return static_cast<std::size_t>(rounded);
+}
+
+BkTree::BkTree(const std::vector<std::string>& prototypes,
+               StringDistancePtr distance)
+    : prototypes_(&prototypes), distance_(std::move(distance)) {
+  if (prototypes_->empty()) {
+    throw std::invalid_argument("BkTree: empty prototype set");
+  }
+  nodes_.reserve(prototypes_->size());
+  nodes_.push_back(Node{0, {}});
+  for (std::size_t i = 1; i < prototypes_->size(); ++i) {
+    std::int32_t cur = 0;
+    for (;;) {
+      std::size_t d = IntDistance((*prototypes_)[i],
+                                  (*prototypes_)[nodes_[cur].point]);
+      if (d == 0) break;  // exact duplicate: keep only the first copy
+      auto it = nodes_[static_cast<std::size_t>(cur)].children.find(d);
+      if (it == nodes_[static_cast<std::size_t>(cur)].children.end()) {
+        nodes_.push_back(Node{i, {}});
+        nodes_[static_cast<std::size_t>(cur)].children[d] =
+            static_cast<std::int32_t>(nodes_.size() - 1);
+        break;
+      }
+      cur = it->second;
+    }
+  }
+}
+
+NeighborResult BkTree::Nearest(std::string_view query,
+                               QueryStats* stats) const {
+  NeighborResult best{0, std::numeric_limits<double>::infinity()};
+  std::uint64_t computations = 0;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    std::size_t d = IntDistance(query, (*prototypes_)[node.point]);
+    ++computations;
+    if (static_cast<double>(d) < best.distance ||
+        (static_cast<double>(d) == best.distance && node.point < best.index)) {
+      best = {node.point, static_cast<double>(d)};
+    }
+    const auto r = static_cast<std::size_t>(best.distance);
+    // Only edges labelled within [d - r, d + r] can contain improvements.
+    const std::size_t lo = d > r ? d - r : 0;
+    const std::size_t hi = d + r;
+    for (auto it = node.children.lower_bound(lo);
+         it != node.children.end() && it->first <= hi; ++it) {
+      stack.push_back(it->second);
+    }
+  }
+  if (stats != nullptr) stats->distance_computations += computations;
+  return best;
+}
+
+std::vector<NeighborResult> BkTree::RangeSearch(std::string_view query,
+                                                std::size_t radius,
+                                                QueryStats* stats) const {
+  std::vector<NeighborResult> hits;
+  std::uint64_t computations = 0;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    std::size_t d = IntDistance(query, (*prototypes_)[node.point]);
+    ++computations;
+    if (d <= radius) hits.push_back({node.point, static_cast<double>(d)});
+    const std::size_t lo = d > radius ? d - radius : 0;
+    const std::size_t hi = d + radius;
+    for (auto it = node.children.lower_bound(lo);
+         it != node.children.end() && it->first <= hi; ++it) {
+      stack.push_back(it->second);
+    }
+  }
+  if (stats != nullptr) stats->distance_computations += computations;
+  return hits;
+}
+
+}  // namespace cned

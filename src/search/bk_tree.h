@@ -1,0 +1,64 @@
+#ifndef CNED_SEARCH_BK_TREE_H_
+#define CNED_SEARCH_BK_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "distances/distance.h"
+#include "search/nn_searcher.h"
+
+namespace cned {
+
+/// Burkhard-Keller tree over an *integer-valued* string metric (d_E).
+///
+/// The classic discrete-metric index: every edge from a node is labelled by
+/// the exact distance between parent and child, and a query with current
+/// best radius r only needs to descend edges labelled within [d-r, d+r]
+/// (triangle inequality). Included as a second "similar case" index
+/// alongside the VP-tree; only meaningful for the unit-cost edit distance,
+/// which is why the normalised distances need continuous-metric structures
+/// like LAESA in the first place.
+class BkTree final : public NearestNeighborSearcher {
+ public:
+  struct QueryStats {
+    std::uint64_t distance_computations = 0;
+  };
+
+  /// Builds by successive insertion. `distance` must return non-negative
+  /// integers (e.g. "dE"); throws std::invalid_argument otherwise (detected
+  /// on first violation during construction).
+  BkTree(const std::vector<std::string>& prototypes,
+         StringDistancePtr distance);
+
+  NeighborResult Nearest(std::string_view query, QueryStats* stats) const;
+
+  NeighborResult Nearest(std::string_view query) const override {
+    return Nearest(query, nullptr);
+  }
+  std::size_t size() const override { return prototypes_->size(); }
+
+  /// All prototypes within distance `radius` of the query (range query, the
+  /// classic BK-tree use case, e.g. "suggestions within 2 edits").
+  std::vector<NeighborResult> RangeSearch(std::string_view query,
+                                          std::size_t radius,
+                                          QueryStats* stats = nullptr) const;
+
+ private:
+  struct Node {
+    std::size_t point = 0;
+    std::map<std::size_t, std::int32_t> children;  // edge distance -> node
+  };
+
+  std::size_t IntDistance(std::string_view a, std::string_view b) const;
+
+  const std::vector<std::string>* prototypes_;
+  StringDistancePtr distance_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_BK_TREE_H_

@@ -1,0 +1,134 @@
+#include "search/condensing.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace cned {
+namespace {
+
+// 1-NN label of `query` within the subset `kept` (indices into samples).
+int ClassifyWithin(const std::vector<std::string>& samples,
+                   const std::vector<int>& labels,
+                   const std::vector<std::size_t>& kept,
+                   const StringDistance& distance, const std::string& query) {
+  double best = std::numeric_limits<double>::infinity();
+  int best_label = -1;
+  for (std::size_t idx : kept) {
+    double d = distance.Distance(query, samples[idx]);
+    if (d < best) {
+      best = d;
+      best_label = labels[idx];
+    }
+  }
+  return best_label;
+}
+
+}  // namespace
+
+std::vector<std::size_t> CondenseTrainingSet(
+    const std::vector<std::string>& samples, const std::vector<int>& labels,
+    const StringDistance& distance) {
+  if (samples.size() != labels.size()) {
+    throw std::invalid_argument("CondenseTrainingSet: size mismatch");
+  }
+  if (samples.empty()) return {};
+
+  std::vector<std::size_t> kept;
+  std::vector<bool> in_subset(samples.size(), false);
+
+  // Seed with the first occurrence of every class, in index order.
+  std::vector<int> seen_labels;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    bool new_label = true;
+    for (int l : seen_labels) {
+      if (l == labels[i]) {
+        new_label = false;
+        break;
+      }
+    }
+    if (new_label) {
+      seen_labels.push_back(labels[i]);
+      kept.push_back(i);
+      in_subset[i] = true;
+    }
+  }
+
+  // Sweep until a full pass makes no additions: add every sample the
+  // current subset misclassifies.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (in_subset[i]) continue;
+      int predicted =
+          ClassifyWithin(samples, labels, kept, distance, samples[i]);
+      if (predicted != labels[i]) {
+        kept.push_back(i);
+        in_subset[i] = true;
+        changed = true;
+      }
+    }
+  }
+  return kept;
+}
+
+std::vector<std::size_t> WilsonEdit(const std::vector<std::string>& samples,
+                                    const std::vector<int>& labels,
+                                    const StringDistance& distance,
+                                    std::size_t k) {
+  if (samples.size() != labels.size()) {
+    throw std::invalid_argument("WilsonEdit: size mismatch");
+  }
+  if (k == 0) throw std::invalid_argument("WilsonEdit: k must be >= 1");
+  std::vector<std::size_t> kept;
+  if (samples.size() <= 1) {
+    for (std::size_t i = 0; i < samples.size(); ++i) kept.push_back(i);
+    return kept;
+  }
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // k nearest neighbours of sample i among the others.
+    std::vector<std::pair<double, std::size_t>> dists;
+    dists.reserve(samples.size() - 1);
+    for (std::size_t j = 0; j < samples.size(); ++j) {
+      if (j == i) continue;
+      dists.emplace_back(distance.Distance(samples[i], samples[j]), j);
+    }
+    std::size_t kk = std::min(k, dists.size());
+    std::partial_sort(dists.begin(),
+                      dists.begin() + static_cast<std::ptrdiff_t>(kk),
+                      dists.end());
+    std::map<int, std::size_t> votes;
+    for (std::size_t t = 0; t < kk; ++t) ++votes[labels[dists[t].second]];
+    // Majority label; proximity breaks ties.
+    int best_label = labels[dists[0].second];
+    std::size_t best_votes = 0;
+    for (std::size_t t = 0; t < kk; ++t) {
+      int label = labels[dists[t].second];
+      if (votes[label] > best_votes) {
+        best_votes = votes[label];
+        best_label = label;
+      }
+    }
+    if (best_label == labels[i]) kept.push_back(i);
+  }
+  return kept;
+}
+
+CondensedSet Condense(const std::vector<std::string>& samples,
+                      const std::vector<int>& labels,
+                      const StringDistance& distance) {
+  CondensedSet out;
+  out.indices = CondenseTrainingSet(samples, labels, distance);
+  out.strings.reserve(out.indices.size());
+  out.labels.reserve(out.indices.size());
+  for (std::size_t idx : out.indices) {
+    out.strings.push_back(samples[idx]);
+    out.labels.push_back(labels[idx]);
+  }
+  return out;
+}
+
+}  // namespace cned

@@ -1,0 +1,4 @@
+#include "search/counting_distance.h"
+
+// Header-only implementation; this translation unit anchors the vtable.
+namespace cned {}

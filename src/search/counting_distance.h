@@ -1,0 +1,41 @@
+#ifndef CNED_SEARCH_COUNTING_DISTANCE_H_
+#define CNED_SEARCH_COUNTING_DISTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "distances/distance.h"
+
+namespace cned {
+
+/// Decorator counting how many times the wrapped distance is evaluated.
+///
+/// The paper's §4.3 experiments report "average number of distance
+/// computations" as the primary cost measure of LAESA; every search harness
+/// threads its distance through this wrapper.
+class CountingDistance final : public StringDistance {
+ public:
+  explicit CountingDistance(StringDistancePtr inner)
+      : inner_(std::move(inner)) {}
+
+  double Distance(std::string_view x, std::string_view y) const override {
+    ++count_;
+    return inner_->Distance(x, y);
+  }
+  std::string name() const override { return inner_->name(); }
+  bool is_metric() const override { return inner_->is_metric(); }
+
+  /// Evaluations since construction or the last Reset().
+  std::uint64_t count() const { return count_; }
+  void Reset() { count_ = 0; }
+
+ private:
+  StringDistancePtr inner_;
+  mutable std::uint64_t count_ = 0;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_COUNTING_DISTANCE_H_

@@ -1,0 +1,42 @@
+#include "search/exhaustive.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cned {
+
+ExhaustiveSearch::ExhaustiveSearch(const std::vector<std::string>& prototypes,
+                                   StringDistancePtr distance)
+    : prototypes_(&prototypes), distance_(std::move(distance)) {
+  if (prototypes_->empty()) {
+    throw std::invalid_argument("ExhaustiveSearch: empty prototype set");
+  }
+}
+
+NeighborResult ExhaustiveSearch::Nearest(std::string_view query) const {
+  NeighborResult best{0, distance_->Distance(query, (*prototypes_)[0])};
+  for (std::size_t i = 1; i < prototypes_->size(); ++i) {
+    double d = distance_->Distance(query, (*prototypes_)[i]);
+    if (d < best.distance) best = {i, d};
+  }
+  return best;
+}
+
+std::vector<NeighborResult> ExhaustiveSearch::KNearest(std::string_view query,
+                                                       std::size_t k) const {
+  std::vector<NeighborResult> all;
+  all.reserve(prototypes_->size());
+  for (std::size_t i = 0; i < prototypes_->size(); ++i) {
+    all.push_back({i, distance_->Distance(query, (*prototypes_)[i])});
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end(), [](const NeighborResult& a, const NeighborResult& b) {
+                      if (a.distance != b.distance) return a.distance < b.distance;
+                      return a.index < b.index;
+                    });
+  all.resize(k);
+  return all;
+}
+
+}  // namespace cned

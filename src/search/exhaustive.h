@@ -1,0 +1,40 @@
+#ifndef CNED_SEARCH_EXHAUSTIVE_H_
+#define CNED_SEARCH_EXHAUSTIVE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "distances/distance.h"
+#include "search/nn_searcher.h"
+
+namespace cned {
+
+/// Brute-force nearest-neighbour search: one distance evaluation per
+/// prototype. The baseline ("Exhaustive search" column of Table 2) and the
+/// correctness oracle for LAESA/AESA.
+class ExhaustiveSearch final : public NearestNeighborSearcher {
+ public:
+  /// Keeps a reference to `prototypes`; the caller owns the storage and must
+  /// keep it alive and unchanged while the searcher is used.
+  ExhaustiveSearch(const std::vector<std::string>& prototypes,
+                   StringDistancePtr distance);
+
+  /// The nearest prototype to `query` (smallest index wins ties).
+  NeighborResult Nearest(std::string_view query) const override;
+
+  /// The k nearest prototypes, closest first.
+  std::vector<NeighborResult> KNearest(std::string_view query,
+                                       std::size_t k) const;
+
+  std::size_t size() const override { return prototypes_->size(); }
+
+ private:
+  const std::vector<std::string>* prototypes_;
+  StringDistancePtr distance_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_EXHAUSTIVE_H_

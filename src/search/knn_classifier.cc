@@ -1,0 +1,58 @@
+#include "search/knn_classifier.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace cned {
+
+NearestNeighborClassifier::NearestNeighborClassifier(
+    const NearestNeighborSearcher& searcher, const std::vector<int>& labels)
+    : searcher_(&searcher), labels_(&labels) {
+  if (labels.size() != searcher.size()) {
+    throw std::invalid_argument(
+        "NearestNeighborClassifier: labels/prototypes size mismatch");
+  }
+}
+
+int NearestNeighborClassifier::Classify(std::string_view query) const {
+  return (*labels_)[searcher_->Nearest(query).index];
+}
+
+double NearestNeighborClassifier::ErrorRatePercent(
+    const std::vector<std::string>& queries,
+    const std::vector<int>& true_labels) const {
+  if (queries.size() != true_labels.size()) {
+    throw std::invalid_argument("ErrorRatePercent: size mismatch");
+  }
+  if (queries.empty()) return 0.0;
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (Classify(queries[i]) != true_labels[i]) ++errors;
+  }
+  return 100.0 * static_cast<double>(errors) /
+         static_cast<double>(queries.size());
+}
+
+int KnnClassify(const ExhaustiveSearch& searcher,
+                const std::vector<int>& labels, std::string_view query,
+                std::size_t k) {
+  if (labels.size() != searcher.size()) {
+    throw std::invalid_argument("KnnClassify: labels/prototypes size mismatch");
+  }
+  auto neighbors = searcher.KNearest(query, k);
+  std::map<int, std::size_t> votes;
+  for (const auto& nb : neighbors) ++votes[labels[nb.index]];
+  int best_label = labels[neighbors.front().index];
+  std::size_t best_votes = 0;
+  for (const auto& nb : neighbors) {  // iterate by proximity for tie-breaking
+    int label = labels[nb.index];
+    std::size_t v = votes[label];
+    if (v > best_votes) {
+      best_votes = v;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace cned

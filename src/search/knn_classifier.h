@@ -1,0 +1,46 @@
+#ifndef CNED_SEARCH_KNN_CLASSIFIER_H_
+#define CNED_SEARCH_KNN_CLASSIFIER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "distances/distance.h"
+#include "search/exhaustive.h"
+#include "search/nn_searcher.h"
+
+namespace cned {
+
+/// 1-NN classifier over labelled prototypes, generic in the search backend
+/// (exhaustive, LAESA or AESA), as used in the paper's §4.4: a query is
+/// given the label of its nearest training prototype.
+class NearestNeighborClassifier {
+ public:
+  /// `labels[i]` is the class of the searcher's i-th prototype. The searcher
+  /// and labels are borrowed; the caller keeps them alive.
+  NearestNeighborClassifier(const NearestNeighborSearcher& searcher,
+                            const std::vector<int>& labels);
+
+  /// Label of the nearest prototype.
+  int Classify(std::string_view query) const;
+
+  /// Fraction (in %) of test samples whose predicted label differs from the
+  /// true one — the error rate of Table 2.
+  double ErrorRatePercent(const std::vector<std::string>& queries,
+                          const std::vector<int>& true_labels) const;
+
+ private:
+  const NearestNeighborSearcher* searcher_;
+  const std::vector<int>* labels_;
+};
+
+/// Majority-vote k-NN (extension beyond the paper's 1-NN, exhaustive
+/// backend). Ties break toward the closer neighbour's label.
+int KnnClassify(const ExhaustiveSearch& searcher,
+                const std::vector<int>& labels, std::string_view query,
+                std::size_t k);
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_KNN_CLASSIFIER_H_

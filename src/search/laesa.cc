@@ -1,0 +1,341 @@
+#include "search/laesa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "search/pivot_selection.h"
+
+namespace cned {
+
+Laesa::Laesa(const std::vector<std::string>& prototypes,
+             StringDistancePtr distance, std::size_t num_pivots,
+             std::size_t first_pivot)
+    : prototypes_(&prototypes), distance_(std::move(distance)) {
+  if (prototypes_->empty()) {
+    throw std::invalid_argument("Laesa: empty prototype set");
+  }
+  num_pivots = std::min(num_pivots, prototypes_->size());
+  if (num_pivots == 0) {
+    throw std::invalid_argument("Laesa: need at least one pivot");
+  }
+  pivots_ =
+      SelectPivotsMaxMin(*prototypes_, *distance_, num_pivots, first_pivot);
+  preprocessing_computations_ +=
+      static_cast<std::uint64_t>(pivots_.size()) * prototypes_->size();
+  BuildTable();
+}
+
+Laesa::Laesa(const std::vector<std::string>& prototypes,
+             StringDistancePtr distance, std::vector<std::size_t> pivot_indices)
+    : prototypes_(&prototypes),
+      distance_(std::move(distance)),
+      pivots_(std::move(pivot_indices)) {
+  if (prototypes_->empty()) {
+    throw std::invalid_argument("Laesa: empty prototype set");
+  }
+  if (pivots_.empty()) {
+    throw std::invalid_argument("Laesa: need at least one pivot");
+  }
+  for (std::size_t p : pivots_) {
+    if (p >= prototypes_->size()) {
+      throw std::invalid_argument("Laesa: pivot index out of range");
+    }
+  }
+  BuildTable();
+}
+
+void Laesa::BuildTable() {
+  const std::size_t n = prototypes_->size();
+  pivot_rank_.assign(n, -1);
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    pivot_rank_[pivots_[p]] = static_cast<std::int32_t>(p);
+  }
+  pivot_dist_.resize(pivots_.size() * n);
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    const std::string& pivot = (*prototypes_)[pivots_[p]];
+    for (std::size_t i = 0; i < n; ++i) {
+      pivot_dist_[p * n + i] = distance_->Distance(pivot, (*prototypes_)[i]);
+    }
+  }
+  preprocessing_computations_ +=
+      static_cast<std::uint64_t>(pivots_.size()) * n;
+}
+
+namespace {
+
+// Shared search loop for exact (slack = 1) and approximate (slack = 1+eps)
+// LAESA: a candidate is eliminated when lower_bound * slack >= best.
+NeighborResult LaesaSearch(const std::vector<std::string>& prototypes,
+                           const StringDistance& distance,
+                           const std::vector<std::size_t>& pivots,
+                           const std::vector<std::int32_t>& pivot_rank,
+                           const std::vector<double>& pivot_dist, double slack,
+                           std::string_view query,
+                           std::uint64_t& computations) {
+  const std::size_t n = prototypes.size();
+  std::vector<double> lower(n, 0.0);
+  std::vector<bool> alive(n, true);
+  std::size_t alive_count = n;
+  std::size_t alive_pivots = pivots.size();
+
+  NeighborResult best{0, std::numeric_limits<double>::infinity()};
+
+  std::size_t s = pivots[0];  // start from the first base prototype
+  while (alive_count > 0) {
+    alive[s] = false;
+    --alive_count;
+    const bool s_is_pivot = pivot_rank[s] >= 0;
+    if (s_is_pivot) --alive_pivots;
+
+    double d = distance.Distance(query, prototypes[s]);
+    ++computations;
+    if (d < best.distance || (d == best.distance && s < best.index)) {
+      best = {s, d};
+    }
+
+    // Tighten lower bounds with the pivot's stored row, then eliminate.
+    if (s_is_pivot) {
+      const double* row =
+          &pivot_dist[static_cast<std::size_t>(pivot_rank[s]) * n];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!alive[i]) continue;
+        double g = std::abs(d - row[i]);
+        if (g > lower[i]) lower[i] = g;
+      }
+    }
+
+    // Eliminate everything whose (slack-scaled) lower bound reaches the
+    // best distance, and pick the next candidate: the alive pivot with
+    // minimal lower bound while pivots remain, otherwise the alive
+    // prototype with minimal lower bound ("approximating" step of LAESA).
+    std::size_t next = n;
+    double next_key = std::numeric_limits<double>::infinity();
+    bool prefer_pivots = alive_pivots > 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      if (lower[i] * slack >= best.distance) {
+        alive[i] = false;
+        --alive_count;
+        if (pivot_rank[i] >= 0) --alive_pivots;
+        continue;
+      }
+      if (prefer_pivots && pivot_rank[i] < 0) continue;
+      if (lower[i] < next_key) {
+        next_key = lower[i];
+        next = i;
+      }
+    }
+    if (alive_count == 0) break;
+    if (next == n) {
+      // All remaining alive candidates are non-pivots but we preferred
+      // pivots (they were all eliminated in this very pass); rescan.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (alive[i] && lower[i] < next_key) {
+          next_key = lower[i];
+          next = i;
+        }
+      }
+    }
+    if (next == n) break;
+    s = next;
+  }
+  return best;
+}
+
+}  // namespace
+
+NeighborResult Laesa::Nearest(std::string_view query, QueryStats* stats) const {
+  std::uint64_t computations = 0;
+  NeighborResult best =
+      LaesaSearch(*prototypes_, *distance_, pivots_, pivot_rank_, pivot_dist_,
+                  /*slack=*/1.0, query, computations);
+  if (stats != nullptr) stats->distance_computations += computations;
+  return best;
+}
+
+NeighborResult Laesa::NearestApprox(std::string_view query, double epsilon,
+                                    QueryStats* stats) const {
+  if (epsilon < 0.0) {
+    throw std::invalid_argument("Laesa::NearestApprox: epsilon must be >= 0");
+  }
+  std::uint64_t computations = 0;
+  NeighborResult best =
+      LaesaSearch(*prototypes_, *distance_, pivots_, pivot_rank_, pivot_dist_,
+                  1.0 + epsilon, query, computations);
+  if (stats != nullptr) stats->distance_computations += computations;
+  return best;
+}
+
+std::vector<NeighborResult> Laesa::KNearest(std::string_view query,
+                                            std::size_t k,
+                                            QueryStats* stats) const {
+  const std::size_t n = prototypes_->size();
+  k = std::min(k, n);
+  std::vector<double> lower(n, 0.0);
+  std::vector<bool> alive(n, true);
+  std::size_t alive_count = n;
+  std::size_t alive_pivots = pivots_.size();
+
+  // Current k best, kept sorted ascending (k is small in practice).
+  std::vector<NeighborResult> best;
+  auto kth_distance = [&]() {
+    return best.size() < k ? std::numeric_limits<double>::infinity()
+                           : best.back().distance;
+  };
+  auto offer = [&](std::size_t index, double d) {
+    if (best.size() == k && d >= best.back().distance) return;
+    NeighborResult r{index, d};
+    auto pos = std::lower_bound(best.begin(), best.end(), r,
+                                [](const NeighborResult& a,
+                                   const NeighborResult& b) {
+                                  if (a.distance != b.distance) {
+                                    return a.distance < b.distance;
+                                  }
+                                  return a.index < b.index;
+                                });
+    best.insert(pos, r);
+    if (best.size() > k) best.pop_back();
+  };
+
+  std::uint64_t computations = 0;
+  std::size_t s = pivots_[0];
+  while (alive_count > 0) {
+    alive[s] = false;
+    --alive_count;
+    const bool s_is_pivot = pivot_rank_[s] >= 0;
+    if (s_is_pivot) --alive_pivots;
+
+    double d = distance_->Distance(query, (*prototypes_)[s]);
+    ++computations;
+    offer(s, d);
+
+    if (s_is_pivot) {
+      const double* row =
+          &pivot_dist_[static_cast<std::size_t>(pivot_rank_[s]) * n];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!alive[i]) continue;
+        double g = std::abs(d - row[i]);
+        if (g > lower[i]) lower[i] = g;
+      }
+    }
+
+    std::size_t next = n;
+    double next_key = std::numeric_limits<double>::infinity();
+    const double bound = kth_distance();
+    bool prefer_pivots = alive_pivots > 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      if (lower[i] > bound) {
+        alive[i] = false;
+        --alive_count;
+        if (pivot_rank_[i] >= 0) --alive_pivots;
+        continue;
+      }
+      if (prefer_pivots && pivot_rank_[i] < 0) continue;
+      if (lower[i] < next_key) {
+        next_key = lower[i];
+        next = i;
+      }
+    }
+    if (alive_count == 0) break;
+    if (next == n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (alive[i] && lower[i] < next_key) {
+          next_key = lower[i];
+          next = i;
+        }
+      }
+    }
+    if (next == n) break;
+    s = next;
+  }
+  if (stats != nullptr) stats->distance_computations += computations;
+  return best;
+}
+
+std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
+                                               double radius,
+                                               QueryStats* stats) const {
+  const std::size_t n = prototypes_->size();
+  // Phase 1: compute query-pivot distances, accumulate lower bounds.
+  std::vector<double> lower(n, 0.0);
+  std::vector<bool> computed(n, false);
+  std::vector<NeighborResult> hits;
+  std::uint64_t computations = 0;
+
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    std::size_t s = pivots_[p];
+    double d = distance_->Distance(query, (*prototypes_)[s]);
+    ++computations;
+    computed[s] = true;
+    if (d <= radius) hits.push_back({s, d});
+    const double* row = &pivot_dist_[p * n];
+    for (std::size_t i = 0; i < n; ++i) {
+      double g = std::abs(d - row[i]);
+      if (g > lower[i]) lower[i] = g;
+    }
+  }
+  // Phase 2: verify every surviving candidate.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (computed[i] || lower[i] > radius) continue;
+    double d = distance_->Distance(query, (*prototypes_)[i]);
+    ++computations;
+    if (d <= radius) hits.push_back({i, d});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const NeighborResult& a, const NeighborResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.index < b.index;
+            });
+  if (stats != nullptr) stats->distance_computations += computations;
+  return hits;
+}
+
+void Laesa::Save(std::ostream& out) const {
+  out << "LAESA 1\n" << prototypes_->size() << ' ' << pivots_.size() << '\n';
+  for (std::size_t p : pivots_) out << p << ' ';
+  out << '\n';
+  out.precision(17);
+  for (double d : pivot_dist_) out << d << ' ';
+  out << '\n';
+}
+
+Laesa Laesa::Load(std::istream& in,
+                  const std::vector<std::string>& prototypes,
+                  StringDistancePtr distance) {
+  std::string magic;
+  int version = 0;
+  std::size_t n = 0, np = 0;
+  in >> magic >> version >> n >> np;
+  if (!in || magic != "LAESA" || version != 1) {
+    throw std::runtime_error("Laesa::Load: bad header");
+  }
+  if (n != prototypes.size()) {
+    throw std::runtime_error("Laesa::Load: prototype count mismatch");
+  }
+  if (np == 0 || np > n) {
+    throw std::runtime_error("Laesa::Load: bad pivot count");
+  }
+  Laesa index(InternalTag{}, prototypes, std::move(distance));
+  index.pivots_.resize(np);
+  for (std::size_t& p : index.pivots_) {
+    in >> p;
+    if (!in || p >= n) throw std::runtime_error("Laesa::Load: bad pivot");
+  }
+  index.pivot_rank_.assign(n, -1);
+  for (std::size_t p = 0; p < np; ++p) {
+    index.pivot_rank_[index.pivots_[p]] = static_cast<std::int32_t>(p);
+  }
+  index.pivot_dist_.resize(np * n);
+  for (double& d : index.pivot_dist_) {
+    in >> d;
+    if (!in) throw std::runtime_error("Laesa::Load: truncated table");
+  }
+  return index;
+}
+
+}  // namespace cned

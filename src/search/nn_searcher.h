@@ -1,0 +1,31 @@
+#ifndef CNED_SEARCH_NN_SEARCHER_H_
+#define CNED_SEARCH_NN_SEARCHER_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace cned {
+
+/// Result of a nearest-neighbour query.
+struct NeighborResult {
+  std::size_t index = 0;  ///< index into the prototype set
+  double distance = 0.0;  ///< distance to the query
+};
+
+/// Common interface over nearest-neighbour searchers (exhaustive, LAESA,
+/// AESA) so classifiers and experiment harnesses are generic in the search
+/// algorithm, as in the paper's Table 2 (LAESA vs exhaustive columns).
+class NearestNeighborSearcher {
+ public:
+  virtual ~NearestNeighborSearcher() = default;
+
+  /// The nearest prototype to `query`.
+  virtual NeighborResult Nearest(std::string_view query) const = 0;
+
+  /// Number of prototypes indexed.
+  virtual std::size_t size() const = 0;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_NN_SEARCHER_H_

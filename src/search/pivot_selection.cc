@@ -1,0 +1,58 @@
+#include "search/pivot_selection.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cned {
+
+std::vector<std::size_t> SelectPivotsMaxMin(
+    const std::vector<std::string>& prototypes, const StringDistance& distance,
+    std::size_t count, std::size_t first) {
+  const std::size_t n = prototypes.size();
+  if (count > n) {
+    throw std::invalid_argument("SelectPivotsMaxMin: count > prototypes");
+  }
+  if (first >= n) {
+    throw std::invalid_argument("SelectPivotsMaxMin: first out of range");
+  }
+  std::vector<std::size_t> pivots;
+  pivots.reserve(count);
+  if (count == 0) return pivots;
+
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  std::size_t current = first;
+  pivots.push_back(current);
+  while (pivots.size() < count) {
+    std::size_t next = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (min_dist[i] == 0.0) continue;  // already a pivot (or duplicate)
+      double d = distance.Distance(prototypes[current], prototypes[i]);
+      min_dist[i] = std::min(min_dist[i], d);
+      if (min_dist[i] > best) {
+        best = min_dist[i];
+        next = i;
+      }
+    }
+    if (best <= 0.0) break;  // all remaining prototypes coincide with pivots
+    min_dist[next] = 0.0;
+    pivots.push_back(next);
+    current = next;
+  }
+  return pivots;
+}
+
+std::vector<std::size_t> SelectPivotsRandom(std::size_t n_prototypes,
+                                            std::size_t count, Rng& rng) {
+  if (count > n_prototypes) {
+    throw std::invalid_argument("SelectPivotsRandom: count > prototypes");
+  }
+  std::vector<std::size_t> all(n_prototypes);
+  for (std::size_t i = 0; i < n_prototypes; ++i) all[i] = i;
+  rng.Shuffle(all);
+  all.resize(count);
+  return all;
+}
+
+}  // namespace cned

@@ -1,0 +1,29 @@
+#ifndef CNED_SEARCH_PIVOT_SELECTION_H_
+#define CNED_SEARCH_PIVOT_SELECTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "distances/distance.h"
+
+namespace cned {
+
+/// Greedy maximum-minimum-distance pivot (base prototype) selection, the
+/// strategy of the LAESA paper (Micó, Oncina & Vidal 1994): start from
+/// `first` and repeatedly add the prototype whose minimum distance to the
+/// already-chosen pivots is largest. Returns `count` indices.
+///
+/// Costs count * |prototypes| distance evaluations.
+std::vector<std::size_t> SelectPivotsMaxMin(
+    const std::vector<std::string>& prototypes, const StringDistance& distance,
+    std::size_t count, std::size_t first = 0);
+
+/// Uniform random pivots (the ablation baseline).
+std::vector<std::size_t> SelectPivotsRandom(std::size_t n_prototypes,
+                                            std::size_t count, Rng& rng);
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_PIVOT_SELECTION_H_

@@ -1,0 +1,34 @@
+#include "strings/alphabet.h"
+
+#include <stdexcept>
+
+namespace cned {
+
+Alphabet::Alphabet(std::string_view symbols) {
+  index_.fill(-1);
+  for (char c : symbols) {
+    auto uc = static_cast<unsigned char>(c);
+    if (index_[uc] < 0) {
+      index_[uc] = static_cast<int>(symbols_.size());
+      symbols_.push_back(c);
+    }
+  }
+  if (symbols_.empty()) {
+    throw std::invalid_argument("Alphabet: must be non-empty");
+  }
+}
+
+Alphabet Alphabet::Latin() { return Alphabet("abcdefghijklmnopqrstuvwxyz"); }
+
+Alphabet Alphabet::Dna() { return Alphabet("ACGT"); }
+
+Alphabet Alphabet::ChainCode() { return Alphabet("01234567"); }
+
+bool Alphabet::ContainsAll(std::string_view s) const {
+  for (char c : s) {
+    if (!Contains(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace cned

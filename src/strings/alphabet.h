@@ -1,0 +1,57 @@
+#ifndef CNED_STRINGS_ALPHABET_H_
+#define CNED_STRINGS_ALPHABET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cned {
+
+/// A finite, non-empty set of byte symbols with stable ordering.
+///
+/// Strings in this project are plain `std::string` over an alphabet; the
+/// class provides membership tests, symbol<->index mapping (used by the
+/// generalised cost matrices) and the standard alphabets of the paper's
+/// three benchmarks.
+class Alphabet {
+ public:
+  /// Builds from the distinct characters of `symbols`, keeping first-seen
+  /// order. Throws if empty.
+  explicit Alphabet(std::string_view symbols);
+
+  /// Latin lowercase a..z (dictionary benchmark).
+  static Alphabet Latin();
+
+  /// DNA bases ACGT (genes benchmark).
+  static Alphabet Dna();
+
+  /// Freeman chain-code directions 0..7 (digit-contour benchmark).
+  static Alphabet ChainCode();
+
+  /// Number of symbols.
+  std::size_t size() const { return symbols_.size(); }
+
+  /// The i-th symbol.
+  char symbol(std::size_t i) const { return symbols_[i]; }
+
+  /// All symbols in order.
+  const std::string& symbols() const { return symbols_; }
+
+  /// True if `c` belongs to the alphabet.
+  bool Contains(char c) const { return index_[static_cast<unsigned char>(c)] >= 0; }
+
+  /// Index of `c`, or -1 if not a member.
+  int IndexOf(char c) const { return index_[static_cast<unsigned char>(c)]; }
+
+  /// True if every character of `s` belongs to the alphabet.
+  bool ContainsAll(std::string_view s) const;
+
+ private:
+  std::string symbols_;
+  std::array<int, 256> index_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_STRINGS_ALPHABET_H_

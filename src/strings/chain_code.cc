@@ -1,0 +1,62 @@
+#include "strings/chain_code.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cned {
+namespace {
+
+int ChainDigit(char c) {
+  if (c < '0' || c > '7') {
+    throw std::invalid_argument("chain code symbol out of range: " +
+                                std::string(1, c));
+  }
+  return c - '0';
+}
+
+}  // namespace
+
+std::string DifferentialChainCode(std::string_view code) {
+  if (code.size() < 2) return "";
+  std::string out;
+  out.reserve(code.size() - 1);
+  for (std::size_t i = 1; i < code.size(); ++i) {
+    int diff = (ChainDigit(code[i]) - ChainDigit(code[i - 1]) + 8) % 8;
+    out.push_back(static_cast<char>('0' + diff));
+  }
+  return out;
+}
+
+std::string CanonicalRotation(std::string_view s) {
+  if (s.empty()) return "";
+  // Booth's least-rotation algorithm on the doubled string.
+  const std::size_t n = s.size();
+  std::vector<std::ptrdiff_t> failure(2 * n, -1);
+  std::size_t k = 0;  // least rotation candidate
+  for (std::size_t j = 1; j < 2 * n; ++j) {
+    char sj = s[j % n];
+    std::ptrdiff_t i = failure[j - k - 1];
+    while (i != -1 && sj != s[(k + static_cast<std::size_t>(i) + 1) % n]) {
+      if (sj < s[(k + static_cast<std::size_t>(i) + 1) % n]) {
+        k = j - static_cast<std::size_t>(i) - 1;
+      }
+      i = failure[static_cast<std::size_t>(i)];
+    }
+    if (i == -1 && sj != s[(k + static_cast<std::size_t>(i) + 1) % n]) {
+      if (sj < s[(k + static_cast<std::size_t>(i) + 1) % n]) k = j;
+      failure[j - k] = -1;
+    } else {
+      failure[j - k] = i + 1;
+    }
+  }
+  std::string out;
+  out.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) out.push_back(s[(k + t) % n]);
+  return out;
+}
+
+std::string ContourSignature(std::string_view code) {
+  return DifferentialChainCode(CanonicalRotation(code));
+}
+
+}  // namespace cned

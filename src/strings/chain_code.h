@@ -1,0 +1,37 @@
+#ifndef CNED_STRINGS_CHAIN_CODE_H_
+#define CNED_STRINGS_CHAIN_CODE_H_
+
+#include <string>
+#include <string_view>
+
+namespace cned {
+
+/// Utilities over Freeman 8-direction chain codes ("01234567"), the
+/// representation of the paper's handwritten-digit contour strings.
+///
+/// The paper deliberately applies *no* normalisation to the digits
+/// (orientation and size vary between scribes); these helpers implement the
+/// standard invariance transforms so the ablation bench can quantify what
+/// normalisation would change.
+
+/// Differential chain code: symbol i becomes (code[i] - code[i-1]) mod 8,
+/// with the first symbol kept as-is dropped. Rotating the underlying shape
+/// by a multiple of 45 degrees leaves the differential code unchanged, so
+/// pairing it with an edit distance gives rotation-quantised invariance.
+/// Returns "" for inputs shorter than 2 symbols. Throws on non-chain-code
+/// symbols.
+std::string DifferentialChainCode(std::string_view code);
+
+/// Lexicographically smallest rotation of a (cyclic) string in O(n)
+/// (Booth's algorithm). Chain codes describe closed contours, so the start
+/// pixel is arbitrary; canonicalising the rotation makes two traversals of
+/// the same contour compare equal.
+std::string CanonicalRotation(std::string_view s);
+
+/// Convenience: differential code of the canonical rotation — start-point
+/// and rotation-quantised invariant signature of a closed contour.
+std::string ContourSignature(std::string_view code);
+
+}  // namespace cned
+
+#endif  // CNED_STRINGS_CHAIN_CODE_H_

@@ -1,0 +1,52 @@
+#include "strings/string_gen.h"
+
+namespace cned {
+
+std::string StringGen::Uniform(Rng& rng, const Alphabet& alphabet,
+                               std::size_t length) {
+  std::string s;
+  s.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    s.push_back(alphabet.symbol(rng.Index(alphabet.size())));
+  }
+  return s;
+}
+
+std::string StringGen::UniformLength(Rng& rng, const Alphabet& alphabet,
+                                     std::size_t min_len, std::size_t max_len) {
+  auto len = static_cast<std::size_t>(
+      rng.UniformInt(static_cast<std::int64_t>(min_len),
+                     static_cast<std::int64_t>(max_len)));
+  return Uniform(rng, alphabet, len);
+}
+
+std::vector<std::string> StringGen::Batch(Rng& rng, const Alphabet& alphabet,
+                                          std::size_t count,
+                                          std::size_t min_len,
+                                          std::size_t max_len) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(UniformLength(rng, alphabet, min_len, max_len));
+  }
+  return out;
+}
+
+std::vector<std::string> StringGen::Enumerate(const Alphabet& alphabet,
+                                              std::size_t max_len) {
+  std::vector<std::string> out;
+  out.emplace_back();  // empty string
+  std::size_t level_begin = 0;
+  for (std::size_t len = 1; len <= max_len; ++len) {
+    std::size_t level_end = out.size();
+    for (std::size_t i = level_begin; i < level_end; ++i) {
+      for (std::size_t a = 0; a < alphabet.size(); ++a) {
+        out.push_back(out[i] + alphabet.symbol(a));
+      }
+    }
+    level_begin = level_end;
+  }
+  return out;
+}
+
+}  // namespace cned

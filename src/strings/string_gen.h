@@ -1,0 +1,36 @@
+#ifndef CNED_STRINGS_STRING_GEN_H_
+#define CNED_STRINGS_STRING_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "strings/alphabet.h"
+
+namespace cned {
+
+/// Random-string utilities shared by tests and dataset generators.
+class StringGen {
+ public:
+  /// Uniform random string of exactly `length` symbols.
+  static std::string Uniform(Rng& rng, const Alphabet& alphabet,
+                             std::size_t length);
+
+  /// Uniform random string with length drawn uniformly in [min_len, max_len].
+  static std::string UniformLength(Rng& rng, const Alphabet& alphabet,
+                                   std::size_t min_len, std::size_t max_len);
+
+  /// `count` uniform strings with lengths in [min_len, max_len].
+  static std::vector<std::string> Batch(Rng& rng, const Alphabet& alphabet,
+                                        std::size_t count, std::size_t min_len,
+                                        std::size_t max_len);
+
+  /// All strings over `alphabet` of length <= max_len, in length-lexicographic
+  /// order (used by exhaustive property tests; keep sizes tiny).
+  static std::vector<std::string> Enumerate(const Alphabet& alphabet,
+                                            std::size_t max_len);
+};
+
+}  // namespace cned
+
+#endif  // CNED_STRINGS_STRING_GEN_H_

@@ -1,0 +1,71 @@
+#include "search/aesa.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/perturb.h"
+#include "distances/registry.h"
+#include "search/exhaustive.h"
+#include "search/laesa.h"
+
+namespace cned {
+namespace {
+
+std::vector<std::string> SmallDictionary(std::size_t n, std::uint64_t seed) {
+  DictionaryOptions opt;
+  opt.word_count = n;
+  opt.seed = seed;
+  return GenerateDictionary(opt).strings;
+}
+
+TEST(AesaTest, ExactForMetricDistance) {
+  auto protos = SmallDictionary(150, 201);
+  Rng rng(202);
+  auto queries = MakeQueries(protos, 40, 2, Alphabet::Latin(), rng);
+  auto dist = MakeDistance("dE");
+  Aesa aesa(protos, dist);
+  ExhaustiveSearch exact(protos, dist);
+  for (const auto& q : queries) {
+    EXPECT_NEAR(aesa.Nearest(q).distance, exact.Nearest(q).distance, 1e-9);
+  }
+}
+
+TEST(AesaTest, QuadraticPreprocessing) {
+  auto protos = SmallDictionary(40, 203);
+  Aesa aesa(protos, MakeDistance("dE"));
+  EXPECT_EQ(aesa.preprocessing_computations(), 40u * 39u / 2u);
+}
+
+TEST(AesaTest, FewerQueryComputationsThanLaesa) {
+  // AESA's full matrix gives at least as strong elimination as LAESA's
+  // pivot rows on average.
+  auto protos = SmallDictionary(300, 204);
+  Rng rng(205);
+  auto queries = MakeQueries(protos, 50, 2, Alphabet::Latin(), rng);
+  auto dist = MakeDistance("dE");
+
+  Aesa aesa(protos, dist);
+  Aesa::QueryStats astats;
+  for (const auto& q : queries) aesa.Nearest(q, &astats);
+
+  Laesa laesa(protos, dist, 10);
+  Laesa::QueryStats lstats;
+  for (const auto& q : queries) laesa.Nearest(q, &lstats);
+
+  EXPECT_LT(astats.distance_computations, lstats.distance_computations);
+}
+
+TEST(AesaTest, SinglePrototype) {
+  std::vector<std::string> one{"solo"};
+  Aesa aesa(one, MakeDistance("dE"));
+  EXPECT_EQ(aesa.Nearest("sole").index, 0u);
+}
+
+TEST(AesaTest, EmptySetThrows) {
+  std::vector<std::string> empty;
+  EXPECT_THROW(Aesa(empty, MakeDistance("dE")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

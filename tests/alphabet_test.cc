@@ -1,0 +1,53 @@
+#include "strings/alphabet.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+TEST(AlphabetTest, BasicMembership) {
+  Alphabet a("abc");
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.Contains('a'));
+  EXPECT_TRUE(a.Contains('c'));
+  EXPECT_FALSE(a.Contains('d'));
+}
+
+TEST(AlphabetTest, DeduplicatesKeepingFirstSeenOrder) {
+  Alphabet a("abca");
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.symbols(), "abc");
+}
+
+TEST(AlphabetTest, IndexMapping) {
+  Alphabet a("xyz");
+  EXPECT_EQ(a.IndexOf('x'), 0);
+  EXPECT_EQ(a.IndexOf('z'), 2);
+  EXPECT_EQ(a.IndexOf('a'), -1);
+  EXPECT_EQ(a.symbol(1), 'y');
+}
+
+TEST(AlphabetTest, EmptyThrows) {
+  EXPECT_THROW(Alphabet(""), std::invalid_argument);
+}
+
+TEST(AlphabetTest, ContainsAll) {
+  Alphabet a = Alphabet::Dna();
+  EXPECT_TRUE(a.ContainsAll("GATTACA"));
+  EXPECT_FALSE(a.ContainsAll("GATTAXA"));
+  EXPECT_TRUE(a.ContainsAll(""));
+}
+
+TEST(AlphabetTest, StandardAlphabets) {
+  EXPECT_EQ(Alphabet::Latin().size(), 26u);
+  EXPECT_EQ(Alphabet::Dna().size(), 4u);
+  EXPECT_EQ(Alphabet::ChainCode().size(), 8u);
+  EXPECT_TRUE(Alphabet::ChainCode().Contains('0'));
+  EXPECT_TRUE(Alphabet::ChainCode().Contains('7'));
+  EXPECT_FALSE(Alphabet::ChainCode().Contains('8'));
+}
+
+}  // namespace
+}  // namespace cned

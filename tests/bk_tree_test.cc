@@ -1,0 +1,94 @@
+#include "search/bk_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/perturb.h"
+#include "distances/levenshtein.h"
+#include "distances/registry.h"
+#include "search/exhaustive.h"
+
+namespace cned {
+namespace {
+
+std::vector<std::string> Dict(std::size_t n, std::uint64_t seed) {
+  DictionaryOptions opt;
+  opt.word_count = n;
+  opt.seed = seed;
+  return GenerateDictionary(opt).strings;
+}
+
+TEST(BkTreeTest, ExactNearestNeighbor) {
+  auto protos = Dict(300, 601);
+  Rng rng(602);
+  auto queries = MakeQueries(protos, 60, 2, Alphabet::Latin(), rng);
+  BkTree tree(protos, MakeDistance("dE"));
+  ExhaustiveSearch exact(protos, MakeDistance("dE"));
+  for (const auto& q : queries) {
+    EXPECT_DOUBLE_EQ(tree.Nearest(q).distance, exact.Nearest(q).distance)
+        << q;
+  }
+}
+
+TEST(BkTreeTest, RangeSearchFindsAllWithinRadius) {
+  auto protos = Dict(200, 603);
+  Rng rng(604);
+  auto queries = MakeQueries(protos, 20, 2, Alphabet::Latin(), rng);
+  BkTree tree(protos, MakeDistance("dE"));
+  for (const auto& q : queries) {
+    for (std::size_t radius : {0u, 1u, 2u, 3u}) {
+      auto hits = tree.RangeSearch(q, radius);
+      // Oracle: brute-force range query. Note the BK-tree deduplicates
+      // identical prototypes at build time, so compare distinct strings.
+      std::set<std::string> expected, got;
+      for (const auto& p : protos) {
+        if (LevenshteinDistance(q, p) <= radius) expected.insert(p);
+      }
+      for (const auto& hit : hits) got.insert(protos[hit.index]);
+      EXPECT_EQ(got, expected) << "q=" << q << " r=" << radius;
+    }
+  }
+}
+
+TEST(BkTreeTest, RangeResultsSortedAscending) {
+  auto protos = Dict(150, 605);
+  BkTree tree(protos, MakeDistance("dE"));
+  auto hits = tree.RangeSearch(protos[0], 3);
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].distance, hits[i].distance);
+  }
+}
+
+TEST(BkTreeTest, PrunesComputations) {
+  auto protos = Dict(800, 606);
+  Rng rng(607);
+  auto queries = MakeQueries(protos, 40, 1, Alphabet::Latin(), rng);
+  BkTree tree(protos, MakeDistance("dE"));
+  BkTree::QueryStats stats;
+  for (const auto& q : queries) tree.RangeSearch(q, 1, &stats);
+  double avg = static_cast<double>(stats.distance_computations) /
+               static_cast<double>(queries.size());
+  EXPECT_LT(avg, static_cast<double>(protos.size()) * 0.7);
+}
+
+TEST(BkTreeTest, RejectsNonIntegerDistance) {
+  std::vector<std::string> protos{"aa", "ab", "ba"};
+  EXPECT_THROW(BkTree(protos, MakeDistance("dC,h")), std::invalid_argument);
+}
+
+TEST(BkTreeTest, EmptySetThrows) {
+  std::vector<std::string> empty;
+  EXPECT_THROW(BkTree(empty, MakeDistance("dE")), std::invalid_argument);
+}
+
+TEST(BkTreeTest, DuplicatesCollapse) {
+  std::vector<std::string> dups{"casa", "casa", "cosa"};
+  BkTree tree(dups, MakeDistance("dE"));
+  auto hits = tree.RangeSearch("casa", 0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(dups[hits[0].index], "casa");
+}
+
+}  // namespace
+}  // namespace cned

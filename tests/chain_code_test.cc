@@ -1,0 +1,78 @@
+#include "strings/chain_code.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/digit_contours.h"
+
+namespace cned {
+namespace {
+
+TEST(DifferentialChainCodeTest, BasicDifferences) {
+  // 0,0,2,7: diffs mod 8 = 0, 2, 5.
+  EXPECT_EQ(DifferentialChainCode("0027"), "025");
+  EXPECT_EQ(DifferentialChainCode("00"), "0");
+  EXPECT_EQ(DifferentialChainCode("7"), "");
+  EXPECT_EQ(DifferentialChainCode(""), "");
+}
+
+TEST(DifferentialChainCodeTest, RotationBy45DegreesIsInvariant) {
+  // Rotating a shape by 45 degrees adds 1 (mod 8) to every absolute
+  // direction, which cancels in the differential code.
+  std::string code = "001224667";
+  std::string rotated;
+  for (char c : code) rotated.push_back(static_cast<char>('0' + (c - '0' + 1) % 8));
+  EXPECT_EQ(DifferentialChainCode(code), DifferentialChainCode(rotated));
+}
+
+TEST(DifferentialChainCodeTest, RejectsForeignSymbols) {
+  EXPECT_THROW(DifferentialChainCode("08"), std::invalid_argument);
+  EXPECT_THROW(DifferentialChainCode("ab"), std::invalid_argument);
+}
+
+TEST(CanonicalRotationTest, SmallExamples) {
+  EXPECT_EQ(CanonicalRotation("bca"), "abc");
+  EXPECT_EQ(CanonicalRotation("cab"), "abc");
+  EXPECT_EQ(CanonicalRotation("abc"), "abc");
+  EXPECT_EQ(CanonicalRotation("aaa"), "aaa");
+  EXPECT_EQ(CanonicalRotation(""), "");
+  EXPECT_EQ(CanonicalRotation("ba"), "ab");
+}
+
+TEST(CanonicalRotationTest, AllRotationsMapToSameCanonical) {
+  std::string s = "0312200311";
+  std::string canon = CanonicalRotation(s);
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    std::string rotated = s.substr(r) + s.substr(0, r);
+    EXPECT_EQ(CanonicalRotation(rotated), canon) << "rotation " << r;
+  }
+}
+
+TEST(CanonicalRotationTest, OutputIsARotationOfInput) {
+  std::string s = "210743215";
+  std::string canon = CanonicalRotation(s);
+  std::string doubled = s + s;
+  EXPECT_NE(doubled.find(canon), std::string::npos);
+  EXPECT_EQ(canon.size(), s.size());
+}
+
+TEST(CanonicalRotationTest, IsMinimalAmongAllRotations) {
+  std::string s = "53102142";
+  std::string canon = CanonicalRotation(s);
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    std::string rotated = s.substr(r) + s.substr(0, r);
+    EXPECT_LE(canon, rotated);
+  }
+}
+
+TEST(ContourSignatureTest, StartPointInvariantOnRealContours) {
+  // Tracing the same closed contour from a different start pixel yields a
+  // rotation of the chain code; the signature must coincide.
+  DigitContourOptions opt;
+  std::string code = RenderDigitChainCode(3, 777, opt);
+  ASSERT_GE(code.size(), 8u);
+  std::string rotated = code.substr(5) + code.substr(0, 5);
+  EXPECT_EQ(ContourSignature(code), ContourSignature(rotated));
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,94 @@
+#include "search/condensing.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/digit_contours.h"
+#include "distances/registry.h"
+#include "search/exhaustive.h"
+#include "search/knn_classifier.h"
+
+namespace cned {
+namespace {
+
+TEST(CondensingTest, KeepsOnePrototypePerClassAtLeast) {
+  std::vector<std::string> samples{"aaaa", "aaab", "zzzz", "zzzy"};
+  std::vector<int> labels{0, 0, 1, 1};
+  auto kept = CondenseTrainingSet(samples, labels, *MakeDistance("dE"));
+  ASSERT_GE(kept.size(), 2u);
+  bool has0 = false, has1 = false;
+  for (std::size_t idx : kept) {
+    if (labels[idx] == 0) has0 = true;
+    if (labels[idx] == 1) has1 = true;
+  }
+  EXPECT_TRUE(has0);
+  EXPECT_TRUE(has1);
+}
+
+TEST(CondensingTest, WellSeparatedClassesCondenseHard) {
+  // Tight clusters far apart: one prototype per class suffices.
+  std::vector<std::string> samples{"aaaa", "aaab", "aaba", "abaa",
+                                   "zzzz", "zzzy", "zzyz", "zyzz"};
+  std::vector<int> labels{0, 0, 0, 0, 1, 1, 1, 1};
+  auto kept = CondenseTrainingSet(samples, labels, *MakeDistance("dE"));
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(CondensingTest, ConsistencyOnTrainingSet) {
+  // Hart's invariant: the condensed subset classifies every training
+  // sample correctly under 1-NN.
+  DigitContourOptions opt;
+  opt.per_class = 8;
+  opt.seed = 1701;
+  opt.distortion = 1.0;
+  Dataset train = GenerateDigitContours(opt);
+  auto dist = MakeDistance("dC,h");
+  CondensedSet sub = Condense(train.strings, train.labels, *dist);
+  ASSERT_FALSE(sub.strings.empty());
+  ExhaustiveSearch search(sub.strings, dist);
+  NearestNeighborClassifier clf(search, sub.labels);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(clf.Classify(train.strings[i]), train.labels[i]) << i;
+  }
+}
+
+TEST(CondensingTest, SubsetNoLargerThanOriginal) {
+  DigitContourOptions opt;
+  opt.per_class = 6;
+  opt.seed = 1702;
+  Dataset train = GenerateDigitContours(opt);
+  auto kept =
+      CondenseTrainingSet(train.strings, train.labels, *MakeDistance("dE"));
+  EXPECT_LE(kept.size(), train.size());
+  EXPECT_GE(kept.size(), 10u);  // at least one per digit class
+  // Indices unique and in range.
+  std::set<std::size_t> uniq(kept.begin(), kept.end());
+  EXPECT_EQ(uniq.size(), kept.size());
+  for (std::size_t idx : kept) EXPECT_LT(idx, train.size());
+}
+
+TEST(CondensingTest, EmptyAndMismatchedInputs) {
+  auto dist = MakeDistance("dE");
+  std::vector<std::string> empty;
+  std::vector<int> no_labels;
+  EXPECT_TRUE(CondenseTrainingSet(empty, no_labels, *dist).empty());
+  std::vector<std::string> one{"a"};
+  EXPECT_THROW(CondenseTrainingSet(one, no_labels, *dist),
+               std::invalid_argument);
+}
+
+TEST(CondensingTest, MaterialisedSetMatchesIndices) {
+  std::vector<std::string> samples{"aa", "ab", "zz"};
+  std::vector<int> labels{0, 0, 1};
+  CondensedSet sub = Condense(samples, labels, *MakeDistance("dE"));
+  ASSERT_EQ(sub.strings.size(), sub.indices.size());
+  ASSERT_EQ(sub.labels.size(), sub.indices.size());
+  for (std::size_t i = 0; i < sub.indices.size(); ++i) {
+    EXPECT_EQ(sub.strings[i], samples[sub.indices[i]]);
+    EXPECT_EQ(sub.labels[i], labels[sub.indices[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,57 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("CNED_SCALE");
+    unsetenv("CNED_SEED");
+    unsetenv("CNED_SAMPLES");
+  }
+};
+
+TEST_F(ConfigTest, DefaultsWithoutEnv) {
+  unsetenv("CNED_SCALE");
+  unsetenv("CNED_SEED");
+  EXPECT_DOUBLE_EQ(Config::Scale(), 1.0);
+  EXPECT_EQ(Config::Seed(), 20080401u);
+  EXPECT_EQ(Config::Int("SAMPLES", 123), 123);
+  EXPECT_EQ(Config::ScaledInt("SAMPLES", 1000), 1000);
+}
+
+TEST_F(ConfigTest, ScaleMultipliesDefaults) {
+  setenv("CNED_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(Config::Scale(), 0.5);
+  EXPECT_EQ(Config::ScaledInt("SAMPLES", 1000), 500);
+}
+
+TEST_F(ConfigTest, ScaledIntNeverBelowOne) {
+  setenv("CNED_SCALE", "0.0001", 1);
+  EXPECT_EQ(Config::ScaledInt("SAMPLES", 100), 1);
+}
+
+TEST_F(ConfigTest, ExplicitOverrideBeatsScale) {
+  setenv("CNED_SCALE", "0.5", 1);
+  setenv("CNED_SAMPLES", "77", 1);
+  EXPECT_EQ(Config::ScaledInt("SAMPLES", 1000), 77);
+  EXPECT_EQ(Config::Int("SAMPLES", 5), 77);
+}
+
+TEST_F(ConfigTest, SeedOverride) {
+  setenv("CNED_SEED", "99", 1);
+  EXPECT_EQ(Config::Seed(), 99u);
+}
+
+TEST_F(ConfigTest, NonPositiveScaleIgnored) {
+  setenv("CNED_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(Config::Scale(), 1.0);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,122 @@
+#include "core/contextual_heuristic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/contextual.h"
+#include "distances/levenshtein.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(ContextualHeuristicTest, AgreesOnPaperExample4) {
+  EXPECT_NEAR(ContextualHeuristicDistance("ababa", "baab"), 8.0 / 15.0, 1e-12);
+}
+
+TEST(ContextualHeuristicTest, KEqualsEditDistance) {
+  Rng rng(21);
+  Alphabet ab("abc");
+  for (int t = 0; t < 200; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    auto r = ContextualHeuristicDetailed(x, y);
+    EXPECT_EQ(r.k, LevenshteinDistance(x, y)) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualHeuristicTest, InsertionsMatchFullDpAtMinimalK) {
+  // The 2-D (distance, max-insertions) DP must reproduce ni[m][n][dE] of
+  // the full Algorithm 1 profile — see the prefix-minimality argument in
+  // contextual_heuristic.cc.
+  Rng rng(22);
+  Alphabet ab("abcd");
+  for (int t = 0; t < 200; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    auto r = ContextualHeuristicDetailed(x, y);
+    auto profile = MaxInsertionProfile(x, y);
+    ASSERT_GE(profile[r.k], 0);
+    EXPECT_EQ(static_cast<std::int32_t>(r.insertions), profile[r.k])
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualHeuristicTest, UpperBoundsExact) {
+  Rng rng(23);
+  Alphabet ab("ab");
+  for (int t = 0; t < 300; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    EXPECT_GE(ContextualHeuristicDistance(x, y) + 1e-12,
+              ContextualDistance(x, y));
+  }
+}
+
+TEST(ContextualHeuristicTest, KnownMismatchCase) {
+  // See contextual_test.cc: dC(abc, dea) = 9/10 but the heuristic, locked
+  // to k = dE = 3, reports 1.
+  auto r = ContextualHeuristicDetailed("abc", "dea");
+  EXPECT_EQ(r.k, 3u);
+  EXPECT_EQ(r.insertions, 0u);
+  EXPECT_NEAR(r.distance, 1.0, 1e-12);
+  EXPECT_NEAR(ContextualDistance("abc", "dea"), 0.9, 1e-12);
+}
+
+TEST(ContextualHeuristicTest, HighAgreementRateOnRandomStrings) {
+  // The paper reports ~90% agreement on its benchmarks; random strings are
+  // *adversarial* for the heuristic (little shared structure), so we only
+  // assert a substantial-majority agreement here. The benchmark
+  // sec41_heuristic_agreement measures the rate on the paper-like datasets.
+  Rng rng(24);
+  Alphabet ab("abcd");
+  int agree = 0;
+  const int total = 300;
+  for (int t = 0; t < total; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    double e = ContextualDistance(x, y);
+    double h = ContextualHeuristicDistance(x, y);
+    if (std::abs(e - h) < 1e-12) ++agree;
+  }
+  EXPECT_GT(agree, total / 2);
+}
+
+TEST(ContextualHeuristicTest, IdentityAndSymmetry) {
+  Rng rng(25);
+  Alphabet ab("abc");
+  for (int t = 0; t < 150; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    EXPECT_DOUBLE_EQ(ContextualHeuristicDistance(x, x), 0.0);
+    EXPECT_NEAR(ContextualHeuristicDistance(x, y),
+                ContextualHeuristicDistance(y, x), 1e-12);
+  }
+}
+
+TEST(ContextualHeuristicTest, EmptyStringCases) {
+  HarmonicTable h;
+  EXPECT_DOUBLE_EQ(ContextualHeuristicDistance("", ""), 0.0);
+  EXPECT_NEAR(ContextualHeuristicDistance("", "abc"), h.H(3), 1e-12);
+  EXPECT_NEAR(ContextualHeuristicDistance("abc", ""), h.H(3), 1e-12);
+}
+
+TEST(ContextualHeuristicTest, LongStringsStayCheap) {
+  // O(mn) should handle thousands of symbols comfortably; also sanity-check
+  // the value against simple bounds.
+  std::string x(2000, 'a'), y(1900, 'a');
+  y += std::string(100, 'b');
+  double d = ContextualHeuristicDistance(x, y);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 2.0);  // contextual distances live in [0, ~2H range)
+}
+
+TEST(ContextualHeuristicAdapterTest, Metadata) {
+  ContextualHeuristicEditDistance d;
+  EXPECT_EQ(d.name(), "dC,h");
+  EXPECT_FALSE(d.is_metric());
+  EXPECT_NEAR(d.Distance("ababa", "baab"), 8.0 / 15.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,119 @@
+// Property tests for the paper's Theorem 1: d_C is a metric.
+//
+// The triangle inequality is checked with *exact rational arithmetic* over
+// an exhaustively enumerated universe of short strings, so the verification
+// is free of floating-point noise; longer strings are covered by randomised
+// double-precision sweeps with a tolerance.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rational.h"
+#include "common/rng.h"
+#include "core/contextual.h"
+#include "core/contextual_heuristic.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(ContextualMetricTest, ExactTriangleInequalityExhaustive) {
+  Alphabet ab("ab");
+  auto universe = StringGen::Enumerate(ab, 3);  // 15 strings, 3375 triples
+  const std::size_t n = universe.size();
+
+  // Cache the exact pairwise distances.
+  std::vector<std::vector<Rational>> d(n, std::vector<Rational>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d[i][j] = ContextualDistanceExact(universe[i], universe[j]);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Identity.
+    EXPECT_EQ(d[i][i], Rational(0));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        EXPECT_GT(d[i][j], Rational(0));
+      }
+      // Symmetry.
+      EXPECT_EQ(d[i][j], d[j][i])
+          << universe[i] << " / " << universe[j];
+      for (std::size_t k = 0; k < n; ++k) {
+        // Triangle, exactly.
+        EXPECT_LE(d[i][k], d[i][j] + d[j][k])
+            << "x=" << universe[i] << " y=" << universe[j]
+            << " z=" << universe[k];
+      }
+    }
+  }
+}
+
+TEST(ContextualMetricTest, TriangleInequalityRandomLongerStrings) {
+  Rng rng(51);
+  Alphabet ab("abcd");
+  for (int t = 0; t < 400; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string z = StringGen::UniformLength(rng, ab, 0, 12);
+    double xz = ContextualDistance(x, z);
+    double xy = ContextualDistance(x, y);
+    double yz = ContextualDistance(y, z);
+    EXPECT_LE(xz, xy + yz + 1e-9)
+        << "x=" << x << " y=" << y << " z=" << z;
+  }
+}
+
+TEST(ContextualMetricTest, TriangleOnStructuredTriples) {
+  // Structured triples (prefix/suffix/perturbation relations) stress the
+  // inequality harder than uniform strings.
+  Rng rng(52);
+  Alphabet ab("ab");
+  for (int t = 0; t < 200; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 1, 10);
+    std::string y = x.substr(0, rng.Index(x.size() + 1));  // prefix of x
+    std::string z = y + StringGen::UniformLength(rng, ab, 0, 4);
+    double xz = ContextualDistance(x, z);
+    double xy = ContextualDistance(x, y);
+    double yz = ContextualDistance(y, z);
+    EXPECT_LE(xz, xy + yz + 1e-9)
+        << "x=" << x << " y=" << y << " z=" << z;
+  }
+}
+
+TEST(ContextualMetricTest, HeuristicViolationsAreTinyWhenPresent) {
+  // d_C,h is not guaranteed to be a metric. Quantify how badly random
+  // triples can violate the triangle inequality: because dC <= dC,h and
+  // they agree on most pairs, any violation margin is bounded by the
+  // heuristic's deviation from dC. We assert the margin stays small (< 0.2)
+  // — the property the paper relies on when plugging dC,h into LAESA.
+  Rng rng(53);
+  Alphabet ab("abcd");
+  double worst = 0.0;
+  for (int t = 0; t < 300; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string z = StringGen::UniformLength(rng, ab, 0, 10);
+    double margin = ContextualHeuristicDistance(x, z) -
+                    ContextualHeuristicDistance(x, y) -
+                    ContextualHeuristicDistance(y, z);
+    worst = std::max(worst, margin);
+  }
+  EXPECT_LT(worst, 0.2);
+}
+
+TEST(ContextualMetricTest, ExactDoubleAndRationalAgree) {
+  Rng rng(54);
+  Alphabet ab("abc");
+  for (int t = 0; t < 100; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 8);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 8);
+    EXPECT_NEAR(ContextualDistance(x, y),
+                ContextualDistanceExact(x, y).ToDouble(), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cned

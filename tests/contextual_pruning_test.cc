@@ -1,0 +1,105 @@
+// Tests that the early-terminated exact DP (k/(m+n) lower-bound pruning in
+// ContextualDistanceDetailed) is exactly equivalent to the full layer scan
+// over the MaxInsertionProfile, and that it actually prunes.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/contextual.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+// Reference: unpruned minimisation over the full profile.
+ContextualResult FullScan(std::string_view x, std::string_view y) {
+  const std::size_t m = x.size(), n = y.size();
+  auto profile = MaxInsertionProfile(x, y);
+  HarmonicTable& h = GlobalHarmonic();
+  ContextualResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+  if (m == 0 && n == 0) {
+    best.distance = 0.0;
+    return best;
+  }
+  for (std::size_t k = 0; k < profile.size(); ++k) {
+    if (profile[k] < 0) continue;
+    const auto ni = static_cast<std::size_t>(profile[k]);
+    double cost = ContextualPathCost(m, n, k, ni, h);
+    if (cost < best.distance) {
+      best.distance = cost;
+      best.k = k;
+      best.insertions = ni;
+      best.deletions = m + ni - n;
+      best.substitutions = k - ni - best.deletions;
+    }
+  }
+  return best;
+}
+
+TEST(ContextualPruningTest, EquivalentToFullScanOnRandomStrings) {
+  Rng rng(1801);
+  Alphabet ab("abcd");
+  for (int t = 0; t < 300; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 14);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 14);
+    auto fast = ContextualDistanceDetailed(x, y);
+    auto full = FullScan(x, y);
+    EXPECT_DOUBLE_EQ(fast.distance, full.distance) << "x=" << x << " y=" << y;
+    EXPECT_EQ(fast.k, full.k);
+    EXPECT_EQ(fast.insertions, full.insertions);
+  }
+}
+
+TEST(ContextualPruningTest, EquivalentOnSimilarStrings) {
+  // Similar strings are where the pruning bites hardest (small dC).
+  Rng rng(1802);
+  Alphabet ab("abcdefgh");
+  for (int t = 0; t < 100; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 10, 40);
+    std::string y = x;
+    for (int e = 0; e < 3; ++e) {
+      if (!y.empty()) y[rng.Index(y.size())] = ab.symbol(rng.Index(ab.size()));
+    }
+    auto fast = ContextualDistanceDetailed(x, y);
+    auto full = FullScan(x, y);
+    EXPECT_DOUBLE_EQ(fast.distance, full.distance);
+  }
+}
+
+TEST(ContextualPruningTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ContextualDistanceDetailed("", "").distance, 0.0);
+  auto r1 = ContextualDistanceDetailed("abc", "");
+  auto r2 = FullScan("abc", "");
+  EXPECT_DOUBLE_EQ(r1.distance, r2.distance);
+  auto r3 = ContextualDistanceDetailed("", "xyz");
+  EXPECT_DOUBLE_EQ(r3.distance, FullScan("", "xyz").distance);
+  // The derived mismatch witness must still be exact.
+  EXPECT_NEAR(ContextualDistanceDetailed("abc", "dea").distance, 0.9, 1e-12);
+}
+
+TEST(ContextualPruningTest, PruningSpeedsUpSimilarLongStrings) {
+  // One substitution between two 600-symbol strings: dC ~ 1/600, so the
+  // pruned loop stops after a handful of layers while the full profile
+  // computes all 1200.
+  std::string x(600, 'a');
+  std::string y = x;
+  y[300] = 'b';
+
+  Stopwatch w1;
+  auto fast = ContextualDistanceDetailed(x, y);
+  double fast_s = w1.Seconds();
+  Stopwatch w2;
+  auto profile = MaxInsertionProfile(x, y);
+  double full_s = w2.Seconds();
+
+  EXPECT_NEAR(fast.distance, 1.0 / 600.0, 1e-12);
+  ASSERT_FALSE(profile.empty());
+  // The pruned run must be dramatically faster; allow generous slack for
+  // timer noise but this is typically >100x.
+  EXPECT_LT(fast_s, full_s / 5.0);
+}
+
+}  // namespace
+}  // namespace cned

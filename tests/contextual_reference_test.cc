@@ -1,0 +1,99 @@
+#include "core/contextual_reference.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/contextual.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(ContextualReferenceTest, TrivialCases) {
+  Alphabet ab("ab");
+  EXPECT_DOUBLE_EQ(ContextualReferenceDistance("", "", ab, 4), 0.0);
+  EXPECT_DOUBLE_EQ(ContextualReferenceDistance("a", "a", ab), 0.0);
+  // "" -> "a": single insertion into the empty string costs 1.
+  EXPECT_DOUBLE_EQ(ContextualReferenceDistance("", "a", ab), 1.0);
+  // "a" -> "b": one substitution on a length-1 string costs 1... or longer
+  // paths; Dijkstra must return the true minimum.
+  EXPECT_LE(ContextualReferenceDistance("a", "b", ab), 1.0);
+}
+
+TEST(ContextualReferenceTest, PaperExample4) {
+  Alphabet ab("ab");
+  EXPECT_NEAR(ContextualReferenceDistance("ababa", "baab", ab), 8.0 / 15.0,
+              1e-9);
+}
+
+TEST(ContextualReferenceTest, DpMatchesDijkstraExhaustively) {
+  // Ground truth: the unrestricted Dijkstra over string space must agree
+  // with Algorithm 1 on every pair of short binary strings. This validates
+  // both Lemma 1 (canonical ordering) and Proposition 1 (internal ops
+  // suffice) as implemented.
+  Alphabet ab("ab");
+  auto strings = StringGen::Enumerate(ab, 3);  // 15 strings
+  for (const auto& x : strings) {
+    for (const auto& y : strings) {
+      double dp = ContextualDistance(x, y);
+      double dij = ContextualReferenceDistance(x, y, ab);
+      EXPECT_NEAR(dp, dij, 1e-9) << "x=\"" << x << "\" y=\"" << y << "\"";
+    }
+  }
+}
+
+TEST(ContextualReferenceTest, DpMatchesDijkstraRandomLonger) {
+  Rng rng(41);
+  Alphabet ab("ab");
+  for (int t = 0; t < 25; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 5);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 5);
+    EXPECT_NEAR(ContextualDistance(x, y),
+                ContextualReferenceDistance(x, y, ab), 1e-9)
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualReferenceTest, ExtraAlphabetSymbolNeverHelps) {
+  // Proposition 1: optimal paths only need internal operations, so symbols
+  // outside x and y cannot lower the distance.
+  Alphabet ab("ab"), abc("abc");
+  Rng rng(42);
+  for (int t = 0; t < 12; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 4);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 4);
+    double d2 = ContextualReferenceDistance(x, y, ab);
+    double d3 = ContextualReferenceDistance(x, y, abc);
+    EXPECT_NEAR(d2, d3, 1e-9) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualReferenceTest, LongerMaxLenNeverImproves) {
+  // The paper's well-definedness argument: strings longer than |x|+|y|
+  // never pay off. Compare max_len = |x|+|y| against a larger budget.
+  Alphabet ab("ab");
+  Rng rng(43);
+  for (int t = 0; t < 8; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 1, 3);
+    std::string y = StringGen::UniformLength(rng, ab, 1, 3);
+    double tight = ContextualReferenceDistance(x, y, ab);
+    double loose =
+        ContextualReferenceDistance(x, y, ab, x.size() + y.size() + 2);
+    EXPECT_NEAR(tight, loose, 1e-9) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualReferenceTest, RejectsForeignStrings) {
+  Alphabet ab("ab");
+  EXPECT_THROW(ContextualReferenceDistance("ax", "b", ab),
+               std::invalid_argument);
+}
+
+TEST(ContextualReferenceTest, RejectsTooSmallMaxLen) {
+  Alphabet ab("ab");
+  EXPECT_THROW(ContextualReferenceDistance("aaaa", "b", ab, /*max_len=*/2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

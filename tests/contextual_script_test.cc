@@ -1,0 +1,144 @@
+#include "core/contextual_script.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/contextual.h"
+#include "core/contextual_heuristic.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+void ExpectCanonicalOrder(const EditScript& script) {
+  // Insertions, then substitutions, then deletions.
+  int phase = 0;
+  for (const EditOp& op : script.ops) {
+    int op_phase = op.kind == EditOpKind::kInsert     ? 0
+                   : op.kind == EditOpKind::kSubstitute ? 1
+                                                        : 2;
+    EXPECT_GE(op_phase, phase);
+    phase = op_phase;
+  }
+}
+
+// Recompute each op's contextual cost while replaying and compare.
+void ExpectCostsConsistent(std::string_view x, const EditScript& script) {
+  std::string w(x);
+  double total = 0.0;
+  for (const EditOp& op : script.ops) {
+    std::size_t len_before = w.size();
+    switch (op.kind) {
+      case EditOpKind::kInsert:
+        ASSERT_LE(op.pos, w.size());
+        w.insert(w.begin() + static_cast<std::ptrdiff_t>(op.pos), op.to);
+        EXPECT_NEAR(op.cost, 1.0 / static_cast<double>(len_before + 1), 1e-12);
+        break;
+      case EditOpKind::kSubstitute:
+        ASSERT_LT(op.pos, w.size());
+        ASSERT_EQ(w[op.pos], op.from);
+        w[op.pos] = op.to;
+        EXPECT_NEAR(op.cost, 1.0 / static_cast<double>(len_before), 1e-12);
+        break;
+      case EditOpKind::kDelete:
+        ASSERT_LT(op.pos, w.size());
+        ASSERT_EQ(w[op.pos], op.from);
+        w.erase(w.begin() + static_cast<std::ptrdiff_t>(op.pos));
+        EXPECT_NEAR(op.cost, 1.0 / static_cast<double>(len_before), 1e-12);
+        break;
+    }
+    total += op.cost;
+  }
+  EXPECT_NEAR(total, script.total_cost, 1e-9);
+}
+
+TEST(ContextualAlignTest, PaperExample4Script) {
+  EditScript s = ContextualAlign("ababa", "baab");
+  EXPECT_NEAR(s.total_cost, 8.0 / 15.0, 1e-12);
+  EXPECT_EQ(s.k, 3u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.deletions, 2u);
+  ExpectCanonicalOrder(s);
+  EXPECT_EQ(ApplyEditScript("ababa", s), "baab");
+}
+
+TEST(ContextualAlignTest, ScriptCostEqualsDistance) {
+  Rng rng(31);
+  Alphabet ab("abc");
+  for (int t = 0; t < 150; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 9);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 9);
+    EditScript s = ContextualAlign(x, y);
+    EXPECT_NEAR(s.total_cost, ContextualDistance(x, y), 1e-9)
+        << "x=" << x << " y=" << y;
+    EXPECT_EQ(ApplyEditScript(x, s), y) << "x=" << x << " y=" << y;
+    ExpectCanonicalOrder(s);
+    ExpectCostsConsistent(x, s);
+  }
+}
+
+TEST(ContextualAlignTest, MismatchCaseUsesLongerPath) {
+  // dC(abc, dea) = 9/10 over k = 4 with 2 insertions (see contextual_test).
+  EditScript s = ContextualAlign("abc", "dea");
+  EXPECT_EQ(s.k, 4u);
+  EXPECT_EQ(s.insertions, 2u);
+  EXPECT_EQ(s.substitutions, 0u);
+  EXPECT_EQ(s.deletions, 2u);
+  EXPECT_NEAR(s.total_cost, 0.9, 1e-12);
+  EXPECT_EQ(ApplyEditScript("abc", s), "dea");
+}
+
+TEST(ContextualAlignTest, IdenticalStringsEmptyScript) {
+  EditScript s = ContextualAlign("same", "same");
+  EXPECT_TRUE(s.ops.empty());
+  EXPECT_DOUBLE_EQ(s.total_cost, 0.0);
+  EXPECT_EQ(ApplyEditScript("same", s), "same");
+}
+
+TEST(ContextualAlignTest, MemoryGuardThrows) {
+  std::string big(200, 'a'), other(200, 'b');
+  EXPECT_THROW(ContextualAlign(big, other, /*max_cells=*/1000),
+               std::length_error);
+}
+
+TEST(ContextualAlignHeuristicTest, CostEqualsHeuristicDistance) {
+  Rng rng(32);
+  Alphabet ab("abcd");
+  for (int t = 0; t < 150; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    EditScript s = ContextualAlignHeuristic(x, y);
+    EXPECT_NEAR(s.total_cost, ContextualHeuristicDistance(x, y), 1e-9)
+        << "x=" << x << " y=" << y;
+    EXPECT_EQ(ApplyEditScript(x, s), y) << "x=" << x << " y=" << y;
+    EXPECT_EQ(s.k, ContextualHeuristicDetailed(x, y).k);
+    ExpectCanonicalOrder(s);
+    ExpectCostsConsistent(x, s);
+  }
+}
+
+TEST(ContextualAlignHeuristicTest, LargeInputsWork) {
+  Rng rng(33);
+  Alphabet ab("ab");
+  std::string x = StringGen::Uniform(rng, ab, 600);
+  std::string y = StringGen::Uniform(rng, ab, 500);
+  EditScript s = ContextualAlignHeuristic(x, y);
+  EXPECT_EQ(ApplyEditScript(x, s), y);
+}
+
+TEST(ApplyEditScriptTest, RejectsCorruptScripts) {
+  EditScript s = ContextualAlign("abc", "abd");
+  // Applying to the wrong source must throw on the 'from' check.
+  EXPECT_THROW(ApplyEditScript("xyz", s), std::invalid_argument);
+}
+
+TEST(FormatEditScriptTest, MentionsEveryOperation) {
+  EditScript s = ContextualAlign("abc", "dea");
+  std::string text = FormatEditScript(s);
+  EXPECT_NE(text.find("ins"), std::string::npos);
+  EXPECT_NE(text.find("del"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,258 @@
+#include "core/contextual.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/contextual_heuristic.h"
+#include "distances/levenshtein.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(ContextualPathCostTest, PaperExample4Decomposition) {
+  // ababa -> baab via 1 insertion, 0 substitutions, 2 deletions (k=3):
+  // 1/6 + (1/5 + 1/6) = 8/15.
+  HarmonicTable h;
+  EXPECT_NEAR(ContextualPathCost(5, 4, 3, 1, h), 8.0 / 15.0, 1e-12);
+  EXPECT_EQ(ContextualPathCostExact(5, 4, 3, 1), Rational(8, 15));
+}
+
+TEST(ContextualPathCostTest, PaperExample4FirstPath) {
+  // The paper's first path ababa ->d abaa ->d baa ->i baab costs
+  // 1/5 + 1/4 + 1/4 = 7/10; as a canonical decomposition this is k=3 with
+  // ni=1 but executed suboptimally — the formula gives the *optimal*
+  // ordering 8/15, which is cheaper, as the paper observes.
+  HarmonicTable h;
+  EXPECT_LT(ContextualPathCost(5, 4, 3, 1, h), 7.0 / 10.0);
+}
+
+TEST(ContextualPathCostTest, PureDeletionsAreHarmonicTail) {
+  // x (m=4) -> empty: k=4, ni=0: deletions cost 1/4+1/3+1/2+1 = H(4).
+  HarmonicTable h;
+  EXPECT_NEAR(ContextualPathCost(4, 0, 4, 0, h), h.H(4), 1e-12);
+}
+
+TEST(ContextualPathCostTest, PureInsertionsAreHarmonicTail) {
+  // empty -> y (n=3): k=3, ni=3: insertions cost 1 + 1/2 + 1/3 = H(3).
+  HarmonicTable h;
+  EXPECT_NEAR(ContextualPathCost(0, 3, 3, 3, h), h.H(3), 1e-12);
+}
+
+TEST(ContextualPathCostTest, SubstitutionsAtPeakLength) {
+  // m=n=4, k=2, ni=0: two substitutions on a length-4 string: 2/4.
+  HarmonicTable h;
+  EXPECT_NEAR(ContextualPathCost(4, 4, 2, 0, h), 0.5, 1e-12);
+}
+
+TEST(ContextualPathCostTest, InvalidDecompositionsThrow) {
+  HarmonicTable h;
+  // ni + nd > k.
+  EXPECT_THROW(ContextualPathCost(5, 4, 1, 1, h), std::invalid_argument);
+  // negative deletions: m + ni < n.
+  EXPECT_THROW(ContextualPathCost(1, 5, 2, 1, h), std::invalid_argument);
+  EXPECT_THROW(ContextualPathCostExact(5, 4, 1, 1), std::invalid_argument);
+}
+
+TEST(ContextualPathCostTest, Lemma1MoreInsertionsNeverHurtFixedK) {
+  // For fixed edit length k the canonical cost is non-increasing in the
+  // number of insertions (the paper's Lemma 1: use strings as long as
+  // possible). Sweep all valid (m, n, k, ni).
+  HarmonicTable h;
+  for (std::size_t m = 0; m <= 10; ++m) {
+    for (std::size_t n = 0; n <= 10; ++n) {
+      for (std::size_t k = (m > n ? m - n : n - m); k <= m + n; ++k) {
+        double prev = -1.0;
+        bool first = true;
+        for (std::size_t ni = (n > m ? n - m : 0); ni + (m + ni - n) <= k;
+             ++ni) {
+          double c = ContextualPathCost(m, n, k, ni, h);
+          if (!first) {
+            EXPECT_LE(c, prev + 1e-12)
+                << "m=" << m << " n=" << n << " k=" << k << " ni=" << ni;
+          }
+          prev = c;
+          first = false;
+        }
+      }
+    }
+  }
+}
+
+TEST(MaxInsertionProfileTest, IdenticalStrings) {
+  auto p = MaxInsertionProfile("abc", "abc");
+  ASSERT_EQ(p.size(), 7u);
+  EXPECT_EQ(p[0], 0);  // zero ops, zero insertions
+}
+
+TEST(MaxInsertionProfileTest, EmptyToNonEmpty) {
+  auto p = MaxInsertionProfile("", "abc");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_LT(p[0], 0);
+  EXPECT_LT(p[1], 0);
+  EXPECT_LT(p[2], 0);
+  EXPECT_EQ(p[3], 3);  // exactly 3 insertions
+}
+
+TEST(MaxInsertionProfileTest, NonEmptyToEmpty) {
+  auto p = MaxInsertionProfile("ab", "");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[2], 0);  // two deletions, no insertions
+  EXPECT_LT(p[1], 0);
+}
+
+TEST(MaxInsertionProfileTest, MismatchExampleProfile) {
+  // x = abc, y = dea share only x[0]=='a'=='y[2]', matchable only as a
+  // corner pair. Derivation in contextual_heuristic_test.cc.
+  auto p = MaxInsertionProfile("abc", "dea");
+  ASSERT_EQ(p.size(), 7u);
+  EXPECT_LT(p[0], 0);
+  EXPECT_LT(p[1], 0);
+  EXPECT_LT(p[2], 0);
+  EXPECT_EQ(p[3], 0);  // three substitutions
+  EXPECT_EQ(p[4], 2);  // ins d, ins e, del b, del c around the 'a' match
+  EXPECT_EQ(p[5], 2);
+  EXPECT_EQ(p[6], 3);  // full rewrite
+}
+
+TEST(MaxInsertionProfileTest, FeasibleKsGiveConsistentDecompositions) {
+  Rng rng(11);
+  Alphabet ab("abc");
+  for (int t = 0; t < 100; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 8);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 8);
+    auto p = MaxInsertionProfile(x, y);
+    std::size_t de = LevenshteinDistance(x, y);
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      if (k < de) {
+        EXPECT_LT(p[k], 0) << "x=" << x << " y=" << y << " k=" << k;
+      }
+      if (p[k] >= 0) {
+        auto ni = static_cast<std::size_t>(p[k]);
+        // nd and ns must be non-negative.
+        EXPECT_GE(x.size() + ni, y.size());
+        EXPECT_GE(k, ni + (x.size() + ni - y.size()));
+        EXPECT_LE(ni, y.size());
+      }
+    }
+    // k = dE is always feasible; k = m+n always feasible (full rewrite).
+    EXPECT_GE(p[de], 0);
+    EXPECT_EQ(p[x.size() + y.size()],
+              static_cast<std::int32_t>(y.size()));
+  }
+}
+
+TEST(ContextualDistanceTest, PaperExample4) {
+  EXPECT_NEAR(ContextualDistance("ababa", "baab"), 8.0 / 15.0, 1e-12);
+  EXPECT_EQ(ContextualDistanceExact("ababa", "baab"), Rational(8, 15));
+}
+
+TEST(ContextualDistanceTest, PaperExample4Detailed) {
+  auto r = ContextualDistanceDetailed("ababa", "baab");
+  EXPECT_EQ(r.k, 3u);
+  EXPECT_EQ(r.insertions, 1u);
+  EXPECT_EQ(r.substitutions, 0u);
+  EXPECT_EQ(r.deletions, 2u);
+}
+
+TEST(ContextualDistanceTest, IdentityAndEmpty) {
+  EXPECT_DOUBLE_EQ(ContextualDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(ContextualDistance("abc", "abc"), 0.0);
+  HarmonicTable h;
+  EXPECT_NEAR(ContextualDistance("abcd", ""), h.H(4), 1e-12);
+  EXPECT_NEAR(ContextualDistance("", "abcd"), h.H(4), 1e-12);
+}
+
+TEST(ContextualDistanceTest, SymmetryOnRandomStrings) {
+  Rng rng(12);
+  Alphabet ab("abc");
+  for (int t = 0; t < 150; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    EXPECT_NEAR(ContextualDistance(x, y), ContextualDistance(y, x), 1e-12)
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualDistanceTest, PositiveForDistinctStrings) {
+  Rng rng(13);
+  Alphabet ab("ab");
+  for (int t = 0; t < 150; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 8);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 8);
+    double d = ContextualDistance(x, y);
+    if (x == y) {
+      EXPECT_DOUBLE_EQ(d, 0.0);
+    } else {
+      EXPECT_GT(d, 0.0);
+    }
+  }
+}
+
+TEST(ContextualDistanceTest, NeverExceedsHeuristic) {
+  // The exact distance minimises over all k including k = dE; the heuristic
+  // evaluates only k = dE. Hence dC <= dC,h always.
+  Rng rng(14);
+  Alphabet ab("abcd");
+  for (int t = 0; t < 200; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    EXPECT_LE(ContextualDistance(x, y),
+              ContextualHeuristicDistance(x, y) + 1e-12)
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualDistanceTest, KnownMismatchWithHeuristic) {
+  // x = abc, y = dea: the only match ('a') sits in opposite corners, so
+  // every minimal (k=3) script is three substitutions (cost 1), while k=4
+  // can insert d,e before and delete b,c after the matched 'a':
+  // 1/4 + 1/5 + 1/5 + 1/4 = 9/10 < 1.
+  EXPECT_EQ(ContextualDistanceExact("abc", "dea"), Rational(9, 10));
+  EXPECT_NEAR(ContextualDistance("abc", "dea"), 0.9, 1e-12);
+  EXPECT_NEAR(ContextualHeuristicDistance("abc", "dea"), 1.0, 1e-12);
+  auto r = ContextualDistanceDetailed("abc", "dea");
+  EXPECT_EQ(r.k, 4u);
+  EXPECT_EQ(r.insertions, 2u);
+}
+
+TEST(ContextualDistanceTest, UpperBoundedByNaiveCanonicalPaths) {
+  // dC is a min over paths, so any particular decomposition upper-bounds it.
+  Rng rng(15);
+  Alphabet ab("ab");
+  HarmonicTable h;
+  for (int t = 0; t < 100; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 8);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 8);
+    double d = ContextualDistance(x, y);
+    // Full-rewrite path: delete all of x, insert all of y... executed
+    // optimally: insert all of y first, delete all of x.
+    double rewrite = ContextualPathCost(x.size(), y.size(),
+                                        x.size() + y.size(), y.size(), h);
+    EXPECT_LE(d, rewrite + 1e-12);
+  }
+}
+
+TEST(ContextualDistanceTest, BoundedAboveByHarmonicSandwich) {
+  // The paper's well-definedness bound: dC(x,y) <= H(|x|+|y|) - H(|x|) +
+  // H(|x|+|y|) - H(|y|) (the full-rewrite path cost).
+  Rng rng(16);
+  Alphabet ab("abc");
+  HarmonicTable h;
+  for (int t = 0; t < 100; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    double bound = 2 * h.H(x.size() + y.size()) - h.H(x.size()) - h.H(y.size());
+    EXPECT_LE(ContextualDistance(x, y), bound + 1e-12);
+  }
+}
+
+TEST(ContextualEditDistanceAdapterTest, Metadata) {
+  ContextualEditDistance d;
+  EXPECT_EQ(d.name(), "dC");
+  EXPECT_TRUE(d.is_metric());
+  EXPECT_NEAR(d.Distance("ababa", "baab"), 8.0 / 15.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,39 @@
+#include "search/counting_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "distances/levenshtein.h"
+#include "distances/registry.h"
+
+namespace cned {
+namespace {
+
+TEST(CountingDistanceTest, CountsEvaluations) {
+  CountingDistance c(std::make_shared<EditDistance>());
+  EXPECT_EQ(c.count(), 0u);
+  c.Distance("a", "b");
+  c.Distance("ab", "ba");
+  EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(CountingDistanceTest, ResetClears) {
+  CountingDistance c(std::make_shared<EditDistance>());
+  c.Distance("a", "b");
+  c.Reset();
+  EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(CountingDistanceTest, DelegatesValueAndMetadata) {
+  CountingDistance c(MakeDistance("dE"));
+  EXPECT_DOUBLE_EQ(c.Distance("kitten", "sitting"), 3.0);
+  EXPECT_EQ(c.name(), "dE");
+  EXPECT_TRUE(c.is_metric());
+}
+
+TEST(CountingDistanceTest, NonMetricFlagPropagates) {
+  CountingDistance c(MakeDistance("dmax"));
+  EXPECT_FALSE(c.is_metric());
+}
+
+}  // namespace
+}  // namespace cned

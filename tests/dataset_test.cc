@@ -1,0 +1,88 @@
+#include "datasets/dataset.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/cned_dataset_test.txt";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST(DatasetTest, AddUnlabeled) {
+  Dataset ds;
+  ds.Add("hello");
+  ds.Add("world");
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_FALSE(ds.labeled());
+}
+
+TEST(DatasetTest, AddLabeled) {
+  Dataset ds;
+  ds.Add("one", 1);
+  ds.Add("two", 2);
+  EXPECT_TRUE(ds.labeled());
+  EXPECT_EQ(ds.labels[1], 2);
+}
+
+TEST(DatasetTest, MixingLabelModesThrows) {
+  Dataset ds;
+  ds.Add("plain");
+  EXPECT_THROW(ds.Add("tagged", 3), std::logic_error);
+  Dataset ds2;
+  ds2.Add("tagged", 3);
+  EXPECT_THROW(ds2.Add("plain"), std::logic_error);
+}
+
+TEST(DatasetTest, MeanLength) {
+  Dataset ds;
+  ds.Add("ab");
+  ds.Add("abcd");
+  EXPECT_DOUBLE_EQ(ds.MeanLength(), 3.0);
+  EXPECT_DOUBLE_EQ(Dataset().MeanLength(), 0.0);
+}
+
+TEST_F(DatasetIoTest, SaveLoadRoundtripLabeled) {
+  Dataset ds;
+  ds.Add("alpha", 0);
+  ds.Add("beta", 1);
+  ds.SaveText(path_);
+  Dataset back = Dataset::LoadText(path_);
+  EXPECT_EQ(back.strings, ds.strings);
+  EXPECT_EQ(back.labels, ds.labels);
+}
+
+TEST_F(DatasetIoTest, SaveLoadRoundtripUnlabeled) {
+  Dataset ds;
+  ds.Add("uno");
+  ds.Add("dos");
+  ds.SaveText(path_);
+  Dataset back = Dataset::LoadText(path_);
+  EXPECT_EQ(back.strings, ds.strings);
+  EXPECT_FALSE(back.labeled());
+}
+
+TEST_F(DatasetIoTest, LoadLinesStripsCarriageReturns) {
+  {
+    std::ofstream out(path_);
+    out << "casa\r\n" << "perro\n" << "\n" << "gato\n";
+  }
+  Dataset ds = Dataset::LoadLines(path_);
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.strings[0], "casa");
+  EXPECT_EQ(ds.strings[1], "perro");
+  EXPECT_EQ(ds.strings[2], "gato");
+}
+
+TEST(DatasetTest, LoadMissingFileThrows) {
+  EXPECT_THROW(Dataset::LoadText("/nonexistent/file.txt"), std::runtime_error);
+  EXPECT_THROW(Dataset::LoadLines("/nonexistent/file.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,88 @@
+#include "datasets/dictionary_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "strings/alphabet.h"
+
+namespace cned {
+namespace {
+
+TEST(DictionaryGenTest, ProducesRequestedCount) {
+  DictionaryOptions opt;
+  opt.word_count = 500;
+  Dataset ds = GenerateDictionary(opt);
+  EXPECT_EQ(ds.size(), 500u);
+  EXPECT_FALSE(ds.labeled());
+}
+
+TEST(DictionaryGenTest, DeterministicPerSeed) {
+  DictionaryOptions opt;
+  opt.word_count = 200;
+  opt.seed = 7;
+  EXPECT_EQ(GenerateDictionary(opt).strings, GenerateDictionary(opt).strings);
+  DictionaryOptions other = opt;
+  other.seed = 8;
+  EXPECT_NE(GenerateDictionary(opt).strings,
+            GenerateDictionary(other).strings);
+}
+
+TEST(DictionaryGenTest, WordsAreUniqueLatinAndNonEmpty) {
+  DictionaryOptions opt;
+  opt.word_count = 1000;
+  Dataset ds = GenerateDictionary(opt);
+  Alphabet latin = Alphabet::Latin();
+  std::set<std::string> uniq;
+  for (const auto& w : ds.strings) {
+    EXPECT_FALSE(w.empty());
+    EXPECT_TRUE(latin.ContainsAll(w)) << w;
+    uniq.insert(w);
+  }
+  EXPECT_EQ(uniq.size(), ds.size());
+}
+
+TEST(DictionaryGenTest, RealisticLengthDistribution) {
+  DictionaryOptions opt;
+  opt.word_count = 2000;
+  Dataset ds = GenerateDictionary(opt);
+  double mean = ds.MeanLength();
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 14.0);
+  std::size_t max_len = 0;
+  for (const auto& w : ds.strings) max_len = std::max(max_len, w.size());
+  EXPECT_LT(max_len, 30u);
+}
+
+TEST(DictionaryGenTest, FamiliesShareStems) {
+  // With family_probability high, many words must share a long prefix with
+  // another word (inflection families).
+  DictionaryOptions opt;
+  opt.word_count = 800;
+  opt.family_probability = 0.6;
+  Dataset ds = GenerateDictionary(opt);
+  std::set<std::string> words(ds.strings.begin(), ds.strings.end());
+  int with_family = 0;
+  for (const auto& w : ds.strings) {
+    for (std::size_t cut = 4; cut < w.size(); ++cut) {
+      if (words.count(w.substr(0, cut))) {
+        ++with_family;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_family, 50);
+}
+
+TEST(DictionaryGenTest, RejectsBadOptions) {
+  DictionaryOptions opt;
+  opt.min_syllables = 0;
+  EXPECT_THROW(GenerateDictionary(opt), std::invalid_argument);
+  DictionaryOptions opt2;
+  opt2.min_syllables = 4;
+  opt2.max_syllables = 2;
+  EXPECT_THROW(GenerateDictionary(opt2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,147 @@
+#include "datasets/digit_contours.h"
+
+#include <gtest/gtest.h>
+
+#include "strings/alphabet.h"
+
+namespace cned {
+namespace {
+
+// Freeman directions, y down: 0=E,1=NE,2=N,3=NW,4=W,5=SW,6=S,7=SE.
+constexpr int kDx[8] = {1, 1, 0, -1, -1, -1, 0, 1};
+constexpr int kDy[8] = {0, -1, -1, -1, 0, 1, 1, 1};
+
+TEST(TraceChainCodeTest, SquareBlock) {
+  // A 2x2 block in a 4x4 bitmap: the boundary visits all four pixels.
+  std::vector<std::uint8_t> bmp(16, 0);
+  bmp[1 * 4 + 1] = bmp[1 * 4 + 2] = bmp[2 * 4 + 1] = bmp[2 * 4 + 2] = 1;
+  std::string code = TraceChainCode(bmp, 4, 4);
+  EXPECT_EQ(code, "0642");
+}
+
+TEST(TraceChainCodeTest, SinglePixelHasNoBoundaryPath) {
+  std::vector<std::uint8_t> bmp(9, 0);
+  bmp[4] = 1;
+  EXPECT_EQ(TraceChainCode(bmp, 3, 3), "");
+}
+
+TEST(TraceChainCodeTest, EmptyBitmap) {
+  std::vector<std::uint8_t> bmp(9, 0);
+  EXPECT_EQ(TraceChainCode(bmp, 3, 3), "");
+}
+
+TEST(TraceChainCodeTest, ChainCodeIsClosed) {
+  // Horizontal bar: net displacement of the chain code must be zero.
+  std::vector<std::uint8_t> bmp(8 * 3, 0);
+  for (int x = 1; x < 7; ++x) bmp[1 * 8 + x] = 1;
+  std::string code = TraceChainCode(bmp, 8, 3);
+  ASSERT_FALSE(code.empty());
+  int dx = 0, dy = 0;
+  for (char c : code) {
+    int d = c - '0';
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 8);
+    dx += kDx[d];
+    dy += kDy[d];
+  }
+  EXPECT_EQ(dx, 0);
+  EXPECT_EQ(dy, 0);
+}
+
+TEST(TraceChainCodeTest, IgnoresSmallerSecondComponent) {
+  // Big block + distant lone pixel: the lone pixel must not break tracing.
+  std::vector<std::uint8_t> bmp(10 * 10, 0);
+  for (int y = 1; y <= 3; ++y) {
+    for (int x = 1; x <= 3; ++x) bmp[y * 10 + x] = 1;
+  }
+  bmp[8 * 10 + 8] = 1;
+  std::string code = TraceChainCode(bmp, 10, 10);
+  EXPECT_GE(code.size(), 8u);  // the 3x3 block boundary
+}
+
+TEST(TraceChainCodeTest, SizeMismatchThrows) {
+  std::vector<std::uint8_t> bmp(5, 0);
+  EXPECT_THROW(TraceChainCode(bmp, 3, 3), std::invalid_argument);
+}
+
+TEST(RenderDigitChainCodeTest, ProducesValidChainCodes) {
+  DigitContourOptions opt;
+  Alphabet cc = Alphabet::ChainCode();
+  for (int digit = 0; digit <= 9; ++digit) {
+    std::string code = RenderDigitChainCode(digit, 1234 + digit, opt);
+    EXPECT_GE(code.size(), 24u) << "digit " << digit;
+    EXPECT_TRUE(cc.ContainsAll(code)) << "digit " << digit;
+  }
+}
+
+TEST(RenderDigitChainCodeTest, ClosedContours) {
+  DigitContourOptions opt;
+  for (int digit = 0; digit <= 9; ++digit) {
+    std::string code = RenderDigitChainCode(digit, 99 + digit, opt);
+    int dx = 0, dy = 0;
+    for (char c : code) {
+      dx += kDx[c - '0'];
+      dy += kDy[c - '0'];
+    }
+    EXPECT_EQ(dx, 0) << "digit " << digit;
+    EXPECT_EQ(dy, 0) << "digit " << digit;
+  }
+}
+
+TEST(RenderDigitChainCodeTest, DeterministicPerSeed) {
+  DigitContourOptions opt;
+  EXPECT_EQ(RenderDigitChainCode(5, 42, opt), RenderDigitChainCode(5, 42, opt));
+  EXPECT_NE(RenderDigitChainCode(5, 42, opt), RenderDigitChainCode(5, 43, opt));
+}
+
+TEST(RenderDigitChainCodeTest, RejectsInvalidDigit) {
+  DigitContourOptions opt;
+  EXPECT_THROW(RenderDigitChainCode(-1, 1, opt), std::invalid_argument);
+  EXPECT_THROW(RenderDigitChainCode(10, 1, opt), std::invalid_argument);
+}
+
+TEST(GenerateDigitContoursTest, BalancedLabelledDataset) {
+  DigitContourOptions opt;
+  opt.per_class = 12;
+  Dataset ds = GenerateDigitContours(opt);
+  EXPECT_EQ(ds.size(), 120u);
+  ASSERT_TRUE(ds.labeled());
+  std::vector<int> counts(10, 0);
+  for (int label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 10);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 12);
+}
+
+TEST(GenerateDigitContoursTest, Deterministic) {
+  DigitContourOptions opt;
+  opt.per_class = 5;
+  EXPECT_EQ(GenerateDigitContours(opt).strings,
+            GenerateDigitContours(opt).strings);
+}
+
+TEST(GenerateDigitContoursTest, ScribeVariabilityWithinClass) {
+  DigitContourOptions opt;
+  opt.per_class = 6;
+  Dataset ds = GenerateDigitContours(opt);
+  // Two samples of the same class from different "scribes" must differ (no
+  // two identical renders), as in the unnormalised NIST data.
+  int identical = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t j = i + 1; j < ds.size(); ++j) {
+      if (ds.strings[i] == ds.strings[j]) ++identical;
+    }
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST(GenerateDigitContoursTest, RejectsZeroPerClass) {
+  DigitContourOptions opt;
+  opt.per_class = 0;
+  EXPECT_THROW(GenerateDigitContours(opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,82 @@
+#include "metric/distance_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distances/registry.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(DistanceMatrixTest, MatchesDirectEvaluation) {
+  Rng rng(801);
+  Alphabet ab("abc");
+  auto sample = StringGen::Batch(rng, ab, 25, 1, 10);
+  auto dist = MakeDistance("dE");
+  DistanceMatrix m(sample, *dist);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.At(i, i), 0.0);
+    for (std::size_t j = 0; j < sample.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m.At(i, j), dist->Distance(sample[i], sample[j]))
+          << i << "," << j;
+      EXPECT_DOUBLE_EQ(m.At(i, j), m.At(j, i));
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, ParallelAndSerialAgree) {
+  Rng rng(802);
+  Alphabet ab("ACGT");
+  auto sample = StringGen::Batch(rng, ab, 40, 5, 40);
+  auto dist = MakeDistance("dC,h");
+  DistanceMatrix serial(sample, *dist, /*threads=*/1);
+  DistanceMatrix parallel(sample, *dist, /*threads=*/4);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    for (std::size_t j = 0; j < sample.size(); ++j) {
+      EXPECT_DOUBLE_EQ(serial.At(i, j), parallel.At(i, j));
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, PairStatsCountsEachPairOnce) {
+  Rng rng(803);
+  Alphabet ab("ab");
+  auto sample = StringGen::Batch(rng, ab, 12, 1, 6);
+  DistanceMatrix m(sample, *MakeDistance("dE"));
+  EXPECT_EQ(m.PairStats().count(), 12u * 11u / 2u);
+}
+
+TEST(DistanceMatrixTest, IntrinsicDimensionMatchesManual) {
+  Rng rng(804);
+  Alphabet ab("abcd");
+  auto sample = StringGen::Batch(rng, ab, 20, 2, 12);
+  auto dist = MakeDistance("dYB");
+  DistanceMatrix m(sample, *dist);
+  RunningStats manual;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    for (std::size_t j = i + 1; j < sample.size(); ++j) {
+      manual.Add(dist->Distance(sample[i], sample[j]));
+    }
+  }
+  EXPECT_NEAR(m.IntrinsicDimension(), IntrinsicDimensionality(manual), 1e-9);
+}
+
+TEST(DistanceMatrixTest, FillHistogram) {
+  Rng rng(805);
+  Alphabet ab("ab");
+  auto sample = StringGen::Batch(rng, ab, 10, 1, 8);
+  DistanceMatrix m(sample, *MakeDistance("dmax"));
+  Histogram h(0.0, 1.0, 10);
+  m.FillHistogram(h);
+  EXPECT_EQ(h.total(), 45u);
+}
+
+TEST(DistanceMatrixTest, RejectsTinySamples) {
+  std::vector<std::string> one{"a"};
+  EXPECT_THROW(DistanceMatrix(one, *MakeDistance("dE")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,202 @@
+// Parameterized property suite: the axioms and cross-distance invariants
+// every registered distance must satisfy, swept over all distances and a
+// grid of workload shapes (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/rng.h"
+#include "distances/levenshtein.h"
+#include "distances/registry.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Axioms per distance.
+// ---------------------------------------------------------------------------
+
+class DistanceAxiomsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  StringDistancePtr dist_ = MakeDistance(GetParam());
+};
+
+TEST_P(DistanceAxiomsTest, IdentityOfIndiscernibles) {
+  Rng rng(1001);
+  Alphabet ab("abcd");
+  for (int t = 0; t < 60; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    EXPECT_DOUBLE_EQ(dist_->Distance(x, x), 0.0) << "x=" << x;
+  }
+}
+
+TEST_P(DistanceAxiomsTest, PositivityForDistinctStrings) {
+  Rng rng(1002);
+  Alphabet ab("ab");
+  for (int t = 0; t < 60; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    if (x == y) continue;
+    EXPECT_GT(dist_->Distance(x, y), 0.0) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST_P(DistanceAxiomsTest, Symmetry) {
+  Rng rng(1003);
+  Alphabet ab("abc");
+  for (int t = 0; t < 60; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    EXPECT_NEAR(dist_->Distance(x, y), dist_->Distance(y, x), 1e-12)
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST_P(DistanceAxiomsTest, TriangleInequalityWhenClaimedMetric) {
+  if (!dist_->is_metric()) GTEST_SKIP() << "not claimed to be a metric";
+  Rng rng(1004);
+  Alphabet ab("ab");
+  for (int t = 0; t < 150; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 9);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 9);
+    std::string z = StringGen::UniformLength(rng, ab, 0, 9);
+    EXPECT_LE(dist_->Distance(x, z),
+              dist_->Distance(x, y) + dist_->Distance(y, z) + 1e-9)
+        << "x=" << x << " y=" << y << " z=" << z;
+  }
+}
+
+TEST_P(DistanceAxiomsTest, InsensitiveToSharedPrefixGrowth) {
+  // Appending the same prefix to both strings never increases any
+  // length-normalised distance (and leaves dE unchanged); sanity rather
+  // than an axiom: check d(px, py) <= d(x, y) + epsilon fails for dmin-like
+  // cases, so we only require the distance stays finite and non-negative.
+  Rng rng(1005);
+  Alphabet ab("abc");
+  for (int t = 0; t < 40; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 1, 8);
+    std::string y = StringGen::UniformLength(rng, ab, 1, 8);
+    std::string p = StringGen::UniformLength(rng, ab, 1, 5);
+    double d = dist_->Distance(p + x, p + y);
+    EXPECT_GE(d, 0.0);
+    EXPECT_TRUE(std::isfinite(d));
+  }
+}
+
+TEST_P(DistanceAxiomsTest, DeterministicEvaluation) {
+  Rng rng(1006);
+  Alphabet ab("abcd");
+  std::string x = StringGen::UniformLength(rng, ab, 4, 12);
+  std::string y = StringGen::UniformLength(rng, ab, 4, 12);
+  double first = dist_->Distance(x, y);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(dist_->Distance(x, y), first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistances, DistanceAxiomsTest,
+                         ::testing::ValuesIn(AllDistanceNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == ',') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Cross-distance invariants on shared pairs.
+// ---------------------------------------------------------------------------
+
+struct ShapeParam {
+  std::string alphabet;
+  std::size_t min_len;
+  std::size_t max_len;
+};
+
+class CrossDistanceTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(CrossDistanceTest, NormalisedDistancesBoundedByRawCounterparts) {
+  const ShapeParam& p = GetParam();
+  Rng rng(1101);
+  Alphabet ab(p.alphabet);
+  auto dsum = MakeDistance("dsum");
+  auto dmax = MakeDistance("dmax");
+  auto dmin = MakeDistance("dmin");
+  auto dyb = MakeDistance("dYB");
+  auto dmv = MakeDistance("dMV");
+  for (int t = 0; t < 60; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, p.min_len, p.max_len);
+    std::string y = StringGen::UniformLength(rng, ab, p.min_len, p.max_len);
+    double de = static_cast<double>(LevenshteinDistance(x, y));
+    // dsum <= dmax <= dmin; dYB in [0,1]; dMV <= dmax; all <= dE for
+    // non-empty strings.
+    EXPECT_LE(dsum->Distance(x, y), dmax->Distance(x, y) + 1e-12);
+    EXPECT_LE(dmax->Distance(x, y), dmin->Distance(x, y) + 1e-12);
+    EXPECT_LE(dyb->Distance(x, y), 1.0 + 1e-12);
+    EXPECT_LE(dmv->Distance(x, y), dmax->Distance(x, y) + 1e-12);
+    if (!x.empty() || !y.empty()) {
+      EXPECT_LE(dmax->Distance(x, y), de + 1e-12);
+    }
+  }
+}
+
+TEST_P(CrossDistanceTest, ContextualSandwichedByHarmonicBounds) {
+  // dE/(max length reachable) style bounds: each of the k >= dE operations
+  // of an optimal path costs at least 1/(|x|+|y|) and at most 1, so
+  //   dE/( |x|+|y| ) <= dC <= dC,h <= dE (for non-empty inputs).
+  const ShapeParam& p = GetParam();
+  Rng rng(1102);
+  Alphabet ab(p.alphabet);
+  auto dc = MakeDistance("dC");
+  auto dch = MakeDistance("dC,h");
+  for (int t = 0; t < 40; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, p.min_len, p.max_len);
+    std::string y = StringGen::UniformLength(rng, ab, p.min_len, p.max_len);
+    if (x.empty() && y.empty()) continue;
+    double de = static_cast<double>(LevenshteinDistance(x, y));
+    double c = dc->Distance(x, y);
+    double ch = dch->Distance(x, y);
+    EXPECT_GE(c + 1e-12, de / static_cast<double>(x.size() + y.size()))
+        << "x=" << x << " y=" << y;
+    EXPECT_LE(c, ch + 1e-12);
+    EXPECT_LE(ch, de + 1e-12) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST_P(CrossDistanceTest, ContextualAgreesWithHeuristicOnEqualOrSubsetCases) {
+  // When y is obtained from x by deletions only (or insertions only), the
+  // minimal path has no substitutions and k = dE is provably optimal, so
+  // the heuristic must equal the exact distance.
+  const ShapeParam& p = GetParam();
+  Rng rng(1103);
+  Alphabet ab(p.alphabet);
+  auto dc = MakeDistance("dC");
+  auto dch = MakeDistance("dC,h");
+  for (int t = 0; t < 40; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 1, p.max_len);
+    std::string y;
+    for (char c : x) {
+      if (rng.Chance(0.7)) y.push_back(c);  // subsequence of x
+    }
+    EXPECT_NEAR(dc->Distance(x, y), dch->Distance(x, y), 1e-12)
+        << "x=" << x << " y=" << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadShapes, CrossDistanceTest,
+    ::testing::Values(ShapeParam{"ab", 0, 8}, ShapeParam{"abcd", 0, 12},
+                      ShapeParam{"abcdefgh", 2, 16},
+                      ShapeParam{"ACGT", 5, 24}),
+    [](const auto& info) {
+      return "alpha" + std::to_string(info.param.alphabet.size()) + "_len" +
+             std::to_string(info.param.max_len);
+    });
+
+}  // namespace
+}  // namespace cned

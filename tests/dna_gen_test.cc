@@ -1,0 +1,98 @@
+#include "datasets/dna_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "distances/levenshtein.h"
+#include "metric/stats.h"
+#include "strings/alphabet.h"
+
+namespace cned {
+namespace {
+
+TEST(DnaGenTest, CountAndLabels) {
+  DnaOptions opt;
+  opt.sequence_count = 200;
+  opt.family_count = 10;
+  Dataset ds = GenerateDnaGenes(opt);
+  EXPECT_EQ(ds.size(), 200u);
+  ASSERT_TRUE(ds.labeled());
+  for (int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(DnaGenTest, SequencesOverDnaAlphabet) {
+  DnaOptions opt;
+  opt.sequence_count = 100;
+  Dataset ds = GenerateDnaGenes(opt);
+  Alphabet dna = Alphabet::Dna();
+  for (const auto& s : ds.strings) {
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(dna.ContainsAll(s));
+  }
+}
+
+TEST(DnaGenTest, Deterministic) {
+  DnaOptions opt;
+  opt.sequence_count = 50;
+  opt.seed = 5;
+  EXPECT_EQ(GenerateDnaGenes(opt).strings, GenerateDnaGenes(opt).strings);
+}
+
+TEST(DnaGenTest, WideLengthSpread) {
+  // Log-normal ancestors must produce a wide length range — the property
+  // that separates the normalised distances in the paper's Figure 2.
+  DnaOptions opt;
+  opt.sequence_count = 300;
+  opt.family_count = 60;
+  Dataset ds = GenerateDnaGenes(opt);
+  RunningStats lens;
+  for (const auto& s : ds.strings) lens.Add(static_cast<double>(s.size()));
+  EXPECT_GT(lens.max() / lens.min(), 4.0);
+  EXPECT_GT(lens.stddev(), 50.0);
+}
+
+TEST(DnaGenTest, FamilyMembersCloserThanStrangers) {
+  DnaOptions opt;
+  opt.sequence_count = 40;
+  opt.family_count = 4;
+  opt.median_length = 120;
+  opt.log_sigma = 0.2;
+  Dataset ds = GenerateDnaGenes(opt);
+  // Sequences i and i+family_count share a family.
+  double within = 0.0, across = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    within += static_cast<double>(
+        LevenshteinDistance(ds.strings[i], ds.strings[i + 4]));
+    across += static_cast<double>(
+        LevenshteinDistance(ds.strings[i], ds.strings[(i + 1) % 4]));
+    ++pairs;
+  }
+  EXPECT_LT(within / pairs, across / pairs);
+}
+
+TEST(DnaGenTest, LengthsClamped) {
+  DnaOptions opt;
+  opt.sequence_count = 100;
+  opt.min_length = 50;
+  opt.max_length = 200;
+  opt.log_sigma = 2.0;  // extreme spread to force clamping
+  opt.mutation_rate = 0.0;
+  opt.indel_rate = 0.0;
+  Dataset ds = GenerateDnaGenes(opt);
+  for (const auto& s : ds.strings) {
+    EXPECT_GE(s.size(), 50u);
+    EXPECT_LE(s.size(), 200u);
+  }
+}
+
+TEST(DnaGenTest, RejectsZeroCounts) {
+  DnaOptions opt;
+  opt.family_count = 0;
+  EXPECT_THROW(GenerateDnaGenes(opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

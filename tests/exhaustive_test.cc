@@ -1,0 +1,60 @@
+#include "search/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "distances/registry.h"
+#include "search/counting_distance.h"
+
+namespace cned {
+namespace {
+
+TEST(ExhaustiveTest, FindsNearestByHand) {
+  std::vector<std::string> protos{"casa", "cosa", "taza", "mesa"};
+  ExhaustiveSearch s(protos, MakeDistance("dE"));
+  auto r = s.Nearest("cesa");
+  EXPECT_TRUE(r.index == 0 || r.index == 1);  // casa/cosa both at distance 1
+  EXPECT_DOUBLE_EQ(r.distance, 1.0);
+  EXPECT_EQ(s.Nearest("casa").index, 0u);
+  EXPECT_DOUBLE_EQ(s.Nearest("casa").distance, 0.0);
+}
+
+TEST(ExhaustiveTest, TieBreaksTowardSmallestIndex) {
+  std::vector<std::string> protos{"aa", "ab"};
+  ExhaustiveSearch s(protos, MakeDistance("dE"));
+  // "ac" is at distance 1 from both; the first prototype wins.
+  EXPECT_EQ(s.Nearest("ac").index, 0u);
+}
+
+TEST(ExhaustiveTest, OneDistanceCallPerPrototype) {
+  std::vector<std::string> protos{"a", "b", "c", "d", "e"};
+  auto counter = std::make_shared<CountingDistance>(MakeDistance("dE"));
+  ExhaustiveSearch s(protos, counter);
+  s.Nearest("x");
+  EXPECT_EQ(counter->count(), protos.size());
+}
+
+TEST(ExhaustiveTest, KNearestSortedAscending) {
+  std::vector<std::string> protos{"aaaa", "aaab", "aabb", "abbb", "bbbb"};
+  ExhaustiveSearch s(protos, MakeDistance("dE"));
+  auto top3 = s.KNearest("aaaa", 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].index, 0u);
+  EXPECT_DOUBLE_EQ(top3[0].distance, 0.0);
+  EXPECT_LE(top3[0].distance, top3[1].distance);
+  EXPECT_LE(top3[1].distance, top3[2].distance);
+}
+
+TEST(ExhaustiveTest, KNearestClampsToSetSize) {
+  std::vector<std::string> protos{"a", "b"};
+  ExhaustiveSearch s(protos, MakeDistance("dE"));
+  EXPECT_EQ(s.KNearest("a", 10).size(), 2u);
+}
+
+TEST(ExhaustiveTest, EmptyPrototypeSetThrows) {
+  std::vector<std::string> empty;
+  EXPECT_THROW(ExhaustiveSearch(empty, MakeDistance("dE")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

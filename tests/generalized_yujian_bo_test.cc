@@ -1,0 +1,91 @@
+#include "distances/generalized_yujian_bo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distances/normalized.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(GeneralizedYujianBoTest, UnitCostsAlphaOneReducesToDyb) {
+  UnitCosts unit;
+  Rng rng(1601);
+  Alphabet ab("abc");
+  for (int t = 0; t < 200; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    EXPECT_NEAR(GeneralizedYujianBoDistance(x, y, unit, 1.0),
+                DybDistance(x, y), 1e-12)
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(GeneralizedYujianBoTest, RangeZeroOne) {
+  // With alpha >= max indel weight the value stays in [0, 1].
+  MatrixCosts costs = MatrixCosts::Uniform(Alphabet::Dna(), 1.5, 0.8, 0.8);
+  Rng rng(1602);
+  Alphabet dna = Alphabet::Dna();
+  for (int t = 0; t < 200; ++t) {
+    std::string x = StringGen::UniformLength(rng, dna, 0, 15);
+    std::string y = StringGen::UniformLength(rng, dna, 0, 15);
+    double d = GeneralizedYujianBoDistance(x, y, costs, 0.8);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0 + 1e-12);
+  }
+}
+
+TEST(GeneralizedYujianBoTest, MetricForMetricCosts) {
+  // Substitution 1, indels 0.75, alpha = 0.75: the weight function is a
+  // metric (symmetric, identity, triangle holds since sub <= ins + del),
+  // so Yujian & Bo's theorem applies; verify the triangle inequality
+  // empirically over random triples.
+  MatrixCosts costs = MatrixCosts::Uniform(Alphabet("ab"), 1.0, 0.75, 0.75);
+  Rng rng(1603);
+  Alphabet ab("ab");
+  for (int t = 0; t < 400; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 9);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 9);
+    std::string z = StringGen::UniformLength(rng, ab, 0, 9);
+    double xz = GeneralizedYujianBoDistance(x, z, costs, 0.75);
+    double xy = GeneralizedYujianBoDistance(x, y, costs, 0.75);
+    double yz = GeneralizedYujianBoDistance(y, z, costs, 0.75);
+    EXPECT_LE(xz, xy + yz + 1e-9) << "x=" << x << " y=" << y << " z=" << z;
+  }
+}
+
+TEST(GeneralizedYujianBoTest, IdentityAndSymmetry) {
+  MatrixCosts costs = MatrixCosts::Uniform(Alphabet("abc"), 2.0, 1.0, 1.0);
+  Rng rng(1604);
+  Alphabet ab("abc");
+  for (int t = 0; t < 100; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    EXPECT_DOUBLE_EQ(GeneralizedYujianBoDistance(x, x, costs, 1.0), 0.0);
+    EXPECT_NEAR(GeneralizedYujianBoDistance(x, y, costs, 1.0),
+                GeneralizedYujianBoDistance(y, x, costs, 1.0), 1e-12);
+  }
+}
+
+TEST(GeneralizedYujianBoTest, RejectsNonPositiveAlpha) {
+  UnitCosts unit;
+  EXPECT_THROW(GeneralizedYujianBoDistance("a", "b", unit, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(GeneralizedYujianBoDistance("a", "b", unit, -1.0),
+               std::invalid_argument);
+}
+
+TEST(GeneralizedYujianBoMetricAdapterTest, Metadata) {
+  auto costs = std::make_shared<UnitCosts>();
+  GeneralizedYujianBoMetric d(costs, 1.0, /*costs_are_metric=*/true);
+  EXPECT_EQ(d.name(), "dgYB");
+  EXPECT_TRUE(d.is_metric());
+  EXPECT_DOUBLE_EQ(d.alpha(), 1.0);
+  EXPECT_NEAR(d.Distance("aaaa", "bbbb"), 2.0 / 3.0, 1e-12);
+  EXPECT_THROW(GeneralizedYujianBoMetric(costs, 0.0, true),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

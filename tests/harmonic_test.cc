@@ -1,0 +1,61 @@
+#include "common/harmonic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rational.h"
+
+namespace cned {
+namespace {
+
+TEST(HarmonicTest, HZeroIsZero) {
+  HarmonicTable t;
+  EXPECT_DOUBLE_EQ(t.H(0), 0.0);
+}
+
+TEST(HarmonicTest, KnownPrefixValues) {
+  HarmonicTable t;
+  EXPECT_DOUBLE_EQ(t.H(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.H(2), 1.5);
+  EXPECT_NEAR(t.H(4), 25.0 / 12.0, 1e-12);
+}
+
+TEST(HarmonicTest, RangeMatchesExactRational) {
+  HarmonicTable t;
+  for (std::size_t from = 1; from <= 20; ++from) {
+    for (std::size_t to = from; to <= 30; ++to) {
+      double exact = Rational::HarmonicRange(static_cast<std::int64_t>(from),
+                                             static_cast<std::int64_t>(to))
+                         .ToDouble();
+      EXPECT_NEAR(t.Range(from, to), exact, 1e-12)
+          << "from=" << from << " to=" << to;
+    }
+  }
+}
+
+TEST(HarmonicTest, EmptyRangeIsZero) {
+  HarmonicTable t;
+  EXPECT_DOUBLE_EQ(t.Range(5, 4), 0.0);
+  EXPECT_DOUBLE_EQ(t.Range(100, 1), 0.0);
+}
+
+TEST(HarmonicTest, GrowsOnDemand) {
+  HarmonicTable t;
+  EXPECT_GT(t.H(5000), 9.0);  // H(5000) ~ 9.09
+  EXPECT_GE(t.size(), 5001u);
+}
+
+TEST(HarmonicTest, MonotoneIncreasing) {
+  HarmonicTable t;
+  for (std::size_t n = 1; n < 100; ++n) {
+    EXPECT_GT(t.H(n), t.H(n - 1));
+  }
+}
+
+TEST(HarmonicTest, GlobalInstanceIsShared) {
+  HarmonicTable& a = GlobalHarmonic();
+  HarmonicTable& b = GlobalHarmonic();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace cned

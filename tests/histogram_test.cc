@@ -1,0 +1,67 @@
+#include "metric/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);   // bin 0
+  h.Add(0.3);   // bin 1
+  h.Add(0.55);  // bin 2
+  h.Add(0.9);   // bin 3
+  h.Add(0.95);  // bin 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(7.0);
+  h.Add(1.0);  // hi boundary lands in the last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.BinCenter(3), 1.75);
+}
+
+TEST(HistogramTest, StatsTrackRawValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(2.0);
+  h.Add(4.0);
+  EXPECT_DOUBLE_EQ(h.stats().mean(), 3.0);
+  EXPECT_EQ(h.stats().count(), 2u);
+}
+
+TEST(HistogramTest, SeriesFormatHasOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.Add(0.5);
+  std::string s = h.ToSeries();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+TEST(HistogramTest, AsciiRendersBars) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 10; ++i) h.Add(0.1);
+  h.Add(0.9);
+  std::string s = h.ToAscii(20);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,133 @@
+// End-to-end integration tests exercising the full experiment pipeline the
+// benchmarks use: dataset generation -> distance -> LAESA / exhaustive ->
+// classification / histograms / intrinsic dimensionality.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/digit_contours.h"
+#include "datasets/dna_gen.h"
+#include "datasets/perturb.h"
+#include "distances/registry.h"
+#include "metric/histogram.h"
+#include "metric/stats.h"
+#include "search/counting_distance.h"
+#include "search/exhaustive.h"
+#include "search/knn_classifier.h"
+#include "search/laesa.h"
+
+namespace cned {
+namespace {
+
+TEST(IntegrationTest, DictionaryLaesaPipelineMatchesExhaustive) {
+  DictionaryOptions opt;
+  opt.word_count = 300;
+  opt.seed = 401;
+  Dataset dict = GenerateDictionary(opt);
+
+  Rng rng(402);
+  auto queries = MakeQueries(dict.strings, 50, 2, Alphabet::Latin(), rng);
+
+  auto counter = std::make_shared<CountingDistance>(MakeDistance("dE"));
+  Laesa laesa(dict.strings, counter, 20);
+  ExhaustiveSearch exact(dict.strings, MakeDistance("dE"));
+
+  counter->Reset();
+  for (const auto& q : queries) {
+    auto a = laesa.Nearest(q);
+    auto b = exact.Nearest(q);
+    EXPECT_NEAR(a.distance, b.distance, 1e-12);
+  }
+  // The whole point of LAESA: far fewer query-time computations than
+  // exhaustive (which would be 300 * 50).
+  EXPECT_LT(counter->count(), 300u * 50u / 2u);
+}
+
+TEST(IntegrationTest, DigitClassificationBeatsChance) {
+  DigitContourOptions opt;
+  opt.per_class = 15;
+  opt.seed = 403;
+  Dataset train = GenerateDigitContours(opt);
+  DigitContourOptions test_opt = opt;
+  test_opt.seed = 404;  // different "scribes"
+  Dataset test = GenerateDigitContours(test_opt);
+
+  ExhaustiveSearch search(train.strings, MakeDistance("dC,h"));
+  NearestNeighborClassifier clf(search, train.labels);
+  double err = clf.ErrorRatePercent(test.strings, test.labels);
+  // Chance level is 90% error; a meaningful contour representation should
+  // do far better even at this small training size.
+  EXPECT_LT(err, 55.0);
+}
+
+TEST(IntegrationTest, NormalisedDistanceImprovesDigitClassification) {
+  // Table 2's qualitative claim: normalisation helps 1-NN on the
+  // unnormalised digit contours. Compare dE against dC,h on one split.
+  DigitContourOptions opt;
+  opt.per_class = 20;
+  opt.seed = 405;
+  Dataset train = GenerateDigitContours(opt);
+  DigitContourOptions test_opt = opt;
+  test_opt.seed = 406;
+  test_opt.per_class = 15;
+  Dataset test = GenerateDigitContours(test_opt);
+
+  ExhaustiveSearch s_e(train.strings, MakeDistance("dE"));
+  ExhaustiveSearch s_c(train.strings, MakeDistance("dC,h"));
+  double err_e = NearestNeighborClassifier(s_e, train.labels)
+                     .ErrorRatePercent(test.strings, test.labels);
+  double err_c = NearestNeighborClassifier(s_c, train.labels)
+                     .ErrorRatePercent(test.strings, test.labels);
+  // Allow slack — a single small split is noisy — but normalisation should
+  // not be dramatically worse.
+  EXPECT_LE(err_c, err_e + 10.0);
+}
+
+TEST(IntegrationTest, GenesIntrinsicDimensionalityOrdering) {
+  // Table 1's qualitative shape on the genes dataset: the Levenshtein
+  // distance has the least concentrated histogram (lowest rho); dYB the
+  // most concentrated among the tested normalisations.
+  DnaOptions opt;
+  opt.sequence_count = 60;
+  opt.family_count = 12;
+  opt.seed = 407;
+  Dataset genes = GenerateDnaGenes(opt);
+
+  auto rho = [&](const char* name) {
+    auto d = MakeDistance(name);
+    RunningStats s;
+    for (std::size_t i = 0; i < genes.size(); ++i) {
+      for (std::size_t j = i + 1; j < genes.size(); ++j) {
+        s.Add(d->Distance(genes.strings[i], genes.strings[j]));
+      }
+    }
+    return IntrinsicDimensionality(s);
+  };
+
+  double rho_e = rho("dE");
+  double rho_ch = rho("dC,h");
+  double rho_yb = rho("dYB");
+  EXPECT_LT(rho_e, rho_yb);
+  EXPECT_LT(rho_ch, rho_yb);
+}
+
+TEST(IntegrationTest, HistogramPipelineProducesSeries) {
+  DictionaryOptions opt;
+  opt.word_count = 120;
+  opt.seed = 408;
+  Dataset dict = GenerateDictionary(opt);
+  auto d = MakeDistance("dC,h");
+  Histogram h(0.0, 2.0, 40);
+  for (std::size_t i = 0; i < dict.size(); ++i) {
+    for (std::size_t j = i + 1; j < std::min(dict.size(), i + 30); ++j) {
+      h.Add(d->Distance(dict.strings[i], dict.strings[j]));
+    }
+  }
+  EXPECT_GT(h.total(), 100u);
+  EXPECT_FALSE(h.ToSeries().empty());
+  EXPECT_NO_THROW(IntrinsicDimensionality(h.stats()));
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,81 @@
+#include "search/knn_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "distances/registry.h"
+#include "search/laesa.h"
+
+namespace cned {
+namespace {
+
+// Two well-separated synthetic classes.
+std::pair<std::vector<std::string>, std::vector<int>> TwoClasses() {
+  std::vector<std::string> protos{"aaaa", "aaab", "abaa", "aaba",
+                                  "zzzz", "zzzy", "zyzz", "zzyz"};
+  std::vector<int> labels{0, 0, 0, 0, 1, 1, 1, 1};
+  return {protos, labels};
+}
+
+TEST(KnnClassifierTest, PerfectOnSeparableData) {
+  auto [protos, labels] = TwoClasses();
+  ExhaustiveSearch search(protos, MakeDistance("dE"));
+  NearestNeighborClassifier clf(search, labels);
+  EXPECT_EQ(clf.Classify("aaaa"), 0);
+  EXPECT_EQ(clf.Classify("aabb"), 0);
+  EXPECT_EQ(clf.Classify("zzzz"), 1);
+  EXPECT_EQ(clf.Classify("zyyz"), 1);
+}
+
+TEST(KnnClassifierTest, ErrorRatePercentComputed) {
+  auto [protos, labels] = TwoClasses();
+  ExhaustiveSearch search(protos, MakeDistance("dE"));
+  NearestNeighborClassifier clf(search, labels);
+  std::vector<std::string> queries{"aaaa", "zzzz", "aaab", "zzzy"};
+  std::vector<int> truth{0, 1, 1, 0};  // two labels deliberately wrong
+  EXPECT_DOUBLE_EQ(clf.ErrorRatePercent(queries, truth), 50.0);
+}
+
+TEST(KnnClassifierTest, WorksWithLaesaBackend) {
+  auto [protos, labels] = TwoClasses();
+  Laesa laesa(protos, MakeDistance("dE"), 3);
+  NearestNeighborClassifier clf(laesa, labels);
+  EXPECT_EQ(clf.Classify("aaba"), 0);
+  EXPECT_EQ(clf.Classify("zzyy"), 1);
+}
+
+TEST(KnnClassifierTest, SizeMismatchThrows) {
+  auto [protos, labels] = TwoClasses();
+  labels.pop_back();
+  ExhaustiveSearch search(protos, MakeDistance("dE"));
+  EXPECT_THROW(NearestNeighborClassifier(search, labels),
+               std::invalid_argument);
+}
+
+TEST(KnnClassifierTest, ErrorRateSizeMismatchThrows) {
+  auto [protos, labels] = TwoClasses();
+  ExhaustiveSearch search(protos, MakeDistance("dE"));
+  NearestNeighborClassifier clf(search, labels);
+  EXPECT_THROW(clf.ErrorRatePercent({"a"}, {0, 1}), std::invalid_argument);
+}
+
+TEST(KnnClassifyTest, MajorityVote) {
+  std::vector<std::string> protos{"aaaa", "aaab", "aabb", "zzzz"};
+  std::vector<int> labels{0, 0, 1, 1};
+  ExhaustiveSearch search(protos, MakeDistance("dE"));
+  // 3-NN of "aaaa": aaaa(0), aaab(0), aabb(1) -> majority 0.
+  EXPECT_EQ(KnnClassify(search, labels, "aaaa", 3), 0);
+  // 1-NN of "aabb" is itself -> 1.
+  EXPECT_EQ(KnnClassify(search, labels, "aabb", 1), 1);
+}
+
+TEST(KnnClassifyTest, TieBreaksTowardCloserNeighbor) {
+  std::vector<std::string> protos{"aaaa", "zzzz"};
+  std::vector<int> labels{0, 1};
+  ExhaustiveSearch search(protos, MakeDistance("dE"));
+  // 2-NN is a 1-1 tie; the closer neighbour's label must win.
+  EXPECT_EQ(KnnClassify(search, labels, "aaaz", 2), 0);
+  EXPECT_EQ(KnnClassify(search, labels, "zzza", 2), 1);
+}
+
+}  // namespace
+}  // namespace cned

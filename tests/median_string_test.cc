@@ -1,0 +1,78 @@
+#include "metric/median_string.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/perturb.h"
+#include "distances/registry.h"
+
+namespace cned {
+namespace {
+
+TEST(SetMedianTest, ObviousCenter) {
+  // "aaab" is within distance 1 of everything; the outlier is not.
+  std::vector<std::string> sample{"aaaa", "aaab", "aabb", "zzzz"};
+  auto dist = MakeDistance("dE");
+  std::size_t median = SetMedianIndex(sample, *dist);
+  EXPECT_NE(sample[median], "zzzz");
+}
+
+TEST(SetMedianTest, SingletonAndEmpty) {
+  auto dist = MakeDistance("dE");
+  std::vector<std::string> one{"solo"};
+  EXPECT_EQ(SetMedianIndex(one, *dist), 0u);
+  std::vector<std::string> empty;
+  EXPECT_THROW(SetMedianIndex(empty, *dist), std::invalid_argument);
+}
+
+TEST(TotalDistanceTest, SumsAllDistances) {
+  std::vector<std::string> sample{"a", "ab", "abc"};
+  auto dist = MakeDistance("dE");
+  // d("ab","a")=1, d("ab","ab")=0, d("ab","abc")=1.
+  EXPECT_DOUBLE_EQ(TotalDistance("ab", sample, *dist), 2.0);
+}
+
+TEST(ApproximateMedianTest, ImprovesOnSetMedian) {
+  // Perturbations of a hidden center: hill climbing should recover
+  // something at least as central as the best sample element.
+  Rng rng(901);
+  Alphabet ab("abcd");
+  std::string center = "abcdabcdab";
+  std::vector<std::string> sample;
+  for (int i = 0; i < 12; ++i) {
+    sample.push_back(PerturbString(center, 2, ab, rng));
+  }
+  auto dist = MakeDistance("dE");
+  double set_median_total =
+      TotalDistance(sample[SetMedianIndex(sample, *dist)], sample, *dist);
+  std::string median = ApproximateMedianString(sample, *dist, ab);
+  double median_total = TotalDistance(median, sample, *dist);
+  EXPECT_LE(median_total, set_median_total);
+  // And it should be close to the hidden center.
+  EXPECT_LE(dist->Distance(median, center), 3.0);
+}
+
+TEST(ApproximateMedianTest, WorksWithContextualDistance) {
+  Rng rng(902);
+  Alphabet ab("ab");
+  std::string center = "ababab";
+  std::vector<std::string> sample;
+  for (int i = 0; i < 8; ++i) {
+    sample.push_back(PerturbString(center, 1, ab, rng));
+  }
+  auto dist = MakeDistance("dC,h");
+  std::string median = ApproximateMedianString(sample, *dist, ab, 4);
+  double median_total = TotalDistance(median, sample, *dist);
+  double center_total = TotalDistance(center, sample, *dist);
+  // The climbed median should be competitive with the true generator.
+  EXPECT_LE(median_total, center_total + 0.5);
+}
+
+TEST(ApproximateMedianTest, FixedPointOnIdenticalSamples) {
+  std::vector<std::string> sample{"same", "same", "same"};
+  auto dist = MakeDistance("dE");
+  EXPECT_EQ(ApproximateMedianString(sample, *dist, Alphabet::Latin()), "same");
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,85 @@
+#include "distances/myers.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distances/levenshtein.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(MyersTest, ClassicValues) {
+  EXPECT_EQ(MyersLevenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(MyersLevenshtein("abaa", "aab"), 2u);
+  EXPECT_EQ(MyersLevenshtein("", ""), 0u);
+  EXPECT_EQ(MyersLevenshtein("", "abc"), 3u);
+  EXPECT_EQ(MyersLevenshtein("abc", ""), 3u);
+  EXPECT_EQ(MyersLevenshtein("same", "same"), 0u);
+}
+
+TEST(MyersTest, MatchesDpOnShortStrings) {
+  Rng rng(1201);
+  Alphabet ab("abcd");
+  for (int t = 0; t < 500; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 30);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 30);
+    EXPECT_EQ(MyersLevenshtein(x, y), LevenshteinDistance(x, y))
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(MyersTest, MatchesDpAroundWordBoundary) {
+  // Pattern lengths 63, 64, 65 exercise the single-word/blocked switch and
+  // the last-block high-bit handling.
+  Rng rng(1202);
+  Alphabet ab("ab");
+  for (std::size_t m : {62u, 63u, 64u, 65u, 66u, 127u, 128u, 129u}) {
+    for (int t = 0; t < 25; ++t) {
+      std::string x = StringGen::Uniform(rng, ab, m);
+      std::string y = StringGen::UniformLength(rng, ab, m / 2, m * 2);
+      EXPECT_EQ(MyersLevenshtein(x, y), LevenshteinDistance(x, y))
+          << "m=" << m;
+    }
+  }
+}
+
+TEST(MyersTest, MatchesDpOnLongMultiBlockStrings) {
+  Rng rng(1203);
+  Alphabet ab("ACGT");
+  for (int t = 0; t < 20; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 200, 500);
+    std::string y = StringGen::UniformLength(rng, ab, 200, 500);
+    EXPECT_EQ(MyersLevenshtein(x, y), LevenshteinDistance(x, y));
+  }
+}
+
+TEST(MyersTest, SymmetricInArguments) {
+  Rng rng(1204);
+  Alphabet ab("abc");
+  for (int t = 0; t < 100; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 100);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 100);
+    EXPECT_EQ(MyersLevenshtein(x, y), MyersLevenshtein(y, x));
+  }
+}
+
+TEST(MyersTest, HighSimilarityAndDisjointExtremes) {
+  std::string a(300, 'a');
+  std::string b(300, 'b');
+  EXPECT_EQ(MyersLevenshtein(a, b), 300u);
+  EXPECT_EQ(MyersLevenshtein(a, a), 0u);
+  std::string a_mut = a;
+  a_mut[150] = 'b';
+  EXPECT_EQ(MyersLevenshtein(a, a_mut), 1u);
+}
+
+TEST(FastEditDistanceTest, AdapterMetadataAndValue) {
+  FastEditDistance d;
+  EXPECT_TRUE(d.is_metric());
+  EXPECT_DOUBLE_EQ(d.Distance("kitten", "sitting"), 3.0);
+  EXPECT_EQ(d.name(), "dE(bitparallel)");
+}
+
+}  // namespace
+}  // namespace cned

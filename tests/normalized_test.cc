@@ -1,0 +1,124 @@
+#include "distances/normalized.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distances/levenshtein.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(DsumTest, PaperTriangleCounterexample) {
+  // Paper §2.2: x = ab, y = aba, z = ba.
+  // dsum(ab,aba) + dsum(aba,ba) = 1/5 + 1/5 < dsum(ab,ba) = 2/4.
+  double xy = DsumDistance("ab", "aba");
+  double yz = DsumDistance("aba", "ba");
+  double xz = DsumDistance("ab", "ba");
+  EXPECT_DOUBLE_EQ(xy, 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(yz, 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(xz, 2.0 / 4.0);
+  EXPECT_GT(xz, xy + yz);  // triangle inequality violated
+}
+
+TEST(DmaxTest, PaperTriangleCounterexample) {
+  // Same triple breaks dmax: 1/3 + 1/3 < 1? No: dmax(ab,aba)=1/3,
+  // dmax(aba,ba)=1/3, dmax(ab,ba)=2/2=1 > 2/3.
+  double xy = DmaxDistance("ab", "aba");
+  double yz = DmaxDistance("aba", "ba");
+  double xz = DmaxDistance("ab", "ba");
+  EXPECT_DOUBLE_EQ(xy, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(yz, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(xz, 1.0);
+  EXPECT_GT(xz, xy + yz);
+}
+
+TEST(DminTest, PaperTriangleCounterexample) {
+  // Paper §2.2 for dmin: x = b, y = ba, z = aa.
+  double xy = DminDistance("b", "ba");
+  double yz = DminDistance("ba", "aa");
+  double xz = DminDistance("b", "aa");
+  EXPECT_DOUBLE_EQ(xy, 1.0);          // dE=1, min len 1
+  EXPECT_DOUBLE_EQ(yz, 1.0 / 2.0);    // dE=1, min len 2
+  EXPECT_DOUBLE_EQ(xz, 2.0);          // dE=2, min len 1
+  EXPECT_GT(xz, xy + yz);
+}
+
+TEST(DybTest, FormulaMatchesDefinition) {
+  Rng rng(4);
+  Alphabet ab("abc");
+  for (int i = 0; i < 200; ++i) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 15);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 15);
+    double de = static_cast<double>(LevenshteinDistance(x, y));
+    double expected = (x.empty() && y.empty())
+                          ? 0.0
+                          : 2.0 * de / (static_cast<double>(x.size() + y.size()) + de);
+    EXPECT_DOUBLE_EQ(DybDistance(x, y), expected);
+  }
+}
+
+TEST(DybTest, RangeZeroToOne) {
+  Rng rng(5);
+  Alphabet ab("ab");
+  for (int i = 0; i < 300; ++i) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    double d = DybDistance(x, y);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(DybTest, CompletelyDifferentStringsApproachOne) {
+  // Disjoint alphabets, equal length: dE = n, dYB = 2n/(2n+n) = 2/3.
+  EXPECT_NEAR(DybDistance("aaaa", "bbbb"), 2.0 / 3.0, 1e-12);
+  // Maximum value 1 is reached against the empty string.
+  EXPECT_DOUBLE_EQ(DybDistance("", "abc"), 1.0);
+}
+
+TEST(DybTest, TriangleInequalityHolds) {
+  // Yujian & Bo proved dYB is a metric; spot-check many random triples.
+  Rng rng(6);
+  Alphabet ab("ab");
+  for (int i = 0; i < 500; ++i) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string z = StringGen::UniformLength(rng, ab, 0, 10);
+    EXPECT_LE(DybDistance(x, z), DybDistance(x, y) + DybDistance(y, z) + 1e-12);
+  }
+}
+
+TEST(NormalizedTest, IdentityAndSymmetryAll) {
+  Rng rng(7);
+  Alphabet ab("abc");
+  for (int i = 0; i < 100; ++i) {
+    std::string x = StringGen::UniformLength(rng, ab, 1, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 1, 10);
+    for (auto f : {DsumDistance, DmaxDistance, DminDistance, DybDistance}) {
+      EXPECT_DOUBLE_EQ(f(x, x), 0.0);
+      EXPECT_DOUBLE_EQ(f(x, y), f(y, x));
+    }
+  }
+}
+
+TEST(NormalizedTest, EmptyEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(DsumDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(DmaxDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(DminDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(DybDistance("", ""), 0.0);
+}
+
+TEST(NormalizedTest, AdapterMetadata) {
+  EXPECT_EQ(SumNormalizedDistance().name(), "dsum");
+  EXPECT_FALSE(SumNormalizedDistance().is_metric());
+  EXPECT_EQ(MaxNormalizedDistance().name(), "dmax");
+  EXPECT_FALSE(MaxNormalizedDistance().is_metric());
+  EXPECT_EQ(MinNormalizedDistance().name(), "dmin");
+  EXPECT_FALSE(MinNormalizedDistance().is_metric());
+  EXPECT_EQ(YujianBoDistance().name(), "dYB");
+  EXPECT_TRUE(YujianBoDistance().is_metric());
+}
+
+}  // namespace
+}  // namespace cned

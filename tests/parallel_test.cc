@@ -1,0 +1,54 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  ParallelFor(n, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+              /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> sum{0};
+  ParallelFor(3, [&](std::size_t i) { sum += static_cast<int>(i); },
+              /*threads=*/16);
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelForTest, ComputesSameResultAsSerial) {
+  const std::size_t n = 5000;
+  std::vector<double> parallel_out(n), serial_out(n);
+  auto f = [](std::size_t i) {
+    double v = static_cast<double>(i);
+    return v * v / (v + 1.0);
+  };
+  ParallelFor(n, [&](std::size_t i) { parallel_out[i] = f(i); });
+  for (std::size_t i = 0; i < n; ++i) serial_out[i] = f(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+}  // namespace
+}  // namespace cned

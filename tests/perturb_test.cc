@@ -1,0 +1,69 @@
+#include "datasets/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "distances/levenshtein.h"
+
+namespace cned {
+namespace {
+
+TEST(PerturbTest, ZeroOperationsIsIdentity) {
+  Rng rng(301);
+  Alphabet latin = Alphabet::Latin();
+  EXPECT_EQ(PerturbString("palabra", 0, latin, rng), "palabra");
+}
+
+TEST(PerturbTest, EditDistanceBoundedByOperations) {
+  Rng rng(302);
+  Alphabet latin = Alphabet::Latin();
+  for (int t = 0; t < 200; ++t) {
+    std::string q = PerturbString("dictionary", 2, latin, rng);
+    EXPECT_LE(LevenshteinDistance("dictionary", q), 2u);
+  }
+}
+
+TEST(PerturbTest, StaysInAlphabet) {
+  Rng rng(303);
+  Alphabet dna = Alphabet::Dna();
+  for (int t = 0; t < 100; ++t) {
+    std::string q = PerturbString("GATTACA", 3, dna, rng);
+    EXPECT_TRUE(dna.ContainsAll(q));
+  }
+}
+
+TEST(PerturbTest, EmptyStringOnlyInserts) {
+  Rng rng(304);
+  Alphabet ab("ab");
+  std::string q = PerturbString("", 3, ab, rng);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(MakeQueriesTest, CountAndPerturbation) {
+  Rng rng(305);
+  Alphabet latin = Alphabet::Latin();
+  std::vector<std::string> base{"uno", "dos", "tres"};
+  auto queries = MakeQueries(base, 50, 2, latin, rng);
+  EXPECT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    std::size_t best = 100;
+    for (const auto& b : base) best = std::min(best, LevenshteinDistance(b, q));
+    EXPECT_LE(best, 2u);
+  }
+}
+
+TEST(MakeQueriesTest, EmptyBaseThrows) {
+  Rng rng(306);
+  Alphabet ab("ab");
+  std::vector<std::string> empty;
+  EXPECT_THROW(MakeQueries(empty, 5, 2, ab, rng), std::invalid_argument);
+}
+
+TEST(MakeQueriesTest, Deterministic) {
+  Alphabet ab("abc");
+  std::vector<std::string> base{"abc", "cba"};
+  Rng r1(307), r2(307);
+  EXPECT_EQ(MakeQueries(base, 20, 2, ab, r1), MakeQueries(base, 20, 2, ab, r2));
+}
+
+}  // namespace
+}  // namespace cned

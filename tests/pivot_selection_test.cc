@@ -1,0 +1,68 @@
+#include "search/pivot_selection.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "distances/registry.h"
+
+namespace cned {
+namespace {
+
+TEST(PivotSelectionTest, MaxMinPicksOutlyingPrototypes) {
+  // Cluster of similar words + two far outliers: the greedy max-min
+  // strategy must pick up the outliers early.
+  std::vector<std::string> protos{"aaaa",        "aaab",     "aaba",
+                                  "abaa",        "baaa",     "zzzzzzzzzz",
+                                  "qqqqqqqqqqqq"};
+  auto dist = MakeDistance("dE");
+  auto pivots = SelectPivotsMaxMin(protos, *dist, 3, /*first=*/0);
+  ASSERT_EQ(pivots.size(), 3u);
+  EXPECT_EQ(pivots[0], 0u);
+  std::set<std::size_t> chosen(pivots.begin(), pivots.end());
+  EXPECT_TRUE(chosen.count(5) == 1 || chosen.count(6) == 1);
+}
+
+TEST(PivotSelectionTest, PivotsAreDistinct) {
+  std::vector<std::string> protos{"a", "ab", "abc", "abcd", "abcde"};
+  auto dist = MakeDistance("dE");
+  auto pivots = SelectPivotsMaxMin(protos, *dist, 5);
+  std::set<std::size_t> uniq(pivots.begin(), pivots.end());
+  EXPECT_EQ(uniq.size(), pivots.size());
+}
+
+TEST(PivotSelectionTest, StopsEarlyOnDuplicatePrototypes) {
+  // Only two distinct strings: asking for 4 pivots must not loop or pick a
+  // duplicate at distance zero.
+  std::vector<std::string> protos{"aa", "aa", "bb", "bb"};
+  auto dist = MakeDistance("dE");
+  auto pivots = SelectPivotsMaxMin(protos, *dist, 4);
+  EXPECT_LE(pivots.size(), 2u);
+}
+
+TEST(PivotSelectionTest, ValidatesArguments) {
+  std::vector<std::string> protos{"a", "b"};
+  auto dist = MakeDistance("dE");
+  EXPECT_THROW(SelectPivotsMaxMin(protos, *dist, 3), std::invalid_argument);
+  EXPECT_THROW(SelectPivotsMaxMin(protos, *dist, 1, /*first=*/5),
+               std::invalid_argument);
+}
+
+TEST(PivotSelectionTest, RandomPivotsValidAndDistinct) {
+  Rng rng(91);
+  auto pivots = SelectPivotsRandom(50, 10, rng);
+  EXPECT_EQ(pivots.size(), 10u);
+  std::set<std::size_t> uniq(pivots.begin(), pivots.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  EXPECT_TRUE(std::all_of(pivots.begin(), pivots.end(),
+                          [](std::size_t p) { return p < 50; }));
+}
+
+TEST(PivotSelectionTest, RandomRejectsOversizedRequest) {
+  Rng rng(92);
+  EXPECT_THROW(SelectPivotsRandom(5, 6, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,115 @@
+#include "common/rational.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_EQ(r.numerator(), 0);
+  EXPECT_EQ(r.denominator(), 1);
+  EXPECT_DOUBLE_EQ(r.ToDouble(), 0.0);
+}
+
+TEST(RationalTest, ReducesToLowestTerms) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.numerator(), 3);
+  EXPECT_EQ(r.denominator(), 4);
+}
+
+TEST(RationalTest, NormalisesSignOntoNumerator) {
+  Rational r(3, -4);
+  EXPECT_EQ(r.numerator(), -3);
+  EXPECT_EQ(r.denominator(), 4);
+  Rational s(-3, -4);
+  EXPECT_EQ(s.numerator(), 3);
+  EXPECT_EQ(s.denominator(), 4);
+}
+
+TEST(RationalTest, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(RationalTest, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 5) + Rational(1, 5), Rational(2, 5));
+}
+
+TEST(RationalTest, Subtraction) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(1, 3) - Rational(1, 2), Rational(-1, 6));
+}
+
+TEST(RationalTest, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+}
+
+TEST(RationalTest, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1, 2) / Rational(0), std::invalid_argument);
+}
+
+TEST(RationalTest, Negation) { EXPECT_EQ(-Rational(1, 2), Rational(-1, 2)); }
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(1, 2), Rational(1, 2));
+  EXPECT_GT(Rational(2, 3), Rational(1, 2));
+  EXPECT_GE(Rational(2, 3), Rational(2, 3));
+  EXPECT_LT(Rational(-1, 2), Rational(1, 3));
+}
+
+TEST(RationalTest, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 3);
+  EXPECT_EQ(r, Rational(5, 6));
+  r -= Rational(1, 6);
+  EXPECT_EQ(r, Rational(2, 3));
+  r *= Rational(3, 2);
+  EXPECT_EQ(r, Rational(1));
+  r /= Rational(4);
+  EXPECT_EQ(r, Rational(1, 4));
+}
+
+TEST(RationalTest, HarmonicRangeKnownValues) {
+  // H(1..4) = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+  EXPECT_EQ(Rational::HarmonicRange(1, 4), Rational(25, 12));
+  // sum_{i=5}^{6} 1/i = 1/5 + 1/6 = 11/30.
+  EXPECT_EQ(Rational::HarmonicRange(5, 6), Rational(11, 30));
+}
+
+TEST(RationalTest, HarmonicRangeEmptyIsZero) {
+  EXPECT_EQ(Rational::HarmonicRange(5, 4), Rational(0));
+}
+
+TEST(RationalTest, HarmonicRangeRejectsNonPositiveFrom) {
+  EXPECT_THROW(Rational::HarmonicRange(0, 3), std::invalid_argument);
+}
+
+TEST(RationalTest, HarmonicRangeLargeStillFits) {
+  // lcm(1..40) fits in int64; the sum must not overflow.
+  Rational h = Rational::HarmonicRange(1, 40);
+  EXPECT_NEAR(h.ToDouble(), 4.2785, 1e-3);
+}
+
+TEST(RationalTest, ToStringFormats) {
+  EXPECT_EQ(Rational(3, 4).ToString(), "3/4");
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(-1, 2).ToString(), "-1/2");
+}
+
+TEST(RationalTest, ToDoubleMatches) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).ToDouble(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(8, 15).ToDouble(), 8.0 / 15.0);
+}
+
+TEST(RationalTest, EqualityAfterReduction) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+}  // namespace
+}  // namespace cned

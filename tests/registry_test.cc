@@ -1,0 +1,60 @@
+#include "distances/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+TEST(RegistryTest, AllNamesConstructible) {
+  for (const auto& name : AllDistanceNames()) {
+    auto d = MakeDistance(name);
+    ASSERT_NE(d, nullptr) << name;
+    EXPECT_EQ(d->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameThrows) {
+  EXPECT_THROW(MakeDistance("bogus"), std::invalid_argument);
+  EXPECT_THROW(MakeDistance(""), std::invalid_argument);
+}
+
+TEST(RegistryTest, MetricFlagsMatchPaper) {
+  EXPECT_TRUE(MakeDistance("dE")->is_metric());
+  EXPECT_TRUE(MakeDistance("dYB")->is_metric());
+  EXPECT_TRUE(MakeDistance("dC")->is_metric());
+  EXPECT_FALSE(MakeDistance("dsum")->is_metric());
+  EXPECT_FALSE(MakeDistance("dmax")->is_metric());
+  EXPECT_FALSE(MakeDistance("dmin")->is_metric());
+  EXPECT_FALSE(MakeDistance("dMV")->is_metric());   // open for unit costs
+  EXPECT_FALSE(MakeDistance("dC,h")->is_metric());  // heuristic
+}
+
+TEST(RegistryTest, EvaluationDistancesMatchFigures) {
+  auto dists = EvaluationDistances();
+  ASSERT_EQ(dists.size(), 5u);
+  EXPECT_EQ(dists[0]->name(), "dYB");
+  EXPECT_EQ(dists[1]->name(), "dC,h");
+  EXPECT_EQ(dists[2]->name(), "dMV");
+  EXPECT_EQ(dists[3]->name(), "dmax");
+  EXPECT_EQ(dists[4]->name(), "dE");
+}
+
+TEST(RegistryTest, ClassificationDistancesMatchTable2) {
+  auto dists = ClassificationDistances();
+  ASSERT_EQ(dists.size(), 6u);
+  EXPECT_EQ(dists[2]->name(), "dC");
+  EXPECT_EQ(dists[3]->name(), "dC,h");
+}
+
+TEST(RegistryTest, DistancesProduceConsistentValues) {
+  // All distances agree that identical strings are at distance zero and
+  // give a positive value for a distinct pair.
+  for (const auto& name : AllDistanceNames()) {
+    auto d = MakeDistance(name);
+    EXPECT_DOUBLE_EQ(d->Distance("casa", "casa"), 0.0) << name;
+    EXPECT_GT(d->Distance("casa", "cosa"), 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,116 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, IndexInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(11);
+  std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.Weighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedThrowsOnAllZero) {
+  Rng rng(11);
+  std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(rng.Weighted(weights), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedRoughlyProportional) {
+  Rng rng(13);
+  std::vector<double> weights{1.0, 3.0};
+  int counts[2] = {0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Weighted(weights)];
+  double frac = static_cast<double>(counts[1]) / n;
+  EXPECT_NEAR(frac, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto orig = v;
+  rng.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, GaussianMeanApproximately) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(23);
+  b.Fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.UniformInt(0, 1 << 30) == a.UniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,111 @@
+// Parameterized conformance suite for the nearest-neighbour indexes: every
+// (index family x metric distance) combination must return exactly the
+// exhaustive-search nearest-neighbour distance on every query.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/perturb.h"
+#include "distances/registry.h"
+#include "search/aesa.h"
+#include "search/bk_tree.h"
+#include "search/exhaustive.h"
+#include "search/laesa.h"
+#include "search/vp_tree.h"
+
+namespace cned {
+namespace {
+
+enum class IndexKind { kLaesa, kAesa, kVpTree, kBkTree };
+
+std::string KindName(IndexKind k) {
+  switch (k) {
+    case IndexKind::kLaesa:
+      return "Laesa";
+    case IndexKind::kAesa:
+      return "Aesa";
+    case IndexKind::kVpTree:
+      return "VpTree";
+    case IndexKind::kBkTree:
+      return "BkTree";
+  }
+  return "?";
+}
+
+using Param = std::tuple<IndexKind, std::string>;
+
+class IndexConformanceTest : public ::testing::TestWithParam<Param> {
+ protected:
+  std::unique_ptr<NearestNeighborSearcher> MakeIndex(
+      const std::vector<std::string>& protos, StringDistancePtr dist) {
+    switch (std::get<0>(GetParam())) {
+      case IndexKind::kLaesa:
+        return std::make_unique<Laesa>(protos, dist, 12);
+      case IndexKind::kAesa:
+        return std::make_unique<Aesa>(protos, dist);
+      case IndexKind::kVpTree:
+        return std::make_unique<VpTree>(protos, dist);
+      case IndexKind::kBkTree:
+        return std::make_unique<BkTree>(protos, dist);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(IndexConformanceTest, AgreesWithExhaustiveSearch) {
+  const auto& [kind, dist_name] = GetParam();
+  DictionaryOptions opt;
+  opt.word_count = 150;
+  opt.seed = 1000 + static_cast<std::uint64_t>(kind);
+  auto protos = GenerateDictionary(opt).strings;
+
+  auto dist = MakeDistance(dist_name);
+  auto index = MakeIndex(protos, dist);
+  ExhaustiveSearch exact(protos, dist);
+
+  Rng rng(2000);
+  auto queries = MakeQueries(protos, 40, 2, Alphabet::Latin(), rng);
+  for (const auto& q : queries) {
+    EXPECT_NEAR(index->Nearest(q).distance, exact.Nearest(q).distance, 1e-9)
+        << KindName(kind) << "/" << dist_name << " query=" << q;
+  }
+}
+
+TEST_P(IndexConformanceTest, SelfQueriesReturnZero) {
+  const auto& [kind, dist_name] = GetParam();
+  DictionaryOptions opt;
+  opt.word_count = 60;
+  opt.seed = 3000;
+  auto protos = GenerateDictionary(opt).strings;
+  auto index = MakeIndex(protos, MakeDistance(dist_name));
+  for (std::size_t i = 0; i < protos.size(); i += 7) {
+    EXPECT_DOUBLE_EQ(index->Nearest(protos[i]).distance, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricIndexes, IndexConformanceTest,
+    ::testing::Values(Param{IndexKind::kLaesa, "dE"},
+                      Param{IndexKind::kLaesa, "dYB"},
+                      Param{IndexKind::kLaesa, "dC"},
+                      Param{IndexKind::kAesa, "dE"},
+                      Param{IndexKind::kAesa, "dYB"},
+                      Param{IndexKind::kAesa, "dC"},
+                      Param{IndexKind::kVpTree, "dE"},
+                      Param{IndexKind::kVpTree, "dYB"},
+                      Param{IndexKind::kVpTree, "dC"},
+                      Param{IndexKind::kBkTree, "dE"}),
+    [](const auto& info) {
+      std::string name = std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == ',') c = '_';
+      }
+      return KindName(std::get<0>(info.param)) + "_" + name;
+    });
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,82 @@
+#include "metric/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cned {
+namespace {
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputationOnRandomData) {
+  Rng rng(71);
+  RunningStats s;
+  std::vector<double> data;
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.Gaussian(10.0, 3.0);
+    data.push_back(v);
+    s.Add(v);
+  }
+  double mean = 0.0;
+  for (double v : data) mean += v;
+  mean /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (double v : data) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(data.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-7);
+}
+
+TEST(IntrinsicDimensionalityTest, ChavezFormula) {
+  // rho = mu^2 / (2 sigma^2): mean 5, var 4 -> 25/8.
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(IntrinsicDimensionality(s), 25.0 / 8.0);
+}
+
+TEST(IntrinsicDimensionalityTest, VectorOverload) {
+  std::vector<double> d{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(IntrinsicDimensionality(d), 25.0 / 8.0);
+}
+
+TEST(IntrinsicDimensionalityTest, ConcentratedHistogramHasHigherRho) {
+  // The paper's rationale: more concentrated distance histograms (smaller
+  // variance relative to the mean) => higher intrinsic dimension => harder
+  // search.
+  std::vector<double> concentrated, spread;
+  Rng rng(72);
+  for (int i = 0; i < 4000; ++i) {
+    concentrated.push_back(rng.Gaussian(1.0, 0.05));
+    spread.push_back(rng.Gaussian(1.0, 0.5));
+  }
+  EXPECT_GT(IntrinsicDimensionality(concentrated),
+            IntrinsicDimensionality(spread));
+}
+
+TEST(IntrinsicDimensionalityTest, ZeroVarianceThrows) {
+  std::vector<double> constant{1.0, 1.0, 1.0};
+  EXPECT_THROW(IntrinsicDimensionality(constant), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cned

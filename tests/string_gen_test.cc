@@ -1,0 +1,55 @@
+#include "strings/string_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+TEST(StringGenTest, UniformHasExactLengthAndAlphabet) {
+  Rng rng(1);
+  Alphabet dna = Alphabet::Dna();
+  for (std::size_t len : {0u, 1u, 5u, 50u}) {
+    std::string s = StringGen::Uniform(rng, dna, len);
+    EXPECT_EQ(s.size(), len);
+    EXPECT_TRUE(dna.ContainsAll(s));
+  }
+}
+
+TEST(StringGenTest, UniformLengthWithinBounds) {
+  Rng rng(2);
+  Alphabet latin = Alphabet::Latin();
+  for (int i = 0; i < 200; ++i) {
+    std::string s = StringGen::UniformLength(rng, latin, 3, 9);
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 9u);
+  }
+}
+
+TEST(StringGenTest, BatchCountAndDeterminism) {
+  Alphabet dna = Alphabet::Dna();
+  Rng a(3), b(3);
+  auto va = StringGen::Batch(a, dna, 20, 1, 10);
+  auto vb = StringGen::Batch(b, dna, 20, 1, 10);
+  EXPECT_EQ(va.size(), 20u);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(StringGenTest, EnumerateCountsGeometric) {
+  Alphabet ab("ab");
+  // 1 + 2 + 4 + 8 = 15 strings of length <= 3 over a binary alphabet.
+  auto all = StringGen::Enumerate(ab, 3);
+  EXPECT_EQ(all.size(), 15u);
+  EXPECT_EQ(all.front(), "");
+  // No duplicates.
+  std::set<std::string> uniq(all.begin(), all.end());
+  EXPECT_EQ(uniq.size(), all.size());
+}
+
+TEST(StringGenTest, EnumerateLengthZero) {
+  auto all = StringGen::Enumerate(Alphabet("ab"), 0);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0].empty());
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,49 @@
+#include "common/table.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace cned {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TableTest, RejectsWrongCellCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, DoubleRowFormatsWithPrecision) {
+  Table t({"dist", "x", "y"});
+  t.AddRow("dC", {1.23456, 0.5}, 2);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("0.50"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table t({"h", "wide_header"});
+  t.AddRow({"x", "1"});
+  std::string s = t.ToString();
+  // Separator line must cover the widest cell in each column.
+  EXPECT_NE(s.find("|-"), std::string::npos);
+  EXPECT_NE(s.find("-----------"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(0.5305, 4), "0.5305");
+}
+
+}  // namespace
+}  // namespace cned

@@ -1,0 +1,107 @@
+// Tests for the VP-tree k-NN and range-search extensions.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/perturb.h"
+#include "distances/registry.h"
+#include "search/exhaustive.h"
+#include "search/vp_tree.h"
+
+namespace cned {
+namespace {
+
+std::vector<std::string> Dict(std::size_t n, std::uint64_t seed) {
+  DictionaryOptions opt;
+  opt.word_count = n;
+  opt.seed = seed;
+  return GenerateDictionary(opt).strings;
+}
+
+TEST(VpTreeKNearestTest, MatchesExhaustiveKNN) {
+  auto protos = Dict(220, 1501);
+  Rng rng(1502);
+  auto queries = MakeQueries(protos, 30, 2, Alphabet::Latin(), rng);
+  auto dist = MakeDistance("dE");
+  VpTree tree(protos, dist);
+  ExhaustiveSearch exact(protos, dist);
+  for (const auto& q : queries) {
+    for (std::size_t k : {1u, 4u, 9u}) {
+      auto a = tree.KNearest(q, k);
+      auto b = exact.KNearest(q, k);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9)
+            << "q=" << q << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(VpTreeKNearestTest, SortedAscendingAndClamped) {
+  auto protos = Dict(40, 1503);
+  VpTree tree(protos, MakeDistance("dYB"));
+  auto r = tree.KNearest("palabras", 6);
+  ASSERT_EQ(r.size(), 6u);
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    EXPECT_LE(r[i - 1].distance, r[i].distance);
+  }
+  EXPECT_EQ(tree.KNearest("x", 100).size(), protos.size());
+}
+
+TEST(VpTreeKNearestTest, OneNnConsistentWithNearest) {
+  auto protos = Dict(120, 1504);
+  Rng rng(1505);
+  auto queries = MakeQueries(protos, 25, 2, Alphabet::Latin(), rng);
+  VpTree tree(protos, MakeDistance("dE"));
+  for (const auto& q : queries) {
+    auto knn = tree.KNearest(q, 1);
+    ASSERT_EQ(knn.size(), 1u);
+    EXPECT_DOUBLE_EQ(knn[0].distance, tree.Nearest(q).distance);
+  }
+}
+
+TEST(VpTreeRangeSearchTest, MatchesBruteForce) {
+  auto protos = Dict(180, 1506);
+  Rng rng(1507);
+  auto queries = MakeQueries(protos, 25, 2, Alphabet::Latin(), rng);
+  auto dist = MakeDistance("dE");
+  VpTree tree(protos, dist);
+  for (const auto& q : queries) {
+    for (double radius : {0.0, 1.0, 3.0}) {
+      auto hits = tree.RangeSearch(q, radius);
+      std::size_t expected = 0;
+      for (const auto& p : protos) {
+        if (dist->Distance(q, p) <= radius) ++expected;
+      }
+      EXPECT_EQ(hits.size(), expected) << "q=" << q << " r=" << radius;
+      for (std::size_t i = 1; i < hits.size(); ++i) {
+        EXPECT_LE(hits[i - 1].distance, hits[i].distance);
+      }
+    }
+  }
+}
+
+TEST(VpTreeRangeSearchTest, PrunesComputations) {
+  auto protos = Dict(600, 1508);
+  Rng rng(1509);
+  auto queries = MakeQueries(protos, 30, 1, Alphabet::Latin(), rng);
+  VpTree tree(protos, MakeDistance("dE"));
+  VpTree::QueryStats stats;
+  for (const auto& q : queries) tree.RangeSearch(q, 1.0, &stats);
+  EXPECT_LT(stats.distance_computations,
+            static_cast<std::uint64_t>(protos.size()) * queries.size());
+}
+
+TEST(VpTreeRangeSearchTest, SelfQueryAtRadiusZero) {
+  auto protos = Dict(60, 1510);
+  VpTree tree(protos, MakeDistance("dE"));
+  auto hits = tree.RangeSearch(protos[7], 0.0);
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].distance, 0.0);
+  EXPECT_EQ(protos[hits[0].index], protos[7]);
+}
+
+}  // namespace
+}  // namespace cned

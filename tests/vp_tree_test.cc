@@ -1,0 +1,98 @@
+#include "search/vp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/perturb.h"
+#include "distances/registry.h"
+#include "search/exhaustive.h"
+
+namespace cned {
+namespace {
+
+std::vector<std::string> Dict(std::size_t n, std::uint64_t seed) {
+  DictionaryOptions opt;
+  opt.word_count = n;
+  opt.seed = seed;
+  return GenerateDictionary(opt).strings;
+}
+
+TEST(VpTreeTest, ExactForMetricDistances) {
+  auto protos = Dict(250, 501);
+  Rng rng(502);
+  auto queries = MakeQueries(protos, 60, 2, Alphabet::Latin(), rng);
+  for (const char* name : {"dE", "dYB"}) {
+    auto dist = MakeDistance(name);
+    VpTree tree(protos, dist);
+    ExhaustiveSearch exact(protos, dist);
+    for (const auto& q : queries) {
+      EXPECT_NEAR(tree.Nearest(q).distance, exact.Nearest(q).distance, 1e-9)
+          << name << " query=" << q;
+    }
+  }
+}
+
+TEST(VpTreeTest, ExactForContextualMetric) {
+  auto protos = Dict(100, 503);
+  Rng rng(504);
+  auto queries = MakeQueries(protos, 25, 2, Alphabet::Latin(), rng);
+  auto dist = MakeDistance("dC");
+  VpTree tree(protos, dist);
+  ExhaustiveSearch exact(protos, dist);
+  for (const auto& q : queries) {
+    EXPECT_NEAR(tree.Nearest(q).distance, exact.Nearest(q).distance, 1e-9);
+  }
+}
+
+TEST(VpTreeTest, PrunesDistanceComputations) {
+  auto protos = Dict(600, 505);
+  Rng rng(506);
+  auto queries = MakeQueries(protos, 50, 2, Alphabet::Latin(), rng);
+  VpTree tree(protos, MakeDistance("dE"));
+  VpTree::QueryStats stats;
+  for (const auto& q : queries) tree.Nearest(q, &stats);
+  double avg = static_cast<double>(stats.distance_computations) /
+               static_cast<double>(queries.size());
+  EXPECT_LT(avg, static_cast<double>(protos.size()) * 0.8);
+}
+
+TEST(VpTreeTest, SingleAndDuplicatePrototypes) {
+  std::vector<std::string> one{"solo"};
+  VpTree t1(one, MakeDistance("dE"));
+  EXPECT_EQ(t1.Nearest("sole").index, 0u);
+
+  std::vector<std::string> dups{"aa", "aa", "bb", "aa"};
+  VpTree t2(dups, MakeDistance("dE"));
+  auto r = t2.Nearest("aa");
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_EQ(dups[r.index], "aa");
+}
+
+TEST(VpTreeTest, EmptySetThrows) {
+  std::vector<std::string> empty;
+  EXPECT_THROW(VpTree(empty, MakeDistance("dE")), std::invalid_argument);
+}
+
+TEST(VpTreeTest, PreprocessingCountReported) {
+  auto protos = Dict(100, 507);
+  VpTree tree(protos, MakeDistance("dE"));
+  // Tree building computes ~n log n distances.
+  EXPECT_GT(tree.preprocessing_computations(), protos.size());
+  EXPECT_LT(tree.preprocessing_computations(),
+            protos.size() * protos.size());
+}
+
+TEST(VpTreeTest, DeterministicPerSeed) {
+  auto protos = Dict(80, 508);
+  VpTree a(protos, MakeDistance("dE"), 9);
+  VpTree b(protos, MakeDistance("dE"), 9);
+  Rng rng(509);
+  auto queries = MakeQueries(protos, 10, 2, Alphabet::Latin(), rng);
+  for (const auto& q : queries) {
+    EXPECT_EQ(a.Nearest(q).index, b.Nearest(q).index);
+  }
+}
+
+}  // namespace
+}  // namespace cned

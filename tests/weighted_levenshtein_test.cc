@@ -1,0 +1,91 @@
+#include "distances/weighted_levenshtein.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distances/levenshtein.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(WeightedLevenshteinTest, UnitCostsMatchClassic) {
+  UnitCosts unit;
+  Rng rng(1);
+  Alphabet ab("abc");
+  for (int i = 0; i < 200; ++i) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    EXPECT_DOUBLE_EQ(WeightedLevenshtein(x, y, unit),
+                     static_cast<double>(LevenshteinDistance(x, y)));
+  }
+}
+
+TEST(WeightedLevenshteinTest, ExpensiveSubstitutionPrefersIndel) {
+  // Substitution cost 3 > ins + del = 2, so "a" -> "b" should cost 2.
+  MatrixCosts costs = MatrixCosts::Uniform(Alphabet("ab"), 3.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(WeightedLevenshtein("a", "b", costs), 2.0);
+}
+
+TEST(WeightedLevenshteinTest, CheapSubstitution) {
+  MatrixCosts costs = MatrixCosts::Uniform(Alphabet("ab"), 0.25, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(WeightedLevenshtein("aa", "bb", costs), 0.5);
+}
+
+TEST(WeightedLevenshteinTest, PerSymbolIndelCosts) {
+  Alphabet ab("ab");
+  std::vector<std::vector<double>> sub{{0.0, 1.0}, {1.0, 0.0}};
+  std::vector<double> ins{0.1, 5.0};  // inserting 'a' cheap, 'b' expensive
+  std::vector<double> del{1.0, 1.0};
+  MatrixCosts costs(ab, sub, ins, del);
+  EXPECT_DOUBLE_EQ(WeightedLevenshtein("", "a", costs), 0.1);
+  EXPECT_DOUBLE_EQ(WeightedLevenshtein("", "b", costs), 5.0);
+  EXPECT_DOUBLE_EQ(WeightedLevenshtein("", "ab", costs), 5.1);
+}
+
+TEST(WeightedLevenshteinTest, AsymmetricCostsAreAsymmetric) {
+  Alphabet ab("ab");
+  std::vector<std::vector<double>> sub{{0.0, 1.0}, {1.0, 0.0}};
+  std::vector<double> ins{0.1, 0.1};
+  std::vector<double> del{2.0, 2.0};
+  MatrixCosts costs(ab, sub, ins, del);
+  // "" -> "a" uses insertion (0.1); "a" -> "" uses deletion (2.0).
+  EXPECT_DOUBLE_EQ(WeightedLevenshtein("", "a", costs), 0.1);
+  EXPECT_DOUBLE_EQ(WeightedLevenshtein("a", "", costs), 2.0);
+}
+
+TEST(WeightedLevenshteinTest, IdentityIsZero) {
+  MatrixCosts costs = MatrixCosts::Uniform(Alphabet::Dna(), 2.0, 1.5, 1.5);
+  EXPECT_DOUBLE_EQ(WeightedLevenshtein("GATTACA", "GATTACA", costs), 0.0);
+}
+
+TEST(MatrixCostsTest, ValidationRejectsBadShapes) {
+  Alphabet ab("ab");
+  std::vector<std::vector<double>> bad_diag{{1.0, 1.0}, {1.0, 0.0}};
+  EXPECT_THROW(MatrixCosts(ab, bad_diag, {1, 1}, {1, 1}),
+               std::invalid_argument);
+  std::vector<std::vector<double>> not_square{{0.0}, {1.0, 0.0}};
+  EXPECT_THROW(MatrixCosts(ab, not_square, {1, 1}, {1, 1}),
+               std::invalid_argument);
+  std::vector<std::vector<double>> ok{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_THROW(MatrixCosts(ab, ok, {1}, {1, 1}), std::invalid_argument);
+}
+
+TEST(MatrixCostsTest, FallbackForForeignSymbols) {
+  MatrixCosts costs = MatrixCosts::Uniform(Alphabet("ab"), 0.5, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(costs.Sub('a', 'z'), 1.0);  // default fallback
+  EXPECT_DOUBLE_EQ(costs.Ins('z'), 1.0);
+  EXPECT_DOUBLE_EQ(costs.Del('z'), 1.0);
+  EXPECT_DOUBLE_EQ(costs.Sub('z', 'z'), 0.0);  // equality is free regardless
+}
+
+TEST(WeightedEditDistanceAdapterTest, WrapsCostModel) {
+  auto costs = std::make_shared<UnitCosts>();
+  WeightedEditDistance d(costs, "dW", true);
+  EXPECT_EQ(d.name(), "dW");
+  EXPECT_TRUE(d.is_metric());
+  EXPECT_DOUBLE_EQ(d.Distance("kitten", "sitting"), 3.0);
+}
+
+}  // namespace
+}  // namespace cned
