@@ -1,0 +1,10 @@
+#include "common/dp_workspace.h"
+
+namespace cned {
+
+DpWorkspace& TlsDpWorkspace() {
+  thread_local DpWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace cned

@@ -1,0 +1,46 @@
+#ifndef CNED_COMMON_DP_WORKSPACE_H_
+#define CNED_COMMON_DP_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cned {
+
+/// Reusable scratch buffers for the dynamic-programming distance kernels.
+///
+/// Every hot kernel (the contextual layered DP, Levenshtein and its banded
+/// variant, the Marzal-Vidal length DP, the weighted edit DP) used to heap-
+/// allocate fresh tables on each call — two allocations per evaluation in
+/// the contextual case, millions of evaluations per index build. The
+/// kernels now borrow these buffers instead: `assign`/`resize` reuse the
+/// existing capacity, so after the first few calls of a thread the steady-
+/// state path performs zero allocations.
+///
+/// One instance exists per thread (see `TlsDpWorkspace`), which makes every
+/// kernel safe to run concurrently from `ParallelFor` bodies without
+/// sharing or locking.
+struct DpWorkspace {
+  // Contextual layered DP: two (m+1) x (n+1) layer planes.
+  std::vector<std::int32_t> layer_a;
+  std::vector<std::int32_t> layer_b;
+  // Marzal-Vidal length DP: two (m+1) x (n+1) weight planes.
+  std::vector<double> plane_a;
+  std::vector<double> plane_b;
+  // Rolling rows for the Levenshtein / weighted-Levenshtein kernels.
+  std::vector<std::size_t> int_row;
+  std::vector<double> weight_row;
+  // Paired (edit distance, max insertions) rows for the d_C,h heuristic.
+  std::vector<std::uint32_t> dist_row;
+  std::vector<std::uint32_t> dist_row_prev;
+  std::vector<std::int32_t> ins_row;
+  std::vector<std::int32_t> ins_row_prev;
+};
+
+/// The calling thread's workspace. Buffers grow monotonically with the
+/// largest problem seen on the thread and are never shrunk.
+DpWorkspace& TlsDpWorkspace();
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_DP_WORKSPACE_H_

@@ -14,4 +14,9 @@ HarmonicTable& GlobalHarmonic() {
   return table;
 }
 
+HarmonicTable& ThreadLocalHarmonic() {
+  thread_local HarmonicTable table;
+  return table;
+}
+
 }  // namespace cned

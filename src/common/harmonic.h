@@ -46,6 +46,11 @@ class HarmonicTable {
 /// Process-wide shared table (not thread-safe; see class comment).
 HarmonicTable& GlobalHarmonic();
 
+/// The calling thread's private table. The contextual kernels use this so
+/// they can run concurrently from `ParallelFor` bodies (index builds,
+/// DistanceMatrix) without racing on `Grow`'s reallocation.
+HarmonicTable& ThreadLocalHarmonic();
+
 }  // namespace cned
 
 #endif  // CNED_COMMON_HARMONIC_H_

@@ -4,12 +4,16 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/dp_workspace.h"
+
 namespace cned {
 namespace {
 
 // "Minus infinity" for the insertion-count DP. Far enough from INT32_MIN
 // that adding +1 per layer (at most |x|+|y| times) cannot wrap.
 constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+thread_local std::uint64_t tls_cells_evaluated = 0;
 
 void ValidateDecomposition(std::size_t m, std::size_t n, std::size_t k,
                            std::size_t ni) {
@@ -109,23 +113,34 @@ std::vector<std::int32_t> MaxInsertionProfile(std::string_view x,
 }
 
 ContextualResult ContextualDistanceDetailed(std::string_view x,
-                                            std::string_view y) {
+                                            std::string_view y, double bound) {
   const std::size_t m = x.size(), n = y.size();
-  HarmonicTable& h = GlobalHarmonic();
+  HarmonicTable& h = ThreadLocalHarmonic();
 
   ContextualResult best;
   if (m == 0 && n == 0) return best;
   best.distance = std::numeric_limits<double>::infinity();
 
-  // Same layered DP as MaxInsertionProfile, but evaluating each layer's
-  // candidate as soon as its last cell is available so the loop can stop
-  // once the k/(m+n) lower bound rules out all longer paths.
+  // Same layered DP as MaxInsertionProfile, but band-limited — at layer k a
+  // cell (i, j) is reachable only when |i - j| <= k, because insertions
+  // minus deletions along the prefix equals j - i while their sum is at
+  // most k — and evaluating each layer's candidate as soon as its last
+  // cell is available so the loop can stop once the k/(m+n) lower bound
+  // rules out all longer paths (or reaches the caller's bound).
+  //
+  // Buffer invariant: cells outside a layer's band are kNegInf. It holds
+  // at the start (both planes are filled with kNegInf) and is preserved
+  // because layer k writes exactly the band |i - j| <= k into the plane
+  // that held layer k-2 (whose untouched cells satisfy |i - j| > k-2 and
+  // were kNegInf by induction). Reads reach at most one cell outside the
+  // previous layer's band in each direction, which the invariant covers.
   const std::size_t width = n + 1;
   const std::size_t kmax = m + n;
-  std::vector<std::int32_t> prev((m + 1) * width, kNegInf);
-  std::vector<std::int32_t> cur((m + 1) * width, kNegInf);
-  auto at = [width](std::vector<std::int32_t>& v, std::size_t i,
-                    std::size_t j) -> std::int32_t& { return v[i * width + j]; };
+  DpWorkspace& ws = TlsDpWorkspace();
+  ws.layer_a.assign((m + 1) * width, kNegInf);
+  ws.layer_b.assign((m + 1) * width, kNegInf);
+  std::vector<std::int32_t>* prev = &ws.layer_a;
+  std::vector<std::int32_t>* cur = &ws.layer_b;
 
   auto consider = [&](std::size_t k, std::int32_t raw_ni) {
     if (raw_ni < 0) return;
@@ -140,44 +155,67 @@ ContextualResult ContextualDistanceDetailed(std::string_view x,
     }
   };
 
-  at(prev, 0, 0) = 0;
+  (*prev)[0] = 0;
   {
     bool prefix_eq = true;
     for (std::size_t t = 1; t <= std::min(m, n) && prefix_eq; ++t) {
       prefix_eq = (x[t - 1] == y[t - 1]);
-      if (prefix_eq) at(prev, t, t) = 0;
+      if (prefix_eq) (*prev)[t * width + t] = 0;
     }
   }
-  consider(0, prev[m * width + n]);
+  tls_cells_evaluated += std::min(m, n) + 1;
+  consider(0, (*prev)[m * width + n]);
 
   const double per_op_floor = 1.0 / static_cast<double>(m + n);
   for (std::size_t k = 1; k <= kmax; ++k) {
+    const double layer_floor = static_cast<double>(k) * per_op_floor;
     // Every op on an internal path costs >= 1/(m+n); once even that floor
-    // exceeds the incumbent, no longer path can win.
-    if (static_cast<double>(k) * per_op_floor > best.distance) break;
-    at(cur, 0, 0) = kNegInf;
-    for (std::size_t j = 1; j <= n; ++j) {
-      at(cur, 0, j) = at(prev, 0, j - 1) + 1;
+    // exceeds the incumbent — or reaches the caller's bound — no longer
+    // path can produce a result the caller would use.
+    if (layer_floor > best.distance || layer_floor >= bound) break;
+
+    // Row 0: insertion-only cells, band j <= k.
+    {
+      std::int32_t* cur_row = cur->data();
+      const std::int32_t* prev_row = prev->data();
+      cur_row[0] = kNegInf;
+      const std::size_t jhi = std::min(n, k);
+      for (std::size_t j = 1; j <= jhi; ++j) {
+        cur_row[j] = prev_row[j - 1] + 1;
+      }
+      tls_cells_evaluated += jhi + 1;
     }
     for (std::size_t i = 1; i <= m; ++i) {
-      at(cur, i, 0) = at(prev, i - 1, 0);
+      const std::size_t jlo = i > k ? i - k : 0;
+      const std::size_t jhi = std::min(n, i + k);
+      if (jlo > jhi) continue;  // row entirely outside the band (i > n + k)
       const char xi = x[i - 1];
-      const std::int32_t* prev_up = &prev[(i - 1) * width];
-      const std::int32_t* prev_row = &prev[i * width];
-      std::int32_t* cur_row = &cur[i * width];
-      const std::int32_t* cur_up = &cur[(i - 1) * width];
-      for (std::size_t j = 1; j <= n; ++j) {
+      const std::int32_t* prev_up = &(*prev)[(i - 1) * width];
+      const std::int32_t* prev_row = &(*prev)[i * width];
+      std::int32_t* cur_row = &(*cur)[i * width];
+      const std::int32_t* cur_up = &(*cur)[(i - 1) * width];
+      std::size_t j = jlo;
+      if (j == 0) {
+        cur_row[0] = prev_up[0];  // deletion only
+        j = 1;
+      }
+      for (; j <= jhi; ++j) {
         std::int32_t v = (xi == y[j - 1]) ? cur_up[j - 1] : prev_up[j - 1];
         v = std::max(v, prev_up[j]);
         v = std::max(v, prev_row[j - 1] + 1);
         cur_row[j] = v;
       }
+      tls_cells_evaluated += jhi - jlo + 1;
     }
-    consider(k, cur[m * width + n]);
+    consider(k, (*cur)[m * width + n]);
     std::swap(prev, cur);
   }
   return best;
 }
+
+std::uint64_t ContextualCellsEvaluated() { return tls_cells_evaluated; }
+
+void ResetContextualCellsEvaluated() { tls_cells_evaluated = 0; }
 
 double ContextualDistance(std::string_view x, std::string_view y) {
   return ContextualDistanceDetailed(x, y).distance;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/dp_workspace.h"
 #include "common/harmonic.h"
 
 namespace cned {
@@ -16,11 +17,23 @@ namespace cned {
 // insertion count over "minimal-k predecessors only" loses no path that the
 // full DP would consider at k = d_E, and the pair (D, NI) below is exact.
 ContextualHeuristicResult ContextualHeuristicDetailed(std::string_view x,
-                                                      std::string_view y) {
+                                                      std::string_view y,
+                                                      double bound) {
   const std::size_t m = x.size(), n = y.size();
-  // Rows of (edit distance, max insertions among minimal scripts).
-  std::vector<std::uint32_t> dist(n + 1), dist_prev(n + 1);
-  std::vector<std::int32_t> ins(n + 1), ins_prev(n + 1);
+  // Rows of (edit distance, max insertions among minimal scripts), borrowed
+  // from the thread's workspace (no steady-state allocations).
+  DpWorkspace& ws = TlsDpWorkspace();
+  std::vector<std::uint32_t>&dist = ws.dist_row, &dist_prev = ws.dist_row_prev;
+  std::vector<std::int32_t>&ins = ws.ins_row, &ins_prev = ws.ins_row_prev;
+  dist.resize(n + 1);
+  dist_prev.resize(n + 1);
+  ins.resize(n + 1);
+  ins_prev.resize(n + 1);
+
+  // Every operation of a canonical path costs at least 1/(m+n), so the
+  // final cost is at least k/(m+n); the row minimum of the edit-distance DP
+  // lower-bounds the final k, giving a cheap per-row abandon test.
+  const double row_min_cutoff = bound * static_cast<double>(m + n);
 
   for (std::size_t j = 0; j <= n; ++j) {
     dist_prev[j] = static_cast<std::uint32_t>(j);
@@ -29,6 +42,7 @@ ContextualHeuristicResult ContextualHeuristicDetailed(std::string_view x,
   for (std::size_t i = 1; i <= m; ++i) {
     dist[0] = static_cast<std::uint32_t>(i);
     ins[0] = 0;
+    std::uint32_t row_min = dist[0];
     for (std::size_t j = 1; j <= n; ++j) {
       const std::uint32_t d_diag =
           dist_prev[j - 1] + (x[i - 1] == y[j - 1] ? 0u : 1u);
@@ -41,6 +55,13 @@ ContextualHeuristicResult ContextualHeuristicDetailed(std::string_view x,
       if (d == d_ins) ni = std::max(ni, ins[j - 1] + 1);
       dist[j] = d;
       ins[j] = ni;
+      row_min = std::min(row_min, d);
+    }
+    if (static_cast<double>(row_min) >= row_min_cutoff) {
+      ContextualHeuristicResult abandoned;
+      abandoned.distance = std::numeric_limits<double>::infinity();
+      abandoned.k = row_min;
+      return abandoned;
     }
     std::swap(dist, dist_prev);
     std::swap(ins, ins_prev);
@@ -49,7 +70,8 @@ ContextualHeuristicResult ContextualHeuristicDetailed(std::string_view x,
   ContextualHeuristicResult r;
   r.k = dist_prev[n];
   r.insertions = static_cast<std::size_t>(ins_prev[n]);
-  r.distance = ContextualPathCost(m, n, r.k, r.insertions, GlobalHarmonic());
+  r.distance =
+      ContextualPathCost(m, n, r.k, r.insertions, ThreadLocalHarmonic());
   return r;
 }
 

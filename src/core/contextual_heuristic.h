@@ -2,6 +2,7 @@
 #define CNED_CORE_CONTEXTUAL_HEURISTIC_H_
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -32,9 +33,13 @@ struct ContextualHeuristicResult {
   std::size_t insertions = 0;  ///< max insertions among minimal paths
 };
 
-/// d_C,h(x, y) with decomposition.
-ContextualHeuristicResult ContextualHeuristicDetailed(std::string_view x,
-                                                      std::string_view y);
+/// d_C,h(x, y) with decomposition. When `bound` is finite the DP abandons
+/// (returning distance = +infinity) as soon as the edit-distance row
+/// minimum proves the final cost will be >= bound — the
+/// `StringDistance::DistanceBounded` contract.
+ContextualHeuristicResult ContextualHeuristicDetailed(
+    std::string_view x, std::string_view y,
+    double bound = std::numeric_limits<double>::infinity());
 
 /// d_C,h(x, y).
 double ContextualHeuristicDistance(std::string_view x, std::string_view y);
@@ -49,6 +54,10 @@ class ContextualHeuristicEditDistance final : public StringDistance {
  public:
   double Distance(std::string_view x, std::string_view y) const override {
     return ContextualHeuristicDistance(x, y);
+  }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    return ContextualHeuristicDetailed(x, y, bound).distance;
   }
   std::string name() const override { return "dC,h"; }
   bool is_metric() const override { return false; }

@@ -25,6 +25,24 @@ class StringDistance {
   /// The distance between `x` and `y`.
   virtual double Distance(std::string_view x, std::string_view y) const = 0;
 
+  /// Bounded evaluation: exactly `Distance(x, y)` whenever that value is
+  /// `< bound`; otherwise any value `>= bound` (the kernel may abandon the
+  /// computation as soon as the result provably reaches the bound).
+  ///
+  /// Metric indexes pass their incumbent best (or search radius) here so
+  /// hopeless distance computations are cut short — the dominant saving for
+  /// the cubic contextual kernel. Callers detect an abandoned evaluation by
+  /// `result >= bound`; an abandoned value carries no other information (it
+  /// is NOT a lower bound on the true distance beyond `bound` itself).
+  ///
+  /// The default forwards to `Distance` (always exact, never abandons);
+  /// kernels with a cheaper banded/early-exit form override it.
+  virtual double DistanceBounded(std::string_view x, std::string_view y,
+                                 double bound) const {
+    (void)bound;
+    return Distance(x, y);
+  }
+
   /// Short identifier as used in the paper, e.g. "dE", "dC,h", "dYB".
   virtual std::string name() const = 0;
 

@@ -15,6 +15,21 @@ double GeneralizedYujianBoDistance(std::string_view x, std::string_view y,
          (alpha * static_cast<double>(x.size() + y.size()) + gld);
 }
 
+double GeneralizedYujianBoMetric::DistanceBounded(std::string_view x,
+                                                  std::string_view y,
+                                                  double bound) const {
+  if (x.empty() && y.empty()) return 0.0;
+  // d_gYB = 2 GLD / (alpha len + GLD) < 2: a bound >= 2 is never reached.
+  if (bound >= 2.0) return Distance(x, y);
+  const double len = static_cast<double>(x.size() + y.size());
+  // Monotone in GLD: d_gYB < b  <=>  GLD < b * alpha * len / (2 - b), and
+  // mapping any GLD lower bound >= that threshold back through the formula
+  // yields a value >= b.
+  const double threshold = bound * alpha_ * len / (2.0 - bound);
+  const double gld = WeightedLevenshteinBounded(x, y, *costs_, threshold);
+  return 2.0 * gld / (alpha_ * len + gld);
+}
+
 GeneralizedYujianBoMetric::GeneralizedYujianBoMetric(
     std::shared_ptr<const EditCosts> costs, double alpha,
     bool costs_are_metric)

@@ -38,6 +38,8 @@ class GeneralizedYujianBoMetric final : public StringDistance {
   double Distance(std::string_view x, std::string_view y) const override {
     return GeneralizedYujianBoDistance(x, y, *costs_, alpha_);
   }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override;
   std::string name() const override { return "dgYB"; }
   bool is_metric() const override { return metric_; }
 

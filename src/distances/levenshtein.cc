@@ -1,7 +1,10 @@
 #include "distances/levenshtein.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "common/dp_workspace.h"
 
 namespace cned {
 
@@ -11,7 +14,8 @@ std::size_t LevenshteinDistance(std::string_view x, std::string_view y) {
   const std::size_t m = x.size(), n = y.size();
   if (n == 0) return m;
 
-  std::vector<std::size_t> row(n + 1);
+  std::vector<std::size_t>& row = TlsDpWorkspace().int_row;
+  row.resize(n + 1);
   for (std::size_t j = 0; j <= n; ++j) row[j] = j;
   for (std::size_t i = 1; i <= m; ++i) {
     std::size_t diag = row[0];
@@ -33,7 +37,8 @@ std::size_t BoundedLevenshtein(std::string_view x, std::string_view y,
   if (n == 0) return m;
 
   constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 2;
-  std::vector<std::size_t> row(n + 1, kInf);
+  std::vector<std::size_t>& row = TlsDpWorkspace().int_row;
+  row.assign(n + 1, kInf);
   for (std::size_t j = 0; j <= std::min(n, bound); ++j) row[j] = j;
   for (std::size_t i = 1; i <= m; ++i) {
     // Only cells with |i - j| <= bound can hold values <= bound.
@@ -53,6 +58,21 @@ std::size_t BoundedLevenshtein(std::string_view x, std::string_view y,
     if (row_min > bound) return bound + 1;
   }
   return row[n] > bound ? bound + 1 : row[n];
+}
+
+double LevenshteinDistanceBounded(std::string_view x, std::string_view y,
+                                  double bound) {
+  const std::size_t longer = std::max(x.size(), y.size());
+  if (bound <= 0.0) return 0.0;  // every distance is >= 0 >= bound
+  if (bound > static_cast<double>(longer)) {
+    // d_E <= max(|x|, |y|) < bound: the exact value is always needed.
+    return static_cast<double>(LevenshteinDistance(x, y));
+  }
+  // Largest integer strictly below `bound`: exactness is required only for
+  // d_E <= ceil(bound) - 1, and the banded kernel's overflow sentinel
+  // ceil(bound) is itself >= bound, satisfying the contract.
+  const auto band = static_cast<std::size_t>(std::ceil(bound)) - 1;
+  return static_cast<double>(BoundedLevenshtein(x, y, band));
 }
 
 std::vector<std::vector<std::size_t>> LevenshteinMatrix(std::string_view x,

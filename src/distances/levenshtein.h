@@ -22,6 +22,12 @@ std::size_t LevenshteinDistance(std::string_view x, std::string_view y);
 std::size_t BoundedLevenshtein(std::string_view x, std::string_view y,
                                std::size_t bound);
 
+/// Real-valued wrapper with the `StringDistance::DistanceBounded` contract:
+/// exactly d_E(x,y) when that is < `bound`, otherwise any value >= `bound`.
+/// Maps the real bound onto the integer Ukkonen band.
+double LevenshteinDistanceBounded(std::string_view x, std::string_view y,
+                                  double bound);
+
 /// The full DP matrix D[i][j] = d_E(x[0..i), y[0..j)), rows |x|+1 by |y|+1.
 /// Exposed because the Marzal-Vidal and contextual computations, tests and
 /// teaching examples need the intermediate values.
@@ -33,6 +39,10 @@ class EditDistance final : public StringDistance {
  public:
   double Distance(std::string_view x, std::string_view y) const override {
     return static_cast<double>(LevenshteinDistance(x, y));
+  }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    return LevenshteinDistanceBounded(x, y, bound);
   }
   std::string name() const override { return "dE"; }
   bool is_metric() const override { return true; }

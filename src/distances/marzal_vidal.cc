@@ -4,6 +4,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/dp_workspace.h"
+
 namespace cned {
 namespace {
 
@@ -13,42 +15,63 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // path of exactly L elementary operations (matches included) aligning the
 // i-prefix of x with the j-prefix of y. Two (i,j) planes suffice because
 // every operation increases L by one.
-double Solve(std::string_view x, std::string_view y, const EditCosts& costs) {
+//
+// Early termination: any path extending beyond the current length restricts
+// to a prefix ending in some cell of the current plane, so its final weight
+// is at least the plane's minimum finite cell (weights are non-negative)
+// and its ratio at least that minimum divided by the maximal length m+n.
+// Once that floor reaches min(bound, best_ratio) no later candidate can
+// either beat the incumbent or come in under the caller's bound, which
+// preserves the `DistanceBounded` contract (and, with bound = +inf, makes
+// the plain distance strictly faster without changing its value).
+double Solve(std::string_view x, std::string_view y, const EditCosts& costs,
+             double bound) {
   const std::size_t m = x.size(), n = y.size();
   if (m == 0 && n == 0) return 0.0;
 
   const std::size_t width = n + 1;
-  std::vector<double> prev((m + 1) * width, kInf);
-  std::vector<double> cur((m + 1) * width, kInf);
+  DpWorkspace& ws = TlsDpWorkspace();
+  ws.plane_a.assign((m + 1) * width, kInf);
+  ws.plane_b.assign((m + 1) * width, kInf);
+  std::vector<double>* prev = &ws.plane_a;
+  std::vector<double>* cur = &ws.plane_b;
   auto at = [width](std::vector<double>& v, std::size_t i,
                     std::size_t j) -> double& { return v[i * width + j]; };
 
-  at(prev, 0, 0) = 0.0;  // L = 0
+  at(*prev, 0, 0) = 0.0;  // L = 0
   double best_ratio = kInf;
   const std::size_t max_len = m + n;
   for (std::size_t len = 1; len <= max_len; ++len) {
+    double plane_min = kInf;
     for (std::size_t i = 0; i <= m; ++i) {
       for (std::size_t j = 0; j <= n; ++j) {
         // Cells reachable with exactly `len` ops satisfy
         // max(i,j) <= len <= i+j; skip the rest cheaply.
         if (len > i + j || len < std::max(i, j)) {
-          at(cur, i, j) = kInf;
+          at(*cur, i, j) = kInf;
           continue;
         }
         double best = kInf;
         if (i > 0 && j > 0) {
-          double w = at(prev, i - 1, j - 1) + costs.Sub(x[i - 1], y[j - 1]);
+          double w = at(*prev, i - 1, j - 1) + costs.Sub(x[i - 1], y[j - 1]);
           best = std::min(best, w);
         }
-        if (i > 0) best = std::min(best, at(prev, i - 1, j) + costs.Del(x[i - 1]));
-        if (j > 0) best = std::min(best, at(prev, i, j - 1) + costs.Ins(y[j - 1]));
-        at(cur, i, j) = best;
+        if (i > 0) {
+          best = std::min(best, at(*prev, i - 1, j) + costs.Del(x[i - 1]));
+        }
+        if (j > 0) {
+          best = std::min(best, at(*prev, i, j - 1) + costs.Ins(y[j - 1]));
+        }
+        at(*cur, i, j) = best;
+        plane_min = std::min(plane_min, best);
       }
     }
-    double w = at(cur, m, n);
+    double w = at(*cur, m, n);
     if (w < kInf) {
       best_ratio = std::min(best_ratio, w / static_cast<double>(len));
     }
+    const double cutoff = std::min(bound, best_ratio);
+    if (plane_min >= cutoff * static_cast<double>(max_len)) break;
     std::swap(prev, cur);
   }
   return best_ratio;
@@ -58,12 +81,23 @@ double Solve(std::string_view x, std::string_view y, const EditCosts& costs) {
 
 double MarzalVidalDistance(std::string_view x, std::string_view y) {
   UnitCosts unit;
-  return Solve(x, y, unit);
+  return Solve(x, y, unit, kInf);
 }
 
 double MarzalVidalDistance(std::string_view x, std::string_view y,
                            const EditCosts& costs) {
-  return Solve(x, y, costs);
+  return Solve(x, y, costs, kInf);
+}
+
+double MarzalVidalDistanceBounded(std::string_view x, std::string_view y,
+                                  double bound) {
+  UnitCosts unit;
+  return Solve(x, y, unit, bound);
+}
+
+double MarzalVidalDistanceBounded(std::string_view x, std::string_view y,
+                                  const EditCosts& costs, double bound) {
+  return Solve(x, y, costs, bound);
 }
 
 }  // namespace cned

@@ -32,6 +32,14 @@ double MarzalVidalDistance(std::string_view x, std::string_view y);
 double MarzalVidalDistance(std::string_view x, std::string_view y,
                            const EditCosts& costs);
 
+/// Bounded-evaluation variants (`StringDistance::DistanceBounded` contract).
+/// The length DP stops as soon as the cheapest cell of the current plane,
+/// divided by the maximal path length, reaches the bound.
+double MarzalVidalDistanceBounded(std::string_view x, std::string_view y,
+                                  double bound);
+double MarzalVidalDistanceBounded(std::string_view x, std::string_view y,
+                                  const EditCosts& costs, double bound);
+
 /// `StringDistance` adapter.
 ///
 /// Metric status: Marzal & Vidal proved the generalised version is not a
@@ -47,6 +55,11 @@ class MarzalVidalNormalizedDistance final : public StringDistance {
   double Distance(std::string_view x, std::string_view y) const override {
     return costs_ ? MarzalVidalDistance(x, y, *costs_)
                   : MarzalVidalDistance(x, y);
+  }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    return costs_ ? MarzalVidalDistanceBounded(x, y, *costs_, bound)
+                  : MarzalVidalDistanceBounded(x, y, bound);
   }
   std::string name() const override { return "dMV"; }
   bool is_metric() const override { return false; }

@@ -1,11 +1,13 @@
 #ifndef CNED_DISTANCES_MYERS_H_
 #define CNED_DISTANCES_MYERS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <string_view>
 
 #include "distances/distance.h"
+#include "distances/levenshtein.h"
 
 namespace cned {
 
@@ -25,6 +27,17 @@ class FastEditDistance final : public StringDistance {
  public:
   double Distance(std::string_view x, std::string_view y) const override {
     return static_cast<double>(MyersLevenshtein(x, y));
+  }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    // A bound wider than the longest string never abandons — stay on the
+    // bit-parallel kernel. Tighter bounds switch to the Ukkonen band, which
+    // beats even bit-parallelism once the band is narrow; values agree with
+    // d_E exactly either way.
+    if (bound > static_cast<double>(std::max(x.size(), y.size()))) {
+      return Distance(x, y);
+    }
+    return LevenshteinDistanceBounded(x, y, bound);
   }
   std::string name() const override { return "dE(bitparallel)"; }
   bool is_metric() const override { return true; }

@@ -1,10 +1,33 @@
 #include "distances/normalized.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "distances/levenshtein.h"
 
 namespace cned {
+namespace {
+
+// All four normalisations are monotone non-decreasing in d_E for fixed
+// string lengths, so a bound `b` on the normalised value maps to an integer
+// threshold t on d_E: the value is < b iff d_E < t. Exactness is then only
+// needed for d_E <= ceil(t)-1, which is exactly the Ukkonen band of
+// BoundedLevenshtein; the truncated sentinel ceil(t) maps back to a
+// normalised value >= b by the same monotonicity. Returns the (possibly
+// truncated) d_E; a threshold <= 0 yields 0 (any mapped value is >= b).
+double EditDistanceForThreshold(std::string_view x, std::string_view y,
+                                double threshold) {
+  const double longer = static_cast<double>(std::max(x.size(), y.size()));
+  if (threshold <= 0.0) return 0.0;
+  if (threshold > longer) {
+    // d_E <= longer < t: the exact value is always needed.
+    return static_cast<double>(LevenshteinDistance(x, y));
+  }
+  const auto band = static_cast<std::size_t>(std::ceil(threshold)) - 1;
+  return static_cast<double>(BoundedLevenshtein(x, y, band));
+}
+
+}  // namespace
 
 double DsumDistance(std::string_view x, std::string_view y) {
   if (x.empty() && y.empty()) return 0.0;
@@ -29,6 +52,41 @@ double DybDistance(std::string_view x, std::string_view y) {
   if (x.empty() && y.empty()) return 0.0;
   double de = static_cast<double>(LevenshteinDistance(x, y));
   return 2.0 * de / (static_cast<double>(x.size() + y.size()) + de);
+}
+
+double DsumDistanceBounded(std::string_view x, std::string_view y,
+                           double bound) {
+  if (x.empty() && y.empty()) return 0.0;
+  const double denom = static_cast<double>(x.size() + y.size());
+  return EditDistanceForThreshold(x, y, bound * denom) / denom;
+}
+
+double DmaxDistanceBounded(std::string_view x, std::string_view y,
+                           double bound) {
+  if (x.empty() && y.empty()) return 0.0;
+  const double denom = static_cast<double>(std::max(x.size(), y.size()));
+  return EditDistanceForThreshold(x, y, bound * denom) / denom;
+}
+
+double DminDistanceBounded(std::string_view x, std::string_view y,
+                           double bound) {
+  if (x.empty() && y.empty()) return 0.0;
+  const double denom = static_cast<double>(
+      std::max<std::size_t>(std::min(x.size(), y.size()), 1));
+  return EditDistanceForThreshold(x, y, bound * denom) / denom;
+}
+
+double DybDistanceBounded(std::string_view x, std::string_view y,
+                          double bound) {
+  if (x.empty() && y.empty()) return 0.0;
+  // d_YB = 2 d_E / (|x|+|y| + d_E) < 2 always; b >= 2 can never be reached.
+  if (bound >= 2.0) return DybDistance(x, y);
+  const double len = static_cast<double>(x.size() + y.size());
+  // d_YB < b  <=>  d_E < b * (|x|+|y|) / (2 - b), and the mapping below is
+  // monotone, so a truncated d_E >= threshold still lands >= b.
+  const double de =
+      EditDistanceForThreshold(x, y, bound * len / (2.0 - bound));
+  return 2.0 * de / (len + de);
 }
 
 }  // namespace cned

@@ -28,11 +28,28 @@ double DminDistance(std::string_view x, std::string_view y);
 /// Ranges in [0,1] and is a proven metric.
 double DybDistance(std::string_view x, std::string_view y);
 
+/// Bounded-evaluation variants (`StringDistance::DistanceBounded` contract:
+/// exact when the true value is < `bound`, else any value >= `bound`). All
+/// four normalisations are monotone in d_E for fixed lengths, so the bound
+/// maps onto BoundedLevenshtein's integer Ukkonen band.
+double DsumDistanceBounded(std::string_view x, std::string_view y,
+                           double bound);
+double DmaxDistanceBounded(std::string_view x, std::string_view y,
+                           double bound);
+double DminDistanceBounded(std::string_view x, std::string_view y,
+                           double bound);
+double DybDistanceBounded(std::string_view x, std::string_view y,
+                          double bound);
+
 /// `StringDistance` adapters.
 class SumNormalizedDistance final : public StringDistance {
  public:
   double Distance(std::string_view x, std::string_view y) const override {
     return DsumDistance(x, y);
+  }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    return DsumDistanceBounded(x, y, bound);
   }
   std::string name() const override { return "dsum"; }
   bool is_metric() const override { return false; }
@@ -43,6 +60,10 @@ class MaxNormalizedDistance final : public StringDistance {
   double Distance(std::string_view x, std::string_view y) const override {
     return DmaxDistance(x, y);
   }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    return DmaxDistanceBounded(x, y, bound);
+  }
   std::string name() const override { return "dmax"; }
   bool is_metric() const override { return false; }
 };
@@ -52,6 +73,10 @@ class MinNormalizedDistance final : public StringDistance {
   double Distance(std::string_view x, std::string_view y) const override {
     return DminDistance(x, y);
   }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    return DminDistanceBounded(x, y, bound);
+  }
   std::string name() const override { return "dmin"; }
   bool is_metric() const override { return false; }
 };
@@ -60,6 +85,10 @@ class YujianBoDistance final : public StringDistance {
  public:
   double Distance(std::string_view x, std::string_view y) const override {
     return DybDistance(x, y);
+  }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    return DybDistanceBounded(x, y, bound);
   }
   std::string name() const override { return "dYB"; }
   bool is_metric() const override { return true; }

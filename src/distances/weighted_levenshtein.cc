@@ -1,7 +1,10 @@
 #include "distances/weighted_levenshtein.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+
+#include "common/dp_workspace.h"
 
 namespace cned {
 
@@ -56,20 +59,34 @@ double MatrixCosts::Del(char a) const {
 
 double WeightedLevenshtein(std::string_view x, std::string_view y,
                            const EditCosts& costs) {
+  // One shared DP body; the row-min bookkeeping of the bounded variant is
+  // one extra min per cell and an infinite bound never abandons.
+  return WeightedLevenshteinBounded(
+      x, y, costs, std::numeric_limits<double>::infinity());
+}
+
+double WeightedLevenshteinBounded(std::string_view x, std::string_view y,
+                                  const EditCosts& costs, double bound) {
   const std::size_t m = x.size(), n = y.size();
-  std::vector<double> row(n + 1);
+  std::vector<double>& row = TlsDpWorkspace().weight_row;
+  row.resize(n + 1);
   row[0] = 0.0;
   for (std::size_t j = 1; j <= n; ++j) row[j] = row[j - 1] + costs.Ins(y[j - 1]);
   for (std::size_t i = 1; i <= m; ++i) {
     double diag = row[0];
     row[0] += costs.Del(x[i - 1]);
+    double row_min = row[0];
     for (std::size_t j = 1; j <= n; ++j) {
       double sub = diag + costs.Sub(x[i - 1], y[j - 1]);
       double del = row[j] + costs.Del(x[i - 1]);
       double ins = row[j - 1] + costs.Ins(y[j - 1]);
       diag = row[j];
       row[j] = std::min({sub, del, ins});
+      row_min = std::min(row_min, row[j]);
     }
+    // Any path to (m, n) crosses row i, and costs are non-negative, so the
+    // row minimum lower-bounds the final distance.
+    if (row_min >= bound) return row_min;
   }
   return row[n];
 }

@@ -74,6 +74,12 @@ class MatrixCosts final : public EditCosts {
 double WeightedLevenshtein(std::string_view x, std::string_view y,
                            const EditCosts& costs);
 
+/// Bounded-evaluation variant (`StringDistance::DistanceBounded` contract):
+/// abandons as soon as a DP row's minimum — a lower bound on the final
+/// distance under non-negative costs — reaches `bound`.
+double WeightedLevenshteinBounded(std::string_view x, std::string_view y,
+                                  const EditCosts& costs, double bound);
+
 /// `StringDistance` adapter. Metricity depends on the cost model (the caller
 /// asserts it via `is_metric`).
 class WeightedEditDistance final : public StringDistance {
@@ -84,6 +90,10 @@ class WeightedEditDistance final : public StringDistance {
 
   double Distance(std::string_view x, std::string_view y) const override {
     return WeightedLevenshtein(x, y, *costs_);
+  }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    return WeightedLevenshteinBounded(x, y, *costs_, bound);
   }
   std::string name() const override { return name_; }
   bool is_metric() const override { return metric_; }

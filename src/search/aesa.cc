@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace cned {
 
 Aesa::Aesa(const std::vector<std::string>& prototypes,
@@ -15,13 +17,16 @@ Aesa::Aesa(const std::vector<std::string>& prototypes,
   }
   const std::size_t n = prototypes_->size();
   matrix_.assign(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  // Parallel over rows: row i fills pairs (i, i+1..n-1). Writes to (i, j)
+  // and its mirror (j, i) are disjoint across tasks because each unordered
+  // pair belongs to exactly one row.
+  ParallelFor(n, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       double d = distance_->Distance((*prototypes_)[i], (*prototypes_)[j]);
       matrix_[i * n + j] = matrix_[j * n + i] = d;
-      ++preprocessing_computations_;
     }
-  }
+  });
+  preprocessing_computations_ += static_cast<std::uint64_t>(n) * (n - 1) / 2;
 }
 
 NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
@@ -31,24 +36,29 @@ NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
   std::size_t alive_count = n;
 
   NeighborResult best{0, std::numeric_limits<double>::infinity()};
-  std::uint64_t computations = 0;
+  std::uint64_t computations = 0, abandons = 0;
 
   std::size_t s = 0;
   while (alive_count > 0) {
     alive[s] = false;
     --alive_count;
 
-    double d = distance_->Distance(query, (*prototypes_)[s]);
+    // The incumbent best is the kernel bound: only a strict improvement is
+    // ever used, so an evaluation that provably reaches it may stop early.
+    // An abandoned evaluation still certifies d(q, s) >= cap, giving the
+    // one-sided lower bound d(q, i) >= cap - d(s, i) for every survivor.
+    const double cap = best.distance;
+    double d = distance_->DistanceBounded(query, (*prototypes_)[s], cap);
     ++computations;
-    if (d < best.distance || (d == best.distance && s < best.index)) {
-      best = {s, d};
-    }
+    const bool abandoned = d >= cap;
+    if (abandoned) ++abandons;
+    if (d < best.distance) best = {s, d};
 
     std::size_t next = n;
     double next_key = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < n; ++i) {
       if (!alive[i]) continue;
-      double g = std::abs(d - Dist(s, i));
+      double g = abandoned ? cap - Dist(s, i) : std::abs(d - Dist(s, i));
       if (g > lower[i]) lower[i] = g;
       if (lower[i] >= best.distance) {
         alive[i] = false;
@@ -64,7 +74,10 @@ NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
     s = next;
   }
 
-  if (stats != nullptr) stats->distance_computations += computations;
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
   return best;
 }
 

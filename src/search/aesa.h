@@ -23,6 +23,10 @@ class Aesa final : public NearestNeighborSearcher {
  public:
   struct QueryStats {
     std::uint64_t distance_computations = 0;
+    /// Evaluations whose result reached the bound passed via
+    /// `DistanceBounded` (cut short mid-DP by kernels with a real bounded
+    /// implementation; counted either way).
+    std::uint64_t bounded_abandons = 0;
   };
 
   /// Precomputes all pairwise prototype distances (N(N-1)/2 evaluations).

@@ -16,6 +16,22 @@ std::size_t BkTree::IntDistance(std::string_view a, std::string_view b) const {
   return static_cast<std::size_t>(rounded);
 }
 
+std::size_t BkTree::BoundedIntDistance(std::string_view a, std::string_view b,
+                                       double cap, bool* abandoned) const {
+  double d = distance_->DistanceBounded(a, b, cap);
+  if (d >= cap) {
+    *abandoned = true;
+    return 0;
+  }
+  *abandoned = false;
+  double rounded = std::round(d);
+  if (d < 0.0 || std::abs(d - rounded) > 1e-9) {
+    throw std::invalid_argument(
+        "BkTree: distance is not integer-valued (use dE)");
+  }
+  return static_cast<std::size_t>(rounded);
+}
+
 BkTree::BkTree(const std::vector<std::string>& prototypes,
                StringDistancePtr distance)
     : prototypes_(&prototypes), distance_(std::move(distance)) {
@@ -45,15 +61,31 @@ BkTree::BkTree(const std::vector<std::string>& prototypes,
 NeighborResult BkTree::Nearest(std::string_view query,
                                QueryStats* stats) const {
   NeighborResult best{0, std::numeric_limits<double>::infinity()};
-  std::uint64_t computations = 0;
+  std::uint64_t computations = 0, abandons = 0;
   std::vector<std::int32_t> stack{0};
   while (!stack.empty()) {
     const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
     stack.pop_back();
-    std::size_t d = IntDistance(query, (*prototypes_)[node.point]);
+    // The kernel may stop once d can neither improve the incumbent nor
+    // reach any child edge window [e - r, e + r]: the largest edge label
+    // plus the current radius caps every useful value (distances are
+    // integers, so "+1" makes the cap exclusive).
+    double cap = best.distance;
+    if (!node.children.empty() &&
+        best.distance != std::numeric_limits<double>::infinity()) {
+      const double max_edge =
+          static_cast<double>(node.children.rbegin()->first);
+      cap = std::max(cap, max_edge + best.distance + 1.0);
+    }
+    bool abandoned = false;
+    std::size_t d = BoundedIntDistance(query, (*prototypes_)[node.point], cap,
+                                       &abandoned);
     ++computations;
-    if (static_cast<double>(d) < best.distance ||
-        (static_cast<double>(d) == best.distance && node.point < best.index)) {
+    if (abandoned) {
+      ++abandons;
+      continue;  // no improvement and every child edge is out of range
+    }
+    if (static_cast<double>(d) < best.distance) {
       best = {node.point, static_cast<double>(d)};
     }
     const auto r = static_cast<std::size_t>(best.distance);
@@ -65,7 +97,10 @@ NeighborResult BkTree::Nearest(std::string_view query,
       stack.push_back(it->second);
     }
   }
-  if (stats != nullptr) stats->distance_computations += computations;
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
   return best;
 }
 
@@ -73,13 +108,27 @@ std::vector<NeighborResult> BkTree::RangeSearch(std::string_view query,
                                                 std::size_t radius,
                                                 QueryStats* stats) const {
   std::vector<NeighborResult> hits;
-  std::uint64_t computations = 0;
+  std::uint64_t computations = 0, abandons = 0;
   std::vector<std::int32_t> stack{0};
   while (!stack.empty()) {
     const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
     stack.pop_back();
-    std::size_t d = IntDistance(query, (*prototypes_)[node.point]);
+    const double max_edge =
+        node.children.empty()
+            ? 0.0
+            : static_cast<double>(node.children.rbegin()->first);
+    const double cap =
+        std::max(static_cast<double>(radius),
+                 max_edge + static_cast<double>(radius)) +
+        1.0;
+    bool abandoned = false;
+    std::size_t d = BoundedIntDistance(query, (*prototypes_)[node.point], cap,
+                                       &abandoned);
     ++computations;
+    if (abandoned) {
+      ++abandons;
+      continue;  // beyond the radius and beyond every child edge window
+    }
     if (d <= radius) hits.push_back({node.point, static_cast<double>(d)});
     const std::size_t lo = d > radius ? d - radius : 0;
     const std::size_t hi = d + radius;
@@ -88,7 +137,10 @@ std::vector<NeighborResult> BkTree::RangeSearch(std::string_view query,
       stack.push_back(it->second);
     }
   }
-  if (stats != nullptr) stats->distance_computations += computations;
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
   return hits;
 }
 

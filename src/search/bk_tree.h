@@ -25,6 +25,10 @@ class BkTree final : public NearestNeighborSearcher {
  public:
   struct QueryStats {
     std::uint64_t distance_computations = 0;
+    /// Evaluations whose result reached the bound passed via
+    /// `DistanceBounded` (cut short mid-DP by kernels with a real bounded
+    /// implementation; counted either way).
+    std::uint64_t bounded_abandons = 0;
   };
 
   /// Builds by successive insertion. `distance` must return non-negative
@@ -53,6 +57,13 @@ class BkTree final : public NearestNeighborSearcher {
   };
 
   std::size_t IntDistance(std::string_view a, std::string_view b) const;
+
+  /// Bounded variant: exact when the distance is < `cap`, otherwise returns
+  /// `cap` (abandoned; the caller must have chosen `cap` so that any
+  /// distance >= cap is unusable). Validates integrality only on exact
+  /// values — abandoned sentinels never feed edge arithmetic.
+  std::size_t BoundedIntDistance(std::string_view a, std::string_view b,
+                                 double cap, bool* abandoned) const;
 
   const std::vector<std::string>* prototypes_;
   StringDistancePtr distance_;

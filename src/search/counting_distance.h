@@ -1,6 +1,7 @@
 #ifndef CNED_SEARCH_COUNTING_DISTANCE_H_
 #define CNED_SEARCH_COUNTING_DISTANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -24,16 +25,22 @@ class CountingDistance final : public StringDistance {
     ++count_;
     return inner_->Distance(x, y);
   }
+  double DistanceBounded(std::string_view x, std::string_view y,
+                         double bound) const override {
+    ++count_;
+    return inner_->DistanceBounded(x, y, bound);
+  }
   std::string name() const override { return inner_->name(); }
   bool is_metric() const override { return inner_->is_metric(); }
 
   /// Evaluations since construction or the last Reset().
-  std::uint64_t count() const { return count_; }
-  void Reset() { count_ = 0; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset() { count_.store(0, std::memory_order_relaxed); }
 
  private:
   StringDistancePtr inner_;
-  mutable std::uint64_t count_ = 0;
+  // Atomic because index builds evaluate distances from ParallelFor workers.
+  mutable std::atomic<std::uint64_t> count_{0};
 };
 
 }  // namespace cned

@@ -1,6 +1,7 @@
 #include "search/exhaustive.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace cned {
@@ -13,30 +14,67 @@ ExhaustiveSearch::ExhaustiveSearch(const std::vector<std::string>& prototypes,
   }
 }
 
-NeighborResult ExhaustiveSearch::Nearest(std::string_view query) const {
+NeighborResult ExhaustiveSearch::Nearest(std::string_view query,
+                                         QueryStats* stats) const {
   NeighborResult best{0, distance_->Distance(query, (*prototypes_)[0])};
+  std::uint64_t computations = 1, abandons = 0;
   for (std::size_t i = 1; i < prototypes_->size(); ++i) {
-    double d = distance_->Distance(query, (*prototypes_)[i]);
-    if (d < best.distance) best = {i, d};
+    // Strict improvement only (smallest index wins ties), so the incumbent
+    // itself bounds the kernel.
+    double d = distance_->DistanceBounded(query, (*prototypes_)[i],
+                                          best.distance);
+    ++computations;
+    if (d >= best.distance) {
+      ++abandons;
+      continue;
+    }
+    best = {i, d};
+  }
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
   }
   return best;
 }
 
 std::vector<NeighborResult> ExhaustiveSearch::KNearest(std::string_view query,
-                                                       std::size_t k) const {
-  std::vector<NeighborResult> all;
-  all.reserve(prototypes_->size());
-  for (std::size_t i = 0; i < prototypes_->size(); ++i) {
-    all.push_back({i, distance_->Distance(query, (*prototypes_)[i])});
+                                                       std::size_t k,
+                                                       QueryStats* stats) const {
+  const std::size_t n = prototypes_->size();
+  k = std::min(k, n);
+  if (k == 0) return {};
+  // Running sorted top-k; a candidate that cannot beat the k-th incumbent
+  // is rejected, so the k-th incumbent bounds the kernel. Scanning in index
+  // order keeps tie handling identical to the full-sort baseline (an equal
+  // later index never evicts an earlier one).
+  std::vector<NeighborResult> best;
+  best.reserve(k + 1);
+  std::uint64_t computations = 0, abandons = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cap = best.size() < k
+                           ? std::numeric_limits<double>::infinity()
+                           : best.back().distance;
+    double d = distance_->DistanceBounded(query, (*prototypes_)[i], cap);
+    ++computations;
+    if (d >= cap) {
+      ++abandons;
+      continue;
+    }
+    NeighborResult r{i, d};
+    auto pos = std::lower_bound(
+        best.begin(), best.end(), r,
+        [](const NeighborResult& a, const NeighborResult& b) {
+          if (a.distance != b.distance) return a.distance < b.distance;
+          return a.index < b.index;
+        });
+    best.insert(pos, r);
+    if (best.size() > k) best.pop_back();
   }
-  k = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
-                    all.end(), [](const NeighborResult& a, const NeighborResult& b) {
-                      if (a.distance != b.distance) return a.distance < b.distance;
-                      return a.index < b.index;
-                    });
-  all.resize(k);
-  return all;
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
+  return best;
 }
 
 }  // namespace cned

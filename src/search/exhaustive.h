@@ -2,6 +2,7 @@
 #define CNED_SEARCH_EXHAUSTIVE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,19 +15,36 @@ namespace cned {
 /// Brute-force nearest-neighbour search: one distance evaluation per
 /// prototype. The baseline ("Exhaustive search" column of Table 2) and the
 /// correctness oracle for LAESA/AESA.
+///
+/// Even the brute-force scan benefits from the bounded kernel engine: the
+/// incumbent best (or the running k-th best) is passed to `DistanceBounded`
+/// so the per-prototype DP is cut short once it provably cannot win. The
+/// returned neighbours are identical to the unbounded scan.
 class ExhaustiveSearch final : public NearestNeighborSearcher {
  public:
+  struct QueryStats {
+    std::uint64_t distance_computations = 0;
+    /// Evaluations whose result reached the bound passed via
+    /// `DistanceBounded` (cut short mid-DP by kernels with a real bounded
+    /// implementation; counted either way).
+    std::uint64_t bounded_abandons = 0;
+  };
+
   /// Keeps a reference to `prototypes`; the caller owns the storage and must
   /// keep it alive and unchanged while the searcher is used.
   ExhaustiveSearch(const std::vector<std::string>& prototypes,
                    StringDistancePtr distance);
 
   /// The nearest prototype to `query` (smallest index wins ties).
-  NeighborResult Nearest(std::string_view query) const override;
+  NeighborResult Nearest(std::string_view query, QueryStats* stats) const;
+
+  NeighborResult Nearest(std::string_view query) const override {
+    return Nearest(query, nullptr);
+  }
 
   /// The k nearest prototypes, closest first.
-  std::vector<NeighborResult> KNearest(std::string_view query,
-                                       std::size_t k) const;
+  std::vector<NeighborResult> KNearest(std::string_view query, std::size_t k,
+                                       QueryStats* stats = nullptr) const;
 
   std::size_t size() const override { return prototypes_->size(); }
 

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "search/pivot_selection.h"
 
 namespace cned {
@@ -55,12 +56,15 @@ void Laesa::BuildTable() {
     pivot_rank_[pivots_[p]] = static_cast<std::int32_t>(p);
   }
   pivot_dist_.resize(pivots_.size() * n);
-  for (std::size_t p = 0; p < pivots_.size(); ++p) {
-    const std::string& pivot = (*prototypes_)[pivots_[p]];
-    for (std::size_t i = 0; i < n; ++i) {
-      pivot_dist_[p * n + i] = distance_->Distance(pivot, (*prototypes_)[i]);
-    }
-  }
+  // One task per table entry: the atomic work queue in ParallelFor balances
+  // the load even when string lengths (and thus per-distance cost) vary
+  // wildly. Every distance kernel is thread-safe (thread-local workspaces).
+  ParallelFor(pivots_.size() * n, [&](std::size_t t) {
+    const std::size_t p = t / n;
+    const std::size_t i = t % n;
+    pivot_dist_[t] =
+        distance_->Distance((*prototypes_)[pivots_[p]], (*prototypes_)[i]);
+  });
   preprocessing_computations_ +=
       static_cast<std::uint64_t>(pivots_.size()) * n;
 }
@@ -69,13 +73,19 @@ namespace {
 
 // Shared search loop for exact (slack = 1) and approximate (slack = 1+eps)
 // LAESA: a candidate is eliminated when lower_bound * slack >= best.
+//
+// Elimination and the best update share one semantic: a candidate that
+// cannot *strictly* improve on the incumbent is dead. That is what lets the
+// incumbent itself be the `DistanceBounded` bound — the kernel may abandon
+// any evaluation that provably reaches it, because such a value could at
+// most tie.
 NeighborResult LaesaSearch(const std::vector<std::string>& prototypes,
                            const StringDistance& distance,
                            const std::vector<std::size_t>& pivots,
                            const std::vector<std::int32_t>& pivot_rank,
                            const std::vector<double>& pivot_dist, double slack,
-                           std::string_view query,
-                           std::uint64_t& computations) {
+                           std::string_view query, std::uint64_t& computations,
+                           std::uint64_t& bounded_abandons) {
   const std::size_t n = prototypes.size();
   std::vector<double> lower(n, 0.0);
   std::vector<bool> alive(n, true);
@@ -91,11 +101,18 @@ NeighborResult LaesaSearch(const std::vector<std::string>& prototypes,
     const bool s_is_pivot = pivot_rank[s] >= 0;
     if (s_is_pivot) --alive_pivots;
 
-    double d = distance.Distance(query, prototypes[s]);
+    // Pivot distances stay exact: the full value tightens a whole row of
+    // lower bounds (both sides of |d - row[i]|), which an abandoned
+    // evaluation cannot. Non-pivot distances only ever update the
+    // incumbent, so the incumbent itself bounds their kernel — the search
+    // trajectory (and computation count) is identical to the unbounded
+    // search, only the per-evaluation DP work shrinks.
+    const double cap =
+        s_is_pivot ? std::numeric_limits<double>::infinity() : best.distance;
+    double d = distance.DistanceBounded(query, prototypes[s], cap);
     ++computations;
-    if (d < best.distance || (d == best.distance && s < best.index)) {
-      best = {s, d};
-    }
+    if (d >= cap) ++bounded_abandons;
+    if (d < best.distance) best = {s, d};
 
     // Tighten lower bounds with the pivot's stored row, then eliminate.
     if (s_is_pivot) {
@@ -149,11 +166,14 @@ NeighborResult LaesaSearch(const std::vector<std::string>& prototypes,
 }  // namespace
 
 NeighborResult Laesa::Nearest(std::string_view query, QueryStats* stats) const {
-  std::uint64_t computations = 0;
+  std::uint64_t computations = 0, abandons = 0;
   NeighborResult best =
       LaesaSearch(*prototypes_, *distance_, pivots_, pivot_rank_, pivot_dist_,
-                  /*slack=*/1.0, query, computations);
-  if (stats != nullptr) stats->distance_computations += computations;
+                  /*slack=*/1.0, query, computations, abandons);
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
   return best;
 }
 
@@ -162,11 +182,14 @@ NeighborResult Laesa::NearestApprox(std::string_view query, double epsilon,
   if (epsilon < 0.0) {
     throw std::invalid_argument("Laesa::NearestApprox: epsilon must be >= 0");
   }
-  std::uint64_t computations = 0;
+  std::uint64_t computations = 0, abandons = 0;
   NeighborResult best =
       LaesaSearch(*prototypes_, *distance_, pivots_, pivot_rank_, pivot_dist_,
-                  1.0 + epsilon, query, computations);
-  if (stats != nullptr) stats->distance_computations += computations;
+                  1.0 + epsilon, query, computations, abandons);
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
   return best;
 }
 
@@ -175,6 +198,7 @@ std::vector<NeighborResult> Laesa::KNearest(std::string_view query,
                                             QueryStats* stats) const {
   const std::size_t n = prototypes_->size();
   k = std::min(k, n);
+  if (k == 0) return {};
   std::vector<double> lower(n, 0.0);
   std::vector<bool> alive(n, true);
   std::size_t alive_count = n;
@@ -201,7 +225,7 @@ std::vector<NeighborResult> Laesa::KNearest(std::string_view query,
     if (best.size() > k) best.pop_back();
   };
 
-  std::uint64_t computations = 0;
+  std::uint64_t computations = 0, abandons = 0;
   std::size_t s = pivots_[0];
   while (alive_count > 0) {
     alive[s] = false;
@@ -209,9 +233,18 @@ std::vector<NeighborResult> Laesa::KNearest(std::string_view query,
     const bool s_is_pivot = pivot_rank_[s] >= 0;
     if (s_is_pivot) --alive_pivots;
 
-    double d = distance_->Distance(query, (*prototypes_)[s]);
+    // As in LaesaSearch: pivots stay exact (their value feeds a whole row
+    // of lower bounds), non-pivots are bounded by the k-th incumbent —
+    // `offer` rejects any d >= kth anyway (strict-improvement semantics).
+    const double cap =
+        s_is_pivot ? std::numeric_limits<double>::infinity() : kth_distance();
+    double d = distance_->DistanceBounded(query, (*prototypes_)[s], cap);
     ++computations;
-    offer(s, d);
+    if (d >= cap) {
+      ++abandons;
+    } else {
+      offer(s, d);
+    }
 
     if (s_is_pivot) {
       const double* row =
@@ -229,7 +262,10 @@ std::vector<NeighborResult> Laesa::KNearest(std::string_view query,
     bool prefer_pivots = alive_pivots > 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (!alive[i]) continue;
-      if (lower[i] > bound) {
+      // Same elimination semantics as LaesaSearch (slack = 1): a lower
+      // bound that reaches the k-th incumbent can at most tie, and ties
+      // never enter the result.
+      if (lower[i] >= bound) {
         alive[i] = false;
         --alive_count;
         if (pivot_rank_[i] >= 0) --alive_pivots;
@@ -253,7 +289,10 @@ std::vector<NeighborResult> Laesa::KNearest(std::string_view query,
     if (next == n) break;
     s = next;
   }
-  if (stats != nullptr) stats->distance_computations += computations;
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
   return best;
 }
 
@@ -261,11 +300,13 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
                                                double radius,
                                                QueryStats* stats) const {
   const std::size_t n = prototypes_->size();
-  // Phase 1: compute query-pivot distances, accumulate lower bounds.
+  // Phase 1: compute query-pivot distances, accumulate lower bounds. Pivot
+  // distances stay exact: their full value feeds every candidate's lower
+  // bound, which is worth far more than an abandoned evaluation saves.
   std::vector<double> lower(n, 0.0);
   std::vector<bool> computed(n, false);
   std::vector<NeighborResult> hits;
-  std::uint64_t computations = 0;
+  std::uint64_t computations = 0, abandons = 0;
 
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
     std::size_t s = pivots_[p];
@@ -279,19 +320,30 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
       if (g > lower[i]) lower[i] = g;
     }
   }
-  // Phase 2: verify every surviving candidate.
+  // Phase 2: verify every surviving candidate. Hits are inclusive
+  // (d <= radius), so the kernel bound is the next representable value
+  // above the radius — an abandoned evaluation then certifies d > radius.
+  const double cap =
+      std::nextafter(radius, std::numeric_limits<double>::infinity());
   for (std::size_t i = 0; i < n; ++i) {
     if (computed[i] || lower[i] > radius) continue;
-    double d = distance_->Distance(query, (*prototypes_)[i]);
+    double d = distance_->DistanceBounded(query, (*prototypes_)[i], cap);
     ++computations;
-    if (d <= radius) hits.push_back({i, d});
+    if (d >= cap) {
+      ++abandons;
+    } else if (d <= radius) {
+      hits.push_back({i, d});
+    }
   }
   std::sort(hits.begin(), hits.end(),
             [](const NeighborResult& a, const NeighborResult& b) {
               if (a.distance != b.distance) return a.distance < b.distance;
               return a.index < b.index;
             });
-  if (stats != nullptr) stats->distance_computations += computations;
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
   return hits;
 }
 

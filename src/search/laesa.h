@@ -32,6 +32,12 @@ class Laesa final : public NearestNeighborSearcher {
   /// Per-query cost counters (paper §4.3 reports distance computations).
   struct QueryStats {
     std::uint64_t distance_computations = 0;
+    /// Distance evaluations whose result reached the bound the search
+    /// passed via `DistanceBounded` (its incumbent best / radius). Kernels
+    /// with a real bounded implementation cut these short mid-DP; for a
+    /// kernel using the exact fallback the count still reflects how many
+    /// evaluations a bounded kernel *could* abandon on this workload.
+    std::uint64_t bounded_abandons = 0;
   };
 
   /// Builds the pivot table with greedy max-min pivots starting from

@@ -1,6 +1,7 @@
 #include "search/vp_tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -68,31 +69,45 @@ std::int32_t VpTree::Build(std::vector<std::size_t>& items, std::size_t lo,
 }
 
 void VpTree::Search(std::int32_t node, std::string_view query,
-                    NeighborResult& best, std::uint64_t& computations) const {
+                    NeighborResult& best, QueryStats& stats) const {
   if (node < 0) return;
   const Node& n = nodes_[static_cast<std::size_t>(node)];
-  const double d = distance_->Distance(query, (*prototypes_)[n.point]);
-  ++computations;
-  if (d < best.distance || (d == best.distance && n.point < best.index)) {
-    best = {n.point, d};
+  // The kernel bound is incumbent + node radius: a vantage-point distance
+  // that reaches it can neither improve the incumbent (>= best) nor leave
+  // the inside ball reachable (every inside point is >= d - radius >=
+  // best), so the only decision left — descend outside — needs no value.
+  const double cap = best.distance + n.radius;
+  const double d =
+      distance_->DistanceBounded(query, (*prototypes_)[n.point], cap);
+  ++stats.distance_computations;
+  if (d >= cap) {
+    ++stats.bounded_abandons;
+    Search(n.outside, query, best, stats);
+    return;
   }
+  if (d < best.distance) best = {n.point, d};
   // Visit the more promising side first, prune with the triangle inequality.
   const bool inside_first = d <= n.radius;
   const std::int32_t first = inside_first ? n.inside : n.outside;
   const std::int32_t second = inside_first ? n.outside : n.inside;
-  Search(first, query, best, computations);
+  Search(first, query, best, stats);
+  // Every point beyond the boundary is at least `boundary_gap` away; under
+  // strict-improvement semantics a gap that reaches the incumbent is dead.
   const double boundary_gap = inside_first ? n.radius - d : d - n.radius;
-  if (boundary_gap <= best.distance) {
-    Search(second, query, best, computations);
+  if (boundary_gap < best.distance) {
+    Search(second, query, best, stats);
   }
 }
 
 NeighborResult VpTree::Nearest(std::string_view query,
                                QueryStats* stats) const {
   NeighborResult best{0, std::numeric_limits<double>::infinity()};
-  std::uint64_t computations = 0;
-  Search(root_, query, best, computations);
-  if (stats != nullptr) stats->distance_computations += computations;
+  QueryStats local;
+  Search(root_, query, best, local);
+  if (stats != nullptr) {
+    stats->distance_computations += local.distance_computations;
+    stats->bounded_abandons += local.bounded_abandons;
+  }
   return best;
 }
 
@@ -106,12 +121,23 @@ bool NeighborLess(const NeighborResult& a, const NeighborResult& b) {
 }  // namespace
 
 void VpTree::SearchK(std::int32_t node, std::string_view query, std::size_t k,
-                     std::vector<NeighborResult>& best,
-                     std::uint64_t& computations) const {
+                     std::vector<NeighborResult>& best, QueryStats& stats) const {
   if (node < 0) return;
   const Node& n = nodes_[static_cast<std::size_t>(node)];
-  const double d = distance_->Distance(query, (*prototypes_)[n.point]);
-  ++computations;
+  const double incumbent = best.size() < k
+                               ? std::numeric_limits<double>::infinity()
+                               : best.back().distance;
+  const double cap = incumbent + n.radius;
+  const double d =
+      distance_->DistanceBounded(query, (*prototypes_)[n.point], cap);
+  ++stats.distance_computations;
+  if (d >= cap) {
+    // As in Search: no offer possible (d >= incumbent) and the inside ball
+    // is provably beyond the k-th incumbent; only outside can contribute.
+    ++stats.bounded_abandons;
+    SearchK(n.outside, query, k, best, stats);
+    return;
+  }
   if (best.size() < k || d < best.back().distance) {
     NeighborResult r{n.point, d};
     best.insert(std::lower_bound(best.begin(), best.end(), r, NeighborLess),
@@ -121,51 +147,69 @@ void VpTree::SearchK(std::int32_t node, std::string_view query, std::size_t k,
   const bool inside_first = d <= n.radius;
   const std::int32_t first = inside_first ? n.inside : n.outside;
   const std::int32_t second = inside_first ? n.outside : n.inside;
-  SearchK(first, query, k, best, computations);
+  SearchK(first, query, k, best, stats);
   // Re-evaluate the prune bound after the first subtree tightened it.
   const double gap = inside_first ? n.radius - d : d - n.radius;
   const double bound = best.size() < k
                            ? std::numeric_limits<double>::infinity()
                            : best.back().distance;
-  if (gap <= bound) SearchK(second, query, k, best, computations);
+  if (gap < bound) SearchK(second, query, k, best, stats);
 }
 
 std::vector<NeighborResult> VpTree::KNearest(std::string_view query,
                                              std::size_t k,
                                              QueryStats* stats) const {
   k = std::min(k, prototypes_->size());
+  if (k == 0) return {};
   std::vector<NeighborResult> best;
   best.reserve(k + 1);
-  std::uint64_t computations = 0;
-  SearchK(root_, query, k, best, computations);
-  if (stats != nullptr) stats->distance_computations += computations;
+  QueryStats local;
+  SearchK(root_, query, k, best, local);
+  if (stats != nullptr) {
+    stats->distance_computations += local.distance_computations;
+    stats->bounded_abandons += local.bounded_abandons;
+  }
   return best;
 }
 
 void VpTree::SearchRange(std::int32_t node, std::string_view query,
                          double radius, std::vector<NeighborResult>& hits,
-                         std::uint64_t& computations) const {
+                         QueryStats& stats) const {
   if (node < 0) return;
   const Node& n = nodes_[static_cast<std::size_t>(node)];
-  const double d = distance_->Distance(query, (*prototypes_)[n.point]);
-  ++computations;
+  // Hits are inclusive and the inside-descent test is d <= radius + r, so
+  // the kernel bound is the next value above radius + r: an abandoned
+  // evaluation certifies "no hit, inside unreachable" in one stroke.
+  const double cap = std::nextafter(radius + n.radius,
+                                    std::numeric_limits<double>::infinity());
+  const double d =
+      distance_->DistanceBounded(query, (*prototypes_)[n.point], cap);
+  ++stats.distance_computations;
+  if (d >= cap) {
+    ++stats.bounded_abandons;
+    SearchRange(n.outside, query, radius, hits, stats);
+    return;
+  }
   if (d <= radius) hits.push_back({n.point, d});
   // Inside child holds points with d(vp, p) <= r: reachable only if
   // d - radius <= r; outside child only if d + radius > r.
   if (d - radius <= n.radius) SearchRange(n.inside, query, radius, hits,
-                                          computations);
+                                          stats);
   if (d + radius > n.radius) SearchRange(n.outside, query, radius, hits,
-                                         computations);
+                                         stats);
 }
 
 std::vector<NeighborResult> VpTree::RangeSearch(std::string_view query,
                                                 double radius,
                                                 QueryStats* stats) const {
   std::vector<NeighborResult> hits;
-  std::uint64_t computations = 0;
-  SearchRange(root_, query, radius, hits, computations);
+  QueryStats local;
+  SearchRange(root_, query, radius, hits, local);
   std::sort(hits.begin(), hits.end(), NeighborLess);
-  if (stats != nullptr) stats->distance_computations += computations;
+  if (stats != nullptr) {
+    stats->distance_computations += local.distance_computations;
+    stats->bounded_abandons += local.bounded_abandons;
+  }
   return hits;
 }
 

@@ -25,6 +25,10 @@ class VpTree final : public NearestNeighborSearcher {
  public:
   struct QueryStats {
     std::uint64_t distance_computations = 0;
+    /// Evaluations whose result reached the bound passed via
+    /// `DistanceBounded` (cut short mid-DP by kernels with a real bounded
+    /// implementation; counted either way).
+    std::uint64_t bounded_abandons = 0;
   };
 
   /// Builds the tree over `prototypes` (kept by reference, caller owns).
@@ -65,13 +69,11 @@ class VpTree final : public NearestNeighborSearcher {
   std::int32_t Build(std::vector<std::size_t>& items, std::size_t lo,
                      std::size_t hi, std::uint64_t seed);
   void Search(std::int32_t node, std::string_view query, NeighborResult& best,
-              std::uint64_t& computations) const;
+              QueryStats& stats) const;
   void SearchK(std::int32_t node, std::string_view query, std::size_t k,
-               std::vector<NeighborResult>& best,
-               std::uint64_t& computations) const;
+               std::vector<NeighborResult>& best, QueryStats& stats) const;
   void SearchRange(std::int32_t node, std::string_view query, double radius,
-                   std::vector<NeighborResult>& hits,
-                   std::uint64_t& computations) const;
+                   std::vector<NeighborResult>& hits, QueryStats& stats) const;
 
   const std::vector<std::string>* prototypes_;
   StringDistancePtr distance_;

@@ -1,0 +1,108 @@
+// The band-limited contextual kernel (|i - j| <= k cells per layer, layer
+// cutoff, thread-local workspace) must agree exactly with the Rational
+// reference path `ContextualDistanceExact` — the band only skips provably
+// unreachable cells, so no optimal decomposition may be lost.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/contextual.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(ContextualBandedTest, AgreesWithRationalReferenceOnRandomPairs) {
+  Rng rng(7101);
+  Alphabet ab("abcd");
+  for (int t = 0; t < 400; ++t) {
+    // Keep |x|+|y| <= ~24 so the reduced fractions stay within 64 bits.
+    std::string x = StringGen::UniformLength(rng, ab, 0, 12);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 12);
+    if (x.empty() && y.empty()) continue;
+    const double banded = ContextualDistanceDetailed(x, y).distance;
+    const double exact = ContextualDistanceExact(x, y).ToDouble();
+    EXPECT_NEAR(banded, exact, 1e-12) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualBandedTest, AgreesOnAdversarialShapes) {
+  // Shapes that stress the band edges: empty vs non-empty, disjoint
+  // alphabets (every op needed), long shared prefixes, pure insertions.
+  const std::pair<std::string, std::string> cases[] = {
+      {"", "abcdef"},        {"abcdef", ""},
+      {"aaaa", "bbbb"},      {"abcabcabc", "abc"},
+      {"abc", "abcabcabc"},  {"aaaaaaaaaa", "aaaaaaaaab"},
+      {"ab", "ba"},          {"abcd", "dcba"},
+      {"aaaaabbbbb", "bbbbbaaaaa"},
+  };
+  for (const auto& [x, y] : cases) {
+    const double banded = ContextualDistanceDetailed(x, y).distance;
+    const double exact = ContextualDistanceExact(x, y).ToDouble();
+    EXPECT_NEAR(banded, exact, 1e-12) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualBandedTest, DecompositionMatchesProfileScan) {
+  // The banded DP must also report the same optimal (k, ni) decomposition
+  // as a scan over the full max-insertion profile.
+  Rng rng(7102);
+  Alphabet ab("abc");
+  for (int t = 0; t < 200; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    if (x.empty() && y.empty()) continue;
+    auto banded = ContextualDistanceDetailed(x, y);
+    auto profile = MaxInsertionProfile(x, y);
+    ASSERT_TRUE(banded.k < profile.size());
+    EXPECT_EQ(profile[banded.k],
+              static_cast<std::int32_t>(banded.insertions))
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ContextualBandedTest, WorkspaceReuseAcrossShapes) {
+  // Back-to-back evaluations with wildly different (m, n) shapes must not
+  // leak state through the reused thread-local planes.
+  Rng rng(7103);
+  Alphabet ab("abcd");
+  std::string big_x = StringGen::UniformLength(rng, ab, 60, 80);
+  std::string big_y = StringGen::UniformLength(rng, ab, 60, 80);
+  (void)ContextualDistanceDetailed(big_x, big_y);  // dirty the buffers
+  for (int t = 0; t < 100; ++t) {
+    std::string x = StringGen::UniformLength(rng, ab, 0, 10);
+    std::string y = StringGen::UniformLength(rng, ab, 0, 10);
+    if (x.empty() && y.empty()) continue;
+    const double banded = ContextualDistanceDetailed(x, y).distance;
+    const double exact = ContextualDistanceExact(x, y).ToDouble();
+    EXPECT_NEAR(banded, exact, 1e-12) << "x=" << x << " y=" << y;
+    if ((t & 7) == 0) {
+      // Interleave a large evaluation to re-dirty the planes.
+      (void)ContextualDistanceDetailed(big_x, x.empty() ? big_y : x);
+    }
+  }
+}
+
+TEST(ContextualBandedTest, BoundedCutoffSavesCellsAndStaysConsistent) {
+  // A finite bound below the true distance must abandon (>= bound) while
+  // evaluating strictly fewer DP cells than the unbounded run.
+  std::string x(200, 'a');
+  std::string y(200, 'b');  // distance requires many layers
+  const double exact = ContextualDistanceDetailed(x, y).distance;
+
+  ResetContextualCellsEvaluated();
+  (void)ContextualDistanceDetailed(x, y);
+  const std::uint64_t cells_unbounded = ContextualCellsEvaluated();
+
+  ResetContextualCellsEvaluated();
+  const double bounded = ContextualDistanceDetailed(x, y, exact * 0.25).distance;
+  const std::uint64_t cells_bounded = ContextualCellsEvaluated();
+
+  EXPECT_GE(bounded, exact * 0.25);
+  EXPECT_LT(cells_bounded, cells_unbounded / 2);
+}
+
+}  // namespace
+}  // namespace cned

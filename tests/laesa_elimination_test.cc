@@ -1,0 +1,101 @@
+// Regression tests pinning LAESA's harmonized elimination semantics: a
+// candidate whose pivot lower bound *reaches* the incumbent (lower >= best,
+// or >= the k-th best in KNearest) is eliminated without computing its
+// distance, because under strict-improvement tie handling it can at most
+// tie. Before this was harmonized, `Nearest` eliminated at >= while
+// `KNearest` eliminated only at >, so k = 1 KNearest could compute strictly
+// more distances than Nearest for the same query.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/perturb.h"
+#include "distances/registry.h"
+#include "search/laesa.h"
+#include "strings/string_gen.h"
+
+namespace cned {
+namespace {
+
+TEST(LaesaEliminationTest, TieLowerBoundIsEliminatedInNearest) {
+  // Query "ab": d(q, "aa") = 1 (best). Pivot row gives lower("bb") =
+  // |1 - d("aa","bb")| = |1 - 2| = 1 >= best — eliminated without
+  // computation under the agreed semantics.
+  std::vector<std::string> protos{"aa", "bb"};
+  Laesa laesa(protos, MakeDistance("dE"), std::vector<std::size_t>{0});
+  Laesa::QueryStats stats;
+  auto r = laesa.Nearest("ab", &stats);
+  EXPECT_EQ(r.index, 0u);
+  EXPECT_DOUBLE_EQ(r.distance, 1.0);
+  EXPECT_EQ(stats.distance_computations, 1u);
+}
+
+TEST(LaesaEliminationTest, TieLowerBoundIsEliminatedInKNearest) {
+  // Identical setup: k = 1 KNearest must prune exactly like Nearest (this
+  // is the case that regressed when KNearest used strict > elimination).
+  std::vector<std::string> protos{"aa", "bb"};
+  Laesa laesa(protos, MakeDistance("dE"), std::vector<std::size_t>{0});
+  Laesa::QueryStats stats;
+  auto r = laesa.KNearest("ab", 1, &stats);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].index, 0u);
+  EXPECT_DOUBLE_EQ(r[0].distance, 1.0);
+  EXPECT_EQ(stats.distance_computations, 1u);
+}
+
+TEST(LaesaEliminationTest, KNearestOneMirrorsNearestExactly) {
+  // With harmonized thresholds, k = 1 KNearest and Nearest follow the same
+  // trajectory: same result, same computation count, on every query.
+  DictionaryOptions opt;
+  opt.word_count = 250;
+  opt.seed = 7201;
+  auto protos = GenerateDictionary(opt).strings;
+  Rng rng(7202);
+  auto queries = MakeQueries(protos, 40, 2, Alphabet::Latin(), rng);
+
+  for (const auto& name : {"dE", "dC,h"}) {
+    Laesa laesa(protos, MakeDistance(name), 15);
+    for (const auto& q : queries) {
+      Laesa::QueryStats s1, sk;
+      auto nearest = laesa.Nearest(q, &s1);
+      auto knearest = laesa.KNearest(q, 1, &sk);
+      ASSERT_EQ(knearest.size(), 1u) << name << " q=" << q;
+      EXPECT_EQ(knearest[0].index, nearest.index) << name << " q=" << q;
+      EXPECT_DOUBLE_EQ(knearest[0].distance, nearest.distance)
+          << name << " q=" << q;
+      EXPECT_EQ(sk.distance_computations, s1.distance_computations)
+          << name << " q=" << q;
+    }
+  }
+}
+
+TEST(LaesaEliminationTest, BoundedAbandonsAreCountedAndBenign) {
+  // The bounded kernel must not change any result, and on a realistic
+  // workload some non-pivot evaluations should be abandoned.
+  DictionaryOptions opt;
+  opt.word_count = 300;
+  opt.seed = 7203;
+  auto protos = GenerateDictionary(opt).strings;
+  Rng rng(7204);
+  auto queries = MakeQueries(protos, 50, 2, Alphabet::Latin(), rng);
+
+  Laesa laesa(protos, MakeDistance("dC"), 20);
+  Laesa::QueryStats stats;
+  std::uint64_t hits = 0;
+  for (const auto& q : queries) {
+    auto r = laesa.Nearest(q, &stats);
+    hits += r.index;  // consume the result
+  }
+  (void)hits;
+  EXPECT_LE(stats.bounded_abandons, stats.distance_computations);
+  EXPECT_GT(stats.bounded_abandons, 0u)
+      << "expected the contextual kernel to abandon at least one "
+         "non-pivot evaluation across 50 queries";
+}
+
+}  // namespace
+}  // namespace cned
