@@ -1,0 +1,176 @@
+// Batch-engine benchmark: end-to-end LAESA nearest-neighbour queries on the
+// dictionary workload, answered (a) sequentially one query at a time and
+// (b) through the BatchQueryEngine fanning the same query span across all
+// cores. Results must be bit-identical and the merged stats must equal the
+// sequential sums; queries/sec must not be.
+//
+// The speedup scales with the available cores (the engine adds no
+// per-query work, only ParallelFor dispatch): on a multi-core machine
+// expect >= 2x for the batched path; on a single hardware thread it
+// degenerates to ~1x by construction.
+//
+// Human-readable progress goes to stderr; a single JSON object for the perf
+// trajectory goes to stdout.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "datasets/perturb.h"
+#include "datasets/prototype_store.h"
+#include "distances/registry.h"
+#include "search/batch_engine.h"
+#include "search/laesa.h"
+
+namespace cned {
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  QueryStats stats;
+};
+
+struct WorkloadResult {
+  std::string distance;
+  RunResult sequential;
+  RunResult batched;
+  bool identical = false;
+  bool stats_equal = false;
+};
+
+WorkloadResult RunWorkload(const std::string& distance_name,
+                           const PrototypeStore& protos,
+                           const PrototypeStore& queries, std::size_t pivots,
+                           std::ostream& log) {
+  WorkloadResult result;
+  result.distance = distance_name;
+  auto dist = MakeDistance(distance_name);
+  Laesa laesa(protos, dist, pivots);
+
+  // Warm-up: touch every thread-local scratch/workspace once so neither
+  // path pays first-allocation noise inside the timed region.
+  BatchQueryEngine engine(laesa);
+  (void)engine.Nearest(queries);
+
+  std::vector<NeighborResult> sequential(queries.size());
+  Stopwatch w_seq;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    sequential[i] = laesa.Nearest(queries[i], &result.sequential.stats);
+  }
+  result.sequential.seconds = w_seq.Seconds();
+
+  Stopwatch w_batch;
+  auto batched = engine.Nearest(queries, &result.batched.stats);
+  result.batched.seconds = w_batch.Seconds();
+
+  const auto n = static_cast<double>(queries.size());
+  result.sequential.qps =
+      result.sequential.seconds > 0.0 ? n / result.sequential.seconds : 0.0;
+  result.batched.qps =
+      result.batched.seconds > 0.0 ? n / result.batched.seconds : 0.0;
+
+  result.identical = batched.size() == sequential.size();
+  for (std::size_t i = 0; result.identical && i < batched.size(); ++i) {
+    result.identical = batched[i].index == sequential[i].index &&
+                       batched[i].distance == sequential[i].distance;
+  }
+  result.stats_equal = result.batched.stats == result.sequential.stats;
+
+  log << "  " << distance_name << ": sequential "
+      << result.sequential.seconds * 1e3 << " ms (" << result.sequential.qps
+      << " q/s), batched " << result.batched.seconds * 1e3 << " ms ("
+      << result.batched.qps << " q/s), speedup "
+      << (result.sequential.seconds > 0.0
+              ? result.sequential.seconds / result.batched.seconds
+              : 0.0)
+      << ", identical " << (result.identical ? "yes" : "NO")
+      << ", stats equal " << (result.stats_equal ? "yes" : "NO") << "\n";
+  return result;
+}
+
+void PrintRun(const char* key, const RunResult& r, std::ostream& out) {
+  out << "    \"" << key << "\": {\"seconds\": " << r.seconds
+      << ", \"qps\": " << r.qps
+      << ", \"computations\": " << r.stats.distance_computations
+      << ", \"abandons\": " << r.stats.bounded_abandons << "}";
+}
+
+int Run() {
+  std::ostream& log = std::cerr;
+  const auto pool =
+      static_cast<std::size_t>(Config::ScaledInt("MBE_POOL", 2000));
+  const auto num_queries =
+      static_cast<std::size_t>(Config::ScaledInt("MBE_QUERIES", 600));
+  const auto pivots =
+      static_cast<std::size_t>(Config::ScaledInt("MBE_PIVOTS", 40));
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  log << "micro_batch_engine: sequential vs batched LAESA on the dictionary "
+         "workload (scale=" << Config::Scale() << ", hardware threads=" << hw
+      << ")\n";
+
+  Dataset dict = bench::MakeDictionary(pool, Config::Seed());
+  PrototypeStore protos(dict.strings);
+  Rng rng(Config::Seed() + 51);
+  PrototypeStore queries(
+      MakeQueries(dict.strings, num_queries, 2, Alphabet::Latin(), rng));
+  log << "  " << protos.size() << " prototypes (" << protos.arena_bytes()
+      << " arena bytes), " << queries.size() << " queries, " << pivots
+      << " pivots\n";
+
+  std::vector<WorkloadResult> results;
+  for (const char* name : {"dE", "dYB"}) {
+    results.push_back(RunWorkload(name, protos, queries, pivots, log));
+  }
+
+  bool all_identical = true, all_stats_equal = true;
+  for (const auto& r : results) {
+    all_identical = all_identical && r.identical;
+    all_stats_equal = all_stats_equal && r.stats_equal;
+  }
+
+  std::cout.precision(6);
+  std::cout << "{\n"
+            << "  \"bench\": \"micro_batch_engine\",\n"
+            << "  \"hardware_threads\": " << hw << ",\n"
+            << "  \"prototypes\": " << protos.size() << ",\n"
+            << "  \"queries\": " << queries.size() << ",\n"
+            << "  \"pivots\": " << pivots << ",\n"
+            << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::cout << "   {\n"
+              << "    \"distance\": \"" << r.distance << "\",\n";
+    PrintRun("sequential", r.sequential, std::cout);
+    std::cout << ",\n";
+    PrintRun("batched", r.batched, std::cout);
+    std::cout << ",\n"
+              << "    \"speedup\": "
+              << (r.batched.seconds > 0.0
+                      ? r.sequential.seconds / r.batched.seconds
+                      : 0.0)
+              << ",\n"
+              << "    \"identical_results\": "
+              << (r.identical ? "true" : "false") << ",\n"
+              << "    \"stats_equal\": " << (r.stats_equal ? "true" : "false")
+              << "\n   }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n"
+            << "  \"identical_results\": "
+            << (all_identical ? "true" : "false") << ",\n"
+            << "  \"stats_equal\": " << (all_stats_equal ? "true" : "false")
+            << "\n}\n";
+  return all_identical && all_stats_equal ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cned
+
+int main() { return cned::Run(); }

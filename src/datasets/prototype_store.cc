@@ -1,0 +1,39 @@
+#include "datasets/prototype_store.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cned {
+
+PrototypeStore::PrototypeStore(const std::vector<std::string>& strings) {
+  std::size_t total = 0;
+  for (const auto& s : strings) total += s.size();
+  Reserve(strings.size(), total);
+  for (const auto& s : strings) Add(s);
+}
+
+void PrototypeStore::Reserve(std::size_t count, std::size_t total_chars) {
+  offsets_.reserve(count);
+  lengths_.reserve(count);
+  arena_.reserve(total_chars);
+}
+
+void PrototypeStore::Add(std::string_view s) {
+  constexpr std::size_t kMax = std::numeric_limits<std::uint32_t>::max();
+  if (s.size() > kMax || arena_.size() > kMax - s.size()) {
+    throw std::length_error(
+        "PrototypeStore: arena exceeds 32-bit offset range");
+  }
+  offsets_.push_back(static_cast<std::uint32_t>(arena_.size()));
+  lengths_.push_back(static_cast<std::uint32_t>(s.size()));
+  arena_.insert(arena_.end(), s.begin(), s.end());
+}
+
+std::vector<std::string> PrototypeStore::ToStrings() const {
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.emplace_back(view(i));
+  return out;
+}
+
+}  // namespace cned

@@ -1,0 +1,108 @@
+#ifndef CNED_DATASETS_PROTOTYPE_STORE_H_
+#define CNED_DATASETS_PROTOTYPE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cned {
+
+/// Flat, cache-friendly storage for a prototype (or query) set.
+///
+/// `std::vector<std::string>` scatters every string across the heap: each
+/// candidate visited by a search index costs a pointer chase, and the
+/// lengths the elimination sweeps need live behind those same pointers. The
+/// store instead packs all characters into one contiguous arena and keeps
+/// 32-bit offset/length arrays alongside, so
+///   * `view(i)` is zero-copy (a `string_view` into the arena),
+///   * `lengths_data()` exposes the lengths as one flat array the LAESA
+///     elimination sweep (and the length-difference "free pivot") can scan
+///     without touching the strings, and
+///   * iterating candidates in index order walks the arena forward —
+///     hardware-prefetcher friendly, like the packed vector arenas of
+///     usearch/pg_embedding.
+///
+/// 32-bit offsets cap the arena at 4 GiB of characters (hundreds of
+/// millions of dictionary words); `Add` throws `std::length_error` beyond
+/// that. Views returned by `view`/`operator[]` are invalidated by `Add`
+/// (the arena may reallocate) — build the store first, then index it.
+class PrototypeStore {
+ public:
+  PrototypeStore() = default;
+
+  /// Packs `strings` into the arena (one copy, then zero-copy reads).
+  explicit PrototypeStore(const std::vector<std::string>& strings);
+
+  /// Appends one string. Invalidates previously returned views.
+  void Add(std::string_view s);
+
+  /// Pre-sizes the arrays (`total_chars` may be 0 when unknown).
+  void Reserve(std::size_t count, std::size_t total_chars = 0);
+
+  std::size_t size() const { return lengths_.size(); }
+  bool empty() const { return lengths_.empty(); }
+
+  /// Zero-copy view of the i-th string.
+  std::string_view view(std::size_t i) const {
+    return {arena_.data() + offsets_[i], lengths_[i]};
+  }
+  std::string_view operator[](std::size_t i) const { return view(i); }
+
+  std::uint32_t length(std::size_t i) const { return lengths_[i]; }
+
+  /// Flat length array, aligned with indices — the SoA side of the store.
+  const std::uint32_t* lengths_data() const { return lengths_.data(); }
+
+  /// Raw arena (diagnostics, serialisation).
+  const char* arena_data() const { return arena_.data(); }
+  std::size_t arena_bytes() const { return arena_.size(); }
+
+  /// Materialises owning strings (convenience for tests and tooling).
+  std::vector<std::string> ToStrings() const;
+
+ private:
+  std::vector<char> arena_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> lengths_;
+};
+
+/// Constructor adapter every search index takes its prototypes through.
+///
+/// Binds either
+///   * an existing `PrototypeStore` (borrowed — the caller keeps it alive,
+///     zero copies; the production path, one store shared by many indexes
+///     and the batch engine), or
+///   * a `std::vector<std::string>` (packed once into an owned store; the
+///     convenience path that keeps existing call sites source-compatible
+///     and removes their lifetime hazard, since the index then owns the
+///     arena).
+///
+/// Copy/move just copy the pointer + shared ownership, so indexes holding a
+/// `PrototypeStoreRef` keep their default special members.
+class PrototypeStoreRef {
+ public:
+  /// Borrows `store`; the caller keeps it alive while any index uses it.
+  PrototypeStoreRef(const PrototypeStore& store)  // NOLINT(runtime/explicit)
+      : store_(&store) {}
+
+  /// Packs `strings` into an owned store (one copy at construction).
+  PrototypeStoreRef(  // NOLINT(runtime/explicit)
+      const std::vector<std::string>& strings)
+      : owned_(std::make_shared<PrototypeStore>(strings)),
+        store_(owned_.get()) {}
+
+  const PrototypeStore& get() const { return *store_; }
+  const PrototypeStore& operator*() const { return *store_; }
+  const PrototypeStore* operator->() const { return store_; }
+
+ private:
+  std::shared_ptr<const PrototypeStore> owned_;  // null when borrowed
+  const PrototypeStore* store_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_DATASETS_PROTOTYPE_STORE_H_

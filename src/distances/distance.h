@@ -1,6 +1,8 @@
 #ifndef CNED_DISTANCES_DISTANCE_H_
 #define CNED_DISTANCES_DISTANCE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -43,6 +45,30 @@ class StringDistance {
     return Distance(x, y);
   }
 
+  /// A lower bound on `Distance(x, y)` computable from the string lengths
+  /// alone; 0.0 when no such bound is known (the safe default). For the
+  /// Levenshtein family |len(x) - len(y)| <= d_E gives closed forms that
+  /// cost a handful of arithmetic ops — search structures use them to
+  /// reject candidates before any DP runs, and `DistanceBounded` fast paths
+  /// use them to return immediately when the bound is already reached.
+  virtual double LengthLowerBound(std::size_t x_len, std::size_t y_len) const {
+    (void)x_len;
+    (void)y_len;
+    return 0.0;
+  }
+
+  /// Batched form over a packed length array (the `PrototypeStore` layout):
+  /// out[i] = LengthLowerBound(x_len, y_lens[i]). The default loops over
+  /// the scalar hook; kernels with a closed-form bound override it with a
+  /// flat, branch-light loop the compiler can vectorise — this is the
+  /// "free zeroth pivot" of the LAESA elimination sweep.
+  virtual void LengthLowerBounds(std::size_t x_len, const std::uint32_t* y_lens,
+                                 std::size_t n, double* out) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = LengthLowerBound(x_len, y_lens[i]);
+    }
+  }
+
   /// Short identifier as used in the paper, e.g. "dE", "dC,h", "dYB".
   virtual std::string name() const = 0;
 
@@ -51,6 +77,16 @@ class StringDistance {
 };
 
 using StringDistancePtr = std::shared_ptr<const StringDistance>;
+
+/// Shared body for `LengthLowerBounds` overrides: applies the scalar bound
+/// `f(x_len, y_len)` across a packed length array. Statically dispatched,
+/// so the inner loop stays a flat, vectorizable pass.
+template <typename F>
+inline void FillLengthLowerBounds(F&& f, std::size_t x_len,
+                                  const std::uint32_t* y_lens, std::size_t n,
+                                  double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = f(x_len, y_lens[i]);
+}
 
 }  // namespace cned
 

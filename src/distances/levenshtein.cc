@@ -7,8 +7,33 @@
 #include "common/dp_workspace.h"
 
 namespace cned {
+namespace {
+
+// Strips the common prefix and suffix in place. Unit-cost edit distance is
+// invariant under both (matched symbols cost 0 and an optimal path may
+// always take them), and real workloads — dictionary words sharing stems,
+// perturbed queries — have long shared affixes, so the DP often shrinks to
+// a fraction of the naive |x| x |y| table.
+void TrimCommonAffixes(std::string_view& x, std::string_view& y) {
+  std::size_t prefix = 0;
+  const std::size_t max_affix = std::min(x.size(), y.size());
+  while (prefix < max_affix && x[prefix] == y[prefix]) ++prefix;
+  x.remove_prefix(prefix);
+  y.remove_prefix(prefix);
+  std::size_t suffix = 0;
+  const std::size_t remaining = std::min(x.size(), y.size());
+  while (suffix < remaining &&
+         x[x.size() - 1 - suffix] == y[y.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  x.remove_suffix(suffix);
+  y.remove_suffix(suffix);
+}
+
+}  // namespace
 
 std::size_t LevenshteinDistance(std::string_view x, std::string_view y) {
+  TrimCommonAffixes(x, y);
   // Keep the shorter string on the column axis for O(min) space.
   if (x.size() < y.size()) std::swap(x, y);
   const std::size_t m = x.size(), n = y.size();
@@ -31,6 +56,7 @@ std::size_t LevenshteinDistance(std::string_view x, std::string_view y) {
 
 std::size_t BoundedLevenshtein(std::string_view x, std::string_view y,
                                std::size_t bound) {
+  TrimCommonAffixes(x, y);
   if (x.size() < y.size()) std::swap(x, y);
   const std::size_t m = x.size(), n = y.size();
   if (m - n > bound) return bound + 1;
@@ -63,7 +89,11 @@ std::size_t BoundedLevenshtein(std::string_view x, std::string_view y,
 double LevenshteinDistanceBounded(std::string_view x, std::string_view y,
                                   double bound) {
   const std::size_t longer = std::max(x.size(), y.size());
+  const std::size_t shorter = std::min(x.size(), y.size());
   if (bound <= 0.0) return 0.0;  // every distance is >= 0 >= bound
+  // Length-difference early-out: |len(x) - len(y)| <= d_E, so when the gap
+  // already reaches the bound no DP needs to run at all.
+  if (static_cast<double>(longer - shorter) >= bound) return bound;
   if (bound > static_cast<double>(longer)) {
     // d_E <= max(|x|, |y|) < bound: the exact value is always needed.
     return static_cast<double>(LevenshteinDistance(x, y));

@@ -44,6 +44,20 @@ class EditDistance final : public StringDistance {
                          double bound) const override {
     return LevenshteinDistanceBounded(x, y, bound);
   }
+  /// |len(x) - len(y)| <= d_E: each unit of length gap needs one indel.
+  double LengthLowerBound(std::size_t x_len, std::size_t y_len) const override {
+    return x_len > y_len ? static_cast<double>(x_len - y_len)
+                         : static_cast<double>(y_len - x_len);
+  }
+  void LengthLowerBounds(std::size_t x_len, const std::uint32_t* y_lens,
+                         std::size_t n, double* out) const override {
+    FillLengthLowerBounds(
+        [](std::size_t a, std::size_t b) {
+          return a > b ? static_cast<double>(a - b)
+                       : static_cast<double>(b - a);
+        },
+        x_len, y_lens, n, out);
+  }
   std::string name() const override { return "dE"; }
   bool is_metric() const override { return true; }
 };

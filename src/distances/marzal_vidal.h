@@ -58,8 +58,19 @@ class MarzalVidalNormalizedDistance final : public StringDistance {
   }
   double DistanceBounded(std::string_view x, std::string_view y,
                          double bound) const override {
+    if (LengthLowerBound(x.size(), y.size()) >= bound) return bound;
     return costs_ ? MarzalVidalDistanceBounded(x, y, *costs_, bound)
                   : MarzalVidalDistanceBounded(x, y, bound);
+  }
+  /// Unit costs only: every editing path needs at least |len(x) - len(y)|
+  /// insertions/deletions (cost 1 each) and has length at most |x| + |y|,
+  /// so d_MV >= gap / (|x| + |y|). With generalised costs no length-only
+  /// bound holds — returns 0 (the safe default).
+  double LengthLowerBound(std::size_t x_len, std::size_t y_len) const override {
+    if (costs_ || (x_len == 0 && y_len == 0)) return 0.0;
+    const double gap =
+        static_cast<double>(x_len > y_len ? x_len - y_len : y_len - x_len);
+    return gap / static_cast<double>(x_len + y_len);
   }
   std::string name() const override { return "dMV"; }
   bool is_metric() const override { return false; }

@@ -54,9 +54,42 @@ double DybDistance(std::string_view x, std::string_view y) {
   return 2.0 * de / (static_cast<double>(x.size() + y.size()) + de);
 }
 
+double DsumLengthLowerBound(std::size_t x_len, std::size_t y_len) {
+  if (x_len == 0 && y_len == 0) return 0.0;
+  const double gap =
+      static_cast<double>(x_len > y_len ? x_len - y_len : y_len - x_len);
+  return gap / static_cast<double>(x_len + y_len);
+}
+
+double DmaxLengthLowerBound(std::size_t x_len, std::size_t y_len) {
+  if (x_len == 0 && y_len == 0) return 0.0;
+  const double gap =
+      static_cast<double>(x_len > y_len ? x_len - y_len : y_len - x_len);
+  return gap / static_cast<double>(std::max(x_len, y_len));
+}
+
+double DminLengthLowerBound(std::size_t x_len, std::size_t y_len) {
+  if (x_len == 0 && y_len == 0) return 0.0;
+  const double gap =
+      static_cast<double>(x_len > y_len ? x_len - y_len : y_len - x_len);
+  return gap / static_cast<double>(
+                   std::max<std::size_t>(std::min(x_len, y_len), 1));
+}
+
+double DybLengthLowerBound(std::size_t x_len, std::size_t y_len) {
+  if (x_len == 0 && y_len == 0) return 0.0;
+  // d_YB = 2 d_E / (|x|+|y|+d_E) is increasing in d_E; plug in d_E >= gap.
+  const double gap =
+      static_cast<double>(x_len > y_len ? x_len - y_len : y_len - x_len);
+  return 2.0 * gap / (static_cast<double>(x_len + y_len) + gap);
+}
+
 double DsumDistanceBounded(std::string_view x, std::string_view y,
                            double bound) {
   if (x.empty() && y.empty()) return 0.0;
+  // Length-difference early-out: skip even the threshold mapping when the
+  // length-only bound already reaches the caller's bound.
+  if (DsumLengthLowerBound(x.size(), y.size()) >= bound) return bound;
   const double denom = static_cast<double>(x.size() + y.size());
   return EditDistanceForThreshold(x, y, bound * denom) / denom;
 }
@@ -64,6 +97,7 @@ double DsumDistanceBounded(std::string_view x, std::string_view y,
 double DmaxDistanceBounded(std::string_view x, std::string_view y,
                            double bound) {
   if (x.empty() && y.empty()) return 0.0;
+  if (DmaxLengthLowerBound(x.size(), y.size()) >= bound) return bound;
   const double denom = static_cast<double>(std::max(x.size(), y.size()));
   return EditDistanceForThreshold(x, y, bound * denom) / denom;
 }
@@ -71,6 +105,7 @@ double DmaxDistanceBounded(std::string_view x, std::string_view y,
 double DminDistanceBounded(std::string_view x, std::string_view y,
                            double bound) {
   if (x.empty() && y.empty()) return 0.0;
+  if (DminLengthLowerBound(x.size(), y.size()) >= bound) return bound;
   const double denom = static_cast<double>(
       std::max<std::size_t>(std::min(x.size(), y.size()), 1));
   return EditDistanceForThreshold(x, y, bound * denom) / denom;
@@ -81,6 +116,7 @@ double DybDistanceBounded(std::string_view x, std::string_view y,
   if (x.empty() && y.empty()) return 0.0;
   // d_YB = 2 d_E / (|x|+|y| + d_E) < 2 always; b >= 2 can never be reached.
   if (bound >= 2.0) return DybDistance(x, y);
+  if (DybLengthLowerBound(x.size(), y.size()) >= bound) return bound;
   const double len = static_cast<double>(x.size() + y.size());
   // d_YB < b  <=>  d_E < b * (|x|+|y|) / (2 - b), and the mapping below is
   // monotone, so a truncated d_E >= threshold still lands >= b.

@@ -41,6 +41,14 @@ double DminDistanceBounded(std::string_view x, std::string_view y,
 double DybDistanceBounded(std::string_view x, std::string_view y,
                           double bound);
 
+/// Length-only lower bounds (d_E >= |len(x) - len(y)| pushed through each
+/// normalisation, which is monotone in d_E for fixed lengths). All return 0
+/// for two empty strings.
+double DsumLengthLowerBound(std::size_t x_len, std::size_t y_len);
+double DmaxLengthLowerBound(std::size_t x_len, std::size_t y_len);
+double DminLengthLowerBound(std::size_t x_len, std::size_t y_len);
+double DybLengthLowerBound(std::size_t x_len, std::size_t y_len);
+
 /// `StringDistance` adapters.
 class SumNormalizedDistance final : public StringDistance {
  public:
@@ -50,6 +58,13 @@ class SumNormalizedDistance final : public StringDistance {
   double DistanceBounded(std::string_view x, std::string_view y,
                          double bound) const override {
     return DsumDistanceBounded(x, y, bound);
+  }
+  double LengthLowerBound(std::size_t x_len, std::size_t y_len) const override {
+    return DsumLengthLowerBound(x_len, y_len);
+  }
+  void LengthLowerBounds(std::size_t x_len, const std::uint32_t* y_lens,
+                         std::size_t n, double* out) const override {
+    FillLengthLowerBounds(DsumLengthLowerBound, x_len, y_lens, n, out);
   }
   std::string name() const override { return "dsum"; }
   bool is_metric() const override { return false; }
@@ -64,6 +79,13 @@ class MaxNormalizedDistance final : public StringDistance {
                          double bound) const override {
     return DmaxDistanceBounded(x, y, bound);
   }
+  double LengthLowerBound(std::size_t x_len, std::size_t y_len) const override {
+    return DmaxLengthLowerBound(x_len, y_len);
+  }
+  void LengthLowerBounds(std::size_t x_len, const std::uint32_t* y_lens,
+                         std::size_t n, double* out) const override {
+    FillLengthLowerBounds(DmaxLengthLowerBound, x_len, y_lens, n, out);
+  }
   std::string name() const override { return "dmax"; }
   bool is_metric() const override { return false; }
 };
@@ -77,6 +99,13 @@ class MinNormalizedDistance final : public StringDistance {
                          double bound) const override {
     return DminDistanceBounded(x, y, bound);
   }
+  double LengthLowerBound(std::size_t x_len, std::size_t y_len) const override {
+    return DminLengthLowerBound(x_len, y_len);
+  }
+  void LengthLowerBounds(std::size_t x_len, const std::uint32_t* y_lens,
+                         std::size_t n, double* out) const override {
+    FillLengthLowerBounds(DminLengthLowerBound, x_len, y_lens, n, out);
+  }
   std::string name() const override { return "dmin"; }
   bool is_metric() const override { return false; }
 };
@@ -89,6 +118,13 @@ class YujianBoDistance final : public StringDistance {
   double DistanceBounded(std::string_view x, std::string_view y,
                          double bound) const override {
     return DybDistanceBounded(x, y, bound);
+  }
+  double LengthLowerBound(std::size_t x_len, std::size_t y_len) const override {
+    return DybLengthLowerBound(x_len, y_len);
+  }
+  void LengthLowerBounds(std::size_t x_len, const std::uint32_t* y_lens,
+                         std::size_t n, double* out) const override {
+    FillLengthLowerBounds(DybLengthLowerBound, x_len, y_lens, n, out);
   }
   std::string name() const override { return "dYB"; }
   bool is_metric() const override { return true; }

@@ -9,20 +9,20 @@
 
 namespace cned {
 
-Aesa::Aesa(const std::vector<std::string>& prototypes,
-           StringDistancePtr distance)
-    : prototypes_(&prototypes), distance_(std::move(distance)) {
+Aesa::Aesa(PrototypeStoreRef prototypes, StringDistancePtr distance)
+    : prototypes_(prototypes), distance_(std::move(distance)) {
   if (prototypes_->empty()) {
     throw std::invalid_argument("Aesa: empty prototype set");
   }
-  const std::size_t n = prototypes_->size();
+  const PrototypeStore& protos = store();
+  const std::size_t n = protos.size();
   matrix_.assign(n * n, 0.0);
   // Parallel over rows: row i fills pairs (i, i+1..n-1). Writes to (i, j)
   // and its mirror (j, i) are disjoint across tasks because each unordered
   // pair belongs to exactly one row.
   ParallelFor(n, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      double d = distance_->Distance((*prototypes_)[i], (*prototypes_)[j]);
+      double d = distance_->Distance(protos[i], protos[j]);
       matrix_[i * n + j] = matrix_[j * n + i] = d;
     }
   });
@@ -30,8 +30,13 @@ Aesa::Aesa(const std::vector<std::string>& prototypes,
 }
 
 NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
-  const std::size_t n = prototypes_->size();
-  std::vector<double> lower(n, 0.0);
+  const PrototypeStore& protos = store();
+  const std::size_t n = protos.size();
+  // Length-difference lower bounds seed the elimination for free, as in
+  // LAESA's "zeroth pivot": one flat pass over the packed length array.
+  std::vector<double> lower(n);
+  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n,
+                               lower.data());
   std::vector<bool> alive(n, true);
   std::size_t alive_count = n;
 
@@ -48,7 +53,7 @@ NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
     // An abandoned evaluation still certifies d(q, s) >= cap, giving the
     // one-sided lower bound d(q, i) >= cap - d(s, i) for every survivor.
     const double cap = best.distance;
-    double d = distance_->DistanceBounded(query, (*prototypes_)[s], cap);
+    double d = distance_->DistanceBounded(query, protos[s], cap);
     ++computations;
     const bool abandoned = d >= cap;
     if (abandoned) ++abandons;

@@ -2,10 +2,10 @@
 #define CNED_SEARCH_AESA_H_
 
 #include <cstdint>
-#include <string>
 #include <string_view>
 #include <vector>
 
+#include "datasets/prototype_store.h"
 #include "distances/distance.h"
 #include "search/nn_searcher.h"
 
@@ -21,23 +21,21 @@ namespace cned {
 /// strong-baseline extension for the ablation benches.
 class Aesa final : public NearestNeighborSearcher {
  public:
-  struct QueryStats {
-    std::uint64_t distance_computations = 0;
-    /// Evaluations whose result reached the bound passed via
-    /// `DistanceBounded` (cut short mid-DP by kernels with a real bounded
-    /// implementation; counted either way).
-    std::uint64_t bounded_abandons = 0;
-  };
+  /// Shared per-query cost counters (see `cned::QueryStats`).
+  using QueryStats = ::cned::QueryStats;
 
   /// Precomputes all pairwise prototype distances (N(N-1)/2 evaluations).
-  Aesa(const std::vector<std::string>& prototypes, StringDistancePtr distance);
+  /// `prototypes` is either a borrowed `PrototypeStore` (caller keeps it
+  /// alive) or a `std::vector<std::string>` packed once into an owned store.
+  Aesa(PrototypeStoreRef prototypes, StringDistancePtr distance);
 
-  NeighborResult Nearest(std::string_view query, QueryStats* stats) const;
+  NeighborResult Nearest(std::string_view query,
+                         QueryStats* stats = nullptr) const override;
 
-  NeighborResult Nearest(std::string_view query) const override {
-    return Nearest(query, nullptr);
-  }
   std::size_t size() const override { return prototypes_->size(); }
+
+  /// The prototype set the index searches over.
+  const PrototypeStore& store() const { return prototypes_.get(); }
 
   std::uint64_t preprocessing_computations() const {
     return preprocessing_computations_;
@@ -48,7 +46,7 @@ class Aesa final : public NearestNeighborSearcher {
     return matrix_[i * prototypes_->size() + j];
   }
 
-  const std::vector<std::string>* prototypes_;
+  PrototypeStoreRef prototypes_;
   StringDistancePtr distance_;
   std::vector<double> matrix_;
   std::uint64_t preprocessing_computations_ = 0;

@@ -1,0 +1,82 @@
+#include "search/batch_engine.h"
+
+#include <stdexcept>
+
+#include "common/parallel.h"
+
+namespace cned {
+namespace {
+
+/// Runs `per_query(i, stats_i)` for every query index under ParallelFor and
+/// merges the per-query counters in index order. A dense per-query stats
+/// array (16 bytes each) keeps workers contention-free and the merge
+/// deterministic.
+template <typename Body>
+void RunBatch(std::size_t n, std::size_t threads, QueryStats* stats,
+              const Body& per_query) {
+  if (stats == nullptr) {
+    ParallelFor(n, [&](std::size_t i) { per_query(i, nullptr); }, threads);
+    return;
+  }
+  std::vector<QueryStats> per(n);
+  ParallelFor(n, [&](std::size_t i) { per_query(i, &per[i]); }, threads);
+  for (const QueryStats& s : per) *stats += s;
+}
+
+}  // namespace
+
+BatchQueryEngine::BatchQueryEngine(const NearestNeighborSearcher& searcher)
+    : BatchQueryEngine(searcher, Options()) {}
+
+BatchQueryEngine::BatchQueryEngine(const NearestNeighborSearcher& searcher,
+                                   Options options)
+    : searcher_(&searcher), options_(options) {}
+
+std::vector<NeighborResult> BatchQueryEngine::Nearest(
+    PrototypeStoreRef queries, QueryStats* stats) const {
+  const PrototypeStore& q = queries.get();
+  std::vector<NeighborResult> results(q.size());
+  RunBatch(q.size(), options_.threads, stats,
+           [&](std::size_t i, QueryStats* s) {
+             results[i] = searcher_->Nearest(q[i], s);
+           });
+  return results;
+}
+
+std::vector<std::vector<NeighborResult>> BatchQueryEngine::KNearest(
+    PrototypeStoreRef queries, std::size_t k, QueryStats* stats) const {
+  const PrototypeStore& q = queries.get();
+  std::vector<std::vector<NeighborResult>> results(q.size());
+  if (!q.empty()) {
+    // Probe k-NN support on the calling thread: backends without KNearest
+    // throw std::logic_error here. Inside a ParallelFor worker the same
+    // throw would std::terminate the process (raw std::thread semantics).
+    // k = 0 is a no-op on every supporting backend (returns {} before any
+    // distance evaluation), so the probe costs nothing and touches no
+    // stats.
+    (void)searcher_->KNearest(q[0], 0, nullptr);
+  }
+  RunBatch(q.size(), options_.threads, stats,
+           [&](std::size_t i, QueryStats* s) {
+             results[i] = searcher_->KNearest(q[i], k, s);
+           });
+  return results;
+}
+
+std::vector<int> BatchQueryEngine::Classify(PrototypeStoreRef queries,
+                                            const std::vector<int>& labels,
+                                            QueryStats* stats) const {
+  if (labels.size() != searcher_->size()) {
+    throw std::invalid_argument(
+        "BatchQueryEngine::Classify: labels/prototypes size mismatch");
+  }
+  const PrototypeStore& q = queries.get();
+  std::vector<int> out(q.size());
+  RunBatch(q.size(), options_.threads, stats,
+           [&](std::size_t i, QueryStats* s) {
+             out[i] = labels[searcher_->Nearest(q[i], s).index];
+           });
+  return out;
+}
+
+}  // namespace cned

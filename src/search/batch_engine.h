@@ -1,0 +1,65 @@
+#ifndef CNED_SEARCH_BATCH_ENGINE_H_
+#define CNED_SEARCH_BATCH_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datasets/prototype_store.h"
+#include "search/nn_searcher.h"
+
+namespace cned {
+
+/// Batched query execution over any `NearestNeighborSearcher`.
+///
+/// The paper's §4.3 experiments — and every production serving scenario the
+/// ROADMAP targets — answer thousands of independent queries against one
+/// index. Looping `Nearest` one query at a time leaves all but one core
+/// idle; the engine instead fans the query span out through `ParallelFor`,
+/// where the per-thread DP workspaces and LAESA sweep scratch (all
+/// thread-local) make every searcher safe to drive concurrently.
+///
+/// Determinism: queries are independent and each result slot is written by
+/// exactly one task, so the returned neighbours are bit-identical to the
+/// sequential per-query loop, and the merged `QueryStats` equal the
+/// sequential sums regardless of thread schedule.
+class BatchQueryEngine {
+ public:
+  struct Options {
+    /// Worker threads; 0 means hardware concurrency.
+    std::size_t threads = 0;
+  };
+
+  /// Borrows `searcher` (caller keeps it alive).
+  explicit BatchQueryEngine(const NearestNeighborSearcher& searcher);
+  BatchQueryEngine(const NearestNeighborSearcher& searcher, Options options);
+
+  /// Nearest prototype for every query in the span. `queries` is either a
+  /// borrowed `PrototypeStore` or a `std::vector<std::string>` (packed once
+  /// into a temporary store). Merged counters accumulate into `stats` when
+  /// non-null.
+  std::vector<NeighborResult> Nearest(PrototypeStoreRef queries,
+                                      QueryStats* stats = nullptr) const;
+
+  /// k nearest prototypes for every query, each closest first. Requires a
+  /// searcher family with a k-NN search (LAESA, VP-tree, exhaustive);
+  /// others throw std::logic_error.
+  std::vector<std::vector<NeighborResult>> KNearest(
+      PrototypeStoreRef queries, std::size_t k,
+      QueryStats* stats = nullptr) const;
+
+  /// 1-NN label for every query; `labels[i]` is the class of the searcher's
+  /// i-th prototype. Throws std::invalid_argument on size mismatch.
+  std::vector<int> Classify(PrototypeStoreRef queries,
+                            const std::vector<int>& labels,
+                            QueryStats* stats = nullptr) const;
+
+  const NearestNeighborSearcher& searcher() const { return *searcher_; }
+
+ private:
+  const NearestNeighborSearcher* searcher_;
+  Options options_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_BATCH_ENGINE_H_

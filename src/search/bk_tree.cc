@@ -32,9 +32,8 @@ std::size_t BkTree::BoundedIntDistance(std::string_view a, std::string_view b,
   return static_cast<std::size_t>(rounded);
 }
 
-BkTree::BkTree(const std::vector<std::string>& prototypes,
-               StringDistancePtr distance)
-    : prototypes_(&prototypes), distance_(std::move(distance)) {
+BkTree::BkTree(PrototypeStoreRef prototypes, StringDistancePtr distance)
+    : prototypes_(prototypes), distance_(std::move(distance)) {
   if (prototypes_->empty()) {
     throw std::invalid_argument("BkTree: empty prototype set");
   }
@@ -43,8 +42,8 @@ BkTree::BkTree(const std::vector<std::string>& prototypes,
   for (std::size_t i = 1; i < prototypes_->size(); ++i) {
     std::int32_t cur = 0;
     for (;;) {
-      std::size_t d = IntDistance((*prototypes_)[i],
-                                  (*prototypes_)[nodes_[cur].point]);
+      std::size_t d = IntDistance(store()[i],
+                                  store()[nodes_[cur].point]);
       if (d == 0) break;  // exact duplicate: keep only the first copy
       auto it = nodes_[static_cast<std::size_t>(cur)].children.find(d);
       if (it == nodes_[static_cast<std::size_t>(cur)].children.end()) {
@@ -78,7 +77,7 @@ NeighborResult BkTree::Nearest(std::string_view query,
       cap = std::max(cap, max_edge + best.distance + 1.0);
     }
     bool abandoned = false;
-    std::size_t d = BoundedIntDistance(query, (*prototypes_)[node.point], cap,
+    std::size_t d = BoundedIntDistance(query, store()[node.point], cap,
                                        &abandoned);
     ++computations;
     if (abandoned) {
@@ -122,7 +121,7 @@ std::vector<NeighborResult> BkTree::RangeSearch(std::string_view query,
                  max_edge + static_cast<double>(radius)) +
         1.0;
     bool abandoned = false;
-    std::size_t d = BoundedIntDistance(query, (*prototypes_)[node.point], cap,
+    std::size_t d = BoundedIntDistance(query, store()[node.point], cap,
                                        &abandoned);
     ++computations;
     if (abandoned) {

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <string>
 #include <string_view>
 #include <vector>
 
+#include "datasets/prototype_store.h"
 #include "distances/distance.h"
 #include "search/nn_searcher.h"
 
@@ -23,26 +23,24 @@ namespace cned {
 /// like LAESA in the first place.
 class BkTree final : public NearestNeighborSearcher {
  public:
-  struct QueryStats {
-    std::uint64_t distance_computations = 0;
-    /// Evaluations whose result reached the bound passed via
-    /// `DistanceBounded` (cut short mid-DP by kernels with a real bounded
-    /// implementation; counted either way).
-    std::uint64_t bounded_abandons = 0;
-  };
+  /// Shared per-query cost counters (see `cned::QueryStats`).
+  using QueryStats = ::cned::QueryStats;
 
-  /// Builds by successive insertion. `distance` must return non-negative
-  /// integers (e.g. "dE"); throws std::invalid_argument otherwise (detected
-  /// on first violation during construction).
-  BkTree(const std::vector<std::string>& prototypes,
-         StringDistancePtr distance);
+  /// Builds by successive insertion. `prototypes` is either a borrowed
+  /// `PrototypeStore` (caller keeps it alive) or a
+  /// `std::vector<std::string>` packed once into an owned store. `distance`
+  /// must return non-negative integers (e.g. "dE"); throws
+  /// std::invalid_argument otherwise (detected on first violation during
+  /// construction).
+  BkTree(PrototypeStoreRef prototypes, StringDistancePtr distance);
 
-  NeighborResult Nearest(std::string_view query, QueryStats* stats) const;
+  NeighborResult Nearest(std::string_view query,
+                         QueryStats* stats = nullptr) const override;
 
-  NeighborResult Nearest(std::string_view query) const override {
-    return Nearest(query, nullptr);
-  }
   std::size_t size() const override { return prototypes_->size(); }
+
+  /// The prototype set the index searches over.
+  const PrototypeStore& store() const { return prototypes_.get(); }
 
   /// All prototypes within distance `radius` of the query (range query, the
   /// classic BK-tree use case, e.g. "suggestions within 2 edits").
@@ -65,7 +63,7 @@ class BkTree final : public NearestNeighborSearcher {
   std::size_t BoundedIntDistance(std::string_view a, std::string_view b,
                                  double cap, bool* abandoned) const;
 
-  const std::vector<std::string>* prototypes_;
+  PrototypeStoreRef prototypes_;
   StringDistancePtr distance_;
   std::vector<Node> nodes_;
 };

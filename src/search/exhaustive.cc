@@ -6,9 +6,9 @@
 
 namespace cned {
 
-ExhaustiveSearch::ExhaustiveSearch(const std::vector<std::string>& prototypes,
+ExhaustiveSearch::ExhaustiveSearch(PrototypeStoreRef prototypes,
                                    StringDistancePtr distance)
-    : prototypes_(&prototypes), distance_(std::move(distance)) {
+    : prototypes_(prototypes), distance_(std::move(distance)) {
   if (prototypes_->empty()) {
     throw std::invalid_argument("ExhaustiveSearch: empty prototype set");
   }
@@ -16,13 +16,13 @@ ExhaustiveSearch::ExhaustiveSearch(const std::vector<std::string>& prototypes,
 
 NeighborResult ExhaustiveSearch::Nearest(std::string_view query,
                                          QueryStats* stats) const {
-  NeighborResult best{0, distance_->Distance(query, (*prototypes_)[0])};
+  const PrototypeStore& protos = store();
+  NeighborResult best{0, distance_->Distance(query, protos[0])};
   std::uint64_t computations = 1, abandons = 0;
-  for (std::size_t i = 1; i < prototypes_->size(); ++i) {
+  for (std::size_t i = 1; i < protos.size(); ++i) {
     // Strict improvement only (smallest index wins ties), so the incumbent
     // itself bounds the kernel.
-    double d = distance_->DistanceBounded(query, (*prototypes_)[i],
-                                          best.distance);
+    double d = distance_->DistanceBounded(query, protos[i], best.distance);
     ++computations;
     if (d >= best.distance) {
       ++abandons;
@@ -40,7 +40,8 @@ NeighborResult ExhaustiveSearch::Nearest(std::string_view query,
 std::vector<NeighborResult> ExhaustiveSearch::KNearest(std::string_view query,
                                                        std::size_t k,
                                                        QueryStats* stats) const {
-  const std::size_t n = prototypes_->size();
+  const PrototypeStore& protos = store();
+  const std::size_t n = protos.size();
   k = std::min(k, n);
   if (k == 0) return {};
   // Running sorted top-k; a candidate that cannot beat the k-th incumbent
@@ -54,7 +55,7 @@ std::vector<NeighborResult> ExhaustiveSearch::KNearest(std::string_view query,
     const double cap = best.size() < k
                            ? std::numeric_limits<double>::infinity()
                            : best.back().distance;
-    double d = distance_->DistanceBounded(query, (*prototypes_)[i], cap);
+    double d = distance_->DistanceBounded(query, protos[i], cap);
     ++computations;
     if (d >= cap) {
       ++abandons;

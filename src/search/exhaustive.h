@@ -3,10 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <string>
 #include <string_view>
 #include <vector>
 
+#include "datasets/prototype_store.h"
 #include "distances/distance.h"
 #include "search/nn_searcher.h"
 
@@ -16,40 +16,37 @@ namespace cned {
 /// prototype. The baseline ("Exhaustive search" column of Table 2) and the
 /// correctness oracle for LAESA/AESA.
 ///
-/// Even the brute-force scan benefits from the bounded kernel engine: the
-/// incumbent best (or the running k-th best) is passed to `DistanceBounded`
-/// so the per-prototype DP is cut short once it provably cannot win. The
-/// returned neighbours are identical to the unbounded scan.
+/// Candidates are read straight out of the flat `PrototypeStore` arena in
+/// index order — a forward walk over contiguous memory. Even the brute-
+/// force scan benefits from the bounded kernel engine: the incumbent best
+/// (or the running k-th best) is passed to `DistanceBounded` so the
+/// per-prototype DP is cut short once it provably cannot win. The returned
+/// neighbours are identical to the unbounded scan.
 class ExhaustiveSearch final : public NearestNeighborSearcher {
  public:
-  struct QueryStats {
-    std::uint64_t distance_computations = 0;
-    /// Evaluations whose result reached the bound passed via
-    /// `DistanceBounded` (cut short mid-DP by kernels with a real bounded
-    /// implementation; counted either way).
-    std::uint64_t bounded_abandons = 0;
-  };
+  /// Shared per-query cost counters (see `cned::QueryStats`).
+  using QueryStats = ::cned::QueryStats;
 
-  /// Keeps a reference to `prototypes`; the caller owns the storage and must
-  /// keep it alive and unchanged while the searcher is used.
-  ExhaustiveSearch(const std::vector<std::string>& prototypes,
-                   StringDistancePtr distance);
+  /// `prototypes` is either a borrowed `PrototypeStore` (caller keeps it
+  /// alive) or a `std::vector<std::string>` packed once into an owned store.
+  ExhaustiveSearch(PrototypeStoreRef prototypes, StringDistancePtr distance);
 
   /// The nearest prototype to `query` (smallest index wins ties).
-  NeighborResult Nearest(std::string_view query, QueryStats* stats) const;
-
-  NeighborResult Nearest(std::string_view query) const override {
-    return Nearest(query, nullptr);
-  }
+  NeighborResult Nearest(std::string_view query,
+                         QueryStats* stats = nullptr) const override;
 
   /// The k nearest prototypes, closest first.
-  std::vector<NeighborResult> KNearest(std::string_view query, std::size_t k,
-                                       QueryStats* stats = nullptr) const;
+  std::vector<NeighborResult> KNearest(
+      std::string_view query, std::size_t k,
+      QueryStats* stats = nullptr) const override;
 
   std::size_t size() const override { return prototypes_->size(); }
 
+  /// The prototype set the index searches over.
+  const PrototypeStore& store() const { return prototypes_.get(); }
+
  private:
-  const std::vector<std::string>* prototypes_;
+  PrototypeStoreRef prototypes_;
   StringDistancePtr distance_;
 };
 

@@ -2,12 +2,11 @@
 #define CNED_SEARCH_KNN_CLASSIFIER_H_
 
 #include <cstddef>
-#include <string>
 #include <string_view>
 #include <vector>
 
+#include "datasets/prototype_store.h"
 #include "distances/distance.h"
-#include "search/exhaustive.h"
 #include "search/nn_searcher.h"
 
 namespace cned {
@@ -15,6 +14,9 @@ namespace cned {
 /// 1-NN classifier over labelled prototypes, generic in the search backend
 /// (exhaustive, LAESA or AESA), as used in the paper's §4.4: a query is
 /// given the label of its nearest training prototype.
+///
+/// Batch entry points run on the `BatchQueryEngine` (all cores, merged
+/// stats) and return exactly what the per-query loop would.
 class NearestNeighborClassifier {
  public:
   /// `labels[i]` is the class of the searcher's i-th prototype. The searcher
@@ -25,9 +27,16 @@ class NearestNeighborClassifier {
   /// Label of the nearest prototype.
   int Classify(std::string_view query) const;
 
+  /// Labels for a whole query span, batched across cores. `queries` is a
+  /// borrowed `PrototypeStore` or a `std::vector<std::string>`; `threads`
+  /// = 0 means hardware concurrency.
+  std::vector<int> ClassifyBatch(PrototypeStoreRef queries,
+                                 QueryStats* stats = nullptr,
+                                 std::size_t threads = 0) const;
+
   /// Fraction (in %) of test samples whose predicted label differs from the
-  /// true one — the error rate of Table 2.
-  double ErrorRatePercent(const std::vector<std::string>& queries,
+  /// true one — the error rate of Table 2. Batched internally.
+  double ErrorRatePercent(PrototypeStoreRef queries,
                           const std::vector<int>& true_labels) const;
 
  private:
@@ -35,11 +44,19 @@ class NearestNeighborClassifier {
   const std::vector<int>* labels_;
 };
 
-/// Majority-vote k-NN (extension beyond the paper's 1-NN, exhaustive
-/// backend). Ties break toward the closer neighbour's label.
-int KnnClassify(const ExhaustiveSearch& searcher,
+/// Majority-vote k-NN (extension beyond the paper's 1-NN). Works with any
+/// backend implementing `KNearest` (exhaustive, LAESA, VP-tree). Ties break
+/// toward the closer neighbour's label.
+int KnnClassify(const NearestNeighborSearcher& searcher,
                 const std::vector<int>& labels, std::string_view query,
                 std::size_t k);
+
+/// Batched majority-vote k-NN over the `BatchQueryEngine`.
+std::vector<int> KnnClassifyBatch(const NearestNeighborSearcher& searcher,
+                                  const std::vector<int>& labels,
+                                  PrototypeStoreRef queries, std::size_t k,
+                                  QueryStats* stats = nullptr,
+                                  std::size_t threads = 0);
 
 }  // namespace cned
 

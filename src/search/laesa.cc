@@ -6,43 +6,66 @@
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "common/parallel.h"
 #include "search/pivot_selection.h"
 
 namespace cned {
+namespace {
 
-Laesa::Laesa(const std::vector<std::string>& prototypes,
-             StringDistancePtr distance, std::size_t num_pivots,
-             std::size_t first_pivot)
-    : prototypes_(&prototypes), distance_(std::move(distance)) {
-  if (prototypes_->empty()) {
+/// Thread-local scratch for the elimination sweep: packed candidate index /
+/// lower-bound arrays. Reused across queries (zero steady-state
+/// allocations) and owned per thread, so batched queries running under
+/// ParallelFor never share state.
+struct SweepScratch {
+  std::vector<std::uint32_t> idx;
+  std::vector<double> lower;
+};
+
+SweepScratch& TlsSweepScratch() {
+  thread_local SweepScratch scratch;
+  return scratch;
+}
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool NeighborLess(const NeighborResult& a, const NeighborResult& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+Laesa::Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
+             std::size_t num_pivots, std::size_t first_pivot)
+    : prototypes_(prototypes), distance_(std::move(distance)) {
+  if (store().empty()) {
     throw std::invalid_argument("Laesa: empty prototype set");
   }
-  num_pivots = std::min(num_pivots, prototypes_->size());
+  num_pivots = std::min(num_pivots, store().size());
   if (num_pivots == 0) {
     throw std::invalid_argument("Laesa: need at least one pivot");
   }
-  pivots_ =
-      SelectPivotsMaxMin(*prototypes_, *distance_, num_pivots, first_pivot);
+  pivots_ = SelectPivotsMaxMin(store(), *distance_, num_pivots, first_pivot);
   preprocessing_computations_ +=
-      static_cast<std::uint64_t>(pivots_.size()) * prototypes_->size();
+      static_cast<std::uint64_t>(pivots_.size()) * store().size();
   BuildTable();
 }
 
-Laesa::Laesa(const std::vector<std::string>& prototypes,
-             StringDistancePtr distance, std::vector<std::size_t> pivot_indices)
-    : prototypes_(&prototypes),
+Laesa::Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
+             std::vector<std::size_t> pivot_indices)
+    : prototypes_(prototypes),
       distance_(std::move(distance)),
       pivots_(std::move(pivot_indices)) {
-  if (prototypes_->empty()) {
+  if (store().empty()) {
     throw std::invalid_argument("Laesa: empty prototype set");
   }
   if (pivots_.empty()) {
     throw std::invalid_argument("Laesa: need at least one pivot");
   }
   for (std::size_t p : pivots_) {
-    if (p >= prototypes_->size()) {
+    if (p >= store().size()) {
       throw std::invalid_argument("Laesa: pivot index out of range");
     }
   }
@@ -50,7 +73,8 @@ Laesa::Laesa(const std::vector<std::string>& prototypes,
 }
 
 void Laesa::BuildTable() {
-  const std::size_t n = prototypes_->size();
+  const PrototypeStore& protos = store();
+  const std::size_t n = protos.size();
   pivot_rank_.assign(n, -1);
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
     pivot_rank_[pivots_[p]] = static_cast<std::int32_t>(p);
@@ -62,119 +86,140 @@ void Laesa::BuildTable() {
   ParallelFor(pivots_.size() * n, [&](std::size_t t) {
     const std::size_t p = t / n;
     const std::size_t i = t % n;
-    pivot_dist_[t] =
-        distance_->Distance((*prototypes_)[pivots_[p]], (*prototypes_)[i]);
+    pivot_dist_[t] = distance_->Distance(protos[pivots_[p]], protos[i]);
   });
   preprocessing_computations_ +=
       static_cast<std::uint64_t>(pivots_.size()) * n;
 }
 
-namespace {
-
-// Shared search loop for exact (slack = 1) and approximate (slack = 1+eps)
-// LAESA: a candidate is eliminated when lower_bound * slack >= best.
+// Unified flat sweep behind Nearest (k = 1), NearestApprox (slack = 1+eps)
+// and KNearest: a candidate is eliminated when lower_bound * slack reaches
+// the k-th incumbent.
 //
-// Elimination and the best update share one semantic: a candidate that
-// cannot *strictly* improve on the incumbent is dead. That is what lets the
-// incumbent itself be the `DistanceBounded` bound — the kernel may abandon
-// any evaluation that provably reaches it, because such a value could at
-// most tie.
-NeighborResult LaesaSearch(const std::vector<std::string>& prototypes,
-                           const StringDistance& distance,
-                           const std::vector<std::size_t>& pivots,
-                           const std::vector<std::int32_t>& pivot_rank,
-                           const std::vector<double>& pivot_dist, double slack,
-                           std::string_view query, std::uint64_t& computations,
-                           std::uint64_t& bounded_abandons) {
-  const std::size_t n = prototypes.size();
-  std::vector<double> lower(n, 0.0);
-  std::vector<bool> alive(n, true);
-  std::size_t alive_count = n;
-  std::size_t alive_pivots = pivots.size();
+// Elimination and the incumbent update share one semantic: a candidate that
+// cannot *strictly* improve on the k-th incumbent is dead. That is what
+// lets the incumbent itself be the `DistanceBounded` bound — the kernel may
+// abandon any evaluation that provably reaches it, because such a value
+// could at most tie.
+std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
+                                         double slack,
+                                         QueryStats* stats) const {
+  const PrototypeStore& protos = store();
+  const std::size_t n = protos.size();
+  k = std::min(k, n);
+  if (k == 0) return {};
 
-  NeighborResult best{0, std::numeric_limits<double>::infinity()};
+  SweepScratch& scratch = TlsSweepScratch();
+  std::vector<std::uint32_t>& idx = scratch.idx;
+  std::vector<double>& lower = scratch.lower;
+  idx.resize(n);
+  lower.resize(n);
 
-  std::size_t s = pivots[0];  // start from the first base prototype
-  while (alive_count > 0) {
-    alive[s] = false;
-    --alive_count;
-    const bool s_is_pivot = pivot_rank[s] >= 0;
-    if (s_is_pivot) --alive_pivots;
+  // Free zeroth pivot: length-only lower bounds, filled by one flat pass
+  // over the store's packed length array before any distance is computed.
+  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n,
+                               lower.data());
+  // Count live pivots from pivot_rank_, not pivots_.size(): the ablation
+  // constructor and Load accept duplicate pivot indices, which occupy one
+  // candidate slot but several pivots_ entries.
+  std::size_t live_pivots = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<std::uint32_t>(i);
+    live_pivots += pivot_rank_[i] >= 0 ? 1 : 0;
+  }
+
+  std::size_t live = n;  // candidates in the packed prefix [0, live)
+
+  // Current k best, sorted ascending (k is small in practice).
+  std::vector<NeighborResult> best;
+  best.reserve(k + 1);
+  const double inf = std::numeric_limits<double>::infinity();
+  auto kth = [&]() { return best.size() < k ? inf : best.back().distance; };
+
+  std::uint64_t computations = 0, abandons = 0;
+
+  std::size_t s = pivots_[0];  // start from the first base prototype
+  while (live > 0) {
+    const bool s_is_pivot = pivot_rank_[s] >= 0;
 
     // Pivot distances stay exact: the full value tightens a whole row of
     // lower bounds (both sides of |d - row[i]|), which an abandoned
     // evaluation cannot. Non-pivot distances only ever update the
-    // incumbent, so the incumbent itself bounds their kernel — the search
+    // incumbents, so the k-th incumbent bounds their kernel — the search
     // trajectory (and computation count) is identical to the unbounded
-    // search, only the per-evaluation DP work shrinks.
-    const double cap =
-        s_is_pivot ? std::numeric_limits<double>::infinity() : best.distance;
-    double d = distance.DistanceBounded(query, prototypes[s], cap);
+    // sweep, only the per-evaluation DP work shrinks.
+    const double cap = s_is_pivot ? inf : kth();
+    const double d = distance_->DistanceBounded(query, protos[s], cap);
     ++computations;
-    if (d >= cap) ++bounded_abandons;
-    if (d < best.distance) best = {s, d};
-
-    // Tighten lower bounds with the pivot's stored row, then eliminate.
-    if (s_is_pivot) {
-      const double* row =
-          &pivot_dist[static_cast<std::size_t>(pivot_rank[s]) * n];
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!alive[i]) continue;
-        double g = std::abs(d - row[i]);
-        if (g > lower[i]) lower[i] = g;
-      }
+    if (d >= cap) {
+      ++abandons;
+    } else if (best.size() < k || d < best.back().distance) {
+      NeighborResult r{s, d};
+      best.insert(std::lower_bound(best.begin(), best.end(), r, NeighborLess),
+                  r);
+      if (best.size() > k) best.pop_back();
     }
 
-    // Eliminate everything whose (slack-scaled) lower bound reaches the
-    // best distance, and pick the next candidate: the alive pivot with
-    // minimal lower bound while pivots remain, otherwise the alive
-    // prototype with minimal lower bound ("approximating" step of LAESA).
-    std::size_t next = n;
-    double next_key = std::numeric_limits<double>::infinity();
-    bool prefer_pivots = alive_pivots > 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!alive[i]) continue;
-      if (lower[i] * slack >= best.distance) {
-        alive[i] = false;
-        --alive_count;
-        if (pivot_rank[i] >= 0) --alive_pivots;
+    // One flat pass over the packed arrays: tighten with the visited
+    // pivot's contiguous table row, eliminate against the (slack-scaled)
+    // k-th incumbent, compact survivors in place, and pick the next
+    // candidate — the surviving pivot with minimal lower bound while
+    // pivots remain (the "approximating" step of LAESA), otherwise the
+    // surviving prototype with minimal lower bound. Compaction is stable,
+    // so ties on the lower bound resolve to the smallest index, exactly
+    // like the classic ascending per-candidate scan.
+    const double* row =
+        s_is_pivot
+            ? &pivot_dist_[static_cast<std::size_t>(pivot_rank_[s]) * n]
+            : nullptr;
+    const double bound = kth();
+    std::size_t write = 0;
+    std::size_t next = kNone, next_pivot = kNone;
+    double next_key = inf, next_pivot_key = inf;
+    for (std::size_t r = 0; r < live; ++r) {
+      const std::uint32_t u = idx[r];
+      if (u == s) {  // just visited: drop from the candidate set
+        if (s_is_pivot) --live_pivots;
         continue;
       }
-      if (prefer_pivots && pivot_rank[i] < 0) continue;
-      if (lower[i] < next_key) {
-        next_key = lower[i];
-        next = i;
+      double lb = lower[r];
+      if (row != nullptr) {
+        const double g = std::abs(d - row[u]);
+        if (g > lb) lb = g;
+      }
+      const bool u_is_pivot = pivot_rank_[u] >= 0;
+      if (lb * slack >= bound) {  // can at most tie: eliminated
+        if (u_is_pivot) --live_pivots;
+        continue;
+      }
+      idx[write] = u;
+      lower[write] = lb;
+      ++write;
+      if (lb < next_key) {
+        next_key = lb;
+        next = u;
+      }
+      if (u_is_pivot && lb < next_pivot_key) {
+        next_pivot_key = lb;
+        next_pivot = u;
       }
     }
-    if (alive_count == 0) break;
-    if (next == n) {
-      // All remaining alive candidates are non-pivots but we preferred
-      // pivots (they were all eliminated in this very pass); rescan.
-      for (std::size_t i = 0; i < n; ++i) {
-        if (alive[i] && lower[i] < next_key) {
-          next_key = lower[i];
-          next = i;
-        }
-      }
-    }
-    if (next == n) break;
-    s = next;
+    live = write;
+    if (live == 0) break;
+    s = live_pivots > 0 ? next_pivot : next;
+    if (s == kNone) break;  // defensive: accounting can never reach this
   }
-  return best;
-}
 
-}  // namespace
-
-NeighborResult Laesa::Nearest(std::string_view query, QueryStats* stats) const {
-  std::uint64_t computations = 0, abandons = 0;
-  NeighborResult best =
-      LaesaSearch(*prototypes_, *distance_, pivots_, pivot_rank_, pivot_dist_,
-                  /*slack=*/1.0, query, computations, abandons);
   if (stats != nullptr) {
     stats->distance_computations += computations;
     stats->bounded_abandons += abandons;
   }
   return best;
+}
+
+NeighborResult Laesa::Nearest(std::string_view query,
+                              QueryStats* stats) const {
+  return Sweep(query, 1, /*slack=*/1.0, stats).front();
 }
 
 NeighborResult Laesa::NearestApprox(std::string_view query, double epsilon,
@@ -182,152 +227,55 @@ NeighborResult Laesa::NearestApprox(std::string_view query, double epsilon,
   if (epsilon < 0.0) {
     throw std::invalid_argument("Laesa::NearestApprox: epsilon must be >= 0");
   }
-  std::uint64_t computations = 0, abandons = 0;
-  NeighborResult best =
-      LaesaSearch(*prototypes_, *distance_, pivots_, pivot_rank_, pivot_dist_,
-                  1.0 + epsilon, query, computations, abandons);
-  if (stats != nullptr) {
-    stats->distance_computations += computations;
-    stats->bounded_abandons += abandons;
-  }
-  return best;
+  return Sweep(query, 1, 1.0 + epsilon, stats).front();
 }
 
 std::vector<NeighborResult> Laesa::KNearest(std::string_view query,
                                             std::size_t k,
                                             QueryStats* stats) const {
-  const std::size_t n = prototypes_->size();
-  k = std::min(k, n);
-  if (k == 0) return {};
-  std::vector<double> lower(n, 0.0);
-  std::vector<bool> alive(n, true);
-  std::size_t alive_count = n;
-  std::size_t alive_pivots = pivots_.size();
-
-  // Current k best, kept sorted ascending (k is small in practice).
-  std::vector<NeighborResult> best;
-  auto kth_distance = [&]() {
-    return best.size() < k ? std::numeric_limits<double>::infinity()
-                           : best.back().distance;
-  };
-  auto offer = [&](std::size_t index, double d) {
-    if (best.size() == k && d >= best.back().distance) return;
-    NeighborResult r{index, d};
-    auto pos = std::lower_bound(best.begin(), best.end(), r,
-                                [](const NeighborResult& a,
-                                   const NeighborResult& b) {
-                                  if (a.distance != b.distance) {
-                                    return a.distance < b.distance;
-                                  }
-                                  return a.index < b.index;
-                                });
-    best.insert(pos, r);
-    if (best.size() > k) best.pop_back();
-  };
-
-  std::uint64_t computations = 0, abandons = 0;
-  std::size_t s = pivots_[0];
-  while (alive_count > 0) {
-    alive[s] = false;
-    --alive_count;
-    const bool s_is_pivot = pivot_rank_[s] >= 0;
-    if (s_is_pivot) --alive_pivots;
-
-    // As in LaesaSearch: pivots stay exact (their value feeds a whole row
-    // of lower bounds), non-pivots are bounded by the k-th incumbent —
-    // `offer` rejects any d >= kth anyway (strict-improvement semantics).
-    const double cap =
-        s_is_pivot ? std::numeric_limits<double>::infinity() : kth_distance();
-    double d = distance_->DistanceBounded(query, (*prototypes_)[s], cap);
-    ++computations;
-    if (d >= cap) {
-      ++abandons;
-    } else {
-      offer(s, d);
-    }
-
-    if (s_is_pivot) {
-      const double* row =
-          &pivot_dist_[static_cast<std::size_t>(pivot_rank_[s]) * n];
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!alive[i]) continue;
-        double g = std::abs(d - row[i]);
-        if (g > lower[i]) lower[i] = g;
-      }
-    }
-
-    std::size_t next = n;
-    double next_key = std::numeric_limits<double>::infinity();
-    const double bound = kth_distance();
-    bool prefer_pivots = alive_pivots > 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!alive[i]) continue;
-      // Same elimination semantics as LaesaSearch (slack = 1): a lower
-      // bound that reaches the k-th incumbent can at most tie, and ties
-      // never enter the result.
-      if (lower[i] >= bound) {
-        alive[i] = false;
-        --alive_count;
-        if (pivot_rank_[i] >= 0) --alive_pivots;
-        continue;
-      }
-      if (prefer_pivots && pivot_rank_[i] < 0) continue;
-      if (lower[i] < next_key) {
-        next_key = lower[i];
-        next = i;
-      }
-    }
-    if (alive_count == 0) break;
-    if (next == n) {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (alive[i] && lower[i] < next_key) {
-          next_key = lower[i];
-          next = i;
-        }
-      }
-    }
-    if (next == n) break;
-    s = next;
-  }
-  if (stats != nullptr) {
-    stats->distance_computations += computations;
-    stats->bounded_abandons += abandons;
-  }
-  return best;
+  return Sweep(query, k, /*slack=*/1.0, stats);
 }
 
 std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
                                                double radius,
                                                QueryStats* stats) const {
-  const std::size_t n = prototypes_->size();
-  // Phase 1: compute query-pivot distances, accumulate lower bounds. Pivot
-  // distances stay exact: their full value feeds every candidate's lower
-  // bound, which is worth far more than an abandoned evaluation saves.
-  std::vector<double> lower(n, 0.0);
-  std::vector<bool> computed(n, false);
+  const PrototypeStore& protos = store();
+  const std::size_t n = protos.size();
+  SweepScratch& scratch = TlsSweepScratch();
+  std::vector<double>& lower = scratch.lower;
+  lower.resize(n);
+  // Length-difference bounds seed the candidate filter for free, as in the
+  // nearest-neighbour sweep.
+  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n,
+                               lower.data());
+
   std::vector<NeighborResult> hits;
   std::uint64_t computations = 0, abandons = 0;
 
+  // Phase 1: compute query-pivot distances, tighten every lower bound with
+  // the pivot's contiguous table row. Pivot distances stay exact: their
+  // full value feeds every candidate's lower bound, which is worth far more
+  // than an abandoned evaluation saves.
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
-    std::size_t s = pivots_[p];
-    double d = distance_->Distance(query, (*prototypes_)[s]);
+    const std::size_t s = pivots_[p];
+    const double d = distance_->Distance(query, protos[s]);
     ++computations;
-    computed[s] = true;
     if (d <= radius) hits.push_back({s, d});
     const double* row = &pivot_dist_[p * n];
     for (std::size_t i = 0; i < n; ++i) {
-      double g = std::abs(d - row[i]);
+      const double g = std::abs(d - row[i]);
       if (g > lower[i]) lower[i] = g;
     }
   }
-  // Phase 2: verify every surviving candidate. Hits are inclusive
-  // (d <= radius), so the kernel bound is the next representable value
-  // above the radius — an abandoned evaluation then certifies d > radius.
+  // Phase 2: verify every surviving non-pivot (pivots were computed in
+  // phase 1). Hits are inclusive (d <= radius), so the kernel bound is the
+  // next representable value above the radius — an abandoned evaluation
+  // then certifies d > radius.
   const double cap =
       std::nextafter(radius, std::numeric_limits<double>::infinity());
   for (std::size_t i = 0; i < n; ++i) {
-    if (computed[i] || lower[i] > radius) continue;
-    double d = distance_->DistanceBounded(query, (*prototypes_)[i], cap);
+    if (pivot_rank_[i] >= 0 || lower[i] > radius) continue;
+    const double d = distance_->DistanceBounded(query, protos[i], cap);
     ++computations;
     if (d >= cap) {
       ++abandons;
@@ -335,11 +283,7 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
       hits.push_back({i, d});
     }
   }
-  std::sort(hits.begin(), hits.end(),
-            [](const NeighborResult& a, const NeighborResult& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.index < b.index;
-            });
+  std::sort(hits.begin(), hits.end(), NeighborLess);
   if (stats != nullptr) {
     stats->distance_computations += computations;
     stats->bounded_abandons += abandons;
@@ -348,7 +292,7 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
 }
 
 void Laesa::Save(std::ostream& out) const {
-  out << "LAESA 1\n" << prototypes_->size() << ' ' << pivots_.size() << '\n';
+  out << "LAESA 1\n" << store().size() << ' ' << pivots_.size() << '\n';
   for (std::size_t p : pivots_) out << p << ' ';
   out << '\n';
   out.precision(17);
@@ -356,8 +300,7 @@ void Laesa::Save(std::ostream& out) const {
   out << '\n';
 }
 
-Laesa Laesa::Load(std::istream& in,
-                  const std::vector<std::string>& prototypes,
+Laesa Laesa::Load(std::istream& in, PrototypeStoreRef prototypes,
                   StringDistancePtr distance) {
   std::string magic;
   int version = 0;
@@ -366,7 +309,7 @@ Laesa Laesa::Load(std::istream& in,
   if (!in || magic != "LAESA" || version != 1) {
     throw std::runtime_error("Laesa::Load: bad header");
   }
-  if (n != prototypes.size()) {
+  if (n != prototypes->size()) {
     throw std::runtime_error("Laesa::Load: prototype count mismatch");
   }
   if (np == 0 || np > n) {

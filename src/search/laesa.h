@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <string>
 #include <string_view>
 #include <vector>
 
+#include "datasets/prototype_store.h"
 #include "distances/distance.h"
 #include "search/nn_searcher.h"
 
@@ -23,35 +23,38 @@ namespace cned {
 /// that eliminate prototypes without computing their distance; candidates
 /// are visited in increasing lower-bound order, pivots first.
 ///
+/// The hot path is a flat structure-of-arrays sweep: surviving candidates
+/// live in packed index/lower-bound arrays that one pass per visited
+/// candidate tightens (a contiguous row of the pivot table), eliminates and
+/// compacts — no per-candidate pointer chasing, no per-query allocation
+/// (thread-local scratch), and the length-difference lower bound of the
+/// distance acts as a free "zeroth pivot" over the store's flat length
+/// array before any distance is computed.
+///
 /// With a true metric the returned neighbour is exactly the nearest. The
 /// paper (and this reproduction) also runs LAESA with non-metric
 /// normalisations (d_max, d_MV, d_C,h); elimination is then heuristic, which
 /// is precisely what Table 2 quantifies.
 class Laesa final : public NearestNeighborSearcher {
  public:
-  /// Per-query cost counters (paper §4.3 reports distance computations).
-  struct QueryStats {
-    std::uint64_t distance_computations = 0;
-    /// Distance evaluations whose result reached the bound the search
-    /// passed via `DistanceBounded` (its incumbent best / radius). Kernels
-    /// with a real bounded implementation cut these short mid-DP; for a
-    /// kernel using the exact fallback the count still reflects how many
-    /// evaluations a bounded kernel *could* abandon on this workload.
-    std::uint64_t bounded_abandons = 0;
-  };
+  /// Shared per-query cost counters (see `cned::QueryStats`).
+  using QueryStats = ::cned::QueryStats;
 
   /// Builds the pivot table with greedy max-min pivots starting from
-  /// prototype `first_pivot`. Keeps a reference to `prototypes` (caller
-  /// keeps it alive). Costs ~(num_pivots+1)·N distance evaluations.
-  Laesa(const std::vector<std::string>& prototypes, StringDistancePtr distance,
+  /// prototype `first_pivot`. `prototypes` is either a borrowed
+  /// `PrototypeStore` (caller keeps it alive) or a `std::vector<std::string>`
+  /// packed once into an owned store. Costs ~(num_pivots+1)·N distance
+  /// evaluations.
+  Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
         std::size_t num_pivots, std::size_t first_pivot = 0);
 
   /// Builds with externally chosen pivot indices (ablation hook).
-  Laesa(const std::vector<std::string>& prototypes, StringDistancePtr distance,
+  Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
         std::vector<std::size_t> pivot_indices);
 
   /// Nearest prototype; accumulates counters into `stats` when non-null.
-  NeighborResult Nearest(std::string_view query, QueryStats* stats) const;
+  NeighborResult Nearest(std::string_view query,
+                         QueryStats* stats = nullptr) const override;
 
   /// Approximate variant: eliminates candidates whose lower bound exceeds
   /// best/(1+epsilon), i.e. accepts a neighbour at most (1+epsilon) times
@@ -68,35 +71,37 @@ class Laesa final : public NearestNeighborSearcher {
   NeighborResult NearestApprox(std::string_view query, double epsilon,
                                QueryStats* stats = nullptr) const;
 
-  NeighborResult Nearest(std::string_view query) const override {
-    return Nearest(query, nullptr);
-  }
-  std::size_t size() const override { return prototypes_->size(); }
+  std::size_t size() const override { return store().size(); }
 
   /// The k nearest prototypes, closest first (extension of the paper's
-  /// 1-NN LAESA: elimination prunes against the current k-th best).
-  std::vector<NeighborResult> KNearest(std::string_view query, std::size_t k,
-                                       QueryStats* stats = nullptr) const;
+  /// 1-NN LAESA: elimination prunes against the current k-th best). Shares
+  /// the sweep with `Nearest`, so k = 1 follows the identical trajectory.
+  std::vector<NeighborResult> KNearest(
+      std::string_view query, std::size_t k,
+      QueryStats* stats = nullptr) const override;
 
   /// All prototypes within `radius` of the query, ascending by distance.
-  /// Prototypes whose pivot lower bound exceeds `radius` are never touched.
+  /// Prototypes whose pivot (or length) lower bound exceeds `radius` are
+  /// never touched.
   std::vector<NeighborResult> RangeSearch(std::string_view query,
                                           double radius,
                                           QueryStats* stats = nullptr) const;
 
   /// Serialises the pivot table (not the prototypes) to a stream. Rebuild
-  /// with `Load` against the *same* prototype vector and distance — a
+  /// with `Load` against the *same* prototype set and distance — a
   /// production convenience so the O(pivots x N) preprocessing is paid once.
   void Save(std::ostream& out) const;
 
   /// Restores an index saved by `Save`. Throws std::runtime_error on
   /// malformed input or when the prototype count does not match.
-  static Laesa Load(std::istream& in,
-                    const std::vector<std::string>& prototypes,
+  static Laesa Load(std::istream& in, PrototypeStoreRef prototypes,
                     StringDistancePtr distance);
 
   std::size_t num_pivots() const { return pivots_.size(); }
   const std::vector<std::size_t>& pivots() const { return pivots_; }
+
+  /// The prototype set the index searches over.
+  const PrototypeStore& store() const { return prototypes_.get(); }
 
   /// Distance evaluations spent in preprocessing (pivot selection + table).
   std::uint64_t preprocessing_computations() const {
@@ -106,17 +111,21 @@ class Laesa final : public NearestNeighborSearcher {
  private:
   // Uninitialised shell used by Load.
   struct InternalTag {};
-  Laesa(InternalTag, const std::vector<std::string>& prototypes,
-        StringDistancePtr distance)
-      : prototypes_(&prototypes), distance_(std::move(distance)) {}
+  Laesa(InternalTag, PrototypeStoreRef prototypes, StringDistancePtr distance)
+      : prototypes_(prototypes), distance_(std::move(distance)) {}
 
   void BuildTable();
 
-  const std::vector<std::string>* prototypes_;
+  /// The unified elimination sweep behind Nearest/NearestApprox/KNearest.
+  std::vector<NeighborResult> Sweep(std::string_view query, std::size_t k,
+                                    double slack, QueryStats* stats) const;
+
+  PrototypeStoreRef prototypes_;
   StringDistancePtr distance_;
   std::vector<std::size_t> pivots_;
   std::vector<std::int32_t> pivot_rank_;  // prototype -> pivot ordinal or -1
-  // pivot_dist_[p * N + i] = d(prototypes[pivots_[p]], prototypes[i])
+  // pivot_dist_[p * N + i] = d(store()[pivots_[p]], store()[i]) — one
+  // contiguous row-major buffer; a visited pivot contributes one flat row.
   std::vector<double> pivot_dist_;
   std::uint64_t preprocessing_computations_ = 0;
 };

@@ -2,7 +2,10 @@
 #define CNED_SEARCH_NN_SEARCHER_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
 #include <string_view>
+#include <vector>
 
 namespace cned {
 
@@ -12,15 +15,61 @@ struct NeighborResult {
   double distance = 0.0;  ///< distance to the query
 };
 
+/// Per-query cost counters, shared by every index family (paper §4.3
+/// reports distance computations as the primary cost measure).
+struct QueryStats {
+  std::uint64_t distance_computations = 0;
+  /// Distance evaluations whose result reached the bound the search passed
+  /// via `DistanceBounded` (its incumbent best / radius). Kernels with a
+  /// real bounded implementation cut these short mid-DP; for a kernel using
+  /// the exact fallback the count still reflects how many evaluations a
+  /// bounded kernel *could* abandon on this workload.
+  std::uint64_t bounded_abandons = 0;
+
+  /// Merge counters from another query (batch aggregation).
+  QueryStats& operator+=(const QueryStats& other) {
+    distance_computations += other.distance_computations;
+    bounded_abandons += other.bounded_abandons;
+    return *this;
+  }
+};
+
+inline QueryStats operator+(QueryStats a, const QueryStats& b) {
+  a += b;
+  return a;
+}
+
+inline bool operator==(const QueryStats& a, const QueryStats& b) {
+  return a.distance_computations == b.distance_computations &&
+         a.bounded_abandons == b.bounded_abandons;
+}
+
 /// Common interface over nearest-neighbour searchers (exhaustive, LAESA,
-/// AESA) so classifiers and experiment harnesses are generic in the search
-/// algorithm, as in the paper's Table 2 (LAESA vs exhaustive columns).
+/// AESA, VP-tree, BK-tree) so classifiers, the batch engine and experiment
+/// harnesses are generic in the search algorithm, as in the paper's Table 2
+/// (LAESA vs exhaustive columns).
 class NearestNeighborSearcher {
  public:
   virtual ~NearestNeighborSearcher() = default;
 
-  /// The nearest prototype to `query`.
-  virtual NeighborResult Nearest(std::string_view query) const = 0;
+  /// The nearest prototype to `query`; accumulates cost counters into
+  /// `stats` when non-null. Implementations must be safe to call
+  /// concurrently from multiple threads (the batch engine relies on it).
+  virtual NeighborResult Nearest(std::string_view query,
+                                 QueryStats* stats = nullptr) const = 0;
+
+  /// The k nearest prototypes, closest first. Families without a k-NN
+  /// search (AESA, BK-tree) keep this default, which throws
+  /// std::logic_error.
+  virtual std::vector<NeighborResult> KNearest(std::string_view query,
+                                               std::size_t k,
+                                               QueryStats* stats = nullptr)
+      const {
+    (void)query;
+    (void)k;
+    (void)stats;
+    throw std::logic_error("KNearest: not supported by this index family");
+  }
 
   /// Number of prototypes indexed.
   virtual std::size_t size() const = 0;

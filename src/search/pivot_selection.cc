@@ -6,9 +6,10 @@
 
 namespace cned {
 
-std::vector<std::size_t> SelectPivotsMaxMin(
-    const std::vector<std::string>& prototypes, const StringDistance& distance,
-    std::size_t count, std::size_t first) {
+std::vector<std::size_t> SelectPivotsMaxMin(const PrototypeStore& prototypes,
+                                            const StringDistance& distance,
+                                            std::size_t count,
+                                            std::size_t first) {
   const std::size_t n = prototypes.size();
   if (count > n) {
     throw std::invalid_argument("SelectPivotsMaxMin: count > prototypes");
@@ -41,6 +42,13 @@ std::vector<std::size_t> SelectPivotsMaxMin(
     current = next;
   }
   return pivots;
+}
+
+std::vector<std::size_t> SelectPivotsMaxMin(
+    const std::vector<std::string>& prototypes, const StringDistance& distance,
+    std::size_t count, std::size_t first) {
+  return SelectPivotsMaxMin(PrototypeStore(prototypes), distance, count,
+                            first);
 }
 
 std::vector<std::size_t> SelectPivotsRandom(std::size_t n_prototypes,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "datasets/prototype_store.h"
 #include "distances/distance.h"
 
 namespace cned {
@@ -16,6 +17,12 @@ namespace cned {
 /// already-chosen pivots is largest. Returns `count` indices.
 ///
 /// Costs count * |prototypes| distance evaluations.
+std::vector<std::size_t> SelectPivotsMaxMin(const PrototypeStore& prototypes,
+                                            const StringDistance& distance,
+                                            std::size_t count,
+                                            std::size_t first = 0);
+
+/// Convenience overload: packs `prototypes` into a temporary store.
 std::vector<std::size_t> SelectPivotsMaxMin(
     const std::vector<std::string>& prototypes, const StringDistance& distance,
     std::size_t count, std::size_t first = 0);

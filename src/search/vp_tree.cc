@@ -9,9 +9,9 @@
 
 namespace cned {
 
-VpTree::VpTree(const std::vector<std::string>& prototypes,
-               StringDistancePtr distance, std::uint64_t seed)
-    : prototypes_(&prototypes), distance_(std::move(distance)) {
+VpTree::VpTree(PrototypeStoreRef prototypes, StringDistancePtr distance,
+               std::uint64_t seed)
+    : prototypes_(prototypes), distance_(std::move(distance)) {
   if (prototypes_->empty()) {
     throw std::invalid_argument("VpTree: empty prototype set");
   }
@@ -41,7 +41,7 @@ std::int32_t VpTree::Build(std::vector<std::size_t>& items, std::size_t lo,
   dists.reserve(hi - lo - 1);
   for (std::size_t i = lo + 1; i < hi; ++i) {
     dists.emplace_back(
-        distance_->Distance((*prototypes_)[vp], (*prototypes_)[items[i]]),
+        distance_->Distance(store()[vp], store()[items[i]]),
         items[i]);
     ++preprocessing_computations_;
   }
@@ -78,7 +78,7 @@ void VpTree::Search(std::int32_t node, std::string_view query,
   // best), so the only decision left — descend outside — needs no value.
   const double cap = best.distance + n.radius;
   const double d =
-      distance_->DistanceBounded(query, (*prototypes_)[n.point], cap);
+      distance_->DistanceBounded(query, store()[n.point], cap);
   ++stats.distance_computations;
   if (d >= cap) {
     ++stats.bounded_abandons;
@@ -129,7 +129,7 @@ void VpTree::SearchK(std::int32_t node, std::string_view query, std::size_t k,
                                : best.back().distance;
   const double cap = incumbent + n.radius;
   const double d =
-      distance_->DistanceBounded(query, (*prototypes_)[n.point], cap);
+      distance_->DistanceBounded(query, store()[n.point], cap);
   ++stats.distance_computations;
   if (d >= cap) {
     // As in Search: no offer possible (d >= incumbent) and the inside ball
@@ -183,7 +183,7 @@ void VpTree::SearchRange(std::int32_t node, std::string_view query,
   const double cap = std::nextafter(radius + n.radius,
                                     std::numeric_limits<double>::infinity());
   const double d =
-      distance_->DistanceBounded(query, (*prototypes_)[n.point], cap);
+      distance_->DistanceBounded(query, store()[n.point], cap);
   ++stats.distance_computations;
   if (d >= cap) {
     ++stats.bounded_abandons;

@@ -2,11 +2,10 @@
 #define CNED_SEARCH_VP_TREE_H_
 
 #include <cstdint>
-#include <memory>
-#include <string>
 #include <string_view>
 #include <vector>
 
+#include "datasets/prototype_store.h"
 #include "distances/distance.h"
 #include "search/nn_searcher.h"
 
@@ -23,30 +22,28 @@ namespace cned {
 /// Exact nearest-neighbour search when the distance is a true metric.
 class VpTree final : public NearestNeighborSearcher {
  public:
-  struct QueryStats {
-    std::uint64_t distance_computations = 0;
-    /// Evaluations whose result reached the bound passed via
-    /// `DistanceBounded` (cut short mid-DP by kernels with a real bounded
-    /// implementation; counted either way).
-    std::uint64_t bounded_abandons = 0;
-  };
+  /// Shared per-query cost counters (see `cned::QueryStats`).
+  using QueryStats = ::cned::QueryStats;
 
-  /// Builds the tree over `prototypes` (kept by reference, caller owns).
-  /// `seed` controls vantage-point sampling.
-  VpTree(const std::vector<std::string>& prototypes, StringDistancePtr distance,
+  /// Builds the tree over `prototypes` — a borrowed `PrototypeStore`
+  /// (caller keeps it alive) or a `std::vector<std::string>` packed once
+  /// into an owned store. `seed` controls vantage-point sampling.
+  VpTree(PrototypeStoreRef prototypes, StringDistancePtr distance,
          std::uint64_t seed = 1);
 
-  NeighborResult Nearest(std::string_view query, QueryStats* stats) const;
+  NeighborResult Nearest(std::string_view query,
+                         QueryStats* stats = nullptr) const override;
 
-  NeighborResult Nearest(std::string_view query) const override {
-    return Nearest(query, nullptr);
-  }
   std::size_t size() const override { return prototypes_->size(); }
+
+  /// The prototype set the index searches over.
+  const PrototypeStore& store() const { return prototypes_.get(); }
 
   /// The k nearest prototypes, closest first: the prune radius is the
   /// current k-th best distance instead of the single best.
-  std::vector<NeighborResult> KNearest(std::string_view query, std::size_t k,
-                                       QueryStats* stats = nullptr) const;
+  std::vector<NeighborResult> KNearest(
+      std::string_view query, std::size_t k,
+      QueryStats* stats = nullptr) const override;
 
   /// All prototypes within `radius`, ascending by distance.
   std::vector<NeighborResult> RangeSearch(std::string_view query,
@@ -75,7 +72,7 @@ class VpTree final : public NearestNeighborSearcher {
   void SearchRange(std::int32_t node, std::string_view query, double radius,
                    std::vector<NeighborResult>& hits, QueryStats& stats) const;
 
-  const std::vector<std::string>* prototypes_;
+  PrototypeStoreRef prototypes_;
   StringDistancePtr distance_;
   std::vector<Node> nodes_;
   std::int32_t root_ = -1;

@@ -1,0 +1,185 @@
+// Determinism contract of the BatchQueryEngine: for every registered
+// distance, batched Nearest / KNearest / Classify must return bit-identical
+// results to the sequential per-query loop, and the merged QueryStats must
+// equal the sequential sums — regardless of thread count or schedule.
+
+#include "search/batch_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/perturb.h"
+#include "datasets/prototype_store.h"
+#include "distances/registry.h"
+#include "search/aesa.h"
+#include "search/exhaustive.h"
+#include "search/knn_classifier.h"
+#include "search/laesa.h"
+
+namespace cned {
+namespace {
+
+struct Workload {
+  PrototypeStore protos;
+  PrototypeStore queries;
+};
+
+// Small sizes: the suite runs the cubic dC / dMV kernels too.
+Workload MakeWorkload(std::uint64_t seed) {
+  DictionaryOptions opt;
+  opt.word_count = 50;
+  opt.seed = seed;
+  auto strings = GenerateDictionary(opt).strings;
+  Rng rng(seed + 1);
+  auto query_strings = MakeQueries(strings, 12, 2, Alphabet::Latin(), rng);
+  return {PrototypeStore(strings), PrototypeStore(query_strings)};
+}
+
+TEST(BatchEngineTest, BitIdenticalToSequentialForEveryDistance) {
+  Workload w = MakeWorkload(4100);
+  for (const auto& name : AllDistanceNames()) {
+    auto dist = MakeDistance(name);
+    Laesa laesa(w.protos, dist, 8);
+
+    QueryStats seq_stats;
+    std::vector<NeighborResult> sequential(w.queries.size());
+    for (std::size_t i = 0; i < w.queries.size(); ++i) {
+      sequential[i] = laesa.Nearest(w.queries[i], &seq_stats);
+    }
+
+    for (std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                std::size_t{3}}) {
+      QueryStats batch_stats;
+      BatchQueryEngine engine(laesa, {threads});
+      auto batched = engine.Nearest(w.queries, &batch_stats);
+      ASSERT_EQ(batched.size(), sequential.size()) << name;
+      for (std::size_t i = 0; i < batched.size(); ++i) {
+        EXPECT_EQ(batched[i].index, sequential[i].index)
+            << name << " threads=" << threads << " q=" << i;
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(batched[i].distance, sequential[i].distance)
+            << name << " threads=" << threads << " q=" << i;
+      }
+      EXPECT_TRUE(batch_stats == seq_stats)
+          << name << " threads=" << threads << ": batched stats ("
+          << batch_stats.distance_computations << ", "
+          << batch_stats.bounded_abandons << ") != sequential ("
+          << seq_stats.distance_computations << ", "
+          << seq_stats.bounded_abandons << ")";
+    }
+  }
+}
+
+TEST(BatchEngineTest, KNearestMatchesSequential) {
+  Workload w = MakeWorkload(4200);
+  auto dist = MakeDistance("dE");
+  ExhaustiveSearch exact(w.protos, dist);
+
+  QueryStats seq_stats;
+  std::vector<std::vector<NeighborResult>> sequential(w.queries.size());
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    sequential[i] = exact.KNearest(w.queries[i], 5, &seq_stats);
+  }
+
+  QueryStats batch_stats;
+  BatchQueryEngine engine(exact);
+  auto batched = engine.KNearest(w.queries, 5, &batch_stats);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_EQ(batched[i].size(), sequential[i].size()) << i;
+    for (std::size_t j = 0; j < batched[i].size(); ++j) {
+      EXPECT_EQ(batched[i][j].index, sequential[i][j].index) << i;
+      EXPECT_EQ(batched[i][j].distance, sequential[i][j].distance) << i;
+    }
+  }
+  EXPECT_TRUE(batch_stats == seq_stats);
+}
+
+TEST(BatchEngineTest, ClassifyMatchesSequentialClassifier) {
+  DictionaryOptions opt;
+  opt.word_count = 60;
+  opt.seed = 4300;
+  auto strings = GenerateDictionary(opt).strings;
+  std::vector<int> labels(strings.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 4);
+  }
+  PrototypeStore protos(strings);
+  Rng rng(4301);
+  PrototypeStore queries(
+      MakeQueries(strings, 20, 2, Alphabet::Latin(), rng));
+
+  auto dist = MakeDistance("dYB");
+  Laesa laesa(protos, dist, 6);
+  NearestNeighborClassifier clf(laesa, labels);
+
+  std::vector<int> sequential(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    sequential[i] = clf.Classify(queries[i]);
+  }
+
+  BatchQueryEngine engine(laesa);
+  EXPECT_EQ(engine.Classify(queries, labels), sequential);
+  EXPECT_EQ(clf.ClassifyBatch(queries), sequential);
+}
+
+TEST(BatchEngineTest, KnnClassifyBatchMatchesSequential) {
+  DictionaryOptions opt;
+  opt.word_count = 40;
+  opt.seed = 4400;
+  auto strings = GenerateDictionary(opt).strings;
+  std::vector<int> labels(strings.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 3);
+  }
+  PrototypeStore protos(strings);
+  Rng rng(4401);
+  PrototypeStore queries(
+      MakeQueries(strings, 15, 2, Alphabet::Latin(), rng));
+
+  auto dist = MakeDistance("dE");
+  ExhaustiveSearch exact(protos, dist);
+  std::vector<int> sequential(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    sequential[i] = KnnClassify(exact, labels, queries[i], 3);
+  }
+  EXPECT_EQ(KnnClassifyBatch(exact, labels, queries, 3), sequential);
+}
+
+TEST(BatchEngineTest, KNearestThrowsForUnsupportedBackend) {
+  std::vector<std::string> strings{"aa", "bb", "cc"};
+  Aesa aesa(strings, MakeDistance("dE"));
+  BatchQueryEngine engine(aesa);
+  // More than one query: the unsupported-backend error must surface as a
+  // catchable exception on the calling thread, not a throw inside a
+  // ParallelFor worker (which would terminate the process).
+  PrototypeStore queries(std::vector<std::string>{"ab", "bc", "ca"});
+  EXPECT_THROW(engine.KNearest(queries, 2), std::logic_error);
+}
+
+TEST(BatchEngineTest, KnnClassifyRejectsZeroK) {
+  std::vector<std::string> strings{"aa", "bb"};
+  std::vector<int> labels{0, 1};
+  ExhaustiveSearch exact(strings, MakeDistance("dE"));
+  PrototypeStore queries(std::vector<std::string>{"ab"});
+  EXPECT_THROW(KnnClassify(exact, labels, "ab", 0), std::invalid_argument);
+  EXPECT_THROW(KnnClassifyBatch(exact, labels, queries, 0),
+               std::invalid_argument);
+}
+
+TEST(BatchEngineTest, EmptyQuerySpan) {
+  std::vector<std::string> strings{"aa", "bb"};
+  ExhaustiveSearch exact(strings, MakeDistance("dE"));
+  BatchQueryEngine engine(exact);
+  PrototypeStore empty;
+  QueryStats stats;
+  EXPECT_TRUE(engine.Nearest(empty, &stats).empty());
+  EXPECT_EQ(stats.distance_computations, 0u);
+}
+
+}  // namespace
+}  // namespace cned

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "distances/registry.h"
+#include "search/exhaustive.h"
 #include "search/laesa.h"
 
 namespace cned {
@@ -55,7 +56,8 @@ TEST(KnnClassifierTest, ErrorRateSizeMismatchThrows) {
   auto [protos, labels] = TwoClasses();
   ExhaustiveSearch search(protos, MakeDistance("dE"));
   NearestNeighborClassifier clf(search, labels);
-  EXPECT_THROW(clf.ErrorRatePercent({"a"}, {0, 1}), std::invalid_argument);
+  std::vector<std::string> queries{"a"};
+  EXPECT_THROW(clf.ErrorRatePercent(queries, {0, 1}), std::invalid_argument);
 }
 
 TEST(KnnClassifyTest, MajorityVote) {

@@ -149,5 +149,19 @@ TEST(LaesaTest, NonMetricHeuristicStillFindsGoodNeighbours) {
   EXPECT_GE(agree, 38);  // allow a rare miss
 }
 
+TEST(LaesaTest, DuplicatePivotIndicesAreHandled) {
+  // The ablation constructor (and Load) accept duplicate pivot indices;
+  // the sweep must count the *distinct* pivot candidates or its
+  // pivots-first selection walks off the packed arrays.
+  std::vector<std::string> protos{"aa", "ab", "zz", "zy", "mn"};
+  auto dist = MakeDistance("dE");
+  Laesa laesa(protos, dist, std::vector<std::size_t>{0, 0, 2});
+  ExhaustiveSearch exact(protos, dist);
+  for (const char* q : {"aa", "zz", "mn", "qq", "az"}) {
+    EXPECT_DOUBLE_EQ(laesa.Nearest(q).distance, exact.Nearest(q).distance)
+        << q;
+  }
+}
+
 }  // namespace
 }  // namespace cned
