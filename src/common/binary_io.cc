@@ -1,0 +1,126 @@
+#include "common/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace cned {
+namespace {
+
+constexpr char kZeros[kBinaryAlignment] = {};
+
+std::string Describe(const std::string& path, const char* what) {
+  return "binary_io: " + std::string(what) + " (" + path + ")";
+}
+
+}  // namespace
+
+struct BinaryWriter::Impl {
+  std::ofstream out;
+};
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : impl_(new Impl), path_(path) {
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    delete impl_;
+    impl_ = nullptr;
+    throw std::runtime_error(Describe(path, "cannot open for writing"));
+  }
+}
+
+BinaryWriter::~BinaryWriter() { delete impl_; }
+
+void BinaryWriter::Header(const char magic[8], std::uint32_t version,
+                          const std::uint64_t* counts, std::size_t count_n) {
+  if (count_n > kBinaryHeaderCounts) {
+    throw std::invalid_argument(Describe(path_, "too many header counts"));
+  }
+  char header[kBinaryAlignment] = {};
+  std::memcpy(header, magic, 8);
+  std::memcpy(header + 8, &version, sizeof(version));
+  std::memcpy(header + 16, counts, count_n * sizeof(std::uint64_t));
+  Raw(header, sizeof(header));
+}
+
+void BinaryWriter::Raw(const void* data, std::size_t bytes) {
+  impl_->out.write(static_cast<const char*>(data),
+                   static_cast<std::streamsize>(bytes));
+  if (!impl_->out) throw std::runtime_error(Describe(path_, "write failed"));
+  offset_ += bytes;
+}
+
+void BinaryWriter::Align() {
+  const std::size_t rem = offset_ % kBinaryAlignment;
+  if (rem != 0) Raw(kZeros, kBinaryAlignment - rem);
+}
+
+void BinaryWriter::Finish() {
+  impl_->out.flush();
+  impl_->out.close();
+  if (impl_->out.fail()) {
+    throw std::runtime_error(Describe(path_, "flush/close failed"));
+  }
+}
+
+BinaryReader::BinaryReader(const std::string& path) : path_(path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error(Describe(path, "cannot open for reading"));
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  buffer_.resize(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(buffer_.data(), size);
+    if (!in) throw std::runtime_error(Describe(path, "read failed"));
+  }
+}
+
+std::vector<std::uint64_t> BinaryReader::Header(
+    const char magic[8], std::uint32_t expected_version) {
+  char header[kBinaryAlignment];
+  Raw(header, sizeof(header));
+  if (std::memcmp(header, magic, 8) != 0) {
+    throw std::runtime_error(
+        Describe(path_, "bad magic (not a file of this type)"));
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, header + 8, sizeof(version));
+  if (version != expected_version) {
+    throw std::runtime_error(
+        "binary_io: format version mismatch: file has version " +
+        std::to_string(version) + ", this build reads version " +
+        std::to_string(expected_version) + " (" + path_ + ")");
+  }
+  std::vector<std::uint64_t> counts(kBinaryHeaderCounts);
+  std::memcpy(counts.data(), header + 16,
+              kBinaryHeaderCounts * sizeof(std::uint64_t));
+  return counts;
+}
+
+void BinaryReader::RequireArray(std::uint64_t count,
+                                std::size_t elem_size) const {
+  if (elem_size != 0 && count > remaining() / elem_size) {
+    throw std::runtime_error(Describe(path_, "truncated file"));
+  }
+}
+
+void BinaryReader::Raw(void* out, std::size_t bytes) {
+  if (bytes > remaining()) {
+    throw std::runtime_error(Describe(path_, "truncated file"));
+  }
+  std::memcpy(out, buffer_.data() + offset_, bytes);
+  offset_ += bytes;
+}
+
+void BinaryReader::Align() {
+  const std::size_t rem = offset_ % kBinaryAlignment;
+  if (rem != 0) {
+    const std::size_t pad = kBinaryAlignment - rem;
+    if (pad > remaining()) {
+      throw std::runtime_error(Describe(path_, "truncated file"));
+    }
+    offset_ += pad;
+  }
+}
+
+}  // namespace cned

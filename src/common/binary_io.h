@@ -1,0 +1,94 @@
+#ifndef CNED_COMMON_BINARY_IO_H_
+#define CNED_COMMON_BINARY_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cned {
+
+/// Shared on-disk format conventions for the index/store serializers.
+///
+/// Every serialized object starts with a 64-byte header:
+///   bytes  0..7   magic (8 ASCII chars identifying the payload type)
+///   bytes  8..11  format version (uint32, little-endian)
+///   bytes 12..15  reserved (zero)
+///   bytes 16..63  up to six uint64 payload counts (type-specific)
+/// followed by raw array sections, each aligned to a 64-byte boundary with
+/// zero padding. Integers and doubles are stored in native (little-endian)
+/// byte order; the format targets same-architecture serving processes, and
+/// the alignment means such a process can mmap the file and point packed
+/// arrays straight into it (the convention of usearch-style index files).
+inline constexpr std::size_t kBinaryAlignment = 64;
+inline constexpr std::size_t kBinaryHeaderCounts = 6;
+
+/// Streaming writer with 64-byte section alignment. All methods throw
+/// std::runtime_error on I/O failure.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  /// Writes the standard 64-byte header.
+  void Header(const char magic[8], std::uint32_t version,
+              const std::uint64_t* counts, std::size_t count_n);
+
+  /// Writes `bytes` raw bytes.
+  void Raw(const void* data, std::size_t bytes);
+
+  /// Zero-pads to the next 64-byte boundary (call before each section).
+  void Align();
+
+  /// Flushes and closes; throws if any write failed. The destructor closes
+  /// silently — call Finish() on the success path.
+  void Finish();
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t offset_ = 0;
+  std::string path_;
+};
+
+/// Whole-file reader with the matching alignment/validation rules. Loads
+/// the file into memory once; sections are then validated, bounds-checked
+/// views. Throws std::runtime_error on truncated or malformed input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  /// Validates the 64-byte header: magic must match, version must equal
+  /// `expected_version` (mismatch message names both). Returns the payload
+  /// counts.
+  std::vector<std::uint64_t> Header(const char magic[8],
+                                    std::uint32_t expected_version);
+
+  /// Copies `bytes` raw bytes into `out`; throws when fewer remain.
+  void Raw(void* out, std::size_t bytes);
+
+  /// Validates that an array section of `count` elements of `elem_size`
+  /// bytes can still fit in the unread tail, *before* the caller allocates
+  /// for it — untrusted header counts must never size an allocation
+  /// directly. Overflow-safe; throws the same truncation error as `Raw`.
+  void RequireArray(std::uint64_t count, std::size_t elem_size) const;
+
+  /// Skips the zero padding to the next 64-byte boundary.
+  void Align();
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return buffer_.size() - offset_; }
+
+ private:
+  std::vector<char> buffer_;
+  std::size_t offset_ = 0;
+  std::string path_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_BINARY_IO_H_

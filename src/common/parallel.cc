@@ -5,9 +5,19 @@
 
 namespace cned {
 
+namespace {
+// True on threads spawned by an enclosing ParallelFor — nested calls then
+// run inline rather than oversubscribing with threads-of-threads.
+thread_local bool g_in_parallel_worker = false;
+}  // namespace
+
 void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
                  std::size_t threads) {
   if (n == 0) return;
+  if (g_in_parallel_worker) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -21,6 +31,7 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
+      g_in_parallel_worker = true;
       for (;;) {
         std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;

@@ -13,6 +13,12 @@ namespace cned {
 /// `body` must be safe to call concurrently for distinct i. Blocks until
 /// all iterations finish. Exceptions escaping `body` terminate the process
 /// (as with raw std::thread) — keep bodies noexcept in practice.
+///
+/// Reentrant calls run inline: a body that itself calls ParallelFor (the
+/// batch engine fanning out queries whose sharded searcher fans out over
+/// shards) executes the nested loop serially on the worker thread instead
+/// of spawning threads-of-threads. Results are identical either way; only
+/// the top-level loop multiplies across cores.
 void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
                  std::size_t threads = 0);
 

@@ -36,4 +36,65 @@ std::vector<std::string> PrototypeStore::ToStrings() const {
   return out;
 }
 
+namespace {
+constexpr char kStoreMagic[8] = {'C', 'N', 'E', 'D', 'P', 'S', 'T', '1'};
+constexpr std::uint32_t kStoreVersion = 1;
+}  // namespace
+
+void PrototypeStore::SaveBinary(BinaryWriter& writer) const {
+  const std::uint64_t counts[2] = {size(), arena_.size()};
+  writer.Align();
+  writer.Header(kStoreMagic, kStoreVersion, counts, 2);
+  writer.Align();
+  writer.Raw(offsets_.data(), offsets_.size() * sizeof(std::uint32_t));
+  writer.Align();
+  writer.Raw(lengths_.data(), lengths_.size() * sizeof(std::uint32_t));
+  writer.Align();
+  writer.Raw(arena_.data(), arena_.size());
+}
+
+void PrototypeStore::SaveBinary(const std::string& path) const {
+  BinaryWriter writer(path);
+  SaveBinary(writer);
+  writer.Finish();
+}
+
+PrototypeStore PrototypeStore::LoadBinary(BinaryReader& reader) {
+  reader.Align();
+  const auto counts = reader.Header(kStoreMagic, kStoreVersion);
+  const std::uint64_t n = counts[0];
+  const std::uint64_t arena_bytes = counts[1];
+  if (arena_bytes > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error(
+        "PrototypeStore::LoadBinary: arena exceeds 32-bit offset range");
+  }
+  // Header counts are untrusted until checked against the unread tail —
+  // a corrupt count must fail as "truncated", not as a huge allocation.
+  reader.RequireArray(n, 2 * sizeof(std::uint32_t));
+  reader.RequireArray(arena_bytes, 1);
+  PrototypeStore store;
+  store.offsets_.resize(n);
+  store.lengths_.resize(n);
+  store.arena_.resize(arena_bytes);
+  reader.Align();
+  reader.Raw(store.offsets_.data(), n * sizeof(std::uint32_t));
+  reader.Align();
+  reader.Raw(store.lengths_.data(), n * sizeof(std::uint32_t));
+  reader.Align();
+  reader.Raw(store.arena_.data(), arena_bytes);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (static_cast<std::uint64_t>(store.offsets_[i]) + store.lengths_[i] >
+        arena_bytes) {
+      throw std::runtime_error(
+          "PrototypeStore::LoadBinary: string section out of arena bounds");
+    }
+  }
+  return store;
+}
+
+PrototypeStore PrototypeStore::LoadBinary(const std::string& path) {
+  BinaryReader reader(path);
+  return LoadBinary(reader);
+}
+
 }  // namespace cned

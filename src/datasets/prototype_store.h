@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/binary_io.h"
+
 namespace cned {
 
 /// Flat, cache-friendly storage for a prototype (or query) set.
@@ -62,6 +64,21 @@ class PrototypeStore {
 
   /// Materialises owning strings (convenience for tests and tooling).
   std::vector<std::string> ToStrings() const;
+
+  /// Writes the store to `path` in the shared binary format (versioned
+  /// 64-byte header, then offset/length/arena sections each 64-byte
+  /// aligned — see common/binary_io.h). A serving process can mmap the file
+  /// and use the sections in place.
+  void SaveBinary(const std::string& path) const;
+
+  /// Reads a store written by `SaveBinary`. Throws std::runtime_error on
+  /// bad magic, version mismatch, truncation or inconsistent sections.
+  static PrototypeStore LoadBinary(const std::string& path);
+
+  /// Stream forms used to embed a store section inside a larger file
+  /// (the sharded store serializer).
+  void SaveBinary(BinaryWriter& writer) const;
+  static PrototypeStore LoadBinary(BinaryReader& reader);
 
  private:
   std::vector<char> arena_;

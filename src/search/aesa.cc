@@ -29,9 +29,15 @@ Aesa::Aesa(PrototypeStoreRef prototypes, StringDistancePtr distance)
   preprocessing_computations_ += static_cast<std::uint64_t>(n) * (n - 1) / 2;
 }
 
-NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
+// Shared sweep behind Nearest (k = 1) and KNearest: a candidate whose lower
+// bound reaches the k-th incumbent cannot strictly improve on it and is
+// eliminated; the same k-th incumbent caps every kernel evaluation.
+std::vector<NeighborResult> Aesa::Sweep(std::string_view query, std::size_t k,
+                                        QueryStats* stats) const {
   const PrototypeStore& protos = store();
   const std::size_t n = protos.size();
+  k = std::min(k, n);
+  if (k == 0) return {};
   // Length-difference lower bounds seed the elimination for free, as in
   // LAESA's "zeroth pivot": one flat pass over the packed length array.
   std::vector<double> lower(n);
@@ -40,7 +46,10 @@ NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
   std::vector<bool> alive(n, true);
   std::size_t alive_count = n;
 
-  NeighborResult best{0, std::numeric_limits<double>::infinity()};
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<NeighborResult> best;
+  best.reserve(k + 1);
+  auto kth = [&]() { return best.size() < k ? inf : best.back().distance; };
   std::uint64_t computations = 0, abandons = 0;
 
   std::size_t s = 0;
@@ -48,24 +57,28 @@ NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
     alive[s] = false;
     --alive_count;
 
-    // The incumbent best is the kernel bound: only a strict improvement is
+    // The k-th incumbent is the kernel bound: only a strict improvement is
     // ever used, so an evaluation that provably reaches it may stop early.
     // An abandoned evaluation still certifies d(q, s) >= cap, giving the
     // one-sided lower bound d(q, i) >= cap - d(s, i) for every survivor.
-    const double cap = best.distance;
+    const double cap = kth();
     double d = distance_->DistanceBounded(query, protos[s], cap);
     ++computations;
     const bool abandoned = d >= cap;
-    if (abandoned) ++abandons;
-    if (d < best.distance) best = {s, d};
+    if (abandoned) {
+      ++abandons;
+    } else {
+      InsertNeighborTopK(best, k, {s, d});
+    }
 
+    const double bound = kth();
     std::size_t next = n;
-    double next_key = std::numeric_limits<double>::infinity();
+    double next_key = inf;
     for (std::size_t i = 0; i < n; ++i) {
       if (!alive[i]) continue;
       double g = abandoned ? cap - Dist(s, i) : std::abs(d - Dist(s, i));
       if (g > lower[i]) lower[i] = g;
-      if (lower[i] >= best.distance) {
+      if (lower[i] >= bound) {
         alive[i] = false;
         --alive_count;
         continue;
@@ -84,6 +97,16 @@ NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
     stats->bounded_abandons += abandons;
   }
   return best;
+}
+
+NeighborResult Aesa::Nearest(std::string_view query, QueryStats* stats) const {
+  return Sweep(query, 1, stats).front();
+}
+
+std::vector<NeighborResult> Aesa::KNearest(std::string_view query,
+                                           std::size_t k,
+                                           QueryStats* stats) const {
+  return Sweep(query, k, stats);
 }
 
 }  // namespace cned

@@ -32,6 +32,14 @@ class Aesa final : public NearestNeighborSearcher {
   NeighborResult Nearest(std::string_view query,
                          QueryStats* stats = nullptr) const override;
 
+  /// The k nearest prototypes, closest first (elimination prunes against
+  /// the current k-th best; abandoned evaluations still tighten every
+  /// survivor one-sidedly). k = 1 follows the identical trajectory to
+  /// `Nearest`, which shares this sweep.
+  std::vector<NeighborResult> KNearest(
+      std::string_view query, std::size_t k,
+      QueryStats* stats = nullptr) const override;
+
   std::size_t size() const override { return prototypes_->size(); }
 
   /// The prototype set the index searches over.
@@ -45,6 +53,10 @@ class Aesa final : public NearestNeighborSearcher {
   double Dist(std::size_t i, std::size_t j) const {
     return matrix_[i * prototypes_->size() + j];
   }
+
+  /// The unified elimination sweep behind Nearest/KNearest.
+  std::vector<NeighborResult> Sweep(std::string_view query, std::size_t k,
+                                    QueryStats* stats) const;
 
   PrototypeStoreRef prototypes_;
   StringDistancePtr distance_;

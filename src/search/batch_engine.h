@@ -22,11 +22,31 @@ namespace cned {
 /// exactly one task, so the returned neighbours are bit-identical to the
 /// sequential per-query loop, and the merged `QueryStats` equal the
 /// sequential sums regardless of thread schedule.
+///
+/// With `Options::pivot_stage` set and a LAESA-family searcher (one
+/// implementing `PivotStageSearcher`), execution becomes a two-stage
+/// pipeline instead:
+///   1. a blocked query x pivot distance pass shared across the whole
+///      batch — pivots iterate in the outer loop of each query block, so
+///      every pivot string is streamed once per block while it is hot in
+///      cache, and duplicate query strings are evaluated once for the
+///      whole batch (popular queries are free after the first);
+///   2. per-query elimination sweeps consuming the precomputed rows
+///      (`NearestWithPivotRow` / `KNearestWithPivotRow`), fanned out as
+///      above.
+/// Results are bit-identical to the sequential per-query two-stage loop
+/// (`ComputePivotRow` + `*WithPivotRow`), and the merged stats equal that
+/// loop's sums minus the deduplicated pivot rows. Searchers without a
+/// pivot stage fall back to the plain per-query path.
 class BatchQueryEngine {
  public:
   struct Options {
     /// Worker threads; 0 means hardware concurrency.
     std::size_t threads = 0;
+    /// Run the two-stage pivot pipeline when the searcher supports it.
+    bool pivot_stage = false;
+    /// Queries per block of the stage-1 pass (cache-tile height).
+    std::size_t pivot_block = 32;
   };
 
   /// Borrows `searcher` (caller keeps it alive).
@@ -40,9 +60,19 @@ class BatchQueryEngine {
   std::vector<NeighborResult> Nearest(PrototypeStoreRef queries,
                                       QueryStats* stats = nullptr) const;
 
+  /// Sharded-searcher variant: additionally accumulates each visited
+  /// candidate's evaluation onto its home shard. `shard_stats` is resized
+  /// to the searcher's shard count; requires a searcher implementing
+  /// `ShardStatsSearcher` (throws std::invalid_argument otherwise).
+  /// Stage-1 pivot evaluations of the pivot pipeline are global, not
+  /// per-shard — they appear only in the merged `stats`.
+  std::vector<NeighborResult> Nearest(PrototypeStoreRef queries,
+                                      QueryStats* stats,
+                                      std::vector<QueryStats>* shard_stats)
+      const;
+
   /// k nearest prototypes for every query, each closest first. Requires a
-  /// searcher family with a k-NN search (LAESA, VP-tree, exhaustive);
-  /// others throw std::logic_error.
+  /// searcher family with a k-NN search; others throw std::logic_error.
   std::vector<std::vector<NeighborResult>> KNearest(
       PrototypeStoreRef queries, std::size_t k,
       QueryStats* stats = nullptr) const;
@@ -56,6 +86,15 @@ class BatchQueryEngine {
   const NearestNeighborSearcher& searcher() const { return *searcher_; }
 
  private:
+  /// Stage 1 of the pivot pipeline: the deduplicated, blocked query x pivot
+  /// pass. Fills `row_of[i]` with query i's row ordinal and returns the
+  /// row-major unique-query x pivot matrix; counts the evaluations into
+  /// `stats`.
+  std::vector<double> PivotStagePass(const class PivotStageSearcher& ps,
+                                     const PrototypeStore& queries,
+                                     std::vector<std::size_t>* row_of,
+                                     QueryStats* stats) const;
+
   const NearestNeighborSearcher* searcher_;
   Options options_;
 };

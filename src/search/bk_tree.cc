@@ -1,5 +1,6 @@
 #include "search/bk_tree.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -91,6 +92,59 @@ NeighborResult BkTree::Nearest(std::string_view query,
     // Only edges labelled within [d - r, d + r] can contain improvements.
     const std::size_t lo = d > r ? d - r : 0;
     const std::size_t hi = d + r;
+    for (auto it = node.children.lower_bound(lo);
+         it != node.children.end() && it->first <= hi; ++it) {
+      stack.push_back(it->second);
+    }
+  }
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
+  return best;
+}
+
+std::vector<NeighborResult> BkTree::KNearest(std::string_view query,
+                                             std::size_t k,
+                                             QueryStats* stats) const {
+  k = std::min(k, size());
+  if (k == 0) return {};
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<NeighborResult> best;
+  best.reserve(k + 1);
+  auto kth = [&]() { return best.size() < k ? inf : best.back().distance; };
+  std::uint64_t computations = 0, abandons = 0;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    // As in Nearest, with the k-th incumbent as the radius: the kernel may
+    // stop once d can neither improve the k-th best nor reach any child
+    // edge window [e - r, e + r]. Until k incumbents exist the radius is
+    // unbounded, so every node is evaluated exactly and every child kept.
+    double cap = kth();
+    if (!node.children.empty() && cap != inf) {
+      const double max_edge =
+          static_cast<double>(node.children.rbegin()->first);
+      cap = std::max(cap, max_edge + cap + 1.0);
+    }
+    bool abandoned = false;
+    std::size_t d = BoundedIntDistance(query, store()[node.point], cap,
+                                       &abandoned);
+    ++computations;
+    if (abandoned) {
+      ++abandons;
+      continue;  // cannot improve and every child edge is out of range
+    }
+    InsertNeighborTopK(best, k, {node.point, static_cast<double>(d)});
+    if (kth() == inf) {
+      for (const auto& [edge, child] : node.children) stack.push_back(child);
+      continue;
+    }
+    const auto radius = static_cast<std::size_t>(kth());
+    // Only edges labelled within [d - r, d + r] can contain improvements.
+    const std::size_t lo = d > radius ? d - radius : 0;
+    const std::size_t hi = d + radius;
     for (auto it = node.children.lower_bound(lo);
          it != node.children.end() && it->first <= hi; ++it) {
       stack.push_back(it->second);

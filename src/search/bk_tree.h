@@ -37,6 +37,13 @@ class BkTree final : public NearestNeighborSearcher {
   NeighborResult Nearest(std::string_view query,
                          QueryStats* stats = nullptr) const override;
 
+  /// The k nearest prototypes, closest first: the descent radius is the
+  /// current k-th best distance instead of the single best, so the batch
+  /// engine's k-NN entry point works on this family too.
+  std::vector<NeighborResult> KNearest(
+      std::string_view query, std::size_t k,
+      QueryStats* stats = nullptr) const override;
+
   std::size_t size() const override { return prototypes_->size(); }
 
   /// The prototype set the index searches over.

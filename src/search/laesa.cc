@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/binary_io.h"
 #include "common/parallel.h"
 #include "search/pivot_selection.h"
 
@@ -29,11 +30,6 @@ SweepScratch& TlsSweepScratch() {
 }
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-
-bool NeighborLess(const NeighborResult& a, const NeighborResult& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.index < b.index;
-}
 
 }  // namespace
 
@@ -136,7 +132,7 @@ std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
   const double inf = std::numeric_limits<double>::infinity();
   auto kth = [&]() { return best.size() < k ? inf : best.back().distance; };
 
-  std::uint64_t computations = 0, abandons = 0;
+  std::uint64_t computations = 0, abandons = 0, pivot_computations = 0;
 
   std::size_t s = pivots_[0];  // start from the first base prototype
   while (live > 0) {
@@ -151,13 +147,11 @@ std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
     const double cap = s_is_pivot ? inf : kth();
     const double d = distance_->DistanceBounded(query, protos[s], cap);
     ++computations;
+    pivot_computations += s_is_pivot ? 1 : 0;
     if (d >= cap) {
       ++abandons;
-    } else if (best.size() < k || d < best.back().distance) {
-      NeighborResult r{s, d};
-      best.insert(std::lower_bound(best.begin(), best.end(), r, NeighborLess),
-                  r);
-      if (best.size() > k) best.pop_back();
+    } else {
+      InsertNeighborTopK(best, k, {s, d});
     }
 
     // One flat pass over the packed arrays: tighten with the visited
@@ -213,8 +207,141 @@ std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
   if (stats != nullptr) {
     stats->distance_computations += computations;
     stats->bounded_abandons += abandons;
+    stats->pivot_computations += pivot_computations;
   }
   return best;
+}
+
+// The batched counterpart of `Sweep`: the caller already paid for every
+// query-pivot distance (they are shared across the batch), so all pivot
+// rows are applied before any elimination — the tightest pivot-based lower
+// bounds the table can give — and only the surviving non-pivots are then
+// visited adaptively. Same elimination semantics as `Sweep` (a candidate
+// that can at most tie the k-th incumbent is dead), different trajectory:
+// see pivot_stage.h.
+std::vector<NeighborResult> Laesa::SweepWithRow(std::string_view query,
+                                                std::size_t k,
+                                                const double* row,
+                                                QueryStats* stats) const {
+  const PrototypeStore& protos = store();
+  const std::size_t n = protos.size();
+  k = std::min(k, n);
+  if (k == 0) return {};
+
+  SweepScratch& scratch = TlsSweepScratch();
+  std::vector<std::uint32_t>& idx = scratch.idx;
+  std::vector<double>& lower = scratch.lower;
+  idx.resize(n);
+  lower.resize(n);
+
+  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n,
+                               lower.data());
+
+  // Seed the incumbents with every pivot distance (each live pivot once —
+  // the ablation constructor and Load accept duplicate pivot entries).
+  // These evaluations are already paid for, so ties admit the lower index.
+  std::vector<NeighborResult> best;
+  best.reserve(k + 1);
+  const double inf = std::numeric_limits<double>::infinity();
+  auto kth = [&]() { return best.size() < k ? inf : best.back().distance; };
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    if (pivot_rank_[pivots_[p]] != static_cast<std::int32_t>(p)) continue;
+    InsertNeighborTopK(best, k, {pivots_[p], row[p]}, /*admit_ties=*/true);
+  }
+
+  // Tighten every lower bound with every pivot row (no elimination yet:
+  // each row pass stays a flat streamed max), then eliminate against the
+  // fully seeded k-th incumbent, compact the surviving non-pivots and pick
+  // the first minimal-bound survivor in the same pass.
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    const double d = row[p];
+    const double* trow = &pivot_dist_[p * n];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = std::abs(d - trow[i]);
+      if (g > lower[i]) lower[i] = g;
+    }
+  }
+  const double seed_bound = kth();
+  std::size_t live = 0;
+  std::size_t s = kNone;
+  double s_key = inf;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pivot_rank_[i] >= 0) continue;  // already evaluated by the stage
+    if (lower[i] >= seed_bound) continue;
+    idx[live] = static_cast<std::uint32_t>(i);
+    lower[live] = lower[i];
+    ++live;
+    if (lower[live - 1] < s_key) {
+      s_key = lower[live - 1];
+      s = i;
+    }
+  }
+
+  std::uint64_t computations = 0, abandons = 0;
+
+  // Adaptive non-pivot phase, identical in structure to `Sweep`'s loop with
+  // no table row left to apply: visit the minimal-lower-bound survivor,
+  // then one pass that re-eliminates against the improved incumbent,
+  // compacts and picks the next visit.
+  while (live > 0 && s != kNone) {
+    const double cap = kth();
+    const double d = distance_->DistanceBounded(query, protos[s], cap);
+    ++computations;
+    if (d >= cap) {
+      ++abandons;
+    } else {
+      InsertNeighborTopK(best, k, {s, d});
+    }
+    const double bound = kth();
+    std::size_t write = 0;
+    std::size_t next = kNone;
+    double next_key = inf;
+    for (std::size_t r = 0; r < live; ++r) {
+      const std::uint32_t u = idx[r];
+      if (u == s) continue;
+      const double lb = lower[r];
+      if (lb >= bound) continue;
+      idx[write] = u;
+      lower[write] = lb;
+      ++write;
+      if (lb < next_key) {
+        next_key = lb;
+        next = u;
+      }
+    }
+    live = write;
+    s = next;
+  }
+
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
+  return best;
+}
+
+void Laesa::ComputePivotRow(std::string_view query, double* row,
+                            QueryStats* stats) const {
+  const PrototypeStore& protos = store();
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    row[p] = distance_->Distance(query, protos[pivots_[p]]);
+  }
+  if (stats != nullptr) {
+    stats->distance_computations += pivots_.size();
+    stats->pivot_computations += pivots_.size();
+  }
+}
+
+NeighborResult Laesa::NearestWithPivotRow(std::string_view query,
+                                          const double* row,
+                                          QueryStats* stats) const {
+  return SweepWithRow(query, 1, row, stats).front();
+}
+
+std::vector<NeighborResult> Laesa::KNearestWithPivotRow(
+    std::string_view query, std::size_t k, const double* row,
+    QueryStats* stats) const {
+  return SweepWithRow(query, k, row, stats);
 }
 
 NeighborResult Laesa::Nearest(std::string_view query,
@@ -287,6 +414,7 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
   if (stats != nullptr) {
     stats->distance_computations += computations;
     stats->bounded_abandons += abandons;
+    stats->pivot_computations += pivots_.size();
   }
   return hits;
 }
@@ -330,6 +458,55 @@ Laesa Laesa::Load(std::istream& in, PrototypeStoreRef prototypes,
     in >> d;
     if (!in) throw std::runtime_error("Laesa::Load: truncated table");
   }
+  return index;
+}
+
+namespace {
+constexpr char kLaesaMagic[8] = {'C', 'N', 'E', 'D', 'L', 'S', 'A', '1'};
+constexpr std::uint32_t kLaesaVersion = 1;
+}  // namespace
+
+void Laesa::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  const std::uint64_t counts[2] = {store().size(), pivots_.size()};
+  writer.Header(kLaesaMagic, kLaesaVersion, counts, 2);
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                "64-bit pivot indices expected");
+  writer.Align();
+  writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
+  writer.Align();
+  writer.Raw(pivot_dist_.data(), pivot_dist_.size() * sizeof(double));
+  writer.Finish();
+}
+
+Laesa Laesa::Load(const std::string& path, PrototypeStoreRef prototypes,
+                  StringDistancePtr distance) {
+  BinaryReader reader(path);
+  const auto counts = reader.Header(kLaesaMagic, kLaesaVersion);
+  const std::uint64_t n = counts[0];
+  const std::uint64_t np = counts[1];
+  if (n != prototypes->size()) {
+    throw std::runtime_error("Laesa::Load: prototype count mismatch");
+  }
+  if (np == 0 || np > n) {
+    throw std::runtime_error("Laesa::Load: bad pivot count");
+  }
+  Laesa index(InternalTag{}, prototypes, std::move(distance));
+  reader.RequireArray(np, sizeof(std::uint64_t));
+  index.pivots_.resize(np);
+  reader.Align();
+  reader.Raw(index.pivots_.data(), np * sizeof(std::uint64_t));
+  index.pivot_rank_.assign(n, -1);
+  for (std::size_t p = 0; p < np; ++p) {
+    if (index.pivots_[p] >= n) {
+      throw std::runtime_error("Laesa::Load: pivot index out of range");
+    }
+    index.pivot_rank_[index.pivots_[p]] = static_cast<std::int32_t>(p);
+  }
+  reader.RequireArray(np * n, sizeof(double));
+  index.pivot_dist_.resize(np * n);
+  reader.Align();
+  reader.Raw(index.pivot_dist_.data(), np * n * sizeof(double));
   return index;
 }
 

@@ -9,6 +9,7 @@
 #include "datasets/prototype_store.h"
 #include "distances/distance.h"
 #include "search/nn_searcher.h"
+#include "search/pivot_stage.h"
 
 namespace cned {
 
@@ -35,7 +36,7 @@ namespace cned {
 /// paper (and this reproduction) also runs LAESA with non-metric
 /// normalisations (d_max, d_MV, d_C,h); elimination is then heuristic, which
 /// is precisely what Table 2 quantifies.
-class Laesa final : public NearestNeighborSearcher {
+class Laesa final : public NearestNeighborSearcher, public PivotStageSearcher {
  public:
   /// Shared per-query cost counters (see `cned::QueryStats`).
   using QueryStats = ::cned::QueryStats;
@@ -97,6 +98,29 @@ class Laesa final : public NearestNeighborSearcher {
   static Laesa Load(std::istream& in, PrototypeStoreRef prototypes,
                     StringDistancePtr distance);
 
+  /// Binary form of Save/Load: versioned 64-byte header, then the pivot
+  /// index and pivot-table sections each 64-byte aligned (the mmap-ready
+  /// format of common/binary_io.h). Pair with `PrototypeStore::SaveBinary`
+  /// for a complete serving snapshot.
+  void Save(const std::string& path) const;
+  static Laesa Load(const std::string& path, PrototypeStoreRef prototypes,
+                    StringDistancePtr distance);
+
+  // PivotStageSearcher: the batched pivot stage of the query engine.
+  std::size_t pivot_count() const override { return pivots_.size(); }
+  std::string_view PivotString(std::size_t p) const override {
+    return store()[pivots_[p]];
+  }
+  const StringDistance& pivot_distance() const override { return *distance_; }
+  void ComputePivotRow(std::string_view query, double* row,
+                       QueryStats* stats = nullptr) const override;
+  NeighborResult NearestWithPivotRow(std::string_view query, const double* row,
+                                     QueryStats* stats = nullptr)
+      const override;
+  std::vector<NeighborResult> KNearestWithPivotRow(
+      std::string_view query, std::size_t k, const double* row,
+      QueryStats* stats = nullptr) const override;
+
   std::size_t num_pivots() const { return pivots_.size(); }
   const std::vector<std::size_t>& pivots() const { return pivots_; }
 
@@ -119,6 +143,13 @@ class Laesa final : public NearestNeighborSearcher {
   /// The unified elimination sweep behind Nearest/NearestApprox/KNearest.
   std::vector<NeighborResult> Sweep(std::string_view query, std::size_t k,
                                     double slack, QueryStats* stats) const;
+
+  /// Row-consuming sweep behind the *WithPivotRow entry points: seeds the
+  /// incumbents with all pivot distances, applies every pivot-table row,
+  /// then eliminates and visits the surviving non-pivots adaptively.
+  std::vector<NeighborResult> SweepWithRow(std::string_view query,
+                                           std::size_t k, const double* row,
+                                           QueryStats* stats) const;
 
   PrototypeStoreRef prototypes_;
   StringDistancePtr distance_;

@@ -1,6 +1,7 @@
 #ifndef CNED_SEARCH_NN_SEARCHER_H_
 #define CNED_SEARCH_NN_SEARCHER_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -15,6 +16,37 @@ struct NeighborResult {
   double distance = 0.0;  ///< distance to the query
 };
 
+/// The deterministic result order every searcher and merge in the library
+/// shares: ascending distance, ties broken by the lower prototype index.
+inline bool NeighborLess(const NeighborResult& a, const NeighborResult& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+/// Inserts `r` into `best` — the current top-k, kept sorted by
+/// `NeighborLess` — when it qualifies, evicting the k-th entry if full.
+/// The default gate admits `r` only when it *strictly improves* on the
+/// k-th distance (the adaptive sweeps' semantics: a distance tie never
+/// displaces an incumbent — the same ">= eliminates" convention the
+/// bounded kernels rely on). `admit_ties` switches to the full
+/// (distance, index) order, used when seeding incumbents from already-paid
+/// pivot evaluations, where an equal-distance lower-index prototype wins.
+///
+/// Every index family shares this one helper so the bit-identity
+/// contracts (flat vs sharded, sequential vs batched) rest on a single
+/// tie-break implementation.
+inline void InsertNeighborTopK(std::vector<NeighborResult>& best,
+                               std::size_t k, const NeighborResult& r,
+                               bool admit_ties = false) {
+  if (best.size() >= k) {
+    const bool qualifies = admit_ties ? NeighborLess(r, best.back())
+                                      : r.distance < best.back().distance;
+    if (!qualifies) return;
+  }
+  best.insert(std::lower_bound(best.begin(), best.end(), r, NeighborLess), r);
+  if (best.size() > k) best.pop_back();
+}
+
 /// Per-query cost counters, shared by every index family (paper §4.3
 /// reports distance computations as the primary cost measure).
 struct QueryStats {
@@ -25,11 +57,17 @@ struct QueryStats {
   /// the exact fallback the count still reflects how many evaluations a
   /// bounded kernel *could* abandon on this workload.
   std::uint64_t bounded_abandons = 0;
+  /// Subset of `distance_computations` spent on query-pivot evaluations
+  /// (LAESA family only; other indexes leave it 0). The batched pivot stage
+  /// of the query engine exists to shrink exactly this number, so the shard
+  /// benches report it separately.
+  std::uint64_t pivot_computations = 0;
 
   /// Merge counters from another query (batch aggregation).
   QueryStats& operator+=(const QueryStats& other) {
     distance_computations += other.distance_computations;
     bounded_abandons += other.bounded_abandons;
+    pivot_computations += other.pivot_computations;
     return *this;
   }
 };
@@ -41,7 +79,8 @@ inline QueryStats operator+(QueryStats a, const QueryStats& b) {
 
 inline bool operator==(const QueryStats& a, const QueryStats& b) {
   return a.distance_computations == b.distance_computations &&
-         a.bounded_abandons == b.bounded_abandons;
+         a.bounded_abandons == b.bounded_abandons &&
+         a.pivot_computations == b.pivot_computations;
 }
 
 /// Common interface over nearest-neighbour searchers (exhaustive, LAESA,

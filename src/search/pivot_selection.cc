@@ -6,10 +6,16 @@
 
 namespace cned {
 
-std::vector<std::size_t> SelectPivotsMaxMin(const PrototypeStore& prototypes,
-                                            const StringDistance& distance,
-                                            std::size_t count,
-                                            std::size_t first) {
+namespace {
+
+// Shared body: `StoreT` only needs size() and operator[] over the global
+// index space, which both the flat and the sharded store provide — so both
+// overloads pick the identical pivot sequence on the same strings.
+template <typename StoreT>
+std::vector<std::size_t> SelectPivotsMaxMinImpl(const StoreT& prototypes,
+                                                const StringDistance& distance,
+                                                std::size_t count,
+                                                std::size_t first) {
   const std::size_t n = prototypes.size();
   if (count > n) {
     throw std::invalid_argument("SelectPivotsMaxMin: count > prototypes");
@@ -42,6 +48,21 @@ std::vector<std::size_t> SelectPivotsMaxMin(const PrototypeStore& prototypes,
     current = next;
   }
   return pivots;
+}
+
+}  // namespace
+
+std::vector<std::size_t> SelectPivotsMaxMin(const PrototypeStore& prototypes,
+                                            const StringDistance& distance,
+                                            std::size_t count,
+                                            std::size_t first) {
+  return SelectPivotsMaxMinImpl(prototypes, distance, count, first);
+}
+
+std::vector<std::size_t> SelectPivotsMaxMin(
+    const ShardedPrototypeStore& prototypes, const StringDistance& distance,
+    std::size_t count, std::size_t first) {
+  return SelectPivotsMaxMinImpl(prototypes, distance, count, first);
 }
 
 std::vector<std::size_t> SelectPivotsMaxMin(

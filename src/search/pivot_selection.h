@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "datasets/prototype_store.h"
+#include "datasets/sharded_prototype_store.h"
 #include "distances/distance.h"
 
 namespace cned {
@@ -21,6 +22,13 @@ std::vector<std::size_t> SelectPivotsMaxMin(const PrototypeStore& prototypes,
                                             const StringDistance& distance,
                                             std::size_t count,
                                             std::size_t first = 0);
+
+/// Sharded overload over the global index space — identical selection to a
+/// flat store of the same strings (the sharded index's bit-identity with
+/// the flat one starts here), without materialising a flat copy.
+std::vector<std::size_t> SelectPivotsMaxMin(
+    const ShardedPrototypeStore& prototypes, const StringDistance& distance,
+    std::size_t count, std::size_t first = 0);
 
 /// Convenience overload: packs `prototypes` into a temporary store.
 std::vector<std::size_t> SelectPivotsMaxMin(

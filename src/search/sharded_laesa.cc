@@ -1,0 +1,546 @@
+#include "search/sharded_laesa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/binary_io.h"
+#include "common/parallel.h"
+#include "search/pivot_selection.h"
+
+namespace cned {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Candidate work below which the per-visit shard passes run serially on the
+// calling thread. ParallelFor spawns and joins real threads (no pool), so a
+// pass must stream on the order of a million candidates — tens of
+// megabytes, hundreds of microseconds — before that dispatch pays for
+// itself; under the batch engine the nested call runs inline anyway.
+// Results are identical either way — only the execution schedule changes.
+constexpr std::size_t kParallelPassWork = 1 << 20;
+
+/// Outcome of one shard's tighten/eliminate/compact pass.
+struct ShardPass {
+  std::size_t live = 0;
+  std::size_t pivots_died = 0;
+  std::size_t next = kNone;        // surviving candidate with minimal bound
+  double next_key = kInf;
+  std::size_t next_pivot = kNone;  // surviving *pivot* with minimal bound
+  double next_pivot_key = kInf;
+};
+
+/// Thread-local scratch: the packed candidate arrays, segmented per shard
+/// (segment s occupies [shard_base(s), shard_base(s) + live[s])), plus the
+/// per-shard pass results. Owned per thread, so batched queries running
+/// under ParallelFor never share state.
+struct ShardedScratch {
+  std::vector<std::uint32_t> idx;
+  std::vector<double> lower;
+  std::vector<std::size_t> live;
+  std::vector<ShardPass> pass;
+};
+
+ShardedScratch& TlsScratch() {
+  thread_local ShardedScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+ShardedLaesa::ShardedLaesa(const ShardedPrototypeStore& store,
+                           StringDistancePtr distance, std::size_t num_pivots,
+                           std::size_t first_pivot)
+    : store_(&store), distance_(std::move(distance)) {
+  if (store.empty()) {
+    throw std::invalid_argument("ShardedLaesa: empty prototype set");
+  }
+  num_pivots = std::min(num_pivots, store.size());
+  if (num_pivots == 0) {
+    throw std::invalid_argument("ShardedLaesa: need at least one pivot");
+  }
+  // Max-min selection over the global index space — the exact sequence the
+  // flat index picks, so a sharded and a flat build of the same data share
+  // pivots (and therefore search trajectories).
+  pivots_ = SelectPivotsMaxMin(store, *distance_, num_pivots, first_pivot);
+  preprocessing_computations_ +=
+      static_cast<std::uint64_t>(pivots_.size()) * store.size();
+  BuildTables();
+}
+
+void ShardedLaesa::BuildTables() {
+  const ShardedPrototypeStore& st = *store_;
+  const std::size_t n = st.size();
+  const std::size_t p_count = pivots_.size();
+  pivot_rank_.assign(n, -1);
+  for (std::size_t p = 0; p < p_count; ++p) {
+    if (pivot_rank_[pivots_[p]] >= 0) {
+      throw std::invalid_argument("ShardedLaesa: duplicate pivot index");
+    }
+    pivot_rank_[pivots_[p]] = static_cast<std::int32_t>(p);
+  }
+  tables_.resize(st.shard_count());
+  for (std::size_t s = 0; s < st.shard_count(); ++s) {
+    tables_[s].resize(p_count * st.shard(s).size());
+  }
+  // One task per table entry, as in the flat build: the atomic work queue
+  // balances wildly varying string lengths, and writes are disjoint.
+  ParallelFor(p_count * n, [&](std::size_t t) {
+    const std::size_t p = t / n;
+    const std::size_t g = t % n;
+    const std::size_t s = st.ShardOf(g);
+    const std::size_t local = g - st.shard_base(s);
+    tables_[s][p * st.shard(s).size() + local] =
+        distance_->Distance(st.view(pivots_[p]), st.view(g));
+  });
+  preprocessing_computations_ += static_cast<std::uint64_t>(p_count) * n;
+}
+
+// The flat `Laesa::Sweep` with its per-visit pass partitioned by shard: the
+// visit loop below makes the same decisions on the same values in the same
+// order (incumbents, kernel caps, elimination bound, and the
+// next-candidate merge that resolves ties to the lowest global index, as
+// the flat packed scan does), so neighbours, distances and QueryStats are
+// bit-identical to the single-store index for every distance.
+std::vector<NeighborResult> ShardedLaesa::Sweep(std::string_view query,
+                                                std::size_t k, double slack,
+                                                QueryStats* stats,
+                                                QueryStats* shard_stats) const {
+  const ShardedPrototypeStore& st = *store_;
+  const std::size_t n = st.size();
+  const std::size_t shards = st.shard_count();
+  k = std::min(k, n);
+  if (k == 0) return {};
+
+  ShardedScratch& scratch = TlsScratch();
+  scratch.idx.resize(n);
+  scratch.lower.resize(n);
+  scratch.live.assign(shards, 0);
+  scratch.pass.assign(shards, ShardPass{});
+  std::uint32_t* idx = scratch.idx.data();
+  double* lower = scratch.lower.data();
+
+  // Free zeroth pivot per shard: one flat pass over each shard's packed
+  // length array, writing straight into that shard's bound segment.
+  for (std::size_t s = 0; s < shards; ++s) {
+    const PrototypeStore& shard = st.shard(s);
+    distance_->LengthLowerBounds(query.size(), shard.lengths_data(),
+                                 shard.size(), lower + st.shard_base(s));
+    scratch.live[s] = shard.size();
+  }
+  std::size_t live_pivots = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<std::uint32_t>(i);
+    live_pivots += pivot_rank_[i] >= 0 ? 1 : 0;
+  }
+  std::size_t total_live = n;
+
+  std::vector<NeighborResult> best;
+  best.reserve(k + 1);
+  auto kth = [&]() { return best.size() < k ? kInf : best.back().distance; };
+
+  std::uint64_t computations = 0, abandons = 0, pivot_computations = 0;
+
+  std::size_t s_cand = pivots_[0];  // start from the first base prototype
+  while (total_live > 0) {
+    const std::int32_t rank = pivot_rank_[s_cand];
+    const bool is_pivot = rank >= 0;
+    const double cap = is_pivot ? kInf : kth();
+    const double d = distance_->DistanceBounded(query, st.view(s_cand), cap);
+    ++computations;
+    pivot_computations += is_pivot ? 1 : 0;
+    const bool abandoned = d >= cap;
+    if (abandoned) {
+      ++abandons;
+    } else {
+      InsertNeighborTopK(best, k, {s_cand, d});
+    }
+    if (shard_stats != nullptr) {
+      QueryStats& hs = shard_stats[st.ShardOf(s_cand)];
+      hs.distance_computations += 1;
+      hs.bounded_abandons += abandoned ? 1 : 0;
+      hs.pivot_computations += is_pivot ? 1 : 0;
+    }
+
+    const double bound = kth();
+    auto pass_fn = [&](std::size_t sh) {
+      ShardPass out;
+      const std::size_t base = st.shard_base(sh);
+      const std::size_t seg_live = scratch.live[sh];
+      const double* row =
+          is_pivot ? tables_[sh].data() +
+                         static_cast<std::size_t>(rank) * st.shard(sh).size()
+                   : nullptr;
+      std::uint32_t* sidx = idx + base;
+      double* slow = lower + base;
+      std::size_t write = 0;
+      for (std::size_t r = 0; r < seg_live; ++r) {
+        const std::uint32_t u = sidx[r];
+        if (u == s_cand) {  // just visited: drop from the candidate set
+          if (is_pivot) ++out.pivots_died;
+          continue;
+        }
+        double lb = slow[r];
+        if (row != nullptr) {
+          const double g = std::abs(d - row[u - base]);
+          if (g > lb) lb = g;
+        }
+        const bool u_is_pivot = pivot_rank_[u] >= 0;
+        if (lb * slack >= bound) {  // can at most tie: eliminated
+          if (u_is_pivot) ++out.pivots_died;
+          continue;
+        }
+        sidx[write] = u;
+        slow[write] = lb;
+        ++write;
+        if (lb < out.next_key) {
+          out.next_key = lb;
+          out.next = u;
+        }
+        if (u_is_pivot && lb < out.next_pivot_key) {
+          out.next_pivot_key = lb;
+          out.next_pivot = u;
+        }
+      }
+      out.live = write;
+      scratch.pass[sh] = out;
+    };
+    if (shards > 1 && total_live >= kParallelPassWork) {
+      ParallelFor(shards, pass_fn);
+    } else {
+      for (std::size_t sh = 0; sh < shards; ++sh) pass_fn(sh);
+    }
+
+    // Merge per-shard minima in shard order with strict '<': the first
+    // occurrence wins, i.e. the lowest global index among ties — exactly
+    // the flat packed scan's choice.
+    total_live = 0;
+    std::size_t next = kNone, next_pivot = kNone;
+    double next_key = kInf, next_pivot_key = kInf;
+    for (std::size_t sh = 0; sh < shards; ++sh) {
+      const ShardPass& out = scratch.pass[sh];
+      scratch.live[sh] = out.live;
+      total_live += out.live;
+      live_pivots -= out.pivots_died;
+      if (out.next != kNone && out.next_key < next_key) {
+        next_key = out.next_key;
+        next = out.next;
+      }
+      if (out.next_pivot != kNone && out.next_pivot_key < next_pivot_key) {
+        next_pivot_key = out.next_pivot_key;
+        next_pivot = out.next_pivot;
+      }
+    }
+    if (total_live == 0) break;
+    s_cand = live_pivots > 0 ? next_pivot : next;
+    if (s_cand == kNone) break;  // defensive: accounting can never reach this
+  }
+
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+    stats->pivot_computations += pivot_computations;
+  }
+  return best;
+}
+
+// Row-consuming counterpart, mirroring `Laesa::SweepWithRow`: seed the
+// incumbents with every pivot distance, apply every table row per shard (a
+// streamed max with no elimination inside), eliminate against the seeded
+// k-th incumbent, then run the same adaptive loop over the surviving
+// non-pivots.
+std::vector<NeighborResult> ShardedLaesa::SweepWithRow(
+    std::string_view query, std::size_t k, const double* row,
+    QueryStats* stats, QueryStats* shard_stats) const {
+  const ShardedPrototypeStore& st = *store_;
+  const std::size_t n = st.size();
+  const std::size_t shards = st.shard_count();
+  const std::size_t p_count = pivots_.size();
+  k = std::min(k, n);
+  if (k == 0) return {};
+
+  ShardedScratch& scratch = TlsScratch();
+  scratch.idx.resize(n);
+  scratch.lower.resize(n);
+  scratch.live.assign(shards, 0);
+  scratch.pass.assign(shards, ShardPass{});
+  std::uint32_t* idx = scratch.idx.data();
+  double* lower = scratch.lower.data();
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    const PrototypeStore& shard = st.shard(s);
+    distance_->LengthLowerBounds(query.size(), shard.lengths_data(),
+                                 shard.size(), lower + st.shard_base(s));
+  }
+
+  std::vector<NeighborResult> best;
+  best.reserve(k + 1);
+  auto kth = [&]() { return best.size() < k ? kInf : best.back().distance; };
+  for (std::size_t p = 0; p < p_count; ++p) {
+    InsertNeighborTopK(best, k, {pivots_[p], row[p]}, /*admit_ties=*/true);
+  }
+
+  const double seed_bound = kth();
+  auto stage_fn = [&](std::size_t sh) {
+    ShardPass out;
+    const std::size_t base = st.shard_base(sh);
+    const std::size_t n_sh = st.shard(sh).size();
+    std::uint32_t* sidx = idx + base;
+    double* slow = lower + base;
+    for (std::size_t p = 0; p < p_count; ++p) {
+      const double dqp = row[p];
+      const double* trow = tables_[sh].data() + p * n_sh;
+      for (std::size_t j = 0; j < n_sh; ++j) {
+        const double g = std::abs(dqp - trow[j]);
+        if (g > slow[j]) slow[j] = g;
+      }
+    }
+    std::size_t write = 0;
+    for (std::size_t j = 0; j < n_sh; ++j) {
+      const std::size_t u = base + j;
+      if (pivot_rank_[u] >= 0) continue;  // evaluated by the pivot stage
+      if (slow[j] >= seed_bound) continue;
+      sidx[write] = static_cast<std::uint32_t>(u);
+      slow[write] = slow[j];
+      ++write;
+      if (slow[write - 1] < out.next_key) {
+        out.next_key = slow[write - 1];
+        out.next = u;
+      }
+    }
+    out.live = write;
+    scratch.pass[sh] = out;
+  };
+  if (shards > 1 && p_count * n >= kParallelPassWork) {
+    ParallelFor(shards, stage_fn);
+  } else {
+    for (std::size_t sh = 0; sh < shards; ++sh) stage_fn(sh);
+  }
+
+  std::size_t total_live = 0;
+  std::size_t s_cand = kNone;
+  double s_key = kInf;
+  for (std::size_t sh = 0; sh < shards; ++sh) {
+    const ShardPass& out = scratch.pass[sh];
+    scratch.live[sh] = out.live;
+    total_live += out.live;
+    if (out.next != kNone && out.next_key < s_key) {
+      s_key = out.next_key;
+      s_cand = out.next;
+    }
+  }
+
+  std::uint64_t computations = 0, abandons = 0;
+
+  while (total_live > 0 && s_cand != kNone) {
+    const double cap = kth();
+    const double d = distance_->DistanceBounded(query, st.view(s_cand), cap);
+    ++computations;
+    const bool abandoned = d >= cap;
+    if (abandoned) {
+      ++abandons;
+    } else {
+      InsertNeighborTopK(best, k, {s_cand, d});
+    }
+    if (shard_stats != nullptr) {
+      QueryStats& hs = shard_stats[st.ShardOf(s_cand)];
+      hs.distance_computations += 1;
+      hs.bounded_abandons += abandoned ? 1 : 0;
+    }
+
+    const double bound = kth();
+    auto pass_fn = [&](std::size_t sh) {
+      ShardPass out;
+      const std::size_t base = st.shard_base(sh);
+      const std::size_t seg_live = scratch.live[sh];
+      std::uint32_t* sidx = idx + base;
+      double* slow = lower + base;
+      std::size_t write = 0;
+      for (std::size_t r = 0; r < seg_live; ++r) {
+        const std::uint32_t u = sidx[r];
+        if (u == s_cand) continue;
+        const double lb = slow[r];
+        if (lb >= bound) continue;
+        sidx[write] = u;
+        slow[write] = lb;
+        ++write;
+        if (lb < out.next_key) {
+          out.next_key = lb;
+          out.next = u;
+        }
+      }
+      out.live = write;
+      scratch.pass[sh] = out;
+    };
+    if (shards > 1 && total_live >= kParallelPassWork) {
+      ParallelFor(shards, pass_fn);
+    } else {
+      for (std::size_t sh = 0; sh < shards; ++sh) pass_fn(sh);
+    }
+
+    total_live = 0;
+    s_cand = kNone;
+    s_key = kInf;
+    for (std::size_t sh = 0; sh < shards; ++sh) {
+      const ShardPass& out = scratch.pass[sh];
+      scratch.live[sh] = out.live;
+      total_live += out.live;
+      if (out.next != kNone && out.next_key < s_key) {
+        s_key = out.next_key;
+        s_cand = out.next;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->distance_computations += computations;
+    stats->bounded_abandons += abandons;
+  }
+  return best;
+}
+
+void ShardedLaesa::ComputePivotRow(std::string_view query, double* row,
+                                   QueryStats* stats) const {
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    row[p] = distance_->Distance(query, store_->view(pivots_[p]));
+  }
+  if (stats != nullptr) {
+    stats->distance_computations += pivots_.size();
+    stats->pivot_computations += pivots_.size();
+  }
+}
+
+NeighborResult ShardedLaesa::Nearest(std::string_view query,
+                                     QueryStats* stats) const {
+  return Nearest(query, stats, nullptr);
+}
+
+NeighborResult ShardedLaesa::Nearest(std::string_view query, QueryStats* stats,
+                                     QueryStats* shard_stats) const {
+  return Sweep(query, 1, /*slack=*/1.0, stats, shard_stats).front();
+}
+
+NeighborResult ShardedLaesa::NearestApprox(std::string_view query,
+                                           double epsilon,
+                                           QueryStats* stats) const {
+  if (epsilon < 0.0) {
+    throw std::invalid_argument(
+        "ShardedLaesa::NearestApprox: epsilon must be >= 0");
+  }
+  return Sweep(query, 1, 1.0 + epsilon, stats, nullptr).front();
+}
+
+std::vector<NeighborResult> ShardedLaesa::KNearest(std::string_view query,
+                                                   std::size_t k,
+                                                   QueryStats* stats) const {
+  return Sweep(query, k, /*slack=*/1.0, stats, nullptr);
+}
+
+std::vector<NeighborResult> ShardedLaesa::KNearest(
+    std::string_view query, std::size_t k, QueryStats* stats,
+    QueryStats* shard_stats) const {
+  return Sweep(query, k, /*slack=*/1.0, stats, shard_stats);
+}
+
+NeighborResult ShardedLaesa::NearestWithPivotRow(std::string_view query,
+                                                 const double* row,
+                                                 QueryStats* stats) const {
+  return SweepWithRow(query, 1, row, stats, nullptr).front();
+}
+
+NeighborResult ShardedLaesa::NearestWithPivotRow(std::string_view query,
+                                                 const double* row,
+                                                 QueryStats* stats,
+                                                 QueryStats* shard_stats)
+    const {
+  return SweepWithRow(query, 1, row, stats, shard_stats).front();
+}
+
+std::vector<NeighborResult> ShardedLaesa::KNearestWithPivotRow(
+    std::string_view query, std::size_t k, const double* row,
+    QueryStats* stats) const {
+  return SweepWithRow(query, k, row, stats, nullptr);
+}
+
+std::vector<NeighborResult> ShardedLaesa::KNearestWithPivotRow(
+    std::string_view query, std::size_t k, const double* row,
+    QueryStats* stats, QueryStats* shard_stats) const {
+  return SweepWithRow(query, k, row, stats, shard_stats);
+}
+
+namespace {
+constexpr char kShardedLaesaMagic[8] = {'C', 'N', 'E', 'D', 'S', 'H', 'L', '1'};
+constexpr std::uint32_t kShardedLaesaVersion = 1;
+}  // namespace
+
+void ShardedLaesa::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  const std::uint64_t counts[3] = {store_->size(), store_->shard_count(),
+                                   pivots_.size()};
+  writer.Header(kShardedLaesaMagic, kShardedLaesaVersion, counts, 3);
+  std::vector<std::uint64_t> sizes(store_->shard_count());
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    sizes[s] = store_->shard(s).size();
+  }
+  writer.Align();
+  writer.Raw(sizes.data(), sizes.size() * sizeof(std::uint64_t));
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                "64-bit pivot indices expected");
+  writer.Align();
+  writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
+  for (const std::vector<double>& table : tables_) {
+    writer.Align();
+    writer.Raw(table.data(), table.size() * sizeof(double));
+  }
+  writer.Finish();
+}
+
+ShardedLaesa ShardedLaesa::Load(const std::string& path,
+                                const ShardedPrototypeStore& store,
+                                StringDistancePtr distance) {
+  BinaryReader reader(path);
+  const auto counts = reader.Header(kShardedLaesaMagic, kShardedLaesaVersion);
+  const std::uint64_t n = counts[0];
+  const std::uint64_t shards = counts[1];
+  const std::uint64_t np = counts[2];
+  if (n != store.size() || shards != store.shard_count()) {
+    throw std::runtime_error("ShardedLaesa::Load: store shape mismatch");
+  }
+  if (np == 0 || np > n) {
+    throw std::runtime_error("ShardedLaesa::Load: bad pivot count");
+  }
+  std::vector<std::uint64_t> sizes(shards);
+  reader.Align();
+  reader.Raw(sizes.data(), shards * sizeof(std::uint64_t));
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    if (sizes[s] != store.shard(s).size()) {
+      throw std::runtime_error("ShardedLaesa::Load: shard size mismatch");
+    }
+  }
+  ShardedLaesa index(InternalTag{}, store, std::move(distance));
+  index.pivots_.resize(np);
+  reader.Align();
+  reader.Raw(index.pivots_.data(), np * sizeof(std::uint64_t));
+  index.pivot_rank_.assign(n, -1);
+  for (std::size_t p = 0; p < np; ++p) {
+    if (index.pivots_[p] >= n) {
+      throw std::runtime_error("ShardedLaesa::Load: pivot index out of range");
+    }
+    if (index.pivot_rank_[index.pivots_[p]] >= 0) {
+      throw std::runtime_error("ShardedLaesa::Load: duplicate pivot index");
+    }
+    index.pivot_rank_[index.pivots_[p]] = static_cast<std::int32_t>(p);
+  }
+  index.tables_.resize(shards);
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    index.tables_[s].resize(np * sizes[s]);
+    reader.Align();
+    reader.Raw(index.tables_[s].data(), np * sizes[s] * sizeof(double));
+  }
+  return index;
+}
+
+}  // namespace cned

@@ -1,0 +1,176 @@
+#ifndef CNED_SEARCH_SHARDED_LAESA_H_
+#define CNED_SEARCH_SHARDED_LAESA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datasets/sharded_prototype_store.h"
+#include "distances/distance.h"
+#include "search/nn_searcher.h"
+#include "search/pivot_stage.h"
+#include "search/sharded_searcher.h"
+
+namespace cned {
+
+/// LAESA over a `ShardedPrototypeStore`: one pivot table per shard, one
+/// shared (global) pivot set.
+///
+/// Pivots are selected max-min over the *whole* logical set — the same
+/// sequence a flat `Laesa` would pick — and each shard stores the distances
+/// from every pivot to its own prototypes as an independent row-major
+/// table (an independently built, independently mmap-able unit). Pivots
+/// are prototypes, so their own lower bounds come out of the same tables
+/// and they remain adaptive candidates of their home shard.
+///
+/// Query execution runs the *identical* approximating-and-eliminating
+/// sweep as the flat index: one global visit loop (incumbents, elimination
+/// threshold and the next-candidate choice are global decisions, ties
+/// resolved by lowest global index exactly as the flat packed scan does),
+/// with the per-visit tighten/eliminate/compact pass partitioned by shard
+/// and fanned out through `ParallelFor` when enough candidates survive to
+/// amortise the dispatch. Every shard pass touches only its own contiguous
+/// candidate segment and its own table rows, and the per-shard minima are
+/// merged in shard order — so neighbours, distances *and* `QueryStats` are
+/// bit-identical to the single-store `Laesa` on every distance, metric or
+/// not, regardless of shard count or thread schedule.
+///
+/// The `*WithPivotRow` entry points are the sharded half of the batch
+/// engine's two-stage pipeline (see pivot_stage.h): the engine evaluates
+/// the query x pivot block once for the whole batch and each sweep then
+/// consumes its precomputed row — per-shard row application in parallel,
+/// followed by the same global adaptive phase over the survivors.
+class ShardedLaesa final : public NearestNeighborSearcher,
+                           public PivotStageSearcher,
+                           public ShardStatsSearcher {
+ public:
+  /// Shared per-query cost counters (see `cned::QueryStats`).
+  using QueryStats = ::cned::QueryStats;
+
+  /// Builds per-shard pivot tables with greedy max-min pivots over the
+  /// global set, starting from global index `first_pivot`. `store` is
+  /// borrowed — the caller keeps it alive. Costs ~2·num_pivots·N distance
+  /// evaluations, the same as the flat index.
+  ShardedLaesa(const ShardedPrototypeStore& store, StringDistancePtr distance,
+               std::size_t num_pivots, std::size_t first_pivot = 0);
+
+  /// Nearest prototype (global index). `shard_stats`, when non-null, must
+  /// point at shard_count() entries; each visited candidate's evaluation is
+  /// accumulated onto its home shard.
+  NeighborResult Nearest(std::string_view query,
+                         QueryStats* stats = nullptr) const override;
+  NeighborResult Nearest(std::string_view query, QueryStats* stats,
+                         QueryStats* shard_stats) const;
+
+  /// Approximate variant, as `Laesa::NearestApprox`.
+  NeighborResult NearestApprox(std::string_view query, double epsilon,
+                               QueryStats* stats = nullptr) const;
+
+  /// The k nearest prototypes, closest first.
+  std::vector<NeighborResult> KNearest(
+      std::string_view query, std::size_t k,
+      QueryStats* stats = nullptr) const override;
+  std::vector<NeighborResult> KNearest(std::string_view query, std::size_t k,
+                                       QueryStats* stats,
+                                       QueryStats* shard_stats) const;
+
+  std::size_t size() const override { return store_->size(); }
+  std::size_t shard_count() const override { return store_->shard_count(); }
+
+  // ShardStatsSearcher: the batch engine's per-shard cost accounting.
+  NeighborResult NearestWithShardStats(std::string_view query,
+                                       QueryStats* stats,
+                                       QueryStats* shard_stats)
+      const override {
+    return Nearest(query, stats, shard_stats);
+  }
+  NeighborResult NearestWithPivotRowAndShardStats(std::string_view query,
+                                                  const double* row,
+                                                  QueryStats* stats,
+                                                  QueryStats* shard_stats)
+      const override {
+    return NearestWithPivotRow(query, row, stats, shard_stats);
+  }
+
+  /// The sharded prototype set the index searches over.
+  const ShardedPrototypeStore& store() const { return *store_; }
+
+  std::size_t num_pivots() const { return pivots_.size(); }
+  const std::vector<std::size_t>& pivots() const { return pivots_; }
+
+  /// Distance evaluations spent in preprocessing (pivot selection + tables).
+  std::uint64_t preprocessing_computations() const {
+    return preprocessing_computations_;
+  }
+
+  // PivotStageSearcher: the batched pivot stage of the query engine.
+  std::size_t pivot_count() const override { return pivots_.size(); }
+  std::string_view PivotString(std::size_t p) const override {
+    return store_->view(pivots_[p]);
+  }
+  const StringDistance& pivot_distance() const override { return *distance_; }
+  void ComputePivotRow(std::string_view query, double* row,
+                       QueryStats* stats = nullptr) const override;
+  NeighborResult NearestWithPivotRow(std::string_view query, const double* row,
+                                     QueryStats* stats = nullptr)
+      const override;
+  NeighborResult NearestWithPivotRow(std::string_view query, const double* row,
+                                     QueryStats* stats,
+                                     QueryStats* shard_stats) const;
+  std::vector<NeighborResult> KNearestWithPivotRow(
+      std::string_view query, std::size_t k, const double* row,
+      QueryStats* stats = nullptr) const override;
+  std::vector<NeighborResult> KNearestWithPivotRow(std::string_view query,
+                                                   std::size_t k,
+                                                   const double* row,
+                                                   QueryStats* stats,
+                                                   QueryStats* shard_stats)
+      const;
+
+  /// Binary serialization (shard sizes, global pivots and every per-shard
+  /// table, 64-byte-aligned sections — common/binary_io.h). Pair with
+  /// `ShardedPrototypeStore::SaveBinary` for a full serving snapshot.
+  void Save(const std::string& path) const;
+
+  /// Restores an index saved by `Save` against the *same* sharded store and
+  /// distance. Throws std::runtime_error on malformed input or a
+  /// store-shape mismatch.
+  static ShardedLaesa Load(const std::string& path,
+                           const ShardedPrototypeStore& store,
+                           StringDistancePtr distance);
+
+ private:
+  struct InternalTag {};
+  ShardedLaesa(InternalTag, const ShardedPrototypeStore& store,
+               StringDistancePtr distance)
+      : store_(&store), distance_(std::move(distance)) {}
+
+  void BuildTables();
+
+  /// The global adaptive sweep with shard-partitioned passes (lazy pivot
+  /// evaluation — the per-query path).
+  std::vector<NeighborResult> Sweep(std::string_view query, std::size_t k,
+                                    double slack, QueryStats* stats,
+                                    QueryStats* shard_stats) const;
+
+  /// The row-consuming sweep behind the *WithPivotRow entry points.
+  std::vector<NeighborResult> SweepWithRow(std::string_view query,
+                                           std::size_t k, const double* row,
+                                           QueryStats* stats,
+                                           QueryStats* shard_stats) const;
+
+  const ShardedPrototypeStore* store_;
+  StringDistancePtr distance_;
+  std::vector<std::size_t> pivots_;       // global indices, distinct
+  std::vector<std::int32_t> pivot_rank_;  // global index -> ordinal or -1
+  // tables_[s][p * n_s + j] = d(pivot_p, shard s's j-th prototype). Pivots
+  // are prototypes, so their own bounds come from these tables too — no
+  // separate pivot-to-pivot matrix is needed.
+  std::vector<std::vector<double>> tables_;
+  std::uint64_t preprocessing_computations_ = 0;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_SHARDED_LAESA_H_

@@ -1,0 +1,43 @@
+#ifndef CNED_SEARCH_SHARDED_SEARCHER_H_
+#define CNED_SEARCH_SHARDED_SEARCHER_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "search/nn_searcher.h"
+
+namespace cned {
+
+/// Capability interface of searchers that partition their prototypes into
+/// shards and can attribute per-query evaluation costs to them — the
+/// counterpart of `PivotStageSearcher` for the batch engine's per-shard
+/// accounting, keeping the engine independent of any concrete sharded
+/// index (today `ShardedLaesa`; tomorrow a distributed tier's router).
+///
+/// `shard_stats` always points at `shard_count()` caller-owned entries;
+/// implementations accumulate each visited candidate's evaluation onto its
+/// home shard. Stage-1 pivot evaluations of the engine's pivot pipeline
+/// are global, not per-shard, and are accounted by the stage itself.
+class ShardStatsSearcher {
+ public:
+  virtual ~ShardStatsSearcher() = default;
+
+  /// Number of shards the per-query costs split across.
+  virtual std::size_t shard_count() const = 0;
+
+  /// `Nearest` with per-shard cost attribution.
+  virtual NeighborResult NearestWithShardStats(std::string_view query,
+                                               QueryStats* stats,
+                                               QueryStats* shard_stats)
+      const = 0;
+
+  /// Row-consuming variant for the pivot pipeline: `row` comes from the
+  /// same object's `PivotStageSearcher` stage.
+  virtual NeighborResult NearestWithPivotRowAndShardStats(
+      std::string_view query, const double* row, QueryStats* stats,
+      QueryStats* shard_stats) const = 0;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_SHARDED_SEARCHER_H_

@@ -111,15 +111,6 @@ NeighborResult VpTree::Nearest(std::string_view query,
   return best;
 }
 
-namespace {
-
-bool NeighborLess(const NeighborResult& a, const NeighborResult& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.index < b.index;
-}
-
-}  // namespace
-
 void VpTree::SearchK(std::int32_t node, std::string_view query, std::size_t k,
                      std::vector<NeighborResult>& best, QueryStats& stats) const {
   if (node < 0) return;
@@ -138,12 +129,7 @@ void VpTree::SearchK(std::int32_t node, std::string_view query, std::size_t k,
     SearchK(n.outside, query, k, best, stats);
     return;
   }
-  if (best.size() < k || d < best.back().distance) {
-    NeighborResult r{n.point, d};
-    best.insert(std::lower_bound(best.begin(), best.end(), r, NeighborLess),
-                r);
-    if (best.size() > k) best.pop_back();
-  }
+  InsertNeighborTopK(best, k, {n.point, d});
   const bool inside_first = d <= n.radius;
   const std::int32_t first = inside_first ? n.inside : n.outside;
   const std::int32_t second = inside_first ? n.outside : n.inside;

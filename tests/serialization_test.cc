@@ -1,0 +1,284 @@
+// Binary serialization contracts: a saved-and-loaded
+// PrototypeStore / Laesa / ShardedPrototypeStore / ShardedLaesa must
+// reproduce identical query results and stats across every registered
+// distance, the on-disk sections must honour the 64-byte-aligned versioned
+// header layout, and corrupt / truncated / wrong-version files must fail
+// loudly instead of loading garbage.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/perturb.h"
+#include "datasets/prototype_store.h"
+#include "datasets/sharded_prototype_store.h"
+#include "distances/registry.h"
+#include "search/laesa.h"
+#include "search/sharded_laesa.h"
+
+namespace cned {
+namespace {
+
+std::vector<std::string> Words(std::size_t n, std::uint64_t seed) {
+  DictionaryOptions opt;
+  opt.word_count = n;
+  opt.seed = seed;
+  return GenerateDictionary(opt).strings;
+}
+
+/// Unique scratch path per test, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string(::testing::TempDir()) + "cned_" + name + "_" +
+              std::to_string(static_cast<unsigned long>(::getpid())) +
+              ".bin") {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SerializationTest, PrototypeStoreRoundTrip) {
+  const auto words = Words(80, 7100);
+  PrototypeStore store(words);
+  TempFile file("store");
+  store.SaveBinary(file.path());
+  PrototypeStore loaded = PrototypeStore::LoadBinary(file.path());
+  ASSERT_EQ(loaded.size(), store.size());
+  EXPECT_EQ(loaded.arena_bytes(), store.arena_bytes());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(loaded.view(i), store.view(i)) << i;
+    EXPECT_EQ(loaded.length(i), store.length(i)) << i;
+  }
+}
+
+TEST(SerializationTest, EmptyPrototypeStoreRoundTrip) {
+  PrototypeStore store;
+  TempFile file("empty_store");
+  store.SaveBinary(file.path());
+  EXPECT_EQ(PrototypeStore::LoadBinary(file.path()).size(), 0u);
+}
+
+// The acceptance contract: for every registered distance, a saved/loaded
+// index answers queries with bit-identical neighbours, distances and stats.
+TEST(SerializationTest, LaesaGoldenRoundTripAcrossAllDistances) {
+  const auto words = Words(60, 7200);
+  PrototypeStore store(words);
+  Rng rng(7201);
+  const auto queries = MakeQueries(words, 10, 2, Alphabet::Latin(), rng);
+  for (const auto& name : AllDistanceNames()) {
+    auto dist = MakeDistance(name);
+    Laesa original(store, dist, 6);
+    TempFile file("laesa_" + name);
+    original.Save(file.path());
+    Laesa loaded = Laesa::Load(file.path(), store, dist);
+    EXPECT_EQ(loaded.pivots(), original.pivots()) << name;
+    for (const auto& q : queries) {
+      QueryStats sa, sb;
+      const NeighborResult a = original.Nearest(q, &sa);
+      const NeighborResult b = loaded.Nearest(q, &sb);
+      EXPECT_EQ(a.index, b.index) << name << " q=" << q;
+      EXPECT_EQ(a.distance, b.distance) << name << " q=" << q;
+      EXPECT_TRUE(sa == sb) << name << " q=" << q;
+    }
+  }
+}
+
+TEST(SerializationTest, ShardedStoreAndIndexRoundTripAcrossAllDistances) {
+  const auto words = Words(60, 7300);
+  std::vector<int> labels(words.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 3);
+  }
+  ShardedPrototypeStore store(words, 4, labels);
+  TempFile store_file("sharded_store");
+  store.SaveBinary(store_file.path());
+  ShardedPrototypeStore loaded_store =
+      ShardedPrototypeStore::LoadBinary(store_file.path());
+  ASSERT_EQ(loaded_store.shard_count(), store.shard_count());
+  ASSERT_EQ(loaded_store.size(), store.size());
+  EXPECT_EQ(loaded_store.labels(), store.labels());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(loaded_store.view(i), store.view(i)) << i;
+  }
+
+  Rng rng(7301);
+  const auto queries = MakeQueries(words, 8, 2, Alphabet::Latin(), rng);
+  for (const auto& name : AllDistanceNames()) {
+    auto dist = MakeDistance(name);
+    ShardedLaesa original(store, dist, 5);
+    TempFile file("sharded_laesa_" + name);
+    original.Save(file.path());
+    // Load against the *loaded* store: the full serving path — both halves
+    // of the snapshot come off disk.
+    ShardedLaesa loaded = ShardedLaesa::Load(file.path(), loaded_store, dist);
+    EXPECT_EQ(loaded.pivots(), original.pivots()) << name;
+    for (const auto& q : queries) {
+      QueryStats sa, sb;
+      const NeighborResult a = original.Nearest(q, &sa);
+      const NeighborResult b = loaded.Nearest(q, &sb);
+      EXPECT_EQ(a.index, b.index) << name << " q=" << q;
+      EXPECT_EQ(a.distance, b.distance) << name << " q=" << q;
+      EXPECT_TRUE(sa == sb) << name << " q=" << q;
+    }
+  }
+}
+
+TEST(SerializationTest, HeaderLayoutIsAlignedAndVersioned) {
+  const auto words = Words(20, 7400);
+  PrototypeStore store(words);
+  TempFile file("layout");
+  store.SaveBinary(file.path());
+  const auto bytes = ReadAll(file.path());
+  ASSERT_GE(bytes.size(), kBinaryAlignment);
+  // Magic in the first 8 bytes, version at offset 8, counts from 16.
+  EXPECT_EQ(std::string(bytes.data(), 4), "CNED");
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  EXPECT_EQ(version, 1u);
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + 16, sizeof(count));
+  EXPECT_EQ(count, store.size());
+  // Every section starts on a 64-byte boundary, so the whole file is a
+  // whole number of alignment blocks plus the final (unpadded) section.
+  EXPECT_EQ(bytes.size() % kBinaryAlignment,
+            store.arena_bytes() % kBinaryAlignment);
+}
+
+TEST(SerializationTest, LoadRejectsBadMagic) {
+  const auto words = Words(20, 7500);
+  PrototypeStore store(words);
+  TempFile file("bad_magic");
+  store.SaveBinary(file.path());
+  auto bytes = ReadAll(file.path());
+  bytes[0] = 'X';
+  WriteAll(file.path(), bytes);
+  EXPECT_THROW(PrototypeStore::LoadBinary(file.path()), std::runtime_error);
+}
+
+TEST(SerializationTest, LoadRejectsVersionMismatch) {
+  const auto words = Words(20, 7600);
+  PrototypeStore store(words);
+  Laesa laesa(store, MakeDistance("dE"), 4);
+  TempFile file("version");
+  laesa.Save(file.path());
+  auto bytes = ReadAll(file.path());
+  bytes[8] = 99;  // bump the version field
+  WriteAll(file.path(), bytes);
+  try {
+    (void)Laesa::Load(file.path(), store, MakeDistance("dE"));
+    FAIL() << "expected version mismatch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(SerializationTest, LoadRejectsTruncatedFile) {
+  const auto words = Words(40, 7700);
+  PrototypeStore store(words);
+  Laesa laesa(store, MakeDistance("dE"), 6);
+  {
+    TempFile file("trunc_laesa");
+    laesa.Save(file.path());
+    auto bytes = ReadAll(file.path());
+    bytes.resize(bytes.size() / 2);
+    WriteAll(file.path(), bytes);
+    EXPECT_THROW(Laesa::Load(file.path(), store, MakeDistance("dE")),
+                 std::runtime_error);
+  }
+  {
+    TempFile file("trunc_store");
+    store.SaveBinary(file.path());
+    auto bytes = ReadAll(file.path());
+    bytes.resize(bytes.size() - 16);
+    WriteAll(file.path(), bytes);
+    EXPECT_THROW(PrototypeStore::LoadBinary(file.path()), std::runtime_error);
+  }
+  {
+    ShardedPrototypeStore sharded(words, 3);
+    ShardedLaesa index(sharded, MakeDistance("dE"), 4);
+    TempFile file("trunc_sharded");
+    index.Save(file.path());
+    auto bytes = ReadAll(file.path());
+    bytes.resize(bytes.size() - 64);
+    WriteAll(file.path(), bytes);
+    EXPECT_THROW(ShardedLaesa::Load(file.path(), sharded, MakeDistance("dE")),
+                 std::runtime_error);
+  }
+}
+
+TEST(SerializationTest, LoadRejectsMismatchedStoreShape) {
+  const auto words = Words(30, 7800);
+  PrototypeStore store(words);
+  Laesa laesa(store, MakeDistance("dE"), 4);
+  TempFile file("shape");
+  laesa.Save(file.path());
+  PrototypeStore smaller(
+      std::vector<std::string>(words.begin(), words.end() - 1));
+  EXPECT_THROW(Laesa::Load(file.path(), smaller, MakeDistance("dE")),
+               std::runtime_error);
+
+  ShardedPrototypeStore sharded(words, 3);
+  ShardedLaesa index(sharded, MakeDistance("dE"), 4);
+  TempFile sharded_file("sharded_shape");
+  index.Save(sharded_file.path());
+  ShardedPrototypeStore other_shape(words, 5);
+  EXPECT_THROW(
+      ShardedLaesa::Load(sharded_file.path(), other_shape, MakeDistance("dE")),
+      std::runtime_error);
+}
+
+TEST(SerializationTest, LoadRejectsCorruptHeaderCounts) {
+  // A flipped count field must fail as a runtime_error ("truncated"), not
+  // size a multi-exabyte allocation (std::bad_alloc / OOM kill).
+  const auto words = Words(20, 7900);
+  PrototypeStore store(words);
+  TempFile file("corrupt_count");
+  store.SaveBinary(file.path());
+  auto bytes = ReadAll(file.path());
+  for (std::size_t b = 16; b < 24; ++b) bytes[b] = static_cast<char>(0xFF);
+  WriteAll(file.path(), bytes);
+  EXPECT_THROW(PrototypeStore::LoadBinary(file.path()), std::runtime_error);
+
+  ShardedPrototypeStore sharded(words, 2);
+  TempFile sharded_file("corrupt_shard_count");
+  sharded.SaveBinary(sharded_file.path());
+  auto sharded_bytes = ReadAll(sharded_file.path());
+  for (std::size_t b = 16; b < 24; ++b) {
+    sharded_bytes[b] = static_cast<char>(0xFF);
+  }
+  WriteAll(sharded_file.path(), sharded_bytes);
+  EXPECT_THROW(ShardedPrototypeStore::LoadBinary(sharded_file.path()),
+               std::runtime_error);
+}
+
+TEST(SerializationTest, LoadRejectsMissingFile) {
+  EXPECT_THROW(PrototypeStore::LoadBinary("/nonexistent/cned.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cned
