@@ -13,6 +13,36 @@ std::string Describe(const std::string& path, const char* what) {
   return "binary_io: " + std::string(what) + " (" + path + ")";
 }
 
+/// Validates a 64-byte header already in memory and extracts the payload
+/// counts — the one implementation both the copying and the mapped reader
+/// share, so their magic/version errors are identical.
+std::vector<std::uint64_t> ParseHeader(const char* header, const char magic[8],
+                                       std::uint32_t expected_version,
+                                       const std::string& path) {
+  if (std::memcmp(header, magic, 8) != 0) {
+    throw std::runtime_error(
+        Describe(path, "bad magic (not a file of this type)"));
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, header + 8, sizeof(version));
+  if (version != expected_version) {
+    throw std::runtime_error(
+        "binary_io: format version mismatch: file has version " +
+        std::to_string(version) + ", this build reads version " +
+        std::to_string(expected_version) + " (" + path + ")");
+  }
+  std::vector<std::uint64_t> counts(kBinaryHeaderCounts);
+  std::memcpy(counts.data(), header + 16,
+              kBinaryHeaderCounts * sizeof(std::uint64_t));
+  return counts;
+}
+
+/// Zero padding between the cursor and the next 64-byte boundary.
+std::size_t PadTo(std::size_t offset) {
+  const std::size_t rem = offset % kBinaryAlignment;
+  return rem == 0 ? 0 : kBinaryAlignment - rem;
+}
+
 }  // namespace
 
 struct BinaryWriter::Impl {
@@ -44,6 +74,7 @@ void BinaryWriter::Header(const char magic[8], std::uint32_t version,
 }
 
 void BinaryWriter::Raw(const void* data, std::size_t bytes) {
+  if (bytes == 0) return;  // empty sections pass a null data pointer
   impl_->out.write(static_cast<const char*>(data),
                    static_cast<std::streamsize>(bytes));
   if (!impl_->out) throw std::runtime_error(Describe(path_, "write failed"));
@@ -79,32 +110,23 @@ std::vector<std::uint64_t> BinaryReader::Header(
     const char magic[8], std::uint32_t expected_version) {
   char header[kBinaryAlignment];
   Raw(header, sizeof(header));
-  if (std::memcmp(header, magic, 8) != 0) {
-    throw std::runtime_error(
-        Describe(path_, "bad magic (not a file of this type)"));
-  }
-  std::uint32_t version = 0;
-  std::memcpy(&version, header + 8, sizeof(version));
-  if (version != expected_version) {
-    throw std::runtime_error(
-        "binary_io: format version mismatch: file has version " +
-        std::to_string(version) + ", this build reads version " +
-        std::to_string(expected_version) + " (" + path_ + ")");
-  }
-  std::vector<std::uint64_t> counts(kBinaryHeaderCounts);
-  std::memcpy(counts.data(), header + 16,
-              kBinaryHeaderCounts * sizeof(std::uint64_t));
-  return counts;
+  return ParseHeader(header, magic, expected_version, path_);
 }
 
 void BinaryReader::RequireArray(std::uint64_t count,
                                 std::size_t elem_size) const {
-  if (elem_size != 0 && count > remaining() / elem_size) {
+  // Cumulative extent check: the section sits behind its alignment padding,
+  // so the bytes available to it are the unread tail minus that padding. A
+  // division-form comparison keeps count * elem_size from overflowing.
+  const std::size_t pad = PadTo(offset_);
+  const std::size_t avail = remaining() < pad ? 0 : remaining() - pad;
+  if (elem_size != 0 && count > avail / elem_size) {
     throw std::runtime_error(Describe(path_, "truncated file"));
   }
 }
 
 void BinaryReader::Raw(void* out, std::size_t bytes) {
+  if (bytes == 0) return;  // empty sections pass a null out pointer
   if (bytes > remaining()) {
     throw std::runtime_error(Describe(path_, "truncated file"));
   }
@@ -113,14 +135,59 @@ void BinaryReader::Raw(void* out, std::size_t bytes) {
 }
 
 void BinaryReader::Align() {
-  const std::size_t rem = offset_ % kBinaryAlignment;
-  if (rem != 0) {
-    const std::size_t pad = kBinaryAlignment - rem;
+  const std::size_t pad = PadTo(offset_);
+  if (pad != 0) {
     if (pad > remaining()) {
       throw std::runtime_error(Describe(path_, "truncated file"));
     }
     offset_ += pad;
   }
+}
+
+MappedReader::MappedReader(std::shared_ptr<MappedFile> file)
+    : file_(std::move(file)) {
+  if (file_ == nullptr) {
+    throw std::invalid_argument("binary_io: MappedReader needs a file");
+  }
+  data_ = file_->data();
+  size_ = file_->size();
+  path_ = file_->path();
+}
+
+std::vector<std::uint64_t> MappedReader::Header(
+    const char magic[8], std::uint32_t expected_version) {
+  // The header is a 64-byte section of its own: skip the padding in front
+  // of it and bounds-check before touching the bytes.
+  const char* header =
+      static_cast<const char*>(Section(kBinaryAlignment, 1));
+  return ParseHeader(header, magic, expected_version, path_);
+}
+
+const void* MappedReader::Section(std::uint64_t count, std::size_t elem_size) {
+  // Every check happens before the section pointer is formed: a corrupt
+  // count or a truncated tail must fail as "truncated file", never as an
+  // out-of-bounds view.
+  const std::size_t pad = PadTo(offset_);
+  if (pad > remaining()) {
+    // The file ends inside the padding — the section's aligned start would
+    // lie beyond EOF.
+    throw std::runtime_error(Describe(path_, "truncated file"));
+  }
+  const std::size_t start = offset_ + pad;
+  // Division form: count * elem_size is only computed once it provably fits
+  // in the tail, so the multiplication cannot overflow.
+  if (elem_size != 0 && count > (size_ - start) / elem_size) {
+    throw std::runtime_error(Describe(path_, "truncated file"));
+  }
+  const char* ptr = data_ + start;
+  if (elem_size != 0 &&
+      reinterpret_cast<std::uintptr_t>(ptr) % elem_size != 0) {
+    // Unreachable for well-formed maps (the mapping base is page-aligned
+    // and `start` is 64-byte aligned); guards the heap fallback.
+    throw std::runtime_error(Describe(path_, "misaligned section"));
+  }
+  offset_ = start + static_cast<std::size_t>(count) * elem_size;
+  return ptr;
 }
 
 }  // namespace cned

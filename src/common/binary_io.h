@@ -3,8 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/mapped_file.h"
 
 namespace cned {
 
@@ -74,7 +77,11 @@ class BinaryReader {
   /// Validates that an array section of `count` elements of `elem_size`
   /// bytes can still fit in the unread tail, *before* the caller allocates
   /// for it — untrusted header counts must never size an allocation
-  /// directly. Overflow-safe; throws the same truncation error as `Raw`.
+  /// directly. The check is cumulative against the actual file length: it
+  /// accounts for the zero padding the section's 64-byte alignment will
+  /// consume ahead of it, so a count that only "fits" by eating the padding
+  /// fails here rather than in a later Raw(). Overflow-safe; throws the
+  /// same truncation error as `Raw`.
   void RequireArray(std::uint64_t count, std::size_t elem_size) const;
 
   /// Skips the zero padding to the next 64-byte boundary.
@@ -85,6 +92,56 @@ class BinaryReader {
 
  private:
   std::vector<char> buffer_;
+  std::size_t offset_ = 0;
+  std::string path_;
+};
+
+/// Zero-copy counterpart of `BinaryReader`: a cursor over a `MappedFile`
+/// that validates the same header/alignment rules but returns in-place
+/// pointers into the mapping instead of copying sections out.
+///
+/// Safety contract (the serving tier maps untrusted bytes): every section's
+/// cumulative extent — alignment padding plus `count * elem_size`, computed
+/// overflow-safely — is range-checked against the actual file length
+/// *before* any pointer is formed, and the section start is verified to be
+/// aligned for the element type. Malformed input throws std::runtime_error;
+/// no returned pointer ever spans past the end of the mapping.
+///
+/// Views returned by `Section`/`Array` alias the mapping; callers must keep
+/// `file()` alive for as long as they hold them (the view-backed stores
+/// retain the shared_ptr).
+class MappedReader {
+ public:
+  /// Reads `file` in place. Throws std::invalid_argument on a null file.
+  explicit MappedReader(std::shared_ptr<MappedFile> file);
+
+  /// Skips to the next 64-byte boundary and validates the standard header
+  /// (same rules and errors as `BinaryReader::Header`). Returns the payload
+  /// counts.
+  std::vector<std::uint64_t> Header(const char magic[8],
+                                    std::uint32_t expected_version);
+
+  /// Skips to the next 64-byte boundary, range-checks the section extent
+  /// against the remaining file length, verifies element alignment, then
+  /// returns the in-place section pointer and advances past it.
+  const void* Section(std::uint64_t count, std::size_t elem_size);
+
+  /// Typed form of `Section`.
+  template <typename T>
+  const T* Array(std::uint64_t count) {
+    return static_cast<const T*>(Section(count, sizeof(T)));
+  }
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return size_ - offset_; }
+
+  /// The mapping the returned views alias.
+  const std::shared_ptr<MappedFile>& file() const { return file_; }
+
+ private:
+  std::shared_ptr<MappedFile> file_;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t offset_ = 0;
   std::string path_;
 };

@@ -1,0 +1,76 @@
+#include "common/mapped_file.h"
+
+#include <stdexcept>
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace cned {
+namespace {
+
+std::string Describe(const std::string& path, const char* what) {
+  return "mapped_file: " + std::string(what) + " (" + path + ")";
+}
+
+}  // namespace
+
+std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path) {
+  // Private constructor: build through new, own through shared_ptr.
+  std::shared_ptr<MappedFile> file(new MappedFile);
+  file->path_ = path;
+#if defined(_WIN32)
+  // Portability fallback: no true mapping, but the same in-place-view API —
+  // the file is read once into a heap buffer the views alias.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error(Describe(path, "cannot open"));
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  char* buffer = new char[static_cast<std::size_t>(size) + 1];
+  if (size > 0 && !in.read(buffer, size)) {
+    delete[] buffer;
+    throw std::runtime_error(Describe(path, "read failed"));
+  }
+  file->data_ = buffer;
+  file->size_ = static_cast<std::size_t>(size);
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error(Describe(path, "cannot open"));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error(Describe(path, "fstat failed"));
+  }
+  file->size_ = static_cast<std::size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* mapping =
+        ::mmap(nullptr, file->size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapping == MAP_FAILED) {
+      ::close(fd);
+      throw std::runtime_error(Describe(path, "mmap failed"));
+    }
+    file->data_ = static_cast<const char*>(mapping);
+  }
+  // The mapping holds its own reference to the inode; the descriptor is no
+  // longer needed.
+  ::close(fd);
+#endif
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#if defined(_WIN32)
+  delete[] data_;
+#else
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace cned

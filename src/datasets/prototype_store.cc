@@ -19,6 +19,10 @@ void PrototypeStore::Reserve(std::size_t count, std::size_t total_chars) {
 }
 
 void PrototypeStore::Add(std::string_view s) {
+  if (mapping_ != nullptr) {
+    throw std::logic_error(
+        "PrototypeStore::Add: store is a read-only mapped view");
+  }
   constexpr std::size_t kMax = std::numeric_limits<std::uint32_t>::max();
   if (s.size() > kMax || arena_.size() > kMax - s.size()) {
     throw std::length_error(
@@ -42,15 +46,17 @@ constexpr std::uint32_t kStoreVersion = 1;
 }  // namespace
 
 void PrototypeStore::SaveBinary(BinaryWriter& writer) const {
-  const std::uint64_t counts[2] = {size(), arena_.size()};
+  // Writes through the view accessors, so a mapped store re-snapshots
+  // byte-identically without materialising owned copies.
+  const std::uint64_t counts[2] = {size(), arena_bytes()};
   writer.Align();
   writer.Header(kStoreMagic, kStoreVersion, counts, 2);
   writer.Align();
-  writer.Raw(offsets_.data(), offsets_.size() * sizeof(std::uint32_t));
+  writer.Raw(offsets_data(), size() * sizeof(std::uint32_t));
   writer.Align();
-  writer.Raw(lengths_.data(), lengths_.size() * sizeof(std::uint32_t));
+  writer.Raw(lengths_data(), size() * sizeof(std::uint32_t));
   writer.Align();
-  writer.Raw(arena_.data(), arena_.size());
+  writer.Raw(arena_data(), arena_bytes());
 }
 
 void PrototypeStore::SaveBinary(const std::string& path) const {
@@ -70,16 +76,19 @@ PrototypeStore PrototypeStore::LoadBinary(BinaryReader& reader) {
   }
   // Header counts are untrusted until checked against the unread tail —
   // a corrupt count must fail as "truncated", not as a huge allocation.
-  reader.RequireArray(n, 2 * sizeof(std::uint32_t));
-  reader.RequireArray(arena_bytes, 1);
+  // Each section is checked (padding included) right before its
+  // allocation, so the extents accumulate against the actual file length.
   PrototypeStore store;
+  reader.RequireArray(n, sizeof(std::uint32_t));
   store.offsets_.resize(n);
-  store.lengths_.resize(n);
-  store.arena_.resize(arena_bytes);
   reader.Align();
   reader.Raw(store.offsets_.data(), n * sizeof(std::uint32_t));
+  reader.RequireArray(n, sizeof(std::uint32_t));
+  store.lengths_.resize(n);
   reader.Align();
   reader.Raw(store.lengths_.data(), n * sizeof(std::uint32_t));
+  reader.RequireArray(arena_bytes, 1);
+  store.arena_.resize(arena_bytes);
   reader.Align();
   reader.Raw(store.arena_.data(), arena_bytes);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -95,6 +104,39 @@ PrototypeStore PrototypeStore::LoadBinary(BinaryReader& reader) {
 PrototypeStore PrototypeStore::LoadBinary(const std::string& path) {
   BinaryReader reader(path);
   return LoadBinary(reader);
+}
+
+PrototypeStore PrototypeStore::Map(MappedReader& reader) {
+  const auto counts = reader.Header(kStoreMagic, kStoreVersion);
+  const std::uint64_t n = counts[0];
+  const std::uint64_t arena_bytes = counts[1];
+  if (arena_bytes > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error(
+        "PrototypeStore::Map: arena exceeds 32-bit offset range");
+  }
+  // Section() range-checks each cumulative extent against the file length
+  // before forming the view — corrupt counts fail as "truncated file".
+  PrototypeStore store;
+  store.map_.offsets = reader.Array<std::uint32_t>(n);
+  store.map_.lengths = reader.Array<std::uint32_t>(n);
+  store.map_.arena = reader.Array<char>(arena_bytes);
+  store.map_.size = static_cast<std::size_t>(n);
+  store.map_.arena_bytes = static_cast<std::size_t>(arena_bytes);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (static_cast<std::uint64_t>(store.map_.offsets[i]) +
+            store.map_.lengths[i] >
+        arena_bytes) {
+      throw std::runtime_error(
+          "PrototypeStore::Map: string section out of arena bounds");
+    }
+  }
+  store.mapping_ = reader.file();
+  return store;
+}
+
+PrototypeStore PrototypeStore::Map(const std::string& path) {
+  MappedReader reader(MappedFile::Open(path));
+  return Map(reader);
 }
 
 }  // namespace cned

@@ -31,6 +31,14 @@ namespace cned {
 /// millions of dictionary words); `Add` throws `std::length_error` beyond
 /// that. Views returned by `view`/`operator[]` are invalidated by `Add`
 /// (the arena may reallocate) — build the store first, then index it.
+///
+/// Every read goes through span-like views (`const char* arena`,
+/// `const uint32_t* offsets/lengths`) that are backed either by the owned
+/// vectors (the build path — unchanged behaviour) or, after `Map`, by
+/// sections of a memory-mapped snapshot used in place: a serving process
+/// pays O(validation) startup instead of O(store) copying, and the pages
+/// are shared through the kernel page cache with every other process
+/// mapping the same file. Mapped stores are immutable — `Add` throws.
 class PrototypeStore {
  public:
   PrototypeStore() = default;
@@ -38,29 +46,44 @@ class PrototypeStore {
   /// Packs `strings` into the arena (one copy, then zero-copy reads).
   explicit PrototypeStore(const std::vector<std::string>& strings);
 
-  /// Appends one string. Invalidates previously returned views.
+  /// Appends one string. Invalidates previously returned views. Throws
+  /// std::logic_error on a mapped store (the mapping is read-only).
   void Add(std::string_view s);
 
   /// Pre-sizes the arrays (`total_chars` may be 0 when unknown).
   void Reserve(std::size_t count, std::size_t total_chars = 0);
 
-  std::size_t size() const { return lengths_.size(); }
-  bool empty() const { return lengths_.empty(); }
+  std::size_t size() const { return mapping_ ? map_.size : lengths_.size(); }
+  bool empty() const { return size() == 0; }
 
   /// Zero-copy view of the i-th string.
   std::string_view view(std::size_t i) const {
-    return {arena_.data() + offsets_[i], lengths_[i]};
+    return {arena_data() + offsets_data()[i], lengths_data()[i]};
   }
   std::string_view operator[](std::size_t i) const { return view(i); }
 
-  std::uint32_t length(std::size_t i) const { return lengths_[i]; }
+  std::uint32_t length(std::size_t i) const { return lengths_data()[i]; }
 
   /// Flat length array, aligned with indices — the SoA side of the store.
-  const std::uint32_t* lengths_data() const { return lengths_.data(); }
+  const std::uint32_t* lengths_data() const {
+    return mapping_ ? map_.lengths : lengths_.data();
+  }
+
+  /// Flat offset array, aligned with indices.
+  const std::uint32_t* offsets_data() const {
+    return mapping_ ? map_.offsets : offsets_.data();
+  }
 
   /// Raw arena (diagnostics, serialisation).
-  const char* arena_data() const { return arena_.data(); }
-  std::size_t arena_bytes() const { return arena_.size(); }
+  const char* arena_data() const {
+    return mapping_ ? map_.arena : arena_.data();
+  }
+  std::size_t arena_bytes() const {
+    return mapping_ ? map_.arena_bytes : arena_.size();
+  }
+
+  /// True when the views alias a mapped snapshot instead of owned vectors.
+  bool mapped() const { return mapping_ != nullptr; }
 
   /// Materialises owning strings (convenience for tests and tooling).
   std::vector<std::string> ToStrings() const;
@@ -80,10 +103,33 @@ class PrototypeStore {
   void SaveBinary(BinaryWriter& writer) const;
   static PrototypeStore LoadBinary(BinaryReader& reader);
 
+  /// Zero-copy load: maps a file written by `SaveBinary` and points the
+  /// views at its sections in place — no section is copied. Header, section
+  /// extents and per-string bounds are fully validated (same errors as
+  /// `LoadBinary`); the store co-owns the mapping, so views stay valid for
+  /// the store's lifetime, across copies and moves.
+  static PrototypeStore Map(const std::string& path);
+
+  /// Cursor form used to map a store section embedded in a larger file
+  /// (the sharded store snapshot). The store retains `reader.file()`.
+  static PrototypeStore Map(MappedReader& reader);
+
  private:
   std::vector<char> arena_;
   std::vector<std::uint32_t> offsets_;
   std::vector<std::uint32_t> lengths_;
+
+  /// Views into `mapping_` when mapped; the owned vectors stay empty then.
+  /// Copying a mapped store copies the views and shares the mapping.
+  struct MappedView {
+    const char* arena = nullptr;
+    const std::uint32_t* offsets = nullptr;
+    const std::uint32_t* lengths = nullptr;
+    std::size_t size = 0;
+    std::size_t arena_bytes = 0;
+  };
+  MappedView map_;
+  std::shared_ptr<MappedFile> mapping_;
 };
 
 /// Constructor adapter every search index takes its prototypes through.

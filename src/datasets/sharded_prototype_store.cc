@@ -123,6 +123,42 @@ ShardedPrototypeStore ShardedPrototypeStore::LoadBinary(
   return store;
 }
 
+ShardedPrototypeStore ShardedPrototypeStore::Map(const std::string& path) {
+  MappedReader reader(MappedFile::Open(path));
+  const auto counts = reader.Header(kShardedMagic, kShardedVersion);
+  const std::uint64_t shard_count = counts[0];
+  const std::uint64_t total = counts[1];
+  const bool has_labels = counts[2] != 0;
+  if (shard_count == 0) {
+    throw std::runtime_error("ShardedPrototypeStore::Map: zero shard count");
+  }
+  // Array() bounds-checks every cumulative extent before a view is formed.
+  const std::uint64_t* sizes = reader.Array<std::uint64_t>(shard_count);
+  ShardedPrototypeStore store;
+  store.total_ = total;
+  if (has_labels) {
+    static_assert(sizeof(int) == 4, "32-bit labels expected");
+    const int* labels = reader.Array<int>(total);
+    store.labels_.assign(labels, labels + total);
+  }
+  store.shards_.reserve(shard_count);
+  std::uint64_t sum = 0;
+  for (std::uint64_t s = 0; s < shard_count; ++s) {
+    store.shards_.push_back(PrototypeStore::Map(reader));
+    if (store.shards_.back().size() != sizes[s]) {
+      throw std::runtime_error(
+          "ShardedPrototypeStore::Map: shard size mismatch");
+    }
+    sum += sizes[s];
+  }
+  if (sum != total) {
+    throw std::runtime_error(
+        "ShardedPrototypeStore::Map: shard sizes do not sum to total");
+  }
+  store.InitBases();
+  return store;
+}
+
 void ShardedPrototypeStore::InitBases() {
   bases_.resize(shards_.size() + 1);
   bases_[0] = 0;

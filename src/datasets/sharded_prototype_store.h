@@ -90,6 +90,17 @@ class ShardedPrototypeStore {
   /// bad magic, version mismatch, truncation or inconsistent sections.
   static ShardedPrototypeStore LoadBinary(const std::string& path);
 
+  /// Zero-copy load: maps a snapshot written by `SaveBinary` and backs
+  /// every shard's arena/offset/length views by the file sections in place
+  /// (each shard co-owns the one mapping). Labels are the single copied
+  /// section — they are returned as a `std::vector<int>&` by `labels()` and
+  /// are 4 bytes per prototype, negligible next to the arenas. Validation
+  /// matches `LoadBinary`.
+  static ShardedPrototypeStore Map(const std::string& path);
+
+  /// True when the shard views alias a mapped snapshot.
+  bool mapped() const { return !shards_.empty() && shards_[0].mapped(); }
+
  private:
   void InitBases();
 

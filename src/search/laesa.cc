@@ -164,7 +164,7 @@ std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
     // like the classic ascending per-candidate scan.
     const double* row =
         s_is_pivot
-            ? &pivot_dist_[static_cast<std::size_t>(pivot_rank_[s]) * n]
+            ? table_data() + static_cast<std::size_t>(pivot_rank_[s]) * n
             : nullptr;
     const double bound = kth();
     std::size_t write = 0;
@@ -253,9 +253,10 @@ std::vector<NeighborResult> Laesa::SweepWithRow(std::string_view query,
   // each row pass stays a flat streamed max), then eliminate against the
   // fully seeded k-th incumbent, compact the surviving non-pivots and pick
   // the first minimal-bound survivor in the same pass.
+  const double* table = table_data();
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
     const double d = row[p];
-    const double* trow = &pivot_dist_[p * n];
+    const double* trow = table + p * n;
     for (std::size_t i = 0; i < n; ++i) {
       const double g = std::abs(d - trow[i]);
       if (g > lower[i]) lower[i] = g;
@@ -388,7 +389,7 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
     const double d = distance_->Distance(query, protos[s]);
     ++computations;
     if (d <= radius) hits.push_back({s, d});
-    const double* row = &pivot_dist_[p * n];
+    const double* row = table_data() + p * n;
     for (std::size_t i = 0; i < n; ++i) {
       const double g = std::abs(d - row[i]);
       if (g > lower[i]) lower[i] = g;
@@ -420,11 +421,13 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
 }
 
 void Laesa::Save(std::ostream& out) const {
+  const std::size_t entries = pivots_.size() * store().size();
   out << "LAESA 1\n" << store().size() << ' ' << pivots_.size() << '\n';
   for (std::size_t p : pivots_) out << p << ' ';
   out << '\n';
   out.precision(17);
-  for (double d : pivot_dist_) out << d << ' ';
+  const double* table = table_data();
+  for (std::size_t t = 0; t < entries; ++t) out << table[t] << ' ';
   out << '\n';
 }
 
@@ -475,7 +478,8 @@ void Laesa::Save(const std::string& path) const {
   writer.Align();
   writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
   writer.Align();
-  writer.Raw(pivot_dist_.data(), pivot_dist_.size() * sizeof(double));
+  // Through the view, so a mapped index re-snapshots byte-identically.
+  writer.Raw(table_data(), pivots_.size() * store().size() * sizeof(double));
   writer.Finish();
 }
 
@@ -507,6 +511,37 @@ Laesa Laesa::Load(const std::string& path, PrototypeStoreRef prototypes,
   index.pivot_dist_.resize(np * n);
   reader.Align();
   reader.Raw(index.pivot_dist_.data(), np * n * sizeof(double));
+  return index;
+}
+
+Laesa Laesa::Map(const std::string& path, PrototypeStoreRef prototypes,
+                 StringDistancePtr distance) {
+  MappedReader reader(MappedFile::Open(path));
+  const auto counts = reader.Header(kLaesaMagic, kLaesaVersion);
+  const std::uint64_t n = counts[0];
+  const std::uint64_t np = counts[1];
+  if (n != prototypes->size()) {
+    throw std::runtime_error("Laesa::Map: prototype count mismatch");
+  }
+  if (np == 0 || np > n) {
+    throw std::runtime_error("Laesa::Map: bad pivot count");
+  }
+  Laesa index(InternalTag{}, prototypes, std::move(distance));
+  // The pivot index array is tiny (np entries); copying it keeps the
+  // `pivots()` API. The table — the O(pivots x N) bulk — stays a view.
+  const std::uint64_t* pivots = reader.Array<std::uint64_t>(np);
+  index.pivots_.assign(pivots, pivots + np);
+  index.pivot_rank_.assign(n, -1);
+  for (std::size_t p = 0; p < np; ++p) {
+    if (index.pivots_[p] >= n) {
+      throw std::runtime_error("Laesa::Map: pivot index out of range");
+    }
+    index.pivot_rank_[index.pivots_[p]] = static_cast<std::int32_t>(p);
+  }
+  // np <= n <= the live store's size, so np * n cannot overflow before
+  // Array()'s own division-form extent check sees it.
+  index.mapped_table_ = reader.Array<double>(np * n);
+  index.mapping_ = reader.file();
   return index;
 }
 

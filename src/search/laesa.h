@@ -106,6 +106,18 @@ class Laesa final : public NearestNeighborSearcher, public PivotStageSearcher {
   static Laesa Load(const std::string& path, PrototypeStoreRef prototypes,
                     StringDistancePtr distance);
 
+  /// Zero-copy form of the binary Load: maps the file and points the pivot
+  /// table view at its section in place — the O(pivots x N) table is never
+  /// copied, so startup is O(N) (pivot-rank bookkeeping) instead of
+  /// O(pivots x N), and the table pages are shared across processes through
+  /// the page cache. Validation matches `Load`; query results, trajectories
+  /// and `QueryStats` are bit-identical to the built or copy-loaded index.
+  static Laesa Map(const std::string& path, PrototypeStoreRef prototypes,
+                   StringDistancePtr distance);
+
+  /// True when the pivot table aliases a mapped snapshot.
+  bool mapped() const { return mapping_ != nullptr; }
+
   // PivotStageSearcher: the batched pivot stage of the query engine.
   std::size_t pivot_count() const override { return pivots_.size(); }
   std::string_view PivotString(std::size_t p) const override {
@@ -151,13 +163,21 @@ class Laesa final : public NearestNeighborSearcher, public PivotStageSearcher {
                                            std::size_t k, const double* row,
                                            QueryStats* stats) const;
 
+  /// The pivot table as a flat row-major view:
+  /// table_data()[p * N + i] = d(store()[pivots_[p]], store()[i]); a
+  /// visited pivot contributes one contiguous row. Backed by the owned
+  /// buffer (build/Load) or by the mapped file section (Map).
+  const double* table_data() const {
+    return mapping_ ? mapped_table_ : pivot_dist_.data();
+  }
+
   PrototypeStoreRef prototypes_;
   StringDistancePtr distance_;
   std::vector<std::size_t> pivots_;
   std::vector<std::int32_t> pivot_rank_;  // prototype -> pivot ordinal or -1
-  // pivot_dist_[p * N + i] = d(store()[pivots_[p]], store()[i]) — one
-  // contiguous row-major buffer; a visited pivot contributes one flat row.
-  std::vector<double> pivot_dist_;
+  std::vector<double> pivot_dist_;        // owned table; empty when mapped
+  const double* mapped_table_ = nullptr;  // view into mapping_ when mapped
+  std::shared_ptr<MappedFile> mapping_;
   std::uint64_t preprocessing_computations_ = 0;
 };
 

@@ -171,7 +171,7 @@ std::vector<NeighborResult> ShardedLaesa::Sweep(std::string_view query,
       const std::size_t base = st.shard_base(sh);
       const std::size_t seg_live = scratch.live[sh];
       const double* row =
-          is_pivot ? tables_[sh].data() +
+          is_pivot ? shard_table(sh) +
                          static_cast<std::size_t>(rank) * st.shard(sh).size()
                    : nullptr;
       std::uint32_t* sidx = idx + base;
@@ -290,9 +290,10 @@ std::vector<NeighborResult> ShardedLaesa::SweepWithRow(
     const std::size_t n_sh = st.shard(sh).size();
     std::uint32_t* sidx = idx + base;
     double* slow = lower + base;
+    const double* table = shard_table(sh);
     for (std::size_t p = 0; p < p_count; ++p) {
       const double dqp = row[p];
-      const double* trow = tables_[sh].data() + p * n_sh;
+      const double* trow = table + p * n_sh;
       for (std::size_t j = 0; j < n_sh; ++j) {
         const double g = std::abs(dqp - trow[j]);
         if (g > slow[j]) slow[j] = g;
@@ -491,9 +492,11 @@ void ShardedLaesa::Save(const std::string& path) const {
                 "64-bit pivot indices expected");
   writer.Align();
   writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
-  for (const std::vector<double>& table : tables_) {
+  // Through the views, so a mapped index re-snapshots byte-identically.
+  for (std::size_t s = 0; s < store_->shard_count(); ++s) {
     writer.Align();
-    writer.Raw(table.data(), table.size() * sizeof(double));
+    writer.Raw(shard_table(s),
+               pivots_.size() * store_->shard(s).size() * sizeof(double));
   }
   writer.Finish();
 }
@@ -512,6 +515,7 @@ ShardedLaesa ShardedLaesa::Load(const std::string& path,
   if (np == 0 || np > n) {
     throw std::runtime_error("ShardedLaesa::Load: bad pivot count");
   }
+  reader.RequireArray(shards, sizeof(std::uint64_t));
   std::vector<std::uint64_t> sizes(shards);
   reader.Align();
   reader.Raw(sizes.data(), shards * sizeof(std::uint64_t));
@@ -521,6 +525,7 @@ ShardedLaesa ShardedLaesa::Load(const std::string& path,
     }
   }
   ShardedLaesa index(InternalTag{}, store, std::move(distance));
+  reader.RequireArray(np, sizeof(std::uint64_t));
   index.pivots_.resize(np);
   reader.Align();
   reader.Raw(index.pivots_.data(), np * sizeof(std::uint64_t));
@@ -536,10 +541,56 @@ ShardedLaesa ShardedLaesa::Load(const std::string& path,
   }
   index.tables_.resize(shards);
   for (std::uint64_t s = 0; s < shards; ++s) {
+    reader.RequireArray(np * sizes[s], sizeof(double));
     index.tables_[s].resize(np * sizes[s]);
     reader.Align();
     reader.Raw(index.tables_[s].data(), np * sizes[s] * sizeof(double));
   }
+  return index;
+}
+
+ShardedLaesa ShardedLaesa::Map(const std::string& path,
+                               const ShardedPrototypeStore& store,
+                               StringDistancePtr distance) {
+  MappedReader reader(MappedFile::Open(path));
+  const auto counts = reader.Header(kShardedLaesaMagic, kShardedLaesaVersion);
+  const std::uint64_t n = counts[0];
+  const std::uint64_t shards = counts[1];
+  const std::uint64_t np = counts[2];
+  if (n != store.size() || shards != store.shard_count()) {
+    throw std::runtime_error("ShardedLaesa::Map: store shape mismatch");
+  }
+  if (np == 0 || np > n) {
+    throw std::runtime_error("ShardedLaesa::Map: bad pivot count");
+  }
+  const std::uint64_t* sizes = reader.Array<std::uint64_t>(shards);
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    if (sizes[s] != store.shard(s).size()) {
+      throw std::runtime_error("ShardedLaesa::Map: shard size mismatch");
+    }
+  }
+  ShardedLaesa index(InternalTag{}, store, std::move(distance));
+  // Pivot indices are tiny (np entries); copying them keeps the `pivots()`
+  // API. The per-shard tables — the O(pivots x N) bulk — stay views.
+  const std::uint64_t* pivots = reader.Array<std::uint64_t>(np);
+  index.pivots_.assign(pivots, pivots + np);
+  index.pivot_rank_.assign(n, -1);
+  for (std::size_t p = 0; p < np; ++p) {
+    if (index.pivots_[p] >= n) {
+      throw std::runtime_error("ShardedLaesa::Map: pivot index out of range");
+    }
+    if (index.pivot_rank_[index.pivots_[p]] >= 0) {
+      throw std::runtime_error("ShardedLaesa::Map: duplicate pivot index");
+    }
+    index.pivot_rank_[index.pivots_[p]] = static_cast<std::int32_t>(p);
+  }
+  index.mapped_tables_.resize(shards);
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    // sizes[s] was validated against the live store, so np * sizes[s]
+    // cannot wrap before Array()'s division-form extent check sees it.
+    index.mapped_tables_[s] = reader.Array<double>(np * sizes[s]);
+  }
+  index.mapping_ = reader.file();
   return index;
 }
 

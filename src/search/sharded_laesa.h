@@ -140,6 +140,18 @@ class ShardedLaesa final : public NearestNeighborSearcher,
                            const ShardedPrototypeStore& store,
                            StringDistancePtr distance);
 
+  /// Zero-copy form of `Load`: maps the file and points every per-shard
+  /// table view at its section in place — no table is copied, so startup is
+  /// O(N) bookkeeping instead of O(pivots x N), and each shard's table
+  /// remains an independently page-cache-shared unit. Validation matches
+  /// `Load`; results and `QueryStats` are bit-identical to the built index.
+  static ShardedLaesa Map(const std::string& path,
+                          const ShardedPrototypeStore& store,
+                          StringDistancePtr distance);
+
+  /// True when the shard tables alias a mapped snapshot.
+  bool mapped() const { return mapping_ != nullptr; }
+
  private:
   struct InternalTag {};
   ShardedLaesa(InternalTag, const ShardedPrototypeStore& store,
@@ -160,14 +172,22 @@ class ShardedLaesa final : public NearestNeighborSearcher,
                                            QueryStats* stats,
                                            QueryStats* shard_stats) const;
 
+  /// Shard s's pivot table as a flat row-major view:
+  /// shard_table(s)[p * n_s + j] = d(pivot_p, shard s's j-th prototype).
+  /// Pivots are prototypes, so their own bounds come from these tables too
+  /// — no separate pivot-to-pivot matrix is needed. Backed by the owned
+  /// per-shard buffers (build/Load) or by mapped file sections (Map).
+  const double* shard_table(std::size_t s) const {
+    return mapping_ ? mapped_tables_[s] : tables_[s].data();
+  }
+
   const ShardedPrototypeStore* store_;
   StringDistancePtr distance_;
   std::vector<std::size_t> pivots_;       // global indices, distinct
   std::vector<std::int32_t> pivot_rank_;  // global index -> ordinal or -1
-  // tables_[s][p * n_s + j] = d(pivot_p, shard s's j-th prototype). Pivots
-  // are prototypes, so their own bounds come from these tables too — no
-  // separate pivot-to-pivot matrix is needed.
-  std::vector<std::vector<double>> tables_;
+  std::vector<std::vector<double>> tables_;  // owned tables; empty when mapped
+  std::vector<const double*> mapped_tables_;  // views into mapping_
+  std::shared_ptr<MappedFile> mapping_;
   std::uint64_t preprocessing_computations_ = 0;
 };
 

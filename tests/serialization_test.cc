@@ -7,59 +7,23 @@
 
 #include <gtest/gtest.h>
 
-#include <unistd.h>
-
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/binary_io.h"
 #include "common/rng.h"
-#include "datasets/dictionary_gen.h"
 #include "datasets/perturb.h"
 #include "datasets/prototype_store.h"
 #include "datasets/sharded_prototype_store.h"
 #include "distances/registry.h"
 #include "search/laesa.h"
 #include "search/sharded_laesa.h"
+#include "tests/snapshot_test_util.h"
 
 namespace cned {
 namespace {
-
-std::vector<std::string> Words(std::size_t n, std::uint64_t seed) {
-  DictionaryOptions opt;
-  opt.word_count = n;
-  opt.seed = seed;
-  return GenerateDictionary(opt).strings;
-}
-
-/// Unique scratch path per test, removed on destruction.
-class TempFile {
- public:
-  explicit TempFile(const std::string& name)
-      : path_(std::string(::testing::TempDir()) + "cned_" + name + "_" +
-              std::to_string(static_cast<unsigned long>(::getpid())) +
-              ".bin") {}
-  ~TempFile() { std::remove(path_.c_str()); }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
-
-std::vector<char> ReadAll(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  return std::vector<char>(std::istreambuf_iterator<char>(in),
-                           std::istreambuf_iterator<char>());
-}
-
-void WriteAll(const std::string& path, const std::vector<char>& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-}
 
 TEST(SerializationTest, PrototypeStoreRoundTrip) {
   const auto words = Words(80, 7100);
@@ -278,6 +242,172 @@ TEST(SerializationTest, LoadRejectsCorruptHeaderCounts) {
 TEST(SerializationTest, LoadRejectsMissingFile) {
   EXPECT_THROW(PrototypeStore::LoadBinary("/nonexistent/cned.bin"),
                std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Mapped (zero-copy) loading: the same corruption classes must fail cleanly
+// — std::runtime_error, never a pointer formed past the end of the mapping.
+// The ASan+UBSan CI job runs these, so any out-of-bounds read the checks
+// miss becomes a hard failure there.
+// ---------------------------------------------------------------------------
+
+TEST(SerializationTest, MapRejectsMissingEmptyAndBadMagicFiles) {
+  EXPECT_THROW(PrototypeStore::Map("/nonexistent/cned.bin"),
+               std::runtime_error);
+
+  TempFile empty("map_empty");
+  WriteAll(empty.path(), {});
+  EXPECT_THROW(PrototypeStore::Map(empty.path()), std::runtime_error);
+
+  const auto words = Words(20, 8100);
+  PrototypeStore store(words);
+  TempFile file("map_bad_magic");
+  store.SaveBinary(file.path());
+  auto bytes = ReadAll(file.path());
+  bytes[0] = 'X';
+  WriteAll(file.path(), bytes);
+  EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
+
+  bytes = ReadAll(file.path());
+  bytes[0] = 'C';
+  bytes[8] = 99;  // version field
+  WriteAll(file.path(), bytes);
+  try {
+    (void)PrototypeStore::Map(file.path());
+    FAIL() << "expected version mismatch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(SerializationTest, MapRejectsTruncatedTail) {
+  const auto words = Words(40, 8200);
+  PrototypeStore store(words);
+  {
+    TempFile file("map_trunc_store");
+    store.SaveBinary(file.path());
+    auto bytes = ReadAll(file.path());
+    bytes.resize(bytes.size() / 2);
+    WriteAll(file.path(), bytes);
+    EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
+  }
+  {
+    Laesa laesa(store, MakeDistance("dE"), 6);
+    TempFile file("map_trunc_laesa");
+    laesa.Save(file.path());
+    auto bytes = ReadAll(file.path());
+    bytes.resize(bytes.size() - 24);
+    WriteAll(file.path(), bytes);
+    EXPECT_THROW(Laesa::Map(file.path(), store, MakeDistance("dE")),
+                 std::runtime_error);
+  }
+  {
+    ShardedPrototypeStore sharded(words, 3);
+    ShardedLaesa index(sharded, MakeDistance("dE"), 4);
+    TempFile store_file("map_trunc_sstore");
+    TempFile index_file("map_trunc_slaesa");
+    sharded.SaveBinary(store_file.path());
+    index.Save(index_file.path());
+    auto bytes = ReadAll(store_file.path());
+    bytes.resize(bytes.size() * 2 / 3);
+    WriteAll(store_file.path(), bytes);
+    EXPECT_THROW(ShardedPrototypeStore::Map(store_file.path()),
+                 std::runtime_error);
+    bytes = ReadAll(index_file.path());
+    bytes.resize(bytes.size() - 64);
+    WriteAll(index_file.path(), bytes);
+    EXPECT_THROW(ShardedLaesa::Map(index_file.path(), sharded,
+                                   MakeDistance("dE")),
+                 std::runtime_error);
+  }
+}
+
+TEST(SerializationTest, MapRejectsSectionStartBeyondFileEnd) {
+  // Cut the file inside the zero padding ahead of a section: the section's
+  // 64-byte-aligned start then lies past EOF ("misaligned section offset" —
+  // no aligned view can be formed), which must fail as truncation.
+  const auto words = Words(20, 8300);
+  PrototypeStore store(words);
+  TempFile file("map_pad_cut");
+  store.SaveBinary(file.path());
+  auto bytes = ReadAll(file.path());
+  // Layout: 64B header, offsets (20 x 4 = 80B) ending at 144, padding to
+  // 192, lengths... Cutting at 150 leaves the cursor mid-padding.
+  ASSERT_GT(bytes.size(), 192u);
+  bytes.resize(150);
+  WriteAll(file.path(), bytes);
+  EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
+}
+
+TEST(SerializationTest, MapRejectsSectionLengthOverflowingFileSize) {
+  const auto words = Words(20, 8400);
+  PrototypeStore store(words);
+  {
+    // Arena count inflated past the file size (but under the 32-bit cap, so
+    // it reaches the extent check): must throw before any view is formed.
+    TempFile file("map_arena_overflow");
+    store.SaveBinary(file.path());
+    auto bytes = ReadAll(file.path());
+    const std::uint64_t huge_arena = 0x7FFFFFFF;
+    std::memcpy(bytes.data() + 24, &huge_arena, sizeof(huge_arena));
+    WriteAll(file.path(), bytes);
+    EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
+  }
+  {
+    // A count of 2^64-1 must fail as truncation, not overflow into a tiny
+    // extent that "fits".
+    TempFile file("map_count_overflow");
+    store.SaveBinary(file.path());
+    auto bytes = ReadAll(file.path());
+    for (std::size_t b = 16; b < 24; ++b) bytes[b] = static_cast<char>(0xFF);
+    WriteAll(file.path(), bytes);
+    EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
+  }
+  {
+    ShardedPrototypeStore sharded(words, 2);
+    TempFile file("map_shard_count_overflow");
+    sharded.SaveBinary(file.path());
+    auto bytes = ReadAll(file.path());
+    for (std::size_t b = 16; b < 24; ++b) bytes[b] = static_cast<char>(0xFF);
+    WriteAll(file.path(), bytes);
+    EXPECT_THROW(ShardedPrototypeStore::Map(file.path()), std::runtime_error);
+  }
+}
+
+TEST(SerializationTest, MapRejectsOffsetsOutsideArena) {
+  // A corrupt offset/length pair pointing past the arena must be caught at
+  // map time — view(i) has no per-access bounds check by design.
+  const auto words = Words(20, 8500);
+  PrototypeStore store(words);
+  TempFile file("map_bad_offset");
+  store.SaveBinary(file.path());
+  auto bytes = ReadAll(file.path());
+  const std::uint32_t huge_offset = 0x40000000;
+  std::memcpy(bytes.data() + kBinaryAlignment + 4, &huge_offset,
+              sizeof(huge_offset));  // offsets[1]
+  WriteAll(file.path(), bytes);
+  EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
+}
+
+TEST(SerializationTest, MapRejectsMismatchedStoreShape) {
+  const auto words = Words(30, 8600);
+  PrototypeStore store(words);
+  Laesa laesa(store, MakeDistance("dE"), 4);
+  TempFile file("map_shape");
+  laesa.Save(file.path());
+  PrototypeStore smaller(
+      std::vector<std::string>(words.begin(), words.end() - 1));
+  EXPECT_THROW(Laesa::Map(file.path(), smaller, MakeDistance("dE")),
+               std::runtime_error);
+
+  ShardedPrototypeStore sharded(words, 3);
+  ShardedLaesa index(sharded, MakeDistance("dE"), 4);
+  TempFile sharded_file("map_sharded_shape");
+  index.Save(sharded_file.path());
+  ShardedPrototypeStore other_shape(words, 5);
+  EXPECT_THROW(
+      ShardedLaesa::Map(sharded_file.path(), other_shape, MakeDistance("dE")),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,57 @@
+#ifndef CNED_TESTS_SNAPSHOT_TEST_UTIL_H_
+#define CNED_TESTS_SNAPSHOT_TEST_UTIL_H_
+
+// Shared scratch-file and workload helpers for the snapshot-format tests
+// (serialization_test, mapped_index_test): one implementation, so fixes to
+// the temp-file naming or the dictionary workload reach every suite.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "datasets/dictionary_gen.h"
+
+namespace cned {
+
+/// Deterministic dictionary workload for round-trip/fuzz tests.
+inline std::vector<std::string> Words(std::size_t n, std::uint64_t seed) {
+  DictionaryOptions opt;
+  opt.word_count = n;
+  opt.seed = seed;
+  return GenerateDictionary(opt).strings;
+}
+
+/// Unique scratch path per test, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string(::testing::TempDir()) + "cned_" + name + "_" +
+              std::to_string(static_cast<unsigned long>(::getpid())) +
+              ".bin") {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+inline std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+inline void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace cned
+
+#endif  // CNED_TESTS_SNAPSHOT_TEST_UTIL_H_
