@@ -5,8 +5,14 @@
 // codes), where each distance evaluation is expensive — this is where the
 // "fewer computations" advantage of a discriminating metric translates into
 // real time savings.
+//
+// Run with --kernel=scalar|avx2|neon|auto to force a sweep-kernel variant
+// (the vectorisation ablation row): computation counts are bit-identical
+// across kernels, only the time columns move.
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "bench/laesa_sweep.h"
@@ -53,4 +59,20 @@ int Run() {
 }  // namespace
 }  // namespace cned
 
-int main() { return cned::Run(); }
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string kernel_prefix = "--kernel=";
+    if (arg.rfind(kernel_prefix, 0) == 0) {
+      if (!cned::bench::ApplySweepKernelFlag(
+              arg.substr(kernel_prefix.size()))) {
+        return 2;
+      }
+    } else {
+      std::cerr << "fig4: unknown argument " << arg
+                << " (supported: --kernel=NAME)\n";
+      return 2;
+    }
+  }
+  return cned::Run();
+}

@@ -36,8 +36,29 @@
 #include "search/batch_engine.h"
 #include "search/laesa.h"
 #include "search/sharded_laesa.h"
+#include "search/sweep_kernel.h"
 
 namespace cned::bench {
+
+/// Applies a `--kernel=scalar|avx2|neon|auto` harness flag: forces the
+/// sweep-kernel variant for the whole run, so the ablation chapters can
+/// report vectorisation as its own row (distance-computation counts are
+/// bit-identical across kernels by the sweep-kernel contract — only the
+/// time column moves). Returns false, listing the available variants, for
+/// an unknown or unsupported name.
+inline bool ApplySweepKernelFlag(const std::string& value) {
+  if (!SetActiveSweepKernels(value)) {
+    std::cerr << "unknown or unavailable sweep kernel '" << value
+              << "' (available:";
+    for (const SweepKernels* k : AvailableSweepKernels()) {
+      std::cerr << ' ' << k->name;
+    }
+    std::cerr << " auto)\n";
+    return false;
+  }
+  std::cout << "sweep kernel: " << ActiveSweepKernels().name << "\n";
+  return true;
+}
 
 struct SweepPoint {
   std::size_t pivots = 0;

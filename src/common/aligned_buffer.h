@@ -1,0 +1,70 @@
+#ifndef CNED_COMMON_ALIGNED_BUFFER_H_
+#define CNED_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+
+namespace cned {
+
+/// A 64-byte-aligned array of a trivial type — the scratch slabs the SIMD
+/// sweep kernels stream over.
+///
+/// The alignment puts the packed candidate arrays at the start of a cache
+/// line, so a flat sweep's vector loads never split lines (the sharded
+/// sweep hands kernels mid-slab shard segments, which is why the kernels
+/// themselves use unaligned load instructions — on current cores those are
+/// free when the address happens to be aligned, which the slab start
+/// guarantees).
+///
+/// Scratch semantics, deliberately narrower than std::vector: resize() does
+/// NOT value-initialise and does NOT preserve contents across a growing
+/// reallocation. Every sweep fully rewrites its slab prefix before reading
+/// it, and the thread-local scratch only ever grows to the largest store
+/// seen, so neither guarantee would be used — dropping them removes an
+/// O(n) touch per query.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivial_v<T>,
+                "AlignedBuffer is raw storage for trivial types only");
+
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { std::free(data_); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Makes data() valid for n elements. Contents are indeterminate after a
+  /// capacity-growing call (see class comment).
+  void resize(std::size_t n) {
+    if (n > capacity_) {
+      std::free(data_);
+      data_ = nullptr;
+      capacity_ = 0;
+      // aligned_alloc requires the size to be a multiple of the alignment.
+      const std::size_t bytes =
+          (n * sizeof(T) + kAlignment - 1) / kAlignment * kAlignment;
+      data_ = static_cast<T*>(std::aligned_alloc(kAlignment, bytes));
+      if (data_ == nullptr) throw std::bad_alloc();
+      capacity_ = bytes / sizeof(T);
+    }
+    size_ = n;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_ALIGNED_BUFFER_H_

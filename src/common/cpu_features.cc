@@ -1,0 +1,32 @@
+#include "common/cpu_features.h"
+
+#if defined(__arm__) && defined(__linux__)
+#include <asm/hwcap.h>
+#include <sys/auxv.h>
+#endif
+
+namespace cned {
+
+bool CpuHasAvx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasNeon() {
+#if defined(__aarch64__)
+  // AdvSIMD is a mandatory part of the AArch64 architecture.
+  return true;
+#elif defined(__arm__) && defined(__linux__) && defined(HWCAP_NEON)
+  static const bool has = (getauxval(AT_HWCAP) & HWCAP_NEON) != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+}  // namespace cned

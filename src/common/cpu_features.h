@@ -1,0 +1,25 @@
+#ifndef CNED_COMMON_CPU_FEATURES_H_
+#define CNED_COMMON_CPU_FEATURES_H_
+
+namespace cned {
+
+/// Runtime CPU feature probes for the dispatched SIMD kernels.
+///
+/// The library is compiled portably (no global -march flags); only the
+/// per-ISA kernel translation units are built with their target extension,
+/// and a kernel variant is selected at startup iff the running CPU actually
+/// supports it. These probes are the selection gate: CPUID-backed on x86
+/// (via __builtin_cpu_supports), getauxval/HWCAP on 32-bit ARM Linux, and
+/// constant-true on AArch64 where AdvSIMD is architecturally mandatory.
+/// Results are cached after the first call; all probes are thread-safe.
+
+/// True when the running CPU supports AVX2 (x86 only; false elsewhere).
+bool CpuHasAvx2();
+
+/// True when the running CPU supports NEON/AdvSIMD (ARM only; false
+/// elsewhere).
+bool CpuHasNeon();
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_CPU_FEATURES_H_

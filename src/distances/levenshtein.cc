@@ -5,8 +5,19 @@
 #include <limits>
 
 #include "common/dp_workspace.h"
+// Deliberate .cc-level reach into the search layer (both live in the one
+// cned library, headers stay acyclic): the sweep-kernel table owns the
+// dispatched |Δlen| fill, and dE's zeroth-pivot bound must come from the
+// same dispatch point so a forced kernel variant governs the whole sweep.
+#include "search/sweep_kernel.h"
 
 namespace cned {
+
+void EditDistance::LengthLowerBounds(std::size_t x_len,
+                                     const std::uint32_t* y_lens,
+                                     std::size_t n, double* out) const {
+  ActiveSweepKernels().fill_absdiff_bounds(x_len, y_lens, n, out);
+}
 namespace {
 
 // Strips the common prefix and suffix in place. Unit-cost edit distance is

@@ -49,15 +49,14 @@ class EditDistance final : public StringDistance {
     return x_len > y_len ? static_cast<double>(x_len - y_len)
                          : static_cast<double>(y_len - x_len);
   }
+  /// Batched |Δlen| fill over a store's packed length array. Runs on the
+  /// dispatched sweep-kernel layer (search/sweep_kernel.h): the zeroth-pivot
+  /// fill of the LAESA sweeps is exactly this kernel, with scalar/AVX2/NEON
+  /// variants producing bit-identical doubles (every value involved is an
+  /// exactly representable integer). Defined in levenshtein.cc so this
+  /// header stays free of the search-layer include.
   void LengthLowerBounds(std::size_t x_len, const std::uint32_t* y_lens,
-                         std::size_t n, double* out) const override {
-    FillLengthLowerBounds(
-        [](std::size_t a, std::size_t b) {
-          return a > b ? static_cast<double>(a - b)
-                       : static_cast<double>(b - a);
-        },
-        x_len, y_lens, n, out);
-  }
+                         std::size_t n, double* out) const override;
   std::string name() const override { return "dE"; }
   bool is_metric() const override { return true; }
 };

@@ -11,27 +11,9 @@
 #include "common/binary_io.h"
 #include "common/parallel.h"
 #include "search/pivot_selection.h"
+#include "search/sweep_kernel.h"
 
 namespace cned {
-namespace {
-
-/// Thread-local scratch for the elimination sweep: packed candidate index /
-/// lower-bound arrays. Reused across queries (zero steady-state
-/// allocations) and owned per thread, so batched queries running under
-/// ParallelFor never share state.
-struct SweepScratch {
-  std::vector<std::uint32_t> idx;
-  std::vector<double> lower;
-};
-
-SweepScratch& TlsSweepScratch() {
-  thread_local SweepScratch scratch;
-  return scratch;
-}
-
-constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-
-}  // namespace
 
 Laesa::Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
              std::size_t num_pivots, std::size_t first_pivot)
@@ -97,6 +79,14 @@ void Laesa::BuildTable() {
 // lets the incumbent itself be the `DistanceBounded` bound — the kernel may
 // abandon any evaluation that provably reaches it, because such a value
 // could at most tie.
+//
+// The per-visit pass — tighten with the visited pivot's contiguous table
+// row, eliminate, compact, pick the next candidate — runs on the shared
+// dispatched sweep kernels (sweep_kernel.h), so the flat, sharded and
+// mapped indexes execute literally the same vector code over their packed
+// candidate slabs. The kernels preserve the classic scan's semantics
+// bit for bit: compaction is stable and min-bound ties resolve to the
+// smallest index.
 std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
                                          double slack,
                                          QueryStats* stats) const {
@@ -105,24 +95,20 @@ std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
   k = std::min(k, n);
   if (k == 0) return {};
 
+  const SweepKernels& kern = ActiveSweepKernels();
   SweepScratch& scratch = TlsSweepScratch();
-  std::vector<std::uint32_t>& idx = scratch.idx;
-  std::vector<double>& lower = scratch.lower;
-  idx.resize(n);
-  lower.resize(n);
+  scratch.idx.resize(n);
+  scratch.lower.resize(n);
+  std::uint32_t* idx = scratch.idx.data();
+  double* lower = scratch.lower.data();
 
   // Free zeroth pivot: length-only lower bounds, filled by one flat pass
   // over the store's packed length array before any distance is computed.
-  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n,
-                               lower.data());
+  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n, lower);
   // Count live pivots from pivot_rank_, not pivots_.size(): the ablation
   // constructor and Load accept duplicate pivot indices, which occupy one
   // candidate slot but several pivots_ entries.
-  std::size_t live_pivots = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    idx[i] = static_cast<std::uint32_t>(i);
-    live_pivots += pivot_rank_[i] >= 0 ? 1 : 0;
-  }
+  std::size_t live_pivots = FillIotaCountPivots(idx, pivot_rank_.data(), n);
 
   std::size_t live = n;  // candidates in the packed prefix [0, live)
 
@@ -154,54 +140,24 @@ std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
       InsertNeighborTopK(best, k, {s, d});
     }
 
-    // One flat pass over the packed arrays: tighten with the visited
-    // pivot's contiguous table row, eliminate against the (slack-scaled)
-    // k-th incumbent, compact survivors in place, and pick the next
-    // candidate — the surviving pivot with minimal lower bound while
+    // Tighten with the visited pivot's row (a non-pivot visit leaves the
+    // bounds as they are), then one eliminate-and-compact pass picks the
+    // next candidate — the surviving pivot with minimal lower bound while
     // pivots remain (the "approximating" step of LAESA), otherwise the
-    // surviving prototype with minimal lower bound. Compaction is stable,
-    // so ties on the lower bound resolve to the smallest index, exactly
-    // like the classic ascending per-candidate scan.
-    const double* row =
-        s_is_pivot
-            ? table_data() + static_cast<std::size_t>(pivot_rank_[s]) * n
-            : nullptr;
-    const double bound = kth();
-    std::size_t write = 0;
-    std::size_t next = kNone, next_pivot = kNone;
-    double next_key = inf, next_pivot_key = inf;
-    for (std::size_t r = 0; r < live; ++r) {
-      const std::uint32_t u = idx[r];
-      if (u == s) {  // just visited: drop from the candidate set
-        if (s_is_pivot) --live_pivots;
-        continue;
-      }
-      double lb = lower[r];
-      if (row != nullptr) {
-        const double g = std::abs(d - row[u]);
-        if (g > lb) lb = g;
-      }
-      const bool u_is_pivot = pivot_rank_[u] >= 0;
-      if (lb * slack >= bound) {  // can at most tie: eliminated
-        if (u_is_pivot) --live_pivots;
-        continue;
-      }
-      idx[write] = u;
-      lower[write] = lb;
-      ++write;
-      if (lb < next_key) {
-        next_key = lb;
-        next = u;
-      }
-      if (u_is_pivot && lb < next_pivot_key) {
-        next_pivot_key = lb;
-        next_pivot = u;
-      }
+    // surviving prototype with minimal lower bound.
+    if (s_is_pivot) {
+      kern.update_lower_packed(
+          d, table_data() + static_cast<std::size_t>(pivot_rank_[s]) * n, idx,
+          0, lower, live);
     }
-    live = write;
+    const SweepCompactResult pass = kern.eliminate_and_compact_flagged(
+        idx, lower, pivot_rank_.data(), live, static_cast<std::uint32_t>(s),
+        slack, kth());
+    live = pass.live;
+    live_pivots -= pass.pivots_died;
     if (live == 0) break;
-    s = live_pivots > 0 ? next_pivot : next;
-    if (s == kNone) break;  // defensive: accounting can never reach this
+    s = live_pivots > 0 ? pass.next_pivot : pass.next;
+    if (s == kSweepNone) break;  // defensive: accounting can never reach this
   }
 
   if (stats != nullptr) {
@@ -228,14 +184,14 @@ std::vector<NeighborResult> Laesa::SweepWithRow(std::string_view query,
   k = std::min(k, n);
   if (k == 0) return {};
 
+  const SweepKernels& kern = ActiveSweepKernels();
   SweepScratch& scratch = TlsSweepScratch();
-  std::vector<std::uint32_t>& idx = scratch.idx;
-  std::vector<double>& lower = scratch.lower;
-  idx.resize(n);
-  lower.resize(n);
+  scratch.idx.resize(n);
+  scratch.lower.resize(n);
+  std::uint32_t* idx = scratch.idx.data();
+  double* lower = scratch.lower.data();
 
-  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n,
-                               lower.data());
+  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n, lower);
 
   // Seed the incumbents with every pivot distance (each live pivot once —
   // the ablation constructor and Load accept duplicate pivot entries).
@@ -250,41 +206,26 @@ std::vector<NeighborResult> Laesa::SweepWithRow(std::string_view query,
   }
 
   // Tighten every lower bound with every pivot row (no elimination yet:
-  // each row pass stays a flat streamed max), then eliminate against the
-  // fully seeded k-th incumbent, compact the surviving non-pivots and pick
-  // the first minimal-bound survivor in the same pass.
+  // each row pass is the dense streamed-max kernel), then eliminate against
+  // the fully seeded k-th incumbent, compact the surviving non-pivots into
+  // the packed slabs and pick the first minimal-bound survivor — one
+  // compact_seed pass.
   const double* table = table_data();
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
-    const double d = row[p];
-    const double* trow = table + p * n;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double g = std::abs(d - trow[i]);
-      if (g > lower[i]) lower[i] = g;
-    }
+    kern.update_lower_dense(row[p], table + p * n, lower, n);
   }
-  const double seed_bound = kth();
-  std::size_t live = 0;
-  std::size_t s = kNone;
-  double s_key = inf;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (pivot_rank_[i] >= 0) continue;  // already evaluated by the stage
-    if (lower[i] >= seed_bound) continue;
-    idx[live] = static_cast<std::uint32_t>(i);
-    lower[live] = lower[i];
-    ++live;
-    if (lower[live - 1] < s_key) {
-      s_key = lower[live - 1];
-      s = i;
-    }
-  }
+  const SweepCompactResult seed = kern.compact_seed(
+      lower, pivot_rank_.data(), n, 0, kth(), idx, lower);
+  std::size_t live = seed.live;
+  std::size_t s = seed.next;
 
   std::uint64_t computations = 0, abandons = 0;
 
   // Adaptive non-pivot phase, identical in structure to `Sweep`'s loop with
   // no table row left to apply: visit the minimal-lower-bound survivor,
-  // then one pass that re-eliminates against the improved incumbent,
-  // compacts and picks the next visit.
-  while (live > 0 && s != kNone) {
+  // then one eliminate-and-compact pass against the improved incumbent
+  // picks the next visit.
+  while (live > 0 && s != kSweepNone) {
     const double cap = kth();
     const double d = distance_->DistanceBounded(query, protos[s], cap);
     ++computations;
@@ -293,25 +234,10 @@ std::vector<NeighborResult> Laesa::SweepWithRow(std::string_view query,
     } else {
       InsertNeighborTopK(best, k, {s, d});
     }
-    const double bound = kth();
-    std::size_t write = 0;
-    std::size_t next = kNone;
-    double next_key = inf;
-    for (std::size_t r = 0; r < live; ++r) {
-      const std::uint32_t u = idx[r];
-      if (u == s) continue;
-      const double lb = lower[r];
-      if (lb >= bound) continue;
-      idx[write] = u;
-      lower[write] = lb;
-      ++write;
-      if (lb < next_key) {
-        next_key = lb;
-        next = u;
-      }
-    }
-    live = write;
-    s = next;
+    const SweepCompactResult pass = kern.eliminate_and_compact(
+        idx, lower, live, static_cast<std::uint32_t>(s), kth());
+    live = pass.live;
+    s = pass.next;
   }
 
   if (stats != nullptr) {
@@ -369,31 +295,27 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
                                                QueryStats* stats) const {
   const PrototypeStore& protos = store();
   const std::size_t n = protos.size();
+  const SweepKernels& kern = ActiveSweepKernels();
   SweepScratch& scratch = TlsSweepScratch();
-  std::vector<double>& lower = scratch.lower;
-  lower.resize(n);
+  scratch.lower.resize(n);
+  double* lower = scratch.lower.data();
   // Length-difference bounds seed the candidate filter for free, as in the
   // nearest-neighbour sweep.
-  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n,
-                               lower.data());
+  distance_->LengthLowerBounds(query.size(), protos.lengths_data(), n, lower);
 
   std::vector<NeighborResult> hits;
   std::uint64_t computations = 0, abandons = 0;
 
   // Phase 1: compute query-pivot distances, tighten every lower bound with
-  // the pivot's contiguous table row. Pivot distances stay exact: their
-  // full value feeds every candidate's lower bound, which is worth far more
-  // than an abandoned evaluation saves.
+  // the pivot's contiguous table row (the dense streamed-max kernel). Pivot
+  // distances stay exact: their full value feeds every candidate's lower
+  // bound, which is worth far more than an abandoned evaluation saves.
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
     const std::size_t s = pivots_[p];
     const double d = distance_->Distance(query, protos[s]);
     ++computations;
     if (d <= radius) hits.push_back({s, d});
-    const double* row = table_data() + p * n;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double g = std::abs(d - row[i]);
-      if (g > lower[i]) lower[i] = g;
-    }
+    kern.update_lower_dense(d, table_data() + p * n, lower, n);
   }
   // Phase 2: verify every surviving non-pivot (pivots were computed in
   // phase 1). Hits are inclusive (d <= radius), so the kernel bound is the

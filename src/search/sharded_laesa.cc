@@ -8,11 +8,11 @@
 #include "common/binary_io.h"
 #include "common/parallel.h"
 #include "search/pivot_selection.h"
+#include "search/sweep_kernel.h"
 
 namespace cned {
 namespace {
 
-constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Candidate work below which the per-visit shard passes run serially on the
@@ -23,28 +23,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Results are identical either way — only the execution schedule changes.
 constexpr std::size_t kParallelPassWork = 1 << 20;
 
-/// Outcome of one shard's tighten/eliminate/compact pass.
-struct ShardPass {
-  std::size_t live = 0;
-  std::size_t pivots_died = 0;
-  std::size_t next = kNone;        // surviving candidate with minimal bound
-  double next_key = kInf;
-  std::size_t next_pivot = kNone;  // surviving *pivot* with minimal bound
-  double next_pivot_key = kInf;
-};
-
-/// Thread-local scratch: the packed candidate arrays, segmented per shard
-/// (segment s occupies [shard_base(s), shard_base(s) + live[s])), plus the
-/// per-shard pass results. Owned per thread, so batched queries running
-/// under ParallelFor never share state.
+/// Thread-local per-shard bookkeeping: segment live counts and the
+/// per-shard kernel pass results. The packed candidate slabs themselves
+/// come from the shared `TlsSweepScratch` (segment s occupies
+/// [shard_base(s), shard_base(s) + live[s]) of the 64-byte-aligned slabs
+/// the kernels sweep). Owned per thread, so batched queries running under
+/// ParallelFor never share state.
 struct ShardedScratch {
-  std::vector<std::uint32_t> idx;
-  std::vector<double> lower;
   std::vector<std::size_t> live;
-  std::vector<ShardPass> pass;
+  std::vector<SweepCompactResult> pass;
 };
 
-ShardedScratch& TlsScratch() {
+ShardedScratch& TlsShardedScratch() {
   thread_local ShardedScratch scratch;
   return scratch;
 }
@@ -104,7 +94,10 @@ void ShardedLaesa::BuildTables() {
 // order (incumbents, kernel caps, elimination bound, and the
 // next-candidate merge that resolves ties to the lowest global index, as
 // the flat packed scan does), so neighbours, distances and QueryStats are
-// bit-identical to the single-store index for every distance.
+// bit-identical to the single-store index for every distance. Each shard's
+// tighten/eliminate/compact pass runs on the shared dispatched sweep
+// kernels (sweep_kernel.h) over that shard's slab segment — literally the
+// flat index's vector code, partitioned.
 std::vector<NeighborResult> ShardedLaesa::Sweep(std::string_view query,
                                                 std::size_t k, double slack,
                                                 QueryStats* stats,
@@ -115,13 +108,15 @@ std::vector<NeighborResult> ShardedLaesa::Sweep(std::string_view query,
   k = std::min(k, n);
   if (k == 0) return {};
 
-  ShardedScratch& scratch = TlsScratch();
-  scratch.idx.resize(n);
-  scratch.lower.resize(n);
+  const SweepKernels& kern = ActiveSweepKernels();
+  SweepScratch& slabs = TlsSweepScratch();
+  slabs.idx.resize(n);
+  slabs.lower.resize(n);
+  ShardedScratch& scratch = TlsShardedScratch();
   scratch.live.assign(shards, 0);
-  scratch.pass.assign(shards, ShardPass{});
-  std::uint32_t* idx = scratch.idx.data();
-  double* lower = scratch.lower.data();
+  scratch.pass.assign(shards, SweepCompactResult{});
+  std::uint32_t* idx = slabs.idx.data();
+  double* lower = slabs.lower.data();
 
   // Free zeroth pivot per shard: one flat pass over each shard's packed
   // length array, writing straight into that shard's bound segment.
@@ -131,11 +126,7 @@ std::vector<NeighborResult> ShardedLaesa::Sweep(std::string_view query,
                                  shard.size(), lower + st.shard_base(s));
     scratch.live[s] = shard.size();
   }
-  std::size_t live_pivots = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    idx[i] = static_cast<std::uint32_t>(i);
-    live_pivots += pivot_rank_[i] >= 0 ? 1 : 0;
-  }
+  std::size_t live_pivots = FillIotaCountPivots(idx, pivot_rank_.data(), n);
   std::size_t total_live = n;
 
   std::vector<NeighborResult> best;
@@ -167,46 +158,19 @@ std::vector<NeighborResult> ShardedLaesa::Sweep(std::string_view query,
 
     const double bound = kth();
     auto pass_fn = [&](std::size_t sh) {
-      ShardPass out;
       const std::size_t base = st.shard_base(sh);
       const std::size_t seg_live = scratch.live[sh];
-      const double* row =
-          is_pivot ? shard_table(sh) +
-                         static_cast<std::size_t>(rank) * st.shard(sh).size()
-                   : nullptr;
-      std::uint32_t* sidx = idx + base;
-      double* slow = lower + base;
-      std::size_t write = 0;
-      for (std::size_t r = 0; r < seg_live; ++r) {
-        const std::uint32_t u = sidx[r];
-        if (u == s_cand) {  // just visited: drop from the candidate set
-          if (is_pivot) ++out.pivots_died;
-          continue;
-        }
-        double lb = slow[r];
-        if (row != nullptr) {
-          const double g = std::abs(d - row[u - base]);
-          if (g > lb) lb = g;
-        }
-        const bool u_is_pivot = pivot_rank_[u] >= 0;
-        if (lb * slack >= bound) {  // can at most tie: eliminated
-          if (u_is_pivot) ++out.pivots_died;
-          continue;
-        }
-        sidx[write] = u;
-        slow[write] = lb;
-        ++write;
-        if (lb < out.next_key) {
-          out.next_key = lb;
-          out.next = u;
-        }
-        if (u_is_pivot && lb < out.next_pivot_key) {
-          out.next_pivot_key = lb;
-          out.next_pivot = u;
-        }
+      if (is_pivot) {
+        const double* row = shard_table(sh) +
+                            static_cast<std::size_t>(rank) *
+                                st.shard(sh).size();
+        kern.update_lower_packed(d, row, idx + base,
+                                 static_cast<std::uint32_t>(base),
+                                 lower + base, seg_live);
       }
-      out.live = write;
-      scratch.pass[sh] = out;
+      scratch.pass[sh] = kern.eliminate_and_compact_flagged(
+          idx + base, lower + base, pivot_rank_.data(), seg_live,
+          static_cast<std::uint32_t>(s_cand), slack, bound);
     };
     if (shards > 1 && total_live >= kParallelPassWork) {
       ParallelFor(shards, pass_fn);
@@ -218,25 +182,26 @@ std::vector<NeighborResult> ShardedLaesa::Sweep(std::string_view query,
     // occurrence wins, i.e. the lowest global index among ties — exactly
     // the flat packed scan's choice.
     total_live = 0;
-    std::size_t next = kNone, next_pivot = kNone;
+    std::size_t next = kSweepNone, next_pivot = kSweepNone;
     double next_key = kInf, next_pivot_key = kInf;
     for (std::size_t sh = 0; sh < shards; ++sh) {
-      const ShardPass& out = scratch.pass[sh];
+      const SweepCompactResult& out = scratch.pass[sh];
       scratch.live[sh] = out.live;
       total_live += out.live;
       live_pivots -= out.pivots_died;
-      if (out.next != kNone && out.next_key < next_key) {
+      if (out.next != kSweepNone && out.next_key < next_key) {
         next_key = out.next_key;
         next = out.next;
       }
-      if (out.next_pivot != kNone && out.next_pivot_key < next_pivot_key) {
+      if (out.next_pivot != kSweepNone && out.next_pivot_key < next_pivot_key) {
         next_pivot_key = out.next_pivot_key;
         next_pivot = out.next_pivot;
       }
     }
     if (total_live == 0) break;
     s_cand = live_pivots > 0 ? next_pivot : next;
-    if (s_cand == kNone) break;  // defensive: accounting can never reach this
+    // defensive: accounting can never reach this
+    if (s_cand == kSweepNone) break;
   }
 
   if (stats != nullptr) {
@@ -262,13 +227,15 @@ std::vector<NeighborResult> ShardedLaesa::SweepWithRow(
   k = std::min(k, n);
   if (k == 0) return {};
 
-  ShardedScratch& scratch = TlsScratch();
-  scratch.idx.resize(n);
-  scratch.lower.resize(n);
+  const SweepKernels& kern = ActiveSweepKernels();
+  SweepScratch& slabs = TlsSweepScratch();
+  slabs.idx.resize(n);
+  slabs.lower.resize(n);
+  ShardedScratch& scratch = TlsShardedScratch();
   scratch.live.assign(shards, 0);
-  scratch.pass.assign(shards, ShardPass{});
-  std::uint32_t* idx = scratch.idx.data();
-  double* lower = scratch.lower.data();
+  scratch.pass.assign(shards, SweepCompactResult{});
+  std::uint32_t* idx = slabs.idx.data();
+  double* lower = slabs.lower.data();
 
   for (std::size_t s = 0; s < shards; ++s) {
     const PrototypeStore& shard = st.shard(s);
@@ -283,37 +250,21 @@ std::vector<NeighborResult> ShardedLaesa::SweepWithRow(
     InsertNeighborTopK(best, k, {pivots_[p], row[p]}, /*admit_ties=*/true);
   }
 
+  // Per shard: every pivot row applied with the dense streamed-max kernel,
+  // then one compact_seed pass packs the surviving non-pivots of that
+  // shard's segment and tracks its minimal-bound survivor.
   const double seed_bound = kth();
   auto stage_fn = [&](std::size_t sh) {
-    ShardPass out;
     const std::size_t base = st.shard_base(sh);
     const std::size_t n_sh = st.shard(sh).size();
-    std::uint32_t* sidx = idx + base;
     double* slow = lower + base;
     const double* table = shard_table(sh);
     for (std::size_t p = 0; p < p_count; ++p) {
-      const double dqp = row[p];
-      const double* trow = table + p * n_sh;
-      for (std::size_t j = 0; j < n_sh; ++j) {
-        const double g = std::abs(dqp - trow[j]);
-        if (g > slow[j]) slow[j] = g;
-      }
+      kern.update_lower_dense(row[p], table + p * n_sh, slow, n_sh);
     }
-    std::size_t write = 0;
-    for (std::size_t j = 0; j < n_sh; ++j) {
-      const std::size_t u = base + j;
-      if (pivot_rank_[u] >= 0) continue;  // evaluated by the pivot stage
-      if (slow[j] >= seed_bound) continue;
-      sidx[write] = static_cast<std::uint32_t>(u);
-      slow[write] = slow[j];
-      ++write;
-      if (slow[write - 1] < out.next_key) {
-        out.next_key = slow[write - 1];
-        out.next = u;
-      }
-    }
-    out.live = write;
-    scratch.pass[sh] = out;
+    scratch.pass[sh] = kern.compact_seed(
+        slow, pivot_rank_.data() + base, n_sh,
+        static_cast<std::uint32_t>(base), seed_bound, idx + base, slow);
   };
   if (shards > 1 && p_count * n >= kParallelPassWork) {
     ParallelFor(shards, stage_fn);
@@ -322,13 +273,13 @@ std::vector<NeighborResult> ShardedLaesa::SweepWithRow(
   }
 
   std::size_t total_live = 0;
-  std::size_t s_cand = kNone;
+  std::size_t s_cand = kSweepNone;
   double s_key = kInf;
   for (std::size_t sh = 0; sh < shards; ++sh) {
-    const ShardPass& out = scratch.pass[sh];
+    const SweepCompactResult& out = scratch.pass[sh];
     scratch.live[sh] = out.live;
     total_live += out.live;
-    if (out.next != kNone && out.next_key < s_key) {
+    if (out.next != kSweepNone && out.next_key < s_key) {
       s_key = out.next_key;
       s_cand = out.next;
     }
@@ -336,7 +287,7 @@ std::vector<NeighborResult> ShardedLaesa::SweepWithRow(
 
   std::uint64_t computations = 0, abandons = 0;
 
-  while (total_live > 0 && s_cand != kNone) {
+  while (total_live > 0 && s_cand != kSweepNone) {
     const double cap = kth();
     const double d = distance_->DistanceBounded(query, st.view(s_cand), cap);
     ++computations;
@@ -354,27 +305,10 @@ std::vector<NeighborResult> ShardedLaesa::SweepWithRow(
 
     const double bound = kth();
     auto pass_fn = [&](std::size_t sh) {
-      ShardPass out;
       const std::size_t base = st.shard_base(sh);
-      const std::size_t seg_live = scratch.live[sh];
-      std::uint32_t* sidx = idx + base;
-      double* slow = lower + base;
-      std::size_t write = 0;
-      for (std::size_t r = 0; r < seg_live; ++r) {
-        const std::uint32_t u = sidx[r];
-        if (u == s_cand) continue;
-        const double lb = slow[r];
-        if (lb >= bound) continue;
-        sidx[write] = u;
-        slow[write] = lb;
-        ++write;
-        if (lb < out.next_key) {
-          out.next_key = lb;
-          out.next = u;
-        }
-      }
-      out.live = write;
-      scratch.pass[sh] = out;
+      scratch.pass[sh] = kern.eliminate_and_compact(
+          idx + base, lower + base, scratch.live[sh],
+          static_cast<std::uint32_t>(s_cand), bound);
     };
     if (shards > 1 && total_live >= kParallelPassWork) {
       ParallelFor(shards, pass_fn);
@@ -383,13 +317,13 @@ std::vector<NeighborResult> ShardedLaesa::SweepWithRow(
     }
 
     total_live = 0;
-    s_cand = kNone;
+    s_cand = kSweepNone;
     s_key = kInf;
     for (std::size_t sh = 0; sh < shards; ++sh) {
-      const ShardPass& out = scratch.pass[sh];
+      const SweepCompactResult& out = scratch.pass[sh];
       scratch.live[sh] = out.live;
       total_live += out.live;
-      if (out.next != kNone && out.next_key < s_key) {
+      if (out.next != kSweepNone && out.next_key < s_key) {
         s_key = out.next_key;
         s_cand = out.next;
       }

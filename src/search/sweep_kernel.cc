@@ -1,0 +1,224 @@
+#include "search/sweep_kernel.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/cpu_features.h"
+
+namespace cned {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These are the semantics — the ISA variants are
+// differentially tested against them bit for bit (tests/sweep_kernel_test,
+// bench/micro_sweep_kernel), and they double as the portable fallback and
+// the CNED_SWEEP_KERNEL=scalar ablation row.
+// ---------------------------------------------------------------------------
+
+void ScalarUpdateLowerDense(double d, const double* row, double* lower,
+                            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double g = std::abs(d - row[i]);
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void ScalarUpdateLowerPacked(double d, const double* row,
+                             const std::uint32_t* idx, std::uint32_t base,
+                             double* lower, std::size_t live) {
+  for (std::size_t r = 0; r < live; ++r) {
+    const double g = std::abs(d - row[idx[r] - base]);
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+void ScalarFillAbsDiffBounds(std::size_t x_len, const std::uint32_t* y_lens,
+                             std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t y = y_lens[i];
+    out[i] = x_len > y ? static_cast<double>(x_len - y)
+                       : static_cast<double>(y - x_len);
+  }
+}
+
+SweepCompactResult ScalarEliminateAndCompact(std::uint32_t* idx, double* lower,
+                                             std::size_t live,
+                                             std::uint32_t skip,
+                                             double bound) {
+  SweepCompactResult out;
+  std::size_t write = 0;
+  for (std::size_t r = 0; r < live; ++r) {
+    const std::uint32_t u = idx[r];
+    if (u == skip) continue;  // just visited: drop from the candidate set
+    const double lb = lower[r];
+    if (lb >= bound) continue;  // can at most tie: eliminated
+    idx[write] = u;
+    lower[write] = lb;
+    ++write;
+    if (lb < out.next_key) {
+      out.next_key = lb;
+      out.next = u;
+    }
+  }
+  out.live = write;
+  return out;
+}
+
+SweepCompactResult ScalarEliminateAndCompactFlagged(
+    std::uint32_t* idx, double* lower, const std::int32_t* pivot_rank,
+    std::size_t live, std::uint32_t skip, double slack, double bound) {
+  SweepCompactResult out;
+  std::size_t write = 0;
+  for (std::size_t r = 0; r < live; ++r) {
+    const std::uint32_t u = idx[r];
+    const bool is_pivot = pivot_rank[u] >= 0;
+    if (u == skip) {  // just visited: drop from the candidate set
+      out.pivots_died += is_pivot ? 1 : 0;
+      continue;
+    }
+    const double lb = lower[r];
+    if (lb * slack >= bound) {  // can at most tie: eliminated
+      out.pivots_died += is_pivot ? 1 : 0;
+      continue;
+    }
+    idx[write] = u;
+    lower[write] = lb;
+    ++write;
+    if (lb < out.next_key) {
+      out.next_key = lb;
+      out.next = u;
+    }
+    if (is_pivot && lb < out.next_pivot_key) {
+      out.next_pivot_key = lb;
+      out.next_pivot = u;
+    }
+  }
+  out.live = write;
+  return out;
+}
+
+SweepCompactResult ScalarCompactSeed(const double* lower_dense,
+                                     const std::int32_t* rank, std::size_t n,
+                                     std::uint32_t base, double bound,
+                                     std::uint32_t* idx_out,
+                                     double* lower_out) {
+  SweepCompactResult out;
+  std::size_t write = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (rank[j] >= 0) continue;  // already evaluated by the pivot stage
+    const double lb = lower_dense[j];
+    if (lb >= bound) continue;
+    idx_out[write] = base + static_cast<std::uint32_t>(j);
+    lower_out[write] = lb;
+    ++write;
+    if (lb < out.next_key) {
+      out.next_key = lb;
+      out.next = base + j;
+    }
+  }
+  out.live = write;
+  return out;
+}
+
+}  // namespace
+
+const SweepKernels& ScalarSweepKernels() {
+  static const SweepKernels kScalar = {
+      "scalar",
+      ScalarUpdateLowerDense,
+      ScalarUpdateLowerPacked,
+      ScalarFillAbsDiffBounds,
+      ScalarEliminateAndCompact,
+      ScalarEliminateAndCompactFlagged,
+      ScalarCompactSeed,
+  };
+  return kScalar;
+}
+
+// Defined in the per-ISA translation units, which CMake compiles (with
+// their target extension where needed) only for matching architectures.
+#if defined(CNED_SWEEP_AVX2)
+const SweepKernels& Avx2SweepKernels();
+#endif
+#if defined(CNED_SWEEP_NEON)
+const SweepKernels& NeonSweepKernels();
+#endif
+
+std::vector<const SweepKernels*> AvailableSweepKernels() {
+  std::vector<const SweepKernels*> kernels{&ScalarSweepKernels()};
+#if defined(CNED_SWEEP_AVX2)
+  if (CpuHasAvx2()) kernels.push_back(&Avx2SweepKernels());
+#endif
+#if defined(CNED_SWEEP_NEON)
+  if (CpuHasNeon()) kernels.push_back(&NeonSweepKernels());
+#endif
+  return kernels;
+}
+
+namespace {
+
+const SweepKernels* FindKernels(std::string_view name) {
+  for (const SweepKernels* k : AvailableSweepKernels()) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+const SweepKernels* BestKernels() { return AvailableSweepKernels().back(); }
+
+const SweepKernels* ResolveStartupKernels() {
+  const char* env = std::getenv("CNED_SWEEP_KERNEL");
+  if (env == nullptr || *env == '\0' ||
+      std::string_view(env) == std::string_view("auto")) {
+    return BestKernels();
+  }
+  if (const SweepKernels* k = FindKernels(env)) return k;
+  std::fprintf(stderr,
+               "cned: CNED_SWEEP_KERNEL=%s is not available on this "
+               "build/CPU; using the scalar sweep kernels\n",
+               env);
+  return &ScalarSweepKernels();
+}
+
+std::atomic<const SweepKernels*> g_active{nullptr};
+
+}  // namespace
+
+const SweepKernels& ActiveSweepKernels() {
+  const SweepKernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // Benign race: ResolveStartupKernels is deterministic, so concurrent
+    // first calls store the same pointer.
+    k = ResolveStartupKernels();
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+bool SetActiveSweepKernels(std::string_view name) {
+  const SweepKernels* k =
+      name == std::string_view("auto") ? BestKernels() : FindKernels(name);
+  if (k == nullptr) return false;
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+SweepScratch& TlsSweepScratch() {
+  thread_local SweepScratch scratch;
+  return scratch;
+}
+
+std::size_t FillIotaCountPivots(std::uint32_t* idx,
+                                const std::int32_t* pivot_rank,
+                                std::size_t n) {
+  std::size_t pivots = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<std::uint32_t>(i);
+    pivots += pivot_rank[i] >= 0 ? 1 : 0;
+  }
+  return pivots;
+}
+
+}  // namespace cned

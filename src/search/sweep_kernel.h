@@ -1,0 +1,181 @@
+#ifndef CNED_SEARCH_SWEEP_KERNEL_H_
+#define CNED_SEARCH_SWEEP_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+
+namespace cned {
+
+/// The shared vectorised elimination core of the LAESA family.
+///
+/// Every LAESA-shaped sweep in the library — `Laesa::Sweep`,
+/// `Laesa::SweepWithRow`, `Laesa::RangeSearch` and `ShardedLaesa`'s
+/// per-shard passes (and through them the batch engine's pivot-stage
+/// pipeline) — is the same three data-parallel operations over packed
+/// candidate slabs:
+///
+///   1. tighten lower bounds with a visited pivot's table row
+///      (`update_lower_*`: fused abs-diff + running max),
+///   2. eliminate against the incumbent and compact the survivors
+///      (`eliminate_and_compact*` / `compact_seed`: threshold filter +
+///      in-place index/bound compaction that also tracks the
+///      minimal-bound survivor), and
+///   3. the length-bound "zeroth pivot" fill (`fill_absdiff_bounds`: the
+///      |Δlen| core of the unit-cost edit-distance family's bound).
+///
+/// This header defines those operations once as a dispatch table of
+/// function pointers with scalar, AVX2 and NEON implementations. The
+/// variant is chosen at startup by runtime CPU detection (the binary stays
+/// portable — only the per-ISA translation units are compiled with their
+/// target extension) and can be forced for ablations and CI via the
+/// `CNED_SWEEP_KERNEL` environment variable or `SetActiveSweepKernels`.
+///
+/// Bit-identity contract: every implementation computes exactly the scalar
+/// reference semantics documented per entry below. All arithmetic involved
+/// is exact in IEEE-754 double precision — |d - row| is one correctly
+/// rounded subtraction plus sign clearing, comparisons and max are exact,
+/// and the slack multiply is performed identically in every variant — so
+/// neighbours, distances AND QueryStats are bit-identical across kernels,
+/// which the differential tests and `micro_sweep_kernel` enforce.
+///
+/// Layout contract: candidate ids are 32-bit and < 2^31 (the SIMD gathers
+/// index with signed 32-bit lanes); the packed `idx` slice handed to a
+/// compaction kernel is strictly ascending (true by construction: slices
+/// start as an iota fill and compaction is stable), which is what lets the
+/// vector implementations resolve min-bound ties by smallest id instead of
+/// smallest scan position. Slabs should come from `SweepScratch` (64-byte
+/// aligned); the kernels use unaligned loads so mid-slab shard segments
+/// are also fine.
+
+/// "No candidate": the sentinel `next`/`next_pivot` value.
+constexpr std::size_t kSweepNone = static_cast<std::size_t>(-1);
+
+/// Outcome of one eliminate-and-compact pass over a packed candidate slice.
+struct SweepCompactResult {
+  /// Survivors now packed in [0, live) of the idx/lower slice.
+  std::size_t live = 0;
+  /// Dropped candidates (visited or eliminated) whose pivot flag was set.
+  /// Only the *_flagged kernel fills this; others leave it 0.
+  std::size_t pivots_died = 0;
+  /// Surviving candidate with the minimal finite lower bound (first in
+  /// packed order among ties, i.e. the smallest id), or kSweepNone.
+  std::size_t next = kSweepNone;
+  double next_key = std::numeric_limits<double>::infinity();
+  /// Same, restricted to surviving pivots (flagged kernel only).
+  std::size_t next_pivot = kSweepNone;
+  double next_pivot_key = std::numeric_limits<double>::infinity();
+};
+
+/// One kernel variant: a named table of the sweep's data-parallel cores.
+/// All entries are hot-loop functions — no allocation, no exceptions.
+struct SweepKernels {
+  /// "scalar", "avx2" or "neon" — the CNED_SWEEP_KERNEL names.
+  const char* name;
+
+  /// Dense row application: lower[i] = max(lower[i], |d - row[i]|) for i in
+  /// [0, n), where max keeps lower[i] on ties (the scalar `if (g > lb)`).
+  /// Used by the row-consuming sweeps (every pivot row applied to every
+  /// candidate) and RangeSearch's pivot phase.
+  void (*update_lower_dense)(double d, const double* row, double* lower,
+                             std::size_t n);
+
+  /// Packed (gather) row application over the live slice: for r in
+  /// [0, live), lower[r] = max(lower[r], |d - row[idx[r] - base]|).
+  /// `base` is the shard base so idx's global ids index the shard-local
+  /// row; 0 for the flat index. Used by the lazy sweeps after each visited
+  /// pivot.
+  void (*update_lower_packed)(double d, const double* row,
+                              const std::uint32_t* idx, std::uint32_t base,
+                              double* lower, std::size_t live);
+
+  /// The |Δlen| zeroth-pivot fill: out[i] = |x_len - y_lens[i]| as a
+  /// double, over a store's packed 32-bit length array. This is the
+  /// unit-cost edit-distance length bound; the normalised distances derive
+  /// their closed forms from it per element (scalar, in their own
+  /// overrides).
+  void (*fill_absdiff_bounds)(std::size_t x_len, const std::uint32_t* y_lens,
+                              std::size_t n, double* out);
+
+  /// Eliminate + compact without pivot bookkeeping (the adaptive phase of
+  /// the row-consuming sweeps). Keeps idx[r] iff
+  ///   idx[r] != skip  &&  !(lower[r] >= bound)
+  /// compacting idx/lower in place (stable) and tracking the minimal-bound
+  /// survivor. `skip` is the just-visited candidate (pass a value absent
+  /// from the slice, e.g. 0xFFFFFFFF, for "none").
+  SweepCompactResult (*eliminate_and_compact)(std::uint32_t* idx,
+                                              double* lower, std::size_t live,
+                                              std::uint32_t skip,
+                                              double bound);
+
+  /// Eliminate + compact for the lazy sweeps: same as above with the
+  /// approximation slack applied — keeps idx[r] iff
+  ///   idx[r] != skip  &&  !(lower[r] * slack >= bound)
+  /// — plus pivot bookkeeping: pivot_rank is indexed by candidate id
+  /// (rank[id] >= 0 marks a pivot; gathered through idx), dropped pivots
+  /// are counted into pivots_died, and the minimal-bound surviving pivot is
+  /// tracked alongside the overall minimum.
+  SweepCompactResult (*eliminate_and_compact_flagged)(
+      std::uint32_t* idx, double* lower, const std::int32_t* pivot_rank,
+      std::size_t live, std::uint32_t skip, double slack, double bound);
+
+  /// Dense-to-packed seeding for the row-consuming sweeps: after all pivot
+  /// rows tightened the dense bound array, keeps position j in [0, n) iff
+  ///   rank[j] < 0  &&  !(lower_dense[j] >= bound)
+  /// writing candidate id base + j and its bound packed into
+  /// idx_out/lower_out, tracking the minimal-bound survivor. `rank` here is
+  /// the slice aligned with lower_dense (rank[j] describes candidate
+  /// base + j). lower_out may alias lower_dense (the in-place pack the
+  /// sweeps use).
+  SweepCompactResult (*compact_seed)(const double* lower_dense,
+                                     const std::int32_t* rank, std::size_t n,
+                                     std::uint32_t base, double bound,
+                                     std::uint32_t* idx_out,
+                                     double* lower_out);
+};
+
+/// The portable reference implementation (always available). Every other
+/// variant is differentially tested against it.
+const SweepKernels& ScalarSweepKernels();
+
+/// All variants compiled into this binary AND supported by the running
+/// CPU, scalar first, fastest last. At least one entry (scalar).
+std::vector<const SweepKernels*> AvailableSweepKernels();
+
+/// The variant the sweeps use. Resolved once on first use: the
+/// CNED_SWEEP_KERNEL environment variable ("scalar", "avx2", "neon",
+/// "auto") when set and available — an unavailable forced name warns on
+/// stderr and falls back to scalar — otherwise the fastest available
+/// variant. Thread-safe.
+const SweepKernels& ActiveSweepKernels();
+
+/// Forces a variant by name ("auto" re-selects the fastest available).
+/// Returns false (and changes nothing) for an unknown or unsupported name.
+/// Intended for startup/ablation use (tests, the fig3/fig4 --kernel flag),
+/// not for concurrent flipping mid-query.
+bool SetActiveSweepKernels(std::string_view name);
+
+/// Thread-local 64-byte-aligned candidate slabs shared by the sweeps.
+/// Reused across queries (zero steady-state allocations) and owned per
+/// thread, so batched queries running under ParallelFor never share state.
+struct SweepScratch {
+  AlignedBuffer<std::uint32_t> idx;
+  AlignedBuffer<double> lower;
+};
+SweepScratch& TlsSweepScratch();
+
+/// Shared candidate-slab initialisation: idx[i] = i for i in [0, n), and
+/// returns the number of ids with pivot_rank[id] >= 0 — the live-pivot
+/// count the lazy sweeps start from (duplicate pivots_ entries occupy one
+/// candidate slot, hence counting ranks, not table rows).
+std::size_t FillIotaCountPivots(std::uint32_t* idx,
+                                const std::int32_t* pivot_rank,
+                                std::size_t n);
+
+}  // namespace cned
+
+#endif  // CNED_SEARCH_SWEEP_KERNEL_H_

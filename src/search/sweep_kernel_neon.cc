@@ -1,0 +1,99 @@
+// NEON implementations of the sweep kernels (see sweep_kernel.h for the
+// semantics every variant must reproduce bit for bit).
+//
+// AArch64 AdvSIMD is baseline (and these kernels use float64x2 intrinsics
+// that exist ONLY on AArch64 — 32-bit ARM NEON is f32/integer), so this
+// translation unit needs no special compile flags: CMake includes it on
+// AArch64 targets only, and the runtime probe (common/cpu_features.h)
+// stays constant-true there.
+//
+// Scope: the bandwidth-bound passes — the dense and gathered row updates
+// and the |Δlen| fill — are vectorised (2 double lanes). The compaction
+// kernels reuse the scalar reference: with 2-wide vectors and no movemask
+// instruction, a NEON left-pack buys nothing over the scalar loop that the
+// compiler already schedules well, and sharing the scalar code keeps the
+// bit-identity argument trivial. The running-max update is written as
+// compare + select (not vmaxq, which would propagate NaNs differently from
+// the scalar `g > lb ? g : lb`).
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "search/sweep_kernel.h"
+
+namespace cned {
+namespace {
+
+void NeonUpdateLowerDense(double d, const double* row, double* lower,
+                          std::size_t n) {
+  const float64x2_t vd = vdupq_n_f64(d);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t g = vabsq_f64(vsubq_f64(vd, vld1q_f64(row + i)));
+    const float64x2_t lb = vld1q_f64(lower + i);
+    // lb = g > lb ? g : lb — exact scalar ternary semantics.
+    vst1q_f64(lower + i, vbslq_f64(vcgtq_f64(g, lb), g, lb));
+  }
+  for (; i < n; ++i) {
+    const double g = std::abs(d - row[i]);
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void NeonUpdateLowerPacked(double d, const double* row,
+                           const std::uint32_t* idx, std::uint32_t base,
+                           double* lower, std::size_t live) {
+  const float64x2_t vd = vdupq_n_f64(d);
+  std::size_t r = 0;
+  for (; r + 2 <= live; r += 2) {
+    // No NEON gather: two scalar loads feed the vector lanes.
+    float64x2_t rows = vdupq_n_f64(row[idx[r] - base]);
+    rows = vsetq_lane_f64(row[idx[r + 1] - base], rows, 1);
+    const float64x2_t g = vabsq_f64(vsubq_f64(vd, rows));
+    const float64x2_t lb = vld1q_f64(lower + r);
+    vst1q_f64(lower + r, vbslq_f64(vcgtq_f64(g, lb), g, lb));
+  }
+  for (; r < live; ++r) {
+    const double g = std::abs(d - row[idx[r] - base]);
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+void NeonFillAbsDiffBounds(std::size_t x_len, const std::uint32_t* y_lens,
+                           std::size_t n, double* out) {
+  const float64x2_t vx = vdupq_n_f64(static_cast<double>(x_len));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // u32 -> u64 -> double is exact for the full 32-bit range.
+    const float64x2_t y =
+        vcvtq_f64_u64(vmovl_u32(vld1_u32(y_lens + i)));
+    vst1q_f64(out + i, vabsq_f64(vsubq_f64(vx, y)));
+  }
+  for (; i < n; ++i) {
+    const std::size_t y = y_lens[i];
+    out[i] = x_len > y ? static_cast<double>(x_len - y)
+                       : static_cast<double>(y - x_len);
+  }
+}
+
+}  // namespace
+
+const SweepKernels& NeonSweepKernels() {
+  static const SweepKernels kNeon = [] {
+    SweepKernels k = ScalarSweepKernels();  // compaction stays scalar
+    k.name = "neon";
+    k.update_lower_dense = NeonUpdateLowerDense;
+    k.update_lower_packed = NeonUpdateLowerPacked;
+    k.fill_absdiff_bounds = NeonFillAbsDiffBounds;
+    return k;
+  }();
+  return kNeon;
+}
+
+}  // namespace cned
+
+#endif  // defined(__aarch64__)
