@@ -1,13 +1,37 @@
 #include "common/binary_io.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "common/crc32.h"
 
 namespace cned {
 namespace {
 
 constexpr char kZeros[kBinaryAlignment] = {};
+
+/// Checks the last 64 bytes of a payload-plus-footer image: returns the
+/// payload size (total minus footer) and the stored CRC, throwing when the
+/// file is too short to hold a footer or the footer magic is absent. The
+/// footer always occupies exactly the final 64 bytes, so truncating a file
+/// anywhere destroys it — truncation is caught here even when the payload
+/// counts would still "fit".
+std::size_t CheckFooter(const char* data, std::size_t size,
+                        std::uint32_t* stored_crc, const std::string& path) {
+  if (size < kBinaryAlignment) {
+    throw std::runtime_error(
+        "binary_io: missing checksum footer (" + path + ")");
+  }
+  const char* footer = data + size - kBinaryAlignment;
+  if (std::memcmp(footer, kBinaryFooterMagic, 8) != 0) {
+    throw std::runtime_error(
+        "binary_io: missing checksum footer (" + path + ")");
+  }
+  std::memcpy(stored_crc, footer + 8, sizeof(*stored_crc));
+  return size - kBinaryAlignment;
+}
 
 std::string Describe(const std::string& path, const char* what) {
   return "binary_io: " + std::string(what) + " (" + path + ")";
@@ -45,6 +69,19 @@ std::size_t PadTo(std::size_t offset) {
 
 }  // namespace
 
+bool SnapshotVerifyEnabled() {
+  const char* env = std::getenv("CNED_SNAPSHOT_VERIFY");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "1" || v == "true" || v == "on";
+}
+
+void VerifySnapshotChecksum(const std::string& path) {
+  // One mapped pass; works on any file BinaryWriter finished, regardless of
+  // which reader will consume it afterwards.
+  MappedReader reader(MappedFile::Open(path), /*verify_checksum=*/true);
+}
+
 struct BinaryWriter::Impl {
   std::ofstream out;
 };
@@ -78,6 +115,7 @@ void BinaryWriter::Raw(const void* data, std::size_t bytes) {
   impl_->out.write(static_cast<const char*>(data),
                    static_cast<std::streamsize>(bytes));
   if (!impl_->out) throw std::runtime_error(Describe(path_, "write failed"));
+  crc_ = Crc32(data, bytes, crc_);
   offset_ += bytes;
 }
 
@@ -87,6 +125,15 @@ void BinaryWriter::Align() {
 }
 
 void BinaryWriter::Finish() {
+  // Pad the payload to a whole number of alignment blocks, then append the
+  // footer. The footer bytes are excluded from the CRC they carry, and are
+  // written through the stream directly so `crc_`/`offset_` keep describing
+  // the payload alone.
+  Align();
+  char footer[kBinaryAlignment] = {};
+  std::memcpy(footer, kBinaryFooterMagic, 8);
+  std::memcpy(footer + 8, &crc_, sizeof(crc_));
+  impl_->out.write(footer, sizeof(footer));
   impl_->out.flush();
   impl_->out.close();
   if (impl_->out.fail()) {
@@ -104,6 +151,16 @@ BinaryReader::BinaryReader(const std::string& path) : path_(path) {
     in.read(buffer_.data(), size);
     if (!in) throw std::runtime_error(Describe(path, "read failed"));
   }
+  // The copying loader reads every byte anyway, so it always verifies the
+  // checksum: a bit flip anywhere in the payload fails here, before any
+  // structural validation interprets the corrupted values.
+  std::uint32_t stored = 0;
+  const std::size_t payload =
+      CheckFooter(buffer_.data(), buffer_.size(), &stored, path_);
+  if (Crc32(buffer_.data(), payload) != stored) {
+    throw std::runtime_error(Describe(path_, "checksum mismatch"));
+  }
+  buffer_.resize(payload);  // sections must never read into the footer
 }
 
 std::vector<std::uint64_t> BinaryReader::Header(
@@ -145,6 +202,10 @@ void BinaryReader::Align() {
 }
 
 MappedReader::MappedReader(std::shared_ptr<MappedFile> file)
+    : MappedReader(std::move(file), SnapshotVerifyEnabled()) {}
+
+MappedReader::MappedReader(std::shared_ptr<MappedFile> file,
+                           bool verify_checksum)
     : file_(std::move(file)) {
   if (file_ == nullptr) {
     throw std::invalid_argument("binary_io: MappedReader needs a file");
@@ -152,6 +213,24 @@ MappedReader::MappedReader(std::shared_ptr<MappedFile> file)
   data_ = file_->data();
   size_ = file_->size();
   path_ = file_->path();
+  // Footer presence is always validated (and the footer removed from the
+  // section space, so no view can alias it); hashing the payload is the
+  // caller's choice — an eager whole-file pass would defeat the
+  // O(validation) startup the mapped loaders exist for.
+  std::uint32_t stored = 0;
+  size_ = CheckFooter(data_, size_, &stored, path_);
+  if (verify_checksum && Crc32(data_, size_) != stored) {
+    throw std::runtime_error(Describe(path_, "checksum mismatch"));
+  }
+}
+
+void MappedReader::VerifyChecksum() const {
+  // size_ already excludes the footer; the stored CRC sits right after it.
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, data_ + size_ + 8, sizeof(stored));
+  if (Crc32(data_, size_) != stored) {
+    throw std::runtime_error(Describe(path_, "checksum mismatch"));
+  }
 }
 
 std::vector<std::uint64_t> MappedReader::Header(

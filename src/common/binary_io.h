@@ -23,8 +23,33 @@ namespace cned {
 /// byte order; the format targets same-architecture serving processes, and
 /// the alignment means such a process can mmap the file and point packed
 /// arrays straight into it (the convention of usearch-style index files).
+///
+/// Every file ends with a 64-byte checksum footer written by
+/// `BinaryWriter::Finish`:
+///   bytes  0..7   footer magic "CNEDCRC1"
+///   bytes  8..11  CRC-32 (common/crc32.h) of every byte before the footer
+///   bytes 12..63  reserved (zero)
+/// `BinaryReader` (the copying loader — it reads every byte anyway) always
+/// verifies the checksum. `MappedReader` always validates the footer's
+/// *presence* (and excludes it from the section space) but verifies the
+/// content checksum only when asked — eagerly hashing the whole mapping
+/// would forfeit the O(validation) zero-copy startup contract — via the
+/// `verify_checksum` constructor flag, the `CNED_SNAPSHOT_VERIFY=1`
+/// environment default, or a standalone `VerifySnapshotChecksum` pass (the
+/// distributed serving tier runs one per shard file before mapping).
 inline constexpr std::size_t kBinaryAlignment = 64;
 inline constexpr std::size_t kBinaryHeaderCounts = 6;
+inline constexpr char kBinaryFooterMagic[8] = {'C', 'N', 'E', 'D',
+                                               'C', 'R', 'C', '1'};
+
+/// True when `CNED_SNAPSHOT_VERIFY` is set to a truthy value ("1", "true",
+/// "on"): mapped snapshot loads then verify the content checksum too.
+bool SnapshotVerifyEnabled();
+
+/// One sequential checksum pass over a snapshot file: validates the footer
+/// and the CRC-32 of the payload, throwing std::runtime_error on a missing
+/// footer or a mismatch. O(file) read, zero allocation beyond the mapping.
+void VerifySnapshotChecksum(const std::string& path);
 
 /// Streaming writer with 64-byte section alignment. All methods throw
 /// std::runtime_error on I/O failure.
@@ -45,8 +70,9 @@ class BinaryWriter {
   /// Zero-pads to the next 64-byte boundary (call before each section).
   void Align();
 
-  /// Flushes and closes; throws if any write failed. The destructor closes
-  /// silently — call Finish() on the success path.
+  /// Pads to a 64-byte boundary, appends the checksum footer, then flushes
+  /// and closes; throws if any write failed. The destructor closes silently
+  /// — call Finish() on the success path.
   void Finish();
 
   std::size_t offset() const { return offset_; }
@@ -55,6 +81,7 @@ class BinaryWriter {
   struct Impl;
   Impl* impl_;
   std::size_t offset_ = 0;
+  std::uint32_t crc_ = 0;  // running CRC-32 of every payload byte written
   std::string path_;
 };
 
@@ -112,8 +139,18 @@ class BinaryReader {
 /// retain the shared_ptr).
 class MappedReader {
  public:
-  /// Reads `file` in place. Throws std::invalid_argument on a null file.
+  /// Reads `file` in place. Validates the checksum footer's presence (the
+  /// footer is excluded from the section space) and, when `verify_checksum`
+  /// — defaulted from `CNED_SNAPSHOT_VERIFY` — is true, verifies the
+  /// payload CRC with one sequential pass. Throws std::invalid_argument on
+  /// a null file, std::runtime_error on a missing footer or a mismatch.
   explicit MappedReader(std::shared_ptr<MappedFile> file);
+  MappedReader(std::shared_ptr<MappedFile> file, bool verify_checksum);
+
+  /// Verifies the payload CRC against the footer (one sequential pass over
+  /// the mapping); throws std::runtime_error on mismatch. Callable at any
+  /// point — the check is independent of the cursor.
+  void VerifyChecksum() const;
 
   /// Skips to the next 64-byte boundary and validates the standard header
   /// (same rules and errors as `BinaryReader::Header`). Returns the payload

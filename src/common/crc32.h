@@ -1,0 +1,22 @@
+#ifndef CNED_COMMON_CRC32_H_
+#define CNED_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cned {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+/// snapshot footer (common/binary_io.h) and the serving tier's wire frames
+/// (serve/frame.h) share, so one implementation is differentially testable
+/// against known vectors for both users.
+///
+/// Incremental form: pass the previous return value as `seed` to extend a
+/// running checksum over multiple buffers. `Crc32(data, n)` equals the
+/// standard one-shot CRC-32 of the n bytes (e.g. 0xCBF43926 for
+/// "123456789").
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace cned
+
+#endif  // CNED_COMMON_CRC32_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace cned {
 
@@ -27,19 +28,34 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
     return;
   }
   std::atomic<std::size_t> next{0};
+  // First worker exception wins; the flag keeps later losers from racing on
+  // the exception_ptr slot and doubles as a cheap "stop dealing iterations"
+  // signal so a throw doesn't leave the other workers grinding through the
+  // rest of the loop.
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
       g_in_parallel_worker = true;
       for (;;) {
+        if (failed.load(std::memory_order_acquire)) return;
         std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        body(i);
+        try {
+          body(i);
+        } catch (...) {
+          if (!failed.exchange(true, std::memory_order_acq_rel)) {
+            error = std::current_exception();
+          }
+          return;
+        }
       }
     });
   }
   for (auto& w : workers) w.join();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace cned

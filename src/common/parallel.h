@@ -11,8 +11,10 @@ namespace cned {
 /// Minimal data-parallel loop: runs `body(i)` for i in [0, n) across
 /// `threads` workers (hardware concurrency by default, capped at n).
 /// `body` must be safe to call concurrently for distinct i. Blocks until
-/// all iterations finish. Exceptions escaping `body` terminate the process
-/// (as with raw std::thread) — keep bodies noexcept in practice.
+/// all iterations finish. If bodies throw, the first exception (by capture
+/// order) is rethrown on the calling thread after every worker has joined;
+/// the remaining iterations may or may not have run, so callers treating
+/// the loop as transactional must discard partial output on catch.
 ///
 /// Reentrant calls run inline: a body that itself calls ParallelFor (the
 /// batch engine fanning out queries whose sharded searcher fans out over

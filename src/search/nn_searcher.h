@@ -62,12 +62,18 @@ struct QueryStats {
   /// of the query engine exists to shrink exactly this number, so the shard
   /// benches report it separately.
   std::uint64_t pivot_computations = 0;
+  /// Shards the distributed serving tier dropped from this query (crashed,
+  /// timed out, or returned a malformed reply — see src/serve/router.h).
+  /// Always 0 for in-process searchers and for healthy distributed queries,
+  /// so it rides along in the flat-vs-distributed bit-identity comparisons.
+  std::uint64_t shards_degraded = 0;
 
   /// Merge counters from another query (batch aggregation).
   QueryStats& operator+=(const QueryStats& other) {
     distance_computations += other.distance_computations;
     bounded_abandons += other.bounded_abandons;
     pivot_computations += other.pivot_computations;
+    shards_degraded += other.shards_degraded;
     return *this;
   }
 };
@@ -80,7 +86,8 @@ inline QueryStats operator+(QueryStats a, const QueryStats& b) {
 inline bool operator==(const QueryStats& a, const QueryStats& b) {
   return a.distance_computations == b.distance_computations &&
          a.bounded_abandons == b.bounded_abandons &&
-         a.pivot_computations == b.pivot_computations;
+         a.pivot_computations == b.pivot_computations &&
+         a.shards_degraded == b.shards_degraded;
 }
 
 /// Common interface over nearest-neighbour searchers (exhaustive, LAESA,

@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "search/pivot_selection.h"
 #include "search/sweep_kernel.h"
+#include "serve/shard_snapshot.h"
 
 namespace cned {
 namespace {
@@ -431,6 +432,49 @@ void ShardedLaesa::Save(const std::string& path) const {
     writer.Align();
     writer.Raw(shard_table(s),
                pivots_.size() * store_->shard(s).size() * sizeof(double));
+  }
+  writer.Finish();
+}
+
+void ShardedLaesa::SaveShard(std::size_t s, const std::string& path) const {
+  const std::size_t n_s = store_->shard(s).size();
+  BinaryWriter writer(path);
+  const std::uint64_t counts[6] = {store_->size(), store_->shard_count(),
+                                   pivots_.size(),  s,
+                                   n_s,             store_->shard_base(s)};
+  writer.Header(kShardSliceMagic, kShardSliceVersion, counts, 6);
+  writer.Align();
+  writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
+  writer.Align();
+  writer.Raw(shard_table(s), pivots_.size() * n_s * sizeof(double));
+  writer.Finish();
+}
+
+void ShardedLaesa::SaveRouterManifest(const std::string& path) const {
+  BinaryWriter writer(path);
+  std::vector<std::uint64_t> lens(pivots_.size());
+  std::uint64_t arena_bytes = 0;
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    lens[p] = store_->view(pivots_[p]).size();
+    arena_bytes += lens[p];
+  }
+  const std::uint64_t counts[4] = {store_->size(), store_->shard_count(),
+                                   pivots_.size(), arena_bytes};
+  writer.Header(kRouterManifestMagic, kRouterManifestVersion, counts, 4);
+  std::vector<std::uint64_t> sizes(store_->shard_count());
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    sizes[s] = store_->shard(s).size();
+  }
+  writer.Align();
+  writer.Raw(sizes.data(), sizes.size() * sizeof(std::uint64_t));
+  writer.Align();
+  writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
+  writer.Align();
+  writer.Raw(lens.data(), lens.size() * sizeof(std::uint64_t));
+  writer.Align();
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    const std::string_view v = store_->view(pivots_[p]);
+    writer.Raw(v.data(), v.size());
   }
   writer.Finish();
 }

@@ -133,6 +133,23 @@ class ShardedLaesa final : public NearestNeighborSearcher,
   /// `ShardedPrototypeStore::SaveBinary` for a full serving snapshot.
   void Save(const std::string& path) const;
 
+  /// Writes shard `s`'s slice of the index as a standalone snapshot: the
+  /// global pivot ids plus that shard's table only, with enough header
+  /// shape (total size, shard count, shard id, base) for a worker process
+  /// to validate it belongs to the deployment it joined. A distributed
+  /// shard worker maps this file plus the matching
+  /// `store().shard(s).SaveBinary` store file and serves its segment of
+  /// the sweep without ever touching the other shards' bytes
+  /// (src/serve/replica.h).
+  void SaveShard(std::size_t s, const std::string& path) const;
+
+  /// Writes the router's half of a distributed snapshot: shard sizes, the
+  /// global pivot ids and the pivot *strings*. The scatter/gather router
+  /// loads only this manifest — it evaluates the pivot stage locally from
+  /// the embedded strings and leaves every non-pivot candidate to the
+  /// shard workers, so its memory stays O(pivots), not O(N).
+  void SaveRouterManifest(const std::string& path) const;
+
   /// Restores an index saved by `Save` against the *same* sharded store and
   /// distance. Throws std::runtime_error on malformed input or a
   /// store-shape mismatch.

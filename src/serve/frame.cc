@@ -1,0 +1,140 @@
+#include "serve/frame.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace cned {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 16;
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped at 0; -1 for "no deadline".
+int RemainingMs(bool bounded, Clock::time_point deadline) {
+  if (!bounded) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// Reads exactly `n` bytes, polling against the deadline between chunks.
+RecvStatus RecvExact(int fd, char* out, std::size_t n, bool bounded,
+                     Clock::time_point deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int wait = RemainingMs(bounded, deadline);
+    if (bounded && wait == 0) return RecvStatus::kTimeout;
+    const int pr = ::poll(&pfd, 1, wait);
+    if (pr == 0) return RecvStatus::kTimeout;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::kClosed;
+    }
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r == 0) return RecvStatus::kClosed;
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return RecvStatus::kClosed;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return RecvStatus::kOk;
+}
+
+bool SendExact(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that died between frames must surface as an
+    // error return, not a SIGPIPE that kills the router.
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SendFrame(int fd, FrameType type, std::uint32_t seq, const void* payload,
+               std::size_t payload_bytes, bool corrupt_crc) {
+  if (payload_bytes > kMaxFramePayload) return false;
+  char header[kHeaderBytes];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload_bytes);
+  const std::uint32_t type_u = static_cast<std::uint32_t>(type);
+  std::uint32_t crc = Crc32(payload, payload_bytes);
+  if (corrupt_crc) crc ^= 0xDEADBEEFu;
+  std::memcpy(header + 0, &len, 4);
+  std::memcpy(header + 4, &type_u, 4);
+  std::memcpy(header + 8, &seq, 4);
+  std::memcpy(header + 12, &crc, 4);
+  if (!SendExact(fd, header, sizeof(header))) return false;
+  return payload_bytes == 0 ||
+         SendExact(fd, static_cast<const char*>(payload), payload_bytes);
+}
+
+RecvStatus RecvFrame(int fd, Frame* out, int timeout_ms) {
+  const bool bounded = timeout_ms >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? timeout_ms : 0);
+
+  char header[kHeaderBytes];
+  RecvStatus st = RecvExact(fd, header, sizeof(header), bounded, deadline);
+  if (st != RecvStatus::kOk) return st;
+  std::uint32_t len = 0, type = 0, seq = 0, crc = 0;
+  std::memcpy(&len, header + 0, 4);
+  std::memcpy(&type, header + 4, 4);
+  std::memcpy(&seq, header + 8, 4);
+  std::memcpy(&crc, header + 12, 4);
+  if (len > kMaxFramePayload || type == 0 || type > kMaxFrameType) {
+    return RecvStatus::kMalformed;
+  }
+  out->type = type;
+  out->seq = seq;
+  out->payload.resize(len);
+  if (len > 0) {
+    st = RecvExact(fd, out->payload.data(), len, bounded, deadline);
+    if (st != RecvStatus::kOk) return st;
+  }
+  if (Crc32(out->payload.data(), out->payload.size()) != crc) {
+    return RecvStatus::kMalformed;
+  }
+  return RecvStatus::kOk;
+}
+
+void PayloadWriter::Raw(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  buf.insert(buf.end(), p, p + n);
+}
+
+std::string PayloadReader::Str() {
+  const std::uint32_t n = U32();
+  const char* p = Raw(n);
+  return ok_ ? std::string(p, n) : std::string();
+}
+
+const char* PayloadReader::Raw(std::size_t n) {
+  if (!ok_ || size_ - off_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const char* p = data_ + off_;
+  off_ += n;
+  return p;
+}
+
+}  // namespace cned

@@ -1,0 +1,145 @@
+#ifndef CNED_SERVE_FRAME_H_
+#define CNED_SERVE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cned {
+
+/// Length-prefixed, checksummed framing for the scatter/gather serving
+/// tier's router <-> shard-worker sockets (src/serve/router.h).
+///
+/// Every message is one frame:
+///   bytes  0..3   payload length (uint32, <= kMaxFramePayload)
+///   bytes  4..7   message type (uint32, a FrameType value)
+///   bytes  8..11  sequence number (uint32, echoed by the reply)
+///   bytes 12..15  CRC-32 (common/crc32.h) of the payload bytes
+/// followed by the payload. Native (little-endian) byte order, as the
+/// snapshot format: router and workers share one machine or one
+/// architecture.
+///
+/// The failure contract the router builds on:
+///   * `RecvFrame` is deadline-bounded (poll + monotonic clock), so a
+///     stalled worker surfaces as kTimeout, never a hang;
+///   * a closed/reset socket surfaces as kClosed;
+///   * a frame whose CRC does not match its payload, whose type is
+///     outside the known range, or whose length field exceeds
+///     kMaxFramePayload surfaces as kMalformed — the router treats all
+///     three as a dead shard (no attempt to resynchronise a corrupt
+///     byte stream is ever made).
+/// Sends use MSG_NOSIGNAL: writing to a crashed worker returns an error
+/// instead of raising SIGPIPE in the router.
+
+/// Hard cap on a frame payload (1 GiB); a length field beyond this is
+/// treated as stream corruption, not an allocation request.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+/// Message types. Requests flow router -> worker; every request gets
+/// exactly one reply frame (kReply or kError) echoing its sequence
+/// number, unless a fault drops it.
+enum class FrameType : std::uint32_t {
+  kPing = 1,       ///< health check; reply payload: u64 shard id
+  kBeginLazy = 2,  ///< start a lazy sweep: str query
+  kBeginRow = 3,   ///< start a row sweep: str query, f64 seed_bound, row
+  kEval = 4,       ///< evaluate: u64 global id, f64 cap -> f64 distance
+  kStep = 5,       ///< lazy visit pass: skip/rank/d/slack/bound -> compact
+  kStepRow = 6,    ///< row visit pass: skip/bound -> compact
+  kShutdown = 7,   ///< clean worker exit; empty reply, then close
+  kReply = 8,      ///< successful response (payload per request type)
+  kError = 9,      ///< worker-side exception; payload: str message
+};
+inline constexpr std::uint32_t kMaxFrameType =
+    static_cast<std::uint32_t>(FrameType::kError);
+
+/// One received frame.
+struct Frame {
+  std::uint32_t type = 0;
+  std::uint32_t seq = 0;
+  std::vector<char> payload;
+};
+
+/// Outcome of a deadline-bounded receive.
+enum class RecvStatus {
+  kOk,
+  kTimeout,    ///< deadline expired before a full frame arrived
+  kClosed,     ///< EOF / connection reset
+  kMalformed,  ///< bad length, unknown type, or CRC mismatch
+};
+
+/// Writes one frame. Returns false on any send error (the caller marks
+/// the peer dead). `corrupt_crc`, used only by the fault injector, stamps
+/// a deliberately wrong payload CRC so the receiver's kMalformed path is
+/// exercised end to end.
+bool SendFrame(int fd, FrameType type, std::uint32_t seq, const void* payload,
+               std::size_t payload_bytes, bool corrupt_crc = false);
+
+/// Reads one frame, waiting at most `timeout_ms` (< 0 waits forever).
+/// Partial reads continue against the same deadline.
+RecvStatus RecvFrame(int fd, Frame* out, int timeout_ms);
+
+/// Append-only payload encoder (native byte order, packed).
+struct PayloadWriter {
+  std::vector<char> buf;
+
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(std::int32_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  /// u32 length + bytes.
+  void Str(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Raw(const void* data, std::size_t n);
+};
+
+/// Bounds-checked payload decoder. Reads past the end set `ok()` false and
+/// return zero values; callers check `ok()` once after decoding a message
+/// and treat failure as a malformed frame.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit PayloadReader(const std::vector<char>& payload)
+      : PayloadReader(payload.data(), payload.size()) {}
+
+  std::uint32_t U32() { return Fixed<std::uint32_t>(); }
+  std::uint64_t U64() { return Fixed<std::uint64_t>(); }
+  std::int32_t I32() { return Fixed<std::int32_t>(); }
+  double F64() { return Fixed<double>(); }
+  std::string Str();
+  /// In-place view of `n` raw bytes (valid while the payload lives).
+  const char* Raw(std::size_t n);
+
+  bool ok() const { return ok_; }
+  /// True when the whole payload was consumed cleanly — the strict form
+  /// message handlers use (trailing garbage is as malformed as a short
+  /// read).
+  bool Done() const { return ok_ && off_ == size_; }
+
+ private:
+  template <typename T>
+  T Fixed() {
+    if (!ok_ || size_ - off_ < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, data_ + off_, sizeof(T));
+    off_ += sizeof(T);
+    return v;
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SERVE_FRAME_H_

@@ -1,0 +1,152 @@
+#include "serve/replica.h"
+
+#include <stdexcept>
+
+#include "common/binary_io.h"
+#include "distances/registry.h"
+#include "search/sharded_laesa.h"
+#include "serve/shard_snapshot.h"
+
+namespace cned {
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/manifest.bin";
+}
+
+std::string ShardStorePath(const std::string& dir, std::size_t shard) {
+  return dir + "/shard" + std::to_string(shard) + ".store.bin";
+}
+
+std::string ShardIndexPath(const std::string& dir, std::size_t shard) {
+  return dir + "/shard" + std::to_string(shard) + ".index.bin";
+}
+
+void SaveServingSnapshot(const ShardedLaesa& index, const std::string& dir) {
+  index.SaveRouterManifest(ManifestPath(dir));
+  for (std::size_t s = 0; s < index.shard_count(); ++s) {
+    index.store().shard(s).SaveBinary(ShardStorePath(dir, s));
+    index.SaveShard(s, ShardIndexPath(dir, s));
+  }
+}
+
+ShardReplica::ShardReplica(const std::string& store_path,
+                           const std::string& index_path,
+                           const std::string& distance_name)
+    : distance_(MakeDistance(distance_name)) {
+  // Full checksum pass over both files before any section is interpreted:
+  // the worker is the tier's integrity gate (the mapped loaders below
+  // validate structure, not payload bytes).
+  VerifySnapshotChecksum(store_path);
+  VerifySnapshotChecksum(index_path);
+  store_ = PrototypeStore::Map(store_path);
+
+  MappedReader reader(MappedFile::Open(index_path));
+  const auto counts = reader.Header(kShardSliceMagic, kShardSliceVersion);
+  n_total_ = counts[0];
+  shard_count_ = counts[1];
+  const std::uint64_t np = counts[2];
+  shard_id_ = counts[3];
+  const std::uint64_t n_s = counts[4];
+  base_ = counts[5];
+  if (shard_id_ >= shard_count_ || base_ > n_total_ ||
+      n_s > n_total_ - base_) {
+    throw std::runtime_error("ShardReplica: inconsistent shard header (" +
+                             index_path + ")");
+  }
+  if (n_s != store_.size()) {
+    throw std::runtime_error(
+        "ShardReplica: index slice and store disagree on shard size (" +
+        index_path + ")");
+  }
+  if (np == 0 || np > n_total_) {
+    throw std::runtime_error("ShardReplica: bad pivot count (" + index_path +
+                             ")");
+  }
+  const std::uint64_t* pivots = reader.Array<std::uint64_t>(np);
+  pivots_.assign(pivots, pivots + np);
+  // Full-length rank array, exactly as the in-process index keeps it: the
+  // flagged kernel gathers rank[global id] for ids in this segment, and the
+  // seed kernel reads the slice at base_ — both stay in bounds.
+  pivot_rank_.assign(n_total_, -1);
+  for (std::size_t p = 0; p < np; ++p) {
+    if (pivots_[p] >= n_total_ || pivot_rank_[pivots_[p]] >= 0) {
+      throw std::runtime_error("ShardReplica: bad pivot ids (" + index_path +
+                               ")");
+    }
+    pivot_rank_[pivots_[p]] = static_cast<std::int32_t>(p);
+  }
+  table_ = reader.Array<double>(np * n_s);
+  index_mapping_ = reader.file();
+
+  idx_.resize(n_s);
+  lower_.resize(n_s);
+}
+
+void ShardReplica::BeginLazy(std::string_view query) {
+  query_.assign(query);
+  const std::size_t n_s = store_.size();
+  distance_->LengthLowerBounds(query_.size(), store_.lengths_data(), n_s,
+                               lower_.data());
+  live_pivots_ = 0;
+  for (std::size_t j = 0; j < n_s; ++j) {
+    idx_.data()[j] = static_cast<std::uint32_t>(base_ + j);
+    live_pivots_ += pivot_rank_[base_ + j] >= 0 ? 1 : 0;
+  }
+  live_ = n_s;
+}
+
+SweepCompactResult ShardReplica::BeginRow(std::string_view query,
+                                          const double* row,
+                                          double seed_bound) {
+  query_.assign(query);
+  const std::size_t n_s = store_.size();
+  const SweepKernels& kern = ActiveSweepKernels();
+  distance_->LengthLowerBounds(query_.size(), store_.lengths_data(), n_s,
+                               lower_.data());
+  for (std::size_t p = 0; p < pivots_.size(); ++p) {
+    kern.update_lower_dense(row[p], table_ + p * n_s, lower_.data(), n_s);
+  }
+  const SweepCompactResult out = kern.compact_seed(
+      lower_.data(), pivot_rank_.data() + base_, n_s,
+      static_cast<std::uint32_t>(base_), seed_bound, idx_.data(),
+      lower_.data());
+  live_ = out.live;
+  live_pivots_ = 0;  // the row sweep's adaptive phase never revisits pivots
+  return out;
+}
+
+double ShardReplica::Eval(std::size_t global_id, double cap) const {
+  if (global_id < base_ || global_id - base_ >= store_.size()) {
+    throw std::out_of_range("ShardReplica::Eval: id outside this shard");
+  }
+  return distance_->DistanceBounded(query_, store_.view(global_id - base_),
+                                    cap);
+}
+
+SweepCompactResult ShardReplica::Step(std::uint32_t skip, std::int32_t rank,
+                                      double d, double slack, double bound) {
+  const SweepKernels& kern = ActiveSweepKernels();
+  if (rank >= 0) {
+    const double* row =
+        table_ + static_cast<std::size_t>(rank) * store_.size();
+    kern.update_lower_packed(d, row, idx_.data(),
+                             static_cast<std::uint32_t>(base_), lower_.data(),
+                             live_);
+  }
+  const SweepCompactResult out = kern.eliminate_and_compact_flagged(
+      idx_.data(), lower_.data(), pivot_rank_.data(), live_, skip, slack,
+      bound);
+  live_ = out.live;
+  live_pivots_ -= out.pivots_died;
+  return out;
+}
+
+SweepCompactResult ShardReplica::StepRow(std::uint32_t skip, double bound) {
+  const SweepKernels& kern = ActiveSweepKernels();
+  const SweepCompactResult out = kern.eliminate_and_compact(
+      idx_.data(), lower_.data(), live_, skip, bound);
+  live_ = out.live;
+  return out;
+}
+
+}  // namespace cned

@@ -1,0 +1,103 @@
+#ifndef CNED_SERVE_REPLICA_H_
+#define CNED_SERVE_REPLICA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/mapped_file.h"
+#include "datasets/prototype_store.h"
+#include "distances/distance.h"
+#include "search/sweep_kernel.h"
+
+namespace cned {
+
+/// The worker-process half of the distributed LAESA sweep: one shard's
+/// prototypes, its slice of the pivot table, and that shard's segment of
+/// the candidate slabs.
+///
+/// A replica is the per-shard loop body of `ShardedLaesa::Sweep` /
+/// `SweepWithRow` cut out and given its own state. It runs exactly the
+/// same dispatched kernels over exactly the same per-shard values
+/// (sweep_kernel.h), and the router merges its `SweepCompactResult`s the
+/// same way the in-process index merges its per-shard passes — which is
+/// what makes a healthy distributed query bit-identical (neighbours,
+/// distances AND QueryStats) to the in-process `ShardedLaesa`.
+///
+/// Construction verifies both snapshot files' CRC footers with a full
+/// `VerifySnapshotChecksum` pass before mapping them: a worker serving a
+/// silently corrupted shard would poison every merged result, so the
+/// serving tier pays the one sequential read up front.
+class ShardReplica {
+ public:
+  /// Maps shard files written by `SaveServingSnapshot`. Throws
+  /// std::runtime_error on checksum or validation failure, or when the two
+  /// files disagree about the deployment shape.
+  ShardReplica(const std::string& store_path, const std::string& index_path,
+               const std::string& distance_name);
+
+  std::size_t shard_id() const { return shard_id_; }
+  std::size_t base() const { return base_; }
+  std::size_t size() const { return store_.size(); }
+  std::size_t total_size() const { return n_total_; }
+  std::size_t num_pivots() const { return pivots_.size(); }
+
+  /// Candidates still live in this shard's segment.
+  std::size_t live() const { return live_; }
+  /// Live candidates of this segment that are pivots. The router sums
+  /// these across shards; when a shard dies its contribution drops out of
+  /// the sum automatically, keeping the global pivot accounting exact
+  /// under degrade.
+  std::size_t live_pivots() const { return live_pivots_; }
+
+  /// Starts a lazy sweep: length lower bounds over the segment, all
+  /// candidates live.
+  void BeginLazy(std::string_view query);
+
+  /// Starts a row sweep: length bounds, every pivot row applied dense,
+  /// then the seed compaction against `seed_bound`. Returns the segment's
+  /// compact result.
+  SweepCompactResult BeginRow(std::string_view query, const double* row,
+                              double seed_bound);
+
+  /// d(query, prototype at global id) bounded by `cap` — the scattered
+  /// form of the sweep's visit evaluation. Pure (idempotent): safe for the
+  /// router to retry. Throws std::out_of_range for an id outside the
+  /// segment.
+  double Eval(std::size_t global_id, double cap) const;
+
+  /// One lazy visit pass: if `rank` >= 0 the visited candidate was pivot
+  /// `rank`, so its table row tightens the segment's bounds first; then
+  /// eliminate-and-compact against `bound` with `slack`, dropping `skip`
+  /// (the visited candidate). Mutates segment state — not idempotent.
+  SweepCompactResult Step(std::uint32_t skip, std::int32_t rank, double d,
+                          double slack, double bound);
+
+  /// One row-sweep visit pass: eliminate-and-compact only.
+  SweepCompactResult StepRow(std::uint32_t skip, double bound);
+
+ private:
+  std::size_t shard_id_ = 0;
+  std::size_t base_ = 0;
+  std::size_t n_total_ = 0;
+  std::size_t shard_count_ = 0;
+
+  PrototypeStore store_;  // mapped shard store
+  StringDistancePtr distance_;
+  std::vector<std::size_t> pivots_;       // global pivot ids
+  std::vector<std::int32_t> pivot_rank_;  // global id -> ordinal or -1
+  const double* table_ = nullptr;         // row-major np x n_s, mapped
+  std::shared_ptr<MappedFile> index_mapping_;
+
+  std::string query_;  // current query (set by Begin*)
+  AlignedBuffer<std::uint32_t> idx_;
+  AlignedBuffer<double> lower_;
+  std::size_t live_ = 0;
+  std::size_t live_pivots_ = 0;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SERVE_REPLICA_H_

@@ -1,0 +1,723 @@
+#include "serve/router.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "common/binary_io.h"
+#include "distances/registry.h"
+#include "serve/frame.h"
+#include "serve/shard_snapshot.h"
+#include "serve/wire.h"
+#include "serve/worker.h"
+
+namespace cned {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ServeRouter::ServeRouter(const std::string& snapshot_dir,
+                         const ServeOptions& options)
+    : distance_(MakeDistance(options.distance)),
+      dir_(snapshot_dir),
+      options_(options) {
+  // The manifest is small (pivot ids + strings); the copying reader also
+  // gives the router the same always-on checksum verification the workers
+  // run on their shard files.
+  BinaryReader reader(ManifestPath(dir_));
+  const auto counts =
+      reader.Header(kRouterManifestMagic, kRouterManifestVersion);
+  n_ = counts[0];
+  const std::uint64_t shards = counts[1];
+  const std::uint64_t np = counts[2];
+  const std::uint64_t arena_bytes = counts[3];
+  if (shards == 0 || np == 0 || np > n_) {
+    throw std::runtime_error("ServeRouter: malformed manifest counts");
+  }
+  reader.RequireArray(shards, sizeof(std::uint64_t));
+  shard_sizes_.resize(shards);
+  reader.Align();
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                "64-bit shard sizes expected");
+  reader.Raw(shard_sizes_.data(), shards * sizeof(std::uint64_t));
+  bases_.resize(shards + 1);
+  bases_[0] = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    bases_[s + 1] = bases_[s] + shard_sizes_[s];
+  }
+  if (bases_[shards] != n_) {
+    throw std::runtime_error("ServeRouter: shard sizes do not sum to n");
+  }
+  reader.RequireArray(np, sizeof(std::uint64_t));
+  pivots_.resize(np);
+  reader.Align();
+  reader.Raw(pivots_.data(), np * sizeof(std::uint64_t));
+  pivot_rank_.assign(n_, -1);
+  for (std::size_t p = 0; p < np; ++p) {
+    if (pivots_[p] >= n_ || pivot_rank_[pivots_[p]] >= 0) {
+      throw std::runtime_error("ServeRouter: bad manifest pivot ids");
+    }
+    pivot_rank_[pivots_[p]] = static_cast<std::int32_t>(p);
+  }
+  reader.RequireArray(np, sizeof(std::uint64_t));
+  std::vector<std::uint64_t> lens(np);
+  reader.Align();
+  reader.Raw(lens.data(), np * sizeof(std::uint64_t));
+  std::uint64_t lens_total = 0;
+  for (std::uint64_t l : lens) lens_total += l;
+  if (lens_total != arena_bytes) {
+    throw std::runtime_error("ServeRouter: manifest pivot arena mismatch");
+  }
+  reader.Align();
+  pivot_strings_.resize(np);
+  for (std::size_t p = 0; p < np; ++p) {
+    pivot_strings_[p].resize(lens[p]);
+    reader.Raw(pivot_strings_[p].data(), lens[p]);
+  }
+
+  workers_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    SpawnWorker(s, options_.fault_spec);
+  }
+  if (!PingAll()) {
+    bool any = false;
+    for (const Worker& w : workers_) any = any || w.alive;
+    if (!any) {
+      throw std::runtime_error("ServeRouter: no worker came up");
+    }
+  }
+}
+
+ServeRouter::~ServeRouter() {
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    Worker& w = workers_[s];
+    if (w.fd >= 0) {
+      // Best-effort clean shutdown; the SIGKILL below is the guarantee.
+      SendFrame(w.fd, FrameType::kShutdown, ++w.seq, nullptr, 0);
+      close(w.fd);
+      w.fd = -1;
+    }
+    if (w.pid > 0) {
+      kill(w.pid, SIGKILL);
+      int status = 0;
+      waitpid(w.pid, &status, 0);
+    }
+  }
+}
+
+void ServeRouter::SpawnWorker(std::size_t s, const std::string& fault_spec) {
+  int sv[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    workers_[s].alive = false;
+    return;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(sv[0]);
+    close(sv[1]);
+    workers_[s].alive = false;
+    return;
+  }
+  if (pid == 0) {
+    // Child: drop every fd belonging to the router's other workers so a
+    // crashed sibling's socket still reads EOF at the router.
+    close(sv[0]);
+    for (const Worker& other : workers_) {
+      if (other.fd >= 0) close(other.fd);
+    }
+    WorkerConfig config;
+    config.shard_id = s;
+    config.store_path = ShardStorePath(dir_, s);
+    config.index_path = ShardIndexPath(dir_, s);
+    config.distance = options_.distance;
+    config.fault_spec = fault_spec;
+    if (!options_.worker_binary.empty()) {
+      // Exec form: hand the socket over as fd 3.
+      if (sv[1] != 3) {
+        dup2(sv[1], 3);
+        close(sv[1]);
+      }
+      execl(options_.worker_binary.c_str(), options_.worker_binary.c_str(),
+            "--fd=3", ("--shard=" + std::to_string(s)).c_str(),
+            ("--store=" + config.store_path).c_str(),
+            ("--index=" + config.index_path).c_str(),
+            ("--distance=" + config.distance).c_str(),
+            ("--fault=" + config.fault_spec).c_str(), (char*)nullptr);
+      _exit(127);
+    }
+    _exit(RunShardWorker(sv[1], config));
+  }
+  close(sv[1]);
+  workers_[s].pid = pid;
+  workers_[s].fd = sv[0];
+  workers_[s].alive = true;
+  workers_[s].seq = 0;
+}
+
+void ServeRouter::MarkDead(std::size_t s) {
+  Worker& w = workers_[s];
+  w.alive = false;
+  if (w.fd >= 0) {
+    close(w.fd);
+    w.fd = -1;
+  }
+}
+
+void ServeRouter::ReapWorker(std::size_t s) {
+  Worker& w = workers_[s];
+  if (w.fd >= 0) {
+    close(w.fd);
+    w.fd = -1;
+  }
+  if (w.pid > 0) {
+    kill(w.pid, SIGKILL);
+    int status = 0;
+    waitpid(w.pid, &status, 0);
+    w.pid = -1;
+  }
+  w.alive = false;
+}
+
+bool ServeRouter::SendRecv(std::size_t s, std::uint32_t type,
+                           const std::vector<char>& payload,
+                           std::vector<char>* reply, int timeout_ms,
+                           bool retryable) {
+  Worker& w = workers_[s];
+  const int attempts = retryable ? 1 + options_.op_retries : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (!w.alive) return false;
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<std::int64_t>(options_.backoff_base_ms)
+          << (attempt - 1)));
+    }
+    const std::uint32_t seq = ++w.seq;
+    if (!SendFrame(w.fd, static_cast<FrameType>(type), seq, payload.data(),
+                   payload.size())) {
+      MarkDead(s);
+      return false;
+    }
+    Frame frame;
+    RecvStatus st;
+    for (;;) {
+      st = RecvFrame(w.fd, &frame, timeout_ms);
+      // Replies to a timed-out earlier attempt carry an older sequence
+      // number; discard them and keep reading.
+      if (st == RecvStatus::kOk && frame.seq != seq) continue;
+      break;
+    }
+    if (st == RecvStatus::kOk) {
+      if (frame.type != static_cast<std::uint32_t>(FrameType::kReply)) {
+        // kError (a worker-side exception) or an unexpected type: the
+        // shard's state is suspect either way.
+        MarkDead(s);
+        return false;
+      }
+      if (reply != nullptr) *reply = std::move(frame.payload);
+      return true;
+    }
+    if (st == RecvStatus::kClosed || st == RecvStatus::kMalformed) {
+      // A corrupt stream is never resynchronised: dead shard.
+      MarkDead(s);
+      return false;
+    }
+    // kTimeout: retry when the op allows it.
+    if (!retryable) {
+      MarkDead(s);
+      return false;
+    }
+  }
+  MarkDead(s);
+  return false;
+}
+
+void ServeRouter::Broadcast(std::uint32_t type,
+                            const std::vector<char>& payload, bool retryable,
+                            int timeout_ms, std::vector<ShardView>& views,
+                            std::vector<std::vector<char>>& replies,
+                            std::vector<std::size_t>& missing) {
+  const std::size_t shards = views.size();
+  std::vector<std::uint32_t> sent_seq(shards, 0);
+  std::vector<bool> pending(shards, false), retry(shards, false),
+      failed(shards, false);
+  // Scatter first so every worker computes its pass concurrently...
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (!views[s].active) continue;
+    Worker& w = workers_[s];
+    sent_seq[s] = ++w.seq;
+    if (SendFrame(w.fd, static_cast<FrameType>(type), sent_seq[s],
+                  payload.data(), payload.size())) {
+      pending[s] = true;
+    } else {
+      failed[s] = true;
+    }
+  }
+  // ...then gather in shard order.
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (!pending[s]) continue;
+    Frame frame;
+    RecvStatus st;
+    for (;;) {
+      st = RecvFrame(workers_[s].fd, &frame, timeout_ms);
+      if (st == RecvStatus::kOk && frame.seq != sent_seq[s]) continue;
+      break;
+    }
+    if (st == RecvStatus::kOk &&
+        frame.type == static_cast<std::uint32_t>(FrameType::kReply)) {
+      replies[s] = std::move(frame.payload);
+    } else if (st == RecvStatus::kTimeout && retryable) {
+      retry[s] = true;
+    } else {
+      failed[s] = true;
+    }
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (retry[s] && SendRecv(s, type, payload, &replies[s], timeout_ms,
+                             /*retryable=*/true)) {
+      continue;
+    }
+    if (retry[s] || failed[s]) {
+      MarkDead(s);
+      views[s].active = false;
+      missing.push_back(s);
+    }
+  }
+}
+
+std::size_t ServeRouter::ShardOf(std::size_t global) const {
+  const auto it =
+      std::upper_bound(bases_.begin() + 1, bases_.end(), global);
+  return static_cast<std::size_t>(it - (bases_.begin() + 1));
+}
+
+int ServeRouter::RemainingMs(std::int64_t deadline_ms) const {
+  const std::int64_t left = deadline_ms - NowMs();
+  if (left <= 0) return 0;
+  const int cap = options_.op_timeout_ms;
+  return left < cap ? static_cast<int>(left) : cap;
+}
+
+ServeResult ServeRouter::Nearest(std::string_view query) {
+  if (options_.auto_respawn) RespawnDead();
+  return QueryLazy(query, 1, /*slack=*/1.0);
+}
+
+ServeResult ServeRouter::KNearest(std::string_view query, std::size_t k) {
+  if (options_.auto_respawn) RespawnDead();
+  return QueryLazy(query, k, /*slack=*/1.0);
+}
+
+std::vector<ServeResult> ServeRouter::NearestBatch(
+    const std::vector<std::string>& queries) {
+  return KNearestBatch(queries, 1);
+}
+
+std::vector<ServeResult> ServeRouter::KNearestBatch(
+    const std::vector<std::string>& queries, std::size_t k) {
+  std::vector<ServeResult> out;
+  out.reserve(queries.size());
+  for (const std::string& q : queries) {
+    // Respawn between queries: one crash costs one partial answer, and the
+    // respawned worker (re-mapped, checksum-verified) rejoins for the next.
+    if (options_.auto_respawn) RespawnDead();
+    out.push_back(QueryRow(q, k));
+  }
+  return out;
+}
+
+bool ServeRouter::PingAll() {
+  bool all = true;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    if (!workers_[s].alive) {
+      all = false;
+      continue;
+    }
+    std::vector<char> reply;
+    if (!SendRecv(s, static_cast<std::uint32_t>(FrameType::kPing), {}, &reply,
+                  options_.op_timeout_ms, /*retryable=*/true)) {
+      all = false;
+      continue;
+    }
+    PayloadReader r(reply);
+    if (r.U64() != s || !r.Done()) {
+      MarkDead(s);
+      all = false;
+    }
+  }
+  return all;
+}
+
+std::size_t ServeRouter::RespawnDead() {
+  std::size_t revived = 0;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    if (workers_[s].alive) continue;
+    ReapWorker(s);
+    SpawnWorker(s, options_.respawn_fault_spec);
+    if (!workers_[s].alive) continue;
+    std::vector<char> reply;
+    if (SendRecv(s, static_cast<std::uint32_t>(FrameType::kPing), {}, &reply,
+                 options_.op_timeout_ms, /*retryable=*/true)) {
+      ++revived;
+    }
+  }
+  return revived;
+}
+
+// The distributed `ShardedLaesa::Sweep`: identical decisions on identical
+// values in identical order — only the per-shard kernel passes run in the
+// workers. Read side by side with sharded_laesa.cc.
+ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
+                                   double slack) {
+  ServeResult res;
+  k = std::min(k, n_);
+  if (k == 0) return res;
+  const std::int64_t deadline = NowMs() + options_.query_deadline_ms;
+  const std::size_t shards = shard_sizes_.size();
+
+  std::vector<ShardView> views(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    views[s].active = workers_[s].alive;
+    if (!views[s].active) res.missing_shards.push_back(s);
+  }
+
+  // Scatter the sweep start. Idempotent: a worker that misses the timeout
+  // is retried before being declared dead.
+  {
+    PayloadWriter w;
+    w.Str(query);
+    std::vector<std::vector<char>> replies(shards);
+    Broadcast(static_cast<std::uint32_t>(FrameType::kBeginLazy), w.buf,
+              /*retryable=*/true, RemainingMs(deadline), views, replies,
+              res.missing_shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (!views[s].active) continue;
+      PayloadReader r(replies[s]);
+      views[s].live = r.U64();
+      views[s].live_pivots = r.U64();
+      if (!r.Done() || views[s].live != shard_sizes_[s]) {
+        MarkDead(s);
+        views[s].active = false;
+        res.missing_shards.push_back(s);
+      }
+    }
+  }
+
+  std::size_t total_live = 0, live_pivots = 0;
+  auto recount = [&]() {
+    total_live = 0;
+    live_pivots = 0;
+    for (const ShardView& v : views) {
+      if (!v.active) continue;
+      total_live += v.live;
+      live_pivots += v.live_pivots;
+    }
+  };
+  recount();
+
+  // Merge per-shard minima in shard order with strict '<' — the lowest
+  // global index wins ties, exactly as in process.
+  auto select_next = [&]() -> std::size_t {
+    std::size_t next = kSweepNone, next_pivot = kSweepNone;
+    double next_key = kInf, next_pivot_key = kInf;
+    for (const ShardView& v : views) {
+      if (!v.active) continue;
+      if (v.last.next != kSweepNone && v.last.next_key < next_key) {
+        next_key = v.last.next_key;
+        next = v.last.next;
+      }
+      if (v.last.next_pivot != kSweepNone &&
+          v.last.next_pivot_key < next_pivot_key) {
+        next_pivot_key = v.last.next_pivot_key;
+        next_pivot = v.last.next_pivot;
+      }
+    }
+    return live_pivots > 0 ? next_pivot : next;
+  };
+
+  std::vector<NeighborResult> best;
+  best.reserve(k + 1);
+  auto kth = [&]() { return best.size() < k ? kInf : best.back().distance; };
+  std::uint64_t computations = 0, abandons = 0, pivot_computations = 0;
+
+  std::size_t s_cand = pivots_[0];
+  while (total_live > 0 && s_cand != kSweepNone) {
+    if (RemainingMs(deadline) == 0) {
+      // Deadline: degrade to the incumbents; every shard still holding
+      // live candidates is missing from the answer.
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (views[s].active && views[s].live > 0) {
+          res.missing_shards.push_back(s);
+        }
+      }
+      break;
+    }
+    const std::int32_t rank = pivot_rank_[s_cand];
+    const bool is_pivot = rank >= 0;
+    const double cap = is_pivot ? kInf : kth();
+    double d;
+    if (is_pivot) {
+      // Pivot strings live in the manifest: the visit evaluation runs
+      // router-side, like the pivot stage.
+      d = distance_->DistanceBounded(query, pivot_strings_[rank], cap);
+    } else {
+      const std::size_t owner = ShardOf(s_cand);
+      PayloadWriter w;
+      w.U64(s_cand);
+      w.F64(cap);
+      std::vector<char> reply;
+      bool ok = views[owner].active &&
+                SendRecv(owner, static_cast<std::uint32_t>(FrameType::kEval),
+                         w.buf, &reply, RemainingMs(deadline),
+                         /*retryable=*/true);
+      if (ok) {
+        PayloadReader r(reply);
+        d = r.F64();
+        ok = r.Done();
+        if (!ok) MarkDead(owner);
+      }
+      if (!ok) {
+        // The candidate's shard is gone: drop it from the sweep and pick
+        // the best survivor from the remaining shards' last passes. No
+        // visit happened, so no counters move.
+        views[owner].active = false;
+        res.missing_shards.push_back(owner);
+        recount();
+        s_cand = select_next();
+        continue;
+      }
+    }
+    ++computations;
+    pivot_computations += is_pivot ? 1 : 0;
+    const bool abandoned = d >= cap;
+    if (abandoned) {
+      ++abandons;
+    } else {
+      InsertNeighborTopK(best, k, {s_cand, d});
+    }
+
+    // Scatter the visit pass; the elimination radius tightens with the
+    // new incumbent. Mutating — never retried: a shard that misses the
+    // timeout here is degraded on the spot.
+    const double bound = kth();
+    PayloadWriter w;
+    w.U32(static_cast<std::uint32_t>(s_cand));
+    w.I32(rank);
+    w.F64(d);
+    w.F64(slack);
+    w.F64(bound);
+    std::vector<std::vector<char>> replies(shards);
+    Broadcast(static_cast<std::uint32_t>(FrameType::kStep), w.buf,
+              /*retryable=*/false, RemainingMs(deadline), views, replies,
+              res.missing_shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (!views[s].active) continue;
+      PayloadReader r(replies[s]);
+      const WireCompact wc = DecodeCompact(r);
+      if (!r.Done()) {
+        MarkDead(s);
+        views[s].active = false;
+        res.missing_shards.push_back(s);
+        continue;
+      }
+      views[s].last = wc.pass;
+      views[s].live = wc.pass.live;
+      views[s].live_pivots = wc.live_pivots;
+    }
+    recount();
+    if (total_live == 0) break;
+    s_cand = select_next();
+  }
+
+  res.stats.distance_computations += computations;
+  res.stats.bounded_abandons += abandons;
+  res.stats.pivot_computations += pivot_computations;
+  std::sort(res.missing_shards.begin(), res.missing_shards.end());
+  res.missing_shards.erase(
+      std::unique(res.missing_shards.begin(), res.missing_shards.end()),
+      res.missing_shards.end());
+  res.partial = !res.missing_shards.empty();
+  res.stats.shards_degraded = res.missing_shards.size();
+  res.neighbors = std::move(best);
+  return res;
+}
+
+// The distributed `ShardedLaesa::SweepWithRow`: the router evaluates the
+// pivot row locally, seeds the incumbents (ties admitted, as the row is
+// already paid for), scatters row + seed bound, then runs the same
+// adaptive loop over the merged survivors.
+ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
+  ServeResult res;
+  k = std::min(k, n_);
+  if (k == 0) return res;
+  const std::int64_t deadline = NowMs() + options_.query_deadline_ms;
+  const std::size_t shards = shard_sizes_.size();
+  const std::size_t np = pivots_.size();
+
+  std::vector<ShardView> views(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    views[s].active = workers_[s].alive;
+    if (!views[s].active) res.missing_shards.push_back(s);
+  }
+
+  // Pivot stage, router-side (counted as the batch engine counts it).
+  std::vector<double> row(np);
+  for (std::size_t p = 0; p < np; ++p) {
+    row[p] = distance_->Distance(query, pivot_strings_[p]);
+  }
+  res.stats.distance_computations += np;
+  res.stats.pivot_computations += np;
+
+  std::vector<NeighborResult> best;
+  best.reserve(k + 1);
+  auto kth = [&]() { return best.size() < k ? kInf : best.back().distance; };
+  for (std::size_t p = 0; p < np; ++p) {
+    InsertNeighborTopK(best, k, {pivots_[p], row[p]}, /*admit_ties=*/true);
+  }
+  const double seed_bound = kth();
+
+  {
+    PayloadWriter w;
+    w.Str(query);
+    w.F64(seed_bound);
+    w.U64(np);
+    w.Raw(row.data(), np * sizeof(double));
+    std::vector<std::vector<char>> replies(shards);
+    Broadcast(static_cast<std::uint32_t>(FrameType::kBeginRow), w.buf,
+              /*retryable=*/true, RemainingMs(deadline), views, replies,
+              res.missing_shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (!views[s].active) continue;
+      PayloadReader r(replies[s]);
+      const WireCompact wc = DecodeCompact(r);
+      if (!r.Done()) {
+        MarkDead(s);
+        views[s].active = false;
+        res.missing_shards.push_back(s);
+        continue;
+      }
+      views[s].last = wc.pass;
+      views[s].live = wc.pass.live;
+      views[s].live_pivots = 0;
+    }
+  }
+
+  std::size_t total_live = 0;
+  auto recount = [&]() {
+    total_live = 0;
+    for (const ShardView& v : views) {
+      if (v.active) total_live += v.live;
+    }
+  };
+  auto select_next = [&]() -> std::size_t {
+    std::size_t next = kSweepNone;
+    double next_key = kInf;
+    for (const ShardView& v : views) {
+      if (!v.active) continue;
+      if (v.last.next != kSweepNone && v.last.next_key < next_key) {
+        next_key = v.last.next_key;
+        next = v.last.next;
+      }
+    }
+    return next;
+  };
+  recount();
+  std::size_t s_cand = select_next();
+
+  std::uint64_t computations = 0, abandons = 0;
+  while (total_live > 0 && s_cand != kSweepNone) {
+    if (RemainingMs(deadline) == 0) {
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (views[s].active && views[s].live > 0) {
+          res.missing_shards.push_back(s);
+        }
+      }
+      break;
+    }
+    const double cap = kth();
+    const std::size_t owner = ShardOf(s_cand);
+    PayloadWriter ew;
+    ew.U64(s_cand);
+    ew.F64(cap);
+    std::vector<char> reply;
+    bool ok = views[owner].active &&
+              SendRecv(owner, static_cast<std::uint32_t>(FrameType::kEval),
+                       ew.buf, &reply, RemainingMs(deadline),
+                       /*retryable=*/true);
+    double d = 0.0;
+    if (ok) {
+      PayloadReader r(reply);
+      d = r.F64();
+      ok = r.Done();
+      if (!ok) MarkDead(owner);
+    }
+    if (!ok) {
+      views[owner].active = false;
+      res.missing_shards.push_back(owner);
+      recount();
+      s_cand = select_next();
+      continue;
+    }
+    ++computations;
+    const bool abandoned = d >= cap;
+    if (abandoned) {
+      ++abandons;
+    } else {
+      InsertNeighborTopK(best, k, {s_cand, d});
+    }
+
+    const double bound = kth();
+    PayloadWriter w;
+    w.U32(static_cast<std::uint32_t>(s_cand));
+    w.F64(bound);
+    std::vector<std::vector<char>> replies(shards);
+    Broadcast(static_cast<std::uint32_t>(FrameType::kStepRow), w.buf,
+              /*retryable=*/false, RemainingMs(deadline), views, replies,
+              res.missing_shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (!views[s].active) continue;
+      PayloadReader r(replies[s]);
+      const WireCompact wc = DecodeCompact(r);
+      if (!r.Done()) {
+        MarkDead(s);
+        views[s].active = false;
+        res.missing_shards.push_back(s);
+        continue;
+      }
+      views[s].last = wc.pass;
+      views[s].live = wc.pass.live;
+    }
+    recount();
+    if (total_live == 0) break;
+    s_cand = select_next();
+  }
+
+  res.stats.distance_computations += computations;
+  res.stats.bounded_abandons += abandons;
+  std::sort(res.missing_shards.begin(), res.missing_shards.end());
+  res.missing_shards.erase(
+      std::unique(res.missing_shards.begin(), res.missing_shards.end()),
+      res.missing_shards.end());
+  res.partial = !res.missing_shards.empty();
+  res.stats.shards_degraded = res.missing_shards.size();
+  res.neighbors = std::move(best);
+  return res;
+}
+
+}  // namespace cned

@@ -1,0 +1,197 @@
+#ifndef CNED_SERVE_ROUTER_H_
+#define CNED_SERVE_ROUTER_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "distances/distance.h"
+#include "search/nn_searcher.h"
+#include "search/sweep_kernel.h"
+
+namespace cned {
+
+/// Tuning and robustness knobs of the scatter/gather router.
+struct ServeOptions {
+  /// Distance registry name (distances/registry.h). Required; must match
+  /// the distance the snapshot was built with.
+  std::string distance;
+
+  /// Per-operation reply timeout. A shard that misses it on an idempotent
+  /// op (ping / begin / eval) is retried; on a sweep-mutating op (step) it
+  /// is degraded immediately — its slab state can no longer be trusted to
+  /// match the router's accounting.
+  int op_timeout_ms = 2000;
+  /// Whole-query deadline. When it expires mid-sweep the router returns
+  /// the incumbents it has, flagged partial, with every shard that still
+  /// held live candidates listed as missing.
+  int query_deadline_ms = 10000;
+  /// Extra attempts (beyond the first) for idempotent ops.
+  int op_retries = 2;
+  /// Exponential backoff between retries: `backoff_base_ms << attempt`.
+  int backoff_base_ms = 5;
+  /// Respawn dead workers (kill, waitpid, fork, re-Map, ping) before each
+  /// query, so one crash degrades one query, not the rest of the session.
+  bool auto_respawn = true;
+
+  /// CNED_FAULT-grammar fault schedule for the initial workers
+  /// (serve/fault.h); empty = fault-free.
+  std::string fault_spec;
+  /// Fault schedule handed to *respawned* workers. Kept separate (and
+  /// default clean) so an nth-based crash directive does not re-fire on
+  /// every respawn.
+  std::string respawn_fault_spec;
+  /// Path to the `cned_shard_worker` binary. Empty (the default) forks
+  /// workers in-process — no exec, the test/bench path; non-empty
+  /// fork+execs the binary per shard.
+  std::string worker_binary;
+};
+
+/// One query's answer plus its degradation record.
+struct ServeResult {
+  std::vector<NeighborResult> neighbors;
+  QueryStats stats;
+  /// True when any shard's candidates were not (fully) considered — the
+  /// neighbours are then exact over the surviving shards only, possibly
+  /// improved by evaluations that landed before a shard was lost.
+  bool partial = false;
+  /// The shards this query is missing, ascending. A shard appears here if
+  /// it was dead at query start, failed mid-sweep, or still held live
+  /// candidates when the deadline expired.
+  std::vector<std::size_t> missing_shards;
+};
+
+/// Fault-tolerant scatter/gather serving tier over a per-shard snapshot
+/// directory (serve/shard_snapshot.h).
+///
+/// Topology: this router process + one forked worker process per shard,
+/// each pair connected by a socketpair speaking the checksummed framing of
+/// serve/frame.h. Workers map only their own shard's store and index
+/// slice; the router loads only the manifest (shard shapes + pivot ids +
+/// pivot strings), so no process ever materialises the whole index.
+///
+/// A query runs the exact `ShardedLaesa` sweep with the per-shard passes
+/// scattered: the router makes every global decision (incumbents,
+/// elimination bound, next candidate — merged over the per-shard compact
+/// results in shard order with strict '<', the lowest-global-index tie
+/// rule), workers run the kernel passes over their segments, and the
+/// elimination radius tightens incrementally between rounds exactly as it
+/// does in process. A healthy router is therefore bit-identical —
+/// neighbours, distances AND QueryStats — to the in-process index,
+/// regardless of worker count.
+///
+/// Failure semantics (the robustness contract the tests pin down):
+///   * per-op timeouts; idempotent ops retry with exponential backoff,
+///     sweep-mutating ops never retry;
+///   * a crashed / timed-out / malformed-reply shard is degraded: dropped
+///     from the rest of the query and named in `missing_shards`;
+///   * the per-query deadline degrades to partial results instead of
+///     blocking;
+///   * dead workers are respawned (fresh fork + checksum-verified re-map)
+///     before the next query when `auto_respawn` is set;
+///   * `stats.shards_degraded` counts the missing shards, so healthy
+///     queries still compare bit-equal to in-process stats (0 == 0).
+class ServeRouter {
+ public:
+  /// Loads the manifest and spawns one worker per shard. Throws
+  /// std::runtime_error on a malformed manifest or if *every* worker fails
+  /// to come up; individual dead workers only degrade queries.
+  ServeRouter(const std::string& snapshot_dir, const ServeOptions& options);
+  ~ServeRouter();
+  ServeRouter(const ServeRouter&) = delete;
+  ServeRouter& operator=(const ServeRouter&) = delete;
+
+  std::size_t size() const { return n_; }
+  std::size_t shard_count() const { return shard_sizes_.size(); }
+  std::size_t num_pivots() const { return pivots_.size(); }
+  const std::vector<std::size_t>& pivots() const { return pivots_; }
+
+  /// Lazy (per-query) path — the distributed `ShardedLaesa::Nearest`.
+  ServeResult Nearest(std::string_view query);
+  ServeResult KNearest(std::string_view query, std::size_t k);
+
+  /// Batched pivot-stage path — the distributed `*WithPivotRow` pipeline:
+  /// the router evaluates each query's pivot row once (locally, from the
+  /// manifest's pivot strings) and scatters it; workers seed and sweep.
+  /// Equivalent to the in-process pivot-row path per query; stats include
+  /// the row evaluations, as the batch engine counts them.
+  std::vector<ServeResult> NearestBatch(
+      const std::vector<std::string>& queries);
+  std::vector<ServeResult> KNearestBatch(
+      const std::vector<std::string>& queries, std::size_t k);
+
+  /// Heartbeat: pings every worker (retrying per options), marking the
+  /// ones that miss as dead. Returns true when all workers are healthy.
+  bool PingAll();
+
+  /// Kills (SIGKILL + waitpid) and respawns every dead worker, re-mapping
+  /// its shard. Returns the number brought back to healthy.
+  std::size_t RespawnDead();
+
+  /// Worker inspection hooks for tests and monitoring.
+  pid_t worker_pid(std::size_t s) const { return workers_[s].pid; }
+  bool worker_alive(std::size_t s) const { return workers_[s].alive; }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    bool alive = false;
+    std::uint32_t seq = 0;
+  };
+
+  /// Per-query view of one shard's sweep state, mirrored from its worker's
+  /// replies.
+  struct ShardView {
+    bool active = false;
+    std::size_t live = 0;
+    std::size_t live_pivots = 0;
+    SweepCompactResult last;
+  };
+
+  void SpawnWorker(std::size_t s, const std::string& fault_spec);
+  void MarkDead(std::size_t s);
+  void ReapWorker(std::size_t s);
+
+  /// One request/reply exchange with worker `s`. Retries (with backoff)
+  /// only when `retryable`; marks the worker dead on any unrecoverable
+  /// failure. Replies with stale sequence numbers (from a timed-out
+  /// earlier attempt) are discarded.
+  bool SendRecv(std::size_t s, std::uint32_t type,
+                const std::vector<char>& payload, std::vector<char>* reply,
+                int timeout_ms, bool retryable);
+
+  /// Scatters one identical request to every active shard, then gathers.
+  /// Shards that fail are flipped inactive in `views` and appended to
+  /// `missing`. Replies land in `replies[s]`.
+  void Broadcast(std::uint32_t type, const std::vector<char>& payload,
+                 bool retryable, int timeout_ms, std::vector<ShardView>& views,
+                 std::vector<std::vector<char>>& replies,
+                 std::vector<std::size_t>& missing);
+
+  std::size_t ShardOf(std::size_t global) const;
+  int RemainingMs(std::int64_t deadline_ms) const;
+
+  ServeResult QueryLazy(std::string_view query, std::size_t k, double slack);
+  ServeResult QueryRow(std::string_view query, std::size_t k);
+
+  // Manifest state.
+  std::size_t n_ = 0;
+  std::vector<std::size_t> shard_sizes_;
+  std::vector<std::size_t> bases_;        // size S+1
+  std::vector<std::size_t> pivots_;       // global pivot ids
+  std::vector<std::int32_t> pivot_rank_;  // global id -> ordinal or -1
+  std::vector<std::string> pivot_strings_;
+  StringDistancePtr distance_;
+
+  std::string dir_;
+  ServeOptions options_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace cned
+
+#endif  // CNED_SERVE_ROUTER_H_

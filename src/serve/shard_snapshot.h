@@ -1,0 +1,48 @@
+#ifndef CNED_SERVE_SHARD_SNAPSHOT_H_
+#define CNED_SERVE_SHARD_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cned {
+
+/// On-disk layout of a distributed serving snapshot (binary_io format).
+///
+/// `SaveServingSnapshot` splits a `ShardedLaesa` + its store into one
+/// directory:
+///   manifest.bin      router half (magic CNEDSRM1): counts {n, shards,
+///                     np, pivot_arena_bytes}; sections shard sizes
+///                     u64[shards], pivot ids u64[np], pivot lengths
+///                     u64[np], pivot characters char[arena_bytes]
+///   shard<s>.store.bin   shard s's prototypes — a standalone
+///                     `PrototypeStore::SaveBinary` file
+///   shard<s>.index.bin   shard s's index slice (magic CNEDSHW1): counts
+///                     {n, shards, np, shard_id, n_s, base}; sections
+///                     pivot ids u64[np], table f64[np * n_s]
+///
+/// Each worker process opens only its own two shard files (checksum-
+/// verified, then mapped in place); the router opens only the manifest.
+/// No process ever holds the whole index.
+
+inline constexpr char kShardSliceMagic[8] = {'C', 'N', 'E', 'D',
+                                             'S', 'H', 'W', '1'};
+inline constexpr std::uint32_t kShardSliceVersion = 1;
+inline constexpr char kRouterManifestMagic[8] = {'C', 'N', 'E', 'D',
+                                                 'S', 'R', 'M', '1'};
+inline constexpr std::uint32_t kRouterManifestVersion = 1;
+
+/// Standard file names inside a snapshot directory.
+std::string ManifestPath(const std::string& dir);
+std::string ShardStorePath(const std::string& dir, std::size_t shard);
+std::string ShardIndexPath(const std::string& dir, std::size_t shard);
+
+class ShardedLaesa;
+
+/// Writes the full distributed snapshot for `index` into `dir` (which must
+/// exist): the router manifest plus every shard's store and index-slice
+/// file, under the standard names above.
+void SaveServingSnapshot(const ShardedLaesa& index, const std::string& dir);
+
+}  // namespace cned
+
+#endif  // CNED_SERVE_SHARD_SNAPSHOT_H_

@@ -1,0 +1,180 @@
+#include "serve/worker.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/fault.h"
+#include "serve/frame.h"
+#include "serve/replica.h"
+#include "serve/wire.h"
+
+namespace cned {
+namespace {
+
+/// Request class for fault matching (serve/fault.h).
+const char* OpClass(FrameType type) {
+  switch (type) {
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kBeginLazy:
+    case FrameType::kBeginRow:
+      return "begin";
+    case FrameType::kEval:
+      return "eval";
+    case FrameType::kStep:
+    case FrameType::kStepRow:
+      return "step";
+    default:
+      return "other";
+  }
+}
+
+void SleepMs(std::uint64_t ms) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+  while (nanosleep(&ts, &ts) != 0) {
+  }
+}
+
+bool SendError(int fd, std::uint32_t seq, const std::string& message,
+               bool corrupt) {
+  PayloadWriter w;
+  w.Str(message);
+  return SendFrame(fd, FrameType::kError, seq, w.buf.data(), w.buf.size(),
+                   corrupt);
+}
+
+}  // namespace
+
+int RunShardWorker(int fd, const WorkerConfig& config) {
+  FaultInjector injector(FaultSpec::Parse(config.fault_spec),
+                         config.shard_id);
+
+  // Snapshot load failures are reported on the first request rather than
+  // silently dying: keep the error and answer every request with it.
+  std::unique_ptr<ShardReplica> replica;
+  std::string load_error;
+  try {
+    replica = std::make_unique<ShardReplica>(
+        config.store_path, config.index_path, config.distance);
+  } catch (const std::exception& e) {
+    load_error = e.what();
+  }
+
+  for (;;) {
+    Frame req;
+    const RecvStatus st = RecvFrame(fd, &req, /*timeout_ms=*/-1);
+    if (st != RecvStatus::kOk) return st == RecvStatus::kClosed ? 0 : 1;
+    const FrameType type = static_cast<FrameType>(req.type);
+
+    const FaultInjector::Action action = injector.OnRequest(OpClass(type));
+    if (action.crash) _exit(137);  // the kill -9 stand-in
+    if (action.delay_ms > 0) SleepMs(action.delay_ms);
+    if (action.drop) continue;
+
+    if (type == FrameType::kShutdown) {
+      SendFrame(fd, FrameType::kReply, req.seq, nullptr, 0);
+      return 0;
+    }
+    if (replica == nullptr) {
+      if (!SendError(fd, req.seq, "shard snapshot load failed: " + load_error,
+                     action.corrupt)) {
+        return 1;
+      }
+      continue;
+    }
+
+    PayloadWriter reply;
+    bool ok = true;
+    std::string error;
+    try {
+      PayloadReader r(req.payload);
+      switch (type) {
+        case FrameType::kPing: {
+          reply.U64(replica->shard_id());
+          break;
+        }
+        case FrameType::kBeginLazy: {
+          const std::string query = r.Str();
+          if (!r.Done()) throw std::runtime_error("malformed BeginLazy");
+          replica->BeginLazy(query);
+          reply.U64(replica->live());
+          reply.U64(replica->live_pivots());
+          break;
+        }
+        case FrameType::kBeginRow: {
+          const std::string query = r.Str();
+          const double seed_bound = r.F64();
+          const std::uint64_t np = r.U64();
+          const char* row_bytes =
+              r.ok() && np == replica->num_pivots()
+                  ? r.Raw(np * sizeof(double))
+                  : nullptr;
+          if (row_bytes == nullptr || !r.Done()) {
+            throw std::runtime_error("malformed BeginRow");
+          }
+          // The row sits at an arbitrary offset inside the frame payload
+          // (behind the length-prefixed query); copy it out so the sweep
+          // kernels get a properly aligned double array.
+          std::vector<double> row(np);
+          std::memcpy(row.data(), row_bytes, np * sizeof(double));
+          const SweepCompactResult pass =
+              replica->BeginRow(query, row.data(), seed_bound);
+          EncodeCompact(reply, pass, replica->live_pivots());
+          break;
+        }
+        case FrameType::kEval: {
+          const std::uint64_t id = r.U64();
+          const double cap = r.F64();
+          if (!r.Done()) throw std::runtime_error("malformed Eval");
+          reply.F64(replica->Eval(id, cap));
+          break;
+        }
+        case FrameType::kStep: {
+          const std::uint32_t skip = r.U32();
+          const std::int32_t rank = r.I32();
+          const double d = r.F64();
+          const double slack = r.F64();
+          const double bound = r.F64();
+          if (!r.Done()) throw std::runtime_error("malformed Step");
+          const SweepCompactResult pass =
+              replica->Step(skip, rank, d, slack, bound);
+          EncodeCompact(reply, pass, replica->live_pivots());
+          break;
+        }
+        case FrameType::kStepRow: {
+          const std::uint32_t skip = r.U32();
+          const double bound = r.F64();
+          if (!r.Done()) throw std::runtime_error("malformed StepRow");
+          const SweepCompactResult pass = replica->StepRow(skip, bound);
+          EncodeCompact(reply, pass, replica->live_pivots());
+          break;
+        }
+        default: {
+          throw std::runtime_error("unexpected frame type " +
+                                   std::to_string(req.type));
+        }
+      }
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    }
+
+    const bool sent =
+        ok ? SendFrame(fd, FrameType::kReply, req.seq, reply.buf.data(),
+                       reply.buf.size(), action.corrupt)
+           : SendError(fd, req.seq, error, action.corrupt);
+    if (!sent) return 1;
+  }
+}
+
+}  // namespace cned

@@ -1,0 +1,29 @@
+#ifndef CNED_SERVE_WORKER_H_
+#define CNED_SERVE_WORKER_H_
+
+#include <string>
+
+namespace cned {
+
+/// Configuration of one shard-worker process.
+struct WorkerConfig {
+  std::size_t shard_id = 0;
+  std::string store_path;
+  std::string index_path;
+  std::string distance;    ///< registry name (distances/registry.h)
+  std::string fault_spec;  ///< CNED_FAULT grammar (serve/fault.h); "" = clean
+};
+
+/// Runs the shard-worker protocol loop on `fd` (one end of the router's
+/// socketpair) until the router sends kShutdown, the socket closes, or an
+/// injected crash fires. Maps the shard snapshot (checksum-verified), then
+/// serves Ping/BeginLazy/BeginRow/Eval/Step/StepRow requests, applying the
+/// fault spec's deterministic schedule to each. Returns the process exit
+/// code (0 on clean shutdown). Never throws: a snapshot or protocol
+/// failure is reported as a kError frame where possible and a nonzero
+/// return otherwise.
+int RunShardWorker(int fd, const WorkerConfig& config);
+
+}  // namespace cned
+
+#endif  // CNED_SERVE_WORKER_H_

@@ -1,0 +1,60 @@
+// Standalone shard-worker executable (`cned_shard_worker`).
+//
+// The router normally forks workers in-process; this binary is the exec
+// form (ServeOptions::worker_binary) for deployments where workers must be
+// separate executables — container sidecars, setuid isolation, or running
+// a worker under a debugger. The protocol socket arrives as an inherited
+// file descriptor.
+//
+// Usage:
+//   cned_shard_worker --fd=N --shard=S --store=PATH --index=PATH
+//                     --distance=NAME [--fault=SPEC]
+// The fault spec may also come from the CNED_FAULT environment variable
+// (the flag wins when both are set).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/worker.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fd_text, shard_text;
+  cned::WorkerConfig config;
+  if (const char* env = std::getenv("CNED_FAULT")) config.fault_spec = env;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--fd", &fd_text) ||
+        ParseFlag(argv[i], "--shard", &shard_text) ||
+        ParseFlag(argv[i], "--store", &config.store_path) ||
+        ParseFlag(argv[i], "--index", &config.index_path) ||
+        ParseFlag(argv[i], "--distance", &config.distance) ||
+        ParseFlag(argv[i], "--fault", &config.fault_spec)) {
+      continue;
+    }
+    std::fprintf(stderr, "cned_shard_worker: unknown argument '%s'\n",
+                 argv[i]);
+    return 2;
+  }
+  if (fd_text.empty() || shard_text.empty() || config.store_path.empty() ||
+      config.index_path.empty() || config.distance.empty()) {
+    std::fprintf(stderr,
+                 "usage: cned_shard_worker --fd=N --shard=S --store=PATH "
+                 "--index=PATH --distance=NAME [--fault=SPEC]\n");
+    return 2;
+  }
+  const int fd = std::atoi(fd_text.c_str());
+  config.shard_id = static_cast<std::size_t>(std::atoi(shard_text.c_str()));
+  return cned::RunShardWorker(fd, config);
+}

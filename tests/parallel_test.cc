@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -48,6 +50,61 @@ TEST(ParallelForTest, ComputesSameResultAsSerial) {
   ParallelFor(n, [&](std::size_t i) { parallel_out[i] = f(i); });
   for (std::size_t i = 0; i < n; ++i) serial_out[i] = f(i);
   EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelForTest, RethrowsWorkerExceptionOnCaller) {
+  try {
+    ParallelFor(1000, [](std::size_t i) {
+      if (i == 137) throw std::runtime_error("body failed at 137");
+    });
+    FAIL() << "expected the worker exception to reach the caller";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "body failed at 137");
+  }
+}
+
+TEST(ParallelForTest, FirstExceptionWinsAndLoopStillJoins) {
+  // Every iteration throws; exactly one exception must surface, after all
+  // workers have joined (no detached threads touching dead stack frames).
+  std::atomic<int> started{0};
+  EXPECT_THROW(ParallelFor(64,
+                           [&](std::size_t i) {
+                             ++started;
+                             throw std::invalid_argument(
+                                 "iter " + std::to_string(i));
+                           }),
+               std::invalid_argument);
+  EXPECT_GE(started.load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesFromSingleThreadAndNestedPaths) {
+  EXPECT_THROW(
+      ParallelFor(4, [](std::size_t) { throw std::runtime_error("serial"); },
+                  /*threads=*/1),
+      std::runtime_error);
+  // Nested ParallelFor runs inline on the worker thread; its exception must
+  // ride the outer loop's capture back to the original caller.
+  EXPECT_THROW(
+      ParallelFor(8,
+                  [](std::size_t) {
+                    ParallelFor(4, [](std::size_t j) {
+                      if (j == 2) throw std::runtime_error("nested");
+                    });
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ThrowingRunStopsDealingRemainingIterations) {
+  // After the first throw the other workers stop taking new indices, so a
+  // long loop doesn't grind to completion behind a doomed result.
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelFor(1u << 20,
+                           [&](std::size_t i) {
+                             ++ran;
+                             if (i == 0) throw std::runtime_error("early");
+                           }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), 1 << 20);
 }
 
 }  // namespace

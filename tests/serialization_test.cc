@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -126,10 +127,83 @@ TEST(SerializationTest, HeaderLayoutIsAlignedAndVersioned) {
   std::uint64_t count = 0;
   std::memcpy(&count, bytes.data() + 16, sizeof(count));
   EXPECT_EQ(count, store.size());
-  // Every section starts on a 64-byte boundary, so the whole file is a
-  // whole number of alignment blocks plus the final (unpadded) section.
-  EXPECT_EQ(bytes.size() % kBinaryAlignment,
-            store.arena_bytes() % kBinaryAlignment);
+  // Every section starts on a 64-byte boundary and Finish() pads the
+  // payload before appending the 64-byte checksum footer, so the whole
+  // file is a whole number of alignment blocks ending in the footer magic.
+  EXPECT_EQ(bytes.size() % kBinaryAlignment, 0u);
+  ASSERT_GE(bytes.size(), 2 * kBinaryAlignment);
+  EXPECT_EQ(std::memcmp(bytes.data() + bytes.size() - kBinaryAlignment,
+                        kBinaryFooterMagic, 8),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Checksum footer: a bit flip anywhere in the payload or a truncated footer
+// must fail loudly — in the copying loader always, in the mapped loader
+// whenever verification is requested.
+// ---------------------------------------------------------------------------
+
+TEST(SerializationTest, LoadRejectsBitFlipInArena) {
+  const auto words = Words(40, 9100);
+  PrototypeStore store(words);
+  TempFile file("crc_bitflip");
+  store.SaveBinary(file.path());
+  auto bytes = ReadAll(file.path());
+  // Flip one bit in the last payload block — inside the arena section,
+  // where no structural check could ever notice (the characters are
+  // opaque). Only the checksum catches this class of corruption.
+  bytes[bytes.size() - kBinaryAlignment - 1] ^= 0x10;
+  WriteAll(file.path(), bytes);
+  try {
+    (void)PrototypeStore::LoadBinary(file.path());
+    FAIL() << "expected checksum mismatch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+  // The standalone verification pass (what the serving tier's workers run
+  // before mapping a shard) rejects it too...
+  EXPECT_THROW(VerifySnapshotChecksum(file.path()), std::runtime_error);
+  // ...as does a mapped load with verification requested.
+  MappedReader reader(MappedFile::Open(file.path()),
+                      /*verify_checksum=*/false);
+  EXPECT_THROW(reader.VerifyChecksum(), std::runtime_error);
+  EXPECT_THROW(
+      MappedReader(MappedFile::Open(file.path()), /*verify_checksum=*/true),
+      std::runtime_error);
+}
+
+TEST(SerializationTest, LoadRejectsTruncatedFooter) {
+  const auto words = Words(20, 9200);
+  PrototypeStore store(words);
+  TempFile file("crc_trunc_footer");
+  store.SaveBinary(file.path());
+  auto bytes = ReadAll(file.path());
+  bytes.resize(bytes.size() - 10);  // cut into the footer block
+  WriteAll(file.path(), bytes);
+  try {
+    (void)PrototypeStore::LoadBinary(file.path());
+    FAIL() << "expected missing footer";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("footer"), std::string::npos);
+  }
+  EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
+  EXPECT_THROW(VerifySnapshotChecksum(file.path()), std::runtime_error);
+}
+
+TEST(SerializationTest, VerifySnapshotChecksumAcceptsIntactFiles) {
+  const auto words = Words(30, 9300);
+  ShardedPrototypeStore store(words, 3);
+  ShardedLaesa index(store, MakeDistance("dE"), 4);
+  TempFile store_file("crc_ok_store");
+  TempFile index_file("crc_ok_index");
+  store.SaveBinary(store_file.path());
+  index.Save(index_file.path());
+  EXPECT_NO_THROW(VerifySnapshotChecksum(store_file.path()));
+  EXPECT_NO_THROW(VerifySnapshotChecksum(index_file.path()));
+  // CNED_SNAPSHOT_VERIFY=1 routes every mapped load through the same check.
+  ::setenv("CNED_SNAPSHOT_VERIFY", "1", 1);
+  EXPECT_NO_THROW(ShardedPrototypeStore::Map(store_file.path()));
+  ::unsetenv("CNED_SNAPSHOT_VERIFY");
 }
 
 TEST(SerializationTest, LoadRejectsBadMagic) {
@@ -139,7 +213,7 @@ TEST(SerializationTest, LoadRejectsBadMagic) {
   store.SaveBinary(file.path());
   auto bytes = ReadAll(file.path());
   bytes[0] = 'X';
-  WriteAll(file.path(), bytes);
+  WriteAllRestamped(file.path(), bytes);
   EXPECT_THROW(PrototypeStore::LoadBinary(file.path()), std::runtime_error);
 }
 
@@ -151,7 +225,7 @@ TEST(SerializationTest, LoadRejectsVersionMismatch) {
   laesa.Save(file.path());
   auto bytes = ReadAll(file.path());
   bytes[8] = 99;  // bump the version field
-  WriteAll(file.path(), bytes);
+  WriteAllRestamped(file.path(), bytes);
   try {
     (void)Laesa::Load(file.path(), store, MakeDistance("dE"));
     FAIL() << "expected version mismatch";
@@ -169,7 +243,7 @@ TEST(SerializationTest, LoadRejectsTruncatedFile) {
     laesa.Save(file.path());
     auto bytes = ReadAll(file.path());
     bytes.resize(bytes.size() / 2);
-    WriteAll(file.path(), bytes);
+    WriteAllRestamped(file.path(), bytes);
     EXPECT_THROW(Laesa::Load(file.path(), store, MakeDistance("dE")),
                  std::runtime_error);
   }
@@ -177,8 +251,8 @@ TEST(SerializationTest, LoadRejectsTruncatedFile) {
     TempFile file("trunc_store");
     store.SaveBinary(file.path());
     auto bytes = ReadAll(file.path());
-    bytes.resize(bytes.size() - 16);
-    WriteAll(file.path(), bytes);
+    bytes.resize(bytes.size() - 2 * kBinaryAlignment - 16);
+    WriteAllRestamped(file.path(), bytes);
     EXPECT_THROW(PrototypeStore::LoadBinary(file.path()), std::runtime_error);
   }
   {
@@ -187,8 +261,8 @@ TEST(SerializationTest, LoadRejectsTruncatedFile) {
     TempFile file("trunc_sharded");
     index.Save(file.path());
     auto bytes = ReadAll(file.path());
-    bytes.resize(bytes.size() - 64);
-    WriteAll(file.path(), bytes);
+    bytes.resize(bytes.size() - 3 * kBinaryAlignment);
+    WriteAllRestamped(file.path(), bytes);
     EXPECT_THROW(ShardedLaesa::Load(file.path(), sharded, MakeDistance("dE")),
                  std::runtime_error);
   }
@@ -224,7 +298,7 @@ TEST(SerializationTest, LoadRejectsCorruptHeaderCounts) {
   store.SaveBinary(file.path());
   auto bytes = ReadAll(file.path());
   for (std::size_t b = 16; b < 24; ++b) bytes[b] = static_cast<char>(0xFF);
-  WriteAll(file.path(), bytes);
+  WriteAllRestamped(file.path(), bytes);
   EXPECT_THROW(PrototypeStore::LoadBinary(file.path()), std::runtime_error);
 
   ShardedPrototypeStore sharded(words, 2);
@@ -234,7 +308,7 @@ TEST(SerializationTest, LoadRejectsCorruptHeaderCounts) {
   for (std::size_t b = 16; b < 24; ++b) {
     sharded_bytes[b] = static_cast<char>(0xFF);
   }
-  WriteAll(sharded_file.path(), sharded_bytes);
+  WriteAllRestamped(sharded_file.path(), sharded_bytes);
   EXPECT_THROW(ShardedPrototypeStore::LoadBinary(sharded_file.path()),
                std::runtime_error);
 }
@@ -265,13 +339,13 @@ TEST(SerializationTest, MapRejectsMissingEmptyAndBadMagicFiles) {
   store.SaveBinary(file.path());
   auto bytes = ReadAll(file.path());
   bytes[0] = 'X';
-  WriteAll(file.path(), bytes);
+  WriteAllRestamped(file.path(), bytes);
   EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
 
   bytes = ReadAll(file.path());
   bytes[0] = 'C';
   bytes[8] = 99;  // version field
-  WriteAll(file.path(), bytes);
+  WriteAllRestamped(file.path(), bytes);
   try {
     (void)PrototypeStore::Map(file.path());
     FAIL() << "expected version mismatch";
@@ -288,7 +362,7 @@ TEST(SerializationTest, MapRejectsTruncatedTail) {
     store.SaveBinary(file.path());
     auto bytes = ReadAll(file.path());
     bytes.resize(bytes.size() / 2);
-    WriteAll(file.path(), bytes);
+    WriteAllRestamped(file.path(), bytes);
     EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
   }
   {
@@ -296,8 +370,8 @@ TEST(SerializationTest, MapRejectsTruncatedTail) {
     TempFile file("map_trunc_laesa");
     laesa.Save(file.path());
     auto bytes = ReadAll(file.path());
-    bytes.resize(bytes.size() - 24);
-    WriteAll(file.path(), bytes);
+    bytes.resize(bytes.size() - 2 * kBinaryAlignment - 24);
+    WriteAllRestamped(file.path(), bytes);
     EXPECT_THROW(Laesa::Map(file.path(), store, MakeDistance("dE")),
                  std::runtime_error);
   }
@@ -310,12 +384,12 @@ TEST(SerializationTest, MapRejectsTruncatedTail) {
     index.Save(index_file.path());
     auto bytes = ReadAll(store_file.path());
     bytes.resize(bytes.size() * 2 / 3);
-    WriteAll(store_file.path(), bytes);
+    WriteAllRestamped(store_file.path(), bytes);
     EXPECT_THROW(ShardedPrototypeStore::Map(store_file.path()),
                  std::runtime_error);
     bytes = ReadAll(index_file.path());
-    bytes.resize(bytes.size() - 64);
-    WriteAll(index_file.path(), bytes);
+    bytes.resize(bytes.size() - 3 * kBinaryAlignment);
+    WriteAllRestamped(index_file.path(), bytes);
     EXPECT_THROW(ShardedLaesa::Map(index_file.path(), sharded,
                                    MakeDistance("dE")),
                  std::runtime_error);
@@ -335,7 +409,7 @@ TEST(SerializationTest, MapRejectsSectionStartBeyondFileEnd) {
   // 192, lengths... Cutting at 150 leaves the cursor mid-padding.
   ASSERT_GT(bytes.size(), 192u);
   bytes.resize(150);
-  WriteAll(file.path(), bytes);
+  WriteAllRestamped(file.path(), bytes);
   EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
 }
 
@@ -350,7 +424,7 @@ TEST(SerializationTest, MapRejectsSectionLengthOverflowingFileSize) {
     auto bytes = ReadAll(file.path());
     const std::uint64_t huge_arena = 0x7FFFFFFF;
     std::memcpy(bytes.data() + 24, &huge_arena, sizeof(huge_arena));
-    WriteAll(file.path(), bytes);
+    WriteAllRestamped(file.path(), bytes);
     EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
   }
   {
@@ -360,7 +434,7 @@ TEST(SerializationTest, MapRejectsSectionLengthOverflowingFileSize) {
     store.SaveBinary(file.path());
     auto bytes = ReadAll(file.path());
     for (std::size_t b = 16; b < 24; ++b) bytes[b] = static_cast<char>(0xFF);
-    WriteAll(file.path(), bytes);
+    WriteAllRestamped(file.path(), bytes);
     EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
   }
   {
@@ -369,7 +443,7 @@ TEST(SerializationTest, MapRejectsSectionLengthOverflowingFileSize) {
     sharded.SaveBinary(file.path());
     auto bytes = ReadAll(file.path());
     for (std::size_t b = 16; b < 24; ++b) bytes[b] = static_cast<char>(0xFF);
-    WriteAll(file.path(), bytes);
+    WriteAllRestamped(file.path(), bytes);
     EXPECT_THROW(ShardedPrototypeStore::Map(file.path()), std::runtime_error);
   }
 }
@@ -385,7 +459,7 @@ TEST(SerializationTest, MapRejectsOffsetsOutsideArena) {
   const std::uint32_t huge_offset = 0x40000000;
   std::memcpy(bytes.data() + kBinaryAlignment + 4, &huge_offset,
               sizeof(huge_offset));  // offsets[1]
-  WriteAll(file.path(), bytes);
+  WriteAllRestamped(file.path(), bytes);
   EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
 }
 

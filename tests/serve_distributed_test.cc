@@ -1,0 +1,434 @@
+// The distributed serving tier's two contracts, pinned end to end over
+// real forked worker processes:
+//
+//   1. Healthy = bit-identical. A router over 1/2/4/8 workers returns the
+//      same neighbours, the same distances AND the same QueryStats as the
+//      in-process ShardedLaesa, on both the lazy and the pivot-row path.
+//   2. Degraded = correctly flagged. Crashed (kill -9), unresponsive,
+//      and corrupt-stream workers cost exactly their shard: results come
+//      back partial with the missed shards named, surviving distances
+//      stay exact, respawn restores full health, and the same fault
+//      schedule over the same queries reproduces identical partial
+//      results run to run.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/dictionary_gen.h"
+#include "datasets/perturb.h"
+#include "datasets/sharded_prototype_store.h"
+#include "distances/registry.h"
+#include "search/sharded_laesa.h"
+#include "serve/router.h"
+#include "serve/shard_snapshot.h"
+
+namespace cned {
+namespace {
+
+struct Workload {
+  std::vector<std::string> protos;
+  std::vector<std::string> queries;
+};
+
+Workload MakeWorkload(std::size_t words, std::size_t queries,
+                      std::uint64_t seed) {
+  DictionaryOptions opt;
+  opt.word_count = words;
+  opt.seed = seed;
+  Workload w;
+  w.protos = GenerateDictionary(opt).strings;
+  Rng rng(seed + 1);
+  w.queries = MakeQueries(w.protos, queries, 2, Alphabet::Latin(), rng);
+  return w;
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/cned_serve_XXXXXX";
+    char* p = mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p;
+  }
+  ~TempDir() {
+    if (!path.empty()) std::filesystem::remove_all(path);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
+
+/// In-process reference index + its serving snapshot on disk.
+struct Deployment {
+  TempDir dir;
+  std::unique_ptr<ShardedPrototypeStore> store;
+  std::unique_ptr<ShardedLaesa> index;
+
+  Deployment(const std::vector<std::string>& protos, std::size_t shards,
+             std::size_t pivots) {
+    store = std::make_unique<ShardedPrototypeStore>(protos, shards);
+    index = std::make_unique<ShardedLaesa>(*store, MakeDistance("dE"), pivots);
+    SaveServingSnapshot(*index, dir.path);
+  }
+};
+
+ServeOptions FastOptions() {
+  ServeOptions opt;
+  opt.distance = "dE";
+  opt.op_timeout_ms = 400;  // drop faults resolve in sub-second time
+  opt.op_retries = 2;
+  opt.backoff_base_ms = 2;
+  return opt;
+}
+
+void ExpectHealthyIdentical(const ServeResult& got,
+                            const std::vector<NeighborResult>& want,
+                            const QueryStats& want_stats,
+                            const std::string& context) {
+  EXPECT_FALSE(got.partial) << context;
+  EXPECT_TRUE(got.missing_shards.empty()) << context;
+  ASSERT_EQ(got.neighbors.size(), want.size()) << context;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got.neighbors[i].index, want[i].index) << context << " i=" << i;
+    EXPECT_EQ(got.neighbors[i].distance, want[i].distance)
+        << context << " i=" << i;
+  }
+  EXPECT_TRUE(got.stats == want_stats)
+      << context << ": distributed (" << got.stats.distance_computations
+      << ", " << got.stats.bounded_abandons << ", "
+      << got.stats.pivot_computations << ", " << got.stats.shards_degraded
+      << ") != in-process (" << want_stats.distance_computations << ", "
+      << want_stats.bounded_abandons << ", " << want_stats.pivot_computations
+      << ", " << want_stats.shards_degraded << ")";
+}
+
+// --- Contract 1: healthy bit-identity --------------------------------------
+
+TEST(ServeDistributedTest, HealthyLazyPathBitIdenticalAcrossWorkerCounts) {
+  Workload w = MakeWorkload(120, 8, 7100);
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    Deployment dep(w.protos, shards, 8);
+    ServeRouter router(dep.dir.path, FastOptions());
+    ASSERT_EQ(router.shard_count(), shards);
+    ASSERT_EQ(router.size(), w.protos.size());
+    ASSERT_EQ(router.pivots(), dep.index->pivots());
+    for (const auto& q : w.queries) {
+      const std::string ctx = "S=" + std::to_string(shards) + " q=" + q;
+      QueryStats s1;
+      const NeighborResult a = dep.index->Nearest(q, &s1);
+      ExpectHealthyIdentical(router.Nearest(q), {a}, s1, ctx + " k=1");
+
+      QueryStats sk;
+      const auto ka = dep.index->KNearest(q, 5, &sk);
+      ExpectHealthyIdentical(router.KNearest(q, 5), ka, sk, ctx + " k=5");
+    }
+  }
+}
+
+TEST(ServeDistributedTest, HealthyBatchPathBitIdenticalAcrossWorkerCounts) {
+  Workload w = MakeWorkload(120, 8, 7200);
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    Deployment dep(w.protos, shards, 8);
+    ServeRouter router(dep.dir.path, FastOptions());
+    const auto got = router.KNearestBatch(w.queries, 4);
+    ASSERT_EQ(got.size(), w.queries.size());
+    std::vector<double> row(dep.index->pivot_count());
+    for (std::size_t i = 0; i < w.queries.size(); ++i) {
+      QueryStats ref;
+      dep.index->ComputePivotRow(w.queries[i], row.data(), &ref);
+      const auto want =
+          dep.index->KNearestWithPivotRow(w.queries[i], 4, row.data(), &ref);
+      ExpectHealthyIdentical(got[i], want, ref,
+                             "S=" + std::to_string(shards) +
+                                 " q=" + w.queries[i]);
+    }
+  }
+}
+
+// --- Contract 2: flagged degradation ---------------------------------------
+
+TEST(ServeDistributedTest, CrashMidSweepDegradesExactlyThatShard) {
+  Workload w = MakeWorkload(150, 3, 7300);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  opt.fault_spec = "crash:shard=2,op=step,nth=2";
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+
+  const ServeResult r = router.KNearest(w.queries[0], 3);
+  EXPECT_TRUE(r.partial);
+  ASSERT_EQ(r.missing_shards, std::vector<std::size_t>{2});
+  EXPECT_EQ(r.stats.shards_degraded, 1u);
+  EXPECT_FALSE(router.worker_alive(2));
+  // Every distance the degraded answer reports is still exact.
+  auto dist = MakeDistance("dE");
+  for (const NeighborResult& nb : r.neighbors) {
+    EXPECT_EQ(nb.distance, dist->Distance(w.queries[0], w.protos[nb.index]));
+  }
+
+  // Respawn restores full health and bit-identity.
+  EXPECT_FALSE(router.PingAll());
+  EXPECT_EQ(router.RespawnDead(), 1u);
+  EXPECT_TRUE(router.PingAll());
+  QueryStats ref;
+  const auto want = dep.index->KNearest(w.queries[1], 3, &ref);
+  ExpectHealthyIdentical(router.KNearest(w.queries[1], 3), want, ref,
+                         "post-respawn");
+}
+
+TEST(ServeDistributedTest, UnresponsiveStepIsNeverRetriedAndDegrades) {
+  Workload w = MakeWorkload(100, 2, 7400);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  // The worker swallows one Step: the router must not resend a mutating
+  // op — the shard is degraded on the first timeout.
+  opt.fault_spec = "drop:shard=1,op=step,nth=1";
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+  const ServeResult r = router.Nearest(w.queries[0]);
+  EXPECT_TRUE(r.partial);
+  EXPECT_EQ(r.missing_shards, std::vector<std::size_t>{1});
+  EXPECT_FALSE(router.worker_alive(1));
+}
+
+TEST(ServeDistributedTest, UnresponsiveIdempotentOpIsRetriedTransparently) {
+  Workload w = MakeWorkload(100, 4, 7500);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  // Dropped Eval and dropped BeginLazy replies: both are idempotent, so
+  // the retry path must absorb them with no effect on the answer.
+  opt.fault_spec = "drop:shard=1,op=eval,nth=1|drop:shard=3,op=begin,nth=1";
+  ServeRouter router(dep.dir.path, opt);
+  for (const auto& q : w.queries) {
+    QueryStats ref;
+    const auto want = dep.index->KNearest(q, 3, &ref);
+    ExpectHealthyIdentical(router.KNearest(q, 3), want, ref,
+                           "retried q=" + q);
+  }
+  EXPECT_TRUE(router.PingAll());
+}
+
+TEST(ServeDistributedTest, CorruptReplyIsTreatedAsDeadShard) {
+  Workload w = MakeWorkload(100, 2, 7600);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  opt.fault_spec = "corrupt:shard=0,op=step,nth=1";
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+  const ServeResult r = router.Nearest(w.queries[0]);
+  EXPECT_TRUE(r.partial);
+  EXPECT_EQ(r.missing_shards, std::vector<std::size_t>{0});
+  EXPECT_FALSE(router.worker_alive(0));
+}
+
+TEST(ServeDistributedTest, DeadlineExpiryReturnsFlaggedPartialIncumbents) {
+  Workload w = MakeWorkload(200, 1, 7700);
+  Deployment dep(w.protos, 4, 12);
+  ServeOptions opt = FastOptions();
+  // Every remote evaluation outsleeps the per-op window, so the retries
+  // burn the whole budget: the sweep hits the deadline with candidates
+  // still live and must hand back flagged incumbents, not block.
+  opt.fault_spec = "delay:op=eval,ms=300";
+  opt.query_deadline_ms = 250;
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+  const ServeResult r = router.KNearest(w.queries[0], 5);
+  EXPECT_TRUE(r.partial);
+  EXPECT_FALSE(r.missing_shards.empty());
+  EXPECT_EQ(r.stats.shards_degraded, r.missing_shards.size());
+  // Whatever incumbents made it in before the deadline are exact.
+  auto dist = MakeDistance("dE");
+  for (const NeighborResult& nb : r.neighbors) {
+    EXPECT_EQ(nb.distance, dist->Distance(w.queries[0], w.protos[nb.index]));
+  }
+}
+
+TEST(ServeDistributedTest, CrashMidBatchCostsOneQueryAndAutoRespawns) {
+  Workload w = MakeWorkload(120, 6, 7800);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  // The worker for shard 1 dies when query 3's BeginRow arrives; respawn
+  // runs between queries, so exactly one answer in the batch is partial.
+  opt.fault_spec = "crash:shard=1,op=begin,nth=3";
+  ServeRouter router(dep.dir.path, opt);
+  const auto got = router.KNearestBatch(w.queries, 3);
+  ASSERT_EQ(got.size(), w.queries.size());
+  std::vector<double> row(dep.index->pivot_count());
+  std::size_t partials = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].partial) {
+      ++partials;
+      EXPECT_EQ(got[i].missing_shards, std::vector<std::size_t>{1}) << i;
+      continue;
+    }
+    QueryStats ref;
+    dep.index->ComputePivotRow(w.queries[i], row.data(), &ref);
+    const auto want =
+        dep.index->KNearestWithPivotRow(w.queries[i], 3, row.data(), &ref);
+    ExpectHealthyIdentical(got[i], want, ref, "batch q=" + w.queries[i]);
+  }
+  EXPECT_EQ(partials, 1u);
+  EXPECT_TRUE(router.worker_alive(1));
+}
+
+TEST(ServeDistributedTest, KillNineIsSurvivedFlaggedAndRecoveredFrom) {
+  Workload w = MakeWorkload(120, 5, 7900);
+  Deployment dep(w.protos, 4, 8);
+  ServeRouter router(dep.dir.path, FastOptions());
+
+  QueryStats ref0;
+  const auto want0 = dep.index->KNearest(w.queries[0], 3, &ref0);
+  ExpectHealthyIdentical(router.KNearest(w.queries[0], 3), want0, ref0,
+                         "pre-kill");
+
+  // A real kill -9, not an injected fault: the worker vanishes between
+  // queries and the router finds out mid-query from the dead socket.
+  const pid_t victim = router.worker_pid(2);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(kill(victim, SIGKILL), 0);
+
+  const ServeResult during = router.KNearest(w.queries[1], 3);
+  EXPECT_TRUE(during.partial);
+  EXPECT_EQ(during.missing_shards, std::vector<std::size_t>{2});
+  auto dist = MakeDistance("dE");
+  for (const NeighborResult& nb : during.neighbors) {
+    EXPECT_EQ(nb.distance, dist->Distance(w.queries[1], w.protos[nb.index]));
+  }
+
+  // auto_respawn brings shard 2 back for the next query: full bit-identity
+  // again, under a fresh pid.
+  QueryStats ref2;
+  const auto want2 = dep.index->KNearest(w.queries[2], 3, &ref2);
+  ExpectHealthyIdentical(router.KNearest(w.queries[2], 3), want2, ref2,
+                         "post-respawn");
+  EXPECT_TRUE(router.worker_alive(2));
+  EXPECT_NE(router.worker_pid(2), victim);
+}
+
+// --- Satellite: degraded-mode determinism ----------------------------------
+
+void ExpectSameServeResult(const ServeResult& a, const ServeResult& b,
+                           const std::string& context) {
+  EXPECT_EQ(a.partial, b.partial) << context;
+  EXPECT_EQ(a.missing_shards, b.missing_shards) << context;
+  EXPECT_TRUE(a.stats == b.stats) << context;
+  ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << context;
+  for (std::size_t i = 0; i < a.neighbors.size(); ++i) {
+    EXPECT_EQ(a.neighbors[i].index, b.neighbors[i].index) << context;
+    EXPECT_EQ(a.neighbors[i].distance, b.neighbors[i].distance) << context;
+  }
+}
+
+TEST(ServeDistributedTest, DegradedLazyResultsAreDeterministicAcrossRuns) {
+  Workload w = MakeWorkload(140, 5, 8000);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  // A mixed schedule: one crash and one swallowed mutating op. Counted
+  // per directive, the schedule is a pure function of the request
+  // sequence — so two fresh routers over the same queries must degrade
+  // identically, down to the stats.
+  opt.fault_spec = "crash:shard=2,op=step,nth=4|drop:shard=0,op=step,nth=6";
+  opt.respawn_fault_spec = "";
+  auto run = [&]() {
+    ServeRouter router(dep.dir.path, opt);
+    std::vector<ServeResult> out;
+    for (const auto& q : w.queries) out.push_back(router.KNearest(q, 3));
+    return out;
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_EQ(first.size(), second.size());
+  std::size_t partials = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ExpectSameServeResult(first[i], second[i],
+                          "lazy run q=" + w.queries[i]);
+    partials += first[i].partial ? 1 : 0;
+  }
+  EXPECT_GT(partials, 0u);  // the schedule really fired
+}
+
+TEST(ServeDistributedTest, DegradedBatchResultsAreDeterministicAcrossRuns) {
+  Workload w = MakeWorkload(140, 6, 8100);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  opt.fault_spec = "crash:shard=3,op=begin,nth=2";
+  auto run = [&]() {
+    ServeRouter router(dep.dir.path, opt);
+    return router.KNearestBatch(w.queries, 3);
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_EQ(first.size(), second.size());
+  std::size_t partials = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ExpectSameServeResult(first[i], second[i],
+                          "batch run q=" + w.queries[i]);
+    partials += first[i].partial ? 1 : 0;
+  }
+  EXPECT_EQ(partials, 1u);
+}
+
+// --- Snapshot-level robustness ---------------------------------------------
+
+TEST(ServeDistributedTest, CorruptShardSnapshotNeverServes) {
+  Workload w = MakeWorkload(80, 2, 8200);
+  Deployment dep(w.protos, 2, 6);
+  // Flip one payload byte in shard 1's index slice: its worker must fail
+  // the pre-map checksum pass and answer with errors, degrading the shard
+  // — corrupted bytes are never silently merged into results.
+  {
+    const std::string path = ShardIndexPath(dep.dir.path, 1);
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 200, SEEK_SET);
+    int c = fgetc(f);
+    fseek(f, 200, SEEK_SET);
+    fputc(c ^ 0x40, f);
+    fclose(f);
+  }
+  ServeOptions opt = FastOptions();
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+  const ServeResult r = router.Nearest(w.queries[0]);
+  EXPECT_TRUE(r.partial);
+  EXPECT_EQ(r.missing_shards, std::vector<std::size_t>{1});
+}
+
+TEST(ServeDistributedTest, ExecFormWorkerBinaryServesIdentically) {
+  // The fork+exec deployment form (ServeOptions::worker_binary) must be
+  // the same protocol peer as the default in-process fork. The built
+  // `cned_shard_worker` sits next to this test binary.
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) GTEST_SKIP() << "cannot resolve own binary path";
+  const auto bin = self.parent_path() / "cned_shard_worker";
+  if (!std::filesystem::exists(bin)) {
+    GTEST_SKIP() << "cned_shard_worker not built";
+  }
+  Workload w = MakeWorkload(100, 4, 8300);
+  Deployment dep(w.protos, 3, 8);
+  ServeOptions opt = FastOptions();
+  opt.worker_binary = bin.string();
+  ServeRouter router(dep.dir.path, opt);
+  for (const auto& q : w.queries) {
+    QueryStats ref;
+    const auto want = dep.index->KNearest(q, 3, &ref);
+    ExpectHealthyIdentical(router.KNearest(q, 3), want, ref,
+                           "exec q=" + q);
+  }
+}
+
+TEST(ServeDistributedTest, RouterRejectsMissingManifest) {
+  TempDir empty;
+  EXPECT_THROW(ServeRouter(empty.path, FastOptions()), std::exception);
+}
+
+}  // namespace
+}  // namespace cned

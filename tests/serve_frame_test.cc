@@ -1,0 +1,218 @@
+// Wire-level contracts of the serving tier: checksummed framing round
+// trips, corruption and truncation surface as kMalformed (never a hang or
+// a garbage decode), receives are deadline-bounded, the payload codec is
+// strict about short reads and trailing bytes, and the CNED_FAULT grammar
+// parses deterministically.
+
+#include "serve/frame.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/fault.h"
+
+namespace cned {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() { EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) close(fds[0]);
+    if (fds[1] >= 0) close(fds[1]);
+  }
+  int fds[2] = {-1, -1};
+};
+
+TEST(ServeFrameTest, RoundTripsPayloadTypeAndSequence) {
+  SocketPair sp;
+  PayloadWriter w;
+  w.U32(7);
+  w.U64(123456789012345ull);
+  w.I32(-42);
+  w.F64(2.5);
+  w.Str("hello frame");
+  ASSERT_TRUE(SendFrame(sp.fds[0], FrameType::kStep, 99, w.buf.data(),
+                        w.buf.size()));
+  Frame f;
+  ASSERT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kOk);
+  EXPECT_EQ(f.type, static_cast<std::uint32_t>(FrameType::kStep));
+  EXPECT_EQ(f.seq, 99u);
+  PayloadReader r(f.payload);
+  EXPECT_EQ(r.U32(), 7u);
+  EXPECT_EQ(r.U64(), 123456789012345ull);
+  EXPECT_EQ(r.I32(), -42);
+  EXPECT_EQ(r.F64(), 2.5);
+  EXPECT_EQ(r.Str(), "hello frame");
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(ServeFrameTest, EmptyPayloadRoundTrips) {
+  SocketPair sp;
+  ASSERT_TRUE(SendFrame(sp.fds[0], FrameType::kPing, 1, nullptr, 0));
+  Frame f;
+  ASSERT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kOk);
+  EXPECT_EQ(f.type, static_cast<std::uint32_t>(FrameType::kPing));
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(ServeFrameTest, CorruptCrcIsMalformed) {
+  SocketPair sp;
+  const char payload[] = "payload bytes";
+  ASSERT_TRUE(SendFrame(sp.fds[0], FrameType::kReply, 5, payload,
+                        sizeof(payload), /*corrupt_crc=*/true));
+  Frame f;
+  EXPECT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kMalformed);
+}
+
+TEST(ServeFrameTest, OversizedLengthAndUnknownTypeAreMalformed) {
+  {
+    // Header whose length field claims > kMaxFramePayload.
+    SocketPair sp;
+    std::uint32_t header[4] = {kMaxFramePayload + 1,
+                               static_cast<std::uint32_t>(FrameType::kReply),
+                               1, 0};
+    ASSERT_EQ(send(sp.fds[0], header, sizeof(header), 0),
+              static_cast<ssize_t>(sizeof(header)));
+    Frame f;
+    EXPECT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kMalformed);
+  }
+  {
+    // Type outside the known range.
+    SocketPair sp;
+    std::uint32_t header[4] = {0, kMaxFrameType + 1, 1, 0};
+    ASSERT_EQ(send(sp.fds[0], header, sizeof(header), 0),
+              static_cast<ssize_t>(sizeof(header)));
+    Frame f;
+    EXPECT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kMalformed);
+  }
+}
+
+TEST(ServeFrameTest, RecvTimesOutInsteadOfHanging) {
+  SocketPair sp;
+  Frame f;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(RecvFrame(sp.fds[1], &f, 50), RecvStatus::kTimeout);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_GE(elapsed, 45);
+  EXPECT_LT(elapsed, 5000);
+}
+
+TEST(ServeFrameTest, TruncatedFrameThenCloseIsNotOk) {
+  SocketPair sp;
+  // Half a header, then EOF: the receive must fail (closed), not decode.
+  std::uint32_t half[2] = {16, static_cast<std::uint32_t>(FrameType::kReply)};
+  ASSERT_EQ(send(sp.fds[0], half, sizeof(half), 0),
+            static_cast<ssize_t>(sizeof(half)));
+  close(sp.fds[0]);
+  sp.fds[0] = -1;
+  Frame f;
+  EXPECT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kClosed);
+}
+
+TEST(ServeFrameTest, ClosedPeerIsDetected) {
+  SocketPair sp;
+  close(sp.fds[0]);
+  sp.fds[0] = -1;
+  Frame f;
+  EXPECT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kClosed);
+}
+
+TEST(ServeFrameTest, PayloadReaderRejectsShortAndTrailingBytes) {
+  PayloadWriter w;
+  w.U32(1);
+  w.F64(3.5);
+  {
+    // Short read: asking for more than is there fails sticky.
+    PayloadReader r(w.buf.data(), w.buf.size());
+    r.U32();
+    r.F64();
+    EXPECT_TRUE(r.Done());
+    EXPECT_EQ(r.U64(), 0u);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.Done());
+  }
+  {
+    // Trailing garbage is as malformed as a short read.
+    PayloadReader r(w.buf.data(), w.buf.size());
+    r.U32();
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.Done());
+  }
+  {
+    // A string whose length prefix overruns the payload.
+    PayloadWriter bad;
+    bad.U32(1000);  // claims 1000 bytes, none follow
+    PayloadReader r(bad.buf.data(), bad.buf.size());
+    EXPECT_EQ(r.Str(), "");
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(ServeFaultTest, ParsesFullGrammar) {
+  const FaultSpec spec = FaultSpec::Parse(
+      "crash:shard=1,op=step,nth=3|delay:op=eval,every=2,ms=50|drop:|"
+      "corrupt:shard=0");
+  ASSERT_EQ(spec.directives.size(), 4u);
+  EXPECT_EQ(spec.directives[0].kind, FaultDirective::Kind::kCrash);
+  EXPECT_EQ(spec.directives[0].shard, 1);
+  EXPECT_EQ(spec.directives[0].op, "step");
+  EXPECT_EQ(spec.directives[0].nth, 3u);
+  EXPECT_EQ(spec.directives[1].kind, FaultDirective::Kind::kDelay);
+  EXPECT_EQ(spec.directives[1].every, 2u);
+  EXPECT_EQ(spec.directives[1].ms, 50u);
+  EXPECT_EQ(spec.directives[1].shard, -1);
+  EXPECT_EQ(spec.directives[2].kind, FaultDirective::Kind::kDrop);
+  EXPECT_EQ(spec.directives[3].kind, FaultDirective::Kind::kCorrupt);
+  EXPECT_EQ(spec.directives[3].shard, 0);
+  EXPECT_TRUE(FaultSpec::Parse("").empty());
+}
+
+TEST(ServeFaultTest, RejectsUnknownKindsKeysOpsAndValues) {
+  EXPECT_THROW(FaultSpec::Parse("explode:shard=1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::Parse("crash:when=now"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::Parse("crash:op=query"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::Parse("delay:ms=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::Parse("crash:shard="), std::invalid_argument);
+}
+
+TEST(ServeFaultTest, NthFiresExactlyOnceAndCountsPerDirective) {
+  FaultInjector inj(FaultSpec::Parse("crash:op=step,nth=3"), /*shard=*/0);
+  EXPECT_FALSE(inj.OnRequest("step").crash);
+  EXPECT_FALSE(inj.OnRequest("eval").crash);  // non-matching: no count
+  EXPECT_FALSE(inj.OnRequest("step").crash);
+  EXPECT_TRUE(inj.OnRequest("step").crash);  // 3rd matching request
+  EXPECT_FALSE(inj.OnRequest("step").crash);
+}
+
+TEST(ServeFaultTest, EveryFiresPeriodicallyAndShardFilters) {
+  FaultInjector hit(FaultSpec::Parse("delay:shard=2,every=2,ms=7"),
+                    /*shard=*/2);
+  EXPECT_EQ(hit.OnRequest("eval").delay_ms, 0u);
+  EXPECT_EQ(hit.OnRequest("eval").delay_ms, 7u);
+  EXPECT_EQ(hit.OnRequest("eval").delay_ms, 0u);
+  EXPECT_EQ(hit.OnRequest("eval").delay_ms, 7u);
+
+  FaultInjector miss(FaultSpec::Parse("delay:shard=2,every=1,ms=7"),
+                     /*shard=*/1);
+  EXPECT_EQ(miss.OnRequest("eval").delay_ms, 0u);
+
+  // No nth/every: fires on every match.
+  FaultInjector always(FaultSpec::Parse("corrupt:op=eval"), /*shard=*/0);
+  EXPECT_TRUE(always.OnRequest("eval").corrupt);
+  EXPECT_TRUE(always.OnRequest("eval").corrupt);
+  EXPECT_FALSE(always.OnRequest("step").corrupt);
+}
+
+}  // namespace
+}  // namespace cned

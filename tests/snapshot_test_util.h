@@ -11,10 +11,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/binary_io.h"
+#include "common/crc32.h"
 #include "datasets/dictionary_gen.h"
 
 namespace cned {
@@ -50,6 +53,32 @@ inline std::vector<char> ReadAll(const std::string& path) {
 inline void WriteAll(const std::string& path, const std::vector<char>& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Re-stamps the checksum footer over `bytes`: strips an existing trailing
+/// footer (if any), then appends a fresh one whose CRC matches the payload.
+/// Corruption tests that target the *structural* validation use this so
+/// their bit edits get past the checksum gate — otherwise every edit would
+/// fail as "checksum mismatch" before reaching the check under test.
+inline std::vector<char> StampFooter(std::vector<char> bytes) {
+  if (bytes.size() >= kBinaryAlignment &&
+      std::memcmp(bytes.data() + bytes.size() - kBinaryAlignment,
+                  kBinaryFooterMagic, 8) == 0) {
+    bytes.resize(bytes.size() - kBinaryAlignment);
+  }
+  const std::uint32_t crc = Crc32(bytes.data(), bytes.size());
+  std::vector<char> footer(kBinaryAlignment, 0);
+  std::memcpy(footer.data(), kBinaryFooterMagic, 8);
+  std::memcpy(footer.data() + 8, &crc, sizeof(crc));
+  bytes.insert(bytes.end(), footer.begin(), footer.end());
+  return bytes;
+}
+
+/// WriteAll + StampFooter: the edited payload lands on disk with a valid
+/// checksum footer.
+inline void WriteAllRestamped(const std::string& path,
+                              const std::vector<char>& bytes) {
+  WriteAll(path, StampFooter(bytes));
 }
 
 }  // namespace cned
