@@ -54,6 +54,8 @@ FaultSpec FaultSpec::Parse(const std::string& text) {
       d.kind = FaultDirective::Kind::kCrash;
     } else if (kind_name == "corrupt") {
       d.kind = FaultDirective::Kind::kCorrupt;
+    } else if (kind_name == "mangle") {
+      d.kind = FaultDirective::Kind::kMangle;
     } else {
       throw std::invalid_argument("CNED_FAULT: unknown fault kind '" +
                                   kind_name + "'");
@@ -70,6 +72,8 @@ FaultSpec FaultSpec::Parse(const std::string& text) {
         const std::string val = kv.substr(eq + 1);
         if (key == "shard") {
           d.shard = static_cast<std::int64_t>(ParseU64(val, key));
+        } else if (key == "replica") {
+          d.replica = static_cast<std::int64_t>(ParseU64(val, key));
         } else if (key == "op") {
           if (val != "ping" && val != "begin" && val != "eval" &&
               val != "step") {
@@ -104,6 +108,7 @@ FaultInjector::Action FaultInjector::OnRequest(const std::string& op) {
   for (std::size_t i = 0; i < spec_.directives.size(); ++i) {
     const FaultDirective& d = spec_.directives[i];
     if (d.shard >= 0 && d.shard != shard_) continue;
+    if (d.replica >= 0 && d.replica != replica_) continue;
     if (!d.op.empty() && d.op != op) continue;
     const std::uint64_t count = ++counts_[i];
     bool fires = true;
@@ -122,6 +127,9 @@ FaultInjector::Action FaultInjector::OnRequest(const std::string& op) {
         break;
       case FaultDirective::Kind::kCorrupt:
         action.corrupt = true;
+        break;
+      case FaultDirective::Kind::kMangle:
+        action.mangle = true;
         break;
     }
   }

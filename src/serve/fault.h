@@ -19,14 +19,21 @@ namespace cned {
 ///   drop     swallow the request (no reply — the router times out)
 ///   crash    _exit the worker process immediately (a kill -9 equivalent)
 ///   corrupt  reply with a deliberately wrong frame CRC
+///   mangle   flip a byte of the reply payload but keep the CRC valid —
+///            the frame decodes cleanly and the router's replica
+///            agreement check is what must catch it
 /// keys:
-///   shard=S  only fire in shard S (default: any shard)
-///   op=NAME  only fire on requests of this class: ping, begin (both
-///            BeginLazy and BeginRow), eval, step (both Step and StepRow)
-///            (default: any request)
-///   nth=K    fire exactly once, on the K-th matching request (1-based)
-///   every=K  fire on every K-th matching request
-///   ms=T     delay duration (delay only; default 0)
+///   shard=S    only fire in shard S (default: any shard)
+///   replica=R  only fire in replica ordinal R of its group (default: any
+///              replica — note a directive without this key fires on
+///              *every* member of a replica group, since state-machine
+///              replication feeds all members the same request sequence)
+///   op=NAME    only fire on requests of this class: ping, begin (both
+///              BeginLazy and BeginRow), eval, step (both Step and
+///              StepRow) (default: any request)
+///   nth=K      fire exactly once, on the K-th matching request (1-based)
+///   every=K    fire on every K-th matching request
+///   ms=T       delay duration (delay only; default 0)
 ///
 /// Matching requests are counted per directive, so a schedule is a pure
 /// function of the request sequence — two runs over the same queries see
@@ -34,13 +41,14 @@ namespace cned {
 /// tests possible. A directive with neither nth nor every fires on every
 /// match.
 struct FaultDirective {
-  enum class Kind { kDelay, kDrop, kCrash, kCorrupt };
+  enum class Kind { kDelay, kDrop, kCrash, kCorrupt, kMangle };
   Kind kind = Kind::kDelay;
-  std::int64_t shard = -1;  ///< -1 = any shard
-  std::string op;           ///< "" = any op
-  std::uint64_t nth = 0;    ///< 0 = unset
-  std::uint64_t every = 0;  ///< 0 = unset
-  std::uint64_t ms = 0;     ///< delay duration
+  std::int64_t shard = -1;    ///< -1 = any shard
+  std::int64_t replica = -1;  ///< -1 = any replica of the group
+  std::string op;             ///< "" = any op
+  std::uint64_t nth = 0;      ///< 0 = unset
+  std::uint64_t every = 0;    ///< 0 = unset
+  std::uint64_t ms = 0;       ///< delay duration
 };
 
 struct FaultSpec {
@@ -54,8 +62,8 @@ struct FaultSpec {
   static FaultSpec Parse(const std::string& text);
 };
 
-/// One worker's runtime fault state: the spec filtered to this shard plus
-/// the per-directive match counters.
+/// One worker's runtime fault state: the spec filtered to this shard and
+/// replica plus the per-directive match counters.
 class FaultInjector {
  public:
   /// What the worker must do with the current request.
@@ -64,10 +72,12 @@ class FaultInjector {
     bool drop = false;
     bool crash = false;
     bool corrupt = false;
+    bool mangle = false;
   };
 
-  FaultInjector(FaultSpec spec, std::size_t shard)
+  FaultInjector(FaultSpec spec, std::size_t shard, std::size_t replica = 0)
       : spec_(std::move(spec)), shard_(static_cast<std::int64_t>(shard)),
+        replica_(static_cast<std::int64_t>(replica)),
         counts_(spec_.directives.size(), 0) {}
 
   /// Advances every matching directive's counter and merges the actions
@@ -78,6 +88,7 @@ class FaultInjector {
  private:
   FaultSpec spec_;
   std::int64_t shard_;
+  std::int64_t replica_ = 0;
   std::vector<std::uint64_t> counts_;
 };
 

@@ -42,7 +42,7 @@ inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
 /// exactly one reply frame (kReply or kError) echoing its sequence
 /// number, unless a fault drops it.
 enum class FrameType : std::uint32_t {
-  kPing = 1,       ///< health check; reply payload: u64 shard id
+  kPing = 1,       ///< health check; reply: u64 shard id, u64 replica id
   kBeginLazy = 2,  ///< start a lazy sweep: str query
   kBeginRow = 3,   ///< start a row sweep: str query, f64 seed_bound, row
   kEval = 4,       ///< evaluate: u64 global id, f64 cap -> f64 distance

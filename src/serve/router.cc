@@ -1,5 +1,6 @@
 #include "serve/router.h"
 
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
@@ -31,13 +32,64 @@ std::int64_t NowMs() {
       .count();
 }
 
+void ValidateServeOptions(const ServeOptions& o) {
+  auto fail = [](const char* field, long long got, const char* want) {
+    throw std::invalid_argument(std::string("ServeOptions.") + field + " " +
+                                want + " (got " + std::to_string(got) + ")");
+  };
+  if (o.distance.empty()) {
+    throw std::invalid_argument(
+        "ServeOptions.distance must name a registered distance");
+  }
+  if (o.replicas < 1) fail("replicas", o.replicas, "must be >= 1");
+  if (o.op_timeout_ms <= 0) fail("op_timeout_ms", o.op_timeout_ms, "must be > 0");
+  if (o.query_deadline_ms <= 0) {
+    fail("query_deadline_ms", o.query_deadline_ms, "must be > 0");
+  }
+  if (o.op_retries < 0) fail("op_retries", o.op_retries, "must be >= 0");
+  if (o.backoff_base_ms < 0) {
+    fail("backoff_base_ms", o.backoff_base_ms, "must be >= 0");
+  }
+  if (o.health_interval_ms < 0) {
+    fail("health_interval_ms", o.health_interval_ms, "must be >= 0");
+  }
+}
+
+/// Exponential backoff before retry `attempt` (1-based), capped at the
+/// time remaining before `deadline_ms` (-1 = unbounded) so a retrying op
+/// can never sleep a query past its budget.
+void BackoffSleep(int backoff_base_ms, int attempt, std::int64_t deadline_ms) {
+  const int shift = attempt - 1 < 20 ? attempt - 1 : 20;
+  std::int64_t sleep_ms = static_cast<std::int64_t>(backoff_base_ms) << shift;
+  if (deadline_ms >= 0) {
+    const std::int64_t left = deadline_ms - NowMs();
+    if (left <= 0) return;
+    if (sleep_ms > left) sleep_ms = left;
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+}
+
+/// RecvFrame that discards replies whose sequence number belongs to a
+/// timed-out earlier attempt.
+RecvStatus RecvMatching(int fd, std::uint32_t seq, int timeout_ms,
+                        Frame* frame) {
+  for (;;) {
+    const RecvStatus st = RecvFrame(fd, frame, timeout_ms);
+    if (st == RecvStatus::kOk && frame->seq != seq) continue;
+    return st;
+  }
+}
+
 }  // namespace
 
 ServeRouter::ServeRouter(const std::string& snapshot_dir,
                          const ServeOptions& options)
-    : distance_(MakeDistance(options.distance)),
+    : distance_((ValidateServeOptions(options), MakeDistance(options.distance))),
       dir_(snapshot_dir),
-      options_(options) {
+      options_(options),
+      replicas_per_shard_(static_cast<std::size_t>(options.replicas)) {
   // The manifest is small (pivot ids + strings); the copying reader also
   // gives the router the same always-on checksum verification the workers
   // run on their shard files.
@@ -92,58 +144,92 @@ ServeRouter::ServeRouter(const std::string& snapshot_dir,
     reader.Raw(pivot_strings_[p].data(), lens[p]);
   }
 
-  workers_.resize(shards);
+  groups_.resize(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    SpawnWorker(s, options_.fault_spec);
+    groups_[s].members.resize(replicas_per_shard_);
+    for (std::size_t r = 0; r < replicas_per_shard_; ++r) {
+      SpawnReplica(s, r, options_.fault_spec);
+    }
   }
-  if (!PingAll()) {
+  if (!PingAllLocked()) {
     bool any = false;
-    for (const Worker& w : workers_) any = any || w.alive;
+    for (const Group& g : groups_) any = any || g.AnyAlive();
     if (!any) {
       throw std::runtime_error("ServeRouter: no worker came up");
     }
   }
+  if (options_.health_interval_ms > 0) {
+    health_thread_ = std::thread(&ServeRouter::HealthLoop, this);
+  }
 }
 
 ServeRouter::~ServeRouter() {
-  for (std::size_t s = 0; s < workers_.size(); ++s) {
-    Worker& w = workers_[s];
-    if (w.fd >= 0) {
-      // Best-effort clean shutdown; the SIGKILL below is the guarantee.
-      SendFrame(w.fd, FrameType::kShutdown, ++w.seq, nullptr, 0);
-      close(w.fd);
-      w.fd = -1;
+  if (health_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_health_ = true;
     }
-    if (w.pid > 0) {
-      kill(w.pid, SIGKILL);
-      int status = 0;
-      waitpid(w.pid, &status, 0);
+    health_cv_.notify_all();
+    health_thread_.join();
+  }
+  for (Group& g : groups_) {
+    for (Replica& m : g.members) {
+      if (m.fd >= 0) {
+        // Best-effort clean shutdown; the SIGKILL below is the guarantee.
+        SendFrame(m.fd, FrameType::kShutdown, ++m.seq, nullptr, 0);
+        close(m.fd);
+        m.fd = -1;
+      }
+      if (m.pid > 0) {
+        kill(m.pid, SIGKILL);
+        int status = 0;
+        waitpid(m.pid, &status, 0);
+      }
     }
   }
 }
 
-void ServeRouter::SpawnWorker(std::size_t s, const std::string& fault_spec) {
+void ServeRouter::HealthLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_health_) {
+    health_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.health_interval_ms));
+    if (stop_health_) break;
+    // Ping-based failure detection (a silently-dead replica surfaces
+    // here), then respawn. Holding the router lock means this never runs
+    // mid-query, so a revived replica always rejoins at a query boundary.
+    PingAllLocked();
+    RespawnDeadLocked();
+  }
+}
+
+void ServeRouter::SpawnReplica(std::size_t s, std::size_t r,
+                               const std::string& fault_spec) {
+  Replica& rep = groups_[s].members[r];
   int sv[2];
   if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-    workers_[s].alive = false;
+    rep.alive = false;
     return;
   }
   const pid_t pid = fork();
   if (pid < 0) {
     close(sv[0]);
     close(sv[1]);
-    workers_[s].alive = false;
+    rep.alive = false;
     return;
   }
   if (pid == 0) {
-    // Child: drop every fd belonging to the router's other workers so a
+    // Child: drop every fd belonging to the router's other replicas so a
     // crashed sibling's socket still reads EOF at the router.
     close(sv[0]);
-    for (const Worker& other : workers_) {
-      if (other.fd >= 0) close(other.fd);
+    for (const Group& g : groups_) {
+      for (const Replica& other : g.members) {
+        if (other.fd >= 0) close(other.fd);
+      }
     }
     WorkerConfig config;
     config.shard_id = s;
+    config.replica_id = r;
     config.store_path = ShardStorePath(dir_, s);
     config.index_path = ShardIndexPath(dir_, s);
     config.distance = options_.distance;
@@ -156,6 +242,7 @@ void ServeRouter::SpawnWorker(std::size_t s, const std::string& fault_spec) {
       }
       execl(options_.worker_binary.c_str(), options_.worker_binary.c_str(),
             "--fd=3", ("--shard=" + std::to_string(s)).c_str(),
+            ("--replica=" + std::to_string(r)).c_str(),
             ("--store=" + config.store_path).c_str(),
             ("--index=" + config.index_path).c_str(),
             ("--distance=" + config.distance).c_str(),
@@ -165,140 +252,347 @@ void ServeRouter::SpawnWorker(std::size_t s, const std::string& fault_spec) {
     _exit(RunShardWorker(sv[1], config));
   }
   close(sv[1]);
-  workers_[s].pid = pid;
-  workers_[s].fd = sv[0];
-  workers_[s].alive = true;
-  workers_[s].seq = 0;
+  rep.pid = pid;
+  rep.fd = sv[0];
+  rep.alive = true;
+  rep.seq = 0;
 }
 
-void ServeRouter::MarkDead(std::size_t s) {
-  Worker& w = workers_[s];
-  w.alive = false;
-  if (w.fd >= 0) {
-    close(w.fd);
-    w.fd = -1;
+void ServeRouter::MarkDead(std::size_t s, std::size_t r) {
+  Replica& rep = groups_[s].members[r];
+  rep.alive = false;
+  if (rep.fd >= 0) {
+    close(rep.fd);
+    rep.fd = -1;
   }
 }
 
-void ServeRouter::ReapWorker(std::size_t s) {
-  Worker& w = workers_[s];
-  if (w.fd >= 0) {
-    close(w.fd);
-    w.fd = -1;
+void ServeRouter::ReapReplica(std::size_t s, std::size_t r) {
+  Replica& rep = groups_[s].members[r];
+  if (rep.fd >= 0) {
+    close(rep.fd);
+    rep.fd = -1;
   }
-  if (w.pid > 0) {
-    kill(w.pid, SIGKILL);
+  if (rep.pid > 0) {
+    kill(rep.pid, SIGKILL);
     int status = 0;
-    waitpid(w.pid, &status, 0);
-    w.pid = -1;
+    waitpid(rep.pid, &status, 0);
+    rep.pid = -1;
   }
-  w.alive = false;
+  rep.alive = false;
 }
 
-bool ServeRouter::SendRecv(std::size_t s, std::uint32_t type,
+bool ServeRouter::EnsurePrimary(std::size_t s, ServeResult* res) {
+  Group& g = groups_[s];
+  if (g.members[g.primary].alive) return true;
+  for (std::size_t r = 0; r < g.members.size(); ++r) {
+    if (g.members[r].alive) {
+      g.primary = r;
+      if (res != nullptr) ++res->failovers;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ServeRouter::SendRecv(std::size_t s, std::size_t r, std::uint32_t type,
                            const std::vector<char>& payload,
                            std::vector<char>* reply, int timeout_ms,
-                           bool retryable) {
-  Worker& w = workers_[s];
+                           bool retryable, std::int64_t deadline_ms) {
+  Replica& w = groups_[s].members[r];
   const int attempts = retryable ? 1 + options_.op_retries : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (!w.alive) return false;
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          static_cast<std::int64_t>(options_.backoff_base_ms)
-          << (attempt - 1)));
+      BackoffSleep(options_.backoff_base_ms, attempt, deadline_ms);
+      if (deadline_ms >= 0 && deadline_ms - NowMs() <= 0) break;
     }
     const std::uint32_t seq = ++w.seq;
     if (!SendFrame(w.fd, static_cast<FrameType>(type), seq, payload.data(),
                    payload.size())) {
-      MarkDead(s);
+      MarkDead(s, r);
       return false;
     }
     Frame frame;
-    RecvStatus st;
-    for (;;) {
-      st = RecvFrame(w.fd, &frame, timeout_ms);
-      // Replies to a timed-out earlier attempt carry an older sequence
-      // number; discard them and keep reading.
-      if (st == RecvStatus::kOk && frame.seq != seq) continue;
-      break;
-    }
+    const RecvStatus st = RecvMatching(w.fd, seq, timeout_ms, &frame);
     if (st == RecvStatus::kOk) {
       if (frame.type != static_cast<std::uint32_t>(FrameType::kReply)) {
         // kError (a worker-side exception) or an unexpected type: the
-        // shard's state is suspect either way.
-        MarkDead(s);
+        // replica's state is suspect either way.
+        MarkDead(s, r);
         return false;
       }
       if (reply != nullptr) *reply = std::move(frame.payload);
       return true;
     }
     if (st == RecvStatus::kClosed || st == RecvStatus::kMalformed) {
-      // A corrupt stream is never resynchronised: dead shard.
-      MarkDead(s);
+      // A corrupt stream is never resynchronised: dead replica.
+      MarkDead(s, r);
       return false;
     }
     // kTimeout: retry when the op allows it.
     if (!retryable) {
-      MarkDead(s);
+      MarkDead(s, r);
       return false;
     }
   }
-  MarkDead(s);
+  MarkDead(s, r);
   return false;
 }
 
 void ServeRouter::Broadcast(std::uint32_t type,
                             const std::vector<char>& payload, bool retryable,
-                            int timeout_ms, std::vector<ShardView>& views,
+                            int timeout_ms, std::int64_t deadline_ms,
+                            std::vector<ShardView>& views,
                             std::vector<std::vector<char>>& replies,
-                            std::vector<std::size_t>& missing) {
+                            std::vector<std::size_t>& missing,
+                            ServeResult* res) {
   const std::size_t shards = views.size();
-  std::vector<std::uint32_t> sent_seq(shards, 0);
-  std::vector<bool> pending(shards, false), retry(shards, false),
-      failed(shards, false);
-  // Scatter first so every worker computes its pass concurrently...
+  const std::size_t R = replicas_per_shard_;
+  // Per (shard, member) scatter state, flat-indexed s * R + r.
+  std::vector<std::uint32_t> sent_seq(shards * R, 0);
+  std::vector<char> pending(shards * R, 0), good(shards * R, 0),
+      retry(shards * R, 0);
+  std::vector<std::vector<char>> member_reply(shards * R);
+
+  // Scatter to every live member of every active shard first, so all
+  // replicas compute their pass concurrently — this is the state-machine
+  // replication step: standbys consume the identical op stream.
   for (std::size_t s = 0; s < shards; ++s) {
     if (!views[s].active) continue;
-    Worker& w = workers_[s];
-    sent_seq[s] = ++w.seq;
-    if (SendFrame(w.fd, static_cast<FrameType>(type), sent_seq[s],
-                  payload.data(), payload.size())) {
-      pending[s] = true;
-    } else {
-      failed[s] = true;
+    Group& g = groups_[s];
+    for (std::size_t r = 0; r < g.members.size(); ++r) {
+      Replica& m = g.members[r];
+      if (!m.alive) continue;
+      const std::size_t i = s * R + r;
+      sent_seq[i] = ++m.seq;
+      if (SendFrame(m.fd, static_cast<FrameType>(type), sent_seq[i],
+                    payload.data(), payload.size())) {
+        pending[i] = 1;
+      } else {
+        MarkDead(s, r);
+      }
     }
   }
-  // ...then gather in shard order.
+  // ...then gather in (shard, member) order.
   for (std::size_t s = 0; s < shards; ++s) {
-    if (!pending[s]) continue;
-    Frame frame;
-    RecvStatus st;
-    for (;;) {
-      st = RecvFrame(workers_[s].fd, &frame, timeout_ms);
-      if (st == RecvStatus::kOk && frame.seq != sent_seq[s]) continue;
-      break;
-    }
-    if (st == RecvStatus::kOk &&
-        frame.type == static_cast<std::uint32_t>(FrameType::kReply)) {
-      replies[s] = std::move(frame.payload);
-    } else if (st == RecvStatus::kTimeout && retryable) {
-      retry[s] = true;
-    } else {
-      failed[s] = true;
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::size_t i = s * R + r;
+      if (!pending[i]) continue;
+      Frame frame;
+      const RecvStatus st =
+          RecvMatching(groups_[s].members[r].fd, sent_seq[i], timeout_ms,
+                       &frame);
+      if (st == RecvStatus::kOk &&
+          frame.type == static_cast<std::uint32_t>(FrameType::kReply)) {
+        member_reply[i] = std::move(frame.payload);
+        good[i] = 1;
+      } else if (st == RecvStatus::kTimeout && retryable) {
+        retry[i] = 1;
+      } else {
+        MarkDead(s, r);
+      }
     }
   }
+  // Individual retries for idempotent ops that timed out; a mutating op
+  // that timed out already cost that replica its life in the gather.
   for (std::size_t s = 0; s < shards; ++s) {
-    if (retry[s] && SendRecv(s, type, payload, &replies[s], timeout_ms,
-                             /*retryable=*/true)) {
-      continue;
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::size_t i = s * R + r;
+      if (!retry[i]) continue;
+      if (SendRecv(s, r, type, payload, &member_reply[i], timeout_ms,
+                   /*retryable=*/true, deadline_ms)) {
+        good[i] = 1;
+      }
     }
-    if (retry[s] || failed[s]) {
-      MarkDead(s);
+  }
+  // Reconcile each group: the primary's reply drives the merge; standbys
+  // must agree byte-for-byte or be evicted as corrupt; a failed primary
+  // is replaced by the first standby that answered (whose slab state is
+  // bit-identical by construction) — the failover that keeps the query
+  // exact and unflagged.
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (!views[s].active) continue;
+    Group& g = groups_[s];
+    std::size_t driver = g.members.size();
+    if (good[s * R + g.primary]) {
+      driver = g.primary;
+    } else {
+      for (std::size_t r = 0; r < g.members.size(); ++r) {
+        if (good[s * R + r]) {
+          driver = r;
+          break;
+        }
+      }
+      if (driver < g.members.size()) {
+        g.primary = driver;
+        if (res != nullptr) ++res->failovers;
+      }
+    }
+    if (driver == g.members.size()) {
+      // The whole replica group is gone: only now does the shard degrade.
       views[s].active = false;
       missing.push_back(s);
+      continue;
     }
+    for (std::size_t r = 0; r < g.members.size(); ++r) {
+      if (r == driver || !good[s * R + r]) continue;
+      if (member_reply[s * R + r] != member_reply[s * R + driver]) {
+        MarkDead(s, r);
+        if (res != nullptr) ++res->replicas_evicted;
+      }
+    }
+    replies[s] = std::move(member_reply[s * R + driver]);
   }
+}
+
+bool ServeRouter::GroupEval(std::size_t s, const std::vector<char>& payload,
+                            std::vector<char>* reply, std::int64_t deadline_ms,
+                            ServeResult* res) {
+  Group& g = groups_[s];
+  if (!EnsurePrimary(s, res)) return false;
+
+  auto pick_standby = [&]() -> std::size_t {
+    for (std::size_t r = 0; r < g.members.size(); ++r) {
+      if (r != g.primary && g.members[r].alive) return r;
+    }
+    return g.members.size();
+  };
+
+  if (options_.hedge_delay_ms < 0 || pick_standby() == g.members.size()) {
+    // No hedging possible: plain retried exchange, failing over to the
+    // next member while any remains (Eval is pure, so a promoted standby
+    // answers identically).
+    while (EnsurePrimary(s, res)) {
+      if (SendRecv(s, g.primary,
+                   static_cast<std::uint32_t>(FrameType::kEval), payload,
+                   reply, RemainingMs(deadline_ms), /*retryable=*/true,
+                   deadline_ms)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::uint32_t eval_type = static_cast<std::uint32_t>(FrameType::kEval);
+  const int attempts = 1 + options_.op_retries;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffSleep(options_.backoff_base_ms, attempt, deadline_ms);
+    }
+    if (!EnsurePrimary(s, res)) return false;
+    const int window = RemainingMs(deadline_ms);
+    if (window == 0) break;
+    const std::int64_t attempt_end = NowMs() + window;
+
+    Replica* prim = &g.members[g.primary];
+    const std::size_t prim_idx = g.primary;
+    const std::uint32_t pseq = ++prim->seq;
+    if (!SendFrame(prim->fd, FrameType::kEval, pseq, payload.data(),
+                   payload.size())) {
+      MarkDead(s, prim_idx);
+      continue;
+    }
+    bool p_pending = true;
+
+    // Phase 1: give the primary the hedge window to itself.
+    {
+      const std::int64_t left = attempt_end - NowMs();
+      int hedge = options_.hedge_delay_ms;
+      if (hedge > left) hedge = static_cast<int>(left > 0 ? left : 0);
+      Frame frame;
+      const RecvStatus st = RecvMatching(prim->fd, pseq, hedge, &frame);
+      if (st == RecvStatus::kOk) {
+        if (frame.type == static_cast<std::uint32_t>(FrameType::kReply)) {
+          *reply = std::move(frame.payload);
+          return true;
+        }
+        MarkDead(s, prim_idx);
+        p_pending = false;
+      } else if (st != RecvStatus::kTimeout) {
+        MarkDead(s, prim_idx);
+        p_pending = false;
+      }
+    }
+
+    // Phase 2: race the standby against the (slow or dead) primary and
+    // take the first valid reply — both hold the same snapshot, so either
+    // answer is exact. The loser's late reply is discarded by sequence
+    // number on the next exchange.
+    const std::size_t stand_idx = pick_standby();
+    bool s_pending = false;
+    std::uint32_t sseq = 0;
+    if (stand_idx < g.members.size()) {
+      Replica& stand = g.members[stand_idx];
+      sseq = ++stand.seq;
+      if (SendFrame(stand.fd, FrameType::kEval, sseq, payload.data(),
+                    payload.size())) {
+        s_pending = true;
+        if (res != nullptr) ++res->hedged_evals;
+      } else {
+        MarkDead(s, stand_idx);
+      }
+    }
+
+    while (p_pending || s_pending) {
+      const std::int64_t left = attempt_end - NowMs();
+      if (left <= 0) break;
+      struct pollfd pfds[2];
+      nfds_t nfds = 0;
+      int who[2] = {0, 0};  // 0 = primary, 1 = standby
+      if (p_pending) {
+        pfds[nfds].fd = g.members[prim_idx].fd;
+        pfds[nfds].events = POLLIN;
+        pfds[nfds].revents = 0;
+        who[nfds++] = 0;
+      }
+      if (s_pending) {
+        pfds[nfds].fd = g.members[stand_idx].fd;
+        pfds[nfds].events = POLLIN;
+        pfds[nfds].revents = 0;
+        who[nfds++] = 1;
+      }
+      const int pr = ::poll(pfds, nfds, static_cast<int>(left));
+      if (pr == 0) break;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (nfds_t i = 0; i < nfds; ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        const bool is_primary = who[i] == 0;
+        const std::size_t idx = is_primary ? prim_idx : stand_idx;
+        const std::uint32_t seq = is_primary ? pseq : sseq;
+        Frame frame;
+        const std::int64_t now_left = attempt_end - NowMs();
+        const RecvStatus st = RecvMatching(
+            g.members[idx].fd, seq,
+            static_cast<int>(now_left > 0 ? now_left : 0), &frame);
+        if (st == RecvStatus::kOk) {
+          if (frame.type == static_cast<std::uint32_t>(FrameType::kReply)) {
+            *reply = std::move(frame.payload);
+            return true;
+          }
+          MarkDead(s, idx);
+        } else if (st != RecvStatus::kTimeout) {
+          MarkDead(s, idx);
+        }
+        if (is_primary) {
+          p_pending = p_pending && g.members[idx].alive && st == RecvStatus::kTimeout;
+        } else {
+          s_pending = s_pending && g.members[idx].alive && st == RecvStatus::kTimeout;
+        }
+      }
+    }
+    // Attempt window exhausted with no valid reply from either side.
+  }
+  // All attempts burned: whatever is still nominally pending has missed
+  // every window — treat the participants as unresponsive, exactly as the
+  // unreplicated tier treats a worker that exhausts its retries.
+  MarkDead(s, g.primary);
+  const std::size_t stand_idx = pick_standby();
+  if (stand_idx < g.members.size()) MarkDead(s, stand_idx);
+  return false;
 }
 
 std::size_t ServeRouter::ShardOf(std::size_t global) const {
@@ -314,13 +608,40 @@ int ServeRouter::RemainingMs(std::int64_t deadline_ms) const {
   return left < cap ? static_cast<int>(left) : cap;
 }
 
+pid_t ServeRouter::worker_pid(std::size_t s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_[s].members[groups_[s].primary].pid;
+}
+
+bool ServeRouter::worker_alive(std::size_t s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_[s].AnyAlive();
+}
+
+std::size_t ServeRouter::primary_of(std::size_t s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_[s].primary;
+}
+
+pid_t ServeRouter::replica_pid(std::size_t s, std::size_t r) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_[s].members[r].pid;
+}
+
+bool ServeRouter::replica_alive(std::size_t s, std::size_t r) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_[s].members[r].alive;
+}
+
 ServeResult ServeRouter::Nearest(std::string_view query) {
-  if (options_.auto_respawn) RespawnDead();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.auto_respawn) RespawnDeadLocked();
   return QueryLazy(query, 1, /*slack=*/1.0);
 }
 
 ServeResult ServeRouter::KNearest(std::string_view query, std::size_t k) {
-  if (options_.auto_respawn) RespawnDead();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.auto_respawn) RespawnDeadLocked();
   return QueryLazy(query, k, /*slack=*/1.0);
 }
 
@@ -331,58 +652,84 @@ std::vector<ServeResult> ServeRouter::NearestBatch(
 
 std::vector<ServeResult> ServeRouter::KNearestBatch(
     const std::vector<std::string>& queries, std::size_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ServeResult> out;
   out.reserve(queries.size());
   for (const std::string& q : queries) {
-    // Respawn between queries: one crash costs one partial answer, and the
-    // respawned worker (re-mapped, checksum-verified) rejoins for the next.
-    if (options_.auto_respawn) RespawnDead();
+    // Respawn between queries: one lost group costs one partial answer,
+    // and revived replicas (re-mapped, checksum-verified) rejoin their
+    // groups at the next begin.
+    if (options_.auto_respawn) RespawnDeadLocked();
     out.push_back(QueryRow(q, k));
   }
   return out;
 }
 
 bool ServeRouter::PingAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PingAllLocked();
+}
+
+bool ServeRouter::PingAllLocked() {
   bool all = true;
-  for (std::size_t s = 0; s < workers_.size(); ++s) {
-    if (!workers_[s].alive) {
-      all = false;
-      continue;
-    }
-    std::vector<char> reply;
-    if (!SendRecv(s, static_cast<std::uint32_t>(FrameType::kPing), {}, &reply,
-                  options_.op_timeout_ms, /*retryable=*/true)) {
-      all = false;
-      continue;
-    }
-    PayloadReader r(reply);
-    if (r.U64() != s || !r.Done()) {
-      MarkDead(s);
-      all = false;
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    for (std::size_t r = 0; r < groups_[s].members.size(); ++r) {
+      if (!groups_[s].members[r].alive) {
+        all = false;
+        continue;
+      }
+      std::vector<char> reply;
+      if (!SendRecv(s, r, static_cast<std::uint32_t>(FrameType::kPing), {},
+                    &reply, options_.op_timeout_ms, /*retryable=*/true,
+                    /*deadline_ms=*/-1)) {
+        all = false;
+        continue;
+      }
+      PayloadReader pr(reply);
+      // The ping reply echoes the worker's identity: a replica serving
+      // the wrong shard (or the wrong group slot) is as dead as one
+      // serving nothing.
+      if (pr.U64() != s || pr.U64() != r || !pr.Done()) {
+        MarkDead(s, r);
+        all = false;
+      }
     }
   }
   return all;
 }
 
 std::size_t ServeRouter::RespawnDead() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RespawnDeadLocked();
+}
+
+std::size_t ServeRouter::RespawnDeadLocked() {
   std::size_t revived = 0;
-  for (std::size_t s = 0; s < workers_.size(); ++s) {
-    if (workers_[s].alive) continue;
-    ReapWorker(s);
-    SpawnWorker(s, options_.respawn_fault_spec);
-    if (!workers_[s].alive) continue;
-    std::vector<char> reply;
-    if (SendRecv(s, static_cast<std::uint32_t>(FrameType::kPing), {}, &reply,
-                 options_.op_timeout_ms, /*retryable=*/true)) {
-      ++revived;
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    for (std::size_t r = 0; r < groups_[s].members.size(); ++r) {
+      if (groups_[s].members[r].alive) continue;
+      ReapReplica(s, r);
+      SpawnReplica(s, r, options_.respawn_fault_spec);
+      if (!groups_[s].members[r].alive) continue;
+      std::vector<char> reply;
+      if (SendRecv(s, r, static_cast<std::uint32_t>(FrameType::kPing), {},
+                   &reply, options_.op_timeout_ms, /*retryable=*/true,
+                   /*deadline_ms=*/-1)) {
+        ++revived;
+      }
     }
+    // A fully-restored group keeps its current primary; a group whose
+    // primary slot is still dead points at the first live member so the
+    // next query starts on a live primary without a mid-query promotion.
+    EnsurePrimary(s, nullptr);
   }
   return revived;
 }
 
 // The distributed `ShardedLaesa::Sweep`: identical decisions on identical
 // values in identical order — only the per-shard kernel passes run in the
-// workers. Read side by side with sharded_laesa.cc.
+// workers (on every live member of each replica group). Read side by side
+// with sharded_laesa.cc.
 ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
                                    double slack) {
   ServeResult res;
@@ -393,26 +740,32 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
 
   std::vector<ShardView> views(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    views[s].active = workers_[s].alive;
+    views[s].active = groups_[s].AnyAlive();
     if (!views[s].active) res.missing_shards.push_back(s);
   }
 
-  // Scatter the sweep start. Idempotent: a worker that misses the timeout
-  // is retried before being declared dead.
+  // Scatter the sweep start to every live replica. Idempotent: a member
+  // that misses the timeout is retried before being declared dead.
   {
     PayloadWriter w;
     w.Str(query);
     std::vector<std::vector<char>> replies(shards);
     Broadcast(static_cast<std::uint32_t>(FrameType::kBeginLazy), w.buf,
-              /*retryable=*/true, RemainingMs(deadline), views, replies,
-              res.missing_shards);
+              /*retryable=*/true, RemainingMs(deadline), deadline, views,
+              replies, res.missing_shards, &res);
     for (std::size_t s = 0; s < shards; ++s) {
       if (!views[s].active) continue;
       PayloadReader r(replies[s]);
       views[s].live = r.U64();
       views[s].live_pivots = r.U64();
       if (!r.Done() || views[s].live != shard_sizes_[s]) {
-        MarkDead(s);
+        // The driving reply decoded to garbage (CRC-valid but wrong):
+        // with the primary's stream suspect there is no quorum to promote
+        // on, so the shard sits this query out. EnsurePrimary (without
+        // counting a failover — nothing was saved) leaves the group
+        // pointing at a live member for the next query.
+        MarkDead(s, groups_[s].primary);
+        EnsurePrimary(s, nullptr);
         views[s].active = false;
         res.missing_shards.push_back(s);
       }
@@ -483,19 +836,17 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
       w.F64(cap);
       std::vector<char> reply;
       bool ok = views[owner].active &&
-                SendRecv(owner, static_cast<std::uint32_t>(FrameType::kEval),
-                         w.buf, &reply, RemainingMs(deadline),
-                         /*retryable=*/true);
+                GroupEval(owner, w.buf, &reply, deadline, &res);
       if (ok) {
         PayloadReader r(reply);
         d = r.F64();
         ok = r.Done();
-        if (!ok) MarkDead(owner);
+        if (!ok) MarkDead(owner, groups_[owner].primary);
       }
       if (!ok) {
-        // The candidate's shard is gone: drop it from the sweep and pick
-        // the best survivor from the remaining shards' last passes. No
-        // visit happened, so no counters move.
+        // The candidate's whole group is gone: drop the shard from the
+        // sweep and pick the best survivor from the remaining shards'
+        // last passes. No visit happened, so no counters move.
         views[owner].active = false;
         res.missing_shards.push_back(owner);
         recount();
@@ -512,9 +863,10 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
       InsertNeighborTopK(best, k, {s_cand, d});
     }
 
-    // Scatter the visit pass; the elimination radius tightens with the
-    // new incumbent. Mutating — never retried: a shard that misses the
-    // timeout here is degraded on the spot.
+    // Scatter the visit pass to every live replica; the elimination
+    // radius tightens with the new incumbent. Mutating — never retried: a
+    // member that misses the timeout here is dead on the spot, and only a
+    // whole lost group degrades the shard.
     const double bound = kth();
     PayloadWriter w;
     w.U32(static_cast<std::uint32_t>(s_cand));
@@ -524,14 +876,14 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
     w.F64(bound);
     std::vector<std::vector<char>> replies(shards);
     Broadcast(static_cast<std::uint32_t>(FrameType::kStep), w.buf,
-              /*retryable=*/false, RemainingMs(deadline), views, replies,
-              res.missing_shards);
+              /*retryable=*/false, RemainingMs(deadline), deadline, views,
+              replies, res.missing_shards, &res);
     for (std::size_t s = 0; s < shards; ++s) {
       if (!views[s].active) continue;
       PayloadReader r(replies[s]);
       const WireCompact wc = DecodeCompact(r);
       if (!r.Done()) {
-        MarkDead(s);
+        MarkDead(s, groups_[s].primary);
         views[s].active = false;
         res.missing_shards.push_back(s);
         continue;
@@ -572,7 +924,7 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
 
   std::vector<ShardView> views(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    views[s].active = workers_[s].alive;
+    views[s].active = groups_[s].AnyAlive();
     if (!views[s].active) res.missing_shards.push_back(s);
   }
 
@@ -600,14 +952,14 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
     w.Raw(row.data(), np * sizeof(double));
     std::vector<std::vector<char>> replies(shards);
     Broadcast(static_cast<std::uint32_t>(FrameType::kBeginRow), w.buf,
-              /*retryable=*/true, RemainingMs(deadline), views, replies,
-              res.missing_shards);
+              /*retryable=*/true, RemainingMs(deadline), deadline, views,
+              replies, res.missing_shards, &res);
     for (std::size_t s = 0; s < shards; ++s) {
       if (!views[s].active) continue;
       PayloadReader r(replies[s]);
       const WireCompact wc = DecodeCompact(r);
       if (!r.Done()) {
-        MarkDead(s);
+        MarkDead(s, groups_[s].primary);
         views[s].active = false;
         res.missing_shards.push_back(s);
         continue;
@@ -657,15 +1009,13 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
     ew.F64(cap);
     std::vector<char> reply;
     bool ok = views[owner].active &&
-              SendRecv(owner, static_cast<std::uint32_t>(FrameType::kEval),
-                       ew.buf, &reply, RemainingMs(deadline),
-                       /*retryable=*/true);
+              GroupEval(owner, ew.buf, &reply, deadline, &res);
     double d = 0.0;
     if (ok) {
       PayloadReader r(reply);
       d = r.F64();
       ok = r.Done();
-      if (!ok) MarkDead(owner);
+      if (!ok) MarkDead(owner, groups_[owner].primary);
     }
     if (!ok) {
       views[owner].active = false;
@@ -688,14 +1038,14 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
     w.F64(bound);
     std::vector<std::vector<char>> replies(shards);
     Broadcast(static_cast<std::uint32_t>(FrameType::kStepRow), w.buf,
-              /*retryable=*/false, RemainingMs(deadline), views, replies,
-              res.missing_shards);
+              /*retryable=*/false, RemainingMs(deadline), deadline, views,
+              replies, res.missing_shards, &res);
     for (std::size_t s = 0; s < shards; ++s) {
       if (!views[s].active) continue;
       PayloadReader r(replies[s]);
       const WireCompact wc = DecodeCompact(r);
       if (!r.Done()) {
-        MarkDead(s);
+        MarkDead(s, groups_[s].primary);
         views[s].active = false;
         res.missing_shards.push_back(s);
         continue;

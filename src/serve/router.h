@@ -3,9 +3,12 @@
 
 #include <sys/types.h>
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "distances/distance.h"
@@ -14,16 +17,27 @@
 
 namespace cned {
 
-/// Tuning and robustness knobs of the scatter/gather router.
+/// Tuning and robustness knobs of the scatter/gather router. Validated at
+/// router construction: an out-of-range field throws std::invalid_argument
+/// naming the offending field.
 struct ServeOptions {
   /// Distance registry name (distances/registry.h). Required; must match
   /// the distance the snapshot was built with.
   std::string distance;
 
-  /// Per-operation reply timeout. A shard that misses it on an idempotent
-  /// op (ping / begin / eval) is retried; on a sweep-mutating op (step) it
-  /// is degraded immediately — its slab state can no longer be trusted to
-  /// match the router's accounting.
+  /// Replica-group size: every shard is served by `replicas` worker
+  /// processes over the same snapshot files. State-machine replication —
+  /// the router scatters the begin and every sweep-mutating step to all
+  /// live members, so standbys hold bit-identical slab state and a dead
+  /// primary is replaced mid-query with no loss. 1 = the unreplicated
+  /// scatter/gather tier; must be >= 1.
+  int replicas = 2;
+
+  /// Per-operation reply timeout. A replica that misses it on an
+  /// idempotent op (ping / begin / eval) is retried; on a sweep-mutating
+  /// op (step) it is marked dead immediately — its slab state can no
+  /// longer be trusted to match the router's accounting. The *shard*
+  /// degrades only when its whole replica group is lost.
   int op_timeout_ms = 2000;
   /// Whole-query deadline. When it expires mid-sweep the router returns
   /// the incumbents it has, flagged partial, with every shard that still
@@ -31,11 +45,27 @@ struct ServeOptions {
   int query_deadline_ms = 10000;
   /// Extra attempts (beyond the first) for idempotent ops.
   int op_retries = 2;
-  /// Exponential backoff between retries: `backoff_base_ms << attempt`.
+  /// Exponential backoff between retries: `backoff_base_ms << attempt`,
+  /// with each sleep capped at the time remaining until the query
+  /// deadline so retries can never sleep a query past its budget.
   int backoff_base_ms = 5;
+  /// Hedging for idempotent Eval ops: when the primary has not replied
+  /// after this long (and a live standby exists), the router races the
+  /// same request to a standby and takes whichever reply lands first —
+  /// either answer is exact, so this only cuts the slow-shard tail.
+  /// Negative disables hedging.
+  int hedge_delay_ms = 25;
   /// Respawn dead workers (kill, waitpid, fork, re-Map, ping) before each
   /// query, so one crash degrades one query, not the rest of the session.
+  /// A replica respawned between queries rejoins its group at the next
+  /// query's begin (never mid-query — its slab state would be stale).
   bool auto_respawn = true;
+  /// > 0 runs a background health loop at this period: ping-based failure
+  /// detection plus respawn/re-map of dead replicas, serialized against
+  /// queries (the loop takes the router lock, so respawn still only
+  /// happens between queries). 0 disables the thread — the synchronous
+  /// `auto_respawn` path alone keeps groups at full strength.
+  int health_interval_ms = 0;
 
   /// CNED_FAULT-grammar fault schedule for the initial workers
   /// (serve/fault.h); empty = fault-free.
@@ -46,32 +76,44 @@ struct ServeOptions {
   std::string respawn_fault_spec;
   /// Path to the `cned_shard_worker` binary. Empty (the default) forks
   /// workers in-process — no exec, the test/bench path; non-empty
-  /// fork+execs the binary per shard.
+  /// fork+execs the binary per shard replica.
   std::string worker_binary;
 };
 
-/// One query's answer plus its degradation record.
+/// One query's answer plus its degradation and failover record.
 struct ServeResult {
   std::vector<NeighborResult> neighbors;
   QueryStats stats;
   /// True when any shard's candidates were not (fully) considered — the
   /// neighbours are then exact over the surviving shards only, possibly
-  /// improved by evaluations that landed before a shard was lost.
+  /// improved by evaluations that landed before a shard was lost. A shard
+  /// whose primary failed but whose standby took over is NOT partial.
   bool partial = false;
-  /// The shards this query is missing, ascending. A shard appears here if
-  /// it was dead at query start, failed mid-sweep, or still held live
-  /// candidates when the deadline expired.
+  /// The shards this query is missing, ascending. A shard appears here
+  /// only when its *entire replica group* was lost: dead at query start,
+  /// failed mid-sweep, or still live at the deadline.
   std::vector<std::size_t> missing_shards;
+  /// Primary promotions performed during this query (a standby with
+  /// bit-identical slab state took over mid-sweep; the result stayed
+  /// exact and unflagged).
+  std::size_t failovers = 0;
+  /// Eval requests that were raced to a standby after the hedge delay.
+  std::size_t hedged_evals = 0;
+  /// Standby replicas evicted because their reply disagreed byte-for-byte
+  /// with the primary's (corrupt state; the primary's reply drove the
+  /// merge).
+  std::size_t replicas_evicted = 0;
 };
 
 /// Fault-tolerant scatter/gather serving tier over a per-shard snapshot
 /// directory (serve/shard_snapshot.h).
 ///
-/// Topology: this router process + one forked worker process per shard,
-/// each pair connected by a socketpair speaking the checksummed framing of
-/// serve/frame.h. Workers map only their own shard's store and index
-/// slice; the router loads only the manifest (shard shapes + pivot ids +
-/// pivot strings), so no process ever materialises the whole index.
+/// Topology: this router process + a replica group of R worker processes
+/// per shard (ServeOptions::replicas), each connected by a socketpair
+/// speaking the checksummed framing of serve/frame.h. All members of a
+/// group map the *same* shard snapshot files; the router loads only the
+/// manifest (shard shapes + pivot ids + pivot strings), so no process
+/// ever materialises the whole index.
 ///
 /// A query runs the exact `ShardedLaesa` sweep with the per-shard passes
 /// scattered: the router makes every global decision (incumbents,
@@ -81,24 +123,41 @@ struct ServeResult {
 /// elimination radius tightens incrementally between rounds exactly as it
 /// does in process. A healthy router is therefore bit-identical —
 /// neighbours, distances AND QueryStats — to the in-process index,
-/// regardless of worker count.
+/// regardless of worker or replica count.
+///
+/// Replication model (state-machine): a shard's slab state is a pure
+/// deterministic function of its op sequence (Begin*, then the Step*s),
+/// so the router scatters the begin and every mutating step to ALL live
+/// members of each group. The primary's reply drives the merge; every
+/// standby's reply is checked for byte agreement (a disagreeing standby
+/// is evicted as corrupt). When the primary crashes, times out, or
+/// returns a malformed frame mid-sweep, the router promotes a standby
+/// whose state is bit-identical by construction — the query completes
+/// exact and unflagged. Idempotent Evals go to the primary only and are
+/// hedged to a standby after `hedge_delay_ms`.
 ///
 /// Failure semantics (the robustness contract the tests pin down):
-///   * per-op timeouts; idempotent ops retry with exponential backoff,
-///     sweep-mutating ops never retry;
-///   * a crashed / timed-out / malformed-reply shard is degraded: dropped
-///     from the rest of the query and named in `missing_shards`;
-///   * the per-query deadline degrades to partial results instead of
-///     blocking;
-///   * dead workers are respawned (fresh fork + checksum-verified re-map)
-///     before the next query when `auto_respawn` is set;
+///   * per-op timeouts; idempotent ops retry with exponential backoff
+///     (each sleep capped at the remaining query deadline), sweep-
+///     mutating ops never retry on the same replica;
+///   * a crashed / timed-out / malformed-reply replica is marked dead; if
+///     it was the primary a standby is promoted and the query continues
+///     exact;
+///   * `partial` / `missing_shards` fire only when a whole replica group
+///     is lost; the per-query deadline degrades to partial results
+///     instead of blocking;
+///   * dead replicas are respawned (fresh fork + checksum-verified
+///     re-map) between queries — synchronously when `auto_respawn` is
+///     set, and/or from the background health loop — and rejoin their
+///     group at the next query's begin;
 ///   * `stats.shards_degraded` counts the missing shards, so healthy
 ///     queries still compare bit-equal to in-process stats (0 == 0).
 class ServeRouter {
  public:
-  /// Loads the manifest and spawns one worker per shard. Throws
-  /// std::runtime_error on a malformed manifest or if *every* worker fails
-  /// to come up; individual dead workers only degrade queries.
+  /// Loads the manifest and spawns `options.replicas` workers per shard.
+  /// Throws std::invalid_argument on out-of-range options,
+  /// std::runtime_error on a malformed manifest or if *every* worker
+  /// fails to come up; individual dead workers only degrade queries.
   ServeRouter(const std::string& snapshot_dir, const ServeOptions& options);
   ~ServeRouter();
   ServeRouter(const ServeRouter&) = delete;
@@ -106,6 +165,7 @@ class ServeRouter {
 
   std::size_t size() const { return n_; }
   std::size_t shard_count() const { return shard_sizes_.size(); }
+  std::size_t replica_count() const { return replicas_per_shard_; }
   std::size_t num_pivots() const { return pivots_.size(); }
   const std::vector<std::size_t>& pivots() const { return pivots_; }
 
@@ -123,28 +183,48 @@ class ServeRouter {
   std::vector<ServeResult> KNearestBatch(
       const std::vector<std::string>& queries, std::size_t k);
 
-  /// Heartbeat: pings every worker (retrying per options), marking the
-  /// ones that miss as dead. Returns true when all workers are healthy.
+  /// Heartbeat: pings every replica (retrying per options), marking the
+  /// ones that miss as dead. Returns true when all replicas are healthy.
   bool PingAll();
 
-  /// Kills (SIGKILL + waitpid) and respawns every dead worker, re-mapping
-  /// its shard. Returns the number brought back to healthy.
+  /// Kills (SIGKILL + waitpid) and respawns every dead replica, re-mapping
+  /// its shard. Returns the number of processes brought back to healthy.
   std::size_t RespawnDead();
 
-  /// Worker inspection hooks for tests and monitoring.
-  pid_t worker_pid(std::size_t s) const { return workers_[s].pid; }
-  bool worker_alive(std::size_t s) const { return workers_[s].alive; }
+  /// Group inspection hooks for tests and monitoring. `worker_pid` /
+  /// `worker_alive` keep their PR-6 per-shard meaning: the pid of the
+  /// current *primary*, and whether *any* member of the group is alive.
+  pid_t worker_pid(std::size_t s) const;
+  bool worker_alive(std::size_t s) const;
+  std::size_t primary_of(std::size_t s) const;
+  pid_t replica_pid(std::size_t s, std::size_t r) const;
+  bool replica_alive(std::size_t s, std::size_t r) const;
 
  private:
-  struct Worker {
+  struct Replica {
     pid_t pid = -1;
     int fd = -1;
     bool alive = false;
     std::uint32_t seq = 0;
   };
 
-  /// Per-query view of one shard's sweep state, mirrored from its worker's
-  /// replies.
+  /// One shard's replica group. `primary` indexes `members`; promotion
+  /// just moves it. Membership is fixed at construction — respawn revives
+  /// dead members in place.
+  struct Group {
+    std::vector<Replica> members;
+    std::size_t primary = 0;
+
+    bool AnyAlive() const {
+      for (const Replica& m : members) {
+        if (m.alive) return true;
+      }
+      return false;
+    }
+  };
+
+  /// Per-query view of one shard's sweep state, mirrored from its
+  /// primary's replies.
   struct ShardView {
     bool active = false;
     std::size_t live = 0;
@@ -152,28 +232,51 @@ class ServeRouter {
     SweepCompactResult last;
   };
 
-  void SpawnWorker(std::size_t s, const std::string& fault_spec);
-  void MarkDead(std::size_t s);
-  void ReapWorker(std::size_t s);
+  void SpawnReplica(std::size_t s, std::size_t r,
+                    const std::string& fault_spec);
+  void MarkDead(std::size_t s, std::size_t r);
+  void ReapReplica(std::size_t s, std::size_t r);
 
-  /// One request/reply exchange with worker `s`. Retries (with backoff)
-  /// only when `retryable`; marks the worker dead on any unrecoverable
-  /// failure. Replies with stale sequence numbers (from a timed-out
-  /// earlier attempt) are discarded.
-  bool SendRecv(std::size_t s, std::uint32_t type,
+  /// If the group's primary is dead, promote the first live member (in
+  /// member order — deterministic). Returns true when a live primary
+  /// exists afterwards; counts the promotion in `res` when one happened.
+  bool EnsurePrimary(std::size_t s, ServeResult* res);
+
+  /// One request/reply exchange with replica (s, r). Retries (with
+  /// backoff, each sleep capped at the remaining time before
+  /// `deadline_ms`; pass -1 for no deadline) only when `retryable`; marks
+  /// the replica dead on any unrecoverable failure. Replies with stale
+  /// sequence numbers (from a timed-out earlier attempt) are discarded.
+  bool SendRecv(std::size_t s, std::size_t r, std::uint32_t type,
                 const std::vector<char>& payload, std::vector<char>* reply,
-                int timeout_ms, bool retryable);
+                int timeout_ms, bool retryable, std::int64_t deadline_ms);
 
-  /// Scatters one identical request to every active shard, then gathers.
-  /// Shards that fail are flipped inactive in `views` and appended to
-  /// `missing`. Replies land in `replies[s]`.
+  /// Scatters one identical request to every live member of every active
+  /// shard (the state-machine replication step), gathers, then reconciles
+  /// each group: the primary's reply drives (landing in `replies[s]`),
+  /// standbys are byte-checked against it (disagreement = eviction), and
+  /// a failed primary is replaced by a standby that answered. Shards
+  /// whose whole group failed are flipped inactive in `views` and
+  /// appended to `missing`.
   void Broadcast(std::uint32_t type, const std::vector<char>& payload,
-                 bool retryable, int timeout_ms, std::vector<ShardView>& views,
+                 bool retryable, int timeout_ms, std::int64_t deadline_ms,
+                 std::vector<ShardView>& views,
                  std::vector<std::vector<char>>& replies,
-                 std::vector<std::size_t>& missing);
+                 std::vector<std::size_t>& missing, ServeResult* res);
+
+  /// One idempotent Eval against shard `s`: primary first, hedged to a
+  /// standby after `hedge_delay_ms`, first valid reply wins. Falls back
+  /// to plain retries when the group has no standby or hedging is off.
+  bool GroupEval(std::size_t s, const std::vector<char>& payload,
+                 std::vector<char>* reply, std::int64_t deadline_ms,
+                 ServeResult* res);
 
   std::size_t ShardOf(std::size_t global) const;
   int RemainingMs(std::int64_t deadline_ms) const;
+
+  bool PingAllLocked();
+  std::size_t RespawnDeadLocked();
+  void HealthLoop();
 
   ServeResult QueryLazy(std::string_view query, std::size_t k, double slack);
   ServeResult QueryRow(std::string_view query, std::size_t k);
@@ -189,7 +292,16 @@ class ServeRouter {
 
   std::string dir_;
   ServeOptions options_;
-  std::vector<Worker> workers_;
+  std::size_t replicas_per_shard_ = 1;
+  std::vector<Group> groups_;
+
+  /// Serializes queries, respawn, and the health loop: a replica is never
+  /// respawned mid-query, so every live member of a group has seen the
+  /// current query's full op sequence.
+  mutable std::mutex mu_;
+  std::condition_variable health_cv_;
+  bool stop_health_ = false;
+  std::thread health_thread_;
 };
 
 }  // namespace cned

@@ -57,7 +57,7 @@ bool SendError(int fd, std::uint32_t seq, const std::string& message,
 
 int RunShardWorker(int fd, const WorkerConfig& config) {
   FaultInjector injector(FaultSpec::Parse(config.fault_spec),
-                         config.shard_id);
+                         config.shard_id, config.replica_id);
 
   // Snapshot load failures are reported on the first request rather than
   // silently dying: keep the error and answer every request with it.
@@ -101,6 +101,7 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
       switch (type) {
         case FrameType::kPing: {
           reply.U64(replica->shard_id());
+          reply.U64(config.replica_id);
           break;
         }
         case FrameType::kBeginLazy: {
@@ -169,6 +170,9 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
       error = e.what();
     }
 
+    // A mangled reply is byte-wrong but CRC-valid: the frame layer cannot
+    // catch it, only the router's replica agreement check can.
+    if (action.mangle && !reply.buf.empty()) reply.buf[0] ^= 0x01;
     const bool sent =
         ok ? SendFrame(fd, FrameType::kReply, req.seq, reply.buf.data(),
                        reply.buf.size(), action.corrupt)

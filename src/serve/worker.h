@@ -8,6 +8,11 @@ namespace cned {
 /// Configuration of one shard-worker process.
 struct WorkerConfig {
   std::size_t shard_id = 0;
+  /// Ordinal of this worker inside its shard's replica group (0 = the
+  /// initial primary). Every member of a group maps the *same* snapshot
+  /// files; the ordinal only names the process for fault selection
+  /// (`replica=` in serve/fault.h) and for the ping identity echo.
+  std::size_t replica_id = 0;
   std::string store_path;
   std::string index_path;
   std::string distance;    ///< registry name (distances/registry.h)

@@ -8,7 +8,7 @@
 //
 // Usage:
 //   cned_shard_worker --fd=N --shard=S --store=PATH --index=PATH
-//                     --distance=NAME [--fault=SPEC]
+//                     --distance=NAME [--replica=R] [--fault=SPEC]
 // The fault spec may also come from the CNED_FAULT environment variable
 // (the flag wins when both are set).
 
@@ -31,12 +31,13 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string fd_text, shard_text;
+  std::string fd_text, shard_text, replica_text;
   cned::WorkerConfig config;
   if (const char* env = std::getenv("CNED_FAULT")) config.fault_spec = env;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argv[i], "--fd", &fd_text) ||
         ParseFlag(argv[i], "--shard", &shard_text) ||
+        ParseFlag(argv[i], "--replica", &replica_text) ||
         ParseFlag(argv[i], "--store", &config.store_path) ||
         ParseFlag(argv[i], "--index", &config.index_path) ||
         ParseFlag(argv[i], "--distance", &config.distance) ||
@@ -51,10 +52,14 @@ int main(int argc, char** argv) {
       config.index_path.empty() || config.distance.empty()) {
     std::fprintf(stderr,
                  "usage: cned_shard_worker --fd=N --shard=S --store=PATH "
-                 "--index=PATH --distance=NAME [--fault=SPEC]\n");
+                 "--index=PATH --distance=NAME [--replica=R] [--fault=SPEC]\n");
     return 2;
   }
   const int fd = std::atoi(fd_text.c_str());
   config.shard_id = static_cast<std::size_t>(std::atoi(shard_text.c_str()));
+  if (!replica_text.empty()) {
+    config.replica_id =
+        static_cast<std::size_t>(std::atoi(replica_text.c_str()));
+  }
   return cned::RunShardWorker(fd, config);
 }

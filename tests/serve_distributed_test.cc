@@ -10,11 +10,25 @@
 //      stay exact, respawn restores full health, and the same fault
 //      schedule over the same queries reproduces identical partial
 //      results run to run.
+//   3. Replicated = exact through failure. With a replica group of R=2
+//      per shard (the default), losing any shard's *primary* mid-sweep —
+//      injected crash or a real kill -9 — promotes the standby, whose
+//      slab state is bit-identical by state-machine replication, and the
+//      query completes exact and UNFLAGGED. Only losing a whole group
+//      degrades. Slow primaries are hedged on Evals; disagreeing
+//      standbys are evicted; the health loop revives dead replicas in
+//      the background.
+//
+// Fault directives without a `replica=` selector fire on every group
+// member (identical op sequences), so the contract-2 tests above keep
+// their exact semantics at R=2: the injected fault takes out the whole
+// group.
 
 #include <gtest/gtest.h>
 #include <signal.h>
 #include <stdlib.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <memory>
@@ -173,9 +187,11 @@ TEST(ServeDistributedTest, CrashMidSweepDegradesExactlyThatShard) {
     EXPECT_EQ(nb.distance, dist->Distance(w.queries[0], w.protos[nb.index]));
   }
 
-  // Respawn restores full health and bit-identity.
+  // Respawn restores full health and bit-identity. The no-replica-selector
+  // crash directive fired on both group members, so respawn revives two
+  // processes.
   EXPECT_FALSE(router.PingAll());
-  EXPECT_EQ(router.RespawnDead(), 1u);
+  EXPECT_EQ(router.RespawnDead(), 2u);
   EXPECT_TRUE(router.PingAll());
   QueryStats ref;
   const auto want = dep.index->KNearest(w.queries[1], 3, &ref);
@@ -278,7 +294,7 @@ TEST(ServeDistributedTest, CrashMidBatchCostsOneQueryAndAutoRespawns) {
   EXPECT_TRUE(router.worker_alive(1));
 }
 
-TEST(ServeDistributedTest, KillNineIsSurvivedFlaggedAndRecoveredFrom) {
+TEST(ServeDistributedTest, KillNineOfWholeGroupIsSurvivedFlaggedAndRecovered) {
   Workload w = MakeWorkload(120, 5, 7900);
   Deployment dep(w.protos, 4, 8);
   ServeRouter router(dep.dir.path, FastOptions());
@@ -288,11 +304,17 @@ TEST(ServeDistributedTest, KillNineIsSurvivedFlaggedAndRecoveredFrom) {
   ExpectHealthyIdentical(router.KNearest(w.queries[0], 3), want0, ref0,
                          "pre-kill");
 
-  // A real kill -9, not an injected fault: the worker vanishes between
-  // queries and the router finds out mid-query from the dead socket.
-  const pid_t victim = router.worker_pid(2);
-  ASSERT_GT(victim, 0);
-  ASSERT_EQ(kill(victim, SIGKILL), 0);
+  // A real kill -9 of shard 2's *entire replica group*, not an injected
+  // fault: the workers vanish between queries and the router finds out
+  // mid-query from the dead sockets. With no member left to promote, the
+  // shard degrades.
+  std::vector<pid_t> victims;
+  for (std::size_t r = 0; r < router.replica_count(); ++r) {
+    const pid_t victim = router.replica_pid(2, r);
+    ASSERT_GT(victim, 0);
+    ASSERT_EQ(kill(victim, SIGKILL), 0);
+    victims.push_back(victim);
+  }
 
   const ServeResult during = router.KNearest(w.queries[1], 3);
   EXPECT_TRUE(during.partial);
@@ -303,13 +325,278 @@ TEST(ServeDistributedTest, KillNineIsSurvivedFlaggedAndRecoveredFrom) {
   }
 
   // auto_respawn brings shard 2 back for the next query: full bit-identity
-  // again, under a fresh pid.
+  // again, under fresh pids.
   QueryStats ref2;
   const auto want2 = dep.index->KNearest(w.queries[2], 3, &ref2);
   ExpectHealthyIdentical(router.KNearest(w.queries[2], 3), want2, ref2,
                          "post-respawn");
   EXPECT_TRUE(router.worker_alive(2));
+  EXPECT_NE(router.worker_pid(2), victims[0]);
+}
+
+// --- Contract 3: replica-group failover ------------------------------------
+
+TEST(ServeDistributedTest, EveryPrimaryCrashedMidSweepStaysExactUnflagged) {
+  Workload w = MakeWorkload(150, 3, 8400);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  // Each shard's *primary* (replica 0) crashes on its 2nd visit pass.
+  // The standby holds bit-identical slab state, so every shard fails
+  // over mid-sweep and the query must come back exact and unflagged.
+  opt.fault_spec = "crash:op=step,nth=2,replica=0";
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+
+  QueryStats ref;
+  const auto want = dep.index->KNearest(w.queries[0], 3, &ref);
+  const ServeResult r = router.KNearest(w.queries[0], 3);
+  ExpectHealthyIdentical(r, want, ref, "mid-sweep failover");
+  EXPECT_EQ(r.failovers, 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(router.primary_of(s), 1u) << "shard " << s;
+    EXPECT_FALSE(router.replica_alive(s, 0)) << "shard " << s;
+    EXPECT_TRUE(router.replica_alive(s, 1)) << "shard " << s;
+  }
+
+  // The promotion is durable: the next query runs on the standbys with no
+  // further failovers (and no respawn ever happened).
+  QueryStats ref1;
+  const auto want1 = dep.index->KNearest(w.queries[1], 3, &ref1);
+  const ServeResult r1 = router.KNearest(w.queries[1], 3);
+  ExpectHealthyIdentical(r1, want1, ref1, "post-failover");
+  EXPECT_EQ(r1.failovers, 0u);
+}
+
+TEST(ServeDistributedTest, EveryPrimaryCrashedMidBatchStaysExactUnflagged) {
+  Workload w = MakeWorkload(150, 5, 8500);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  opt.fault_spec = "crash:op=step,nth=2,replica=0";
+  ServeRouter router(dep.dir.path, opt);
+  const auto got = router.KNearestBatch(w.queries, 3);
+  ASSERT_EQ(got.size(), w.queries.size());
+  std::vector<double> row(dep.index->pivot_count());
+  std::size_t failovers = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    QueryStats ref;
+    dep.index->ComputePivotRow(w.queries[i], row.data(), &ref);
+    const auto want =
+        dep.index->KNearestWithPivotRow(w.queries[i], 3, row.data(), &ref);
+    ExpectHealthyIdentical(got[i], want, ref,
+                           "batch failover q=" + w.queries[i]);
+    failovers += got[i].failovers;
+  }
+  EXPECT_EQ(failovers, 4u);  // one promotion per shard, all in one query
+}
+
+TEST(ServeDistributedTest, RealKillNineOfPrimaryFailsOverMidQuery) {
+  Workload w = MakeWorkload(120, 5, 8600);
+  Deployment dep(w.protos, 4, 8);
+  ServeRouter router(dep.dir.path, FastOptions());
+
+  QueryStats ref0;
+  const auto want0 = dep.index->KNearest(w.queries[0], 3, &ref0);
+  ExpectHealthyIdentical(router.KNearest(w.queries[0], 3), want0, ref0,
+                         "pre-kill");
+
+  // A real kill -9 of shard 2's primary. The router has no idea until the
+  // next query's scatter hits the dead socket — mid-query it promotes the
+  // standby and the answer stays exact and unflagged.
+  const pid_t victim = router.worker_pid(2);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(kill(victim, SIGKILL), 0);
+
+  QueryStats ref1;
+  const auto want1 = dep.index->KNearest(w.queries[1], 3, &ref1);
+  const ServeResult during = router.KNearest(w.queries[1], 3);
+  ExpectHealthyIdentical(during, want1, ref1, "kill -9 failover");
+  EXPECT_GE(during.failovers, 1u);
+  EXPECT_TRUE(router.worker_alive(2));
   EXPECT_NE(router.worker_pid(2), victim);
+
+  // auto_respawn refills the group between queries; the revived process
+  // rejoins at the next begin and the group is back to full strength.
+  QueryStats ref2;
+  const auto want2 = dep.index->KNearest(w.queries[2], 3, &ref2);
+  ExpectHealthyIdentical(router.KNearest(w.queries[2], 3), want2, ref2,
+                         "post-respawn");
+  EXPECT_TRUE(router.PingAll());
+  for (std::size_t r = 0; r < router.replica_count(); ++r) {
+    EXPECT_TRUE(router.replica_alive(2, r)) << "replica " << r;
+  }
+}
+
+TEST(ServeDistributedTest, SlowPrimaryEvalsAreHedgedToTheStandby) {
+  Workload w = MakeWorkload(120, 2, 8700);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  // Shard 1's primary answers Evals 100ms late — well inside the op
+  // timeout, so without hedging the query would simply crawl. With a
+  // 10ms hedge delay the router races each such Eval to the standby and
+  // takes its (identical) answer; nobody dies, nothing degrades.
+  opt.fault_spec = "delay:shard=1,op=eval,replica=0,ms=100";
+  opt.hedge_delay_ms = 10;
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+
+  std::size_t hedged = 0;
+  for (const auto& q : w.queries) {
+    QueryStats ref;
+    const auto want = dep.index->KNearest(q, 3, &ref);
+    const ServeResult r = router.KNearest(q, 3);
+    ExpectHealthyIdentical(r, want, ref, "hedged q=" + q);
+    EXPECT_EQ(r.failovers, 0u);
+    EXPECT_EQ(r.replicas_evicted, 0u);
+    hedged += r.hedged_evals;
+  }
+  EXPECT_GT(hedged, 0u);
+  // Hedging is a race, not a verdict: the slow primary keeps its job.
+  EXPECT_TRUE(router.replica_alive(1, 0));
+  EXPECT_TRUE(router.replica_alive(1, 1));
+  EXPECT_EQ(router.primary_of(1), 0u);
+}
+
+TEST(ServeDistributedTest, DisagreeingStandbyIsEvictedAndQueryStaysExact) {
+  Workload w = MakeWorkload(120, 2, 8800);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  // Shard 2's *standby* mangles its 3rd visit-pass reply: byte-wrong but
+  // CRC-valid, so only the router's replica agreement check can catch
+  // it. The primary's reply drives the merge — the answer stays exact —
+  // and the corrupt standby is evicted.
+  opt.fault_spec = "mangle:shard=2,op=step,nth=3,replica=1";
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+
+  QueryStats ref;
+  const auto want = dep.index->KNearest(w.queries[0], 3, &ref);
+  const ServeResult r = router.KNearest(w.queries[0], 3);
+  ExpectHealthyIdentical(r, want, ref, "mangled standby");
+  EXPECT_EQ(r.replicas_evicted, 1u);
+  EXPECT_EQ(r.failovers, 0u);
+  EXPECT_TRUE(router.replica_alive(2, 0));
+  EXPECT_FALSE(router.replica_alive(2, 1));
+  EXPECT_EQ(router.primary_of(2), 0u);
+}
+
+TEST(ServeDistributedTest, AllShardsDeadReturnsAllMissingAscending) {
+  Workload w = MakeWorkload(100, 2, 8900);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  // Every replica of every shard crashes on its first begin: the whole
+  // fleet is gone. Lazy path: nothing survives, every shard is named,
+  // ascending. Row path: the pivot evaluations run router-side, so the
+  // answer still holds exact pivot incumbents.
+  opt.fault_spec = "crash:op=begin,nth=1";
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+
+  const ServeResult lazy = router.KNearest(w.queries[0], 3);
+  EXPECT_TRUE(lazy.partial);
+  EXPECT_EQ(lazy.missing_shards, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(lazy.stats.shards_degraded, 4u);
+  EXPECT_TRUE(lazy.neighbors.empty());
+
+  // Fresh router (the first one's fleet is dead and stays dead).
+  ServeRouter router2(dep.dir.path, opt);
+  const auto batch = router2.KNearestBatch({w.queries[1]}, 3);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].partial);
+  EXPECT_EQ(batch[0].missing_shards, (std::vector<std::size_t>{0, 1, 2, 3}));
+  auto dist = MakeDistance("dE");
+  for (const NeighborResult& nb : batch[0].neighbors) {
+    EXPECT_EQ(nb.distance, dist->Distance(w.queries[1], w.protos[nb.index]));
+  }
+}
+
+TEST(ServeDistributedTest, HealthLoopRevivesKilledReplicasInBackground) {
+  Workload w = MakeWorkload(100, 2, 9000);
+  Deployment dep(w.protos, 2, 6);
+  ServeOptions opt = FastOptions();
+  // Synchronous respawn off: only the background health loop can bring
+  // the killed group back.
+  opt.auto_respawn = false;
+  opt.health_interval_ms = 25;
+  ServeRouter router(dep.dir.path, opt);
+
+  QueryStats ref0;
+  const auto want0 = dep.index->KNearest(w.queries[0], 3, &ref0);
+  ExpectHealthyIdentical(router.KNearest(w.queries[0], 3), want0, ref0,
+                         "pre-kill");
+
+  for (std::size_t r = 0; r < router.replica_count(); ++r) {
+    const pid_t victim = router.replica_pid(1, r);
+    ASSERT_GT(victim, 0);
+    ASSERT_EQ(kill(victim, SIGKILL), 0);
+  }
+
+  // The loop pings (failure detection), reaps, respawns, re-pings. Give
+  // it a generous window; the test only needs eventual recovery.
+  bool healthy = false;
+  for (int i = 0; i < 400 && !healthy; ++i) {
+    healthy = router.replica_alive(1, 0) && router.replica_alive(1, 1) &&
+              router.PingAll();
+    if (!healthy) usleep(20 * 1000);
+  }
+  EXPECT_TRUE(healthy);
+  QueryStats ref1;
+  const auto want1 = dep.index->KNearest(w.queries[1], 3, &ref1);
+  ExpectHealthyIdentical(router.KNearest(w.queries[1], 3), want1, ref1,
+                         "post-revival");
+}
+
+TEST(ServeDistributedTest, UnreplicatedTierStillServesExactlyAtROne) {
+  Workload w = MakeWorkload(100, 3, 9100);
+  Deployment dep(w.protos, 4, 8);
+  ServeOptions opt = FastOptions();
+  opt.replicas = 1;
+  ServeRouter router(dep.dir.path, opt);
+  ASSERT_EQ(router.replica_count(), 1u);
+  for (const auto& q : w.queries) {
+    QueryStats ref;
+    const auto want = dep.index->KNearest(q, 3, &ref);
+    const ServeResult r = router.KNearest(q, 3);
+    ExpectHealthyIdentical(r, want, ref, "R=1 q=" + q);
+    EXPECT_EQ(r.failovers, 0u);
+    EXPECT_EQ(r.hedged_evals, 0u);
+  }
+}
+
+// --- Satellite: option validation ------------------------------------------
+
+TEST(ServeDistributedTest, InvalidOptionsThrowNamingTheField) {
+  Workload w = MakeWorkload(40, 1, 9200);
+  Deployment dep(w.protos, 2, 4);
+  auto expect_invalid = [&](ServeOptions opt, const std::string& field) {
+    try {
+      ServeRouter router(dep.dir.path, opt);
+      FAIL() << "expected std::invalid_argument for " << field;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << "message '" << e.what() << "' does not name " << field;
+    }
+  };
+  ServeOptions opt = FastOptions();
+  opt.replicas = 0;
+  expect_invalid(opt, "replicas");
+  opt = FastOptions();
+  opt.op_timeout_ms = 0;
+  expect_invalid(opt, "op_timeout_ms");
+  opt = FastOptions();
+  opt.query_deadline_ms = -5;
+  expect_invalid(opt, "query_deadline_ms");
+  opt = FastOptions();
+  opt.op_retries = -1;
+  expect_invalid(opt, "op_retries");
+  opt = FastOptions();
+  opt.backoff_base_ms = -1;
+  expect_invalid(opt, "backoff_base_ms");
+  opt = FastOptions();
+  opt.health_interval_ms = -1;
+  expect_invalid(opt, "health_interval_ms");
+  opt = FastOptions();
+  opt.distance = "";
+  expect_invalid(opt, "distance");
 }
 
 // --- Satellite: degraded-mode determinism ----------------------------------

@@ -214,5 +214,39 @@ TEST(ServeFaultTest, EveryFiresPeriodicallyAndShardFilters) {
   EXPECT_FALSE(always.OnRequest("step").corrupt);
 }
 
+TEST(ServeFaultTest, ReplicaSelectorTargetsOneGroupMember) {
+  const FaultSpec spec = FaultSpec::Parse("crash:op=step,nth=1,replica=0");
+  ASSERT_EQ(spec.directives.size(), 1u);
+  EXPECT_EQ(spec.directives[0].replica, 0);
+
+  // Same spec, same shard, different group ordinal: only replica 0 fires.
+  FaultInjector primary(spec, /*shard=*/1, /*replica=*/0);
+  FaultInjector standby(spec, /*shard=*/1, /*replica=*/1);
+  EXPECT_TRUE(primary.OnRequest("step").crash);
+  EXPECT_FALSE(standby.OnRequest("step").crash);
+
+  // No replica key: -1, fires on every member (whole-group faults).
+  const FaultSpec all = FaultSpec::Parse("crash:op=step,nth=1");
+  EXPECT_EQ(all.directives[0].replica, -1);
+  FaultInjector m0(all, /*shard=*/0, /*replica=*/0);
+  FaultInjector m1(all, /*shard=*/0, /*replica=*/1);
+  EXPECT_TRUE(m0.OnRequest("step").crash);
+  EXPECT_TRUE(m1.OnRequest("step").crash);
+
+  EXPECT_THROW(FaultSpec::Parse("crash:replica="), std::invalid_argument);
+}
+
+TEST(ServeFaultTest, MangleKindFlagsPayloadCorruption) {
+  FaultInjector inj(FaultSpec::Parse("mangle:op=step,nth=2,replica=1"),
+                    /*shard=*/3, /*replica=*/1);
+  const auto first = inj.OnRequest("step");
+  EXPECT_FALSE(first.mangle);
+  const auto second = inj.OnRequest("step");
+  EXPECT_TRUE(second.mangle);
+  // Mangle is byte-corruption with a *valid* CRC: distinct from corrupt.
+  EXPECT_FALSE(second.corrupt);
+  EXPECT_FALSE(second.crash);
+}
+
 }  // namespace
 }  // namespace cned
