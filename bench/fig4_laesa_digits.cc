@@ -9,6 +9,10 @@
 // Run with --kernel=scalar|avx2|neon|auto to force a sweep-kernel variant
 // (the vectorisation ablation row): computation counts are bit-identical
 // across kernels, only the time columns move.
+//
+// Run with --table-precision=f64|f32|f16|u8 to store the pivot tables
+// quantized (search/table_quant.h): results stay exact, computation counts
+// may rise slightly, the time columns show the bandwidth gain.
 
 #include <cstdlib>
 #include <iostream>
@@ -20,7 +24,7 @@
 namespace cned {
 namespace {
 
-int Run() {
+int Run(TablePrecision precision) {
   bench::Banner("Figure 4: LAESA pivot sweep (handwritten digits)",
                 "de la Higuera & Mico, ICDE 2008, Figure 4");
   const auto per_class =
@@ -45,7 +49,7 @@ int Run() {
     runs.emplace_back(dist->name(),
                       bench::RunSweep(dist, digits.strings, query_set.strings,
                                       train, queries, reps, pivot_counts,
-                                      sweep_rng));
+                                      sweep_rng, /*shards=*/1, precision));
     std::cout << "swept " << dist->name() << "\n";
   }
   std::cout << '\n';
@@ -60,19 +64,26 @@ int Run() {
 }  // namespace cned
 
 int main(int argc, char** argv) {
+  cned::TablePrecision precision = cned::DefaultTablePrecision();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string kernel_prefix = "--kernel=";
+    const std::string precision_prefix = "--table-precision=";
     if (arg.rfind(kernel_prefix, 0) == 0) {
       if (!cned::bench::ApplySweepKernelFlag(
               arg.substr(kernel_prefix.size()))) {
         return 2;
       }
+    } else if (arg.rfind(precision_prefix, 0) == 0) {
+      if (!cned::bench::ApplyTablePrecisionFlag(
+              arg.substr(precision_prefix.size()), &precision)) {
+        return 2;
+      }
     } else {
       std::cerr << "fig4: unknown argument " << arg
-                << " (supported: --kernel=NAME)\n";
+                << " (supported: --kernel=NAME --table-precision=NAME)\n";
       return 2;
     }
   }
-  return cned::Run();
+  return cned::Run(precision);
 }

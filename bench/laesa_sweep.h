@@ -60,6 +60,23 @@ inline bool ApplySweepKernelFlag(const std::string& value) {
   return true;
 }
 
+/// Applies a `--table-precision=f64|f32|f16|u8` harness flag: selects the
+/// pivot-table storage precision (search/table_quant.h) for every index the
+/// sweep builds. Results are exact at any precision (admissible round-down)
+/// — the computation columns may move slightly (quantized bounds prune a
+/// little less), the time columns show the bandwidth effect. Returns false,
+/// listing the valid names, for an unknown name.
+inline bool ApplyTablePrecisionFlag(const std::string& value,
+                                    TablePrecision* out) {
+  if (!ParseTablePrecision(value, out)) {
+    std::cerr << "unknown table precision '" << value
+              << "' (valid: f64 f32 f16 u8)\n";
+    return false;
+  }
+  std::cout << "table precision: " << TablePrecisionName(*out) << "\n";
+  return true;
+}
+
 struct SweepPoint {
   std::size_t pivots = 0;
   double mean_computations = 0.0;
@@ -81,7 +98,8 @@ inline std::vector<SweepPoint> RunSweep(
     const std::vector<std::string>& query_pool, std::size_t train_size,
     std::size_t queries_per_rep, std::size_t repetitions,
     const std::vector<std::size_t>& pivot_counts, Rng& rng,
-    std::size_t shards = 1) {
+    std::size_t shards = 1,
+    TablePrecision precision = DefaultTablePrecision()) {
   std::vector<SweepPoint> series;
   for (std::size_t pivots : pivot_counts) {
     RunningStats comp_stats, time_stats, batched_comp, batched_pivot;
@@ -105,14 +123,15 @@ inline std::vector<SweepPoint> RunSweep(
       double secs = 0.0;
       if (shards <= 1) {
         PrototypeStore protos(sample);
-        Laesa laesa(protos, distance, pivots);
+        Laesa laesa(protos, distance, pivots, /*first_pivot=*/0, precision);
         BatchQueryEngine engine(laesa);
         Stopwatch watch;
         (void)engine.Nearest(queries, &qstats);
         secs = watch.Seconds();
       } else {
         ShardedPrototypeStore store(sample, shards);
-        ShardedLaesa laesa(store, distance, pivots);
+        ShardedLaesa laesa(store, distance, pivots, /*first_pivot=*/0,
+                           precision);
         BatchQueryEngine engine(laesa);
         std::vector<QueryStats> shard_stats;
         Stopwatch watch;

@@ -10,7 +10,15 @@
 //     copy-loaded index;
 //   * Map() startup is at least 10x faster than the copying Load() — the
 //     table and arena sections are used in place, so the map path does
-//     O(prototypes) validation instead of O(pivots x prototypes) copying.
+//     O(prototypes) validation instead of O(pivots x prototypes) copying;
+//   * snapshot_shrink_ok — the f16 index snapshot is at least 2x smaller
+//     than the f64 one (the quantized-table storage win,
+//     search/table_quant.h), and the quantized mapped index answers probes
+//     bit-identically to the index built at the same precision.
+//
+// The JSON also breaks each snapshot into its sections (pivot table vs
+// string arena vs bookkeeping, computed from the format layout) and lists
+// the index file size at every table precision.
 //
 // Human-readable progress goes to stderr; a single JSON object goes to
 // stdout (CI greps the contract booleans).
@@ -31,6 +39,7 @@
 #include "datasets/prototype_store.h"
 #include "distances/registry.h"
 #include "search/laesa.h"
+#include "search/table_quant.h"
 
 namespace cned {
 namespace {
@@ -118,6 +127,56 @@ int Run() {
     }
   }
 
+  // Per-section byte accounting, from the format layout: the pivot table
+  // dominates the index file, the character arena the store file; the rest
+  // (headers, pivot ids, lengths/offsets, alignment, CRC footers) is
+  // bookkeeping.
+  const std::size_t n = store.size();
+  const std::size_t table_bytes = pivots * n * sizeof(double);
+  const std::size_t index_bookkeeping_bytes = index_bytes - table_bytes;
+  std::size_t arena_bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) arena_bytes += store.view(i).size();
+  const std::size_t store_bookkeeping_bytes = store_bytes - arena_bytes;
+  log << "  sections: table " << table_bytes << " B, arena " << arena_bytes
+      << " B, bookkeeping " << (index_bookkeeping_bytes +
+                                store_bookkeeping_bytes) << " B\n";
+
+  // Quantized snapshots: size at every precision, plus a probe-identity
+  // check that the mapped quantized index serves exactly what the
+  // same-precision build computes.
+  constexpr TablePrecision kPrecisions[] = {
+      TablePrecision::kF64, TablePrecision::kF32, TablePrecision::kF16,
+      TablePrecision::kU8};
+  std::vector<std::pair<std::string, std::size_t>> precision_bytes;
+  std::size_t f16_bytes = 0;
+  bool quantized_identical = true;
+  for (TablePrecision prec : kPrecisions) {
+    std::size_t bytes = index_bytes;
+    if (prec != TablePrecision::kF64) {
+      Laesa quantized(store, dist, pivots, /*first_pivot=*/0, prec);
+      const std::string qpath =
+          "micro_mmap_index_" + std::string(TablePrecisionName(prec)) + ".bin";
+      quantized.Save(qpath);
+      bytes = FileBytes(qpath);
+      Laesa mapped = Laesa::Map(qpath, store, dist);
+      quantized_identical =
+          quantized_identical && ProbesIdentical(quantized, mapped, queries);
+      std::remove(qpath.c_str());
+    }
+    if (prec == TablePrecision::kF16) f16_bytes = bytes;
+    precision_bytes.emplace_back(TablePrecisionName(prec), bytes);
+    log << "  index at " << TablePrecisionName(prec) << ": " << bytes
+        << " bytes\n";
+  }
+  const bool snapshot_shrink_ok =
+      f16_bytes > 0 && index_bytes >= 2 * f16_bytes && quantized_identical;
+  log << "  f64 -> f16 snapshot shrink: "
+      << (f16_bytes > 0 ? static_cast<double>(index_bytes) /
+                              static_cast<double>(f16_bytes)
+                        : 0.0)
+      << "x (" << (snapshot_shrink_ok ? "ok" : "BELOW 2x or probes diverged")
+      << ")\n";
+
   const double speedup = map_load > 0.0 ? copy_load / map_load : inf;
   const bool speedup_ok = speedup >= 10.0;
   log << "  copy load " << copy_load * 1e3 << " ms, map load "
@@ -134,6 +193,21 @@ int Run() {
             << "  \"pivots\": " << pivots << ",\n"
             << "  \"store_bytes\": " << store_bytes << ",\n"
             << "  \"index_bytes\": " << index_bytes << ",\n"
+            << "  \"sections\": {\"table_bytes\": " << table_bytes
+            << ", \"arena_bytes\": " << arena_bytes
+            << ", \"index_bookkeeping_bytes\": " << index_bookkeeping_bytes
+            << ", \"store_bookkeeping_bytes\": " << store_bookkeeping_bytes
+            << "},\n"
+            << "  \"index_bytes_by_precision\": {";
+  for (std::size_t i = 0; i < precision_bytes.size(); ++i) {
+    std::cout << "\"" << precision_bytes[i].first
+              << "\": " << precision_bytes[i].second
+              << (i + 1 < precision_bytes.size() ? ", " : "");
+  }
+  std::cout << "},\n"
+            << "  \"snapshot_shrink_ok\": "
+            << (snapshot_shrink_ok ? "true" : "false") << ",\n";
+  std::cout
             << "  \"copy_load_seconds\": " << copy_load << ",\n"
             << "  \"map_load_seconds\": " << map_load << ",\n"
             << "  \"load_speedup\": " << speedup << ",\n"
@@ -146,7 +220,7 @@ int Run() {
 
   std::remove(store_path.c_str());
   std::remove(index_path.c_str());
-  return identical && speedup_ok ? 0 : 1;
+  return identical && speedup_ok && snapshot_shrink_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -17,7 +17,18 @@
 //     fig3 workload, across flat/sharded and lazy/pivot-stage paths;
 //   * kernel_speedup_ok — on a machine where a vector variant is active,
 //     the dense row-update kernel beats scalar by a measurable margin
-//     (>= 1.05x per candidate; trivially true where only scalar exists).
+//     (>= 1.05x per candidate; trivially true where only scalar exists);
+//   * u8_speedup_ok — the quantized u8 dense row update streams rows at
+//     >= 1.5x the f64 per-candidate throughput on the best kernel (the
+//     memory-bandwidth payoff of 1-byte table elements; measured over a
+//     row set deliberately sized beyond cache, unscaled by CNED_SCALE);
+//   * quantized_exact — every quantized precision returns the same nearest
+//     DISTANCES as the f64 index on the fig3 workload (admissible
+//     round-down never loses the true neighbour on a metric distance).
+//
+// The quantized section also reports each precision's eliminated fraction
+// (1 - distance computations / N per query): how much pruning the widened
+// bounds give up relative to the exact f64 table.
 //
 // Human-readable progress goes to stderr; a single JSON object goes to
 // stdout.
@@ -39,6 +50,7 @@
 #include "search/laesa.h"
 #include "search/sharded_laesa.h"
 #include "search/sweep_kernel.h"
+#include "search/table_quant.h"
 
 namespace cned {
 namespace {
@@ -102,6 +114,72 @@ KernelMicro TimeKernels(const SweepKernels& k, std::size_t n,
   if (sink != static_cast<std::uint64_t>(n) * reps) {
     std::cerr << "  (keep-all eliminate dropped candidates?!)\n";
   }
+  return out;
+}
+
+constexpr TablePrecision kAllPrecisions[] = {
+    TablePrecision::kF64, TablePrecision::kF32, TablePrecision::kF16,
+    TablePrecision::kU8};
+
+/// One quantized row-streaming measurement: (kernel, precision) -> ns per
+/// candidate for the dense update, streaming `n_rows` distinct rows over
+/// one shared lower slab. The row set is sized past the last-level cache
+/// (MSK_QROWS x MSK_QCAND, deliberately NOT scaled by CNED_SCALE), so the
+/// f64 baseline pays full memory bandwidth — the configuration the 1-byte
+/// elements exist to win.
+struct QuantMicro {
+  std::string kernel;
+  std::string precision;
+  double dense_ns = 0.0;
+};
+
+QuantMicro TimeQuantDense(const SweepKernels& k, TablePrecision prec,
+                          const std::vector<double>& rows, std::size_t n_rows,
+                          std::size_t n, std::size_t reps) {
+  QuantMicro out;
+  out.kernel = k.name;
+  out.precision = TablePrecisionName(prec);
+
+  // Quantize every row off the shared f64 source (f64 passes through).
+  std::vector<unsigned char> codes;
+  std::vector<QuantRowMeta> meta;
+  QuantTableView view;
+  view.precision = prec;
+  if (prec == TablePrecision::kF64) {
+    view.f64 = rows.data();
+  } else {
+    const std::size_t width = TablePrecisionBytes(prec);
+    codes.resize(n_rows * n * width);
+    meta.resize(n_rows);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      QuantRowEncoder enc;
+      enc.Scan(rows.data() + r * n, n);
+      enc.Prepare(prec);
+      enc.Encode(rows.data() + r * n, n, codes.data() + r * n * width);
+      meta[r] = enc.Finish();
+    }
+    view.q = codes.data();
+    view.rows = meta.data();
+  }
+
+  AlignedBuffer<double> lower;
+  lower.resize(n);
+  for (std::size_t i = 0; i < n; ++i) lower.data()[i] = 0.0;
+
+  // Warm-up pass, then steady state (the update is a max, so repeated
+  // passes are idempotent on the slab while still reading every element).
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    QuantUpdateLowerDense(k, view, r, n, 1.0 + 1e-3 * r, lower.data());
+  }
+  Stopwatch watch;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      QuantUpdateLowerDense(k, view, r, n, 1.0 + 1e-3 * r, lower.data());
+    }
+  }
+  out.dense_ns = watch.Seconds() * 1e9 /
+                 (static_cast<double>(reps) * static_cast<double>(n_rows) *
+                  static_cast<double>(n));
   return out;
 }
 
@@ -216,6 +294,42 @@ int Run() {
       micro.size() == 1 || dense_speedup >= 1.05;
   log << "  dense speedup (best vs scalar): " << dense_speedup << "x\n";
 
+  // --- 1b. Quantized dense row streaming ---------------------------------
+  // Unscaled knobs: the row set must stay bigger than the last-level cache
+  // or the f64 baseline reads from cache and the bandwidth comparison is
+  // meaningless (CNED_SCALE=0.2 CI runs would otherwise shrink it).
+  const auto q_rows =
+      static_cast<std::size_t>(Config::Int("MSK_QROWS", 192));
+  const auto q_cand =
+      static_cast<std::size_t>(Config::Int("MSK_QCAND", 32768));
+  const auto q_reps = static_cast<std::size_t>(Config::Int("MSK_QREPS", 8));
+  log << "  quantized dense streaming: " << q_rows << " rows x " << q_cand
+      << " candidates (f64 row set "
+      << (q_rows * q_cand * sizeof(double)) / (1024 * 1024) << " MiB)\n";
+  std::vector<double> q_source(q_rows * q_cand);
+  {
+    Rng qrng(Config::Seed() + 7);
+    for (double& v : q_source) v = qrng.Uniform() * 4.0;
+  }
+  std::vector<QuantMicro> quant_micro;
+  double u8_speedup = 0.0;
+  for (const SweepKernels* k : AvailableSweepKernels()) {
+    double f64_ns = 0.0, u8_ns = 0.0;
+    for (TablePrecision prec : kAllPrecisions) {
+      quant_micro.push_back(
+          TimeQuantDense(*k, prec, q_source, q_rows, q_cand, q_reps));
+      const QuantMicro& qm = quant_micro.back();
+      log << "  " << qm.kernel << "/" << qm.precision << ": dense "
+          << qm.dense_ns << " ns/cand\n";
+      if (prec == TablePrecision::kF64) f64_ns = qm.dense_ns;
+      if (prec == TablePrecision::kU8) u8_ns = qm.dense_ns;
+    }
+    // The gate tracks the best (last-listed) kernel — the one serving uses.
+    u8_speedup = u8_ns > 0.0 ? f64_ns / u8_ns : 0.0;
+  }
+  const bool u8_speedup_ok = micro.size() == 1 || u8_speedup >= 1.5;
+  log << "  u8 dense speedup vs f64 (best kernel): " << u8_speedup << "x\n";
+
   // --- 2. fig3 dictionary workload ---------------------------------------
   Dataset dict = bench::MakeDictionary(pool, Config::Seed());
   Rng rng(Config::Seed() + 83);
@@ -261,6 +375,51 @@ int Run() {
   }
   SetActiveSweepKernels("auto");
 
+  // --- 3. Per-precision elimination on the fig3 workload ------------------
+  // Exactness + pruning cost: each precision's index must return the same
+  // nearest distances as f64 (admissible bounds on a metric distance), and
+  // the eliminated fraction quantifies how much pruning the widened bounds
+  // give up.
+  struct PrecisionRun {
+    std::string precision;
+    double eliminated_fraction = 0.0;
+    std::uint64_t computations = 0;
+  };
+  std::vector<PrecisionRun> precision_runs;
+  bool quantized_exact = true;
+  const std::vector<NeighborResult>& f64_results = runs.front().results;
+  const double total_cand = static_cast<double>(queries.size()) *
+                            static_cast<double>(flat_store.size());
+  for (TablePrecision prec : kAllPrecisions) {
+    PrecisionRun pr;
+    pr.precision = TablePrecisionName(prec);
+    QueryStats pstats;
+    std::vector<NeighborResult> presults;
+    if (prec == TablePrecision::kF64) {
+      pstats = runs.front().flat_stats;
+      presults = f64_results;
+    } else {
+      Laesa quantized(flat_store, dist, pivots, /*first_pivot=*/0, prec);
+      BatchQueryEngine engine(quantized);
+      presults = engine.Nearest(queries, &pstats);
+    }
+    pr.computations = pstats.distance_computations;
+    pr.eliminated_fraction =
+        1.0 - static_cast<double>(pstats.distance_computations) / total_cand;
+    for (std::size_t i = 0; i < presults.size(); ++i) {
+      if (presults[i].distance != f64_results[i].distance) {
+        log << "  " << pr.precision << ": nearest distance diverged at query "
+            << i << "\n";
+        quantized_exact = false;
+        break;
+      }
+    }
+    log << "  precision " << pr.precision << ": eliminated fraction "
+        << pr.eliminated_fraction << " (" << pr.computations
+        << " computations)\n";
+    precision_runs.push_back(pr);
+  }
+
   std::cout.precision(6);
   std::cout << "{\n"
             << "  \"bench\": \"micro_sweep_kernel\",\n"
@@ -276,6 +435,24 @@ int Run() {
   }
   std::cout << "  ],\n"
             << "  \"dense_speedup\": " << dense_speedup << ",\n"
+            << "  \"quantized\": [\n";
+  for (std::size_t i = 0; i < quant_micro.size(); ++i) {
+    std::cout << "    {\"kernel\": \"" << quant_micro[i].kernel
+              << "\", \"precision\": \"" << quant_micro[i].precision
+              << "\", \"dense_ns\": " << quant_micro[i].dense_ns << "}"
+              << (i + 1 < quant_micro.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n"
+            << "  \"u8_speedup\": " << u8_speedup << ",\n"
+            << "  \"precisions\": [\n";
+  for (std::size_t i = 0; i < precision_runs.size(); ++i) {
+    std::cout << "    {\"precision\": \"" << precision_runs[i].precision
+              << "\", \"eliminated_fraction\": "
+              << precision_runs[i].eliminated_fraction
+              << ", \"computations\": " << precision_runs[i].computations
+              << "}" << (i + 1 < precision_runs.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n"
             << "  \"fig3\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Fig3Run& r = runs[i];
@@ -291,8 +468,14 @@ int Run() {
             << "  \"identical_results\": " << (identical ? "true" : "false")
             << ",\n"
             << "  \"kernel_speedup_ok\": "
-            << (kernel_speedup_ok ? "true" : "false") << "\n}\n";
-  return identical && kernel_speedup_ok ? 0 : 1;
+            << (kernel_speedup_ok ? "true" : "false") << ",\n"
+            << "  \"u8_speedup_ok\": " << (u8_speedup_ok ? "true" : "false")
+            << ",\n"
+            << "  \"quantized_exact\": "
+            << (quantized_exact ? "true" : "false") << "\n}\n";
+  return identical && kernel_speedup_ok && u8_speedup_ok && quantized_exact
+             ? 0
+             : 1;
 }
 
 }  // namespace

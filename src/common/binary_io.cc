@@ -41,7 +41,9 @@ std::string Describe(const std::string& path, const char* what) {
 /// counts — the one implementation both the copying and the mapped reader
 /// share, so their magic/version errors are identical.
 std::vector<std::uint64_t> ParseHeader(const char* header, const char magic[8],
-                                       std::uint32_t expected_version,
+                                       std::uint32_t min_version,
+                                       std::uint32_t max_version,
+                                       std::uint32_t* version_out,
                                        const std::string& path) {
   if (std::memcmp(header, magic, 8) != 0) {
     throw std::runtime_error(
@@ -49,12 +51,18 @@ std::vector<std::uint64_t> ParseHeader(const char* header, const char magic[8],
   }
   std::uint32_t version = 0;
   std::memcpy(&version, header + 8, sizeof(version));
-  if (version != expected_version) {
+  if (version < min_version || version > max_version) {
+    const std::string reads =
+        min_version == max_version
+            ? "version " + std::to_string(min_version)
+            : "versions " + std::to_string(min_version) + ".." +
+                  std::to_string(max_version);
     throw std::runtime_error(
         "binary_io: format version mismatch: file has version " +
-        std::to_string(version) + ", this build reads version " +
-        std::to_string(expected_version) + " (" + path + ")");
+        std::to_string(version) + ", this build reads " + reads + " (" + path +
+        ")");
   }
+  if (version_out != nullptr) *version_out = version;
   std::vector<std::uint64_t> counts(kBinaryHeaderCounts);
   std::memcpy(counts.data(), header + 16,
               kBinaryHeaderCounts * sizeof(std::uint64_t));
@@ -165,9 +173,17 @@ BinaryReader::BinaryReader(const std::string& path) : path_(path) {
 
 std::vector<std::uint64_t> BinaryReader::Header(
     const char magic[8], std::uint32_t expected_version) {
+  return Header(magic, expected_version, expected_version, nullptr);
+}
+
+std::vector<std::uint64_t> BinaryReader::Header(const char magic[8],
+                                                std::uint32_t min_version,
+                                                std::uint32_t max_version,
+                                                std::uint32_t* version_out) {
   char header[kBinaryAlignment];
   Raw(header, sizeof(header));
-  return ParseHeader(header, magic, expected_version, path_);
+  return ParseHeader(header, magic, min_version, max_version, version_out,
+                     path_);
 }
 
 void BinaryReader::RequireArray(std::uint64_t count,
@@ -235,11 +251,19 @@ void MappedReader::VerifyChecksum() const {
 
 std::vector<std::uint64_t> MappedReader::Header(
     const char magic[8], std::uint32_t expected_version) {
+  return Header(magic, expected_version, expected_version, nullptr);
+}
+
+std::vector<std::uint64_t> MappedReader::Header(const char magic[8],
+                                                std::uint32_t min_version,
+                                                std::uint32_t max_version,
+                                                std::uint32_t* version_out) {
   // The header is a 64-byte section of its own: skip the padding in front
   // of it and bounds-check before touching the bytes.
   const char* header =
       static_cast<const char*>(Section(kBinaryAlignment, 1));
-  return ParseHeader(header, magic, expected_version, path_);
+  return ParseHeader(header, magic, min_version, max_version, version_out,
+                     path_);
 }
 
 const void* MappedReader::Section(std::uint64_t count, std::size_t elem_size) {

@@ -98,6 +98,14 @@ class BinaryReader {
   std::vector<std::uint64_t> Header(const char magic[8],
                                     std::uint32_t expected_version);
 
+  /// Version-range form for evolving formats: accepts any version in
+  /// [min_version, max_version], storing the file's actual version through
+  /// `version_out` (may be null). Same errors otherwise.
+  std::vector<std::uint64_t> Header(const char magic[8],
+                                    std::uint32_t min_version,
+                                    std::uint32_t max_version,
+                                    std::uint32_t* version_out);
+
   /// Copies `bytes` raw bytes into `out`; throws when fewer remain.
   void Raw(void* out, std::size_t bytes);
 
@@ -157,6 +165,12 @@ class MappedReader {
   /// counts.
   std::vector<std::uint64_t> Header(const char magic[8],
                                     std::uint32_t expected_version);
+
+  /// Version-range form, as in `BinaryReader::Header`.
+  std::vector<std::uint64_t> Header(const char magic[8],
+                                    std::uint32_t min_version,
+                                    std::uint32_t max_version,
+                                    std::uint32_t* version_out);
 
   /// Skips to the next 64-byte boundary, range-checks the section extent
   /// against the remaining file length, verifies element alignment, then

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -16,8 +17,11 @@
 namespace cned {
 
 Laesa::Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
-             std::size_t num_pivots, std::size_t first_pivot)
-    : prototypes_(prototypes), distance_(std::move(distance)) {
+             std::size_t num_pivots, std::size_t first_pivot,
+             TablePrecision table_precision)
+    : prototypes_(prototypes),
+      distance_(std::move(distance)),
+      precision_(table_precision) {
   if (store().empty()) {
     throw std::invalid_argument("Laesa: empty prototype set");
   }
@@ -32,10 +36,12 @@ Laesa::Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
 }
 
 Laesa::Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
-             std::vector<std::size_t> pivot_indices)
+             std::vector<std::size_t> pivot_indices,
+             TablePrecision table_precision)
     : prototypes_(prototypes),
       distance_(std::move(distance)),
-      pivots_(std::move(pivot_indices)) {
+      pivots_(std::move(pivot_indices)),
+      precision_(table_precision) {
   if (store().empty()) {
     throw std::invalid_argument("Laesa: empty prototype set");
   }
@@ -68,6 +74,24 @@ void Laesa::BuildTable() {
   });
   preprocessing_computations_ +=
       static_cast<std::uint64_t>(pivots_.size()) * n;
+  if (precision_ != TablePrecision::kF64) {
+    // Quantize row by row (round-down codes + per-row gap, table_quant.h)
+    // and drop the exact table — the narrow codes ARE the index from here
+    // on, so build, save, load and map all sweep the same bytes.
+    const std::size_t width = TablePrecisionBytes(precision_);
+    quant_table_.resize(pivots_.size() * n * width);
+    row_meta_.resize(pivots_.size());
+    for (std::size_t p = 0; p < pivots_.size(); ++p) {
+      QuantRowEncoder enc;
+      enc.Scan(pivot_dist_.data() + p * n, n);
+      enc.Prepare(precision_);
+      enc.Encode(pivot_dist_.data() + p * n, n,
+                 quant_table_.data() + p * n * width);
+      row_meta_[p] = enc.Finish();
+    }
+    pivot_dist_.clear();
+    pivot_dist_.shrink_to_fit();
+  }
 }
 
 // Unified flat sweep behind Nearest (k = 1), NearestApprox (slack = 1+eps)
@@ -96,6 +120,7 @@ std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
   if (k == 0) return {};
 
   const SweepKernels& kern = ActiveSweepKernels();
+  const QuantTableView view = table_view();
   SweepScratch& scratch = TlsSweepScratch();
   scratch.idx.resize(n);
   scratch.lower.resize(n);
@@ -146,9 +171,9 @@ std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
     // pivots remain (the "approximating" step of LAESA), otherwise the
     // surviving prototype with minimal lower bound.
     if (s_is_pivot) {
-      kern.update_lower_packed(
-          d, table_data() + static_cast<std::size_t>(pivot_rank_[s]) * n, idx,
-          0, lower, live);
+      QuantUpdateLowerPacked(kern, view,
+                             static_cast<std::size_t>(pivot_rank_[s]), n, d,
+                             idx, 0, lower, live);
     }
     const SweepCompactResult pass = kern.eliminate_and_compact_flagged(
         idx, lower, pivot_rank_.data(), live, static_cast<std::uint32_t>(s),
@@ -210,9 +235,9 @@ std::vector<NeighborResult> Laesa::SweepWithRow(std::string_view query,
   // the fully seeded k-th incumbent, compact the surviving non-pivots into
   // the packed slabs and pick the first minimal-bound survivor — one
   // compact_seed pass.
-  const double* table = table_data();
+  const QuantTableView view = table_view();
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
-    kern.update_lower_dense(row[p], table + p * n, lower, n);
+    QuantUpdateLowerDense(kern, view, p, n, row[p], lower);
   }
   const SweepCompactResult seed = kern.compact_seed(
       lower, pivot_rank_.data(), n, 0, kth(), idx, lower);
@@ -310,12 +335,13 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
   // the pivot's contiguous table row (the dense streamed-max kernel). Pivot
   // distances stay exact: their full value feeds every candidate's lower
   // bound, which is worth far more than an abandoned evaluation saves.
+  const QuantTableView view = table_view();
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
     const std::size_t s = pivots_[p];
     const double d = distance_->Distance(query, protos[s]);
     ++computations;
     if (d <= radius) hits.push_back({s, d});
-    kern.update_lower_dense(d, table_data() + p * n, lower, n);
+    QuantUpdateLowerDense(kern, view, p, n, d, lower);
   }
   // Phase 2: verify every surviving non-pivot (pivots were computed in
   // phase 1). Hits are inclusive (d <= radius), so the kernel bound is the
@@ -342,14 +368,65 @@ std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,
   return hits;
 }
 
+// Text format: "LAESA 1" is the original exact-table form, written for f64
+// indexes exactly as before. Quantized indexes write "LAESA 2 <precision>"
+// followed by the per-row decode meta (precision-17 doubles: round-trip
+// exact) and the codes as integers — u8 values, f16 bit patterns, f32 bit
+// patterns — so a text round-trip restores the codes bit for bit.
 void Laesa::Save(std::ostream& out) const {
-  const std::size_t entries = pivots_.size() * store().size();
-  out << "LAESA 1\n" << store().size() << ' ' << pivots_.size() << '\n';
+  const std::size_t n = store().size();
+  const std::size_t entries = pivots_.size() * n;
+  if (precision_ == TablePrecision::kF64) {
+    out << "LAESA 1\n" << n << ' ' << pivots_.size() << '\n';
+  } else {
+    out << "LAESA 2 " << TablePrecisionName(precision_) << '\n'
+        << n << ' ' << pivots_.size() << '\n';
+  }
   for (std::size_t p : pivots_) out << p << ' ';
   out << '\n';
   out.precision(17);
-  const double* table = table_data();
-  for (std::size_t t = 0; t < entries; ++t) out << table[t] << ' ';
+  switch (precision_) {
+    case TablePrecision::kF64: {
+      const double* table = table_data();
+      for (std::size_t t = 0; t < entries; ++t) out << table[t] << ' ';
+      break;
+    }
+    case TablePrecision::kF32: {
+      for (const QuantRowMeta* m = row_meta_data();
+           m != row_meta_data() + pivots_.size(); ++m) {
+        out << m->scale << ' ' << m->offset << ' ' << m->gap << '\n';
+      }
+      const float* codes = static_cast<const float*>(quant_data());
+      for (std::size_t t = 0; t < entries; ++t) {
+        std::uint32_t bits;
+        std::memcpy(&bits, codes + t, sizeof(bits));
+        out << bits << ' ';
+      }
+      break;
+    }
+    case TablePrecision::kF16: {
+      for (const QuantRowMeta* m = row_meta_data();
+           m != row_meta_data() + pivots_.size(); ++m) {
+        out << m->scale << ' ' << m->offset << ' ' << m->gap << '\n';
+      }
+      const std::uint16_t* codes =
+          static_cast<const std::uint16_t*>(quant_data());
+      for (std::size_t t = 0; t < entries; ++t) out << codes[t] << ' ';
+      break;
+    }
+    case TablePrecision::kU8: {
+      for (const QuantRowMeta* m = row_meta_data();
+           m != row_meta_data() + pivots_.size(); ++m) {
+        out << m->scale << ' ' << m->offset << ' ' << m->gap << '\n';
+      }
+      const std::uint8_t* codes =
+          static_cast<const std::uint8_t*>(quant_data());
+      for (std::size_t t = 0; t < entries; ++t) {
+        out << static_cast<unsigned>(codes[t]) << ' ';
+      }
+      break;
+    }
+  }
   out << '\n';
 }
 
@@ -357,11 +434,22 @@ Laesa Laesa::Load(std::istream& in, PrototypeStoreRef prototypes,
                   StringDistancePtr distance) {
   std::string magic;
   int version = 0;
-  std::size_t n = 0, np = 0;
-  in >> magic >> version >> n >> np;
-  if (!in || magic != "LAESA" || version != 1) {
+  in >> magic >> version;
+  if (!in || magic != "LAESA" || (version != 1 && version != 2)) {
     throw std::runtime_error("Laesa::Load: bad header");
   }
+  TablePrecision precision = TablePrecision::kF64;
+  if (version == 2) {
+    std::string name;
+    in >> name;
+    if (!in || !ParseTablePrecision(name, &precision) ||
+        precision == TablePrecision::kF64) {
+      throw std::runtime_error("Laesa::Load: bad table precision");
+    }
+  }
+  std::size_t n = 0, np = 0;
+  in >> n >> np;
+  if (!in) throw std::runtime_error("Laesa::Load: bad header");
   if (n != prototypes->size()) {
     throw std::runtime_error("Laesa::Load: prototype count mismatch");
   }
@@ -369,6 +457,7 @@ Laesa Laesa::Load(std::istream& in, PrototypeStoreRef prototypes,
     throw std::runtime_error("Laesa::Load: bad pivot count");
   }
   Laesa index(InternalTag{}, prototypes, std::move(distance));
+  index.precision_ = precision;
   index.pivots_.resize(np);
   for (std::size_t& p : index.pivots_) {
     in >> p;
@@ -378,10 +467,38 @@ Laesa Laesa::Load(std::istream& in, PrototypeStoreRef prototypes,
   for (std::size_t p = 0; p < np; ++p) {
     index.pivot_rank_[index.pivots_[p]] = static_cast<std::int32_t>(p);
   }
-  index.pivot_dist_.resize(np * n);
-  for (double& d : index.pivot_dist_) {
-    in >> d;
+  if (precision == TablePrecision::kF64) {
+    index.pivot_dist_.resize(np * n);
+    for (double& d : index.pivot_dist_) {
+      in >> d;
+      if (!in) throw std::runtime_error("Laesa::Load: truncated table");
+    }
+    return index;
+  }
+  index.row_meta_.resize(np);
+  for (QuantRowMeta& m : index.row_meta_) {
+    in >> m.scale >> m.offset >> m.gap;
     if (!in) throw std::runtime_error("Laesa::Load: truncated table");
+  }
+  const std::size_t width = TablePrecisionBytes(precision);
+  index.quant_table_.resize(np * n * width);
+  for (std::size_t t = 0; t < np * n; ++t) {
+    std::uint32_t code = 0;
+    in >> code;
+    if (!in) throw std::runtime_error("Laesa::Load: truncated table");
+    switch (precision) {
+      case TablePrecision::kF32:
+        std::memcpy(index.quant_table_.data() + t * 4, &code, 4);
+        break;
+      case TablePrecision::kF16: {
+        const std::uint16_t h = static_cast<std::uint16_t>(code);
+        std::memcpy(index.quant_table_.data() + t * 2, &h, 2);
+        break;
+      }
+      default:
+        index.quant_table_[t] = static_cast<unsigned char>(code);
+        break;
+    }
   }
   return index;
 }
@@ -389,26 +506,57 @@ Laesa Laesa::Load(std::istream& in, PrototypeStoreRef prototypes,
 namespace {
 constexpr char kLaesaMagic[8] = {'C', 'N', 'E', 'D', 'L', 'S', 'A', '1'};
 constexpr std::uint32_t kLaesaVersion = 1;
+// Version 2 adds quantized tables: counts gain the precision, and a 32-byte
+// per-row QuantRowMeta section sits between the pivots and the (narrow)
+// code table. f64 indexes keep writing version 1, byte-identical to every
+// snapshot produced before quantization existed.
+constexpr std::uint32_t kLaesaVersionQuant = 2;
+
+/// Range-checks a version-2 header's precision count (f64 snapshots are
+/// version 1 by construction, so 0 is rejected too).
+TablePrecision CheckedPrecision(std::uint64_t raw, const char* who) {
+  if (raw < 1 || raw > 3) {
+    throw std::runtime_error(std::string(who) + ": bad table precision");
+  }
+  return static_cast<TablePrecision>(static_cast<std::uint32_t>(raw));
+}
 }  // namespace
 
 void Laesa::Save(const std::string& path) const {
   BinaryWriter writer(path);
-  const std::uint64_t counts[2] = {store().size(), pivots_.size()};
-  writer.Header(kLaesaMagic, kLaesaVersion, counts, 2);
   static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
                 "64-bit pivot indices expected");
+  if (precision_ == TablePrecision::kF64) {
+    const std::uint64_t counts[2] = {store().size(), pivots_.size()};
+    writer.Header(kLaesaMagic, kLaesaVersion, counts, 2);
+    writer.Align();
+    writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
+    writer.Align();
+    // Through the view, so a mapped index re-snapshots byte-identically.
+    writer.Raw(table_data(),
+               pivots_.size() * store().size() * sizeof(double));
+    writer.Finish();
+    return;
+  }
+  const std::uint64_t counts[3] = {store().size(), pivots_.size(),
+                                   static_cast<std::uint64_t>(precision_)};
+  writer.Header(kLaesaMagic, kLaesaVersionQuant, counts, 3);
   writer.Align();
   writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
   writer.Align();
-  // Through the view, so a mapped index re-snapshots byte-identically.
-  writer.Raw(table_data(), pivots_.size() * store().size() * sizeof(double));
+  writer.Raw(row_meta_data(), pivots_.size() * sizeof(QuantRowMeta));
+  writer.Align();
+  writer.Raw(quant_data(), pivots_.size() * store().size() *
+                               TablePrecisionBytes(precision_));
   writer.Finish();
 }
 
 Laesa Laesa::Load(const std::string& path, PrototypeStoreRef prototypes,
                   StringDistancePtr distance) {
   BinaryReader reader(path);
-  const auto counts = reader.Header(kLaesaMagic, kLaesaVersion);
+  std::uint32_t version = 0;
+  const auto counts =
+      reader.Header(kLaesaMagic, kLaesaVersion, kLaesaVersionQuant, &version);
   const std::uint64_t n = counts[0];
   const std::uint64_t np = counts[1];
   if (n != prototypes->size()) {
@@ -429,17 +577,32 @@ Laesa Laesa::Load(const std::string& path, PrototypeStoreRef prototypes,
     }
     index.pivot_rank_[index.pivots_[p]] = static_cast<std::int32_t>(p);
   }
-  reader.RequireArray(np * n, sizeof(double));
-  index.pivot_dist_.resize(np * n);
+  if (version == kLaesaVersion) {
+    reader.RequireArray(np * n, sizeof(double));
+    index.pivot_dist_.resize(np * n);
+    reader.Align();
+    reader.Raw(index.pivot_dist_.data(), np * n * sizeof(double));
+    return index;
+  }
+  index.precision_ = CheckedPrecision(counts[2], "Laesa::Load");
+  const std::size_t width = TablePrecisionBytes(index.precision_);
+  reader.RequireArray(np, sizeof(QuantRowMeta));
+  index.row_meta_.resize(np);
   reader.Align();
-  reader.Raw(index.pivot_dist_.data(), np * n * sizeof(double));
+  reader.Raw(index.row_meta_.data(), np * sizeof(QuantRowMeta));
+  reader.RequireArray(np * n, width);
+  index.quant_table_.resize(np * n * width);
+  reader.Align();
+  reader.Raw(index.quant_table_.data(), np * n * width);
   return index;
 }
 
 Laesa Laesa::Map(const std::string& path, PrototypeStoreRef prototypes,
                  StringDistancePtr distance) {
   MappedReader reader(MappedFile::Open(path));
-  const auto counts = reader.Header(kLaesaMagic, kLaesaVersion);
+  std::uint32_t version = 0;
+  const auto counts =
+      reader.Header(kLaesaMagic, kLaesaVersion, kLaesaVersionQuant, &version);
   const std::uint64_t n = counts[0];
   const std::uint64_t np = counts[1];
   if (n != prototypes->size()) {
@@ -462,7 +625,18 @@ Laesa Laesa::Map(const std::string& path, PrototypeStoreRef prototypes,
   }
   // np <= n <= the live store's size, so np * n cannot overflow before
   // Array()'s own division-form extent check sees it.
-  index.mapped_table_ = reader.Array<double>(np * n);
+  if (version == kLaesaVersion) {
+    index.mapped_table_ = reader.Array<double>(np * n);
+    index.mapping_ = reader.file();
+    return index;
+  }
+  index.precision_ = CheckedPrecision(counts[2], "Laesa::Map");
+  index.mapped_meta_ = reader.Array<QuantRowMeta>(np);
+  // The code section is served zero-copy too: the sweep reads the narrow
+  // elements straight off the page cache through the kernels' widening
+  // loads.
+  index.mapped_quant_ =
+      reader.Section(np * n, TablePrecisionBytes(index.precision_));
   index.mapping_ = reader.file();
   return index;
 }

@@ -10,6 +10,7 @@
 #include "distances/distance.h"
 #include "search/nn_searcher.h"
 #include "search/pivot_stage.h"
+#include "search/table_quant.h"
 
 namespace cned {
 
@@ -46,12 +47,21 @@ class Laesa final : public NearestNeighborSearcher, public PivotStageSearcher {
   /// `PrototypeStore` (caller keeps it alive) or a `std::vector<std::string>`
   /// packed once into an owned store. Costs ~(num_pivots+1)·N distance
   /// evaluations.
+  ///
+  /// `table_precision` selects the pivot table's storage (table_quant.h):
+  /// f64 keeps the exact table; f32/f16/u8 quantize each row with
+  /// admissible round-down — Nearest/KNearest/RangeSearch RESULTS stay
+  /// exact (elimination only prunes less), snapshots and sweep bandwidth
+  /// shrink by the element-width ratio. The |Δlen| zeroth-pivot bound is
+  /// never quantized.
   Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
-        std::size_t num_pivots, std::size_t first_pivot = 0);
+        std::size_t num_pivots, std::size_t first_pivot = 0,
+        TablePrecision table_precision = DefaultTablePrecision());
 
   /// Builds with externally chosen pivot indices (ablation hook).
   Laesa(PrototypeStoreRef prototypes, StringDistancePtr distance,
-        std::vector<std::size_t> pivot_indices);
+        std::vector<std::size_t> pivot_indices,
+        TablePrecision table_precision = DefaultTablePrecision());
 
   /// Nearest prototype; accumulates counters into `stats` when non-null.
   NeighborResult Nearest(std::string_view query,
@@ -118,6 +128,10 @@ class Laesa final : public NearestNeighborSearcher, public PivotStageSearcher {
   /// True when the pivot table aliases a mapped snapshot.
   bool mapped() const { return mapping_ != nullptr; }
 
+  /// Storage precision of the pivot table (set at build or restored by the
+  /// loaders).
+  TablePrecision table_precision() const { return precision_; }
+
   // PivotStageSearcher: the batched pivot stage of the query engine.
   std::size_t pivot_count() const override { return pivots_.size(); }
   std::string_view PivotString(std::size_t p) const override {
@@ -166,17 +180,45 @@ class Laesa final : public NearestNeighborSearcher, public PivotStageSearcher {
   /// The pivot table as a flat row-major view:
   /// table_data()[p * N + i] = d(store()[pivots_[p]], store()[i]); a
   /// visited pivot contributes one contiguous row. Backed by the owned
-  /// buffer (build/Load) or by the mapped file section (Map).
+  /// buffer (build/Load) or by the mapped file section (Map). f64 only —
+  /// quantized tables go through table_view().
   const double* table_data() const {
     return mapping_ ? mapped_table_ : pivot_dist_.data();
+  }
+
+  /// Quantized code array / per-row meta, owned or mapped (null for f64).
+  const void* quant_data() const {
+    return mapping_ ? mapped_quant_ : static_cast<const void*>(
+                                          quant_table_.data());
+  }
+  const QuantRowMeta* row_meta_data() const {
+    return mapping_ ? mapped_meta_ : row_meta_.data();
+  }
+
+  /// The any-precision view the sweeps dispatch through (table_quant.h).
+  QuantTableView table_view() const {
+    QuantTableView view;
+    view.precision = precision_;
+    if (precision_ == TablePrecision::kF64) {
+      view.f64 = table_data();
+    } else {
+      view.q = quant_data();
+      view.rows = row_meta_data();
+    }
+    return view;
   }
 
   PrototypeStoreRef prototypes_;
   StringDistancePtr distance_;
   std::vector<std::size_t> pivots_;
   std::vector<std::int32_t> pivot_rank_;  // prototype -> pivot ordinal or -1
-  std::vector<double> pivot_dist_;        // owned table; empty when mapped
+  TablePrecision precision_ = TablePrecision::kF64;
+  std::vector<double> pivot_dist_;        // owned f64 table; empty otherwise
+  std::vector<unsigned char> quant_table_;  // owned codes (non-f64)
+  std::vector<QuantRowMeta> row_meta_;      // per-row decode meta (non-f64)
   const double* mapped_table_ = nullptr;  // view into mapping_ when mapped
+  const void* mapped_quant_ = nullptr;    // quantized counterpart
+  const QuantRowMeta* mapped_meta_ = nullptr;
   std::shared_ptr<MappedFile> mapping_;
   std::uint64_t preprocessing_computations_ = 0;
 };

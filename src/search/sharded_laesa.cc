@@ -44,8 +44,11 @@ ShardedScratch& TlsShardedScratch() {
 
 ShardedLaesa::ShardedLaesa(const ShardedPrototypeStore& store,
                            StringDistancePtr distance, std::size_t num_pivots,
-                           std::size_t first_pivot)
-    : store_(&store), distance_(std::move(distance)) {
+                           std::size_t first_pivot,
+                           TablePrecision table_precision)
+    : store_(&store),
+      distance_(std::move(distance)),
+      precision_(table_precision) {
   if (store.empty()) {
     throw std::invalid_argument("ShardedLaesa: empty prototype set");
   }
@@ -88,6 +91,36 @@ void ShardedLaesa::BuildTables() {
         distance_->Distance(st.view(pivots_[p]), st.view(g));
   });
   preprocessing_computations_ += static_cast<std::uint64_t>(p_count) * n;
+
+  if (precision_ != TablePrecision::kF64) {
+    // Quantize each GLOBAL pivot row with one shared meta: scan every
+    // shard's slice of the row first (shard order == global index order),
+    // then encode the slices against that meta. A sharded build therefore
+    // produces exactly the codes and gaps a flat build of the same data
+    // would — sharded results stay bit-identical to flat at any precision.
+    const std::size_t width = TablePrecisionBytes(precision_);
+    quant_tables_.resize(st.shard_count());
+    for (std::size_t s = 0; s < st.shard_count(); ++s) {
+      quant_tables_[s].resize(p_count * st.shard(s).size() * width);
+    }
+    row_meta_.resize(p_count);
+    for (std::size_t p = 0; p < p_count; ++p) {
+      QuantRowEncoder enc;
+      for (std::size_t s = 0; s < st.shard_count(); ++s) {
+        enc.Scan(tables_[s].data() + p * st.shard(s).size(),
+                 st.shard(s).size());
+      }
+      enc.Prepare(precision_);
+      for (std::size_t s = 0; s < st.shard_count(); ++s) {
+        const std::size_t n_s = st.shard(s).size();
+        enc.Encode(tables_[s].data() + p * n_s, n_s,
+                   quant_tables_[s].data() + p * n_s * width);
+      }
+      row_meta_[p] = enc.Finish();
+    }
+    tables_.clear();
+    tables_.shrink_to_fit();
+  }
 }
 
 // The flat `Laesa::Sweep` with its per-visit pass partitioned by shard: the
@@ -162,12 +195,11 @@ std::vector<NeighborResult> ShardedLaesa::Sweep(std::string_view query,
       const std::size_t base = st.shard_base(sh);
       const std::size_t seg_live = scratch.live[sh];
       if (is_pivot) {
-        const double* row = shard_table(sh) +
-                            static_cast<std::size_t>(rank) *
-                                st.shard(sh).size();
-        kern.update_lower_packed(d, row, idx + base,
-                                 static_cast<std::uint32_t>(base),
-                                 lower + base, seg_live);
+        QuantUpdateLowerPacked(kern, shard_view(sh),
+                               static_cast<std::size_t>(rank),
+                               st.shard(sh).size(), d, idx + base,
+                               static_cast<std::uint32_t>(base), lower + base,
+                               seg_live);
       }
       scratch.pass[sh] = kern.eliminate_and_compact_flagged(
           idx + base, lower + base, pivot_rank_.data(), seg_live,
@@ -259,9 +291,9 @@ std::vector<NeighborResult> ShardedLaesa::SweepWithRow(
     const std::size_t base = st.shard_base(sh);
     const std::size_t n_sh = st.shard(sh).size();
     double* slow = lower + base;
-    const double* table = shard_table(sh);
+    const QuantTableView view = shard_view(sh);
     for (std::size_t p = 0; p < p_count; ++p) {
-      kern.update_lower_dense(row[p], table + p * n_sh, slow, n_sh);
+      QuantUpdateLowerDense(kern, view, p, n_sh, row[p], slow);
     }
     scratch.pass[sh] = kern.compact_seed(
         slow, pivot_rank_.data() + base, n_sh,
@@ -410,28 +442,59 @@ std::vector<NeighborResult> ShardedLaesa::KNearestWithPivotRow(
 namespace {
 constexpr char kShardedLaesaMagic[8] = {'C', 'N', 'E', 'D', 'S', 'H', 'L', '1'};
 constexpr std::uint32_t kShardedLaesaVersion = 1;
+// Version 2 stores a quantized table: counts {n, shards, np, precision},
+// sections shard sizes, pivot ids, the GLOBAL per-row meta
+// QuantRowMeta[np], then each shard's code table elem[np * n_s]. f64
+// indices keep writing version 1 byte-identically.
+constexpr std::uint32_t kShardedLaesaVersionQuant = 2;
+
+TablePrecision CheckedShardPrecision(std::uint64_t raw, const char* who) {
+  if (raw < 1 || raw > 3) {
+    throw std::runtime_error(std::string(who) + ": bad table precision");
+  }
+  return static_cast<TablePrecision>(static_cast<std::uint32_t>(raw));
+}
 }  // namespace
 
 void ShardedLaesa::Save(const std::string& path) const {
   BinaryWriter writer(path);
-  const std::uint64_t counts[3] = {store_->size(), store_->shard_count(),
-                                   pivots_.size()};
-  writer.Header(kShardedLaesaMagic, kShardedLaesaVersion, counts, 3);
   std::vector<std::uint64_t> sizes(store_->shard_count());
   for (std::size_t s = 0; s < sizes.size(); ++s) {
     sizes[s] = store_->shard(s).size();
   }
-  writer.Align();
-  writer.Raw(sizes.data(), sizes.size() * sizeof(std::uint64_t));
   static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
                 "64-bit pivot indices expected");
-  writer.Align();
-  writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
-  // Through the views, so a mapped index re-snapshots byte-identically.
-  for (std::size_t s = 0; s < store_->shard_count(); ++s) {
+  if (precision_ == TablePrecision::kF64) {
+    const std::uint64_t counts[3] = {store_->size(), store_->shard_count(),
+                                     pivots_.size()};
+    writer.Header(kShardedLaesaMagic, kShardedLaesaVersion, counts, 3);
     writer.Align();
-    writer.Raw(shard_table(s),
-               pivots_.size() * store_->shard(s).size() * sizeof(double));
+    writer.Raw(sizes.data(), sizes.size() * sizeof(std::uint64_t));
+    writer.Align();
+    writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
+    // Through the views, so a mapped index re-snapshots byte-identically.
+    for (std::size_t s = 0; s < store_->shard_count(); ++s) {
+      writer.Align();
+      writer.Raw(shard_table(s),
+                 pivots_.size() * store_->shard(s).size() * sizeof(double));
+    }
+  } else {
+    const std::uint64_t counts[4] = {store_->size(), store_->shard_count(),
+                                     pivots_.size(),
+                                     static_cast<std::uint64_t>(precision_)};
+    writer.Header(kShardedLaesaMagic, kShardedLaesaVersionQuant, counts, 4);
+    writer.Align();
+    writer.Raw(sizes.data(), sizes.size() * sizeof(std::uint64_t));
+    writer.Align();
+    writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
+    writer.Align();
+    writer.Raw(row_meta_data(), pivots_.size() * sizeof(QuantRowMeta));
+    const std::size_t width = TablePrecisionBytes(precision_);
+    for (std::size_t s = 0; s < store_->shard_count(); ++s) {
+      writer.Align();
+      writer.Raw(shard_quant(s),
+                 pivots_.size() * store_->shard(s).size() * width);
+    }
   }
   writer.Finish();
 }
@@ -442,11 +505,27 @@ void ShardedLaesa::SaveShard(std::size_t s, const std::string& path) const {
   const std::uint64_t counts[6] = {store_->size(), store_->shard_count(),
                                    pivots_.size(),  s,
                                    n_s,             store_->shard_base(s)};
-  writer.Header(kShardSliceMagic, kShardSliceVersion, counts, 6);
-  writer.Align();
-  writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
-  writer.Align();
-  writer.Raw(shard_table(s), pivots_.size() * n_s * sizeof(double));
+  if (precision_ == TablePrecision::kF64) {
+    writer.Header(kShardSliceMagic, kShardSliceVersion, counts, 6);
+    writer.Align();
+    writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
+    writer.Align();
+    writer.Raw(shard_table(s), pivots_.size() * n_s * sizeof(double));
+  } else {
+    // All six header counts are taken, so v2 leads with an extra
+    // {precision, reserved} section (see serve/shard_snapshot.h).
+    writer.Header(kShardSliceMagic, kShardSliceVersionQuant, counts, 6);
+    const std::uint64_t prec[2] = {static_cast<std::uint64_t>(precision_), 0};
+    writer.Align();
+    writer.Raw(prec, sizeof(prec));
+    writer.Align();
+    writer.Raw(pivots_.data(), pivots_.size() * sizeof(std::uint64_t));
+    writer.Align();
+    writer.Raw(row_meta_data(), pivots_.size() * sizeof(QuantRowMeta));
+    writer.Align();
+    writer.Raw(shard_quant(s),
+               pivots_.size() * n_s * TablePrecisionBytes(precision_));
+  }
   writer.Finish();
 }
 
@@ -483,7 +562,9 @@ ShardedLaesa ShardedLaesa::Load(const std::string& path,
                                 const ShardedPrototypeStore& store,
                                 StringDistancePtr distance) {
   BinaryReader reader(path);
-  const auto counts = reader.Header(kShardedLaesaMagic, kShardedLaesaVersion);
+  std::uint32_t version = 0;
+  const auto counts = reader.Header(kShardedLaesaMagic, kShardedLaesaVersion,
+                                    kShardedLaesaVersionQuant, &version);
   const std::uint64_t n = counts[0];
   const std::uint64_t shards = counts[1];
   const std::uint64_t np = counts[2];
@@ -517,12 +598,28 @@ ShardedLaesa ShardedLaesa::Load(const std::string& path,
     }
     index.pivot_rank_[index.pivots_[p]] = static_cast<std::int32_t>(p);
   }
-  index.tables_.resize(shards);
-  for (std::uint64_t s = 0; s < shards; ++s) {
-    reader.RequireArray(np * sizes[s], sizeof(double));
-    index.tables_[s].resize(np * sizes[s]);
+  if (version == kShardedLaesaVersion) {
+    index.tables_.resize(shards);
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      reader.RequireArray(np * sizes[s], sizeof(double));
+      index.tables_[s].resize(np * sizes[s]);
+      reader.Align();
+      reader.Raw(index.tables_[s].data(), np * sizes[s] * sizeof(double));
+    }
+  } else {
+    index.precision_ = CheckedShardPrecision(counts[3], "ShardedLaesa::Load");
+    const std::size_t width = TablePrecisionBytes(index.precision_);
+    reader.RequireArray(np, sizeof(QuantRowMeta));
+    index.row_meta_.resize(np);
     reader.Align();
-    reader.Raw(index.tables_[s].data(), np * sizes[s] * sizeof(double));
+    reader.Raw(index.row_meta_.data(), np * sizeof(QuantRowMeta));
+    index.quant_tables_.resize(shards);
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      reader.RequireArray(np * sizes[s], width);
+      index.quant_tables_[s].resize(np * sizes[s] * width);
+      reader.Align();
+      reader.Raw(index.quant_tables_[s].data(), np * sizes[s] * width);
+    }
   }
   return index;
 }
@@ -531,7 +628,9 @@ ShardedLaesa ShardedLaesa::Map(const std::string& path,
                                const ShardedPrototypeStore& store,
                                StringDistancePtr distance) {
   MappedReader reader(MappedFile::Open(path));
-  const auto counts = reader.Header(kShardedLaesaMagic, kShardedLaesaVersion);
+  std::uint32_t version = 0;
+  const auto counts = reader.Header(kShardedLaesaMagic, kShardedLaesaVersion,
+                                    kShardedLaesaVersionQuant, &version);
   const std::uint64_t n = counts[0];
   const std::uint64_t shards = counts[1];
   const std::uint64_t np = counts[2];
@@ -562,11 +661,21 @@ ShardedLaesa ShardedLaesa::Map(const std::string& path,
     }
     index.pivot_rank_[index.pivots_[p]] = static_cast<std::int32_t>(p);
   }
-  index.mapped_tables_.resize(shards);
-  for (std::uint64_t s = 0; s < shards; ++s) {
-    // sizes[s] was validated against the live store, so np * sizes[s]
-    // cannot wrap before Array()'s division-form extent check sees it.
-    index.mapped_tables_[s] = reader.Array<double>(np * sizes[s]);
+  if (version == kShardedLaesaVersion) {
+    index.mapped_tables_.resize(shards);
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      // sizes[s] was validated against the live store, so np * sizes[s]
+      // cannot wrap before Array()'s division-form extent check sees it.
+      index.mapped_tables_[s] = reader.Array<double>(np * sizes[s]);
+    }
+  } else {
+    index.precision_ = CheckedShardPrecision(counts[3], "ShardedLaesa::Map");
+    const std::size_t width = TablePrecisionBytes(index.precision_);
+    index.mapped_meta_ = reader.Array<QuantRowMeta>(np);
+    index.mapped_quants_.resize(shards);
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      index.mapped_quants_[s] = reader.Section(np * sizes[s], width);
+    }
   }
   index.mapping_ = reader.file();
   return index;

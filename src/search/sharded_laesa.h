@@ -11,6 +11,7 @@
 #include "search/nn_searcher.h"
 #include "search/pivot_stage.h"
 #include "search/sharded_searcher.h"
+#include "search/table_quant.h"
 
 namespace cned {
 
@@ -52,8 +53,14 @@ class ShardedLaesa final : public NearestNeighborSearcher,
   /// global set, starting from global index `first_pivot`. `store` is
   /// borrowed — the caller keeps it alive. Costs ~2·num_pivots·N distance
   /// evaluations, the same as the flat index.
+  ///
+  /// `table_precision` quantizes the shard tables exactly as in `Laesa`:
+  /// each GLOBAL pivot row gets one shared decode meta (scanned across all
+  /// shards before encoding), so a sharded build stays bit-identical to the
+  /// flat build at the same precision.
   ShardedLaesa(const ShardedPrototypeStore& store, StringDistancePtr distance,
-               std::size_t num_pivots, std::size_t first_pivot = 0);
+               std::size_t num_pivots, std::size_t first_pivot = 0,
+               TablePrecision table_precision = DefaultTablePrecision());
 
   /// Nearest prototype (global index). `shard_stats`, when non-null, must
   /// point at shard_count() entries; each visited candidate's evaluation is
@@ -169,6 +176,9 @@ class ShardedLaesa final : public NearestNeighborSearcher,
   /// True when the shard tables alias a mapped snapshot.
   bool mapped() const { return mapping_ != nullptr; }
 
+  /// Storage precision of the shard tables.
+  TablePrecision table_precision() const { return precision_; }
+
  private:
   struct InternalTag {};
   ShardedLaesa(InternalTag, const ShardedPrototypeStore& store,
@@ -198,12 +208,42 @@ class ShardedLaesa final : public NearestNeighborSearcher,
     return mapping_ ? mapped_tables_[s] : tables_[s].data();
   }
 
+  /// Shard s's quantized code table / the GLOBAL per-row meta, owned or
+  /// mapped (meaningless for f64).
+  const void* shard_quant(std::size_t s) const {
+    return mapping_ ? mapped_quants_[s]
+                    : static_cast<const void*>(quant_tables_[s].data());
+  }
+  const QuantRowMeta* row_meta_data() const {
+    return mapping_ ? mapped_meta_ : row_meta_.data();
+  }
+
+  /// The any-precision view of shard s's table (table_quant.h). The meta
+  /// is global — every shard decodes a pivot row with the same
+  /// scale/offset/gap, which is what keeps sharded == flat bitwise.
+  QuantTableView shard_view(std::size_t s) const {
+    QuantTableView view;
+    view.precision = precision_;
+    if (precision_ == TablePrecision::kF64) {
+      view.f64 = shard_table(s);
+    } else {
+      view.q = shard_quant(s);
+      view.rows = row_meta_data();
+    }
+    return view;
+  }
+
   const ShardedPrototypeStore* store_;
   StringDistancePtr distance_;
   std::vector<std::size_t> pivots_;       // global indices, distinct
   std::vector<std::int32_t> pivot_rank_;  // global index -> ordinal or -1
-  std::vector<std::vector<double>> tables_;  // owned tables; empty when mapped
+  TablePrecision precision_ = TablePrecision::kF64;
+  std::vector<std::vector<double>> tables_;  // owned f64 tables; else empty
+  std::vector<std::vector<unsigned char>> quant_tables_;  // owned codes
+  std::vector<QuantRowMeta> row_meta_;  // global per-row meta (non-f64)
   std::vector<const double*> mapped_tables_;  // views into mapping_
+  std::vector<const void*> mapped_quants_;    // quantized counterparts
+  const QuantRowMeta* mapped_meta_ = nullptr;
   std::shared_ptr<MappedFile> mapping_;
   std::uint64_t preprocessing_computations_ = 0;
 };

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/cpu_features.h"
+#include "search/table_quant.h"  // HalfToDouble: the shared exact f16 decode
 
 namespace cned {
 namespace {
@@ -30,6 +31,78 @@ void ScalarUpdateLowerPacked(double d, const double* row,
                              double* lower, std::size_t live) {
   for (std::size_t r = 0; r < live; ++r) {
     const double g = std::abs(d - row[idx[r] - base]);
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+// The quantized arm max documented in sweep_kernel.h: given diff = v - d,
+// g = max(v - d, (d - v) - gap) with the same tie handling as the vector
+// max (the second arm wins ties — irrelevant for the final result, but it
+// keeps every variant literally identical).
+inline double QuantArmMax(double diff, double gap) {
+  const double other = (-diff) - gap;
+  return diff > other ? diff : other;
+}
+
+void ScalarUpdateLowerDenseF32(double d, const float* row, double gap,
+                               double* lower, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = static_cast<double>(row[i]) - d;
+    const double g = QuantArmMax(diff, gap);
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void ScalarUpdateLowerPackedF32(double d, const float* row,
+                                const std::uint32_t* idx, std::uint32_t base,
+                                double gap, double* lower, std::size_t live) {
+  for (std::size_t r = 0; r < live; ++r) {
+    const double diff = static_cast<double>(row[idx[r] - base]) - d;
+    const double g = QuantArmMax(diff, gap);
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+void ScalarUpdateLowerDenseF16(double d, const std::uint16_t* row, double gap,
+                               double* lower, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = HalfToDouble(row[i]) - d;
+    const double g = QuantArmMax(diff, gap);
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void ScalarUpdateLowerPackedF16(double d, const std::uint16_t* row,
+                                const std::uint32_t* idx, std::uint32_t base,
+                                double gap, double* lower, std::size_t live) {
+  for (std::size_t r = 0; r < live; ++r) {
+    const double diff = HalfToDouble(row[idx[r] - base]) - d;
+    const double g = QuantArmMax(diff, gap);
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+void ScalarUpdateLowerDenseU8(double d, const std::uint8_t* row, double scale,
+                              double offset, double gap, double* lower,
+                              std::size_t n) {
+  const double dq = d - offset;  // once per call, shared by every lane
+  for (std::size_t i = 0; i < n; ++i) {
+    const double m = static_cast<double>(row[i]) * scale;
+    const double diff = m - dq;
+    const double g = QuantArmMax(diff, gap);
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void ScalarUpdateLowerPackedU8(double d, const std::uint8_t* row,
+                               const std::uint32_t* idx, std::uint32_t base,
+                               double scale, double offset, double gap,
+                               double* lower, std::size_t live) {
+  const double dq = d - offset;
+  for (std::size_t r = 0; r < live; ++r) {
+    const double m = static_cast<double>(row[idx[r] - base]) * scale;
+    const double diff = m - dq;
+    const double g = QuantArmMax(diff, gap);
     if (g > lower[r]) lower[r] = g;
   }
 }
@@ -125,15 +198,23 @@ SweepCompactResult ScalarCompactSeed(const double* lower_dense,
 }  // namespace
 
 const SweepKernels& ScalarSweepKernels() {
-  static const SweepKernels kScalar = {
-      "scalar",
-      ScalarUpdateLowerDense,
-      ScalarUpdateLowerPacked,
-      ScalarFillAbsDiffBounds,
-      ScalarEliminateAndCompact,
-      ScalarEliminateAndCompactFlagged,
-      ScalarCompactSeed,
-  };
+  static const SweepKernels kScalar = [] {
+    SweepKernels k{};
+    k.name = "scalar";
+    k.update_lower_dense = ScalarUpdateLowerDense;
+    k.update_lower_packed = ScalarUpdateLowerPacked;
+    k.update_lower_dense_f32 = ScalarUpdateLowerDenseF32;
+    k.update_lower_packed_f32 = ScalarUpdateLowerPackedF32;
+    k.update_lower_dense_f16 = ScalarUpdateLowerDenseF16;
+    k.update_lower_packed_f16 = ScalarUpdateLowerPackedF16;
+    k.update_lower_dense_u8 = ScalarUpdateLowerDenseU8;
+    k.update_lower_packed_u8 = ScalarUpdateLowerPackedU8;
+    k.fill_absdiff_bounds = ScalarFillAbsDiffBounds;
+    k.eliminate_and_compact = ScalarEliminateAndCompact;
+    k.eliminate_and_compact_flagged = ScalarEliminateAndCompactFlagged;
+    k.compact_seed = ScalarCompactSeed;
+    return k;
+  }();
   return kScalar;
 }
 

@@ -93,6 +93,44 @@ struct SweepKernels {
                               const std::uint32_t* idx, std::uint32_t base,
                               double* lower, std::size_t live);
 
+  /// --- Quantized row application (see search/table_quant.h). -----------
+  ///
+  /// Same dense/packed tightening over rows stored in a narrow element
+  /// type. Each row carries decode metadata (QuantRowMeta): a row gap for
+  /// every narrow precision, plus an affine scale/offset for u8. The
+  /// shared reference semantics — identical op-for-op in every variant,
+  /// never contracted into FMA (the library builds with -ffp-contract=off):
+  ///
+  ///   v    = decode(row[i])            // exact widen; u8: see below
+  ///   diff = v - d                     // one rounded subtraction
+  ///   g    = diff > (-diff) - gap ? diff : (-diff) - gap
+  ///   lower = g > lower ? g : lower    // same tie handling as above
+  ///
+  /// decode(): f32 is a widening cast (exact); f16 is the bit-shift float
+  /// reconstruction in HalfToDouble (exact); u8 computes d' = d - offset
+  /// ONCE per call and per lane v' = double(code) * scale (one rounded
+  /// multiply), with diff = v' - d'. Because v decodes to a value <= the
+  /// exact table entry t and gap >= t - v (both enforced by the build-time
+  /// encoder with this same arithmetic), g is an admissible lower bound of
+  /// |d - t| in every lane.
+  void (*update_lower_dense_f32)(double d, const float* row, double gap,
+                                 double* lower, std::size_t n);
+  void (*update_lower_packed_f32)(double d, const float* row,
+                                  const std::uint32_t* idx, std::uint32_t base,
+                                  double gap, double* lower, std::size_t live);
+  void (*update_lower_dense_f16)(double d, const std::uint16_t* row,
+                                 double gap, double* lower, std::size_t n);
+  void (*update_lower_packed_f16)(double d, const std::uint16_t* row,
+                                  const std::uint32_t* idx, std::uint32_t base,
+                                  double gap, double* lower, std::size_t live);
+  void (*update_lower_dense_u8)(double d, const std::uint8_t* row,
+                                double scale, double offset, double gap,
+                                double* lower, std::size_t n);
+  void (*update_lower_packed_u8)(double d, const std::uint8_t* row,
+                                 const std::uint32_t* idx, std::uint32_t base,
+                                 double scale, double offset, double gap,
+                                 double* lower, std::size_t live);
+
   /// The |Δlen| zeroth-pivot fill: out[i] = |x_len - y_lens[i]| as a
   /// double, over a store's packed 32-bit length array. This is the
   /// unit-cost edit-distance length bound; the normalised distances derive

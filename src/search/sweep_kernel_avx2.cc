@@ -39,8 +39,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 
 #include "search/sweep_kernel.h"
+#include "search/table_quant.h"  // HalfToDouble for the f16 scalar tails
 
 namespace cned {
 namespace {
@@ -131,6 +133,191 @@ void Avx2UpdateLowerPacked(double d, const double* row,
   }
   for (; r < live; ++r) {
     const double g = std::abs(d - row[idx[r] - base]);
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+// --- Quantized row kernels (semantics in sweep_kernel.h). ------------------
+//
+// Every decode is exact, so the only rounded operations are the same
+// subtractions/multiply the scalar kernels perform:
+//  * f32 widens with cvtps_pd (exact).
+//  * f16 reconstructs the float by shifting the half's exponent+mantissa
+//    into float position and rescaling by 2^112f — an exact power-of-two
+//    multiply, bit-identical to HalfToDouble.
+//  * u8 widens the code via cvtepi32_pd (exact for 0..255) and multiplies
+//    by the row scale — the ONE rounded multiply, same as the scalar
+//    per-lane `double(code) * scale`. No FMA, so diff = m - d' cannot be
+//    contracted with it.
+
+/// max(diff, (-diff) - gap): sign-flip is exact, the subtraction is the
+/// scalar's, and maxpd(diff, other) returns `other` on ties — exactly the
+/// scalar ternary `diff > other ? diff : other`.
+inline __m256d QuantArms(__m256d diff, __m256d vgap) {
+  const __m256d other =
+      _mm256_sub_pd(_mm256_xor_pd(diff, _mm256_set1_pd(-0.0)), vgap);
+  return _mm256_max_pd(diff, other);
+}
+
+/// Exact decode of 4 binary16 codes sitting in u32 lanes.
+inline __m256d DecodeHalfCodes(__m128i codes32) {
+  const __m128i bits =
+      _mm_slli_epi32(_mm_and_si128(codes32, _mm_set1_epi32(0x7FFF)), 13);
+  const __m128 f = _mm_mul_ps(_mm_castsi128_ps(bits), _mm_set1_ps(0x1p112f));
+  return _mm256_cvtps_pd(f);
+}
+
+/// 4 u8 codes -> u32 lanes (unaligned 4-byte load).
+inline __m128i LoadU8x4(const std::uint8_t* p) {
+  std::uint32_t four;
+  std::memcpy(&four, p, sizeof(four));
+  return _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(four)));
+}
+
+void Avx2UpdateLowerDenseF32(double d, const float* row, double gap,
+                             double* lower, std::size_t n) {
+  const __m256d vd = _mm256_set1_pd(d);
+  const __m256d vgap = _mm256_set1_pd(gap);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(row + i));
+    const __m256d g = QuantArms(_mm256_sub_pd(v, vd), vgap);
+    _mm256_storeu_pd(lower + i, _mm256_max_pd(g, _mm256_loadu_pd(lower + i)));
+  }
+  for (; i < n; ++i) {
+    const double diff = static_cast<double>(row[i]) - d;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void Avx2UpdateLowerPackedF32(double d, const float* row,
+                              const std::uint32_t* idx, std::uint32_t base,
+                              double gap, double* lower, std::size_t live) {
+  const __m256d vd = _mm256_set1_pd(d);
+  const __m256d vgap = _mm256_set1_pd(gap);
+  const __m128i vbase = _mm_set1_epi32(static_cast<int>(base));
+  std::size_t r = 0;
+  for (; r + 4 <= live; r += 4) {
+    const std::uint32_t first = idx[r];
+    const __m128 rows =
+        idx[r + 3] - first == 3
+            ? _mm_loadu_ps(row + (first - base))
+            : _mm_i32gather_ps(
+                  row,
+                  _mm_sub_epi32(_mm_loadu_si128(
+                                    reinterpret_cast<const __m128i*>(idx + r)),
+                                vbase),
+                  4);
+    const __m256d g =
+        QuantArms(_mm256_sub_pd(_mm256_cvtps_pd(rows), vd), vgap);
+    _mm256_storeu_pd(lower + r, _mm256_max_pd(g, _mm256_loadu_pd(lower + r)));
+  }
+  for (; r < live; ++r) {
+    const double diff = static_cast<double>(row[idx[r] - base]) - d;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+void Avx2UpdateLowerDenseF16(double d, const std::uint16_t* row, double gap,
+                             double* lower, std::size_t n) {
+  const __m256d vd = _mm256_set1_pd(d);
+  const __m256d vgap = _mm256_set1_pd(gap);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i codes = _mm_cvtepu16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + i)));
+    const __m256d g =
+        QuantArms(_mm256_sub_pd(DecodeHalfCodes(codes), vd), vgap);
+    _mm256_storeu_pd(lower + i, _mm256_max_pd(g, _mm256_loadu_pd(lower + i)));
+  }
+  for (; i < n; ++i) {
+    const double diff = HalfToDouble(row[i]) - d;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void Avx2UpdateLowerPackedF16(double d, const std::uint16_t* row,
+                              const std::uint32_t* idx, std::uint32_t base,
+                              double gap, double* lower, std::size_t live) {
+  const __m256d vd = _mm256_set1_pd(d);
+  const __m256d vgap = _mm256_set1_pd(gap);
+  std::size_t r = 0;
+  for (; r + 4 <= live; r += 4) {
+    const std::uint32_t first = idx[r];
+    // No 16-bit hardware gather exists; scatter-load the four codes when
+    // the block isn't contiguous.
+    const __m128i codes =
+        idx[r + 3] - first == 3
+            ? _mm_cvtepu16_epi32(_mm_loadl_epi64(
+                  reinterpret_cast<const __m128i*>(row + (first - base))))
+            : _mm_setr_epi32(row[idx[r] - base], row[idx[r + 1] - base],
+                             row[idx[r + 2] - base], row[idx[r + 3] - base]);
+    const __m256d g =
+        QuantArms(_mm256_sub_pd(DecodeHalfCodes(codes), vd), vgap);
+    _mm256_storeu_pd(lower + r, _mm256_max_pd(g, _mm256_loadu_pd(lower + r)));
+  }
+  for (; r < live; ++r) {
+    const double diff = HalfToDouble(row[idx[r] - base]) - d;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+void Avx2UpdateLowerDenseU8(double d, const std::uint8_t* row, double scale,
+                            double offset, double gap, double* lower,
+                            std::size_t n) {
+  const double dq = d - offset;  // once per call, as in the scalar kernel
+  const __m256d vdq = _mm256_set1_pd(dq);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d vgap = _mm256_set1_pd(gap);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d m =
+        _mm256_mul_pd(_mm256_cvtepi32_pd(LoadU8x4(row + i)), vscale);
+    const __m256d g = QuantArms(_mm256_sub_pd(m, vdq), vgap);
+    _mm256_storeu_pd(lower + i, _mm256_max_pd(g, _mm256_loadu_pd(lower + i)));
+  }
+  for (; i < n; ++i) {
+    const double m = static_cast<double>(row[i]) * scale;
+    const double diff = m - dq;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void Avx2UpdateLowerPackedU8(double d, const std::uint8_t* row,
+                             const std::uint32_t* idx, std::uint32_t base,
+                             double scale, double offset, double gap,
+                             double* lower, std::size_t live) {
+  const double dq = d - offset;
+  const __m256d vdq = _mm256_set1_pd(dq);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d vgap = _mm256_set1_pd(gap);
+  std::size_t r = 0;
+  for (; r + 4 <= live; r += 4) {
+    const std::uint32_t first = idx[r];
+    const __m128i codes =
+        idx[r + 3] - first == 3
+            ? LoadU8x4(row + (first - base))
+            : _mm_setr_epi32(row[idx[r] - base], row[idx[r + 1] - base],
+                             row[idx[r + 2] - base], row[idx[r + 3] - base]);
+    const __m256d m = _mm256_mul_pd(_mm256_cvtepi32_pd(codes), vscale);
+    const __m256d g = QuantArms(_mm256_sub_pd(m, vdq), vgap);
+    _mm256_storeu_pd(lower + r, _mm256_max_pd(g, _mm256_loadu_pd(lower + r)));
+  }
+  for (; r < live; ++r) {
+    const double m = static_cast<double>(row[idx[r] - base]) * scale;
+    const double diff = m - dq;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
     if (g > lower[r]) lower[r] = g;
   }
 }
@@ -367,15 +554,23 @@ SweepCompactResult Avx2CompactSeed(const double* lower_dense,
 }  // namespace
 
 const SweepKernels& Avx2SweepKernels() {
-  static const SweepKernels kAvx2 = {
-      "avx2",
-      Avx2UpdateLowerDense,
-      Avx2UpdateLowerPacked,
-      Avx2FillAbsDiffBounds,
-      Avx2EliminateAndCompact,
-      Avx2EliminateAndCompactFlagged,
-      Avx2CompactSeed,
-  };
+  static const SweepKernels kAvx2 = [] {
+    SweepKernels k{};
+    k.name = "avx2";
+    k.update_lower_dense = Avx2UpdateLowerDense;
+    k.update_lower_packed = Avx2UpdateLowerPacked;
+    k.update_lower_dense_f32 = Avx2UpdateLowerDenseF32;
+    k.update_lower_packed_f32 = Avx2UpdateLowerPackedF32;
+    k.update_lower_dense_f16 = Avx2UpdateLowerDenseF16;
+    k.update_lower_packed_f16 = Avx2UpdateLowerPackedF16;
+    k.update_lower_dense_u8 = Avx2UpdateLowerDenseU8;
+    k.update_lower_packed_u8 = Avx2UpdateLowerPackedU8;
+    k.fill_absdiff_bounds = Avx2FillAbsDiffBounds;
+    k.eliminate_and_compact = Avx2EliminateAndCompact;
+    k.eliminate_and_compact_flagged = Avx2EliminateAndCompactFlagged;
+    k.compact_seed = Avx2CompactSeed;
+    return k;
+  }();
   return kAvx2;
 }
 

@@ -24,9 +24,18 @@
 #include <cstdint>
 
 #include "search/sweep_kernel.h"
+#include "search/table_quant.h"  // HalfToDouble: the shared exact f16 decode
 
 namespace cned {
 namespace {
+
+// Quantized arm max (semantics in sweep_kernel.h): negation is exact, the
+// subtraction is the scalar's, and compare+select reproduces the scalar
+// ternary `diff > other ? diff : other` including ties.
+inline float64x2_t QuantArms(float64x2_t diff, float64x2_t vgap) {
+  const float64x2_t other = vsubq_f64(vnegq_f64(diff), vgap);
+  return vbslq_f64(vcgtq_f64(diff, other), diff, other);
+}
 
 void NeonUpdateLowerDense(double d, const double* row, double* lower,
                           std::size_t n) {
@@ -63,6 +72,143 @@ void NeonUpdateLowerPacked(double d, const double* row,
   }
 }
 
+// --- Quantized row kernels. ------------------------------------------------
+// Decodes run per lane in scalar (they are exact, so any exact decode
+// agrees bitwise; the u8 per-lane `double(code) * scale` is the same one
+// rounded multiply in scalar or vector form — and the library builds with
+// -ffp-contract=off, so it can never be fused into the vector subtract).
+// The arm max and the running-max update are vectorised 2-wide.
+
+void NeonUpdateLowerDenseF32(double d, const float* row, double gap,
+                             double* lower, std::size_t n) {
+  const float64x2_t vd = vdupq_n_f64(d);
+  const float64x2_t vgap = vdupq_n_f64(gap);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vcvt_f64_f32(vld1_f32(row + i));  // exact widen
+    const float64x2_t g = QuantArms(vsubq_f64(v, vd), vgap);
+    const float64x2_t lb = vld1q_f64(lower + i);
+    vst1q_f64(lower + i, vbslq_f64(vcgtq_f64(g, lb), g, lb));
+  }
+  for (; i < n; ++i) {
+    const double diff = static_cast<double>(row[i]) - d;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void NeonUpdateLowerPackedF32(double d, const float* row,
+                              const std::uint32_t* idx, std::uint32_t base,
+                              double gap, double* lower, std::size_t live) {
+  const float64x2_t vd = vdupq_n_f64(d);
+  const float64x2_t vgap = vdupq_n_f64(gap);
+  std::size_t r = 0;
+  for (; r + 2 <= live; r += 2) {
+    float64x2_t v = vdupq_n_f64(static_cast<double>(row[idx[r] - base]));
+    v = vsetq_lane_f64(static_cast<double>(row[idx[r + 1] - base]), v, 1);
+    const float64x2_t g = QuantArms(vsubq_f64(v, vd), vgap);
+    const float64x2_t lb = vld1q_f64(lower + r);
+    vst1q_f64(lower + r, vbslq_f64(vcgtq_f64(g, lb), g, lb));
+  }
+  for (; r < live; ++r) {
+    const double diff = static_cast<double>(row[idx[r] - base]) - d;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+void NeonUpdateLowerDenseF16(double d, const std::uint16_t* row, double gap,
+                             double* lower, std::size_t n) {
+  const float64x2_t vd = vdupq_n_f64(d);
+  const float64x2_t vgap = vdupq_n_f64(gap);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t v = vdupq_n_f64(HalfToDouble(row[i]));
+    v = vsetq_lane_f64(HalfToDouble(row[i + 1]), v, 1);
+    const float64x2_t g = QuantArms(vsubq_f64(v, vd), vgap);
+    const float64x2_t lb = vld1q_f64(lower + i);
+    vst1q_f64(lower + i, vbslq_f64(vcgtq_f64(g, lb), g, lb));
+  }
+  for (; i < n; ++i) {
+    const double diff = HalfToDouble(row[i]) - d;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void NeonUpdateLowerPackedF16(double d, const std::uint16_t* row,
+                              const std::uint32_t* idx, std::uint32_t base,
+                              double gap, double* lower, std::size_t live) {
+  const float64x2_t vd = vdupq_n_f64(d);
+  const float64x2_t vgap = vdupq_n_f64(gap);
+  std::size_t r = 0;
+  for (; r + 2 <= live; r += 2) {
+    float64x2_t v = vdupq_n_f64(HalfToDouble(row[idx[r] - base]));
+    v = vsetq_lane_f64(HalfToDouble(row[idx[r + 1] - base]), v, 1);
+    const float64x2_t g = QuantArms(vsubq_f64(v, vd), vgap);
+    const float64x2_t lb = vld1q_f64(lower + r);
+    vst1q_f64(lower + r, vbslq_f64(vcgtq_f64(g, lb), g, lb));
+  }
+  for (; r < live; ++r) {
+    const double diff = HalfToDouble(row[idx[r] - base]) - d;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
+void NeonUpdateLowerDenseU8(double d, const std::uint8_t* row, double scale,
+                            double offset, double gap, double* lower,
+                            std::size_t n) {
+  const double dq = d - offset;  // once per call, as in the scalar kernel
+  const float64x2_t vdq = vdupq_n_f64(dq);
+  const float64x2_t vgap = vdupq_n_f64(gap);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t m = vdupq_n_f64(static_cast<double>(row[i]) * scale);
+    m = vsetq_lane_f64(static_cast<double>(row[i + 1]) * scale, m, 1);
+    const float64x2_t g = QuantArms(vsubq_f64(m, vdq), vgap);
+    const float64x2_t lb = vld1q_f64(lower + i);
+    vst1q_f64(lower + i, vbslq_f64(vcgtq_f64(g, lb), g, lb));
+  }
+  for (; i < n; ++i) {
+    const double m = static_cast<double>(row[i]) * scale;
+    const double diff = m - dq;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[i]) lower[i] = g;
+  }
+}
+
+void NeonUpdateLowerPackedU8(double d, const std::uint8_t* row,
+                             const std::uint32_t* idx, std::uint32_t base,
+                             double scale, double offset, double gap,
+                             double* lower, std::size_t live) {
+  const double dq = d - offset;
+  const float64x2_t vdq = vdupq_n_f64(dq);
+  const float64x2_t vgap = vdupq_n_f64(gap);
+  std::size_t r = 0;
+  for (; r + 2 <= live; r += 2) {
+    float64x2_t m =
+        vdupq_n_f64(static_cast<double>(row[idx[r] - base]) * scale);
+    m = vsetq_lane_f64(static_cast<double>(row[idx[r + 1] - base]) * scale, m,
+                       1);
+    const float64x2_t g = QuantArms(vsubq_f64(m, vdq), vgap);
+    const float64x2_t lb = vld1q_f64(lower + r);
+    vst1q_f64(lower + r, vbslq_f64(vcgtq_f64(g, lb), g, lb));
+  }
+  for (; r < live; ++r) {
+    const double m = static_cast<double>(row[idx[r] - base]) * scale;
+    const double diff = m - dq;
+    const double other = (-diff) - gap;
+    const double g = diff > other ? diff : other;
+    if (g > lower[r]) lower[r] = g;
+  }
+}
+
 void NeonFillAbsDiffBounds(std::size_t x_len, const std::uint32_t* y_lens,
                            std::size_t n, double* out) {
   const float64x2_t vx = vdupq_n_f64(static_cast<double>(x_len));
@@ -88,6 +234,12 @@ const SweepKernels& NeonSweepKernels() {
     k.name = "neon";
     k.update_lower_dense = NeonUpdateLowerDense;
     k.update_lower_packed = NeonUpdateLowerPacked;
+    k.update_lower_dense_f32 = NeonUpdateLowerDenseF32;
+    k.update_lower_packed_f32 = NeonUpdateLowerPackedF32;
+    k.update_lower_dense_f16 = NeonUpdateLowerDenseF16;
+    k.update_lower_packed_f16 = NeonUpdateLowerPackedF16;
+    k.update_lower_dense_u8 = NeonUpdateLowerDenseU8;
+    k.update_lower_packed_u8 = NeonUpdateLowerPackedU8;
     k.fill_absdiff_bounds = NeonFillAbsDiffBounds;
     return k;
   }();

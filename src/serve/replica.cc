@@ -41,7 +41,9 @@ ShardReplica::ShardReplica(const std::string& store_path,
   store_ = PrototypeStore::Map(store_path);
 
   MappedReader reader(MappedFile::Open(index_path));
-  const auto counts = reader.Header(kShardSliceMagic, kShardSliceVersion);
+  std::uint32_t version = 0;
+  const auto counts = reader.Header(kShardSliceMagic, kShardSliceVersion,
+                                    kShardSliceVersionQuant, &version);
   n_total_ = counts[0];
   shard_count_ = counts[1];
   const std::uint64_t np = counts[2];
@@ -62,6 +64,16 @@ ShardReplica::ShardReplica(const std::string& store_path,
     throw std::runtime_error("ShardReplica: bad pivot count (" + index_path +
                              ")");
   }
+  if (version == kShardSliceVersionQuant) {
+    // v2 leads with the {precision, reserved} section (shard_snapshot.h).
+    const std::uint64_t* prec = reader.Array<std::uint64_t>(2);
+    if (prec[0] < 1 || prec[0] > 3) {
+      throw std::runtime_error("ShardReplica: bad table precision (" +
+                               index_path + ")");
+    }
+    precision_ =
+        static_cast<TablePrecision>(static_cast<std::uint32_t>(prec[0]));
+  }
   const std::uint64_t* pivots = reader.Array<std::uint64_t>(np);
   pivots_.assign(pivots, pivots + np);
   // Full-length rank array, exactly as the in-process index keeps it: the
@@ -75,7 +87,12 @@ ShardReplica::ShardReplica(const std::string& store_path,
     }
     pivot_rank_[pivots_[p]] = static_cast<std::int32_t>(p);
   }
-  table_ = reader.Array<double>(np * n_s);
+  if (version == kShardSliceVersion) {
+    table_ = reader.Array<double>(np * n_s);
+  } else {
+    row_meta_ = reader.Array<QuantRowMeta>(np);
+    qtable_ = reader.Section(np * n_s, TablePrecisionBytes(precision_));
+  }
   index_mapping_ = reader.file();
 
   idx_.resize(n_s);
@@ -103,8 +120,9 @@ SweepCompactResult ShardReplica::BeginRow(std::string_view query,
   const SweepKernels& kern = ActiveSweepKernels();
   distance_->LengthLowerBounds(query_.size(), store_.lengths_data(), n_s,
                                lower_.data());
+  const QuantTableView view = table_view();
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
-    kern.update_lower_dense(row[p], table_ + p * n_s, lower_.data(), n_s);
+    QuantUpdateLowerDense(kern, view, p, n_s, row[p], lower_.data());
   }
   const SweepCompactResult out = kern.compact_seed(
       lower_.data(), pivot_rank_.data() + base_, n_s,
@@ -127,11 +145,10 @@ SweepCompactResult ShardReplica::Step(std::uint32_t skip, std::int32_t rank,
                                       double d, double slack, double bound) {
   const SweepKernels& kern = ActiveSweepKernels();
   if (rank >= 0) {
-    const double* row =
-        table_ + static_cast<std::size_t>(rank) * store_.size();
-    kern.update_lower_packed(d, row, idx_.data(),
-                             static_cast<std::uint32_t>(base_), lower_.data(),
-                             live_);
+    QuantUpdateLowerPacked(kern, table_view(),
+                           static_cast<std::size_t>(rank), store_.size(), d,
+                           idx_.data(), static_cast<std::uint32_t>(base_),
+                           lower_.data(), live_);
   }
   const SweepCompactResult out = kern.eliminate_and_compact_flagged(
       idx_.data(), lower_.data(), pivot_rank_.data(), live_, skip, slack,

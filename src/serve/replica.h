@@ -11,6 +11,7 @@
 #include "datasets/prototype_store.h"
 #include "distances/distance.h"
 #include "search/sweep_kernel.h"
+#include "search/table_quant.h"
 
 namespace cned {
 
@@ -43,6 +44,10 @@ class ShardReplica {
   std::size_t size() const { return store_.size(); }
   std::size_t total_size() const { return n_total_; }
   std::size_t num_pivots() const { return pivots_.size(); }
+
+  /// Storage precision of the mapped table slice (shard_snapshot.h v2
+  /// carries quantized tables; v1 is always f64).
+  TablePrecision table_precision() const { return precision_; }
 
   /// Candidates still live in this shard's segment.
   std::size_t live() const { return live_; }
@@ -84,11 +89,29 @@ class ShardReplica {
   std::size_t n_total_ = 0;
   std::size_t shard_count_ = 0;
 
+  /// The any-precision view of the mapped table slice (table_quant.h). The
+  /// row meta is the GLOBAL per-row meta the build computed, so a worker's
+  /// bounds match the in-process sharded index bit for bit.
+  QuantTableView table_view() const {
+    QuantTableView view;
+    view.precision = precision_;
+    if (precision_ == TablePrecision::kF64) {
+      view.f64 = table_;
+    } else {
+      view.q = qtable_;
+      view.rows = row_meta_;
+    }
+    return view;
+  }
+
   PrototypeStore store_;  // mapped shard store
   StringDistancePtr distance_;
   std::vector<std::size_t> pivots_;       // global pivot ids
   std::vector<std::int32_t> pivot_rank_;  // global id -> ordinal or -1
-  const double* table_ = nullptr;         // row-major np x n_s, mapped
+  TablePrecision precision_ = TablePrecision::kF64;
+  const double* table_ = nullptr;         // row-major np x n_s, mapped (f64)
+  const void* qtable_ = nullptr;          // quantized codes, mapped (v2)
+  const QuantRowMeta* row_meta_ = nullptr;  // global per-row meta, mapped
   std::shared_ptr<MappedFile> index_mapping_;
 
   std::string query_;  // current query (set by Begin*)

@@ -20,6 +20,13 @@ namespace cned {
 ///                     {n, shards, np, shard_id, n_s, base}; sections
 ///                     pivot ids u64[np], table f64[np * n_s]
 ///
+/// Version 2 of the shard slice carries a quantized table (table_quant.h):
+/// all six header counts are occupied, so the precision rides in an extra
+/// leading section u64[2] = {precision, reserved}, followed by pivot ids
+/// u64[np], the GLOBAL per-row decode meta QuantRowMeta[np], and the code
+/// table elem[np * n_s] at the precision's element width. f64 snapshots
+/// keep writing version 1 byte-identically.
+///
 /// Each worker process opens only its own two shard files (checksum-
 /// verified, then mapped in place); the router opens only the manifest.
 /// No process ever holds the whole index.
@@ -27,6 +34,7 @@ namespace cned {
 inline constexpr char kShardSliceMagic[8] = {'C', 'N', 'E', 'D',
                                              'S', 'H', 'W', '1'};
 inline constexpr std::uint32_t kShardSliceVersion = 1;
+inline constexpr std::uint32_t kShardSliceVersionQuant = 2;
 inline constexpr char kRouterManifestMagic[8] = {'C', 'N', 'E', 'D',
                                                  'S', 'R', 'M', '1'};
 inline constexpr std::uint32_t kRouterManifestVersion = 1;

@@ -21,6 +21,7 @@
 #include "distances/registry.h"
 #include "search/laesa.h"
 #include "search/sharded_laesa.h"
+#include "search/table_quant.h"
 #include "tests/snapshot_test_util.h"
 
 namespace cned {
@@ -461,6 +462,183 @@ TEST(SerializationTest, MapRejectsOffsetsOutsideArena) {
               sizeof(huge_offset));  // offsets[1]
   WriteAllRestamped(file.path(), bytes);
   EXPECT_THROW(PrototypeStore::Map(file.path()), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized pivot tables (format version 2): round-trips at every precision
+// across every registered distance, plus the corruption classes specific to
+// the new sections. Within one precision the copy-loaded and the mapped
+// index must be bit-identical to the built index — results AND stats.
+// ---------------------------------------------------------------------------
+
+constexpr TablePrecision kQuantPrecisions[] = {
+    TablePrecision::kF32, TablePrecision::kF16, TablePrecision::kU8};
+
+TEST(SerializationTest, QuantizedLaesaRoundTripAcrossAllDistances) {
+  const auto words = Words(60, 7210);
+  PrototypeStore store(words);
+  Rng rng(7211);
+  const auto queries = MakeQueries(words, 8, 2, Alphabet::Latin(), rng);
+  for (TablePrecision prec : kQuantPrecisions) {
+    for (const auto& name : AllDistanceNames()) {
+      auto dist = MakeDistance(name);
+      Laesa original(store, dist, 6, /*first_pivot=*/0, prec);
+      const std::string tag =
+          std::string(TablePrecisionName(prec)) + "/" + name;
+      TempFile file("laesa_quant");
+      original.Save(file.path());
+      Laesa loaded = Laesa::Load(file.path(), store, dist);
+      Laesa mapped = Laesa::Map(file.path(), store, dist);
+      EXPECT_EQ(loaded.table_precision(), prec) << tag;
+      EXPECT_EQ(mapped.table_precision(), prec) << tag;
+      EXPECT_EQ(loaded.pivots(), original.pivots()) << tag;
+      for (const auto& q : queries) {
+        QueryStats sa, sb, sc;
+        const NeighborResult a = original.Nearest(q, &sa);
+        const NeighborResult b = loaded.Nearest(q, &sb);
+        const NeighborResult c = mapped.Nearest(q, &sc);
+        EXPECT_EQ(a.index, b.index) << tag << " q=" << q;
+        EXPECT_EQ(a.distance, b.distance) << tag << " q=" << q;
+        EXPECT_TRUE(sa == sb) << tag << " q=" << q;
+        EXPECT_EQ(a.index, c.index) << tag << " q=" << q;
+        EXPECT_EQ(a.distance, c.distance) << tag << " q=" << q;
+        EXPECT_TRUE(sa == sc) << tag << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(SerializationTest, QuantizedShardedRoundTripAcrossAllDistances) {
+  const auto words = Words(60, 7310);
+  ShardedPrototypeStore store(words, 4);
+  Rng rng(7311);
+  const auto queries = MakeQueries(words, 6, 2, Alphabet::Latin(), rng);
+  for (TablePrecision prec : kQuantPrecisions) {
+    for (const auto& name : AllDistanceNames()) {
+      auto dist = MakeDistance(name);
+      ShardedLaesa original(store, dist, 5, /*first_pivot=*/0, prec);
+      const std::string tag =
+          std::string(TablePrecisionName(prec)) + "/" + name;
+      TempFile file("sharded_quant");
+      original.Save(file.path());
+      ShardedLaesa loaded = ShardedLaesa::Load(file.path(), store, dist);
+      ShardedLaesa mapped = ShardedLaesa::Map(file.path(), store, dist);
+      EXPECT_EQ(loaded.table_precision(), prec) << tag;
+      EXPECT_EQ(mapped.table_precision(), prec) << tag;
+      for (const auto& q : queries) {
+        QueryStats sa, sb, sc;
+        const NeighborResult a = original.Nearest(q, &sa);
+        const NeighborResult b = loaded.Nearest(q, &sb);
+        const NeighborResult c = mapped.Nearest(q, &sc);
+        EXPECT_EQ(a.index, b.index) << tag << " q=" << q;
+        EXPECT_EQ(a.distance, b.distance) << tag << " q=" << q;
+        EXPECT_TRUE(sa == sb) << tag << " q=" << q;
+        EXPECT_EQ(a.index, c.index) << tag << " q=" << q;
+        EXPECT_EQ(a.distance, c.distance) << tag << " q=" << q;
+        EXPECT_TRUE(sa == sc) << tag << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(SerializationTest, QuantizedFilesAreVersion2AndF64StaysVersion1) {
+  const auto words = Words(30, 7410);
+  PrototypeStore store(words);
+  auto dist = MakeDistance("dE");
+  {
+    Laesa f64(store, dist, 4, /*first_pivot=*/0, TablePrecision::kF64);
+    TempFile file("ver_f64");
+    f64.Save(file.path());
+    const auto bytes = ReadAll(file.path());
+    EXPECT_EQ(bytes[8], 1);  // f64 keeps the v1 on-disk format untouched
+  }
+  {
+    Laesa u8(store, dist, 4, /*first_pivot=*/0, TablePrecision::kU8);
+    TempFile file("ver_u8");
+    u8.Save(file.path());
+    const auto bytes = ReadAll(file.path());
+    EXPECT_EQ(bytes[8], 2);
+    // counts[2] carries the precision tag.
+    std::uint64_t prec = 0;
+    std::memcpy(&prec, bytes.data() + 16 + 2 * sizeof(std::uint64_t),
+                sizeof(prec));
+    EXPECT_EQ(prec, static_cast<std::uint64_t>(TablePrecision::kU8));
+  }
+}
+
+TEST(SerializationTest, QuantizedLoadRejectsCorruptPrecisionAndTruncation) {
+  const auto words = Words(40, 7510);
+  PrototypeStore store(words);
+  auto dist = MakeDistance("dE");
+  Laesa u8(store, dist, 6, /*first_pivot=*/0, TablePrecision::kU8);
+  {
+    // Precision tag outside {f32, f16, u8}: must be rejected as malformed,
+    // both copying and mapped.
+    TempFile file("quant_bad_prec");
+    u8.Save(file.path());
+    auto bytes = ReadAll(file.path());
+    const std::uint64_t bogus = 7;
+    std::memcpy(bytes.data() + 16 + 2 * sizeof(std::uint64_t), &bogus,
+                sizeof(bogus));
+    WriteAllRestamped(file.path(), bytes);
+    EXPECT_THROW(Laesa::Load(file.path(), store, dist), std::runtime_error);
+    EXPECT_THROW(Laesa::Map(file.path(), store, dist), std::runtime_error);
+  }
+  {
+    // Truncation inside the code section: the element width is 1, so the
+    // cut lands mid-table and both loaders must fail as truncation.
+    TempFile file("quant_trunc");
+    u8.Save(file.path());
+    auto bytes = ReadAll(file.path());
+    bytes.resize(bytes.size() - 2 * kBinaryAlignment);
+    WriteAllRestamped(file.path(), bytes);
+    EXPECT_THROW(Laesa::Load(file.path(), store, dist), std::runtime_error);
+    EXPECT_THROW(Laesa::Map(file.path(), store, dist), std::runtime_error);
+  }
+  {
+    // A bit flip in the quantized code section fails the checksum in the
+    // copying loader — codes are opaque bytes, no structural check notices.
+    TempFile file("quant_bitflip");
+    u8.Save(file.path());
+    auto bytes = ReadAll(file.path());
+    bytes[bytes.size() - kBinaryAlignment - 1] ^= 0x04;
+    WriteAll(file.path(), bytes);
+    try {
+      (void)Laesa::Load(file.path(), store, dist);
+      FAIL() << "expected checksum mismatch";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+    }
+  }
+  {
+    // Future version: the range-form header must still name "version".
+    TempFile file("quant_version");
+    u8.Save(file.path());
+    auto bytes = ReadAll(file.path());
+    bytes[8] = 99;
+    WriteAllRestamped(file.path(), bytes);
+    try {
+      (void)Laesa::Load(file.path(), store, dist);
+      FAIL() << "expected version mismatch";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+  }
+  {
+    // Same truncation class for the sharded v2 format.
+    ShardedPrototypeStore sharded(words, 3);
+    ShardedLaesa index(sharded, dist, 4, /*first_pivot=*/0,
+                       TablePrecision::kF16);
+    TempFile file("quant_sharded_trunc");
+    index.Save(file.path());
+    auto bytes = ReadAll(file.path());
+    bytes.resize(bytes.size() - 2 * kBinaryAlignment);
+    WriteAllRestamped(file.path(), bytes);
+    EXPECT_THROW(ShardedLaesa::Load(file.path(), sharded, dist),
+                 std::runtime_error);
+    EXPECT_THROW(ShardedLaesa::Map(file.path(), sharded, dist),
+                 std::runtime_error);
+  }
 }
 
 TEST(SerializationTest, MapRejectsMismatchedStoreShape) {

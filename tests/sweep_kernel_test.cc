@@ -7,7 +7,10 @@
 // duplicated pivot sets — and at the index level, where `Laesa` and
 // `ShardedLaesa` (including duplicate-pivot-row ablation builds and the
 // batch engine's pivot-stage path) must answer with identical neighbours,
-// distances AND QueryStats under every kernel.
+// distances AND QueryStats under every kernel. The quantized entries
+// (search/table_quant.h) get the same bitwise differential treatment plus
+// an admissibility property test: g_q <= |d - t| elementwise at every
+// precision, for rows the QuantRowEncoder actually produces.
 //
 // The suite runs the same assertions regardless of which variant is
 // *active*, so CI exercising CNED_SWEEP_KERNEL=scalar still covers the
@@ -15,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cfloat>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -32,6 +36,7 @@
 #include "search/laesa.h"
 #include "search/sharded_laesa.h"
 #include "search/sweep_kernel.h"
+#include "search/table_quant.h"
 #include "tests/snapshot_test_util.h"
 
 namespace cned {
@@ -413,6 +418,151 @@ void ExpectIdentical(const Probe& a, const Probe& b, const std::string& ctx) {
   for (std::size_t i = 0; i < a.staged_knn.size(); ++i) {
     EXPECT_EQ(a.staged_knn[i].index, b.staged_knn[i].index) << ctx;
     EXPECT_EQ(a.staged_knn[i].distance, b.staged_knn[i].distance) << ctx;
+  }
+}
+
+// --- Quantized entries (search/table_quant.h) ------------------------------
+
+constexpr TablePrecision kQuantPrecisions[] = {
+    TablePrecision::kF32, TablePrecision::kF16, TablePrecision::kU8};
+
+/// One encoded pivot row plus the view the dispatch helpers consume.
+struct QuantRow {
+  std::vector<double> exact;
+  std::vector<unsigned char> codes;
+  QuantRowMeta meta;
+  QuantTableView view;
+};
+
+QuantRow EncodeRow(TablePrecision prec, std::vector<double> values) {
+  QuantRow row;
+  row.exact = std::move(values);
+  row.codes.resize(row.exact.size() * TablePrecisionBytes(prec) + 8);
+  QuantRowEncoder enc;
+  enc.Scan(row.exact.data(), row.exact.size());
+  enc.Prepare(prec);
+  enc.Encode(row.exact.data(), row.exact.size(), row.codes.data());
+  row.meta = enc.Finish();
+  row.view.precision = prec;
+  row.view.q = row.codes.data();
+  row.view.rows = &row.meta;
+  return row;
+}
+
+TEST(SweepKernelTest, QuantizedUpdateLowerDenseMatchesScalarBitwise) {
+  std::mt19937_64 rng(0x5CA1AB1E);
+  std::uniform_real_distribution<double> value(0.0, 8.0);
+  for (const SweepKernels* k : VariantKernels()) {
+    for (TablePrecision prec : kQuantPrecisions) {
+      for (std::size_t n : kLiveCounts) {
+        for (int trial = 0; trial < 8; ++trial) {
+          std::vector<double> exact(n);
+          for (double& v : exact) {
+            v = trial % 4 == 0 ? 2.5 : value(rng);  // duplicate-row case
+          }
+          const QuantRow row = EncodeRow(prec, exact);
+          AlignedBuffer<double> ref, got;
+          ref.resize(n + 4);
+          got.resize(n + 4);
+          for (std::size_t i = 0; i < n; ++i) {
+            ref.data()[i] = rng() % 16 == 0 ? kInf : value(rng);
+            got.data()[i] = ref.data()[i];
+          }
+          const double d = value(rng);
+          QuantUpdateLowerDense(ScalarSweepKernels(), row.view, 0, n, d,
+                                ref.data());
+          QuantUpdateLowerDense(*k, row.view, 0, n, d, got.data());
+          EXPECT_EQ(std::memcmp(ref.data(), got.data(), n * sizeof(double)),
+                    0)
+              << k->name << " " << TablePrecisionName(prec) << " n=" << n
+              << " trial=" << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST(SweepKernelTest, QuantizedUpdateLowerPackedMatchesScalarBitwise) {
+  std::mt19937_64 rng(0x0DDBA11);
+  std::uniform_real_distribution<double> value(0.0, 8.0);
+  for (const SweepKernels* k : VariantKernels()) {
+    for (TablePrecision prec : kQuantPrecisions) {
+      for (std::size_t live : kLiveCounts) {
+        for (std::uint32_t base : {0u, 7u, 129u}) {
+          PackedInput ref, got;
+          MakePacked(rng, live, base, &ref);
+          const std::uint32_t max_id =
+              live > 0 ? ref.idx.data()[live - 1] : base;
+          std::vector<double> exact(max_id - base + 1);
+          for (double& v : exact) v = value(rng);
+          const QuantRow row = EncodeRow(prec, exact);
+          got.idx.resize(live + 8);
+          got.lower.resize(live + 8);
+          std::memcpy(got.idx.data(), ref.idx.data(),
+                      live * sizeof(std::uint32_t));
+          std::memcpy(got.lower.data(), ref.lower.data(),
+                      live * sizeof(double));
+          const double d = value(rng);
+          QuantUpdateLowerPacked(ScalarSweepKernels(), row.view, 0,
+                                 exact.size(), d, ref.idx.data(), base,
+                                 ref.lower.data(), live);
+          QuantUpdateLowerPacked(*k, row.view, 0, exact.size(), d,
+                                 got.idx.data(), base, got.lower.data(), live);
+          EXPECT_EQ(std::memcmp(ref.lower.data(), got.lower.data(),
+                                live * sizeof(double)),
+                    0)
+              << k->name << " " << TablePrecisionName(prec)
+              << " live=" << live << " base=" << base;
+        }
+      }
+    }
+  }
+}
+
+// The property the whole quantization scheme rests on: every quantized
+// tightening is an ADMISSIBLE lower bound — g_q <= |d - t| elementwise for
+// the exact table entry t, for every precision and every kernel variant.
+// Checked on rows spanning narrow, wide, constant and near-zero ranges and
+// on query distances inside, outside and far outside the row's range.
+//
+// The inequality is exact in real arithmetic; the kernels' correctly
+// rounded ops can carry it over by ulps of the operands (the u8 arm
+// regroups (offset + c*scale) - d as c*scale - (d - offset)), which the
+// encoder's gap inflation bounds far below the separation between distinct
+// distance values (table_quant.cc, InflateGap). The assertion allows
+// exactly that documented ulp-scale slack and nothing more.
+TEST(SweepKernelTest, QuantizedBoundsAreAdmissible) {
+  std::mt19937_64 rng(0xADA151B1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double kSpans[] = {1e-9, 0.013, 1.0, 97.0, 4096.0};
+  for (const SweepKernels* k : AvailableSweepKernels()) {
+    for (TablePrecision prec : kQuantPrecisions) {
+      for (double span : kSpans) {
+        for (int trial = 0; trial < 12; ++trial) {
+          const std::size_t n = 1 + rng() % 96;
+          const double lo = unit(rng) * 10.0;
+          std::vector<double> exact(n);
+          for (double& v : exact) {
+            v = trial % 5 == 0 ? lo : lo + unit(rng) * span;  // constant rows
+          }
+          const QuantRow row = EncodeRow(prec, exact);
+          AlignedBuffer<double> lower;
+          lower.resize(n + 4);
+          const double d = trial % 3 == 0 ? unit(rng) * 3.0 * span
+                                          : lo + unit(rng) * span;
+          for (std::size_t i = 0; i < n; ++i) lower.data()[i] = 0.0;
+          QuantUpdateLowerDense(*k, row.view, 0, n, d, lower.data());
+          for (std::size_t i = 0; i < n; ++i) {
+            const double slack =
+                16.0 * DBL_EPSILON * (std::abs(d) + std::abs(exact[i]));
+            EXPECT_LE(lower.data()[i], std::abs(d - exact[i]) + slack)
+                << k->name << " " << TablePrecisionName(prec)
+                << " span=" << span << " trial=" << trial << " i=" << i
+                << " t=" << exact[i] << " d=" << d;
+          }
+        }
+      }
+    }
   }
 }
 
