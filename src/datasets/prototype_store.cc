@@ -5,14 +5,33 @@
 
 namespace cned {
 
+namespace {
+constexpr std::size_t kArenaMax = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
 PrototypeStore::PrototypeStore(const std::vector<std::string>& strings) {
   std::size_t total = 0;
-  for (const auto& s : strings) total += s.size();
+  for (const auto& s : strings) {
+    // Overflow-safe: the sum itself could wrap std::size_t on 32-bit, and
+    // a wrapped total would under-reserve and then mis-report the arena
+    // cap. Any input past the 32-bit cap fails here, before Reserve.
+    if (s.size() > kArenaMax - total) {
+      throw std::length_error(
+          "PrototypeStore: arena exceeds 32-bit offset range");
+    }
+    total += s.size();
+  }
   Reserve(strings.size(), total);
   for (const auto& s : strings) Add(s);
 }
 
 void PrototypeStore::Reserve(std::size_t count, std::size_t total_chars) {
+  // Enforce the same cap Add does: reserving past it would allocate
+  // gigabytes for a store that can never legally fill them.
+  if (total_chars > kArenaMax) {
+    throw std::length_error(
+        "PrototypeStore::Reserve: arena exceeds 32-bit offset range");
+  }
   offsets_.reserve(count);
   lengths_.reserve(count);
   arena_.reserve(total_chars);

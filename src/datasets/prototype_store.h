@@ -50,7 +50,9 @@ class PrototypeStore {
   /// std::logic_error on a mapped store (the mapping is read-only).
   void Add(std::string_view s);
 
-  /// Pre-sizes the arrays (`total_chars` may be 0 when unknown).
+  /// Pre-sizes the arrays (`total_chars` may be 0 when unknown). Throws
+  /// std::length_error if `total_chars` exceeds the 32-bit arena cap that
+  /// `Add` enforces — reserving past it could never be filled legally.
   void Reserve(std::size_t count, std::size_t total_chars = 0);
 
   std::size_t size() const { return mapping_ ? map_.size : lengths_.size(); }

@@ -112,8 +112,9 @@ void Laesa::BuildTable() {
 // bit for bit: compaction is stable and min-bound ties resolve to the
 // smallest index.
 std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
-                                         double slack,
-                                         QueryStats* stats) const {
+                                         double slack, QueryStats* stats,
+                                         const std::uint64_t* tombstones)
+    const {
   const PrototypeStore& protos = store();
   const std::size_t n = protos.size();
   k = std::min(k, n);
@@ -146,6 +147,21 @@ std::vector<NeighborResult> Laesa::Sweep(std::string_view query, std::size_t k,
   std::uint64_t computations = 0, abandons = 0, pivot_computations = 0;
 
   std::size_t s = pivots_[0];  // start from the first base prototype
+  if (tombstones != nullptr) {
+    // Deletes are eliminated inside the compaction before anything is
+    // visited: force the masked slots' bounds to +inf, then one flagged
+    // pass drops them from the packed slab (lower >= bound is inclusive,
+    // so +inf falls even to the infinite starting incumbent) and hands
+    // back the minimal-bound live start — pivots first, as usual.
+    ApplyTombstoneMask(tombstones, n, lower);
+    const SweepCompactResult pre = kern.eliminate_and_compact_flagged(
+        idx, lower, pivot_rank_.data(), live, /*skip=*/0xFFFFFFFFu, slack,
+        inf);
+    live = pre.live;
+    live_pivots -= pre.pivots_died;
+    s = live_pivots > 0 ? pre.next_pivot : pre.next;
+    if (s == kSweepNone) live = 0;
+  }
   while (live > 0) {
     const bool s_is_pivot = pivot_rank_[s] >= 0;
 
@@ -313,6 +329,22 @@ std::vector<NeighborResult> Laesa::KNearest(std::string_view query,
                                             std::size_t k,
                                             QueryStats* stats) const {
   return Sweep(query, k, /*slack=*/1.0, stats);
+}
+
+NeighborResult Laesa::NearestMasked(std::string_view query,
+                                    const std::uint64_t* tombstones,
+                                    QueryStats* stats) const {
+  auto best = Sweep(query, 1, /*slack=*/1.0, stats, tombstones);
+  if (best.empty()) {
+    throw std::out_of_range("Laesa::NearestMasked: every prototype deleted");
+  }
+  return best.front();
+}
+
+std::vector<NeighborResult> Laesa::KNearestMasked(
+    std::string_view query, std::size_t k, const std::uint64_t* tombstones,
+    QueryStats* stats) const {
+  return Sweep(query, k, /*slack=*/1.0, stats, tombstones);
 }
 
 std::vector<NeighborResult> Laesa::RangeSearch(std::string_view query,

@@ -98,6 +98,24 @@ class Laesa final : public NearestNeighborSearcher, public PivotStageSearcher {
                                           double radius,
                                           QueryStats* stats = nullptr) const;
 
+  /// Tombstone-masked variants for the mutable tier (mutable_laesa.h):
+  /// `tombstones` is a packed bitmap over prototype slots (bit i set =
+  /// deleted, TombstoneWords(size()) words). Masked slots are eliminated
+  /// *inside* the sweep compaction before anything is visited — their
+  /// bounds are forced to +inf and one flagged compaction pass drops them
+  /// from the packed slab (see sweep_kernel.h) — so a deleted prototype is
+  /// never evaluated, never returned and never counted, at every
+  /// table_precision and under every kernel variant. A null bitmap is the
+  /// plain sweep, bit-identical to Nearest/KNearest including QueryStats.
+  /// NearestMasked throws std::out_of_range when every slot is deleted.
+  NeighborResult NearestMasked(std::string_view query,
+                               const std::uint64_t* tombstones,
+                               QueryStats* stats = nullptr) const;
+  std::vector<NeighborResult> KNearestMasked(std::string_view query,
+                                             std::size_t k,
+                                             const std::uint64_t* tombstones,
+                                             QueryStats* stats = nullptr) const;
+
   /// Serialises the pivot table (not the prototypes) to a stream. Rebuild
   /// with `Load` against the *same* prototype set and distance — a
   /// production convenience so the O(pivots x N) preprocessing is paid once.
@@ -166,9 +184,12 @@ class Laesa final : public NearestNeighborSearcher, public PivotStageSearcher {
 
   void BuildTable();
 
-  /// The unified elimination sweep behind Nearest/NearestApprox/KNearest.
+  /// The unified elimination sweep behind Nearest/NearestApprox/KNearest
+  /// and their masked variants (`tombstones` may be null: no masking).
   std::vector<NeighborResult> Sweep(std::string_view query, std::size_t k,
-                                    double slack, QueryStats* stats) const;
+                                    double slack, QueryStats* stats,
+                                    const std::uint64_t* tombstones =
+                                        nullptr) const;
 
   /// Row-consuming sweep behind the *WithPivotRow entry points: seeds the
   /// incumbents with all pivot distances, applies every pivot-table row,

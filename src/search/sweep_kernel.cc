@@ -302,4 +302,17 @@ std::size_t FillIotaCountPivots(std::uint32_t* idx,
   return pivots;
 }
 
+void ApplyTombstoneMask(const std::uint64_t* bits, std::size_t n,
+                        double* lower) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t w = 0; w < TombstoneWords(n); ++w) {
+    std::uint64_t word = bits[w];
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+      lower[(w << 6) + bit] = kInf;
+      word &= word - 1;
+    }
+  }
+}
+
 }  // namespace cned

@@ -214,6 +214,33 @@ std::size_t FillIotaCountPivots(std::uint32_t* idx,
                                 const std::int32_t* pivot_rank,
                                 std::size_t n);
 
+/// --- Tombstone bitmaps (the mutable tier, search/mutable_laesa.h). -------
+///
+/// Deletes are represented as a packed bitmap over candidate slots (bit i =
+/// word i/64, bit i%64). Masking happens *inside* the sweep's compaction:
+/// `ApplyTombstoneMask` writes +inf into the dense lower-bound slab for
+/// every set bit, and the next `eliminate_and_compact*` pass then drops
+/// exactly those slots — the elimination predicate `lower >= bound` is
+/// inclusive, so +inf falls to every bound including +inf itself, and every
+/// quantized row update is a running max, so +inf can never be lowered back
+/// at any table_precision. A deleted prototype is therefore removed from
+/// the packed slab before it can be visited, evaluated, or counted.
+/// Pure integer/bit work — identical behaviour under every kernel variant.
+
+inline std::size_t TombstoneWords(std::size_t n) { return (n + 63) / 64; }
+
+inline bool TestTombstone(const std::uint64_t* bits, std::size_t i) {
+  return (bits[i >> 6] >> (i & 63)) & 1u;
+}
+
+inline void SetTombstone(std::uint64_t* bits, std::size_t i) {
+  bits[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+/// lower[i] = +inf for every set bit in [0, n); other slots untouched.
+void ApplyTombstoneMask(const std::uint64_t* bits, std::size_t n,
+                        double* lower);
+
 }  // namespace cned
 
 #endif  // CNED_SEARCH_SWEEP_KERNEL_H_

@@ -51,9 +51,19 @@ enum class FrameType : std::uint32_t {
   kShutdown = 7,   ///< clean worker exit; empty reply, then close
   kReply = 8,      ///< successful response (payload per request type)
   kError = 9,      ///< worker-side exception; payload: str message
+  // --- Live-mutability ops (the mutable tier, search/mutable_laesa.h). ---
+  // Replicated to every member of the owning shard's group like begins and
+  // steps; replies are dedup-stable (re-delivery after a lost reply gives
+  // the same bytes), so the ops are retryable and byte-agreement across
+  // the group keeps working.
+  kInsert = 10,     ///< append to the shard delta: u64 id, str s -> u64 count
+  kRemove = 11,     ///< tombstone an id: u64 id -> u64 total dead
+  kDeltaScan = 12,  ///< bounded live-delta scan: str query, f64 cap, u64 k
+                    ///< -> u64 hits, hits x (u64 id, f64 d), u64 comps,
+                    ///< u64 abandons
 };
 inline constexpr std::uint32_t kMaxFrameType =
-    static_cast<std::uint32_t>(FrameType::kError);
+    static_cast<std::uint32_t>(FrameType::kDeltaScan);
 
 /// One received frame.
 struct Frame {

@@ -1,5 +1,7 @@
 #include "serve/replica.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "common/binary_io.h"
@@ -99,7 +101,8 @@ ShardReplica::ShardReplica(const std::string& store_path,
   lower_.resize(n_s);
 }
 
-void ShardReplica::BeginLazy(std::string_view query) {
+SweepCompactResult ShardReplica::BeginLazy(std::string_view query,
+                                           bool masked_start) {
   query_.assign(query);
   const std::size_t n_s = store_.size();
   distance_->LengthLowerBounds(query_.size(), store_.lengths_data(), n_s,
@@ -110,6 +113,85 @@ void ShardReplica::BeginLazy(std::string_view query) {
     live_pivots_ += pivot_rank_[base_ + j] >= 0 ? 1 : 0;
   }
   live_ = n_s;
+  SweepCompactResult pass;
+  pass.live = live_;
+  if (!masked_start) return pass;  // legacy start: router begins at pivot 0
+  // Mask this shard's base tombstones out of the slab before anything is
+  // visited, and hand the router this segment's minimal-bound survivors so
+  // it can choose a live starting candidate across shards (a dead global
+  // pivot 0 must not be visited anywhere).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (base_dead_ > 0) ApplyTombstoneMask(tombs_.data(), n_s, lower_.data());
+  const SweepKernels& kern = ActiveSweepKernels();
+  pass = kern.eliminate_and_compact_flagged(idx_.data(), lower_.data(),
+                                            pivot_rank_.data(), live_,
+                                            /*skip=*/0xFFFFFFFFu,
+                                            /*slack=*/1.0, kInf);
+  live_ = pass.live;
+  live_pivots_ -= pass.pivots_died;
+  return pass;
+}
+
+bool ShardReplica::Insert(std::uint64_t id, std::string_view s) {
+  // Per-shard ids are assigned (and replayed) in ascending order, so a
+  // duplicate delivery — a retry after a lost reply — is exactly an id that
+  // is not past the current tail.
+  if (!delta_ids_.empty() && id <= delta_ids_.back()) return false;
+  delta_store_.Add(s);
+  delta_ids_.push_back(id);
+  if (!delta_tombs_.empty()) {
+    delta_tombs_.resize(TombstoneWords(delta_store_.size()), 0);
+  }
+  return true;
+}
+
+bool ShardReplica::Remove(std::uint64_t id) {
+  if (id >= base_ && id - base_ < store_.size()) {
+    const std::size_t j = id - base_;
+    if (tombs_.empty()) tombs_.assign(TombstoneWords(store_.size()), 0);
+    if (TestTombstone(tombs_.data(), j)) return false;
+    SetTombstone(tombs_.data(), j);
+    ++base_dead_;
+    return true;
+  }
+  const auto it = std::lower_bound(delta_ids_.begin(), delta_ids_.end(), id);
+  if (it == delta_ids_.end() || *it != id) return false;
+  const std::size_t j = static_cast<std::size_t>(it - delta_ids_.begin());
+  if (delta_tombs_.empty()) {
+    delta_tombs_.assign(TombstoneWords(delta_store_.size()), 0);
+  }
+  if (TestTombstone(delta_tombs_.data(), j)) return false;
+  SetTombstone(delta_tombs_.data(), j);
+  ++delta_dead_;
+  return true;
+}
+
+void ShardReplica::DeltaScan(std::string_view query, double cap0,
+                             std::size_t k, std::vector<NeighborResult>* hits,
+                             std::uint64_t* computations,
+                             std::uint64_t* abandons) const {
+  hits->clear();
+  *computations = 0;
+  *abandons = 0;
+  if (k == 0) return;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < delta_store_.size(); ++j) {
+    if (!delta_tombs_.empty() && TestTombstone(delta_tombs_.data(), j)) {
+      continue;
+    }
+    const double local =
+        hits->size() < k ? kInf : hits->back().distance;
+    const double cap = cap0 < local ? cap0 : local;
+    const double d = distance_->DistanceBounded(query, delta_store_.view(j),
+                                                cap);
+    ++*computations;
+    if (d >= cap) {
+      ++*abandons;
+      continue;
+    }
+    InsertNeighborTopK(*hits, k,
+                       {static_cast<std::size_t>(delta_ids_[j]), d});
+  }
 }
 
 SweepCompactResult ShardReplica::BeginRow(std::string_view query,
@@ -124,6 +206,10 @@ SweepCompactResult ShardReplica::BeginRow(std::string_view query,
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
     QuantUpdateLowerDense(kern, view, p, n_s, row[p], lower_.data());
   }
+  // Tombstoned base slots go to +inf before the seed compaction, so the
+  // row path can never admit a deleted prototype either — no protocol
+  // change needed: the mask rides the shard's own state.
+  if (base_dead_ > 0) ApplyTombstoneMask(tombs_.data(), n_s, lower_.data());
   const SweepCompactResult out = kern.compact_seed(
       lower_.data(), pivot_rank_.data() + base_, n_s,
       static_cast<std::uint32_t>(base_), seed_bound, idx_.data(),

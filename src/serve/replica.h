@@ -10,6 +10,7 @@
 #include "common/mapped_file.h"
 #include "datasets/prototype_store.h"
 #include "distances/distance.h"
+#include "search/nn_searcher.h"
 #include "search/sweep_kernel.h"
 #include "search/table_quant.h"
 
@@ -58,8 +59,41 @@ class ShardReplica {
   std::size_t live_pivots() const { return live_pivots_; }
 
   /// Starts a lazy sweep: length lower bounds over the segment, all
-  /// candidates live.
-  void BeginLazy(std::string_view query);
+  /// candidates live. With `masked_start` false this is the legacy path:
+  /// the returned pass only carries `live` (the router starts at the first
+  /// pivot), bit-identical to the pre-mutability protocol. With it true the
+  /// shard's base tombstones are masked out by an initial compaction at
+  /// bound=+inf (sweep_kernel.h) and the returned pass carries this
+  /// segment's minimal-bound survivors so the router can pick a live start
+  /// across shards.
+  SweepCompactResult BeginLazy(std::string_view query, bool masked_start);
+
+  /// --- Live mutability (mutable tier ops, replicated by the router). ----
+
+  /// Appends one prototype to this shard's delta under its router-assigned
+  /// global id. Idempotent: per-shard ids arrive ascending, so a re-sent id
+  /// is recognised and ignored. Returns true when newly applied.
+  bool Insert(std::uint64_t id, std::string_view s);
+
+  /// Tombstones a global id in this shard's base segment or delta.
+  /// Idempotent; returns true when newly applied, false for unknown or
+  /// already-dead ids.
+  bool Remove(std::uint64_t id);
+
+  /// Bounded exhaustive scan of the live delta in ascending-id order: the
+  /// scattered form of the mutable tier's delta phase. Each evaluation is
+  /// capped by min(cap0, the local k-th hit); `>= cap` abandons, exactly
+  /// the sweeps' semantics, so the result is a deterministic pure function
+  /// of (delta, query, cap0, k) — safe to retry and to byte-compare across
+  /// group members. Hits report global ids in `index`.
+  void DeltaScan(std::string_view query, double cap0, std::size_t k,
+                 std::vector<NeighborResult>* hits,
+                 std::uint64_t* computations, std::uint64_t* abandons) const;
+
+  std::size_t base_dead() const { return base_dead_; }
+  std::size_t delta_count() const { return delta_store_.size(); }
+  std::size_t delta_dead() const { return delta_dead_; }
+  std::size_t total_dead() const { return base_dead_ + delta_dead_; }
 
   /// Starts a row sweep: length bounds, every pivot row applied dense,
   /// then the seed compaction against `seed_bound`. Returns the segment's
@@ -119,6 +153,16 @@ class ShardReplica {
   AlignedBuffer<double> lower_;
   std::size_t live_ = 0;
   std::size_t live_pivots_ = 0;
+
+  // Mutable-tier state, process-local (rebuilt by the router's op-journal
+  // replay when a replica respawns). Tombstone bitmaps are allocated on
+  // first use; empty means no deletes.
+  std::vector<std::uint64_t> tombs_;  // over base slots
+  std::size_t base_dead_ = 0;
+  PrototypeStore delta_store_;               // owned, appendable
+  std::vector<std::uint64_t> delta_ids_;     // global id per delta slot
+  std::vector<std::uint64_t> delta_tombs_;   // over delta slots
+  std::size_t delta_dead_ = 0;
 };
 
 }  // namespace cned

@@ -144,6 +144,11 @@ ServeRouter::ServeRouter(const std::string& snapshot_dir,
     reader.Raw(pivot_strings_[p].data(), lens[p]);
   }
 
+  next_insert_id_ = n_;
+  shard_dead_.assign(shards, 0);
+  delta_live_.assign(shards, 0);
+  shard_ops_.resize(shards);
+
   groups_.resize(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     groups_[s].members.resize(replicas_per_shard_);
@@ -303,9 +308,22 @@ bool ServeRouter::SendRecv(std::size_t s, std::size_t r, std::uint32_t type,
   const int attempts = retryable ? 1 + options_.op_retries : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (!w.alive) return false;
+    // Gate on the remaining deadline before sleeping or sending: an
+    // already-expired query must not burn a full send+recv window (with
+    // backoff_base_ms=0 the old post-sleep check never fired in time).
+    // The break still reaches the MarkDead below — GroupEval's retry loop
+    // relies on a false return leaving the replica dead.
+    std::int64_t left = timeout_ms;
+    if (deadline_ms >= 0) {
+      left = deadline_ms - NowMs();
+      if (left <= 0) break;
+    }
     if (attempt > 0) {
       BackoffSleep(options_.backoff_base_ms, attempt, deadline_ms);
-      if (deadline_ms >= 0 && deadline_ms - NowMs() <= 0) break;
+      if (deadline_ms >= 0) {
+        left = deadline_ms - NowMs();
+        if (left <= 0) break;
+      }
     }
     const std::uint32_t seq = ++w.seq;
     if (!SendFrame(w.fd, static_cast<FrameType>(type), seq, payload.data(),
@@ -313,8 +331,13 @@ bool ServeRouter::SendRecv(std::size_t s, std::size_t r, std::uint32_t type,
       MarkDead(s, r);
       return false;
     }
+    // Cap the per-attempt recv window at the remaining deadline, so one
+    // slow attempt cannot overshoot the whole query budget.
+    const int window =
+        deadline_ms >= 0 && left < timeout_ms ? static_cast<int>(left)
+                                              : timeout_ms;
     Frame frame;
-    const RecvStatus st = RecvMatching(w.fd, seq, timeout_ms, &frame);
+    const RecvStatus st = RecvMatching(w.fd, seq, window, &frame);
     if (st == RecvStatus::kOk) {
       if (frame.type != static_cast<std::uint32_t>(FrameType::kReply)) {
         // kError (a worker-side exception) or an unexpected type: the
@@ -446,10 +469,12 @@ void ServeRouter::Broadcast(std::uint32_t type,
   }
 }
 
-bool ServeRouter::GroupEval(std::size_t s, const std::vector<char>& payload,
+bool ServeRouter::GroupEval(std::size_t s, std::uint32_t type,
+                            const std::vector<char>& payload,
                             std::vector<char>* reply, std::int64_t deadline_ms,
                             ServeResult* res) {
   Group& g = groups_[s];
+  const FrameType ftype = static_cast<FrameType>(type);
   if (!EnsurePrimary(s, res)) return false;
 
   auto pick_standby = [&]() -> std::size_t {
@@ -461,12 +486,11 @@ bool ServeRouter::GroupEval(std::size_t s, const std::vector<char>& payload,
 
   if (options_.hedge_delay_ms < 0 || pick_standby() == g.members.size()) {
     // No hedging possible: plain retried exchange, failing over to the
-    // next member while any remains (Eval is pure, so a promoted standby
+    // next member while any remains (the op is pure, so a promoted standby
     // answers identically).
     while (EnsurePrimary(s, res)) {
-      if (SendRecv(s, g.primary,
-                   static_cast<std::uint32_t>(FrameType::kEval), payload,
-                   reply, RemainingMs(deadline_ms), /*retryable=*/true,
+      if (SendRecv(s, g.primary, type, payload, reply,
+                   RemainingMs(deadline_ms), /*retryable=*/true,
                    deadline_ms)) {
         return true;
       }
@@ -474,7 +498,6 @@ bool ServeRouter::GroupEval(std::size_t s, const std::vector<char>& payload,
     return false;
   }
 
-  const std::uint32_t eval_type = static_cast<std::uint32_t>(FrameType::kEval);
   const int attempts = 1 + options_.op_retries;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
@@ -488,7 +511,7 @@ bool ServeRouter::GroupEval(std::size_t s, const std::vector<char>& payload,
     Replica* prim = &g.members[g.primary];
     const std::size_t prim_idx = g.primary;
     const std::uint32_t pseq = ++prim->seq;
-    if (!SendFrame(prim->fd, FrameType::kEval, pseq, payload.data(),
+    if (!SendFrame(prim->fd, ftype, pseq, payload.data(),
                    payload.size())) {
       MarkDead(s, prim_idx);
       continue;
@@ -525,7 +548,7 @@ bool ServeRouter::GroupEval(std::size_t s, const std::vector<char>& payload,
     if (stand_idx < g.members.size()) {
       Replica& stand = g.members[stand_idx];
       sseq = ++stand.seq;
-      if (SendFrame(stand.fd, FrameType::kEval, sseq, payload.data(),
+      if (SendFrame(stand.fd, ftype, sseq, payload.data(),
                     payload.size())) {
         s_pending = true;
         if (res != nullptr) ++res->hedged_evals;
@@ -715,7 +738,11 @@ std::size_t ServeRouter::RespawnDeadLocked() {
       if (SendRecv(s, r, static_cast<std::uint32_t>(FrameType::kPing), {},
                    &reply, options_.op_timeout_ms, /*retryable=*/true,
                    /*deadline_ms=*/-1)) {
-        ++revived;
+        // A fresh fork maps only the immutable snapshot; replay the
+        // shard's mutation journal so it rejoins at the group's current
+        // delta/tombstone state (ops are idempotent by id, so a partial
+        // previous life is harmless).
+        if (ReplayMutations(s, r)) ++revived;
       }
     }
     // A fully-restored group keeps its current primary; a group whose
@@ -726,6 +753,165 @@ std::size_t ServeRouter::RespawnDeadLocked() {
   return revived;
 }
 
+std::uint64_t ServeRouter::Insert(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.auto_respawn) RespawnDeadLocked();
+  const std::uint64_t id = next_insert_id_++;
+  const std::size_t owner =
+      static_cast<std::size_t>((id - n_) % shard_sizes_.size());
+  ++delta_live_[owner];
+  MutationOp op;
+  op.insert = true;
+  op.id = id;
+  op.s.assign(s);
+  // Journal before replicating: even if the whole group is down right now,
+  // the next respawn replays the journal, so the id is durably assigned
+  // from the router's point of view either way.
+  shard_ops_[owner].push_back(std::move(op));
+  ReplicateMutation(owner, shard_ops_[owner].back());
+  return id;
+}
+
+bool ServeRouter::Remove(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.auto_respawn) RespawnDeadLocked();
+  std::size_t owner = 0;
+  if (id < n_) {
+    if (base_tombs_.empty()) base_tombs_.assign(TombstoneWords(n_), 0);
+    if (TestTombstone(base_tombs_.data(), id)) return false;
+    SetTombstone(base_tombs_.data(), id);
+    owner = ShardOf(id);
+    ++shard_dead_[owner];
+    ++base_dead_total_;
+  } else if (id < next_insert_id_) {
+    const auto it =
+        std::lower_bound(dead_delta_ids_.begin(), dead_delta_ids_.end(), id);
+    if (it != dead_delta_ids_.end() && *it == id) return false;
+    dead_delta_ids_.insert(it, id);
+    owner = static_cast<std::size_t>((id - n_) % shard_sizes_.size());
+    --delta_live_[owner];
+  } else {
+    return false;
+  }
+  MutationOp op;
+  op.id = id;
+  shard_ops_[owner].push_back(std::move(op));
+  ReplicateMutation(owner, shard_ops_[owner].back());
+  return true;
+}
+
+std::size_t ServeRouter::live_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t delta = 0;
+  for (const std::size_t v : delta_live_) delta += v;
+  return n_ - base_dead_total_ + delta;
+}
+
+std::uint64_t ServeRouter::next_insert_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_insert_id_;
+}
+
+void ServeRouter::ReplicateMutation(std::size_t owner, const MutationOp& op) {
+  const std::size_t shards = shard_sizes_.size();
+  std::vector<ShardView> views(shards);
+  views[owner].active = groups_[owner].AnyAlive();
+  if (!views[owner].active) return;  // journal replay repairs at respawn
+  PayloadWriter w;
+  w.U64(op.id);
+  if (op.insert) w.Str(op.s);
+  std::vector<std::vector<char>> replies(shards);
+  std::vector<std::size_t> missing;
+  // The usual replication step: every live member applies the op, replies
+  // are byte-checked (dedup-stable, so retries after lost replies still
+  // agree), and a member that fails is dead — to be replayed at respawn.
+  Broadcast(static_cast<std::uint32_t>(op.insert ? FrameType::kInsert
+                                                 : FrameType::kRemove),
+            w.buf, /*retryable=*/true, options_.op_timeout_ms,
+            /*deadline_ms=*/-1, views, replies, missing, nullptr);
+}
+
+bool ServeRouter::ReplayMutations(std::size_t s, std::size_t r) {
+  for (const MutationOp& op : shard_ops_[s]) {
+    PayloadWriter w;
+    w.U64(op.id);
+    if (op.insert) w.Str(op.s);
+    std::vector<char> reply;
+    if (!SendRecv(s, r,
+                  static_cast<std::uint32_t>(op.insert ? FrameType::kInsert
+                                                       : FrameType::kRemove),
+                  w.buf, &reply, options_.op_timeout_ms, /*retryable=*/true,
+                  /*deadline_ms=*/-1)) {
+      return false;  // SendRecv already marked the replica dead
+    }
+  }
+  return true;
+}
+
+// The distributed form of the mutable tier's delta phase: every shard
+// holding live delta entries runs one bounded scan (hedged like Eval —
+// the scan is a pure function of the shard's delta), capped by the base
+// sweep's incumbents. The gathered hits are sorted globally by
+// NeighborLess and strict-merged, which reproduces the (distance, id)
+// tie-break exactly: all base ids < all delta ids, and within the delta
+// the sort puts the lower id first at equal distance.
+void ServeRouter::DeltaPhase(std::string_view query, std::size_t k,
+                             std::int64_t deadline,
+                             std::vector<ShardView>& views,
+                             std::vector<NeighborResult>& best,
+                             std::uint64_t* computations,
+                             std::uint64_t* abandons, ServeResult* res) {
+  const std::size_t shards = shard_sizes_.size();
+  const double cap0 = best.size() < k ? kInf : best.back().distance;
+  std::vector<NeighborResult> hits;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (delta_live_[s] == 0) continue;
+    // A shard already lost to the base sweep is in missing_shards; its
+    // delta is unreachable through the same dead group.
+    if (!views[s].active) continue;
+    if (RemainingMs(deadline) == 0) {
+      res->missing_shards.push_back(s);
+      continue;
+    }
+    PayloadWriter w;
+    w.Str(query);
+    w.F64(cap0);
+    w.U64(k);
+    std::vector<char> reply;
+    bool ok = GroupEval(s, static_cast<std::uint32_t>(FrameType::kDeltaScan),
+                        w.buf, &reply, deadline, res);
+    if (ok) {
+      PayloadReader r(reply);
+      const std::size_t mark = hits.size();
+      const std::uint64_t count = r.U64();
+      ok = r.ok() && count <= k;  // a worker returns at most k hits
+      for (std::uint64_t i = 0; ok && i < count; ++i) {
+        const std::uint64_t id = r.U64();
+        const double d = r.F64();
+        ok = r.ok();
+        if (ok) hits.push_back({static_cast<std::size_t>(id), d});
+      }
+      const std::uint64_t comps = r.U64();
+      const std::uint64_t ab = r.U64();
+      ok = ok && r.Done();
+      if (ok) {
+        *computations += comps;
+        *abandons += ab;
+      } else {
+        // Partially decoded garbage: drop what it contributed.
+        hits.resize(mark);
+        MarkDead(s, groups_[s].primary);
+      }
+    }
+    if (!ok) {
+      views[s].active = false;
+      res->missing_shards.push_back(s);
+    }
+  }
+  std::sort(hits.begin(), hits.end(), NeighborLess);
+  for (const NeighborResult& h : hits) InsertNeighborTopK(best, k, h);
+}
+
 // The distributed `ShardedLaesa::Sweep`: identical decisions on identical
 // values in identical order — only the per-shard kernel passes run in the
 // workers (on every live member of each replica group). Read side by side
@@ -733,10 +919,19 @@ std::size_t ServeRouter::RespawnDeadLocked() {
 ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
                                    double slack) {
   ServeResult res;
-  k = std::min(k, n_);
+  std::size_t delta_total = 0;
+  for (const std::size_t v : delta_live_) delta_total += v;
+  k = std::min(k, n_ - base_dead_total_ + delta_total);
   if (k == 0) return res;
   const std::int64_t deadline = NowMs() + options_.query_deadline_ms;
   const std::size_t shards = shard_sizes_.size();
+  // Any base tombstone anywhere switches the begin to its masked form:
+  // every worker compacts the deleted slots out before anything is
+  // visited and reports its surviving minima, so the router can pick a
+  // live start (a dead global pivot 0 must not be visited). Without
+  // tombstones the legacy begin runs — the healthy immutable path stays
+  // bit-identical, stats included.
+  const bool masked = base_dead_total_ > 0;
 
   std::vector<ShardView> views(shards);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -749,6 +944,7 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
   {
     PayloadWriter w;
     w.Str(query);
+    w.U32(masked ? 1u : 0u);
     std::vector<std::vector<char>> replies(shards);
     Broadcast(static_cast<std::uint32_t>(FrameType::kBeginLazy), w.buf,
               /*retryable=*/true, RemainingMs(deadline), deadline, views,
@@ -756,9 +952,22 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
     for (std::size_t s = 0; s < shards; ++s) {
       if (!views[s].active) continue;
       PayloadReader r(replies[s]);
-      views[s].live = r.U64();
-      views[s].live_pivots = r.U64();
-      if (!r.Done() || views[s].live != shard_sizes_[s]) {
+      bool ok;
+      if (masked) {
+        const WireCompact wc = DecodeCompact(r);
+        views[s].last = wc.pass;
+        views[s].live = wc.pass.live;
+        views[s].live_pivots = wc.live_pivots;
+        // The mask pass drops exactly the tombstoned slots (every live
+        // slot's length bound is finite), so the survivor count is an
+        // integrity check just like the legacy full count.
+        ok = r.Done() && views[s].live == shard_sizes_[s] - shard_dead_[s];
+      } else {
+        views[s].live = r.U64();
+        views[s].live_pivots = r.U64();
+        ok = r.Done() && views[s].live == shard_sizes_[s];
+      }
+      if (!ok) {
         // The driving reply decoded to garbage (CRC-valid but wrong):
         // with the primary's stream suspect there is no quorum to promote
         // on, so the shard sits this query out. EnsurePrimary (without
@@ -809,7 +1018,9 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
   auto kth = [&]() { return best.size() < k ? kInf : best.back().distance; };
   std::uint64_t computations = 0, abandons = 0, pivot_computations = 0;
 
-  std::size_t s_cand = pivots_[0];
+  // Legacy start: the first pivot, as in process. Masked start: the best
+  // survivor of the begin passes — tombstoned slots are already gone.
+  std::size_t s_cand = masked ? select_next() : pivots_[0];
   while (total_live > 0 && s_cand != kSweepNone) {
     if (RemainingMs(deadline) == 0) {
       // Deadline: degrade to the incumbents; every shard still holding
@@ -836,7 +1047,8 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
       w.F64(cap);
       std::vector<char> reply;
       bool ok = views[owner].active &&
-                GroupEval(owner, w.buf, &reply, deadline, &res);
+                GroupEval(owner, static_cast<std::uint32_t>(FrameType::kEval),
+                          w.buf, &reply, deadline, &res);
       if (ok) {
         PayloadReader r(reply);
         d = r.F64();
@@ -897,6 +1109,10 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
     s_cand = select_next();
   }
 
+  // The delta phase: everything inserted since the snapshot lives in the
+  // workers' in-memory deltas, scanned bounded by the base incumbents.
+  DeltaPhase(query, k, deadline, views, best, &computations, &abandons, &res);
+
   res.stats.distance_computations += computations;
   res.stats.bounded_abandons += abandons;
   res.stats.pivot_computations += pivot_computations;
@@ -916,7 +1132,9 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
 // adaptive loop over the merged survivors.
 ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
   ServeResult res;
-  k = std::min(k, n_);
+  std::size_t delta_total = 0;
+  for (const std::size_t v : delta_live_) delta_total += v;
+  k = std::min(k, n_ - base_dead_total_ + delta_total);
   if (k == 0) return res;
   const std::int64_t deadline = NowMs() + options_.query_deadline_ms;
   const std::size_t shards = shard_sizes_.size();
@@ -940,6 +1158,12 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
   best.reserve(k + 1);
   auto kth = [&]() { return best.size() < k ? kInf : best.back().distance; };
   for (std::size_t p = 0; p < np; ++p) {
+    // A tombstoned pivot's evaluation still tightens every worker's bounds
+    // (its row is broadcast below, an admissible use), but it must never
+    // become an incumbent — it is no longer a member of the live set.
+    if (!base_tombs_.empty() && TestTombstone(base_tombs_.data(), pivots_[p])) {
+      continue;
+    }
     InsertNeighborTopK(best, k, {pivots_[p], row[p]}, /*admit_ties=*/true);
   }
   const double seed_bound = kth();
@@ -1009,7 +1233,8 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
     ew.F64(cap);
     std::vector<char> reply;
     bool ok = views[owner].active &&
-              GroupEval(owner, ew.buf, &reply, deadline, &res);
+              GroupEval(owner, static_cast<std::uint32_t>(FrameType::kEval),
+                        ew.buf, &reply, deadline, &res);
     double d = 0.0;
     if (ok) {
       PayloadReader r(reply);
@@ -1057,6 +1282,8 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
     if (total_live == 0) break;
     s_cand = select_next();
   }
+
+  DeltaPhase(query, k, deadline, views, best, &computations, &abandons, &res);
 
   res.stats.distance_computations += computations;
   res.stats.bounded_abandons += abandons;

@@ -173,6 +173,31 @@ class ServeRouter {
   ServeResult Nearest(std::string_view query);
   ServeResult KNearest(std::string_view query, std::size_t k);
 
+  /// --- Live mutability (the distributed mutable tier). -------------------
+  ///
+  /// The router is the source of truth: every op is journaled per owner
+  /// shard before it is replicated to all live members of that shard's
+  /// group (like begins and steps), and a respawned replica is replayed
+  /// from the journal before it rejoins — so a crash never loses a
+  /// mutation the router acknowledged. Ops are idempotent worker-side
+  /// (dedup by stable id) with dedup-stable replies, which keeps both the
+  /// retry path and the group byte-agreement check sound.
+
+  /// Appends one prototype; returns its stable global id (ids start at
+  /// size() and are never reused). The owner shard is id-round-robin.
+  std::uint64_t Insert(std::string_view s);
+
+  /// Tombstones a stable id (base or delta). Returns false when the id is
+  /// unknown or already removed. A removed prototype is masked inside the
+  /// workers' sweep compactions — it can never surface as a neighbour.
+  bool Remove(std::uint64_t id);
+
+  /// Live prototypes: base + inserts - removals. (size() stays the frozen
+  /// base count, mirroring the snapshot.)
+  std::size_t live_size() const;
+  /// The id the next Insert will assign.
+  std::uint64_t next_insert_id() const;
+
   /// Batched pivot-stage path — the distributed `*WithPivotRow` pipeline:
   /// the router evaluates each query's pivot row once (locally, from the
   /// manifest's pivot strings) and scatters it; workers seed and sweep.
@@ -264,12 +289,37 @@ class ServeRouter {
                  std::vector<std::vector<char>>& replies,
                  std::vector<std::size_t>& missing, ServeResult* res);
 
-  /// One idempotent Eval against shard `s`: primary first, hedged to a
-  /// standby after `hedge_delay_ms`, first valid reply wins. Falls back
-  /// to plain retries when the group has no standby or hedging is off.
-  bool GroupEval(std::size_t s, const std::vector<char>& payload,
-                 std::vector<char>* reply, std::int64_t deadline_ms,
-                 ServeResult* res);
+  /// One idempotent read (`kEval` or `kDeltaScan`) against shard `s`:
+  /// primary first, hedged to a standby after `hedge_delay_ms`, first
+  /// valid reply wins — both ops are pure functions of the shard's state,
+  /// so either answer is exact. Falls back to plain retries when the group
+  /// has no standby or hedging is off.
+  bool GroupEval(std::size_t s, std::uint32_t type,
+                 const std::vector<char>& payload, std::vector<char>* reply,
+                 std::int64_t deadline_ms, ServeResult* res);
+
+  /// One journaled mutation, replicated to every live member of the owner
+  /// shard's group.
+  struct MutationOp {
+    bool insert = false;
+    std::uint64_t id = 0;
+    std::string s;
+  };
+  void ReplicateMutation(std::size_t owner, const MutationOp& op);
+  /// Replays the owner shard's journal to a freshly respawned member —
+  /// delta and tombstone state is process-local, so the journal is what
+  /// brings the new process to the group's current state. Returns false
+  /// (replica already marked dead) when any op fails to apply.
+  bool ReplayMutations(std::size_t s, std::size_t r);
+
+  /// The delta-scan phase both query paths share: scatters a bounded scan
+  /// to every shard holding live delta entries and strict-merges the
+  /// gathered hits into `best` in global NeighborLess order.
+  void DeltaPhase(std::string_view query, std::size_t k,
+                  std::int64_t deadline, std::vector<ShardView>& views,
+                  std::vector<NeighborResult>& best,
+                  std::uint64_t* computations, std::uint64_t* abandons,
+                  ServeResult* res);
 
   std::size_t ShardOf(std::size_t global) const;
   int RemainingMs(std::int64_t deadline_ms) const;
@@ -294,6 +344,17 @@ class ServeRouter {
   ServeOptions options_;
   std::size_t replicas_per_shard_ = 1;
   std::vector<Group> groups_;
+
+  // Mutable-tier bookkeeping (the router-side mirror of the workers'
+  // delta/tombstone state; drives the masked begin, the k clamp, pivot
+  // seeding, and respawn replay).
+  std::uint64_t next_insert_id_ = 0;       // initialised to n_
+  std::vector<std::uint64_t> base_tombs_;  // bitmap over base ids; lazy
+  std::vector<std::size_t> shard_dead_;    // base tombstones per shard
+  std::size_t base_dead_total_ = 0;
+  std::vector<std::size_t> delta_live_;        // live delta per shard
+  std::vector<std::uint64_t> dead_delta_ids_;  // sorted, Remove dedup
+  std::vector<std::vector<MutationOp>> shard_ops_;  // per-shard journal
 
   /// Serializes queries, respawn, and the health loop: a replica is never
   /// respawned mid-query, so every live member of a group has seen the

@@ -32,6 +32,12 @@ const char* OpClass(FrameType type) {
     case FrameType::kStep:
     case FrameType::kStepRow:
       return "step";
+    case FrameType::kInsert:
+      return "insert";
+    case FrameType::kRemove:
+      return "remove";
+    case FrameType::kDeltaScan:
+      return "scan";
     default:
       return "other";
   }
@@ -106,10 +112,20 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
         }
         case FrameType::kBeginLazy: {
           const std::string query = r.Str();
+          const std::uint32_t masked = r.U32();
           if (!r.Done()) throw std::runtime_error("malformed BeginLazy");
-          replica->BeginLazy(query);
-          reply.U64(replica->live());
-          reply.U64(replica->live_pivots());
+          const SweepCompactResult pass =
+              replica->BeginLazy(query, masked != 0);
+          if (masked != 0) {
+            // Mutations exist somewhere: the router needs this segment's
+            // post-mask survivors to pick a live start.
+            EncodeCompact(reply, pass, replica->live_pivots());
+          } else {
+            // Legacy reply shape — healthy immutable deployments stay
+            // byte-identical on the wire.
+            reply.U64(replica->live());
+            reply.U64(replica->live_pivots());
+          }
           break;
         }
         case FrameType::kBeginRow: {
@@ -158,6 +174,44 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
           if (!r.Done()) throw std::runtime_error("malformed StepRow");
           const SweepCompactResult pass = replica->StepRow(skip, bound);
           EncodeCompact(reply, pass, replica->live_pivots());
+          break;
+        }
+        case FrameType::kInsert: {
+          const std::uint64_t id = r.U64();
+          const std::string s = r.Str();
+          if (!r.Done()) throw std::runtime_error("malformed Insert");
+          replica->Insert(id, s);
+          // Dedup-stable reply: the delta count after this id is applied is
+          // the same whether this delivery was first or a retry, so a lost
+          // reply re-sent still byte-agrees across the group.
+          reply.U64(replica->delta_count());
+          break;
+        }
+        case FrameType::kRemove: {
+          const std::uint64_t id = r.U64();
+          if (!r.Done()) throw std::runtime_error("malformed Remove");
+          replica->Remove(id);
+          // Dedup-stable for the same reason as kInsert.
+          reply.U64(replica->total_dead());
+          break;
+        }
+        case FrameType::kDeltaScan: {
+          const std::string query = r.Str();
+          const double cap0 = r.F64();
+          const std::uint64_t k = r.U64();
+          if (!r.Done()) throw std::runtime_error("malformed DeltaScan");
+          std::vector<NeighborResult> hits;
+          std::uint64_t comps = 0;
+          std::uint64_t abandons = 0;
+          replica->DeltaScan(query, cap0, static_cast<std::size_t>(k), &hits,
+                             &comps, &abandons);
+          reply.U64(hits.size());
+          for (const NeighborResult& h : hits) {
+            reply.U64(h.index);
+            reply.F64(h.distance);
+          }
+          reply.U64(comps);
+          reply.U64(abandons);
           break;
         }
         default: {

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,24 @@ TEST(PrototypeStoreTest, IncrementalAdd) {
   EXPECT_EQ(store[0], "one");
   EXPECT_EQ(store[1], "");
   EXPECT_EQ(store[2], "three");
+}
+
+TEST(PrototypeStoreTest, ReserveRejectsOverCapArena) {
+  // The arena stores 32-bit offsets, so a total past 2^32-1 bytes can
+  // never be served. Add has always thrown at the cap; Reserve used to
+  // happily allocate gigabytes for a store that could never legally fill
+  // them. Both gates must agree — and the string-vector ctor's pre-sum
+  // (now overflow-safe) funnels through the same check, so an over-cap
+  // input fails up front instead of deep inside Add.
+  const std::size_t cap = std::numeric_limits<std::uint32_t>::max();
+  PrototypeStore store;
+  EXPECT_THROW(store.Reserve(1, cap + std::size_t{1}), std::length_error);
+  EXPECT_THROW(store.Reserve(4, cap * 2), std::length_error);
+  // The happy path is untouched: a small reserve still works and the
+  // store stays usable after a rejected one.
+  EXPECT_NO_THROW(store.Reserve(1, 16));
+  store.Add("still works");
+  EXPECT_EQ(store[0], "still works");
 }
 
 TEST(PrototypeStoreTest, ArenaIsContiguousAndPacked) {

@@ -30,7 +30,10 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +44,8 @@
 #include "datasets/sharded_prototype_store.h"
 #include "distances/registry.h"
 #include "search/sharded_laesa.h"
+#include "search/sweep_kernel.h"
+#include "search/table_quant.h"
 #include "serve/router.h"
 #include "serve/shard_snapshot.h"
 
@@ -86,9 +91,11 @@ struct Deployment {
   std::unique_ptr<ShardedLaesa> index;
 
   Deployment(const std::vector<std::string>& protos, std::size_t shards,
-             std::size_t pivots) {
+             std::size_t pivots,
+             TablePrecision precision = DefaultTablePrecision()) {
     store = std::make_unique<ShardedPrototypeStore>(protos, shards);
-    index = std::make_unique<ShardedLaesa>(*store, MakeDistance("dE"), pivots);
+    index = std::make_unique<ShardedLaesa>(*store, MakeDistance("dE"), pivots,
+                                           /*first_pivot=*/0, precision);
     SaveServingSnapshot(*index, dir.path);
   }
 };
@@ -715,6 +722,246 @@ TEST(ServeDistributedTest, ExecFormWorkerBinaryServesIdentically) {
 TEST(ServeDistributedTest, RouterRejectsMissingManifest) {
   TempDir empty;
   EXPECT_THROW(ServeRouter(empty.path, FastOptions()), std::exception);
+}
+
+// --- Satellite: retry waits are gated by the query deadline -----------------
+
+TEST(ServeDistributedTest, DeadlineGatesRetryWaitsToQueryBudget) {
+  // Every begin is swallowed and the per-op timeout (4s) dwarfs the query
+  // deadline (200ms). SendRecv used to check the deadline only *after* a
+  // full op-timeout recv window and still slept + resent once the budget
+  // was gone, so this query burned multiple op timeouts past its deadline.
+  // The fix caps every recv window by the remaining budget and refuses to
+  // back off or resend once it is spent: the query must come back (flagged
+  // partial) in deadline-order time, not op-timeout-order time.
+  Workload w = MakeWorkload(80, 1, 9300);
+  Deployment dep(w.protos, 2, 6);
+  ServeOptions opt = FastOptions();
+  opt.fault_spec = "drop:op=begin";
+  opt.op_timeout_ms = 4000;
+  opt.op_retries = 2;
+  opt.backoff_base_ms = 0;
+  opt.query_deadline_ms = 200;
+  opt.auto_respawn = false;
+  ServeRouter router(dep.dir.path, opt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ServeResult r = router.KNearest(w.queries[0], 3);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  EXPECT_TRUE(r.partial);
+  EXPECT_EQ(r.missing_shards.size(), 2u);
+  // Generous slop for CI, still an order of magnitude under one op timeout.
+  EXPECT_LT(elapsed_ms, 1500) << "deadline did not gate the retry waits";
+}
+
+// --- The mutable tier over the wire -----------------------------------------
+
+/// Distance-exactness oracle for a mutated deployment: the same contract
+/// the flat mutable tier pins (tests/mutable_laesa_test.cc) — exact
+/// distance profile rank for rank vs brute force over the live map, only
+/// live ids, reported distances true, no duplicates. Tie winners follow
+/// sweep order, so ids are not pinned on tied ranks.
+void ExpectServesLiveOracle(const ServeResult& got,
+                            const std::map<std::uint64_t, std::string>& live,
+                            const StringDistance& dist, const std::string& q,
+                            std::size_t k, const std::string& ctx) {
+  EXPECT_FALSE(got.partial) << ctx;
+  std::vector<NeighborResult> want;
+  for (const auto& [id, s] : live) {
+    want.push_back({static_cast<std::size_t>(id), dist.Distance(q, s)});
+  }
+  std::sort(want.begin(), want.end(), NeighborLess);
+  if (want.size() > k) want.resize(k);
+  ASSERT_EQ(got.neighbors.size(), want.size()) << ctx;
+  std::vector<std::size_t> seen;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const NeighborResult& nb = got.neighbors[i];
+    EXPECT_EQ(nb.distance, want[i].distance) << ctx << " rank " << i;
+    const auto it = live.find(nb.index);
+    ASSERT_NE(it, live.end())
+        << ctx << " rank " << i << " returned dead/unknown id " << nb.index;
+    EXPECT_EQ(nb.distance, dist.Distance(q, it->second)) << ctx << " rank "
+                                                         << i;
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), nb.index), 0)
+        << ctx << " duplicate id " << nb.index;
+    seen.push_back(nb.index);
+  }
+}
+
+TEST(ServeDistributedTest, MutationsServeExactlyOnBothPathsReplicated) {
+  Workload w = MakeWorkload(120, 5, 9400);
+  Deployment dep(w.protos, 4, 8);
+  ServeRouter router(dep.dir.path, FastOptions());  // default R=2
+  auto dist = MakeDistance("dE");
+
+  std::map<std::uint64_t, std::string> live;
+  for (std::size_t i = 0; i < w.protos.size(); ++i) live[i] = w.protos[i];
+
+  // Inserts land in per-shard deltas, round-robin by id.
+  for (int i = 0; i < 10; ++i) {
+    const std::string s = w.protos[i * 7] + "+" + std::to_string(i);
+    const std::uint64_t id = router.Insert(s);
+    EXPECT_EQ(id, w.protos.size() + i);
+    live[id] = s;
+  }
+  // Insert-only: the base stays unmasked, only the delta phase runs.
+  for (const auto& q : w.queries) {
+    ExpectServesLiveOracle(router.KNearest(q, 5), live, *dist, q, 5,
+                           "delta-only lazy q=" + q);
+  }
+
+  // Removes: base ids (0 is a shard pivot), plus one delta id — with dedup
+  // and unknown-id rejection.
+  for (const std::uint64_t id :
+       {std::uint64_t{0}, std::uint64_t{5}, std::uint64_t{61},
+        std::uint64_t{w.protos.size() + 2}}) {
+    EXPECT_TRUE(router.Remove(id)) << id;
+    live.erase(id);
+  }
+  EXPECT_FALSE(router.Remove(0)) << "double remove must dedup";
+  EXPECT_FALSE(router.Remove(w.protos.size() + 1000)) << "unknown id";
+  EXPECT_EQ(router.live_size(), live.size());
+  EXPECT_EQ(router.next_insert_id(), w.protos.size() + 10);
+
+  for (const auto& q : w.queries) {
+    // Masked lazy path (tombstoned base + delta)...
+    ExpectServesLiveOracle(router.KNearest(q, 5), live, *dist, q, 5,
+                           "masked lazy q=" + q);
+    // ...and the top-1 special case.
+    ExpectServesLiveOracle(router.Nearest(q), live, *dist, q, 1,
+                           "masked nearest q=" + q);
+  }
+  // The pivot-row path masks too — including the removed pivot id 0, which
+  // must be skipped as a seed but never returned.
+  const auto batch = router.KNearestBatch(w.queries, 5);
+  ASSERT_EQ(batch.size(), w.queries.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ExpectServesLiveOracle(batch[i], live, *dist, w.queries[i], 5,
+                           "masked row q=" + w.queries[i]);
+  }
+  EXPECT_TRUE(router.PingAll());
+}
+
+TEST(ServeDistributedTest, MutationsServeExactlyAtROne) {
+  Workload w = MakeWorkload(80, 4, 9500);
+  Deployment dep(w.protos, 2, 6);
+  ServeOptions opt = FastOptions();
+  opt.replicas = 1;
+  ServeRouter router(dep.dir.path, opt);
+  auto dist = MakeDistance("dE");
+
+  std::map<std::uint64_t, std::string> live;
+  for (std::size_t i = 0; i < w.protos.size(); ++i) live[i] = w.protos[i];
+  for (int i = 0; i < 6; ++i) {
+    const std::string s = w.protos[i * 5] + "~" + std::to_string(i);
+    live[router.Insert(s)] = s;
+  }
+  for (const std::uint64_t id : {std::uint64_t{3}, std::uint64_t{40},
+                                 std::uint64_t{w.protos.size()}}) {
+    ASSERT_TRUE(router.Remove(id));
+    live.erase(id);
+  }
+  EXPECT_EQ(router.live_size(), live.size());
+  for (const auto& q : w.queries) {
+    ExpectServesLiveOracle(router.KNearest(q, 4), live, *dist, q, 4,
+                           "R=1 lazy q=" + q);
+  }
+  const auto batch = router.KNearestBatch(w.queries, 4);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ExpectServesLiveOracle(batch[i], live, *dist, w.queries[i], 4,
+                           "R=1 row q=" + w.queries[i]);
+  }
+}
+
+TEST(ServeDistributedTest, RespawnedReplicaReplaysJournalBeforeRejoining) {
+  Workload w = MakeWorkload(100, 4, 9600);
+  Deployment dep(w.protos, 2, 6);
+  ServeRouter router(dep.dir.path, FastOptions());
+  auto dist = MakeDistance("dE");
+
+  std::map<std::uint64_t, std::string> live;
+  for (std::size_t i = 0; i < w.protos.size(); ++i) live[i] = w.protos[i];
+  for (int i = 0; i < 8; ++i) {
+    const std::string s = w.protos[i * 9] + "#" + std::to_string(i);
+    live[router.Insert(s)] = s;
+  }
+  ASSERT_TRUE(router.Remove(7));
+  live.erase(7);
+
+  // Kill shard 0's standby. It missed nothing yet — but the next mutation
+  // only reaches the survivors, so the journal is now the sole record.
+  const pid_t standby = router.replica_pid(0, 1);
+  ASSERT_GT(standby, 0);
+  ASSERT_EQ(kill(standby, SIGKILL), 0);
+  const std::string after_kill = w.protos[3] + "#late";
+  live[router.Insert(after_kill)] = after_kill;
+  ASSERT_TRUE(router.Remove(11));
+  live.erase(11);
+
+  // A query routes around the corpse; the respawn then must replay the
+  // whole journal into the fresh process before it rejoins the group.
+  ExpectServesLiveOracle(router.KNearest(w.queries[0], 4), live, *dist,
+                         w.queries[0], 4, "around the corpse");
+  router.RespawnDead();
+  ASSERT_TRUE(router.PingAll());
+
+  // Promote the replayed replica the hard way: kill the primary. If the
+  // replay was incomplete the standby would now serve a stale world —
+  // missing #late, resurrecting id 11 — and the oracle check would catch
+  // either.
+  const pid_t primary = router.replica_pid(0, 0);
+  ASSERT_GT(primary, 0);
+  ASSERT_EQ(kill(primary, SIGKILL), 0);
+  for (const auto& q : w.queries) {
+    ExpectServesLiveOracle(router.KNearest(q, 4), live, *dist, q, 4,
+                           "replayed standby q=" + q);
+  }
+  EXPECT_EQ(router.live_size(), live.size());
+}
+
+TEST(ServeDistributedTest, MutatedTierStaysExactAcrossPrecisionsAndKernels) {
+  // The tombstone mask writes +inf into the lower-bound slab *after*
+  // dequantization, so the admissible-rounding guarantee must survive at
+  // every table precision, under every compiled kernel — now over the
+  // wire. Workers are forked, so the active kernel is set before the
+  // router spawns them.
+  Workload w = MakeWorkload(60, 3, 9700);
+  auto dist = MakeDistance("dE");
+  const std::string saved_kernel = ActiveSweepKernels().name;
+  for (const TablePrecision precision :
+       {TablePrecision::kF32, TablePrecision::kU8}) {
+    Deployment dep(w.protos, 2, 6, precision);
+    for (const SweepKernels* kern : AvailableSweepKernels()) {
+      ASSERT_TRUE(SetActiveSweepKernels(kern->name));
+      ServeRouter router(dep.dir.path, FastOptions());
+      const std::string ctx = std::string("precision ") +
+                              std::to_string(static_cast<int>(precision)) +
+                              " kernel " + kern->name;
+
+      std::map<std::uint64_t, std::string> live;
+      for (std::size_t i = 0; i < w.protos.size(); ++i) live[i] = w.protos[i];
+      for (int i = 0; i < 4; ++i) {
+        const std::string s = w.protos[i * 11] + "^" + std::to_string(i);
+        live[router.Insert(s)] = s;
+      }
+      for (const std::uint64_t id : {std::uint64_t{0}, std::uint64_t{13},
+                                     std::uint64_t{w.protos.size() + 1}}) {
+        ASSERT_TRUE(router.Remove(id)) << ctx;
+        live.erase(id);
+      }
+      for (const auto& q : w.queries) {
+        ExpectServesLiveOracle(router.KNearest(q, 3), live, *dist, q, 3,
+                               ctx + " lazy q=" + q);
+      }
+      const auto batch = router.KNearestBatch({w.queries[0]}, 3);
+      ASSERT_EQ(batch.size(), 1u);
+      ExpectServesLiveOracle(batch[0], live, *dist, w.queries[0], 3,
+                             ctx + " row");
+    }
+  }
+  ASSERT_TRUE(SetActiveSweepKernels(saved_kernel));
 }
 
 }  // namespace
