@@ -17,10 +17,19 @@ namespace cned {
 ///   bytes  0..3   payload length (uint32, <= kMaxFramePayload)
 ///   bytes  4..7   message type (uint32, a FrameType value)
 ///   bytes  8..11  sequence number (uint32, echoed by the reply)
-///   bytes 12..15  CRC-32 (common/crc32.h) of the payload bytes
+///   bytes 12..15  query id (uint32, echoed by the reply)
+///   bytes 16..19  CRC-32 (common/crc32.h) of the payload bytes
 /// followed by the payload. Native (little-endian) byte order, as the
 /// snapshot format: router and workers share one machine or one
 /// architecture.
+///
+/// The query id multiplexes a connection between concurrent sweeps: every
+/// in-flight query owns a router-assigned nonzero id, workers key their
+/// per-sweep slab state on it, and replies echo it alongside the sequence
+/// number. Id 0 is the control plane (ping, shutdown, mutations, scans —
+/// anything that is not per-sweep state). A reply whose sequence or query
+/// id matches no waiting exchange is discarded exactly like a stale
+/// sequence number from a timed-out attempt.
 ///
 /// The failure contract the router builds on:
 ///   * `RecvFrame` is deadline-bounded (poll + monotonic clock), so a
@@ -33,6 +42,11 @@ namespace cned {
 ///     byte stream is ever made).
 /// Sends use MSG_NOSIGNAL: writing to a crashed worker returns an error
 /// instead of raising SIGPIPE in the router.
+///
+/// Frames are self-delimiting, so writers may concatenate several frames
+/// into one send and readers may pull several frames out of one receive —
+/// the concurrent tier's coalescing (serve/reactor.h, the worker drain
+/// loop) rides on exactly that property; the byte stream is unchanged.
 
 /// Hard cap on a frame payload (1 GiB); a length field beyond this is
 /// treated as stream corruption, not an allocation request.
@@ -40,7 +54,10 @@ inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
 
 /// Message types. Requests flow router -> worker; every request gets
 /// exactly one reply frame (kReply or kError) echoing its sequence
-/// number, unless a fault drops it.
+/// number, unless a fault drops it. The single exception is kEndSweep,
+/// which is fire-and-forget: it retires per-query worker state after the
+/// router has already merged the sweep, so a reply would only add a
+/// round trip with nothing to gate on.
 enum class FrameType : std::uint32_t {
   kPing = 1,       ///< health check; reply: u64 shard id, u64 replica id
   kBeginLazy = 2,  ///< start a lazy sweep: str query
@@ -61,14 +78,19 @@ enum class FrameType : std::uint32_t {
   kDeltaScan = 12,  ///< bounded live-delta scan: str query, f64 cap, u64 k
                     ///< -> u64 hits, hits x (u64 id, f64 d), u64 comps,
                     ///< u64 abandons
+  kEndSweep = 13,   ///< retire the sweep slot for this frame's query id;
+                    ///< empty payload, NO reply (fire-and-forget), and
+                    ///< exempt from fault injection (it is router-side
+                    ///< cleanup, not a replicated state-machine op)
 };
 inline constexpr std::uint32_t kMaxFrameType =
-    static_cast<std::uint32_t>(FrameType::kDeltaScan);
+    static_cast<std::uint32_t>(FrameType::kEndSweep);
 
 /// One received frame.
 struct Frame {
   std::uint32_t type = 0;
   std::uint32_t seq = 0;
+  std::uint32_t qid = 0;
   std::vector<char> payload;
 };
 
@@ -80,16 +102,61 @@ enum class RecvStatus {
   kMalformed,  ///< bad length, unknown type, or CRC mismatch
 };
 
+/// Appends one encoded frame (header + payload) to `out` without sending
+/// it — the building block for coalesced writes, where several frames are
+/// flushed with one send. `corrupt_crc`, used only by the fault injector,
+/// stamps a deliberately wrong payload CRC so the receiver's kMalformed
+/// path is exercised end to end. Returns false (appending nothing) only
+/// when the payload exceeds kMaxFramePayload.
+bool EncodeFrame(std::vector<char>* out, FrameType type, std::uint32_t seq,
+                 std::uint32_t qid, const void* payload,
+                 std::size_t payload_bytes, bool corrupt_crc = false);
+
 /// Writes one frame. Returns false on any send error (the caller marks
-/// the peer dead). `corrupt_crc`, used only by the fault injector, stamps
-/// a deliberately wrong payload CRC so the receiver's kMalformed path is
-/// exercised end to end.
-bool SendFrame(int fd, FrameType type, std::uint32_t seq, const void* payload,
-               std::size_t payload_bytes, bool corrupt_crc = false);
+/// the peer dead).
+bool SendFrame(int fd, FrameType type, std::uint32_t seq, std::uint32_t qid,
+               const void* payload, std::size_t payload_bytes,
+               bool corrupt_crc = false);
+
+/// Writes raw pre-encoded bytes (one or more EncodeFrame outputs) with the
+/// same MSG_NOSIGNAL/EINTR handling as SendFrame — the flush half of a
+/// coalesced writer.
+bool SendBytes(int fd, const void* data, std::size_t n);
 
 /// Reads one frame, waiting at most `timeout_ms` (< 0 waits forever).
-/// Partial reads continue against the same deadline.
+/// Partial reads continue against the same deadline. Sub-millisecond
+/// remainders round *up* to the next poll tick, so a small positive
+/// budget polls at least once instead of reporting a premature timeout
+/// (and `timeout_ms == 0` still performs one non-blocking poll, draining
+/// a frame that is already buffered).
 RecvStatus RecvFrame(int fd, Frame* out, int timeout_ms);
+
+/// Incremental frame parser over a raw byte stream: append whatever bytes
+/// a receive produced, then pull out as many complete frames as arrived.
+/// This is how the multiplexed paths (worker drain loop, router reactor)
+/// read many frames per syscall without ever losing a partial frame at a
+/// read boundary — leftover bytes simply wait for the next Append.
+class FrameBuffer {
+ public:
+  enum class Next {
+    kFrame,     ///< a complete, CRC-valid frame was produced
+    kNeedMore,  ///< buffer holds only a partial frame (or nothing)
+    kMalformed, ///< bad length/type/CRC — the stream is unrecoverable
+  };
+
+  void Append(const void* data, std::size_t n);
+  /// Pops the next complete frame into `out`. After kMalformed the buffer
+  /// is poisoned: every further Pop returns kMalformed (callers drop the
+  /// connection, matching RecvFrame's no-resync contract).
+  Next Pop(Frame* out);
+
+  std::size_t buffered_bytes() const { return buf_.size() - off_; }
+
+ private:
+  std::vector<char> buf_;
+  std::size_t off_ = 0;  ///< consumed prefix, compacted lazily
+  bool poisoned_ = false;
+};
 
 /// Append-only payload encoder (native byte order, packed).
 struct PayloadWriter {

@@ -96,39 +96,82 @@ ShardReplica::ShardReplica(const std::string& store_path,
     qtable_ = reader.Section(np * n_s, TablePrecisionBytes(precision_));
   }
   index_mapping_ = reader.file();
-
-  idx_.resize(n_s);
-  lower_.resize(n_s);
 }
 
-SweepCompactResult ShardReplica::BeginLazy(std::string_view query,
-                                           bool masked_start) {
-  query_.assign(query);
-  const std::size_t n_s = store_.size();
-  distance_->LengthLowerBounds(query_.size(), store_.lengths_data(), n_s,
-                               lower_.data());
-  live_pivots_ = 0;
-  for (std::size_t j = 0; j < n_s; ++j) {
-    idx_.data()[j] = static_cast<std::uint32_t>(base_ + j);
-    live_pivots_ += pivot_rank_[base_ + j] >= 0 ? 1 : 0;
+ShardReplica::SweepSlot& ShardReplica::NewSlot(std::uint32_t qid) {
+  auto it = sweeps_.find(qid);
+  if (it == sweeps_.end()) {
+    if (sweeps_.size() >= kMaxSweeps) {
+      throw std::runtime_error("ShardReplica: sweep slot table full");
+    }
+    it = sweeps_.emplace(qid, std::make_unique<SweepSlot>()).first;
   }
-  live_ = n_s;
+  SweepSlot& slot = *it->second;
+  slot.idx.resize(store_.size());
+  slot.lower.resize(store_.size());
+  return slot;
+}
+
+ShardReplica::SweepSlot& ShardReplica::SlotOf(std::uint32_t qid) {
+  const auto it = sweeps_.find(qid);
+  if (it == sweeps_.end()) {
+    throw std::out_of_range("ShardReplica: unknown query id " +
+                            std::to_string(qid));
+  }
+  return *it->second;
+}
+
+const ShardReplica::SweepSlot& ShardReplica::SlotOf(std::uint32_t qid) const {
+  const auto it = sweeps_.find(qid);
+  if (it == sweeps_.end()) {
+    throw std::out_of_range("ShardReplica: unknown query id " +
+                            std::to_string(qid));
+  }
+  return *it->second;
+}
+
+std::size_t ShardReplica::live(std::uint32_t qid) const {
+  return SlotOf(qid).live;
+}
+
+std::size_t ShardReplica::live_pivots(std::uint32_t qid) const {
+  return SlotOf(qid).live_pivots;
+}
+
+void ShardReplica::EndSweep(std::uint32_t qid) { sweeps_.erase(qid); }
+
+SweepCompactResult ShardReplica::BeginLazy(std::uint32_t qid,
+                                           std::string_view query,
+                                           bool masked_start) {
+  SweepSlot& slot = NewSlot(qid);
+  slot.query.assign(query);
+  const std::size_t n_s = store_.size();
+  distance_->LengthLowerBounds(slot.query.size(), store_.lengths_data(), n_s,
+                               slot.lower.data());
+  slot.live_pivots = 0;
+  for (std::size_t j = 0; j < n_s; ++j) {
+    slot.idx.data()[j] = static_cast<std::uint32_t>(base_ + j);
+    slot.live_pivots += pivot_rank_[base_ + j] >= 0 ? 1 : 0;
+  }
+  slot.live = n_s;
   SweepCompactResult pass;
-  pass.live = live_;
+  pass.live = slot.live;
   if (!masked_start) return pass;  // legacy start: router begins at pivot 0
   // Mask this shard's base tombstones out of the slab before anything is
   // visited, and hand the router this segment's minimal-bound survivors so
   // it can choose a live starting candidate across shards (a dead global
   // pivot 0 must not be visited anywhere).
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  if (base_dead_ > 0) ApplyTombstoneMask(tombs_.data(), n_s, lower_.data());
+  if (base_dead_ > 0) {
+    ApplyTombstoneMask(tombs_.data(), n_s, slot.lower.data());
+  }
   const SweepKernels& kern = ActiveSweepKernels();
-  pass = kern.eliminate_and_compact_flagged(idx_.data(), lower_.data(),
-                                            pivot_rank_.data(), live_,
+  pass = kern.eliminate_and_compact_flagged(slot.idx.data(), slot.lower.data(),
+                                            pivot_rank_.data(), slot.live,
                                             /*skip=*/0xFFFFFFFFu,
                                             /*slack=*/1.0, kInf);
-  live_ = pass.live;
-  live_pivots_ -= pass.pivots_died;
+  slot.live = pass.live;
+  slot.live_pivots -= pass.pivots_died;
   return pass;
 }
 
@@ -194,61 +237,72 @@ void ShardReplica::DeltaScan(std::string_view query, double cap0,
   }
 }
 
-SweepCompactResult ShardReplica::BeginRow(std::string_view query,
+SweepCompactResult ShardReplica::BeginRow(std::uint32_t qid,
+                                          std::string_view query,
                                           const double* row,
                                           double seed_bound) {
-  query_.assign(query);
+  SweepSlot& slot = NewSlot(qid);
+  slot.query.assign(query);
   const std::size_t n_s = store_.size();
   const SweepKernels& kern = ActiveSweepKernels();
-  distance_->LengthLowerBounds(query_.size(), store_.lengths_data(), n_s,
-                               lower_.data());
+  distance_->LengthLowerBounds(slot.query.size(), store_.lengths_data(), n_s,
+                               slot.lower.data());
   const QuantTableView view = table_view();
   for (std::size_t p = 0; p < pivots_.size(); ++p) {
-    QuantUpdateLowerDense(kern, view, p, n_s, row[p], lower_.data());
+    QuantUpdateLowerDense(kern, view, p, n_s, row[p], slot.lower.data());
   }
   // Tombstoned base slots go to +inf before the seed compaction, so the
   // row path can never admit a deleted prototype either — no protocol
   // change needed: the mask rides the shard's own state.
-  if (base_dead_ > 0) ApplyTombstoneMask(tombs_.data(), n_s, lower_.data());
+  if (base_dead_ > 0) {
+    ApplyTombstoneMask(tombs_.data(), n_s, slot.lower.data());
+  }
   const SweepCompactResult out = kern.compact_seed(
-      lower_.data(), pivot_rank_.data() + base_, n_s,
-      static_cast<std::uint32_t>(base_), seed_bound, idx_.data(),
-      lower_.data());
-  live_ = out.live;
-  live_pivots_ = 0;  // the row sweep's adaptive phase never revisits pivots
+      slot.lower.data(), pivot_rank_.data() + base_, n_s,
+      static_cast<std::uint32_t>(base_), seed_bound, slot.idx.data(),
+      slot.lower.data());
+  slot.live = out.live;
+  slot.live_pivots = 0;  // the row sweep's adaptive phase never revisits
+                         // pivots
   return out;
 }
 
-double ShardReplica::Eval(std::size_t global_id, double cap) const {
+double ShardReplica::Eval(std::uint32_t qid, std::size_t global_id,
+                          double cap) const {
   if (global_id < base_ || global_id - base_ >= store_.size()) {
     throw std::out_of_range("ShardReplica::Eval: id outside this shard");
   }
-  return distance_->DistanceBounded(query_, store_.view(global_id - base_),
+  const SweepSlot& slot = SlotOf(qid);
+  return distance_->DistanceBounded(slot.query, store_.view(global_id - base_),
                                     cap);
 }
 
-SweepCompactResult ShardReplica::Step(std::uint32_t skip, std::int32_t rank,
-                                      double d, double slack, double bound) {
+SweepCompactResult ShardReplica::Step(std::uint32_t qid, std::uint32_t skip,
+                                      std::int32_t rank, double d,
+                                      double slack, double bound) {
+  SweepSlot& slot = SlotOf(qid);
   const SweepKernels& kern = ActiveSweepKernels();
   if (rank >= 0) {
     QuantUpdateLowerPacked(kern, table_view(),
                            static_cast<std::size_t>(rank), store_.size(), d,
-                           idx_.data(), static_cast<std::uint32_t>(base_),
-                           lower_.data(), live_);
+                           slot.idx.data(), static_cast<std::uint32_t>(base_),
+                           slot.lower.data(), slot.live);
   }
   const SweepCompactResult out = kern.eliminate_and_compact_flagged(
-      idx_.data(), lower_.data(), pivot_rank_.data(), live_, skip, slack,
-      bound);
-  live_ = out.live;
-  live_pivots_ -= out.pivots_died;
+      slot.idx.data(), slot.lower.data(), pivot_rank_.data(), slot.live, skip,
+      slack, bound);
+  slot.live = out.live;
+  slot.live_pivots -= out.pivots_died;
   return out;
 }
 
-SweepCompactResult ShardReplica::StepRow(std::uint32_t skip, double bound) {
+SweepCompactResult ShardReplica::StepRow(std::uint32_t qid, std::uint32_t skip,
+                                         double bound) {
+  SweepSlot& slot = SlotOf(qid);
   const SweepKernels& kern = ActiveSweepKernels();
   const SweepCompactResult out = kern.eliminate_and_compact(
-      idx_.data(), lower_.data(), live_, skip, bound);
-  live_ = out.live;
+      slot.idx.data(), slot.lower.data(), slot.live, skip, bound);
+  slot.live = out.live;
   return out;
 }
 

@@ -2,8 +2,10 @@
 #define CNED_SERVE_REPLICA_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/aligned_buffer.h"
@@ -28,6 +30,16 @@ namespace cned {
 /// what makes a healthy distributed query bit-identical (neighbours,
 /// distances AND QueryStats) to the in-process `ShardedLaesa`.
 ///
+/// Multiplexing: sweep state lives in per-query slots keyed by the frame
+/// layer's query id, so one replica serves any number of interleaved
+/// sweeps over a single connection. Each slot is an independent copy of
+/// the segment slabs — a sweep's trajectory is a pure function of its own
+/// (Begin*, Step*...) sequence, untouched by whatever other queries do in
+/// between — which is exactly what keeps interleaved queries bit-identical
+/// to running them back to back. Mutable-tier state (delta, tombstones) is
+/// shared across slots; the router's writer lock guarantees mutations
+/// never interleave with a sweep that has already begun.
+///
 /// Construction verifies both snapshot files' CRC footers with a full
 /// `VerifySnapshotChecksum` pass before mapping them: a worker serving a
 /// silently corrupted shard would poison every merged result, so the
@@ -50,23 +62,38 @@ class ShardReplica {
   /// carries quantized tables; v1 is always f64).
   TablePrecision table_precision() const { return precision_; }
 
-  /// Candidates still live in this shard's segment.
-  std::size_t live() const { return live_; }
-  /// Live candidates of this segment that are pivots. The router sums
+  /// Candidates still live in query `qid`'s slot. Throws std::out_of_range
+  /// for an unknown qid.
+  std::size_t live(std::uint32_t qid) const;
+  /// Live candidates of `qid`'s slot that are pivots. The router sums
   /// these across shards; when a shard dies its contribution drops out of
   /// the sum automatically, keeping the global pivot accounting exact
   /// under degrade.
-  std::size_t live_pivots() const { return live_pivots_; }
+  std::size_t live_pivots(std::uint32_t qid) const;
 
-  /// Starts a lazy sweep: length lower bounds over the segment, all
-  /// candidates live. With `masked_start` false this is the legacy path:
-  /// the returned pass only carries `live` (the router starts at the first
-  /// pivot), bit-identical to the pre-mutability protocol. With it true the
+  /// Active sweep slots (monitoring; the overflow guard's input).
+  std::size_t sweep_count() const { return sweeps_.size(); }
+
+  /// Hard cap on concurrent sweep slots per replica: a Begin* past it
+  /// throws (the worker answers kError) instead of letting a router that
+  /// leaks query ids grow the worker without bound.
+  static constexpr std::size_t kMaxSweeps = 4096;
+
+  /// Starts a lazy sweep in `qid`'s slot (created, or reset if the id is
+  /// being reused): length lower bounds over the segment, all candidates
+  /// live. With `masked_start` false this is the legacy path: the returned
+  /// pass only carries `live` (the router starts at the first pivot),
+  /// bit-identical to the pre-mutability protocol. With it true the
   /// shard's base tombstones are masked out by an initial compaction at
   /// bound=+inf (sweep_kernel.h) and the returned pass carries this
   /// segment's minimal-bound survivors so the router can pick a live start
   /// across shards.
-  SweepCompactResult BeginLazy(std::string_view query, bool masked_start);
+  SweepCompactResult BeginLazy(std::uint32_t qid, std::string_view query,
+                               bool masked_start);
+
+  /// Retires `qid`'s slot. Idempotent — the router's end-of-sweep frame is
+  /// fire-and-forget, so a duplicate or a never-begun id is a no-op.
+  void EndSweep(std::uint32_t qid);
 
   /// --- Live mutability (mutable tier ops, replicated by the router). ----
 
@@ -95,27 +122,30 @@ class ShardReplica {
   std::size_t delta_dead() const { return delta_dead_; }
   std::size_t total_dead() const { return base_dead_ + delta_dead_; }
 
-  /// Starts a row sweep: length bounds, every pivot row applied dense,
-  /// then the seed compaction against `seed_bound`. Returns the segment's
-  /// compact result.
-  SweepCompactResult BeginRow(std::string_view query, const double* row,
-                              double seed_bound);
+  /// Starts a row sweep in `qid`'s slot: length bounds, every pivot row
+  /// applied dense, then the seed compaction against `seed_bound`. Returns
+  /// the segment's compact result.
+  SweepCompactResult BeginRow(std::uint32_t qid, std::string_view query,
+                              const double* row, double seed_bound);
 
-  /// d(query, prototype at global id) bounded by `cap` — the scattered
-  /// form of the sweep's visit evaluation. Pure (idempotent): safe for the
-  /// router to retry. Throws std::out_of_range for an id outside the
-  /// segment.
-  double Eval(std::size_t global_id, double cap) const;
+  /// d(slot query, prototype at global id) bounded by `cap` — the
+  /// scattered form of the sweep's visit evaluation. Pure (idempotent):
+  /// safe for the router to retry. Throws std::out_of_range for an id
+  /// outside the segment or an unknown qid.
+  double Eval(std::uint32_t qid, std::size_t global_id, double cap) const;
 
-  /// One lazy visit pass: if `rank` >= 0 the visited candidate was pivot
-  /// `rank`, so its table row tightens the segment's bounds first; then
-  /// eliminate-and-compact against `bound` with `slack`, dropping `skip`
-  /// (the visited candidate). Mutates segment state — not idempotent.
-  SweepCompactResult Step(std::uint32_t skip, std::int32_t rank, double d,
-                          double slack, double bound);
+  /// One lazy visit pass on `qid`'s slot: if `rank` >= 0 the visited
+  /// candidate was pivot `rank`, so its table row tightens the segment's
+  /// bounds first; then eliminate-and-compact against `bound` with
+  /// `slack`, dropping `skip` (the visited candidate). Mutates slot state
+  /// — not idempotent. Throws std::out_of_range for an unknown qid.
+  SweepCompactResult Step(std::uint32_t qid, std::uint32_t skip,
+                          std::int32_t rank, double d, double slack,
+                          double bound);
 
   /// One row-sweep visit pass: eliminate-and-compact only.
-  SweepCompactResult StepRow(std::uint32_t skip, double bound);
+  SweepCompactResult StepRow(std::uint32_t qid, std::uint32_t skip,
+                             double bound);
 
  private:
   std::size_t shard_id_ = 0;
@@ -148,11 +178,19 @@ class ShardReplica {
   const QuantRowMeta* row_meta_ = nullptr;  // global per-row meta, mapped
   std::shared_ptr<MappedFile> index_mapping_;
 
-  std::string query_;  // current query (set by Begin*)
-  AlignedBuffer<std::uint32_t> idx_;
-  AlignedBuffer<double> lower_;
-  std::size_t live_ = 0;
-  std::size_t live_pivots_ = 0;
+  /// One in-flight sweep: this query's private copy of the segment slabs.
+  struct SweepSlot {
+    std::string query;
+    AlignedBuffer<std::uint32_t> idx;
+    AlignedBuffer<double> lower;
+    std::size_t live = 0;
+    std::size_t live_pivots = 0;
+  };
+  SweepSlot& NewSlot(std::uint32_t qid);
+  SweepSlot& SlotOf(std::uint32_t qid);
+  const SweepSlot& SlotOf(std::uint32_t qid) const;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<SweepSlot>> sweeps_;
 
   // Mutable-tier state, process-local (rebuilt by the router's op-journal
   // replay when a replica respawns). Tombstone bitmaps are allocated on

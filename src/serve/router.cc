@@ -9,8 +9,10 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <list>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "common/binary_io.h"
 #include "distances/registry.h"
@@ -53,6 +55,9 @@ void ValidateServeOptions(const ServeOptions& o) {
   if (o.health_interval_ms < 0) {
     fail("health_interval_ms", o.health_interval_ms, "must be >= 0");
   }
+  if (o.max_respawns_per_tick < 0) {
+    fail("max_respawns_per_tick", o.max_respawns_per_tick, "must be >= 0");
+  }
 }
 
 /// Exponential backoff before retry `attempt` (1-based), capped at the
@@ -71,16 +76,8 @@ void BackoffSleep(int backoff_base_ms, int attempt, std::int64_t deadline_ms) {
   }
 }
 
-/// RecvFrame that discards replies whose sequence number belongs to a
-/// timed-out earlier attempt.
-RecvStatus RecvMatching(int fd, std::uint32_t seq, int timeout_ms,
-                        Frame* frame) {
-  for (;;) {
-    const RecvStatus st = RecvFrame(fd, frame, timeout_ms);
-    if (st == RecvStatus::kOk && frame->seq != seq) continue;
-    return st;
-  }
-}
+constexpr std::uint32_t kReplyType =
+    static_cast<std::uint32_t>(FrameType::kReply);
 
 }  // namespace
 
@@ -150,17 +147,23 @@ ServeRouter::ServeRouter(const std::string& snapshot_dir,
   shard_ops_.resize(shards);
 
   groups_.resize(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    groups_[s].members.resize(replicas_per_shard_);
-    for (std::size_t r = 0; r < replicas_per_shard_; ++r) {
-      SpawnReplica(s, r, options_.fault_spec);
+  {
+    std::lock_guard<std::mutex> rlock(respawn_mu_);
+    for (std::size_t s = 0; s < shards; ++s) {
+      groups_[s] = std::make_unique<Group>();
+      groups_[s]->members.resize(replicas_per_shard_);
+      for (std::size_t r = 0; r < replicas_per_shard_; ++r) {
+        SpawnReplica(s, r, options_.fault_spec);
+      }
     }
-  }
-  if (!PingAllLocked()) {
-    bool any = false;
-    for (const Group& g : groups_) any = any || g.AnyAlive();
-    if (!any) {
-      throw std::runtime_error("ServeRouter: no worker came up");
+    if (!PingAllLocked()) {
+      bool any = false;
+      for (const auto& gp : groups_) {
+        for (const Replica& m : gp->members) any = any || m.alive;
+      }
+      if (!any) {
+        throw std::runtime_error("ServeRouter: no worker came up");
+      }
     }
   }
   if (options_.health_interval_ms > 0) {
@@ -171,20 +174,19 @@ ServeRouter::ServeRouter(const std::string& snapshot_dir,
 ServeRouter::~ServeRouter() {
   if (health_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(health_mu_);
       stop_health_ = true;
     }
     health_cv_.notify_all();
     health_thread_.join();
   }
-  for (Group& g : groups_) {
-    for (Replica& m : g.members) {
-      if (m.fd >= 0) {
+  for (auto& gp : groups_) {
+    for (Replica& m : gp->members) {
+      if (m.conn != nullptr && !m.conn->failed()) {
         // Best-effort clean shutdown; the SIGKILL below is the guarantee.
-        SendFrame(m.fd, FrameType::kShutdown, ++m.seq, nullptr, 0);
-        close(m.fd);
-        m.fd = -1;
+        m.conn->Send(FrameType::kShutdown, m.conn->NextSeq(), 0, nullptr, 0);
       }
+      m.conn.reset();
       if (m.pid > 0) {
         kill(m.pid, SIGKILL);
         int status = 0;
@@ -194,44 +196,73 @@ ServeRouter::~ServeRouter() {
   }
 }
 
+// Drift-free ticking: each deadline is the previous deadline plus the
+// interval, not "now + interval" after the work finished, so slow ticks
+// do not stretch the period; ticks missed entirely are skipped (never
+// bunched). The loop takes only respawn_mu_ — pings multiplex over the
+// shared connections at query id 0 while queries are mid-sweep, and a
+// replica revived here joins at a later query's begin.
 void ServeRouter::HealthLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_health_) {
-    health_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.health_interval_ms));
-    if (stop_health_) break;
-    // Ping-based failure detection (a silently-dead replica surfaces
-    // here), then respawn. Holding the router lock means this never runs
-    // mid-query, so a revived replica always rejoins at a query boundary.
-    PingAllLocked();
-    RespawnDeadLocked();
+  const auto interval = std::chrono::milliseconds(options_.health_interval_ms);
+  const std::size_t cap =
+      options_.max_respawns_per_tick > 0
+          ? static_cast<std::size_t>(options_.max_respawns_per_tick)
+          : 0;
+  auto next = Clock::now() + interval;
+  std::unique_lock<std::mutex> lock(health_mu_);
+  for (;;) {
+    if (health_cv_.wait_until(lock, next, [this] { return stop_health_; })) {
+      return;
+    }
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> rlock(respawn_mu_);
+      PingAllLocked();
+      RespawnDeadLocked(cap);
+    }
+    lock.lock();
+    next += interval;
+    const auto now = Clock::now();
+    if (next <= now) {
+      const auto behind = now - next;
+      next += interval * (behind / interval + 1);
+    }
   }
 }
 
 void ServeRouter::SpawnReplica(std::size_t s, std::size_t r,
                                const std::string& fault_spec) {
-  Replica& rep = groups_[s].members[r];
+  // Gather every router-side fd before forking so the child can drop
+  // them: a crashed sibling's socket must still read EOF at the router.
+  // Connections cannot be retired concurrently — that happens only under
+  // respawn_mu_, which the caller holds — so the fds stay valid across
+  // the fork (a query marking one failed uses shutdown(2), not close(2)).
+  std::vector<int> router_fds;
+  for (const auto& gp : groups_) {
+    if (gp == nullptr) continue;
+    std::lock_guard<std::mutex> lock(gp->mu);
+    for (const Replica& other : gp->members) {
+      if (other.conn != nullptr) router_fds.push_back(other.conn->fd());
+    }
+  }
+  Group& g = *groups_[s];
   int sv[2];
   if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-    rep.alive = false;
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.members[r].alive = false;
     return;
   }
   const pid_t pid = fork();
   if (pid < 0) {
     close(sv[0]);
     close(sv[1]);
-    rep.alive = false;
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.members[r].alive = false;
     return;
   }
   if (pid == 0) {
-    // Child: drop every fd belonging to the router's other replicas so a
-    // crashed sibling's socket still reads EOF at the router.
     close(sv[0]);
-    for (const Group& g : groups_) {
-      for (const Replica& other : g.members) {
-        if (other.fd >= 0) close(other.fd);
-      }
-    }
+    for (const int fd : router_fds) close(fd);
     WorkerConfig config;
     config.shard_id = s;
     config.replica_id = r;
@@ -257,42 +288,111 @@ void ServeRouter::SpawnReplica(std::size_t s, std::size_t r,
     _exit(RunShardWorker(sv[1], config));
   }
   close(sv[1]);
+  std::lock_guard<std::mutex> lock(g.mu);
+  Replica& rep = g.members[r];
   rep.pid = pid;
-  rep.fd = sv[0];
+  rep.conn = std::make_shared<Conn>(sv[0]);
   rep.alive = true;
-  rep.seq = 0;
-}
-
-void ServeRouter::MarkDead(std::size_t s, std::size_t r) {
-  Replica& rep = groups_[s].members[r];
-  rep.alive = false;
-  if (rep.fd >= 0) {
-    close(rep.fd);
-    rep.fd = -1;
-  }
 }
 
 void ServeRouter::ReapReplica(std::size_t s, std::size_t r) {
-  Replica& rep = groups_[s].members[r];
-  if (rep.fd >= 0) {
-    close(rep.fd);
-    rep.fd = -1;
-  }
-  if (rep.pid > 0) {
-    kill(rep.pid, SIGKILL);
-    int status = 0;
-    waitpid(rep.pid, &status, 0);
+  std::shared_ptr<Conn> conn;
+  pid_t pid = -1;
+  {
+    Group& g = *groups_[s];
+    std::lock_guard<std::mutex> lock(g.mu);
+    Replica& rep = g.members[r];
+    conn = std::move(rep.conn);
+    rep.conn.reset();
+    pid = rep.pid;
     rep.pid = -1;
+    rep.alive = false;
   }
-  rep.alive = false;
+  // Fail before dropping our reference: queries still pinned to this
+  // connection wake with kClosed instead of waiting out their timeouts.
+  if (conn != nullptr) conn->Fail();
+  conn.reset();
+  if (pid > 0) {
+    kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+  }
 }
 
-bool ServeRouter::EnsurePrimary(std::size_t s, ServeResult* res) {
-  Group& g = groups_[s];
+void ServeRouter::MarkDeadGlobal(std::size_t s, std::size_t r) {
+  std::shared_ptr<Conn> conn;
+  {
+    Group& g = *groups_[s];
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.members[r].alive = false;
+    conn = g.members[r].conn;
+  }
+  if (conn != nullptr) conn->Fail();
+}
+
+void ServeRouter::MarkDead(QueryCtx& ctx, std::size_t s, std::size_t r) {
+  Participant& m = ctx.groups[s].members[r];
+  m.alive = false;
+  if (m.conn != nullptr) m.conn->Fail();
+  // Propagate to the global member only while it still holds the same
+  // connection: a respawn may already have replaced it, and the fresh
+  // process must not be condemned for its predecessor's death.
+  Group& g = *groups_[s];
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.members[r].conn == m.conn) g.members[r].alive = false;
+}
+
+void ServeRouter::SnapshotCtx(QueryCtx* ctx) const {
+  std::uint32_t qid = ++qid_counter_;
+  if (qid == 0) qid = ++qid_counter_;  // 0 is the control plane
+  ctx->qid = qid;
+  ctx->groups.resize(groups_.size());
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    Group& g = *groups_[s];
+    GroupCtx& gc = ctx->groups[s];
+    std::lock_guard<std::mutex> lock(g.mu);
+    gc.members.resize(g.members.size());
+    for (std::size_t r = 0; r < g.members.size(); ++r) {
+      gc.members[r].conn = g.members[r].conn;
+      gc.members[r].alive = g.members[r].alive &&
+                            g.members[r].conn != nullptr &&
+                            !g.members[r].conn->failed();
+    }
+    gc.primary = g.primary;
+  }
+}
+
+void ServeRouter::EndSweeps(const QueryCtx& ctx) {
+  for (const GroupCtx& g : ctx.groups) {
+    for (const Participant& m : g.members) {
+      if (m.conn == nullptr || m.conn->failed()) continue;
+      // Fire-and-forget (no Expect): the worker retires the sweep slot
+      // and sends nothing back.
+      m.conn->Send(FrameType::kEndSweep, m.conn->NextSeq(), ctx.qid, nullptr,
+                   0);
+    }
+  }
+}
+
+void ServeRouter::Promote(QueryCtx& ctx, std::size_t s, std::size_t r) {
+  ctx.groups[s].primary = r;
+  // Mirror to the global group when its member is unchanged, steering
+  // later queries (and the monitoring accessors) at the live member.
+  Group& g = *groups_[s];
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.members[r].conn == ctx.groups[s].members[r].conn &&
+      g.members[r].alive) {
+    g.primary = r;
+  }
+}
+
+bool ServeRouter::EnsurePrimary(QueryCtx& ctx, std::size_t s,
+                                ServeResult* res) {
+  GroupCtx& g = ctx.groups[s];
   if (g.members[g.primary].alive) return true;
   for (std::size_t r = 0; r < g.members.size(); ++r) {
     if (g.members[r].alive) {
-      g.primary = r;
+      Promote(ctx, s, r);
       if (res != nullptr) ++res->failovers;
       return true;
     }
@@ -300,18 +400,17 @@ bool ServeRouter::EnsurePrimary(std::size_t s, ServeResult* res) {
   return false;
 }
 
-bool ServeRouter::SendRecv(std::size_t s, std::size_t r, std::uint32_t type,
-                           const std::vector<char>& payload,
+bool ServeRouter::SendRecv(QueryCtx& ctx, std::size_t s, std::size_t r,
+                           FrameType type, const std::vector<char>& payload,
                            std::vector<char>* reply, int timeout_ms,
                            bool retryable, std::int64_t deadline_ms) {
-  Replica& w = groups_[s].members[r];
+  Participant& m = ctx.groups[s].members[r];
   const int attempts = retryable ? 1 + options_.op_retries : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (!w.alive) return false;
+    if (!m.alive) return false;
     // Gate on the remaining deadline before sleeping or sending: an
-    // already-expired query must not burn a full send+recv window (with
-    // backoff_base_ms=0 the old post-sleep check never fired in time).
-    // The break still reaches the MarkDead below — GroupEval's retry loop
+    // already-expired query must not burn a full send+recv window. The
+    // break still reaches the MarkDead below — GroupEval's retry loop
     // relies on a false return leaving the replica dead.
     std::int64_t left = timeout_ms;
     if (deadline_ms >= 0) {
@@ -325,10 +424,11 @@ bool ServeRouter::SendRecv(std::size_t s, std::size_t r, std::uint32_t type,
         if (left <= 0) break;
       }
     }
-    const std::uint32_t seq = ++w.seq;
-    if (!SendFrame(w.fd, static_cast<FrameType>(type), seq, payload.data(),
-                   payload.size())) {
-      MarkDead(s, r);
+    const std::uint32_t seq = m.conn->NextSeq();
+    m.conn->Expect(seq, ctx.qid);
+    if (!m.conn->Send(type, seq, ctx.qid, payload.data(), payload.size())) {
+      m.conn->Cancel(seq);
+      MarkDead(ctx, s, r);
       return false;
     }
     // Cap the per-attempt recv window at the remaining deadline, so one
@@ -337,33 +437,82 @@ bool ServeRouter::SendRecv(std::size_t s, std::size_t r, std::uint32_t type,
         deadline_ms >= 0 && left < timeout_ms ? static_cast<int>(left)
                                               : timeout_ms;
     Frame frame;
-    const RecvStatus st = RecvMatching(w.fd, seq, window, &frame);
+    const RecvStatus st = m.conn->Wait(seq, window, &frame);
     if (st == RecvStatus::kOk) {
-      if (frame.type != static_cast<std::uint32_t>(FrameType::kReply)) {
+      if (frame.type != kReplyType) {
         // kError (a worker-side exception) or an unexpected type: the
         // replica's state is suspect either way.
-        MarkDead(s, r);
+        MarkDead(ctx, s, r);
         return false;
       }
       if (reply != nullptr) *reply = std::move(frame.payload);
       return true;
     }
-    if (st == RecvStatus::kClosed || st == RecvStatus::kMalformed) {
-      // A corrupt stream is never resynchronised: dead replica.
-      MarkDead(s, r);
+    if (st != RecvStatus::kTimeout) {
+      // A corrupt or closed stream is never resynchronised: dead replica.
+      MarkDead(ctx, s, r);
       return false;
     }
-    // kTimeout: retry when the op allows it.
+    // kTimeout: deregister (a late reply becomes stale) and retry when
+    // the op allows it.
+    m.conn->Cancel(seq);
     if (!retryable) {
-      MarkDead(s, r);
+      MarkDead(ctx, s, r);
       return false;
     }
   }
-  MarkDead(s, r);
+  MarkDead(ctx, s, r);
   return false;
 }
 
-void ServeRouter::Broadcast(std::uint32_t type,
+bool ServeRouter::ControlSendRecv(std::size_t s, std::size_t r, FrameType type,
+                                  const std::vector<char>& payload,
+                                  std::vector<char>* reply, bool retryable) {
+  std::shared_ptr<Conn> conn;
+  {
+    Group& g = *groups_[s];
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.members[r].alive) return false;
+    conn = g.members[r].conn;
+  }
+  if (conn == nullptr || conn->failed()) {
+    MarkDeadGlobal(s, r);
+    return false;
+  }
+  const int attempts = retryable ? 1 + options_.op_retries : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffSleep(options_.backoff_base_ms, attempt, /*deadline_ms=*/-1);
+    }
+    const std::uint32_t seq = conn->NextSeq();
+    conn->Expect(seq, /*qid=*/0);
+    if (!conn->Send(type, seq, /*qid=*/0, payload.data(), payload.size())) {
+      conn->Cancel(seq);
+      MarkDeadGlobal(s, r);
+      return false;
+    }
+    Frame frame;
+    const RecvStatus st = conn->Wait(seq, options_.op_timeout_ms, &frame);
+    if (st == RecvStatus::kOk) {
+      if (frame.type != kReplyType) {
+        MarkDeadGlobal(s, r);
+        return false;
+      }
+      if (reply != nullptr) *reply = std::move(frame.payload);
+      return true;
+    }
+    if (st != RecvStatus::kTimeout) {
+      MarkDeadGlobal(s, r);
+      return false;
+    }
+    conn->Cancel(seq);
+    if (!retryable) break;
+  }
+  MarkDeadGlobal(s, r);
+  return false;
+}
+
+void ServeRouter::Broadcast(QueryCtx& ctx, FrameType type,
                             const std::vector<char>& payload, bool retryable,
                             int timeout_ms, std::int64_t deadline_ms,
                             std::vector<ShardView>& views,
@@ -374,58 +523,64 @@ void ServeRouter::Broadcast(std::uint32_t type,
   const std::size_t R = replicas_per_shard_;
   // Per (shard, member) scatter state, flat-indexed s * R + r.
   std::vector<std::uint32_t> sent_seq(shards * R, 0);
-  std::vector<char> pending(shards * R, 0), good(shards * R, 0),
-      retry(shards * R, 0);
+  std::vector<char> pending(shards * R, 0), good(shards * R, 0);
   std::vector<std::vector<char>> member_reply(shards * R);
 
-  // Scatter to every live member of every active shard first, so all
-  // replicas compute their pass concurrently — this is the state-machine
-  // replication step: standbys consume the identical op stream.
+  // Scatter to every live pinned member of every active shard first, so
+  // all replicas compute their pass concurrently — this is the
+  // state-machine replication step: standbys consume the identical op
+  // stream. With concurrent queries in flight, the reactor's send
+  // coalescing merges these frames with other queries' into fewer
+  // syscalls.
   for (std::size_t s = 0; s < shards; ++s) {
     if (!views[s].active) continue;
-    Group& g = groups_[s];
+    GroupCtx& g = ctx.groups[s];
     for (std::size_t r = 0; r < g.members.size(); ++r) {
-      Replica& m = g.members[r];
+      Participant& m = g.members[r];
       if (!m.alive) continue;
       const std::size_t i = s * R + r;
-      sent_seq[i] = ++m.seq;
-      if (SendFrame(m.fd, static_cast<FrameType>(type), sent_seq[i],
-                    payload.data(), payload.size())) {
+      sent_seq[i] = m.conn->NextSeq();
+      m.conn->Expect(sent_seq[i], ctx.qid);
+      if (m.conn->Send(type, sent_seq[i], ctx.qid, payload.data(),
+                       payload.size())) {
         pending[i] = 1;
       } else {
-        MarkDead(s, r);
+        m.conn->Cancel(sent_seq[i]);
+        MarkDead(ctx, s, r);
       }
     }
   }
-  // ...then gather in (shard, member) order.
+  // ...then gather in (shard, member) order. Later waits usually complete
+  // instantly: whichever thread reads the socket completes every waiter
+  // whose frame arrived in the same drain.
   for (std::size_t s = 0; s < shards; ++s) {
     for (std::size_t r = 0; r < R; ++r) {
       const std::size_t i = s * R + r;
       if (!pending[i]) continue;
+      Participant& m = ctx.groups[s].members[r];
       Frame frame;
-      const RecvStatus st =
-          RecvMatching(groups_[s].members[r].fd, sent_seq[i], timeout_ms,
-                       &frame);
-      if (st == RecvStatus::kOk &&
-          frame.type == static_cast<std::uint32_t>(FrameType::kReply)) {
+      const RecvStatus st = m.conn->Wait(sent_seq[i], timeout_ms, &frame);
+      if (st == RecvStatus::kOk && frame.type == kReplyType) {
         member_reply[i] = std::move(frame.payload);
         good[i] = 1;
-      } else if (st == RecvStatus::kTimeout && retryable) {
-        retry[i] = 1;
+      } else if (st == RecvStatus::kTimeout) {
+        // Deregister — the late reply becomes stale — then retry fresh
+        // when the op is idempotent; a mutating op that timed out costs
+        // the replica its life on the spot.
+        m.conn->Cancel(sent_seq[i]);
+        if (retryable) {
+          if (SendRecv(ctx, s, r, type, payload, &member_reply[i], timeout_ms,
+                       /*retryable=*/true, deadline_ms)) {
+            good[i] = 1;
+          }
+        } else {
+          MarkDead(ctx, s, r);
+        }
+      } else if (st == RecvStatus::kOk) {
+        // kError or an unexpected type.
+        MarkDead(ctx, s, r);
       } else {
-        MarkDead(s, r);
-      }
-    }
-  }
-  // Individual retries for idempotent ops that timed out; a mutating op
-  // that timed out already cost that replica its life in the gather.
-  for (std::size_t s = 0; s < shards; ++s) {
-    for (std::size_t r = 0; r < R; ++r) {
-      const std::size_t i = s * R + r;
-      if (!retry[i]) continue;
-      if (SendRecv(s, r, type, payload, &member_reply[i], timeout_ms,
-                   /*retryable=*/true, deadline_ms)) {
-        good[i] = 1;
+        MarkDead(ctx, s, r);
       }
     }
   }
@@ -436,7 +591,7 @@ void ServeRouter::Broadcast(std::uint32_t type,
   // exact and unflagged.
   for (std::size_t s = 0; s < shards; ++s) {
     if (!views[s].active) continue;
-    Group& g = groups_[s];
+    GroupCtx& g = ctx.groups[s];
     std::size_t driver = g.members.size();
     if (good[s * R + g.primary]) {
       driver = g.primary;
@@ -448,7 +603,7 @@ void ServeRouter::Broadcast(std::uint32_t type,
         }
       }
       if (driver < g.members.size()) {
-        g.primary = driver;
+        Promote(ctx, s, driver);
         if (res != nullptr) ++res->failovers;
       }
     }
@@ -461,7 +616,7 @@ void ServeRouter::Broadcast(std::uint32_t type,
     for (std::size_t r = 0; r < g.members.size(); ++r) {
       if (r == driver || !good[s * R + r]) continue;
       if (member_reply[s * R + r] != member_reply[s * R + driver]) {
-        MarkDead(s, r);
+        MarkDead(ctx, s, r);
         if (res != nullptr) ++res->replicas_evicted;
       }
     }
@@ -469,13 +624,12 @@ void ServeRouter::Broadcast(std::uint32_t type,
   }
 }
 
-bool ServeRouter::GroupEval(std::size_t s, std::uint32_t type,
+bool ServeRouter::GroupEval(QueryCtx& ctx, std::size_t s, FrameType type,
                             const std::vector<char>& payload,
                             std::vector<char>* reply, std::int64_t deadline_ms,
                             ServeResult* res) {
-  Group& g = groups_[s];
-  const FrameType ftype = static_cast<FrameType>(type);
-  if (!EnsurePrimary(s, res)) return false;
+  GroupCtx& g = ctx.groups[s];
+  if (!EnsurePrimary(ctx, s, res)) return false;
 
   auto pick_standby = [&]() -> std::size_t {
     for (std::size_t r = 0; r < g.members.size(); ++r) {
@@ -488,8 +642,8 @@ bool ServeRouter::GroupEval(std::size_t s, std::uint32_t type,
     // No hedging possible: plain retried exchange, failing over to the
     // next member while any remains (the op is pure, so a promoted standby
     // answers identically).
-    while (EnsurePrimary(s, res)) {
-      if (SendRecv(s, g.primary, type, payload, reply,
+    while (EnsurePrimary(ctx, s, res)) {
+      if (SendRecv(ctx, s, g.primary, type, payload, reply,
                    RemainingMs(deadline_ms), /*retryable=*/true,
                    deadline_ms)) {
         return true;
@@ -503,17 +657,19 @@ bool ServeRouter::GroupEval(std::size_t s, std::uint32_t type,
     if (attempt > 0) {
       BackoffSleep(options_.backoff_base_ms, attempt, deadline_ms);
     }
-    if (!EnsurePrimary(s, res)) return false;
+    if (!EnsurePrimary(ctx, s, res)) return false;
     const int window = RemainingMs(deadline_ms);
     if (window == 0) break;
     const std::int64_t attempt_end = NowMs() + window;
 
-    Replica* prim = &g.members[g.primary];
     const std::size_t prim_idx = g.primary;
-    const std::uint32_t pseq = ++prim->seq;
-    if (!SendFrame(prim->fd, ftype, pseq, payload.data(),
-                   payload.size())) {
-      MarkDead(s, prim_idx);
+    Participant& prim = g.members[prim_idx];
+    const std::uint32_t pseq = prim.conn->NextSeq();
+    prim.conn->Expect(pseq, ctx.qid);
+    if (!prim.conn->Send(type, pseq, ctx.qid, payload.data(),
+                         payload.size())) {
+      prim.conn->Cancel(pseq);
+      MarkDead(ctx, s, prim_idx);
       continue;
     }
     bool p_pending = true;
@@ -524,97 +680,88 @@ bool ServeRouter::GroupEval(std::size_t s, std::uint32_t type,
       int hedge = options_.hedge_delay_ms;
       if (hedge > left) hedge = static_cast<int>(left > 0 ? left : 0);
       Frame frame;
-      const RecvStatus st = RecvMatching(prim->fd, pseq, hedge, &frame);
+      const RecvStatus st = prim.conn->Wait(pseq, hedge, &frame);
       if (st == RecvStatus::kOk) {
-        if (frame.type == static_cast<std::uint32_t>(FrameType::kReply)) {
+        if (frame.type == kReplyType) {
           *reply = std::move(frame.payload);
           return true;
         }
-        MarkDead(s, prim_idx);
+        MarkDead(ctx, s, prim_idx);
         p_pending = false;
       } else if (st != RecvStatus::kTimeout) {
-        MarkDead(s, prim_idx);
+        MarkDead(ctx, s, prim_idx);
         p_pending = false;
       }
     }
 
     // Phase 2: race the standby against the (slow or dead) primary and
     // take the first valid reply — both hold the same snapshot, so either
-    // answer is exact. The loser's late reply is discarded by sequence
-    // number on the next exchange.
+    // answer is exact. Each connection has its own reactor (no
+    // cross-connection poll), so the race alternates short waits between
+    // the two sides; a winner is noticed at worst ~2ms late. When only
+    // one side remains pending, its wait spans the rest of the window.
     const std::size_t stand_idx = pick_standby();
     bool s_pending = false;
     std::uint32_t sseq = 0;
     if (stand_idx < g.members.size()) {
-      Replica& stand = g.members[stand_idx];
-      sseq = ++stand.seq;
-      if (SendFrame(stand.fd, ftype, sseq, payload.data(),
-                    payload.size())) {
+      Participant& stand = g.members[stand_idx];
+      sseq = stand.conn->NextSeq();
+      stand.conn->Expect(sseq, ctx.qid);
+      if (stand.conn->Send(type, sseq, ctx.qid, payload.data(),
+                           payload.size())) {
         s_pending = true;
         if (res != nullptr) ++res->hedged_evals;
       } else {
-        MarkDead(s, stand_idx);
+        stand.conn->Cancel(sseq);
+        MarkDead(ctx, s, stand_idx);
       }
     }
 
+    auto poll_side = [&](std::size_t idx, std::uint32_t seq, bool* pend,
+                         int wait_ms) -> bool {
+      Frame frame;
+      const RecvStatus st = g.members[idx].conn->Wait(seq, wait_ms, &frame);
+      if (st == RecvStatus::kOk) {
+        if (frame.type == kReplyType) {
+          *reply = std::move(frame.payload);
+          return true;
+        }
+        MarkDead(ctx, s, idx);
+        *pend = false;
+      } else if (st != RecvStatus::kTimeout) {
+        MarkDead(ctx, s, idx);
+        *pend = false;
+      }
+      return false;
+    };
     while (p_pending || s_pending) {
       const std::int64_t left = attempt_end - NowMs();
       if (left <= 0) break;
-      struct pollfd pfds[2];
-      nfds_t nfds = 0;
-      int who[2] = {0, 0};  // 0 = primary, 1 = standby
-      if (p_pending) {
-        pfds[nfds].fd = g.members[prim_idx].fd;
-        pfds[nfds].events = POLLIN;
-        pfds[nfds].revents = 0;
-        who[nfds++] = 0;
+      const int slice = left < 2 ? static_cast<int>(left) : 2;
+      if (p_pending &&
+          poll_side(prim_idx, pseq, &p_pending,
+                    s_pending ? slice : static_cast<int>(left))) {
+        if (s_pending) g.members[stand_idx].conn->Cancel(sseq);
+        return true;
       }
-      if (s_pending) {
-        pfds[nfds].fd = g.members[stand_idx].fd;
-        pfds[nfds].events = POLLIN;
-        pfds[nfds].revents = 0;
-        who[nfds++] = 1;
-      }
-      const int pr = ::poll(pfds, nfds, static_cast<int>(left));
-      if (pr == 0) break;
-      if (pr < 0) {
-        if (errno == EINTR) continue;
-        break;
-      }
-      for (nfds_t i = 0; i < nfds; ++i) {
-        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-        const bool is_primary = who[i] == 0;
-        const std::size_t idx = is_primary ? prim_idx : stand_idx;
-        const std::uint32_t seq = is_primary ? pseq : sseq;
-        Frame frame;
-        const std::int64_t now_left = attempt_end - NowMs();
-        const RecvStatus st = RecvMatching(
-            g.members[idx].fd, seq,
-            static_cast<int>(now_left > 0 ? now_left : 0), &frame);
-        if (st == RecvStatus::kOk) {
-          if (frame.type == static_cast<std::uint32_t>(FrameType::kReply)) {
-            *reply = std::move(frame.payload);
-            return true;
-          }
-          MarkDead(s, idx);
-        } else if (st != RecvStatus::kTimeout) {
-          MarkDead(s, idx);
-        }
-        if (is_primary) {
-          p_pending = p_pending && g.members[idx].alive && st == RecvStatus::kTimeout;
-        } else {
-          s_pending = s_pending && g.members[idx].alive && st == RecvStatus::kTimeout;
-        }
+      if (s_pending &&
+          poll_side(stand_idx, sseq, &s_pending,
+                    p_pending ? slice : static_cast<int>(left))) {
+        if (p_pending) g.members[prim_idx].conn->Cancel(pseq);
+        return true;
       }
     }
-    // Attempt window exhausted with no valid reply from either side.
+    // Attempt window exhausted with no valid reply from either side:
+    // deregister both (late replies become stale) and try again fresh.
+    if (p_pending) g.members[prim_idx].conn->Cancel(pseq);
+    if (s_pending) g.members[stand_idx].conn->Cancel(sseq);
   }
   // All attempts burned: whatever is still nominally pending has missed
   // every window — treat the participants as unresponsive, exactly as the
   // unreplicated tier treats a worker that exhausts its retries.
-  MarkDead(s, g.primary);
+  MarkDead(ctx, s, g.primary);
   const std::size_t stand_idx = pick_standby();
-  if (stand_idx < g.members.size()) MarkDead(s, stand_idx);
+  if (stand_idx < g.members.size()) MarkDead(ctx, s, stand_idx);
   return false;
 }
 
@@ -632,40 +779,70 @@ int ServeRouter::RemainingMs(std::int64_t deadline_ms) const {
 }
 
 pid_t ServeRouter::worker_pid(std::size_t s) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return groups_[s].members[groups_[s].primary].pid;
+  Group& g = *groups_[s];
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.members[g.primary].pid;
 }
 
 bool ServeRouter::worker_alive(std::size_t s) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return groups_[s].AnyAlive();
+  Group& g = *groups_[s];
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (const Replica& m : g.members) {
+    if (m.alive) return true;
+  }
+  return false;
 }
 
 std::size_t ServeRouter::primary_of(std::size_t s) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return groups_[s].primary;
+  Group& g = *groups_[s];
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.primary;
 }
 
 pid_t ServeRouter::replica_pid(std::size_t s, std::size_t r) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return groups_[s].members[r].pid;
+  Group& g = *groups_[s];
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.members[r].pid;
 }
 
 bool ServeRouter::replica_alive(std::size_t s, std::size_t r) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return groups_[s].members[r].alive;
+  Group& g = *groups_[s];
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.members[r].alive;
+}
+
+bool ServeRouter::AnyDead() const {
+  for (const auto& gp : groups_) {
+    std::lock_guard<std::mutex> lock(gp->mu);
+    for (const Replica& m : gp->members) {
+      if (!m.alive) return true;
+    }
+  }
+  return false;
+}
+
+void ServeRouter::MaybeRespawn() {
+  // Cheap any-dead scan first: the common healthy query never touches
+  // respawn_mu_ and never serializes behind another caller's respawn.
+  if (!options_.auto_respawn || !AnyDead()) return;
+  std::lock_guard<std::mutex> lock(respawn_mu_);
+  RespawnDeadLocked(/*limit=*/0);
 }
 
 ServeResult ServeRouter::Nearest(std::string_view query) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (options_.auto_respawn) RespawnDeadLocked();
-  return QueryLazy(query, 1, /*slack=*/1.0);
+  return KNearest(query, 1);
 }
 
 ServeResult ServeRouter::KNearest(std::string_view query, std::size_t k) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (options_.auto_respawn) RespawnDeadLocked();
-  return QueryLazy(query, k, /*slack=*/1.0);
+  // Shared world lock: N callers sweep concurrently; mutations (which
+  // take it exclusive) never interleave with a sweep.
+  std::shared_lock<std::shared_mutex> world(world_mu_);
+  MaybeRespawn();
+  QueryCtx ctx;
+  SnapshotCtx(&ctx);
+  ServeResult res = QueryLazy(ctx, query, k, /*slack=*/1.0);
+  EndSweeps(ctx);
+  return res;
 }
 
 std::vector<ServeResult> ServeRouter::NearestBatch(
@@ -675,36 +852,578 @@ std::vector<ServeResult> ServeRouter::NearestBatch(
 
 std::vector<ServeResult> ServeRouter::KNearestBatch(
     const std::vector<std::string>& queries, std::size_t k) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ServeResult> out;
   out.reserve(queries.size());
+  const std::size_t np = pivots_.size();
+  std::vector<double> row(np);
   for (const std::string& q : queries) {
+    std::shared_lock<std::shared_mutex> world(world_mu_);
     // Respawn between queries: one lost group costs one partial answer,
-    // and revived replicas (re-mapped, checksum-verified) rejoin their
-    // groups at the next begin.
-    if (options_.auto_respawn) RespawnDeadLocked();
-    out.push_back(QueryRow(q, k));
+    // and revived replicas (re-mapped, checksum-verified) rejoin at the
+    // next query's begin.
+    MaybeRespawn();
+    QueryCtx ctx;
+    SnapshotCtx(&ctx);
+    // Pivot stage, router-side (counted inside QueryRow as the batch
+    // engine counts it).
+    for (std::size_t p = 0; p < np; ++p) {
+      row[p] = distance_->Distance(q, pivot_strings_[p]);
+    }
+    out.push_back(QueryRow(ctx, q, k, row.data()));
+    EndSweeps(ctx);
+  }
+  return out;
+}
+
+ServeResult ServeRouter::RobustRowQuery(std::string_view query, std::size_t k,
+                                        const double* row) {
+  MaybeRespawn();
+  QueryCtx ctx;
+  SnapshotCtx(&ctx);
+  ServeResult res = QueryRow(ctx, query, k, row);
+  EndSweeps(ctx);
+  return res;
+}
+
+ServeResult ServeRouter::KNearestWithRow(std::string_view query, std::size_t k,
+                                         const std::vector<double>& row) {
+  if (row.size() != pivots_.size()) {
+    throw std::invalid_argument(
+        "ServeRouter::KNearestWithRow: row must have num_pivots() entries");
+  }
+  std::shared_lock<std::shared_mutex> world(world_mu_);
+  return RobustRowQuery(query, k, row.data());
+}
+
+bool ServeRouter::FastWorldLocked() const {
+  if (base_dead_total_ != 0) return false;
+  for (const std::size_t d : delta_live_) {
+    if (d != 0) return false;
+  }
+  for (const auto& g : groups_) {
+    std::lock_guard<std::mutex> glock(g->mu);
+    for (const Replica& m : g->members) {
+      if (!m.alive || m.conn == nullptr || m.conn->failed()) return false;
+    }
+  }
+  return true;
+}
+
+void ServeRouter::DriveSweeps(SweepFeed& feed, std::size_t max_concurrent) {
+  const std::size_t wave = max_concurrent == 0 ? 16 : max_concurrent;
+  const std::size_t shards = shard_sizes_.size();
+  const std::size_t np = pivots_.size();
+
+  /// One outstanding request leg of a sweep's current phase.
+  struct Leg {
+    std::size_t s = 0, r = 0;
+    std::uint32_t seq = 0;
+    Conn* conn = nullptr;
+    bool done = false;
+    std::vector<char> payload;
+  };
+  enum class St { kBegin, kEval, kStep, kDone, kBail };
+  struct Sweep {
+    SweepJob job;
+    St st = St::kBegin;
+    std::size_t k = 0;
+    std::int64_t deadline = 0;
+    QueryCtx ctx;
+    std::vector<ShardView> views;
+    std::vector<NeighborResult> best;
+    ServeResult res;
+    std::vector<Leg> legs;
+    std::uint64_t computations = 0, abandons = 0;
+    std::size_t s_cand = kSweepNone;
+    double cap = 0.0;
+    std::int64_t last_progress_ms = 0;
+    bool settled = false;  // kDone or kBail, awaiting delivery
+  };
+
+  std::list<Sweep> sweeps;
+  std::shared_lock<std::shared_mutex> world(world_mu_, std::defer_lock);
+  bool fast = false;
+
+  // Per-connection request buffers for the current round; flushed as one
+  // write per connection.
+  std::vector<Conn*> flush_order;
+  std::unordered_map<Conn*, std::vector<char>> outgoing;
+
+  auto enqueue = [&](Sweep& sw, std::size_t s, std::size_t r, FrameType type,
+                     const PayloadWriter& w) {
+    const Participant& m = sw.ctx.groups[s].members[r];
+    Leg leg;
+    leg.s = s;
+    leg.r = r;
+    leg.conn = m.conn.get();
+    leg.seq = m.conn->NextSeq();
+    m.conn->Expect(leg.seq, sw.ctx.qid);
+    auto& buf = outgoing[leg.conn];
+    if (buf.empty()) flush_order.push_back(leg.conn);
+    EncodeFrame(&buf, type, leg.seq, sw.ctx.qid, w.buf.data(), w.buf.size());
+    sw.legs.push_back(leg);
+  };
+  auto flush = [&] {
+    for (Conn* conn : flush_order) {
+      auto& buf = outgoing[conn];
+      if (!buf.empty()) conn->SendRaw(buf.data(), buf.size());
+      buf.clear();
+    }
+    flush_order.clear();
+  };
+  auto kth = [](const Sweep& sw) {
+    return sw.best.size() < sw.k ? kInf : sw.best.back().distance;
+  };
+  auto total_live = [](const Sweep& sw) {
+    std::size_t live = 0;
+    for (const ShardView& v : sw.views) {
+      if (v.active) live += v.live;
+    }
+    return live;
+  };
+  auto select_next = [](const Sweep& sw) {
+    std::size_t next = kSweepNone;
+    double next_key = kInf;
+    for (const ShardView& v : sw.views) {
+      if (!v.active) continue;
+      if (v.last.next != kSweepNone && v.last.next_key < next_key) {
+        next_key = v.last.next_key;
+        next = v.last.next;
+      }
+    }
+    return next;
+  };
+  // EndSweeps, but riding the next round's flush instead of paying its
+  // own write syscall per connection: the kEndSweep frames are
+  // fire-and-forget, and the worker's slot table tolerates one round of
+  // retirement lag. Every finish/bail is followed by a flush in the same
+  // driver iteration, so nothing lingers.
+  auto end_sweeps_buffered = [&](const QueryCtx& ctx) {
+    for (const GroupCtx& g : ctx.groups) {
+      for (const Participant& m : g.members) {
+        if (m.conn == nullptr || m.conn->failed()) continue;
+        auto& buf = outgoing[m.conn.get()];
+        if (buf.empty()) flush_order.push_back(m.conn.get());
+        EncodeFrame(&buf, FrameType::kEndSweep, m.conn->NextSeq(), ctx.qid,
+                    nullptr, 0);
+      }
+    }
+  };
+  auto bail = [&](Sweep& sw) {
+    for (const Leg& leg : sw.legs) {
+      if (!leg.done) leg.conn->Cancel(leg.seq);
+    }
+    sw.legs.clear();
+    end_sweeps_buffered(sw.ctx);
+    sw.res = ServeResult();
+    sw.st = St::kBail;
+    sw.settled = true;
+    // A bail usually means a replica died under us: re-gate admission now
+    // rather than feeding more sweeps into a world that will bail them.
+    fast = FastWorldLocked();
+  };
+  auto finish = [&](Sweep& sw) {
+    sw.res.stats.distance_computations += sw.computations;
+    sw.res.stats.bounded_abandons += sw.abandons;
+    sw.res.neighbors = std::move(sw.best);
+    std::sort(sw.res.missing_shards.begin(), sw.res.missing_shards.end());
+    sw.res.partial = !sw.res.missing_shards.empty();
+    sw.res.stats.shards_degraded = sw.res.missing_shards.size();
+    end_sweeps_buffered(sw.ctx);
+    sw.st = St::kDone;
+    sw.settled = true;
+  };
+  auto issue_eval = [&](Sweep& sw) {
+    sw.cap = kth(sw);
+    PayloadWriter w;
+    w.U64(sw.s_cand);
+    w.F64(sw.cap);
+    sw.legs.clear();
+    enqueue(sw, ShardOf(sw.s_cand), sw.ctx.groups[ShardOf(sw.s_cand)].primary,
+            FrameType::kEval, w);
+    sw.st = St::kEval;
+  };
+  auto start_sweep = [&](Sweep& sw) {
+    sw.st = St::kBegin;
+    sw.deadline = NowMs() + options_.query_deadline_ms;
+    sw.last_progress_ms = NowMs();
+    sw.k = std::min(sw.job.k, n_);
+    if (sw.k == 0) {
+      finish(sw);
+      return;
+    }
+    SnapshotCtx(&sw.ctx);
+    // The fast gate held when this wave's world lock was taken, but a
+    // replica can die right up to the snapshot; an incomplete snapshot
+    // bails to the robust path, which owns failover.
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (const Participant& m : sw.ctx.groups[s].members) {
+        if (!m.alive) {
+          bail(sw);
+          return;
+        }
+      }
+    }
+    sw.views.assign(shards, ShardView());
+    for (ShardView& v : sw.views) v.active = true;
+    sw.res.stats.distance_computations += np;
+    sw.res.stats.pivot_computations += np;
+    const double* row = sw.job.row;
+    sw.best.reserve(sw.k + 1);
+    for (std::size_t p = 0; p < np; ++p) {
+      if (!base_tombs_.empty() &&
+          TestTombstone(base_tombs_.data(), pivots_[p])) {
+        continue;  // unreachable under the fast gate; kept for parity
+      }
+      InsertNeighborTopK(sw.best, sw.k, {pivots_[p], row[p]},
+                         /*admit_ties=*/true);
+    }
+    PayloadWriter w;
+    w.Str(sw.job.query);
+    w.F64(kth(sw));
+    w.U64(np);
+    w.Raw(row, np * sizeof(double));
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t r = 0; r < sw.ctx.groups[s].members.size(); ++r) {
+        enqueue(sw, s, r, FrameType::kBeginRow, w);
+      }
+    }
+  };
+
+  // Reconciles a completed begin/step round: the primary's reply drives
+  // the shard view, every standby must byte-agree (the state-machine
+  // replication check). Returns false on any malformed or disagreeing
+  // reply — the caller bails to the robust path, which evicts properly.
+  auto absorb_compacts = [&](Sweep& sw) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const Leg* primary = nullptr;
+      for (const Leg& leg : sw.legs) {
+        if (leg.s == s && leg.r == sw.ctx.groups[s].primary) primary = &leg;
+      }
+      if (primary == nullptr) return false;
+      for (const Leg& leg : sw.legs) {
+        if (leg.s == s && &leg != primary && leg.payload != primary->payload) {
+          return false;
+        }
+      }
+      PayloadReader r(primary->payload);
+      const WireCompact wc = DecodeCompact(r);
+      if (!r.Done()) return false;
+      sw.views[s].last = wc.pass;
+      sw.views[s].live = wc.pass.live;
+    }
+    return true;
+  };
+
+  auto deliver_settled = [&] {
+    for (auto it = sweeps.begin(); it != sweeps.end();) {
+      if (it->settled) {
+        feed.Deliver(it->job.tag, std::move(it->res), it->st == St::kBail);
+        it = sweeps.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (;;) {
+    if (sweeps.empty() && feed.Finished()) break;
+
+    if (!world.owns_lock()) {
+      world.lock();
+      MaybeRespawn();
+      fast = FastWorldLocked();
+    }
+    // A writer announced itself: stop admitting so the wave drains and
+    // the shared hold can be released below. In read-only steady state
+    // this branch never fires and the driver keeps the lock indefinitely
+    // — cycling it on a timer would decay the wave to nothing once per
+    // cycle for no one's benefit.
+    const bool writer_waiting =
+        writers_waiting_.load(std::memory_order_relaxed) > 0;
+
+    // Admit until the wave is full (or, when the world is not fast-path
+    // eligible, hand every queued job straight back for a robust rerun on
+    // its caller's thread — serializing robust queries through this one
+    // thread would be a step backwards).
+    if (!writer_waiting) {
+      SweepJob job;
+      while (sweeps.size() < wave && feed.Next(&job)) {
+        if (!fast) {
+          feed.Deliver(job.tag, ServeResult(), /*bailed=*/true);
+          continue;
+        }
+        sweeps.emplace_back();
+        Sweep& sw = sweeps.back();
+        sw.job = job;
+        start_sweep(sw);
+      }
+    }
+    flush();
+    deliver_settled();
+
+    if (sweeps.empty()) {
+      // Nothing in flight: give the world back (a writer may be waiting
+      // on it) and park for new work. The deliberate gap after a
+      // writer-forced drain lets the blocked Insert/Remove actually win
+      // the lock before we re-take it.
+      world.unlock();
+      if (writer_waiting) {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+      if (feed.Finished()) break;
+      const int wfd = feed.wake_fd();
+      if (wfd >= 0) {
+        struct pollfd pfd{wfd, POLLIN, 0};
+        ::poll(&pfd, 1, 50);
+        if ((pfd.revents & POLLIN) != 0) {
+          char buf[256];
+          while (::read(wfd, buf, sizeof(buf)) > 0) {
+          }
+        }
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+
+    // Park: one poll across every connection that still owes a reply,
+    // plus the feed's wake fd so a fresh admission interrupts the park.
+    // Readiness results then drive the scan — only a flagged connection
+    // is worth a read syscall. The short cap bounds the stall if some
+    // other reader (a robust rerun, the control plane) drains our frames
+    // between the scan below and the next park.
+    std::vector<struct pollfd> pfds;
+    for (const Sweep& sw : sweeps) {
+      for (const Leg& leg : sw.legs) {
+        if (leg.done) continue;
+        bool seen = false;
+        for (const struct pollfd& p : pfds) {
+          if (p.fd == leg.conn->fd()) seen = true;
+        }
+        if (!seen) pfds.push_back({leg.conn->fd(), POLLIN, 0});
+      }
+    }
+    const std::size_t conn_pfds = pfds.size();
+    const int wfd = feed.wake_fd();
+    if (wfd >= 0 && !writer_waiting && sweeps.size() < wave &&
+        !feed.Finished()) {
+      pfds.push_back({wfd, POLLIN, 0});
+    }
+    if (!pfds.empty()) {
+      ::poll(pfds.data(), pfds.size(), 20);
+    }
+    if (pfds.size() > conn_pfds && (pfds.back().revents & POLLIN) != 0) {
+      char buf[256];
+      while (::read(wfd, buf, sizeof(buf)) > 0) {
+      }
+    }
+    const auto readable = [&](Conn* c) {
+      for (std::size_t i = 0; i < conn_pfds; ++i) {
+        if (pfds[i].fd == c->fd()) {
+          return (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+        }
+      }
+      return false;
+    };
+
+    // Scan to quiescence: TryWait collects replies some reader already
+    // drained for free, each readable connection is read at most once
+    // per park (one recv empties it), and newly issued requests stay
+    // buffered until the flush below — their replies cannot land
+    // mid-scan, so the rescans are pure flag checks and the loop
+    // terminates once every arrived reply is absorbed.
+    std::vector<Conn*> probed;
+    const auto conn_probed = [&](Conn* c) {
+      for (Conn* d : probed) {
+        if (d == c) return true;
+      }
+      return false;
+    };
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (Sweep& sw : sweeps) {
+        if (sw.st != St::kBegin && sw.st != St::kEval && sw.st != St::kStep) {
+          continue;
+        }
+        bool all_done = true;
+        bool dead = false;
+        for (Leg& leg : sw.legs) {
+          if (leg.done) continue;
+          Frame f;
+          RecvStatus st = leg.conn->TryWait(leg.seq, &f);
+          if (st == RecvStatus::kTimeout && readable(leg.conn) &&
+              !conn_probed(leg.conn)) {
+            probed.push_back(leg.conn);
+            st = leg.conn->Wait(leg.seq, 0, &f);
+          }
+          if (st == RecvStatus::kOk) {
+            if (f.type != kReplyType) {
+              dead = true;
+              break;
+            }
+            leg.payload = std::move(f.payload);
+            leg.done = true;
+            // A probe here may have drained replies for sweeps scanned
+            // earlier in this pass; one more (syscall-free) pass picks
+            // those up rather than stalling them into the next park.
+            progress = true;
+          } else if (st == RecvStatus::kClosed) {
+            dead = true;
+            break;
+          } else {
+            all_done = false;
+          }
+        }
+        if (dead) {
+          bail(sw);
+          progress = true;
+          continue;
+        }
+        if (!all_done) {
+          const std::int64_t now = NowMs();
+          if (now - sw.last_progress_ms >
+                  static_cast<std::int64_t>(options_.op_timeout_ms) ||
+              now >= sw.deadline) {
+            bail(sw);
+            progress = true;
+          }
+          continue;
+        }
+
+        // Phase complete: absorb the replies and issue the next round.
+        progress = true;
+        sw.last_progress_ms = NowMs();
+        if (sw.st == St::kBegin || sw.st == St::kStep) {
+          if (!absorb_compacts(sw)) {
+            bail(sw);
+            continue;
+          }
+          sw.legs.clear();
+          if (total_live(sw) == 0) {
+            finish(sw);
+            continue;
+          }
+          sw.s_cand = select_next(sw);
+          if (sw.s_cand == kSweepNone) {
+            finish(sw);
+            continue;
+          }
+          issue_eval(sw);
+        } else {  // kEval
+          PayloadReader r(sw.legs[0].payload);
+          const double d = r.F64();
+          if (!r.Done()) {
+            bail(sw);
+            continue;
+          }
+          ++sw.computations;
+          if (d >= sw.cap) {
+            ++sw.abandons;
+          } else {
+            InsertNeighborTopK(sw.best, sw.k, {sw.s_cand, d});
+          }
+          PayloadWriter w;
+          w.U32(static_cast<std::uint32_t>(sw.s_cand));
+          w.F64(kth(sw));
+          sw.legs.clear();
+          for (std::size_t s = 0; s < shards; ++s) {
+            for (std::size_t r2 = 0; r2 < sw.ctx.groups[s].members.size();
+                 ++r2) {
+              enqueue(sw, s, r2, FrameType::kStepRow, w);
+            }
+          }
+          sw.st = St::kStep;
+        }
+      }
+    }
+    flush();
+    deliver_settled();
+  }
+}
+
+namespace {
+
+/// Static feed over parallel vectors — the one-shot batch entry point.
+class VectorSweepFeed : public SweepFeed {
+ public:
+  VectorSweepFeed(const std::vector<std::string_view>& queries,
+                  const std::vector<std::size_t>& ks,
+                  const std::vector<const double*>& rows,
+                  std::vector<ServeResult>* out, std::vector<char>* bailed)
+      : queries_(queries), ks_(ks), rows_(rows), out_(out), bailed_(bailed) {}
+
+  bool Next(SweepJob* out) override {
+    if (next_ >= queries_.size()) return false;
+    out->query = queries_[next_];
+    out->k = ks_[next_];
+    out->row = rows_[next_];
+    out->tag = next_;
+    ++next_;
+    return true;
+  }
+  bool Finished() override { return next_ >= queries_.size(); }
+  void Deliver(std::uint64_t tag, ServeResult res, bool bailed) override {
+    (*out_)[tag] = std::move(res);
+    (*bailed_)[tag] = bailed ? 1 : 0;
+  }
+
+ private:
+  const std::vector<std::string_view>& queries_;
+  const std::vector<std::size_t>& ks_;
+  const std::vector<const double*>& rows_;
+  std::vector<ServeResult>* out_;
+  std::vector<char>* bailed_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::vector<ServeResult> ServeRouter::KNearestManyWithRows(
+    const std::vector<std::string_view>& queries,
+    const std::vector<std::size_t>& ks, const std::vector<const double*>& rows,
+    std::size_t max_concurrent) {
+  const std::size_t n = queries.size();
+  if (ks.size() != n || rows.size() != n) {
+    throw std::invalid_argument(
+        "ServeRouter::KNearestManyWithRows: queries/ks/rows sizes differ");
+  }
+  std::vector<ServeResult> out(n);
+  if (n == 0) return out;
+  std::vector<char> bailed(n, 0);
+  VectorSweepFeed feed(queries, ks, rows, &out, &bailed);
+  DriveSweeps(feed, max_concurrent);
+
+  // Robust reruns: everything the fast path refused or abandoned. Each
+  // gets a fresh context and query id — the bailed sweep's slots were
+  // already retired — and the full retry/failover/hedging treatment.
+  std::shared_lock<std::shared_mutex> world(world_mu_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bailed[i]) out[i] = RobustRowQuery(queries[i], ks[i], rows[i]);
   }
   return out;
 }
 
 bool ServeRouter::PingAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(respawn_mu_);
   return PingAllLocked();
 }
 
 bool ServeRouter::PingAllLocked() {
   bool all = true;
   for (std::size_t s = 0; s < groups_.size(); ++s) {
-    for (std::size_t r = 0; r < groups_[s].members.size(); ++r) {
-      if (!groups_[s].members[r].alive) {
-        all = false;
-        continue;
+    for (std::size_t r = 0; r < groups_[s]->members.size(); ++r) {
+      {
+        std::lock_guard<std::mutex> lock(groups_[s]->mu);
+        if (!groups_[s]->members[r].alive) {
+          all = false;
+          continue;
+        }
       }
       std::vector<char> reply;
-      if (!SendRecv(s, r, static_cast<std::uint32_t>(FrameType::kPing), {},
-                    &reply, options_.op_timeout_ms, /*retryable=*/true,
-                    /*deadline_ms=*/-1)) {
+      if (!ControlSendRecv(s, r, FrameType::kPing, {}, &reply,
+                           /*retryable=*/true)) {
         all = false;
         continue;
       }
@@ -713,7 +1432,7 @@ bool ServeRouter::PingAllLocked() {
       // the wrong shard (or the wrong group slot) is as dead as one
       // serving nothing.
       if (pr.U64() != s || pr.U64() != r || !pr.Done()) {
-        MarkDead(s, r);
+        MarkDeadGlobal(s, r);
         all = false;
       }
     }
@@ -722,22 +1441,32 @@ bool ServeRouter::PingAllLocked() {
 }
 
 std::size_t ServeRouter::RespawnDead() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return RespawnDeadLocked();
+  std::lock_guard<std::mutex> lock(respawn_mu_);
+  return RespawnDeadLocked(/*limit=*/0);
 }
 
-std::size_t ServeRouter::RespawnDeadLocked() {
-  std::size_t revived = 0;
+std::size_t ServeRouter::RespawnDeadLocked(std::size_t limit) {
+  std::size_t revived = 0, attempts = 0;
   for (std::size_t s = 0; s < groups_.size(); ++s) {
-    for (std::size_t r = 0; r < groups_[s].members.size(); ++r) {
-      if (groups_[s].members[r].alive) continue;
+    Group& g = *groups_[s];
+    for (std::size_t r = 0; r < g.members.size(); ++r) {
+      {
+        std::lock_guard<std::mutex> lock(g.mu);
+        if (g.members[r].alive) continue;
+      }
+      // The cap counts respawn *attempts*, so a permanently failing spawn
+      // cannot loop one tick forever; the remainder waits its turn.
+      if (limit > 0 && attempts >= limit) continue;
+      ++attempts;
       ReapReplica(s, r);
       SpawnReplica(s, r, options_.respawn_fault_spec);
-      if (!groups_[s].members[r].alive) continue;
+      {
+        std::lock_guard<std::mutex> lock(g.mu);
+        if (!g.members[r].alive) continue;
+      }
       std::vector<char> reply;
-      if (SendRecv(s, r, static_cast<std::uint32_t>(FrameType::kPing), {},
-                   &reply, options_.op_timeout_ms, /*retryable=*/true,
-                   /*deadline_ms=*/-1)) {
+      if (ControlSendRecv(s, r, FrameType::kPing, {}, &reply,
+                          /*retryable=*/true)) {
         // A fresh fork maps only the immutable snapshot; replay the
         // shard's mutation journal so it rejoins at the group's current
         // delta/tombstone state (ops are idempotent by id, so a partial
@@ -748,14 +1477,31 @@ std::size_t ServeRouter::RespawnDeadLocked() {
     // A fully-restored group keeps its current primary; a group whose
     // primary slot is still dead points at the first live member so the
     // next query starts on a live primary without a mid-query promotion.
-    EnsurePrimary(s, nullptr);
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.members[g.primary].alive) {
+      for (std::size_t r = 0; r < g.members.size(); ++r) {
+        if (g.members[r].alive) {
+          g.primary = r;
+          break;
+        }
+      }
+    }
   }
   return revived;
 }
 
 std::uint64_t ServeRouter::Insert(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (options_.auto_respawn) RespawnDeadLocked();
+  // World-exclusive: mutations are globally serialized in journal order
+  // and never interleave with an in-flight sweep (per-shard writer order
+  // is a consequence). respawn_mu_ follows in the lock hierarchy — the
+  // journal append below is thereby visible to both lock holders. The
+  // waiting-writer announcement is what makes the sweep driver drain and
+  // release its shared hold (see writers_waiting_).
+  writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> world(world_mu_);
+  writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> rlock(respawn_mu_);
+  if (options_.auto_respawn) RespawnDeadLocked(/*limit=*/0);
   const std::uint64_t id = next_insert_id_++;
   const std::size_t owner =
       static_cast<std::size_t>((id - n_) % shard_sizes_.size());
@@ -773,8 +1519,11 @@ std::uint64_t ServeRouter::Insert(std::string_view s) {
 }
 
 bool ServeRouter::Remove(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (options_.auto_respawn) RespawnDeadLocked();
+  writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> world(world_mu_);
+  writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> rlock(respawn_mu_);
+  if (options_.auto_respawn) RespawnDeadLocked(/*limit=*/0);
   std::size_t owner = 0;
   if (id < n_) {
     if (base_tombs_.empty()) base_tombs_.assign(TombstoneWords(n_), 0);
@@ -801,34 +1550,92 @@ bool ServeRouter::Remove(std::uint64_t id) {
 }
 
 std::size_t ServeRouter::live_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> world(world_mu_);
   std::size_t delta = 0;
   for (const std::size_t v : delta_live_) delta += v;
   return n_ - base_dead_total_ + delta;
 }
 
 std::uint64_t ServeRouter::next_insert_id() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> world(world_mu_);
   return next_insert_id_;
 }
 
 void ServeRouter::ReplicateMutation(std::size_t owner, const MutationOp& op) {
-  const std::size_t shards = shard_sizes_.size();
-  std::vector<ShardView> views(shards);
-  views[owner].active = groups_[owner].AnyAlive();
-  if (!views[owner].active) return;  // journal replay repairs at respawn
+  // The usual replication step at query id 0: every live member applies
+  // the op, replies are byte-checked (dedup-stable, so retries after lost
+  // replies still agree), and a member that fails is dead — to be
+  // replayed at respawn. Caller holds respawn_mu_, so membership is
+  // stable across the exchange.
+  Group& g = *groups_[owner];
+  const std::size_t R = replicas_per_shard_;
+  std::vector<std::shared_ptr<Conn>> conns(R);
+  std::vector<char> live(R, 0);
+  std::size_t primary = 0;
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (std::size_t r = 0; r < R; ++r) {
+      conns[r] = g.members[r].conn;
+      live[r] = g.members[r].alive ? 1 : 0;
+    }
+    primary = g.primary;
+  }
   PayloadWriter w;
   w.U64(op.id);
   if (op.insert) w.Str(op.s);
-  std::vector<std::vector<char>> replies(shards);
-  std::vector<std::size_t> missing;
-  // The usual replication step: every live member applies the op, replies
-  // are byte-checked (dedup-stable, so retries after lost replies still
-  // agree), and a member that fails is dead — to be replayed at respawn.
-  Broadcast(static_cast<std::uint32_t>(op.insert ? FrameType::kInsert
-                                                 : FrameType::kRemove),
-            w.buf, /*retryable=*/true, options_.op_timeout_ms,
-            /*deadline_ms=*/-1, views, replies, missing, nullptr);
+  const FrameType type = op.insert ? FrameType::kInsert : FrameType::kRemove;
+  std::vector<std::uint32_t> seqs(R, 0);
+  std::vector<char> pending(R, 0), good(R, 0);
+  std::vector<std::vector<char>> reply(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    if (!live[r] || conns[r] == nullptr || conns[r]->failed()) continue;
+    seqs[r] = conns[r]->NextSeq();
+    conns[r]->Expect(seqs[r], /*qid=*/0);
+    if (conns[r]->Send(type, seqs[r], /*qid=*/0, w.buf.data(),
+                       w.buf.size())) {
+      pending[r] = 1;
+    } else {
+      conns[r]->Cancel(seqs[r]);
+      MarkDeadGlobal(owner, r);
+    }
+  }
+  for (std::size_t r = 0; r < R; ++r) {
+    if (!pending[r]) continue;
+    Frame f;
+    const RecvStatus st = conns[r]->Wait(seqs[r], options_.op_timeout_ms, &f);
+    if (st == RecvStatus::kOk && f.type == kReplyType) {
+      reply[r] = std::move(f.payload);
+      good[r] = 1;
+    } else if (st == RecvStatus::kTimeout) {
+      conns[r]->Cancel(seqs[r]);
+      if (ControlSendRecv(owner, r, type, w.buf, &reply[r],
+                          /*retryable=*/true)) {
+        good[r] = 1;
+      }
+    } else {
+      MarkDeadGlobal(owner, r);
+    }
+  }
+  std::size_t driver = R;
+  if (good[primary]) {
+    driver = primary;
+  } else {
+    for (std::size_t r = 0; r < R; ++r) {
+      if (good[r]) {
+        driver = r;
+        break;
+      }
+    }
+  }
+  if (driver == R) return;  // journal replay repairs at respawn
+  if (driver != primary) {
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (g.members[driver].alive) g.primary = driver;
+  }
+  for (std::size_t r = 0; r < R; ++r) {
+    if (r == driver || !good[r]) continue;
+    if (reply[r] != reply[driver]) MarkDeadGlobal(owner, r);
+  }
 }
 
 bool ServeRouter::ReplayMutations(std::size_t s, std::size_t r) {
@@ -837,12 +1644,10 @@ bool ServeRouter::ReplayMutations(std::size_t s, std::size_t r) {
     w.U64(op.id);
     if (op.insert) w.Str(op.s);
     std::vector<char> reply;
-    if (!SendRecv(s, r,
-                  static_cast<std::uint32_t>(op.insert ? FrameType::kInsert
-                                                       : FrameType::kRemove),
-                  w.buf, &reply, options_.op_timeout_ms, /*retryable=*/true,
-                  /*deadline_ms=*/-1)) {
-      return false;  // SendRecv already marked the replica dead
+    if (!ControlSendRecv(s, r,
+                         op.insert ? FrameType::kInsert : FrameType::kRemove,
+                         w.buf, &reply, /*retryable=*/true)) {
+      return false;  // ControlSendRecv already marked the replica dead
     }
   }
   return true;
@@ -855,8 +1660,8 @@ bool ServeRouter::ReplayMutations(std::size_t s, std::size_t r) {
 // NeighborLess and strict-merged, which reproduces the (distance, id)
 // tie-break exactly: all base ids < all delta ids, and within the delta
 // the sort puts the lower id first at equal distance.
-void ServeRouter::DeltaPhase(std::string_view query, std::size_t k,
-                             std::int64_t deadline,
+void ServeRouter::DeltaPhase(QueryCtx& ctx, std::string_view query,
+                             std::size_t k, std::int64_t deadline,
                              std::vector<ShardView>& views,
                              std::vector<NeighborResult>& best,
                              std::uint64_t* computations,
@@ -878,8 +1683,8 @@ void ServeRouter::DeltaPhase(std::string_view query, std::size_t k,
     w.F64(cap0);
     w.U64(k);
     std::vector<char> reply;
-    bool ok = GroupEval(s, static_cast<std::uint32_t>(FrameType::kDeltaScan),
-                        w.buf, &reply, deadline, res);
+    bool ok = GroupEval(ctx, s, FrameType::kDeltaScan, w.buf, &reply,
+                        deadline, res);
     if (ok) {
       PayloadReader r(reply);
       const std::size_t mark = hits.size();
@@ -900,7 +1705,7 @@ void ServeRouter::DeltaPhase(std::string_view query, std::size_t k,
       } else {
         // Partially decoded garbage: drop what it contributed.
         hits.resize(mark);
-        MarkDead(s, groups_[s].primary);
+        MarkDead(ctx, s, ctx.groups[s].primary);
       }
     }
     if (!ok) {
@@ -916,8 +1721,8 @@ void ServeRouter::DeltaPhase(std::string_view query, std::size_t k,
 // values in identical order — only the per-shard kernel passes run in the
 // workers (on every live member of each replica group). Read side by side
 // with sharded_laesa.cc.
-ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
-                                   double slack) {
+ServeResult ServeRouter::QueryLazy(QueryCtx& ctx, std::string_view query,
+                                   std::size_t k, double slack) {
   ServeResult res;
   std::size_t delta_total = 0;
   for (const std::size_t v : delta_live_) delta_total += v;
@@ -935,7 +1740,7 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
 
   std::vector<ShardView> views(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    views[s].active = groups_[s].AnyAlive();
+    views[s].active = ctx.groups[s].AnyAlive();
     if (!views[s].active) res.missing_shards.push_back(s);
   }
 
@@ -946,7 +1751,7 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
     w.Str(query);
     w.U32(masked ? 1u : 0u);
     std::vector<std::vector<char>> replies(shards);
-    Broadcast(static_cast<std::uint32_t>(FrameType::kBeginLazy), w.buf,
+    Broadcast(ctx, FrameType::kBeginLazy, w.buf,
               /*retryable=*/true, RemainingMs(deadline), deadline, views,
               replies, res.missing_shards, &res);
     for (std::size_t s = 0; s < shards; ++s) {
@@ -973,8 +1778,8 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
         // on, so the shard sits this query out. EnsurePrimary (without
         // counting a failover — nothing was saved) leaves the group
         // pointing at a live member for the next query.
-        MarkDead(s, groups_[s].primary);
-        EnsurePrimary(s, nullptr);
+        MarkDead(ctx, s, ctx.groups[s].primary);
+        EnsurePrimary(ctx, s, nullptr);
         views[s].active = false;
         res.missing_shards.push_back(s);
       }
@@ -1047,13 +1852,13 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
       w.F64(cap);
       std::vector<char> reply;
       bool ok = views[owner].active &&
-                GroupEval(owner, static_cast<std::uint32_t>(FrameType::kEval),
-                          w.buf, &reply, deadline, &res);
+                GroupEval(ctx, owner, FrameType::kEval, w.buf, &reply,
+                          deadline, &res);
       if (ok) {
         PayloadReader r(reply);
         d = r.F64();
         ok = r.Done();
-        if (!ok) MarkDead(owner, groups_[owner].primary);
+        if (!ok) MarkDead(ctx, owner, ctx.groups[owner].primary);
       }
       if (!ok) {
         // The candidate's whole group is gone: drop the shard from the
@@ -1087,7 +1892,7 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
     w.F64(slack);
     w.F64(bound);
     std::vector<std::vector<char>> replies(shards);
-    Broadcast(static_cast<std::uint32_t>(FrameType::kStep), w.buf,
+    Broadcast(ctx, FrameType::kStep, w.buf,
               /*retryable=*/false, RemainingMs(deadline), deadline, views,
               replies, res.missing_shards, &res);
     for (std::size_t s = 0; s < shards; ++s) {
@@ -1095,7 +1900,7 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
       PayloadReader r(replies[s]);
       const WireCompact wc = DecodeCompact(r);
       if (!r.Done()) {
-        MarkDead(s, groups_[s].primary);
+        MarkDead(ctx, s, ctx.groups[s].primary);
         views[s].active = false;
         res.missing_shards.push_back(s);
         continue;
@@ -1111,7 +1916,8 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
 
   // The delta phase: everything inserted since the snapshot lives in the
   // workers' in-memory deltas, scanned bounded by the base incumbents.
-  DeltaPhase(query, k, deadline, views, best, &computations, &abandons, &res);
+  DeltaPhase(ctx, query, k, deadline, views, best, &computations, &abandons,
+             &res);
 
   res.stats.distance_computations += computations;
   res.stats.bounded_abandons += abandons;
@@ -1126,11 +1932,14 @@ ServeResult ServeRouter::QueryLazy(std::string_view query, std::size_t k,
   return res;
 }
 
-// The distributed `ShardedLaesa::SweepWithRow`: the router evaluates the
-// pivot row locally, seeds the incumbents (ties admitted, as the row is
-// already paid for), scatters row + seed bound, then runs the same
-// adaptive loop over the merged survivors.
-ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
+// The distributed `ShardedLaesa::SweepWithRow`: the pivot row (computed
+// by the caller — the batch path router-side, the admission front end for
+// its coalesced batches) seeds the incumbents (ties admitted, as the row
+// is already paid for), then the same adaptive loop runs over the merged
+// survivors. The row evaluations are charged here, once per query, as the
+// in-process batch engine charges them.
+ServeResult ServeRouter::QueryRow(QueryCtx& ctx, std::string_view query,
+                                  std::size_t k, const double* row) {
   ServeResult res;
   std::size_t delta_total = 0;
   for (const std::size_t v : delta_live_) delta_total += v;
@@ -1142,15 +1951,10 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
 
   std::vector<ShardView> views(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    views[s].active = groups_[s].AnyAlive();
+    views[s].active = ctx.groups[s].AnyAlive();
     if (!views[s].active) res.missing_shards.push_back(s);
   }
 
-  // Pivot stage, router-side (counted as the batch engine counts it).
-  std::vector<double> row(np);
-  for (std::size_t p = 0; p < np; ++p) {
-    row[p] = distance_->Distance(query, pivot_strings_[p]);
-  }
   res.stats.distance_computations += np;
   res.stats.pivot_computations += np;
 
@@ -1173,9 +1977,9 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
     w.Str(query);
     w.F64(seed_bound);
     w.U64(np);
-    w.Raw(row.data(), np * sizeof(double));
+    w.Raw(row, np * sizeof(double));
     std::vector<std::vector<char>> replies(shards);
-    Broadcast(static_cast<std::uint32_t>(FrameType::kBeginRow), w.buf,
+    Broadcast(ctx, FrameType::kBeginRow, w.buf,
               /*retryable=*/true, RemainingMs(deadline), deadline, views,
               replies, res.missing_shards, &res);
     for (std::size_t s = 0; s < shards; ++s) {
@@ -1183,7 +1987,7 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
       PayloadReader r(replies[s]);
       const WireCompact wc = DecodeCompact(r);
       if (!r.Done()) {
-        MarkDead(s, groups_[s].primary);
+        MarkDead(ctx, s, ctx.groups[s].primary);
         views[s].active = false;
         res.missing_shards.push_back(s);
         continue;
@@ -1233,14 +2037,14 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
     ew.F64(cap);
     std::vector<char> reply;
     bool ok = views[owner].active &&
-              GroupEval(owner, static_cast<std::uint32_t>(FrameType::kEval),
-                        ew.buf, &reply, deadline, &res);
+              GroupEval(ctx, owner, FrameType::kEval, ew.buf, &reply,
+                        deadline, &res);
     double d = 0.0;
     if (ok) {
       PayloadReader r(reply);
       d = r.F64();
       ok = r.Done();
-      if (!ok) MarkDead(owner, groups_[owner].primary);
+      if (!ok) MarkDead(ctx, owner, ctx.groups[owner].primary);
     }
     if (!ok) {
       views[owner].active = false;
@@ -1262,7 +2066,7 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
     w.U32(static_cast<std::uint32_t>(s_cand));
     w.F64(bound);
     std::vector<std::vector<char>> replies(shards);
-    Broadcast(static_cast<std::uint32_t>(FrameType::kStepRow), w.buf,
+    Broadcast(ctx, FrameType::kStepRow, w.buf,
               /*retryable=*/false, RemainingMs(deadline), deadline, views,
               replies, res.missing_shards, &res);
     for (std::size_t s = 0; s < shards; ++s) {
@@ -1270,7 +2074,7 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
       PayloadReader r(replies[s]);
       const WireCompact wc = DecodeCompact(r);
       if (!r.Done()) {
-        MarkDead(s, groups_[s].primary);
+        MarkDead(ctx, s, ctx.groups[s].primary);
         views[s].active = false;
         res.missing_shards.push_back(s);
         continue;
@@ -1283,7 +2087,8 @@ ServeResult ServeRouter::QueryRow(std::string_view query, std::size_t k) {
     s_cand = select_next();
   }
 
-  DeltaPhase(query, k, deadline, views, best, &computations, &abandons, &res);
+  DeltaPhase(ctx, query, k, deadline, views, best, &computations, &abandons,
+             &res);
 
   res.stats.distance_computations += computations;
   res.stats.bounded_abandons += abandons;

@@ -3,9 +3,12 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -14,6 +17,7 @@
 #include "distances/distance.h"
 #include "search/nn_searcher.h"
 #include "search/sweep_kernel.h"
+#include "serve/reactor.h"
 
 namespace cned {
 
@@ -58,14 +62,25 @@ struct ServeOptions {
   /// Respawn dead workers (kill, waitpid, fork, re-Map, ping) before each
   /// query, so one crash degrades one query, not the rest of the session.
   /// A replica respawned between queries rejoins its group at the next
-  /// query's begin (never mid-query — its slab state would be stale).
+  /// query's begin; a replica respawned while *other* queries are in
+  /// flight never joins those sweeps — each query pinned its participants
+  /// (and their connections) at its own begin.
   bool auto_respawn = true;
   /// > 0 runs a background health loop at this period: ping-based failure
-  /// detection plus respawn/re-map of dead replicas, serialized against
-  /// queries (the loop takes the router lock, so respawn still only
-  /// happens between queries). 0 disables the thread — the synchronous
-  /// `auto_respawn` path alone keeps groups at full strength.
+  /// detection plus respawn/re-map of dead replicas. The loop is
+  /// drift-free (each tick is scheduled from the previous deadline, not
+  /// from when the work finished) and runs *concurrently* with queries —
+  /// pings multiplex over the shared connections, and a replica it
+  /// revives only joins queries that begin afterwards. 0 disables the
+  /// thread — the synchronous `auto_respawn` path alone keeps groups at
+  /// full strength.
   int health_interval_ms = 0;
+  /// Caps how many dead replicas one health tick will respawn, bounding
+  /// the fork/re-map/replay work a tick can inject into a loaded server;
+  /// the remainder waits for the next tick (or for a query-path respawn,
+  /// which is never capped — a caller already paying for a query wants
+  /// full strength). 0 = uncapped.
+  int max_respawns_per_tick = 4;
 
   /// CNED_FAULT-grammar fault schedule for the initial workers
   /// (serve/fault.h); empty = fault-free.
@@ -89,6 +104,10 @@ struct ServeResult {
   /// improved by evaluations that landed before a shard was lost. A shard
   /// whose primary failed but whose standby took over is NOT partial.
   bool partial = false;
+  /// True when the admission front end (serve/engine.h) refused the query
+  /// under overload instead of running it; neighbors/stats are empty. The
+  /// router itself never sheds — only the engine sets this.
+  bool shed = false;
   /// The shards this query is missing, ascending. A shard appears here
   /// only when its *entire replica group* was lost: dead at query start,
   /// failed mid-sweep, or still live at the deadline.
@@ -125,6 +144,27 @@ struct ServeResult {
 /// neighbours, distances AND QueryStats — to the in-process index,
 /// regardless of worker or replica count.
 ///
+/// Concurrency model (the concurrent pipelined router): N caller threads
+/// drive N simultaneous scatter/gather sweeps over the *shared* worker
+/// connections. Every query multiplexes through three mechanisms:
+///   * a router-assigned nonzero query id stamped on every frame; workers
+///     keep per-query sweep slots keyed on it (serve/replica.h), so
+///     interleaved sweeps cannot see each other's slab state;
+///   * a per-connection reactor (serve/reactor.h) that matches replies to
+///     callers by sequence number and coalesces concurrent sends, so N
+///     in-flight queries cost far fewer syscalls than N serialized ones;
+///   * a query context captured at begin: the set of (connection, alive)
+///     participants this query may ever talk to. Failover and hedging act
+///     only inside the context; a replica respawned mid-flight (new
+///     connection) never joins an in-flight sweep — its slab state would
+///     be stale.
+/// Lock hierarchy (outer to inner): `world_mu_` (shared for queries,
+/// exclusive for mutations — sweeps never interleave with Insert/Remove,
+/// which keeps bit-identity and the per-shard journal order), then
+/// `respawn_mu_` (spawn/reap/replay; the health loop takes only this, so
+/// it pings and revives without blocking queries), then each group's
+/// `mu` (membership snapshots, short).
+///
 /// Replication model (state-machine): a shard's slab state is a pure
 /// deterministic function of its op sequence (Begin*, then the Step*s),
 /// so the router scatters the begin and every mutating step to ALL live
@@ -147,11 +187,47 @@ struct ServeResult {
 ///     is lost; the per-query deadline degrades to partial results
 ///     instead of blocking;
 ///   * dead replicas are respawned (fresh fork + checksum-verified
-///     re-map) between queries — synchronously when `auto_respawn` is
-///     set, and/or from the background health loop — and rejoin their
-///     group at the next query's begin;
+///     re-map) and rejoin at a later query's begin — synchronously before
+///     a query when `auto_respawn` is set, and/or from the background
+///     health loop;
 ///   * `stats.shards_degraded` counts the missing shards, so healthy
 ///     queries still compare bit-equal to in-process stats (0 == 0).
+/// One sweep for the multiplexed driver to run. `query` and `row` are
+/// borrowed — they must stay valid until the job's result is Delivered.
+struct SweepJob {
+  std::string_view query;
+  std::size_t k = 0;
+  /// d(query, pivot p) for every pivot, `num_pivots()` entries.
+  const double* row = nullptr;
+  /// Opaque caller identifier, echoed back through Deliver.
+  std::uint64_t tag = 0;
+};
+
+/// The pull/deliver seam between `ServeRouter::DriveSweeps` and an
+/// admission front end. All methods are invoked from the single driver
+/// thread; implementations that share state with other threads (an
+/// admission queue) do their own locking.
+class SweepFeed {
+ public:
+  virtual ~SweepFeed() = default;
+  /// Pops the next job to admit. False when nothing is queued right now
+  /// (the driver parks and asks again later).
+  virtual bool Next(SweepJob* out) = 0;
+  /// True once no further jobs will ever arrive: the driver finishes the
+  /// sweeps it already admitted, delivers them, and returns.
+  virtual bool Finished() = 0;
+  /// One settled job. `bailed` means the fast path refused or aborted it
+  /// (`res` is then empty) and the caller must rerun it on the robust
+  /// per-query path (`KNearestWithRow`). Called with the router's world
+  /// lock held shared — do not call back into the router from here.
+  virtual void Deliver(std::uint64_t tag, ServeResult res, bool bailed) = 0;
+  /// Optional readable fd the driver adds to its park poll, made readable
+  /// by producers when Next() may have new jobs (self-pipe). The driver
+  /// drains it when it polls readable. -1 = none; the driver then relies
+  /// on its short park cap to notice new work.
+  virtual int wake_fd() { return -1; }
+};
+
 class ServeRouter {
  public:
   /// Loads the manifest and spawns `options.replicas` workers per shard.
@@ -168,8 +244,16 @@ class ServeRouter {
   std::size_t replica_count() const { return replicas_per_shard_; }
   std::size_t num_pivots() const { return pivots_.size(); }
   const std::vector<std::size_t>& pivots() const { return pivots_; }
+  /// The manifest's pivot strings (immutable), in pivot-ordinal order —
+  /// what the admission front end needs to run the pivot stage itself.
+  const std::vector<std::string>& pivot_strings() const {
+    return pivot_strings_;
+  }
+  /// The router's distance (immutable after construction).
+  const StringDistance& metric() const { return *distance_; }
 
   /// Lazy (per-query) path — the distributed `ShardedLaesa::Nearest`.
+  /// Thread-safe: concurrent calls multiplex over the shared connections.
   ServeResult Nearest(std::string_view query);
   ServeResult KNearest(std::string_view query, std::size_t k);
 
@@ -181,7 +265,9 @@ class ServeRouter {
   /// from the journal before it rejoins — so a crash never loses a
   /// mutation the router acknowledged. Ops are idempotent worker-side
   /// (dedup by stable id) with dedup-stable replies, which keeps both the
-  /// retry path and the group byte-agreement check sound.
+  /// retry path and the group byte-agreement check sound. Mutations take
+  /// the world lock exclusively: they are globally serialized in journal
+  /// order and never interleave with an in-flight sweep.
 
   /// Appends one prototype; returns its stable global id (ids start at
   /// size() and are never reused). The owner shard is id-round-robin.
@@ -208,6 +294,61 @@ class ServeRouter {
   std::vector<ServeResult> KNearestBatch(
       const std::vector<std::string>& queries, std::size_t k);
 
+  /// One pivot-row query whose row the caller already computed (`row[p]` =
+  /// d(query, pivot p), all pivots) — the seam the admission-batching
+  /// front end (serve/engine.h) drives after its blocked query×pivot
+  /// pass. Stats still count the `num_pivots()` row evaluations, exactly
+  /// as the in-process batch engine charges them per query, so results
+  /// stay bit-identical to KNearestBatch of the same query. Throws
+  /// std::invalid_argument when `row.size() != num_pivots()`.
+  ServeResult KNearestWithRow(std::string_view query, std::size_t k,
+                              const std::vector<double>& row);
+
+  /// The multiplexed sweep driver — the engine's throughput path. ONE
+  /// caller thread drives every query's row-consuming sweep concurrently
+  /// over the shared connections: each round it advances every sweep that
+  /// has its replies, encodes the whole round's requests per connection,
+  /// flushes each connection with a single write, and parks in one poll
+  /// across all of them. N in-flight sweeps thus cost one wakeup and a
+  /// handful of syscalls per round instead of N parked threads paying two
+  /// context switches per exchange — on a single core this, not parallel
+  /// compute, is where concurrent throughput comes from.
+  ///
+  /// Exactness: per query the driver replays the exact KNearestWithRow
+  /// exchange sequence (begin, eval, step, in the same order with the
+  /// same payloads), so healthy results are bit-identical to it. The fast
+  /// path requires a fully healthy world (every replica alive, no
+  /// mutations pending); a query that cannot run on it — or that hits
+  /// any anomaly mid-sweep (timeout, death, byte disagreement, deadline)
+  /// — abandons its sweep slots and reruns through the robust per-query
+  /// path (retries, failover, hedging, partial flagging), whose result
+  /// is returned instead. `rows[i]` must hold `num_pivots()` entries for
+  /// `queries[i]`; `max_concurrent` caps simultaneously driven sweeps
+  /// (0 = all). Throws std::invalid_argument on mismatched input sizes.
+  std::vector<ServeResult> KNearestManyWithRows(
+      const std::vector<std::string_view>& queries,
+      const std::vector<std::size_t>& ks,
+      const std::vector<const double*>& rows, std::size_t max_concurrent = 0);
+
+  /// The continuous form of the multiplexed driver: pulls jobs from
+  /// `feed` as sweeps settle (admission refills mid-flight, so rounds
+  /// stay full instead of draining to a batch tail), delivers each result
+  /// through the feed, and returns once the feed is Finished and every
+  /// admitted sweep has settled. `max_concurrent` caps in-flight sweeps
+  /// (0 = a default cap). ServeEngine runs this on a dedicated thread.
+  ///
+  /// World-lock fairness: the driver holds the world lock shared while
+  /// sweeps are in flight, which (on a reader-preferring rwlock) would
+  /// starve Insert/Remove (exclusive) under sustained load; writers
+  /// therefore announce themselves (`writers_waiting_`) before blocking,
+  /// and the driver checks the counter each round — when one is waiting
+  /// it stops admitting, drains, and releases with a real gap so the
+  /// writer wins the lock. In read-only steady state the hold is never
+  /// cycled. When the world is not fast-path eligible (a replica down,
+  /// mutations applied), jobs are delivered back `bailed` immediately and
+  /// run robustly on their callers' threads instead.
+  void DriveSweeps(SweepFeed& feed, std::size_t max_concurrent = 0);
+
   /// Heartbeat: pings every replica (retrying per options), marking the
   /// ones that miss as dead. Returns true when all replicas are healthy.
   bool PingAll();
@@ -228,24 +369,44 @@ class ServeRouter {
  private:
   struct Replica {
     pid_t pid = -1;
-    int fd = -1;
+    std::shared_ptr<Conn> conn;
     bool alive = false;
-    std::uint32_t seq = 0;
   };
 
   /// One shard's replica group. `primary` indexes `members`; promotion
   /// just moves it. Membership is fixed at construction — respawn revives
-  /// dead members in place.
+  /// dead members in place (with a *fresh* connection, so queries that
+  /// pinned the old one keep failing cleanly instead of talking to a
+  /// process with no slab state). `mu` guards members and primary; it is
+  /// the innermost lock and is never held across an exchange.
   struct Group {
+    mutable std::mutex mu;
     std::vector<Replica> members;
+    std::size_t primary = 0;
+  };
+
+  /// One group member as pinned by a query at begin: the connection this
+  /// query (and only this query's failover/hedging) may use, plus the
+  /// query-local alive flag.
+  struct Participant {
+    std::shared_ptr<Conn> conn;
+    bool alive = false;
+  };
+  struct GroupCtx {
+    std::vector<Participant> members;
     std::size_t primary = 0;
 
     bool AnyAlive() const {
-      for (const Replica& m : members) {
+      for (const Participant& m : members) {
         if (m.alive) return true;
       }
       return false;
     }
+  };
+  /// A query's pinned world: its id and its participant snapshot.
+  struct QueryCtx {
+    std::uint32_t qid = 0;
+    std::vector<GroupCtx> groups;
   };
 
   /// Per-query view of one shard's sweep state, mirrored from its
@@ -257,34 +418,62 @@ class ServeRouter {
     SweepCompactResult last;
   };
 
+  /// Spawn/reap run under `respawn_mu_`.
   void SpawnReplica(std::size_t s, std::size_t r,
                     const std::string& fault_spec);
-  void MarkDead(std::size_t s, std::size_t r);
   void ReapReplica(std::size_t s, std::size_t r);
 
-  /// If the group's primary is dead, promote the first live member (in
-  /// member order — deterministic). Returns true when a live primary
-  /// exists afterwards; counts the promotion in `res` when one happened.
-  bool EnsurePrimary(std::size_t s, ServeResult* res);
+  /// Global death: fails the member's connection (waking every query
+  /// waiting on it) and clears the alive flag.
+  void MarkDeadGlobal(std::size_t s, std::size_t r);
+  /// Query-context death: fails the pinned connection and clears the ctx
+  /// flag; propagates to the global member only if it still holds the
+  /// *same* connection (a respawn may already have replaced it — the
+  /// fresh process must not be condemned for its predecessor's death).
+  void MarkDead(QueryCtx& ctx, std::size_t s, std::size_t r);
 
-  /// One request/reply exchange with replica (s, r). Retries (with
-  /// backoff, each sleep capped at the remaining time before
-  /// `deadline_ms`; pass -1 for no deadline) only when `retryable`; marks
-  /// the replica dead on any unrecoverable failure. Replies with stale
-  /// sequence numbers (from a timed-out earlier attempt) are discarded.
-  bool SendRecv(std::size_t s, std::size_t r, std::uint32_t type,
+  /// New query id (nonzero) + participant snapshot under each group's mu.
+  void SnapshotCtx(QueryCtx* ctx) const;
+  /// Fire-and-forget kEndSweep to every pinned participant whose
+  /// connection still works: retires the workers' per-query sweep slots.
+  void EndSweeps(const QueryCtx& ctx);
+
+  /// If the ctx group's primary is dead, promote the first live ctx
+  /// member (in member order — deterministic), mirroring to the global
+  /// group when its connection is unchanged. Returns true when a live
+  /// primary exists afterwards; counts the promotion in `res` when one
+  /// happened.
+  bool EnsurePrimary(QueryCtx& ctx, std::size_t s, ServeResult* res);
+  /// Promote ctx member `r` to ctx primary and, identity permitting, to
+  /// global primary.
+  void Promote(QueryCtx& ctx, std::size_t s, std::size_t r);
+
+  /// One request/reply exchange with the query's pinned replica (s, r).
+  /// Retries (with backoff, each sleep capped at the remaining time
+  /// before `deadline_ms`; pass -1 for no deadline) only when
+  /// `retryable`; marks the replica dead on any unrecoverable failure.
+  /// Replies with stale sequence numbers (from a timed-out earlier
+  /// attempt) are discarded by the reactor.
+  bool SendRecv(QueryCtx& ctx, std::size_t s, std::size_t r, FrameType type,
                 const std::vector<char>& payload, std::vector<char>* reply,
                 int timeout_ms, bool retryable, std::int64_t deadline_ms);
+  /// The control-plane (query id 0) form against the *current* global
+  /// member — ping, respawn replay, mutation replication. Caller holds
+  /// `respawn_mu_`, so membership is stable across the exchange.
+  bool ControlSendRecv(std::size_t s, std::size_t r, FrameType type,
+                       const std::vector<char>& payload,
+                       std::vector<char>* reply, bool retryable);
 
-  /// Scatters one identical request to every live member of every active
-  /// shard (the state-machine replication step), gathers, then reconciles
-  /// each group: the primary's reply drives (landing in `replies[s]`),
-  /// standbys are byte-checked against it (disagreement = eviction), and
-  /// a failed primary is replaced by a standby that answered. Shards
-  /// whose whole group failed are flipped inactive in `views` and
-  /// appended to `missing`.
-  void Broadcast(std::uint32_t type, const std::vector<char>& payload,
-                 bool retryable, int timeout_ms, std::int64_t deadline_ms,
+  /// Scatters one identical request to every live pinned member of every
+  /// active shard (the state-machine replication step), gathers, then
+  /// reconciles each group: the primary's reply drives (landing in
+  /// `replies[s]`), standbys are byte-checked against it (disagreement =
+  /// eviction), and a failed primary is replaced by a standby that
+  /// answered. Shards whose whole group failed are flipped inactive in
+  /// `views` and appended to `missing`.
+  void Broadcast(QueryCtx& ctx, FrameType type,
+                 const std::vector<char>& payload, bool retryable,
+                 int timeout_ms, std::int64_t deadline_ms,
                  std::vector<ShardView>& views,
                  std::vector<std::vector<char>>& replies,
                  std::vector<std::size_t>& missing, ServeResult* res);
@@ -294,7 +483,7 @@ class ServeRouter {
   /// valid reply wins — both ops are pure functions of the shard's state,
   /// so either answer is exact. Falls back to plain retries when the group
   /// has no standby or hedging is off.
-  bool GroupEval(std::size_t s, std::uint32_t type,
+  bool GroupEval(QueryCtx& ctx, std::size_t s, FrameType type,
                  const std::vector<char>& payload, std::vector<char>* reply,
                  std::int64_t deadline_ms, ServeResult* res);
 
@@ -315,7 +504,7 @@ class ServeRouter {
   /// The delta-scan phase both query paths share: scatters a bounded scan
   /// to every shard holding live delta entries and strict-merges the
   /// gathered hits into `best` in global NeighborLess order.
-  void DeltaPhase(std::string_view query, std::size_t k,
+  void DeltaPhase(QueryCtx& ctx, std::string_view query, std::size_t k,
                   std::int64_t deadline, std::vector<ShardView>& views,
                   std::vector<NeighborResult>& best,
                   std::uint64_t* computations, std::uint64_t* abandons,
@@ -324,14 +513,33 @@ class ServeRouter {
   std::size_t ShardOf(std::size_t global) const;
   int RemainingMs(std::int64_t deadline_ms) const;
 
+  /// Cheap any-dead scan; only when one exists does the query path take
+  /// `respawn_mu_` and run a full (uncapped) respawn.
+  void MaybeRespawn();
+  bool AnyDead() const;
+
   bool PingAllLocked();
-  std::size_t RespawnDeadLocked();
+  /// Respawns up to `limit` dead replicas (0 = all), then re-aims every
+  /// group's primary at a live member. Caller holds `respawn_mu_`.
+  std::size_t RespawnDeadLocked(std::size_t limit);
   void HealthLoop();
 
-  ServeResult QueryLazy(std::string_view query, std::size_t k, double slack);
-  ServeResult QueryRow(std::string_view query, std::size_t k);
+  ServeResult QueryLazy(QueryCtx& ctx, std::string_view query, std::size_t k,
+                        double slack);
+  /// The pivot-row sweep given an already-computed row (`row` has
+  /// num_pivots() entries). Charges the row evaluations to the stats.
+  ServeResult QueryRow(QueryCtx& ctx, std::string_view query, std::size_t k,
+                       const double* row);
+  /// One robust pivot-row query (respawn check, fresh ctx, QueryRow,
+  /// sweep-slot cleanup). Caller holds `world_mu_` shared.
+  ServeResult RobustRowQuery(std::string_view query, std::size_t k,
+                             const double* row);
+  /// True when the multiplexed fast path may run: no tombstones, no
+  /// delta entries, every replica alive on a healthy connection. Caller
+  /// holds `world_mu_` shared.
+  bool FastWorldLocked() const;
 
-  // Manifest state.
+  // Manifest state (immutable after construction — read lock-free).
   std::size_t n_ = 0;
   std::vector<std::size_t> shard_sizes_;
   std::vector<std::size_t> bases_;        // size S+1
@@ -343,11 +551,16 @@ class ServeRouter {
   std::string dir_;
   ServeOptions options_;
   std::size_t replicas_per_shard_ = 1;
-  std::vector<Group> groups_;
+  /// unique_ptr: Group owns a mutex and must not move when the vector is
+  /// sized. The vector itself is construction-immutable.
+  std::vector<std::unique_ptr<Group>> groups_;
+
+  /// Router-wide query-id source; 0 is reserved for the control plane.
+  mutable std::atomic<std::uint32_t> qid_counter_{0};
 
   // Mutable-tier bookkeeping (the router-side mirror of the workers'
   // delta/tombstone state; drives the masked begin, the k clamp, pivot
-  // seeding, and respawn replay).
+  // seeding, and respawn replay). Guarded by `world_mu_`.
   std::uint64_t next_insert_id_ = 0;       // initialised to n_
   std::vector<std::uint64_t> base_tombs_;  // bitmap over base ids; lazy
   std::vector<std::size_t> shard_dead_;    // base tombstones per shard
@@ -356,10 +569,24 @@ class ServeRouter {
   std::vector<std::uint64_t> dead_delta_ids_;  // sorted, Remove dedup
   std::vector<std::vector<MutationOp>> shard_ops_;  // per-shard journal
 
-  /// Serializes queries, respawn, and the health loop: a replica is never
-  /// respawned mid-query, so every live member of a group has seen the
-  /// current query's full op sequence.
-  mutable std::mutex mu_;
+  /// Queries hold this shared (N sweeps in flight at once); mutations
+  /// hold it exclusive — a mutation never interleaves with a sweep, which
+  /// preserves bit-identity and the per-shard journal/writer order.
+  mutable std::shared_mutex world_mu_;
+  /// Writers about to block on `world_mu_` announce themselves here
+  /// (incremented before the exclusive lock call, decremented once it is
+  /// held). glibc's rwlock is reader-preferring, so a continuously-held
+  /// shared lock — which is exactly what DriveSweeps wants in steady
+  /// state — would starve writers forever; the driver instead checks this
+  /// counter each round and backs off (drain, release, yield) only when a
+  /// writer is actually waiting.
+  std::atomic<std::size_t> writers_waiting_{0};
+  /// Serializes spawn/reap/replay (and the fork itself). Journal appends
+  /// hold world-exclusive AND this, so holding either is enough to read
+  /// the journal. The health loop takes only this — never the world lock.
+  mutable std::mutex respawn_mu_;
+
+  std::mutex health_mu_;  // stop flag + cv only
   std::condition_variable health_cv_;
   bool stop_health_ = false;
   std::thread health_thread_;

@@ -1,8 +1,10 @@
 #include "serve/worker.h"
 
+#include <sys/socket.h>
 #include <time.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <exception>
@@ -51,16 +53,29 @@ void SleepMs(std::uint64_t ms) {
   }
 }
 
-bool SendError(int fd, std::uint32_t seq, const std::string& message,
-               bool corrupt) {
+/// Flush the reply outbox past this size even with more requests pending,
+/// bounding worker memory under a slow router.
+constexpr std::size_t kFlushBytes = std::size_t{256} * 1024;
+
+void EncodeError(std::vector<char>* out, std::uint32_t seq, std::uint32_t qid,
+                 const std::string& message, bool corrupt) {
   PayloadWriter w;
   w.Str(message);
-  return SendFrame(fd, FrameType::kError, seq, w.buf.data(), w.buf.size(),
-                   corrupt);
+  EncodeFrame(out, FrameType::kError, seq, qid, w.buf.data(), w.buf.size(),
+              corrupt);
 }
 
 }  // namespace
 
+// The worker is a single-threaded drain loop: read whatever the socket
+// holds, process EVERY complete buffered request, then flush all replies
+// with one send. Under one in-flight query this is byte-for-byte the old
+// one-frame-at-a-time loop; under the router's multiplexed load it is the
+// serving tier's throughput lever — N interleaved queries cost one worker
+// wakeup and two syscalls per batch instead of N of each. Sweep state is
+// per-query-id (ShardReplica slots), so interleaved sweeps can't see each
+// other. A crash fault inside a batch loses the batch's unflushed replies
+// too — exactly the kill -9 semantics the router already handles.
 int RunShardWorker(int fd, const WorkerConfig& config) {
   FaultInjector injector(FaultSpec::Parse(config.fault_spec),
                          config.shard_id, config.replica_id);
@@ -76,11 +91,38 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
     load_error = e.what();
   }
 
+  FrameBuffer inbuf;
+  std::vector<char> outbox;
+  char chunk[64 * 1024];
   for (;;) {
     Frame req;
-    const RecvStatus st = RecvFrame(fd, &req, /*timeout_ms=*/-1);
-    if (st != RecvStatus::kOk) return st == RecvStatus::kClosed ? 0 : 1;
+    const FrameBuffer::Next next = inbuf.Pop(&req);
+    if (next == FrameBuffer::Next::kMalformed) return 1;
+    if (next == FrameBuffer::Next::kNeedMore) {
+      // Out of complete requests: flush everything we owe before blocking,
+      // or the router would wait on replies we are sitting on.
+      if (!outbox.empty()) {
+        if (!SendBytes(fd, outbox.data(), outbox.size())) return 1;
+        outbox.clear();
+      }
+      const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (r == 0) return 0;  // clean EOF: router closed the connection
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return 1;
+      }
+      inbuf.Append(chunk, static_cast<std::size_t>(r));
+      continue;
+    }
     const FrameType type = static_cast<FrameType>(req.type);
+
+    if (type == FrameType::kEndSweep) {
+      // Fire-and-forget cleanup: no reply, and exempt from fault injection
+      // — it is not a replicated state-machine op, so it must not consume
+      // a deterministic schedule's nth/every counts.
+      if (replica != nullptr) replica->EndSweep(req.qid);
+      continue;
+    }
 
     const FaultInjector::Action action = injector.OnRequest(OpClass(type));
     if (action.crash) _exit(137);  // the kill -9 stand-in
@@ -88,14 +130,13 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
     if (action.drop) continue;
 
     if (type == FrameType::kShutdown) {
-      SendFrame(fd, FrameType::kReply, req.seq, nullptr, 0);
+      EncodeFrame(&outbox, FrameType::kReply, req.seq, req.qid, nullptr, 0);
+      SendBytes(fd, outbox.data(), outbox.size());
       return 0;
     }
     if (replica == nullptr) {
-      if (!SendError(fd, req.seq, "shard snapshot load failed: " + load_error,
-                     action.corrupt)) {
-        return 1;
-      }
+      EncodeError(&outbox, req.seq, req.qid,
+                  "shard snapshot load failed: " + load_error, action.corrupt);
       continue;
     }
 
@@ -115,16 +156,16 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
           const std::uint32_t masked = r.U32();
           if (!r.Done()) throw std::runtime_error("malformed BeginLazy");
           const SweepCompactResult pass =
-              replica->BeginLazy(query, masked != 0);
+              replica->BeginLazy(req.qid, query, masked != 0);
           if (masked != 0) {
             // Mutations exist somewhere: the router needs this segment's
             // post-mask survivors to pick a live start.
-            EncodeCompact(reply, pass, replica->live_pivots());
+            EncodeCompact(reply, pass, replica->live_pivots(req.qid));
           } else {
             // Legacy reply shape — healthy immutable deployments stay
             // byte-identical on the wire.
-            reply.U64(replica->live());
-            reply.U64(replica->live_pivots());
+            reply.U64(replica->live(req.qid));
+            reply.U64(replica->live_pivots(req.qid));
           }
           break;
         }
@@ -145,15 +186,15 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
           std::vector<double> row(np);
           std::memcpy(row.data(), row_bytes, np * sizeof(double));
           const SweepCompactResult pass =
-              replica->BeginRow(query, row.data(), seed_bound);
-          EncodeCompact(reply, pass, replica->live_pivots());
+              replica->BeginRow(req.qid, query, row.data(), seed_bound);
+          EncodeCompact(reply, pass, replica->live_pivots(req.qid));
           break;
         }
         case FrameType::kEval: {
           const std::uint64_t id = r.U64();
           const double cap = r.F64();
           if (!r.Done()) throw std::runtime_error("malformed Eval");
-          reply.F64(replica->Eval(id, cap));
+          reply.F64(replica->Eval(req.qid, id, cap));
           break;
         }
         case FrameType::kStep: {
@@ -164,16 +205,17 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
           const double bound = r.F64();
           if (!r.Done()) throw std::runtime_error("malformed Step");
           const SweepCompactResult pass =
-              replica->Step(skip, rank, d, slack, bound);
-          EncodeCompact(reply, pass, replica->live_pivots());
+              replica->Step(req.qid, skip, rank, d, slack, bound);
+          EncodeCompact(reply, pass, replica->live_pivots(req.qid));
           break;
         }
         case FrameType::kStepRow: {
           const std::uint32_t skip = r.U32();
           const double bound = r.F64();
           if (!r.Done()) throw std::runtime_error("malformed StepRow");
-          const SweepCompactResult pass = replica->StepRow(skip, bound);
-          EncodeCompact(reply, pass, replica->live_pivots());
+          const SweepCompactResult pass =
+              replica->StepRow(req.qid, skip, bound);
+          EncodeCompact(reply, pass, replica->live_pivots(req.qid));
           break;
         }
         case FrameType::kInsert: {
@@ -227,11 +269,16 @@ int RunShardWorker(int fd, const WorkerConfig& config) {
     // A mangled reply is byte-wrong but CRC-valid: the frame layer cannot
     // catch it, only the router's replica agreement check can.
     if (action.mangle && !reply.buf.empty()) reply.buf[0] ^= 0x01;
-    const bool sent =
-        ok ? SendFrame(fd, FrameType::kReply, req.seq, reply.buf.data(),
-                       reply.buf.size(), action.corrupt)
-           : SendError(fd, req.seq, error, action.corrupt);
-    if (!sent) return 1;
+    if (ok) {
+      EncodeFrame(&outbox, FrameType::kReply, req.seq, req.qid,
+                  reply.buf.data(), reply.buf.size(), action.corrupt);
+    } else {
+      EncodeError(&outbox, req.seq, req.qid, error, action.corrupt);
+    }
+    if (outbox.size() >= kFlushBytes) {
+      if (!SendBytes(fd, outbox.data(), outbox.size())) return 1;
+      outbox.clear();
+    }
   }
 }
 

@@ -32,7 +32,7 @@ struct SocketPair {
   int fds[2] = {-1, -1};
 };
 
-TEST(ServeFrameTest, RoundTripsPayloadTypeAndSequence) {
+TEST(ServeFrameTest, RoundTripsPayloadTypeSequenceAndQueryId) {
   SocketPair sp;
   PayloadWriter w;
   w.U32(7);
@@ -40,12 +40,13 @@ TEST(ServeFrameTest, RoundTripsPayloadTypeAndSequence) {
   w.I32(-42);
   w.F64(2.5);
   w.Str("hello frame");
-  ASSERT_TRUE(SendFrame(sp.fds[0], FrameType::kStep, 99, w.buf.data(),
+  ASSERT_TRUE(SendFrame(sp.fds[0], FrameType::kStep, 99, 1234, w.buf.data(),
                         w.buf.size()));
   Frame f;
   ASSERT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kOk);
   EXPECT_EQ(f.type, static_cast<std::uint32_t>(FrameType::kStep));
   EXPECT_EQ(f.seq, 99u);
+  EXPECT_EQ(f.qid, 1234u);
   PayloadReader r(f.payload);
   EXPECT_EQ(r.U32(), 7u);
   EXPECT_EQ(r.U64(), 123456789012345ull);
@@ -57,17 +58,18 @@ TEST(ServeFrameTest, RoundTripsPayloadTypeAndSequence) {
 
 TEST(ServeFrameTest, EmptyPayloadRoundTrips) {
   SocketPair sp;
-  ASSERT_TRUE(SendFrame(sp.fds[0], FrameType::kPing, 1, nullptr, 0));
+  ASSERT_TRUE(SendFrame(sp.fds[0], FrameType::kPing, 1, 0, nullptr, 0));
   Frame f;
   ASSERT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kOk);
   EXPECT_EQ(f.type, static_cast<std::uint32_t>(FrameType::kPing));
+  EXPECT_EQ(f.qid, 0u);
   EXPECT_TRUE(f.payload.empty());
 }
 
 TEST(ServeFrameTest, CorruptCrcIsMalformed) {
   SocketPair sp;
   const char payload[] = "payload bytes";
-  ASSERT_TRUE(SendFrame(sp.fds[0], FrameType::kReply, 5, payload,
+  ASSERT_TRUE(SendFrame(sp.fds[0], FrameType::kReply, 5, 0, payload,
                         sizeof(payload), /*corrupt_crc=*/true));
   Frame f;
   EXPECT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kMalformed);
@@ -77,9 +79,9 @@ TEST(ServeFrameTest, OversizedLengthAndUnknownTypeAreMalformed) {
   {
     // Header whose length field claims > kMaxFramePayload.
     SocketPair sp;
-    std::uint32_t header[4] = {kMaxFramePayload + 1,
+    std::uint32_t header[5] = {kMaxFramePayload + 1,
                                static_cast<std::uint32_t>(FrameType::kReply),
-                               1, 0};
+                               1, 0, 0};
     ASSERT_EQ(send(sp.fds[0], header, sizeof(header), 0),
               static_cast<ssize_t>(sizeof(header)));
     Frame f;
@@ -88,7 +90,7 @@ TEST(ServeFrameTest, OversizedLengthAndUnknownTypeAreMalformed) {
   {
     // Type outside the known range.
     SocketPair sp;
-    std::uint32_t header[4] = {0, kMaxFrameType + 1, 1, 0};
+    std::uint32_t header[5] = {0, kMaxFrameType + 1, 1, 0, 0};
     ASSERT_EQ(send(sp.fds[0], header, sizeof(header), 0),
               static_cast<ssize_t>(sizeof(header)));
     Frame f;
@@ -118,6 +120,107 @@ TEST(ServeFrameTest, TruncatedFrameThenCloseIsNotOk) {
   sp.fds[0] = -1;
   Frame f;
   EXPECT_EQ(RecvFrame(sp.fds[1], &f, 1000), RecvStatus::kClosed);
+}
+
+// Regression: the remaining-time-to-ms conversion used to truncate, so a
+// sub-millisecond budget became poll(0)=timeout even with a complete frame
+// already sitting in the socket buffer. A zero/near-zero timeout must still
+// drain buffered data — it means "take what's there", not "fail fast".
+TEST(ServeFrameTest, ZeroTimeoutStillDrainsBufferedFrame) {
+  SocketPair sp;
+  const char payload[] = "already buffered";
+  ASSERT_TRUE(
+      SendFrame(sp.fds[0], FrameType::kReply, 7, 3, payload, sizeof(payload)));
+  Frame f;
+  ASSERT_EQ(RecvFrame(sp.fds[1], &f, 0), RecvStatus::kOk);
+  EXPECT_EQ(f.seq, 7u);
+  EXPECT_EQ(f.qid, 3u);
+
+  // And with nothing buffered, a zero timeout fails fast, not a hang.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(RecvFrame(sp.fds[1], &f, 0), RecvStatus::kTimeout);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 1000);
+}
+
+TEST(ServeFrameBufferTest, PopsMultipleFramesFromOneAppend) {
+  std::vector<char> bytes;
+  PayloadWriter w1;
+  w1.U64(11);
+  PayloadWriter w2;
+  w2.Str("second");
+  ASSERT_TRUE(EncodeFrame(&bytes, FrameType::kReply, 1, 100, w1.buf.data(),
+                          w1.buf.size()));
+  ASSERT_TRUE(EncodeFrame(&bytes, FrameType::kError, 2, 200, w2.buf.data(),
+                          w2.buf.size()));
+  ASSERT_TRUE(EncodeFrame(&bytes, FrameType::kEndSweep, 3, 300, nullptr, 0));
+
+  FrameBuffer fb;
+  fb.Append(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_EQ(fb.Pop(&f), FrameBuffer::Next::kFrame);
+  EXPECT_EQ(f.type, static_cast<std::uint32_t>(FrameType::kReply));
+  EXPECT_EQ(f.seq, 1u);
+  EXPECT_EQ(f.qid, 100u);
+  PayloadReader r1(f.payload);
+  EXPECT_EQ(r1.U64(), 11u);
+  ASSERT_EQ(fb.Pop(&f), FrameBuffer::Next::kFrame);
+  EXPECT_EQ(f.qid, 200u);
+  PayloadReader r2(f.payload);
+  EXPECT_EQ(r2.Str(), "second");
+  ASSERT_EQ(fb.Pop(&f), FrameBuffer::Next::kFrame);
+  EXPECT_EQ(f.type, static_cast<std::uint32_t>(FrameType::kEndSweep));
+  EXPECT_TRUE(f.payload.empty());
+  EXPECT_EQ(fb.Pop(&f), FrameBuffer::Next::kNeedMore);
+  EXPECT_EQ(fb.buffered_bytes(), 0u);
+}
+
+TEST(ServeFrameBufferTest, PartialFrameWaitsAcrossAppends) {
+  std::vector<char> bytes;
+  PayloadWriter w;
+  w.Str("split across reads");
+  ASSERT_TRUE(
+      EncodeFrame(&bytes, FrameType::kStep, 9, 42, w.buf.data(), w.buf.size()));
+
+  FrameBuffer fb;
+  Frame f;
+  // Feed one byte at a time: never a false frame, never a lost byte.
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    fb.Append(&bytes[i], 1);
+    ASSERT_EQ(fb.Pop(&f), FrameBuffer::Next::kNeedMore) << "at byte " << i;
+  }
+  fb.Append(&bytes[bytes.size() - 1], 1);
+  ASSERT_EQ(fb.Pop(&f), FrameBuffer::Next::kFrame);
+  EXPECT_EQ(f.seq, 9u);
+  EXPECT_EQ(f.qid, 42u);
+  PayloadReader r(f.payload);
+  EXPECT_EQ(r.Str(), "split across reads");
+}
+
+TEST(ServeFrameBufferTest, MalformedPoisonsTheStream) {
+  FrameBuffer fb;
+  std::uint32_t header[5] = {0, kMaxFrameType + 1, 1, 0, 0};
+  fb.Append(header, sizeof(header));
+  Frame f;
+  EXPECT_EQ(fb.Pop(&f), FrameBuffer::Next::kMalformed);
+  // A valid frame appended afterwards must NOT resynchronise the stream.
+  std::vector<char> good;
+  ASSERT_TRUE(EncodeFrame(&good, FrameType::kPing, 1, 0, nullptr, 0));
+  fb.Append(good.data(), good.size());
+  EXPECT_EQ(fb.Pop(&f), FrameBuffer::Next::kMalformed);
+}
+
+TEST(ServeFrameBufferTest, CrcMismatchIsMalformed) {
+  std::vector<char> bytes;
+  const char payload[] = "mangle me";
+  ASSERT_TRUE(EncodeFrame(&bytes, FrameType::kReply, 1, 1, payload,
+                          sizeof(payload), /*corrupt_crc=*/true));
+  FrameBuffer fb;
+  fb.Append(bytes.data(), bytes.size());
+  Frame f;
+  EXPECT_EQ(fb.Pop(&f), FrameBuffer::Next::kMalformed);
 }
 
 TEST(ServeFrameTest, ClosedPeerIsDetected) {
